@@ -1,0 +1,48 @@
+# SecNDP reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test test-race bench vet examples experiments quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/core/ ./internal/memory/ ./internal/remote/ ./internal/otp/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/recommendation
+	$(GO) run ./examples/medical
+	$(GO) run ./examples/tamper
+	$(GO) run ./examples/teecompare
+	$(GO) run ./examples/remote
+
+# Regenerate every paper table and figure (full scale; ~2 minutes).
+experiments:
+	$(GO) run ./cmd/secndp-bench
+
+# Fast smoke of everything (~30 s).
+quick:
+	$(GO) run ./cmd/secndp-bench -quick
+
+# The artifacts referenced by EXPERIMENTS.md.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

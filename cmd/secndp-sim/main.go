@@ -1,0 +1,144 @@
+// Command secndp-sim runs a single performance-simulation configuration
+// and reports the three systems side by side — the interactive counterpart
+// to secndp-bench's fixed experiment grid.
+//
+//	secndp-sim -workload sls -ranks 8 -regs 8 -aes 12
+//	secndp-sim -workload analytics -ranks 4 -placement coloc
+//	secndp-sim -workload sls -rowbytes 32 -batch 8 -pf 40
+//	secndp-sim -init -tables 2                      # T0 (ArithEnc) cost
+//	trace-gen -workload sls > t.json && secndp-sim -trace t.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"secndp/internal/memory"
+	"secndp/internal/sim"
+	"secndp/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "sls", "sls | analytics")
+		ranks     = flag.Int("ranks", 8, "NDP_rank: rank-level PUs on the channel")
+		regs      = flag.Int("regs", 8, "NDP_reg: accumulator registers per PU")
+		aes       = flag.Int("aes", 12, "AES engines in the SecNDP engine pool")
+		placement = flag.String("placement", "none", "verification tags: none | coloc | sep | ecc")
+		rowBytes  = flag.Int("rowbytes", 128, "SLS embedding row size in bytes (128 = 32-bit, 32 = 8-bit quantized)")
+		tables    = flag.Int("tables", 8, "SLS: number of embedding tables")
+		batch     = flag.Int("batch", 16, "SLS: inference batch size")
+		pf        = flag.Int("pf", 80, "pooling factor")
+		patients  = flag.Int("patients", 500000, "analytics: database rows")
+		genes     = flag.Int("genes", 1024, "analytics: genes per patient (4 B each)")
+		seed      = flag.Int64("seed", 1, "trace and page-mapping seed")
+		initOnly  = flag.Bool("init", false, "measure the T0 initialization (ArithEnc) instead of queries")
+		traceFile = flag.String("trace", "", "load a JSON trace (from trace-gen) instead of generating one")
+	)
+	flag.Parse()
+
+	var pl memory.TagPlacement
+	switch *placement {
+	case "none":
+		pl = memory.TagNone
+	case "coloc":
+		pl = memory.TagColoc
+	case "sep":
+		pl = memory.TagSep
+	case "ecc":
+		pl = memory.TagECC
+	default:
+		fmt.Fprintf(os.Stderr, "secndp-sim: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+
+	var trace workload.Trace
+	label := *wl
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		fail(err)
+		err = json.NewDecoder(f).Decode(&trace)
+		f.Close()
+		fail(err)
+		fail(trace.Validate())
+		label = "file:" + *traceFile
+	} else {
+		switch *wl {
+		case "sls":
+			trace = workload.SLSTrace(workload.SLSConfig{
+				NumTables:    *tables,
+				RowsPerTable: 1 << 20,
+				RowBytes:     *rowBytes,
+				Batch:        *batch,
+				PF:           *pf,
+				Seed:         *seed,
+			})
+		case "analytics":
+			trace = workload.AnalyticsTrace(workload.AnalyticsConfig{
+				NumPatients: *patients,
+				RowBytes:    *genes * 4,
+				PF:          *pf * 100, // analytics PF is in the thousands
+				Queries:     2,
+				Seed:        *seed,
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "secndp-sim: unknown workload %q\n", *wl)
+			os.Exit(2)
+		}
+	}
+
+	cfg := sim.DefaultConfig(*ranks, *regs)
+	cfg.Seed = *seed
+	cfg.AESEngines = *aes
+	cfg.Placement = pl
+
+	if *initOnly {
+		rep, err := sim.RunInit(cfg, trace)
+		fail(err)
+		bound := "write-bus"
+		if rep.AESBound {
+			bound = "AES"
+		}
+		fmt.Printf("T0 initialization (ArithEnc) of %d table(s), placement %s:\n", len(trace.Tables), pl)
+		fmt.Printf("  bytes written: %d   OTP blocks: %d\n", rep.Bytes, rep.OTPBlocks)
+		fmt.Printf("  write stream:  %.1f µs\n", rep.WriteNS/1e3)
+		fmt.Printf("  pad pipeline:  %.1f µs (%d engines)\n", rep.OTPNS/1e3, *aes)
+		fmt.Printf("  total:         %.1f µs (%s-bound)\n", rep.TotalNS/1e3, bound)
+		return
+	}
+
+	pHost, err := sim.Place(sim.DefaultConfig(*ranks, *regs), trace)
+	fail(err)
+	host := sim.RunHost(cfg, pHost)
+	ndp, err := sim.RunNDP(cfg, pHost)
+	fail(err)
+	pSec, err := sim.Place(cfg, trace)
+	fail(err)
+	sec, err := sim.RunSecNDP(cfg, pSec)
+	fail(err)
+
+	fmt.Printf("workload=%s queries=%d rowFetches=%d ranks=%d regs=%d aes=%d placement=%s\n\n",
+		label, len(trace.Queries), trace.TotalRowFetches(), *ranks, *regs, *aes, pl)
+	fmt.Printf("%-22s %14s %14s %10s\n", "system", "time", "queries/s", "speedup")
+	row := func(name string, r sim.Report) {
+		fmt.Printf("%-22s %11.1f µs %14.0f %9.2fx\n",
+			name, r.TotalNS/1e3, r.ThroughputQPS(), host.TotalNS/r.TotalNS)
+	}
+	row("unprotected non-NDP", host)
+	row("unprotected NDP", ndp)
+	row("SecNDP ("+pl.String()+")", sec)
+	fmt.Printf("\nSecNDP packets bottlenecked by decryption: %.1f%%  (OTP blocks: %d)\n",
+		100*sec.BottleneckedFrac, sec.OTPBlocks)
+	fmt.Printf("DRAM: %d reads, %d activates, %.1f%% row hits\n",
+		sec.Stats.Reads, sec.Stats.Activates,
+		100*float64(sec.Stats.RowHits)/float64(sec.Stats.RowHits+sec.Stats.RowMisses))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secndp-sim:", err)
+		os.Exit(1)
+	}
+}

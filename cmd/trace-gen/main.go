@@ -1,0 +1,75 @@
+// Command trace-gen emits workload traces as JSON for inspection or for
+// driving external simulators, and prints summary statistics.
+//
+//	trace-gen -workload sls -batch 4 -pf 40 > sls.json
+//	trace-gen -workload analytics -stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"secndp/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "sls", "sls | analytics")
+		tables   = flag.Int("tables", 8, "SLS: embedding tables")
+		rows     = flag.Int("rows", 1<<20, "SLS: rows per table")
+		rowBytes = flag.Int("rowbytes", 128, "row size in bytes")
+		batch    = flag.Int("batch", 4, "SLS: batch size")
+		pf       = flag.Int("pf", 80, "pooling factor")
+		pfMax    = flag.Int("pfmax", 0, "SLS: production-style PF upper bound (0 = fixed PF)")
+		patients = flag.Int("patients", 500000, "analytics: database rows")
+		queries  = flag.Int("queries", 2, "analytics: query count")
+		seed     = flag.Int64("seed", 1, "trace seed")
+		stats    = flag.Bool("stats", false, "print summary statistics instead of JSON")
+	)
+	flag.Parse()
+
+	var trace workload.Trace
+	switch *wl {
+	case "sls":
+		trace = workload.SLSTrace(workload.SLSConfig{
+			NumTables: *tables, RowsPerTable: *rows, RowBytes: *rowBytes,
+			Batch: *batch, PF: *pf, PFMax: *pfMax, Seed: *seed,
+		})
+	case "analytics":
+		trace = workload.AnalyticsTrace(workload.AnalyticsConfig{
+			NumPatients: *patients, RowBytes: *rowBytes,
+			PF: *pf, Queries: *queries, Seed: *seed,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "trace-gen: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+	if err := trace.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace-gen:", err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		var totalBytes uint64
+		for _, t := range trace.Tables {
+			totalBytes += t.Bytes()
+		}
+		fetched := uint64(0)
+		for _, q := range trace.Queries {
+			fetched += uint64(len(q.Rows)) * uint64(trace.Tables[q.Table].RowBytes)
+		}
+		fmt.Printf("tables:       %d (%d bytes total)\n", len(trace.Tables), totalBytes)
+		fmt.Printf("queries:      %d\n", len(trace.Queries))
+		fmt.Printf("row fetches:  %d\n", trace.TotalRowFetches())
+		fmt.Printf("bytes read:   %d\n", fetched)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(trace); err != nil {
+		fmt.Fprintln(os.Stderr, "trace-gen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,25 @@
+// Package secndp is a from-scratch Go reproduction of "SecNDP: Secure
+// Near-Data Processing with Untrusted Memory" (HPCA 2022): a lightweight
+// encryption and verification scheme that lets a trusted processor offload
+// linear computation to untrusted near-data-processing units by combining
+// counter-mode one-time pads with two-party arithmetic secret sharing, and
+// verifying results with encrypted linear checksums over GF(2^127−1).
+//
+// The repository layout:
+//
+//   - internal/core — the SecNDP scheme itself (Algorithms 1–8): use
+//     core.NewScheme, EncryptTable, Query / QueryVerified.
+//   - internal/{ring,field,otp,memory} — the crypto and memory substrates.
+//   - internal/{dram,addrmap,ndp,engine,sim} — the cycle-level performance
+//     simulator reproducing the paper's evaluation framework.
+//   - internal/{workload,dlrm,quant,stats,energy,tee} — workloads, the
+//     recommendation model, quantization, analytics, and cost models.
+//   - internal/experiments — one entry point per paper table/figure.
+//   - cmd/secndp-bench — regenerates every table and figure.
+//   - examples/ — runnable walkthroughs of the public API.
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root bench_test.go holds one testing.B benchmark per paper artifact
+// plus the ablation benches called out in DESIGN.md §4.
+package secndp

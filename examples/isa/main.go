@@ -1,0 +1,119 @@
+// ISA walkthrough: the §V micro-architecture executed instruction by
+// instruction. An embedding table is encrypted with ArithEnc, SLS pooling
+// is issued as SecNDPInst commands (which reach the NDP PU *unchanged*
+// from the unprotected encoding), and SecNDPLd drains the register pair
+// through the final adder and the verification engine.
+//
+//	go run ./examples/isa
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"secndp/internal/core"
+	"secndp/internal/isa"
+	"secndp/internal/memory"
+)
+
+const (
+	rows = 8
+	m    = 32
+	we   = 32
+)
+
+func main() {
+	key := []byte("isa-walkthrough!")
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagSep,
+			Base:      0x10000,
+			TagBase:   0x400000,
+			NumRows:   rows,
+			RowBytes:  m * we / 8,
+		},
+		Params: core.Params{We: we, M: m},
+	}
+	table := make([][]uint64, rows)
+	for i := range table {
+		table[i] = make([]uint64, m)
+		for j := range table[i] {
+			table[i][j] = uint64(100*i + j)
+		}
+	}
+
+	// ArithEnc: the encryption engine writes ciphertext + tags to memory.
+	mem := memory.NewSpace()
+	if _, err := scheme.EncryptTable(mem, geo, 1, table); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ArithEnc: table encrypted into untrusted memory")
+
+	// The machine: an untrusted NDP PU plus the SecNDP engine (OTP PU,
+	// verification engine) with 4 register pairs.
+	machine, err := isa.NewMachine(key, mem, 4, m, we)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An SLS query as an instruction stream: pool rows 1, 3, 5 with
+	// weights 2, 3, 4 into register 0, verified.
+	queryRows := []int{1, 3, 5}
+	weights := []uint64{2, 3, 4}
+	for k, row := range queryRows {
+		inst := isa.SecNDPInst{
+			NDPInst: isa.NDPInst{
+				Op:    isa.OpMACC,
+				Addr:  geo.Layout.RowAddr(row),
+				VSize: m,
+				DSize: we,
+				Imm:   weights[k],
+				Reg:   0,
+			},
+			Version: 1,
+			Verify:  true,
+			TagAddr: geo.Layout.TagAddr(row),
+		}
+		if err := machine.Issue(inst, geo.Layout.Base); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SecNDPInst: MACC row %d × %d -> reg 0 (NDP command unchanged; OTP PU mirrored)\n",
+			row, weights[k])
+	}
+
+	// SecNDPLd: response buffer + decryption buffer + one adder + verify.
+	res, err := machine.Load(isa.SecNDPLd{Reg: 0, Verify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := uint64(2*table[1][0] + 3*table[3][0] + 4*table[5][0])
+	fmt.Printf("SecNDPLd: verified result, column 0 = %d (plaintext math: %d)\n", res[0], want)
+
+	// A tampered run raises the verification interrupt (§V-E3).
+	mem.FlipBit(geo.Layout.RowAddr(3)+2, 1)
+	if err := machine.Clear(0); err != nil {
+		log.Fatal(err)
+	}
+	for k, row := range queryRows {
+		inst := isa.SecNDPInst{
+			NDPInst: isa.NDPInst{
+				Op: isa.OpMACC, Addr: geo.Layout.RowAddr(row),
+				VSize: m, DSize: we, Imm: weights[k], Reg: 0,
+			},
+			Version: 1, Verify: true, TagAddr: geo.Layout.TagAddr(row),
+		}
+		if err := machine.Issue(inst, geo.Layout.Base); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := machine.Load(isa.SecNDPLd{Reg: 0, Verify: true}); errors.Is(err, isa.ErrVerifyInterrupt) {
+		fmt.Println("SecNDPLd after tampering: verification interrupt raised —", err)
+	} else {
+		log.Fatalf("expected a verification interrupt, got %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module secndp
+
+go 1.22

@@ -1,0 +1,113 @@
+// Package addrmap models the OS virtual-to-physical page mapping step of
+// the paper's simulation flow (§VI-B): "we apply a standard page mapping
+// method to generate the physical addresses from a trace of embedding
+// lookups by assuming that the OS randomly selects free physical pages for
+// each logical page frame". The resulting physical address trace is what
+// feeds the DRAM simulator, and its randomness is what spreads embedding
+// rows across ranks and banks.
+package addrmap
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PageBits is the standard 4 KiB page size.
+const PageBits = 12
+
+// PageSize is 1 << PageBits.
+const PageSize = 1 << PageBits
+
+// Mapper lazily assigns random free physical pages to virtual pages,
+// deterministic under its seed. It hands out pages from a fixed physical
+// capacity without reuse.
+type Mapper struct {
+	rng      *rand.Rand
+	capacity uint64 // number of physical pages
+	pages    map[uint64]uint64
+	// freeSwap implements an O(1) random draw without materializing the
+	// full free list: a virtual Fisher-Yates over [0, capacity).
+	swapped map[uint64]uint64
+	used    uint64
+}
+
+// NewMapper creates a mapper over a physical memory of totalBytes
+// (rounded down to whole pages), seeded deterministically.
+func NewMapper(totalBytes uint64, seed int64) *Mapper {
+	return &Mapper{
+		rng:      rand.New(rand.NewSource(seed)),
+		capacity: totalBytes >> PageBits,
+		pages:    make(map[uint64]uint64),
+		swapped:  make(map[uint64]uint64),
+	}
+}
+
+// draw picks a uniformly random unused physical page in O(1) via an
+// incremental Fisher-Yates shuffle.
+func (m *Mapper) draw() (uint64, error) {
+	if m.used >= m.capacity {
+		return 0, fmt.Errorf("addrmap: out of physical pages (%d used)", m.used)
+	}
+	remaining := m.capacity - m.used
+	j := m.used + uint64(m.rng.Int63n(int64(remaining)))
+	vj, ok := m.swapped[j]
+	if !ok {
+		vj = j
+	}
+	vi, ok := m.swapped[m.used]
+	if !ok {
+		vi = m.used
+	}
+	m.swapped[j] = vi
+	delete(m.swapped, m.used) // value consumed
+	m.used++
+	return vj, nil
+}
+
+// Translate maps a virtual byte address to its physical byte address,
+// allocating a random physical page on first touch of each virtual page.
+func (m *Mapper) Translate(vaddr uint64) (uint64, error) {
+	vpage := vaddr >> PageBits
+	ppage, ok := m.pages[vpage]
+	if !ok {
+		var err error
+		ppage, err = m.draw()
+		if err != nil {
+			return 0, err
+		}
+		m.pages[vpage] = ppage
+	}
+	return ppage<<PageBits | (vaddr & (PageSize - 1)), nil
+}
+
+// TranslateRange maps a contiguous virtual range and returns the physical
+// address of each page-contained fragment as (physAddr, length) pairs —
+// a virtually contiguous buffer is physically scattered at page granularity.
+func (m *Mapper) TranslateRange(vaddr uint64, size int) ([]Fragment, error) {
+	var out []Fragment
+	remaining := uint64(size)
+	for remaining > 0 {
+		p, err := m.Translate(vaddr)
+		if err != nil {
+			return nil, err
+		}
+		inPage := PageSize - (vaddr & (PageSize - 1))
+		n := inPage
+		if remaining < n {
+			n = remaining
+		}
+		out = append(out, Fragment{Phys: p, Len: int(n)})
+		vaddr += n
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Fragment is a physically contiguous piece of a translated range.
+type Fragment struct {
+	Phys uint64
+	Len  int
+}
+
+// Mapped returns the number of virtual pages mapped so far.
+func (m *Mapper) Mapped() int { return len(m.pages) }

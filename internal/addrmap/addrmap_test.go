@@ -1,0 +1,162 @@
+package addrmap
+
+import (
+	"testing"
+)
+
+func TestTranslateStableWithinPage(t *testing.T) {
+	m := NewMapper(1<<30, 1)
+	p1, err := m.Translate(0x1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m.Translate(0x1235)
+	if p2 != p1+1 {
+		t.Errorf("offsets within a page not preserved: %#x vs %#x", p1, p2)
+	}
+	p3, _ := m.Translate(0x1234)
+	if p3 != p1 {
+		t.Error("translation not stable")
+	}
+}
+
+func TestTranslatePreservesPageOffset(t *testing.T) {
+	m := NewMapper(1<<30, 2)
+	p, _ := m.Translate(0x7FFF)
+	if p&(PageSize-1) != 0xFFF {
+		t.Errorf("page offset not preserved: %#x", p)
+	}
+}
+
+func TestTranslateDistinctPagesDistinctFrames(t *testing.T) {
+	m := NewMapper(1<<30, 3)
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < 1000; v++ {
+		p, err := m.Translate(v << PageBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := p >> PageBits
+		if seen[frame] {
+			t.Fatalf("physical frame %d assigned twice", frame)
+		}
+		seen[frame] = true
+	}
+}
+
+func TestTranslateDeterministicUnderSeed(t *testing.T) {
+	a := NewMapper(1<<30, 42)
+	b := NewMapper(1<<30, 42)
+	for v := uint64(0); v < 100; v++ {
+		pa, _ := a.Translate(v << PageBits)
+		pb, _ := b.Translate(v << PageBits)
+		if pa != pb {
+			t.Fatalf("same seed diverged at page %d", v)
+		}
+	}
+	c := NewMapper(1<<30, 43)
+	diff := 0
+	for v := uint64(0); v < 100; v++ {
+		pa, _ := a.Translate(v << PageBits)
+		pc, _ := c.Translate(v << PageBits)
+		if pa != pc {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Errorf("different seeds produced %d/100 different mappings", diff)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	m := NewMapper(4*PageSize, 4)
+	for v := uint64(0); v < 4; v++ {
+		if _, err := m.Translate(v << PageBits); err != nil {
+			t.Fatalf("page %d: %v", v, err)
+		}
+	}
+	if _, err := m.Translate(5 << PageBits); err == nil {
+		t.Error("exhaustion not reported")
+	}
+}
+
+func TestAllFramesReachableExactlyOnce(t *testing.T) {
+	const n = 64
+	m := NewMapper(n*PageSize, 5)
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < n; v++ {
+		p, err := m.Translate(v << PageBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p>>PageBits] = true
+	}
+	if len(seen) != n {
+		t.Errorf("only %d distinct frames of %d", len(seen), n)
+	}
+	for f := uint64(0); f < n; f++ {
+		if !seen[f] {
+			t.Errorf("frame %d never issued", f)
+		}
+	}
+}
+
+func TestRandomnessSpread(t *testing.T) {
+	// Consecutive virtual pages should not map to consecutive physical
+	// frames (that is the whole point of the random mapping).
+	m := NewMapper(1<<30, 6)
+	sequential := 0
+	var prev uint64
+	for v := uint64(0); v < 500; v++ {
+		p, _ := m.Translate(v << PageBits)
+		if v > 0 && p>>PageBits == prev+1 {
+			sequential++
+		}
+		prev = p >> PageBits
+	}
+	if sequential > 25 {
+		t.Errorf("%d/500 sequential frame pairs — mapping not random", sequential)
+	}
+}
+
+func TestTranslateRange(t *testing.T) {
+	m := NewMapper(1<<30, 7)
+	frags, err := m.TranslateRange(PageSize-100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 2 {
+		t.Fatalf("expected 2 fragments, got %d", len(frags))
+	}
+	if frags[0].Len != 100 || frags[1].Len != 200 {
+		t.Errorf("fragment lengths %d,%d want 100,200", frags[0].Len, frags[1].Len)
+	}
+	total := 0
+	for _, f := range frags {
+		total += f.Len
+	}
+	if total != 300 {
+		t.Errorf("fragments cover %d bytes, want 300", total)
+	}
+}
+
+func TestTranslateRangeWithinPage(t *testing.T) {
+	m := NewMapper(1<<30, 8)
+	frags, err := m.TranslateRange(128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0].Len != 128 {
+		t.Errorf("fragments = %+v", frags)
+	}
+}
+
+func TestMappedCount(t *testing.T) {
+	m := NewMapper(1<<30, 9)
+	m.Translate(0)
+	m.Translate(100) // same page
+	m.Translate(PageSize)
+	if got := m.Mapped(); got != 2 {
+		t.Errorf("Mapped() = %d, want 2", got)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchRequest is one pooling query of a batch.
+type BatchRequest struct {
+	Idx     []int
+	Weights []uint64
+}
+
+// BatchResult pairs a request's output with its error (ErrVerification on
+// a rejected result).
+type BatchResult struct {
+	Res []uint64
+	Err error
+}
+
+// QueryBatch runs many verified queries concurrently — the software
+// counterpart of the paper's multiple NDP PU registers letting several
+// pooling operations be in flight at once (§V). The NDP implementation
+// must be safe for concurrent use (HonestNDP and remote.Client are).
+// workers ≤ 0 selects GOMAXPROCS.
+func (t *Table) QueryBatch(ndp NDP, reqs []BatchRequest, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := t.QueryVerified(ndp, reqs[i].Idx, reqs[i].Weights)
+				out[i] = BatchResult{Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// QueryBatchUnverified is QueryBatch over the encryption-only path
+// (Algorithm 4 without Algorithm 5) for tables without tags.
+func (t *Table) QueryBatchUnverified(ndp NDP, reqs []BatchRequest, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := t.Query(ndp, reqs[i].Idx, reqs[i].Weights)
+				out[i] = BatchResult{Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// FirstError returns the first non-nil error of a batch, annotated with
+// its request index, or nil.
+func FirstError(results []BatchResult) error {
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("core: batch request %d: %w", i, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+func TestQueryBatchMatchesSequential(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 64, 32, 32)
+	rng := rand.New(rand.NewSource(50))
+	rows := boundedRows(rng, 64, 32, 1<<20)
+	tab, err := s.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp := &HonestNDP{Mem: mem}
+	reqs := make([]BatchRequest, 40)
+	for i := range reqs {
+		pf := 1 + rng.Intn(10)
+		reqs[i] = BatchRequest{Idx: make([]int, pf), Weights: make([]uint64, pf)}
+		for k := 0; k < pf; k++ {
+			reqs[i].Idx[k] = rng.Intn(64)
+			reqs[i].Weights[k] = 1 + rng.Uint64()%8
+		}
+	}
+	batch := tab.QueryBatch(ndp, reqs, 8)
+	if err := FirstError(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		want, err := tab.QueryVerified(ndp, req.Idx, req.Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if batch[i].Res[j] != want[j] {
+				t.Fatalf("request %d col %d: batch %d != sequential %d",
+					i, j, batch[i].Res[j], want[j])
+			}
+		}
+	}
+}
+
+func TestQueryBatchPropagatesVerificationErrors(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 8, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(51)), 8, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	mem.FlipBit(geo.Layout.RowAddr(7), 0) // only queries touching row 7 fail
+	ndp := &HonestNDP{Mem: mem}
+	reqs := []BatchRequest{
+		{Idx: []int{0, 1}, Weights: []uint64{1, 1}},
+		{Idx: []int{6, 7}, Weights: []uint64{1, 1}}, // corrupted
+		{Idx: []int{2, 3}, Weights: []uint64{1, 1}},
+	}
+	out := tab.QueryBatch(ndp, reqs, 2)
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Errorf("clean requests failed: %v %v", out[0].Err, out[2].Err)
+	}
+	if !errors.Is(out[1].Err, ErrVerification) {
+		t.Errorf("corrupted request not rejected: %v", out[1].Err)
+	}
+	if err := FirstError(out); !errors.Is(err, ErrVerification) {
+		t.Errorf("FirstError = %v", err)
+	}
+}
+
+func TestQueryBatchUnverified(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagNone, 16, 32, 32)
+	rng := rand.New(rand.NewSource(52))
+	rows := randRows(rng, geo.ringOf(), 16, 32)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	ndp := &HonestNDP{Mem: mem}
+	reqs := []BatchRequest{
+		{Idx: []int{0}, Weights: []uint64{3}},
+		{Idx: []int{1, 2}, Weights: []uint64{1, 1}},
+	}
+	out := tab.QueryBatchUnverified(ndp, reqs, 0) // workers = GOMAXPROCS
+	if err := FirstError(out); err != nil {
+		t.Fatal(err)
+	}
+	r := geo.ringOf()
+	if out[0].Res[5] != r.Mul(3, rows[0][5]) {
+		t.Error("unverified batch result wrong")
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	s := newTestScheme(t)
+	geo := mkGeometry(memory.TagNone, 4, 32, 32)
+	tab, _ := s.OpenTable(geo, 1)
+	out := tab.QueryBatch(&HonestNDP{Mem: memory.NewSpace()}, nil, 4)
+	if len(out) != 0 {
+		t.Error("empty batch produced results")
+	}
+	if FirstError(nil) != nil {
+		t.Error("FirstError(nil) != nil")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SecurityBounds evaluates the concrete-security statements of the paper's
+// Theorems 1 and 2: the adversary advantages as a function of the scheme
+// parameters and query budgets. The block-cipher distinguishing advantages
+// (Adv_E terms) are taken as zero — AES is modeled as an ideal PRP, as the
+// paper itself argues ("if E00() is based on AES, Adv is negligible") — so
+// the returned numbers are the information-theoretic terms that the
+// parameters actually control.
+type SecurityBounds struct {
+	// Params of the deployed scheme.
+	Params Params
+	// N is the number of matrix rows n.
+	N int
+	// WK is the key width (128 for AES-128).
+	WK uint
+	// WT is the tag width w_t (127).
+	WT uint
+}
+
+// DefaultBounds returns the paper's configuration: w_t = 127,
+// q = 2^127 − 1, AES-128.
+func DefaultBounds(p Params, n int) SecurityBounds {
+	return SecurityBounds{Params: p, N: n, WK: 128, WT: 127}
+}
+
+// EncryptionAdvantage bounds the chosen-plaintext adversary of Theorem 1:
+//
+//	Adv ≤ 2^-wK + Adv_E(|Q|')
+//
+// with the PRP term zero, this is the key-guessing floor.
+func (b SecurityBounds) EncryptionAdvantage() float64 {
+	return math.Ldexp(1, -int(b.WK))
+}
+
+// ForgeryAdvantage bounds the MAC adversary of Theorem 2 for the given
+// sign/verify query budgets:
+//
+//	Adv ≤ m·|Qv| / q        (+ PRP terms, taken as zero)
+//
+// where q ≈ 2^wt. With Algorithm 8's cnt_s substrings the numerator's m is
+// divided by cnt_s (the appendix proposition).
+func (b SecurityBounds) ForgeryAdvantage(verifyQueries float64) float64 {
+	m := float64(b.Params.M)
+	cnt := float64(b.Params.cntS())
+	q := math.Ldexp(1, int(b.WT)) // 2^127 − 1 ≈ 2^127
+	return m * verifyQueries / (cnt * q)
+}
+
+// SecurityBits converts the forgery advantage at a query budget into bits:
+// the adversary needs ~2^bits verification attempts per expected success.
+func (b SecurityBounds) SecurityBits(verifyQueries float64) float64 {
+	adv := b.ForgeryAdvantage(verifyQueries)
+	if adv <= 0 {
+		return float64(b.WK)
+	}
+	bits := -math.Log2(adv)
+	if kb := float64(b.WK); bits > kb {
+		return kb // the key-guessing floor caps everything
+	}
+	return bits
+}
+
+// MaxQueriesForSecurity returns the largest verification-query budget that
+// keeps the forgery bound at or above the target security level — the
+// paper's §IV-G sizing rule ("for a 1024-dimension matrix row, we can
+// serve 2^53 queries without changing key, while maintaining a security
+// level higher than 64 bits").
+func (b SecurityBounds) MaxQueriesForSecurity(bits float64) (float64, error) {
+	if bits <= 0 || bits >= float64(b.WT) {
+		return 0, fmt.Errorf("core: target %g bits outside (0, %d)", bits, b.WT)
+	}
+	m := float64(b.Params.M)
+	cnt := float64(b.Params.cntS())
+	// m·Qv/(cnt·2^wt) ≤ 2^-bits  =>  Qv ≤ cnt·2^(wt-bits)/m.
+	return cnt * math.Ldexp(1, int(b.WT)) / m / math.Ldexp(1, int(bits)), nil
+}

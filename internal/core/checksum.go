@@ -1,0 +1,72 @@
+package core
+
+import "secndp/internal/field"
+
+// checksumRow evaluates the linear modular hash of a row.
+//
+// With one seed this is Algorithm 2:
+//
+//	T = Σ_{j=0}^{m-1} P_j · s^(m-j)  mod q
+//
+// computed by Horner's rule in O(m) multiplications.
+//
+// With cnt_s > 1 seeds it is Algorithm 8 ("Linear Checksum with More
+// Randomness"):
+//
+//	T = Σ_{j=0}^{m-1} P_j · s_{(m-j) mod cnt_s}^{⌊(m-j)/cnt_s⌋}  mod q
+//
+// which lowers the forgery bound from m/q to m/(cnt_s·q) because each seed
+// substring appears in a polynomial of degree only m/cnt_s.
+//
+// Both forms are linear in the row elements, which is the property the
+// whole verification scheme rests on (§IV-F).
+func checksumRow(seeds []field.Elem, elems []uint64) field.Elem {
+	switch len(seeds) {
+	case 0:
+		panic("core: checksumRow needs at least one seed")
+	case 1:
+		return field.Horner(seeds[0], elems)
+	}
+	cnt := len(seeds)
+	m := len(elems)
+	// pows[r] tracks s_r^e for the next term with (m-j) ≡ r (mod cnt).
+	// The first k = m-j with residue r is r itself (exponent 0) for r ≥ 1,
+	// and cnt (exponent 1) for r = 0.
+	pows := make([]field.Elem, cnt)
+	for r := range pows {
+		if r == 0 {
+			pows[r] = seeds[0]
+		} else {
+			pows[r] = field.One
+		}
+	}
+	acc := field.Zero
+	for k := 1; k <= m; k++ {
+		r := k % cnt
+		term := field.MulUint64(pows[r], elems[m-k])
+		acc = field.Add(acc, term)
+		pows[r] = field.Mul(pows[r], seeds[r])
+	}
+	return acc
+}
+
+// checksumRowNaive evaluates the same polynomial with an independent power
+// computation per term. O(m log m); kept as the cross-check oracle for
+// tests and the A4 ablation baseline.
+func checksumRowNaive(seeds []field.Elem, elems []uint64) field.Elem {
+	cnt := len(seeds)
+	m := len(elems)
+	acc := field.Zero
+	for j := 0; j < m; j++ {
+		k := uint64(m - j)
+		var p field.Elem
+		if cnt == 1 {
+			p = field.Pow(seeds[0], k)
+		} else {
+			r := k % uint64(cnt)
+			p = field.Pow(seeds[r], k/uint64(cnt))
+		}
+		acc = field.Add(acc, field.MulUint64(p, elems[j]))
+	}
+	return acc
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"secndp/internal/field"
+)
+
+func randSeeds(rng *rand.Rand, n int) []field.Elem {
+	seeds := make([]field.Elem, n)
+	for i := range seeds {
+		seeds[i] = field.New(rng.Uint64()&0x7FFFFFFFFFFFFFFF, rng.Uint64())
+	}
+	return seeds
+}
+
+func TestChecksumSingleSeedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(100)
+		elems := make([]uint64, m)
+		for i := range elems {
+			elems[i] = rng.Uint64()
+		}
+		seeds := randSeeds(rng, 1)
+		if got, want := checksumRow(seeds, elems), checksumRowNaive(seeds, elems); !got.Equal(want) {
+			t.Fatalf("trial %d: fast %v != naive %v", trial, got, want)
+		}
+	}
+}
+
+func TestChecksumMultiSeedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, cnt := range []int{2, 3, 4, 7} {
+		for trial := 0; trial < 10; trial++ {
+			m := 1 + rng.Intn(64)
+			elems := make([]uint64, m)
+			for i := range elems {
+				elems[i] = rng.Uint64()
+			}
+			seeds := randSeeds(rng, cnt)
+			if got, want := checksumRow(seeds, elems), checksumRowNaive(seeds, elems); !got.Equal(want) {
+				t.Fatalf("cnt=%d trial %d: fast %v != naive %v", cnt, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestChecksumPanicsWithoutSeeds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("checksumRow with no seeds did not panic")
+		}
+	}()
+	checksumRow(nil, []uint64{1})
+}
+
+func TestChecksumEmptyRowIsZero(t *testing.T) {
+	seeds := randSeeds(rand.New(rand.NewSource(32)), 2)
+	if !checksumRow(seeds, nil).IsZero() {
+		t.Error("checksum of empty row should be zero")
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	// Changing any single element changes the checksum (w.h.p. — here
+	// deterministic for a fixed random seed choice).
+	rng := rand.New(rand.NewSource(33))
+	seeds := randSeeds(rng, 1)
+	elems := make([]uint64, 16)
+	for i := range elems {
+		elems[i] = rng.Uint64()
+	}
+	base := checksumRow(seeds, elems)
+	for j := range elems {
+		mod := make([]uint64, len(elems))
+		copy(mod, elems)
+		mod[j] ^= 1
+		if checksumRow(seeds, mod).Equal(base) {
+			t.Errorf("flipping element %d left the checksum unchanged", j)
+		}
+	}
+}
+
+// Linearity over the field — the algebra of Theorem A.2's proof (eqns
+// 9–14): h(Σ a_k P_k) with exact coefficients equals Σ a_k h(P_k).
+func TestChecksumLinearityExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for _, cnt := range []int{1, 3} {
+		seeds := randSeeds(rng, cnt)
+		m, n := 8, 5
+		rows := make([][]uint64, n)
+		w := make([]uint64, n)
+		for i := range rows {
+			rows[i] = make([]uint64, m)
+			w[i] = uint64(rng.Intn(1000))
+			for j := range rows[i] {
+				rows[i][j] = uint64(rng.Intn(1000))
+			}
+		}
+		// Exact integer combination (no ring wrap since values are small).
+		comb := make([]uint64, m)
+		for i := range rows {
+			for j := range comb {
+				comb[j] += w[i] * rows[i][j]
+			}
+		}
+		lhs := checksumRow(seeds, comb)
+		rhs := field.Zero
+		for i := range rows {
+			rhs = field.Add(rhs, field.MulUint64(checksumRow(seeds, rows[i]), w[i]))
+		}
+		if !lhs.Equal(rhs) {
+			t.Errorf("cnt=%d: checksum not linear", cnt)
+		}
+	}
+}
+
+func TestParamsCntS(t *testing.T) {
+	if (Params{ChecksumSubstrings: 0}).cntS() != 1 {
+		t.Error("cntS(0) != 1")
+	}
+	if (Params{ChecksumSubstrings: 1}).cntS() != 1 {
+		t.Error("cntS(1) != 1")
+	}
+	if (Params{ChecksumSubstrings: 4}).cntS() != 4 {
+		t.Error("cntS(4) != 4")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"secndp/internal/field"
+	"secndp/internal/memory"
+)
+
+// NDP is the untrusted near-data processing unit's compute interface: the
+// operations a Rank-NDP PU performs over ciphertext resident in its memory
+// (Figure 4, the right-hand column of Algorithms 4 and 5). Implementations
+// see only public geometry and ciphertext bytes — no key, no plaintext.
+//
+// The interface exists so tests and examples can substitute a malicious
+// NDP (returning corrupted results) for the honest one; the paper's threat
+// model explicitly allows NDP PUs to "return a malicious computation
+// result" (§II).
+type NDP interface {
+	// WeightedSum returns C_res[j] = Σ_k weights[k] · C[idx[k]][j] mod 2^we
+	// for all columns j — the SLS / pooling operation over ciphertext.
+	WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64
+	// WeightedSumElem returns the scalar Σ_k weights[k] · C[idx[k]][jdx[k]]
+	// mod 2^we — Algorithm 4's element-indexed form.
+	WeightedSumElem(geo Geometry, idx, jdx []int, weights []uint64) uint64
+	// TagSum returns C_Tres = Σ_k weights[k] · C_T[idx[k]] mod q — the
+	// NDP's half of Algorithm 5.
+	TagSum(geo Geometry, idx []int, weights []uint64) field.Elem
+}
+
+// HonestNDP is the faithful NDP implementation operating on an untrusted
+// memory space. Note the operations are *identical* to what an unprotected
+// NDP would run on plaintext — SecNDP requires no NDP hardware or protocol
+// change (§IV-D).
+type HonestNDP struct {
+	Mem *memory.Space
+}
+
+var _ NDP = (*HonestNDP)(nil)
+
+// WeightedSum implements NDP.
+func (n *HonestNDP) WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64 {
+	r := geo.ringOf()
+	acc := make([]uint64, geo.Params.M)
+	for k, i := range idx {
+		row := r.UnpackElems(geo.Layout.ReadRow(n.Mem, i))
+		r.ScaleAccum(acc, weights[k], row)
+	}
+	return acc
+}
+
+// WeightedSumElem implements NDP.
+func (n *HonestNDP) WeightedSumElem(geo Geometry, idx, jdx []int, weights []uint64) uint64 {
+	r := geo.ringOf()
+	eb := uint64(r.Bytes())
+	var acc uint64
+	for k, i := range idx {
+		addr := geo.Layout.RowAddr(i) + uint64(jdx[k])*eb
+		raw := n.Mem.Read(addr, int(eb))
+		var e uint64
+		for b := range raw {
+			e |= uint64(raw[b]) << (8 * b)
+		}
+		acc += weights[k] * e
+	}
+	return r.Reduce(acc)
+}
+
+// TagSum implements NDP.
+func (n *HonestNDP) TagSum(geo Geometry, idx []int, weights []uint64) field.Elem {
+	acc := field.Zero
+	for k, i := range idx {
+		ct := field.FromBytes(geo.Layout.ReadTag(n.Mem, i))
+		acc = field.Add(acc, field.MulUint64(ct, weights[k]))
+	}
+	return acc
+}

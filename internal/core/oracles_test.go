@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+)
+
+// These tests play the MAC forgery game of Definition A.4 against the
+// implementation: the adversary issues sign queries, observes MACed
+// messages, then tries to get a *new* message accepted by the verification
+// oracle. Theorem A.4 bounds the success probability by ~m·|Qv|/q ≈ 2^-120
+// per query here, so every forgery attempt below must fail.
+
+func newOracle(t *testing.T) (*WSOracle, Geometry, []int, []uint64) {
+	t.Helper()
+	s := newTestScheme(t)
+	geo := mkGeometry(memory.TagSep, 8, 32, 32)
+	idx := []int{0, 2, 4, 6}
+	w := []uint64{1, 2, 3, 4}
+	o, err := NewWSOracle(s, geo, idx, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, geo, idx, w
+}
+
+func TestOracleSignVerifyRoundTrip(t *testing.T) {
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(40))
+	mem := memory.NewSpace()
+	rows := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	msg, err := o.Sign(mem, rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := o.Verify(msg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("honestly signed message rejected")
+	}
+}
+
+func TestOracleRejectsModifiedCRes(t *testing.T) {
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(41))
+	mem := memory.NewSpace()
+	rows := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	msg, _ := o.Sign(mem, rows, 1)
+	for trial := 0; trial < 32; trial++ {
+		forged := MACMessage{CRes: append([]uint64(nil), msg.CRes...), CTRes: msg.CTRes}
+		forged.CRes[rng.Intn(len(forged.CRes))] += 1 + rng.Uint64()%1000
+		if ok, _ := o.Verify(forged, 1); ok {
+			t.Fatalf("trial %d: forged C_res accepted", trial)
+		}
+	}
+}
+
+func TestOracleRejectsModifiedCTRes(t *testing.T) {
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(42))
+	mem := memory.NewSpace()
+	rows := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	msg, _ := o.Sign(mem, rows, 1)
+	for trial := 0; trial < 32; trial++ {
+		forged := MACMessage{CRes: msg.CRes, CTRes: field.Add(msg.CTRes, field.FromUint64(1+rng.Uint64()))}
+		if ok, _ := o.Verify(forged, 1); ok {
+			t.Fatalf("trial %d: forged C_Tres accepted", trial)
+		}
+	}
+}
+
+func TestOracleRejectsCrossVersionReplay(t *testing.T) {
+	// The adversary replays a version-1 signed message against version-2
+	// verification — the replay defense of Algorithm 2's version binding.
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(43))
+	mem := memory.NewSpace()
+	rows := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	msg, _ := o.Sign(mem, rows, 1)
+	if ok, _ := o.Verify(msg, 2); ok {
+		t.Error("version-1 message accepted under version 2")
+	}
+}
+
+func TestOracleRejectsRandomGuessing(t *testing.T) {
+	// A key-less adversary fabricating messages from scratch: every random
+	// (C_res, C_Tres) pair must be rejected.
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 64; trial++ {
+		msg := MACMessage{
+			CRes:  make([]uint64, geo.Params.M),
+			CTRes: field.New(rng.Uint64()&0x7FFFFFFFFFFFFFFF, rng.Uint64()),
+		}
+		for j := range msg.CRes {
+			msg.CRes[j] = rng.Uint64() & 0xFFFFFFFF
+		}
+		if ok, _ := o.Verify(msg, 1); ok {
+			t.Fatalf("trial %d: random forgery accepted", trial)
+		}
+	}
+}
+
+func TestOracleMixAndMatchAcrossSignQueries(t *testing.T) {
+	// Splicing C_res from one signed message with C_Tres from another must
+	// fail: the MAC binds the pair.
+	o, geo, _, _ := newOracle(t)
+	rng := rand.New(rand.NewSource(45))
+	mem1, mem2 := memory.NewSpace(), memory.NewSpace()
+	rows1 := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	rows2 := boundedRows(rng, geo.Layout.NumRows, geo.Params.M, 1<<20)
+	m1, _ := o.Sign(mem1, rows1, 1)
+	m2, _ := o.Sign(mem2, rows2, 2)
+	spliced := MACMessage{CRes: m1.CRes, CTRes: m2.CTRes}
+	if ok, _ := o.Verify(spliced, 1); ok {
+		t.Error("spliced message accepted under version 1")
+	}
+	if ok, _ := o.Verify(spliced, 2); ok {
+		t.Error("spliced message accepted under version 2")
+	}
+}
+
+func TestOracleValidation(t *testing.T) {
+	s := newTestScheme(t)
+	geoNoTags := mkGeometry(memory.TagNone, 4, 32, 32)
+	if _, err := NewWSOracle(s, geoNoTags, []int{0}, []uint64{1}); err == nil {
+		t.Error("oracle without tags accepted")
+	}
+	geo := mkGeometry(memory.TagSep, 4, 32, 32)
+	if _, err := NewWSOracle(s, geo, []int{0, 1}, []uint64{1}); err == nil {
+		t.Error("mismatched idx/weights accepted")
+	}
+	o, _ := NewWSOracle(s, geo, []int{0}, []uint64{1})
+	if _, err := o.Verify(MACMessage{CRes: make([]uint64, 3)}, 1); err == nil {
+		t.Error("short message accepted")
+	}
+}

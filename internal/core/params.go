@@ -1,0 +1,108 @@
+// Package core implements the SecNDP encryption and verification scheme
+// (paper §IV and the appendix): arithmetic encryption (Algorithm 1), the
+// linear modular checksum (Algorithm 2), encrypted MACs (Algorithm 3), the
+// two-party weighted-summation protocol (Algorithm 4), its verification
+// (Algorithm 5), the sign/verify oracles of the security games (Algorithms
+// 6/7), and the multi-substring checksum variant (Algorithm 8).
+//
+// The package splits the world exactly along the paper's trust boundary:
+//
+//   - Scheme / Table — the trusted processor (TEE) side. Holds the secret
+//     key, generates OTPs, encrypts, decrypts, verifies.
+//   - HonestNDP and the NDP interface — the untrusted memory side. Sees
+//     only ciphertext bytes in a memory.Space and public Geometry; performs
+//     linear operations over ciphertext shares.
+//
+// Nothing on the NDP side ever touches key material.
+package core
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+	"secndp/internal/ring"
+)
+
+// Params fixes the scheme's dimensions: the element width we and the row
+// length m (elements per matrix row / embedding dimension).
+type Params struct {
+	// We is the element width in bits (8 for quantized embeddings, 32 for
+	// fixed point). Must be byte-aligned and divide the 128-bit cipher
+	// block: one of 8, 16, 32, 64.
+	We uint
+	// M is the number of elements per row (the embedding dimension m).
+	M int
+	// ChecksumSubstrings is cnt_s of Algorithm 8. 1 selects the plain
+	// Algorithm 2 checksum (the paper's default); larger values draw
+	// multiple independent seed substrings, lowering the forgery bound
+	// from m/q to m/(cnt_s·q).
+	ChecksumSubstrings int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch p.We {
+	case 8, 16, 32, 64:
+	default:
+		return fmt.Errorf("core: element width %d not in {8,16,32,64}", p.We)
+	}
+	if p.M <= 0 {
+		return fmt.Errorf("core: row length m=%d must be positive", p.M)
+	}
+	rowBytes := p.M * int(p.We) / 8
+	if rowBytes%otp.BlockBytes != 0 {
+		return fmt.Errorf("core: row size %d bytes must be a multiple of the %d-byte cipher block",
+			rowBytes, otp.BlockBytes)
+	}
+	if p.ChecksumSubstrings < 0 {
+		return fmt.Errorf("core: negative ChecksumSubstrings")
+	}
+	return nil
+}
+
+// RowBytes returns the data bytes per row, m × we/8.
+func (p Params) RowBytes() int { return p.M * int(p.We) / 8 }
+
+// cntS returns the effective substring count (0 and 1 both mean Alg. 2).
+func (p Params) cntS() int {
+	if p.ChecksumSubstrings <= 1 {
+		return 1
+	}
+	return p.ChecksumSubstrings
+}
+
+// Geometry is the public description of an encrypted table: where it lives
+// and how it is shaped. Both the processor and the untrusted NDP hold it;
+// it carries no secrets.
+type Geometry struct {
+	Layout memory.Layout
+	Params Params
+}
+
+// Validate checks geometric consistency, including the paper's alignment
+// assumption that rows start on cipher-block boundaries so each row is
+// covered by whole OTP blocks.
+func (g Geometry) Validate() error {
+	if err := g.Params.Validate(); err != nil {
+		return err
+	}
+	if g.Layout.RowBytes != g.Params.RowBytes() {
+		return fmt.Errorf("core: layout row size %d != params row size %d",
+			g.Layout.RowBytes, g.Params.RowBytes())
+	}
+	if err := g.Layout.Validate(); err != nil {
+		return err
+	}
+	if g.Layout.Base%otp.BlockBytes != 0 {
+		return fmt.Errorf("core: table base %#x not aligned to the cipher block", g.Layout.Base)
+	}
+	if g.Layout.RowStride()%otp.BlockBytes != 0 {
+		return fmt.Errorf("core: row stride %d not a multiple of the cipher block", g.Layout.RowStride())
+	}
+	return nil
+}
+
+// ringOf returns the element ring for the geometry. Params are validated at
+// construction, so this cannot fail.
+func (g Geometry) ringOf() ring.Ring { return ring.MustNew(g.Params.We) }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+)
+
+// This file is the trusted-processor column of Algorithms 4 and 5: OTP-share
+// computation (the "OTP PU" of §V-C2), final-adder decryption, and the
+// verification engine.
+
+// padRow regenerates the OTP share of row i — the processor's arithmetic
+// share of the secret, recomputed from (key, address, version) with zero
+// memory traffic. This is what makes SecNDP cheaper than classic MPC: the
+// TEE's share never needs to be stored or fetched.
+func (t *Table) padRow(i int) []uint64 {
+	addr := t.geo.Layout.RowAddr(i)
+	raw := t.scheme.gen.Pads(otp.DomainData, addr, t.version, t.geo.Params.RowBytes()/otp.BlockBytes)
+	return t.r.UnpackElems(raw)
+}
+
+// OTPWeightedSum computes E_res[j] = Σ_k weights[k] · E[idx[k]][j] mod 2^we
+// (Algorithm 4 lines 8–14) — the OTP PU mirroring the NDP's operation on
+// the processor's shares.
+func (t *Table) OTPWeightedSum(idx []int, weights []uint64) ([]uint64, error) {
+	if len(idx) != len(weights) {
+		return nil, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
+	}
+	acc := make([]uint64, t.geo.Params.M)
+	for k, i := range idx {
+		t.r.ScaleAccum(acc, weights[k], t.padRow(i))
+	}
+	return acc, nil
+}
+
+// OTPWeightedSumElem is the scalar element-indexed form matching
+// NDP.WeightedSumElem.
+func (t *Table) OTPWeightedSumElem(idx, jdx []int, weights []uint64) (uint64, error) {
+	if len(idx) != len(weights) || len(jdx) != len(weights) {
+		return 0, fmt.Errorf("core: index/weight length mismatch")
+	}
+	eb := uint64(t.r.Bytes())
+	var acc uint64
+	for k, i := range idx {
+		if jdx[k] < 0 || jdx[k] >= t.geo.Params.M {
+			return 0, fmt.Errorf("core: column %d out of range", jdx[k])
+		}
+		elemAddr := t.geo.Layout.RowAddr(i) + uint64(jdx[k])*eb
+		pad := t.scheme.gen.ElemPad(elemAddr, t.version, t.geo.Params.We)
+		acc += weights[k] * pad
+	}
+	return t.r.Reduce(acc), nil
+}
+
+// TagPadSum computes E_Tres = Σ_k weights[k] · E_T[idx[k]] mod q
+// (Algorithm 5 lines 11–14), the processor's share of the result MAC.
+func (t *Table) TagPadSum(idx []int, weights []uint64) (field.Elem, error) {
+	if len(idx) != len(weights) {
+		return field.Zero, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
+	}
+	acc := field.Zero
+	for k, i := range idx {
+		addr := t.geo.Layout.RowAddr(i)
+		et := field.FromBytes(padBytes(t.scheme.gen.TagPad(addr, t.version)))
+		acc = field.Add(acc, field.MulUint64(et, weights[k]))
+	}
+	return acc, nil
+}
+
+// Decrypt adds the two arithmetic shares: res = C_res ⊕ E_res (Algorithm 4
+// line 15). In hardware this is the single final adder on the critical
+// path (§V-E3).
+func (t *Table) Decrypt(cres, eres []uint64) []uint64 {
+	res := make([]uint64, len(cres))
+	t.r.AddVec(res, cres, eres)
+	return res
+}
+
+// Checksum computes T_res = h_K(res), the verification engine's half of
+// Algorithm 5 (lines 8–10).
+func (t *Table) Checksum(res []uint64) field.Elem {
+	return checksumRow(t.seeds, res)
+}
+
+// Verify runs the MAC check of Algorithm 5 line 16: the checksum of the
+// decrypted result must equal the reconstructed MAC C_Tres + E_Tres mod q.
+// A mismatch means NDP misbehavior, memory tampering, a replay, or ring
+// overflow in some column.
+func (t *Table) Verify(idx []int, weights []uint64, res []uint64, cTres field.Elem) (bool, error) {
+	if t.geo.Layout.Placement == memory.TagNone {
+		return false, fmt.Errorf("core: table has no verification tags")
+	}
+	eTres, err := t.TagPadSum(idx, weights)
+	if err != nil {
+		return false, err
+	}
+	return t.Checksum(res).Equal(field.Add(cTres, eTres)), nil
+}
+
+// DecryptRow fetches and decrypts one row directly — the non-NDP TEE path
+// (Figure 4(b)) where the processor pulls ciphertext over the bus and XORs
+// (here: adds) the pad. Used by baselines and tests.
+func (t *Table) DecryptRow(mem *memory.Space, i int) []uint64 {
+	ct := t.r.UnpackElems(t.geo.Layout.ReadRow(mem, i))
+	res := make([]uint64, len(ct))
+	t.r.AddVec(res, ct, t.padRow(i))
+	return res
+}
+
+// Query runs the full weighted-summation protocol of Algorithm 4 against
+// an NDP: the NDP computes over ciphertext while the processor computes
+// over its OTP shares, and the two shares are added. No verification.
+func (t *Table) Query(ndp NDP, idx []int, weights []uint64) ([]uint64, error) {
+	if err := t.checkQuery(idx, weights); err != nil {
+		return nil, err
+	}
+	cres := ndp.WeightedSum(t.geo, idx, weights)
+	eres, err := t.OTPWeightedSum(idx, weights)
+	if err != nil {
+		return nil, err
+	}
+	return t.Decrypt(cres, eres), nil
+}
+
+// QueryVerified runs Algorithm 4 followed by Algorithm 5: the weighted
+// summation plus the encrypted-MAC check. Returns ErrVerification if the
+// result is rejected.
+func (t *Table) QueryVerified(ndp NDP, idx []int, weights []uint64) ([]uint64, error) {
+	if err := t.checkQuery(idx, weights); err != nil {
+		return nil, err
+	}
+	if t.geo.Layout.Placement == memory.TagNone {
+		return nil, fmt.Errorf("core: table has no verification tags; use Query")
+	}
+	cres := ndp.WeightedSum(t.geo, idx, weights)
+	cTres := ndp.TagSum(t.geo, idx, weights)
+	eres, err := t.OTPWeightedSum(idx, weights)
+	if err != nil {
+		return nil, err
+	}
+	res := t.Decrypt(cres, eres)
+	ok, err := t.Verify(idx, weights, res, cTres)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrVerification
+	}
+	return res, nil
+}
+
+func (t *Table) checkQuery(idx []int, weights []uint64) error {
+	if len(idx) != len(weights) {
+		return fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= t.geo.Layout.NumRows {
+			return fmt.Errorf("core: row index %d out of range [0,%d)", i, t.geo.Layout.NumRows)
+		}
+	}
+	return nil
+}
+
+// QueryElem runs the element-indexed weighted summation of the appendix's
+// Algorithm 4 — the scalar Σ_k weights[k]·P[idx[k]][jdx[k]] — through the
+// NDP. No verification applies: the paper's tags authenticate whole-row
+// linear combinations (Algorithm 5 operates per column over full rows).
+func (t *Table) QueryElem(ndp NDP, idx, jdx []int, weights []uint64) (uint64, error) {
+	if err := t.checkQuery(idx, weights); err != nil {
+		return 0, err
+	}
+	if len(jdx) != len(idx) {
+		return 0, fmt.Errorf("core: %d column indices vs %d rows", len(jdx), len(idx))
+	}
+	cres := ndp.WeightedSumElem(t.geo, idx, jdx, weights)
+	eres, err := t.OTPWeightedSumElem(idx, jdx, weights)
+	if err != nil {
+		return 0, err
+	}
+	return t.r.Add(cres, eres), nil
+}

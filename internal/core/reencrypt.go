@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+)
+
+// Reencrypt refreshes a table in place under a new version: every row is
+// fetched and decrypted with the old pads, then re-encrypted (and re-tagged)
+// with pads drawn from newVersion. This is the maintenance operation the
+// version discipline requires — when a region's data changes, when the
+// enclave rotates versions, or when the Theorem 2 query budget for the
+// current key/version pairing is running out (see SecurityBounds).
+//
+// Returns the new table handle. The old handle must not be used afterwards:
+// its pads no longer match memory. newVersion must differ from the current
+// version (counter-mode pad reuse at the same address is the one fatal
+// mistake the scheme forbids, §III-B).
+func (t *Table) Reencrypt(mem *memory.Space, newVersion uint64) (*Table, error) {
+	return t.ReencryptTo(t.scheme, mem, newVersion)
+}
+
+// ReencryptTo is Reencrypt with a key rotation: the refreshed table is
+// encrypted under dst's key. Rotating keys resets the Theorem 2 query
+// budget entirely ("we can serve 2^53 queries without changing key" —
+// this is the changing-key operation). Under the same scheme the version
+// must change; under a different key any valid version is safe.
+func (t *Table) ReencryptTo(dst *Scheme, mem *memory.Space, newVersion uint64) (*Table, error) {
+	if dst == t.scheme && newVersion == t.version {
+		return nil, fmt.Errorf("core: re-encryption under the same key must change the version (still %d)", newVersion)
+	}
+	// Decrypt every row with the old handle, in memory order.
+	rows := make([][]uint64, t.geo.Layout.NumRows)
+	for i := range rows {
+		rows[i] = t.DecryptRow(mem, i)
+	}
+	// Verify-capable tables: check each row against its tag before
+	// committing to re-encrypt, so corruption cannot be laundered into a
+	// freshly authenticated table. A single-row "weighted sum" with weight
+	// 1 is exactly the row's MAC check.
+	if t.geo.Layout.Placement != memory.TagNone {
+		ndp := &HonestNDP{Mem: mem}
+		for i := range rows {
+			cTres := ndp.TagSum(t.geo, []int{i}, []uint64{1})
+			ok, err := t.Verify([]int{i}, []uint64{1}, rows[i], cTres)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: row %d failed verification during re-encryption", ErrVerification, i)
+			}
+		}
+	}
+	return dst.EncryptTable(mem, t.geo, newVersion, rows)
+}

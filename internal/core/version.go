@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// VersionManager implements the software-managed version numbers of paper
+// §V-A: trusted software inside the TEE assigns one version per memory
+// region (e.g. per embedding table), guarantees a version is never reused
+// for the same region, and keeps the count of live versions bounded (the
+// paper's enclave manages at most 64).
+//
+// It is safe for concurrent use.
+type VersionManager struct {
+	mu      sync.Mutex
+	limit   int
+	next    uint64
+	regions map[string]uint64
+	maxVer  uint64
+}
+
+// DefaultVersionLimit is the paper's bound on simultaneously managed
+// version numbers (§VI-A: "the enclave software manages at most 64 version
+// numbers").
+const DefaultVersionLimit = 64
+
+// NewVersionManager returns a manager with the given live-region limit
+// and maximum version value (pass otp.MaxVersion in production; smaller
+// values in tests exercise exhaustion).
+func NewVersionManager(limit int, maxVersion uint64) *VersionManager {
+	if limit <= 0 {
+		limit = DefaultVersionLimit
+	}
+	return &VersionManager{
+		limit:   limit,
+		next:    1, // version 0 is reserved as "never encrypted"
+		regions: make(map[string]uint64),
+		maxVer:  maxVersion,
+	}
+}
+
+// Allocate assigns a fresh version to a new region. It fails if the region
+// already has a version (use Bump to re-encrypt) or the region limit /
+// version space is exhausted.
+func (vm *VersionManager) Allocate(region string) (uint64, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if _, ok := vm.regions[region]; ok {
+		return 0, fmt.Errorf("core: region %q already has a version; Bump to re-encrypt", region)
+	}
+	if len(vm.regions) >= vm.limit {
+		return 0, fmt.Errorf("core: version limit %d reached", vm.limit)
+	}
+	return vm.issue(region)
+}
+
+// Bump assigns the next version to an existing region, as required when its
+// data is re-encrypted in place (version reuse at the same address would
+// break counter-mode security, §III-B).
+func (vm *VersionManager) Bump(region string) (uint64, error) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if _, ok := vm.regions[region]; !ok {
+		return 0, fmt.Errorf("core: region %q has no version; Allocate first", region)
+	}
+	return vm.issue(region)
+}
+
+func (vm *VersionManager) issue(region string) (uint64, error) {
+	if vm.next > vm.maxVer {
+		return 0, fmt.Errorf("core: version space exhausted (max %d); rotate the key", vm.maxVer)
+	}
+	v := vm.next
+	vm.next++
+	vm.regions[region] = v
+	return v, nil
+}
+
+// Current returns the live version for a region.
+func (vm *VersionManager) Current(region string) (uint64, bool) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	v, ok := vm.regions[region]
+	return v, ok
+}
+
+// Release frees a region's slot (e.g. the table was deallocated). The
+// version value itself is never reissued.
+func (vm *VersionManager) Release(region string) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	delete(vm.regions, region)
+}
+
+// Live returns the number of regions currently holding versions.
+func (vm *VersionManager) Live() int {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	return len(vm.regions)
+}

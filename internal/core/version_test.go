@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"secndp/internal/otp"
+)
+
+func TestVersionAllocateUnique(t *testing.T) {
+	vm := NewVersionManager(8, otp.MaxVersion)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 8; i++ {
+		v, err := vm.Allocate(fmt.Sprintf("table%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == 0 {
+			t.Fatal("version 0 issued")
+		}
+		if seen[v] {
+			t.Fatalf("version %d issued twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVersionAllocateRejectsDuplicateRegion(t *testing.T) {
+	vm := NewVersionManager(8, otp.MaxVersion)
+	if _, err := vm.Allocate("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Allocate("t"); err == nil {
+		t.Error("double-Allocate accepted")
+	}
+}
+
+func TestVersionLimit(t *testing.T) {
+	vm := NewVersionManager(2, otp.MaxVersion)
+	vm.Allocate("a")
+	vm.Allocate("b")
+	if _, err := vm.Allocate("c"); err == nil {
+		t.Error("limit exceeded without error")
+	}
+	if vm.Live() != 2 {
+		t.Errorf("Live() = %d, want 2", vm.Live())
+	}
+	vm.Release("a")
+	if _, err := vm.Allocate("c"); err != nil {
+		t.Errorf("allocate after release failed: %v", err)
+	}
+}
+
+func TestVersionBumpNeverReuses(t *testing.T) {
+	vm := NewVersionManager(4, otp.MaxVersion)
+	v1, _ := vm.Allocate("t")
+	seen := map[uint64]bool{v1: true}
+	for i := 0; i < 100; i++ {
+		v, err := vm.Bump("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("bump reused version %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVersionBumpRequiresAllocation(t *testing.T) {
+	vm := NewVersionManager(4, otp.MaxVersion)
+	if _, err := vm.Bump("never"); err == nil {
+		t.Error("Bump on unknown region accepted")
+	}
+}
+
+func TestVersionCurrent(t *testing.T) {
+	vm := NewVersionManager(4, otp.MaxVersion)
+	if _, ok := vm.Current("t"); ok {
+		t.Error("Current on unknown region reported ok")
+	}
+	v, _ := vm.Allocate("t")
+	got, ok := vm.Current("t")
+	if !ok || got != v {
+		t.Errorf("Current = %d,%v want %d,true", got, ok, v)
+	}
+}
+
+func TestVersionExhaustion(t *testing.T) {
+	vm := NewVersionManager(4, 2) // only versions 1 and 2 exist
+	if _, err := vm.Allocate("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Bump("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Bump("a"); err == nil {
+		t.Error("version space exhaustion not reported")
+	}
+}
+
+func TestVersionDefaultLimit(t *testing.T) {
+	vm := NewVersionManager(0, otp.MaxVersion)
+	for i := 0; i < DefaultVersionLimit; i++ {
+		if _, err := vm.Allocate(fmt.Sprintf("r%d", i)); err != nil {
+			t.Fatalf("allocation %d failed: %v", i, err)
+		}
+	}
+	if _, err := vm.Allocate("one-more"); err == nil {
+		t.Error("default limit not enforced at 64")
+	}
+}
+
+func TestVersionConcurrentAllocate(t *testing.T) {
+	vm := NewVersionManager(1024, otp.MaxVersion)
+	var wg sync.WaitGroup
+	versions := make([]uint64, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := vm.Allocate(fmt.Sprintf("r%d", i))
+			if err != nil {
+				t.Error(err)
+			}
+			versions[i] = v
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, v := range versions {
+		if seen[v] {
+			t.Fatalf("concurrent allocation reused version %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,239 @@
+package dlrm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/quant"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewMLP([]int{4}, rng); err == nil {
+		t.Error("single-dim MLP accepted")
+	}
+	if _, err := NewMLP([]int{4, 0}, rng); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+	m, err := NewMLP([]int{4, 8, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InDim() != 4 || m.OutDim() != 2 {
+		t.Errorf("dims %d/%d", m.InDim(), m.OutDim())
+	}
+}
+
+func TestMLPForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, _ := NewMLP([]int{3, 5, 1}, rng)
+	out, err := m.Forward([]float64{1, -1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("output length %d", len(out))
+	}
+	if _, err := m.Forward([]float64{1}); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+}
+
+func TestMLPReLUHidden(t *testing.T) {
+	// Hand-built MLP: one hidden layer with negative pre-activation must
+	// be clamped, final layer must not be.
+	m := &MLP{
+		Weights: [][][]float64{
+			{{1}},  // hidden: 1 in -> 1 out
+			{{-1}}, // output
+		},
+		Biases: [][]float64{{0}, {0}},
+	}
+	out, err := m.Forward([]float64{-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hidden = ReLU(-3) = 0; out = -1*0 = 0.
+	if out[0] != 0 {
+		t.Errorf("ReLU not applied: %g", out[0])
+	}
+	out2, _ := m.Forward([]float64{2})
+	// hidden = 2; out = -2 (negative allowed on the final layer).
+	if out2[0] != -2 {
+		t.Errorf("final layer clamped: %g", out2[0])
+	}
+}
+
+func TestFloatTablePool(t *testing.T) {
+	ft := FloatTable{{1, 2}, {10, 20}, {100, 200}}
+	got := ft.Pool([]int{0, 2}, []float64{1, 0.5})
+	if got[0] != 51 || got[1] != 102 {
+		t.Errorf("Pool = %v", got)
+	}
+	if ft.Dim() != 2 {
+		t.Errorf("Dim = %d", ft.Dim())
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	// Perfect predictions → ~0; coin-flip predictions → ln 2.
+	l, err := LogLoss([]float64{1, 0, 1}, []float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l > 1e-9 {
+		t.Errorf("perfect predictions LogLoss %g", l)
+	}
+	l2, _ := LogLoss([]float64{0.5, 0.5}, []float64{1, 0})
+	if math.Abs(l2-math.Ln2) > 1e-12 {
+		t.Errorf("coin flip LogLoss %g, want ln2", l2)
+	}
+	if _, err := LogLoss([]float64{0.5}, []float64{1, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LogLoss(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSynthesizeAndEvaluate(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 512
+	cfg.RowsPer = 256
+	model, ds, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 512 {
+		t.Fatalf("dataset size %d", len(ds))
+	}
+	ll, err := model.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are drawn from the model's own probabilities, so the LogLoss
+	// is the mean Bernoulli entropy: strictly between 0 and ln 2 + slack.
+	if ll <= 0.01 || ll > math.Ln2+0.1 {
+		t.Errorf("self-consistent LogLoss %g outside (0, ln2]", ll)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 64
+	cfg.RowsPer = 128
+	m1, ds1, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, ds2, _ := Synthesize(cfg)
+	l1, _ := m1.Evaluate(ds1)
+	l2, _ := m2.Evaluate(ds2)
+	if l1 != l2 {
+		t.Errorf("same seed: %g vs %g", l1, l2)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := DefaultSyntheticConfig()
+	bad.NumTables = 0
+	if _, _, err := Synthesize(bad); err == nil {
+		t.Error("zero tables accepted")
+	}
+}
+
+func TestWithTablesValidation(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 16
+	cfg.RowsPer = 64
+	model, _, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.WithTables(model.Tables[:1]); err == nil {
+		t.Error("wrong table count accepted")
+	}
+	short := make([]EmbeddingSource, len(model.Tables))
+	for i := range short {
+		short[i] = FloatTable{{1, 2}} // dim 2 != EmbDim
+	}
+	if _, err := model.WithTables(short); err == nil {
+		t.Error("wrong table dim accepted")
+	}
+}
+
+// The Table IV mechanism end-to-end: quantized models degrade LogLoss only
+// slightly, with fixed32 ≈ fp32 and column-wise ≤ table-wise.
+func TestQuantizationLogLossOrdering(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 1024
+	cfg.RowsPer = 512
+	model, ds, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := model.EvaluateExpected(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(s quant.Scheme) float64 {
+		tabs, err := QuantizeTables(model, s, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := model.WithTables(tabs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ll, err := qm.EvaluateExpected(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ll
+	}
+	fixed := eval(quant.Fixed32)
+	tw := eval(quant.TableWise)
+	cw := eval(quant.ColumnWise)
+
+	if math.Abs(fixed-ref) > 1e-6 {
+		t.Errorf("fixed32 LogLoss %g vs fp %g — should be negligible", fixed, ref)
+	}
+	dTW := tw - ref
+	dCW := cw - ref
+	if dTW <= 0 || dCW <= 0 {
+		t.Fatalf("expected LogLoss must not improve under quantization: dTW=%g dCW=%g", dTW, dCW)
+	}
+	if dCW >= dTW {
+		t.Errorf("column-wise degradation %g ≥ table-wise %g (Table IV says column < table)", dCW, dTW)
+	}
+	// Both 8-bit schemes stay small (paper: <0.07% relative).
+	if dTW/ref > 0.02 {
+		t.Errorf("table-wise degradation %.4f%% too large", 100*dTW/ref)
+	}
+}
+
+func TestQuantizeTablesRejectsNonFloat(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 16
+	cfg.RowsPer = 64
+	model, _, _ := Synthesize(cfg)
+	tabs, err := QuantizeTables(model, quant.TableWise, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, _ := model.WithTables(tabs)
+	if _, err := QuantizeTables(qm, quant.TableWise, 0); err == nil {
+		t.Error("re-quantizing quantized tables accepted")
+	}
+}
+
+func TestModelForwardValidation(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 4
+	cfg.RowsPer = 64
+	model, ds, _ := Synthesize(cfg)
+	if _, err := model.Forward(ds[0].Dense, ds[0].Sparse[:1]); err == nil {
+		t.Error("wrong sparse feature count accepted")
+	}
+}

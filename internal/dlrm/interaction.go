@@ -1,0 +1,122 @@
+package dlrm
+
+import "fmt"
+
+// Interaction selects how the bottom-tower output and the pooled embeddings
+// combine into the top tower's input. DLRM [58] uses pairwise dot products;
+// concatenation is the simpler variant this package defaults to.
+type Interaction int
+
+const (
+	// Concat feeds [z, e_1, …, e_T] to the top tower.
+	Concat Interaction = iota
+	// DotProduct feeds [z, ⟨v_i, v_j⟩ for i<j] where v_0 = z and v_t = e_t
+	// — the original DLRM feature interaction. Requires the bottom output
+	// and every embedding to share one dimension.
+	DotProduct
+)
+
+// String implements fmt.Stringer.
+func (i Interaction) String() string {
+	switch i {
+	case Concat:
+		return "concat"
+	case DotProduct:
+		return "dot-product"
+	}
+	return fmt.Sprintf("Interaction(%d)", int(i))
+}
+
+// InteractionDim returns the top-tower input width for the given bottom
+// output dimension, embedding dimension, and table count.
+func InteractionDim(kind Interaction, bottomOut, embDim, tables int) (int, error) {
+	switch kind {
+	case Concat:
+		return bottomOut + tables*embDim, nil
+	case DotProduct:
+		if bottomOut != embDim {
+			return 0, fmt.Errorf("dlrm: dot-product interaction needs bottom output %d == embedding dim %d", bottomOut, embDim)
+		}
+		n := tables + 1 // z plus T embeddings
+		return embDim + n*(n-1)/2, nil
+	}
+	return 0, fmt.Errorf("dlrm: unknown interaction %d", int(kind))
+}
+
+// interact builds the top-tower input feature vector. pooled holds the T
+// pooled embedding vectors; z is the bottom output.
+func interact(kind Interaction, z []float64, pooled [][]float64) []float64 {
+	switch kind {
+	case Concat:
+		feat := append([]float64(nil), z...)
+		for _, e := range pooled {
+			feat = append(feat, e...)
+		}
+		return feat
+	case DotProduct:
+		vecs := make([][]float64, 0, len(pooled)+1)
+		vecs = append(vecs, z)
+		vecs = append(vecs, pooled...)
+		feat := append([]float64(nil), z...)
+		for i := 0; i < len(vecs); i++ {
+			for j := i + 1; j < len(vecs); j++ {
+				s := 0.0
+				for k := range vecs[i] {
+					s += vecs[i][k] * vecs[j][k]
+				}
+				feat = append(feat, s)
+			}
+		}
+		return feat
+	}
+	panic("dlrm: unknown interaction")
+}
+
+// interactBackward propagates the top-tower input gradient back to z and
+// the pooled vectors (dot-product interaction only; Concat splits
+// trivially and is handled inline by TrainStep).
+func interactBackward(z []float64, pooled [][]float64, gradFeat []float64) (gz []float64, gpooled [][]float64) {
+	vecs := make([][]float64, 0, len(pooled)+1)
+	vecs = append(vecs, z)
+	vecs = append(vecs, pooled...)
+	grads := make([][]float64, len(vecs))
+	for i := range grads {
+		grads[i] = make([]float64, len(vecs[i]))
+	}
+	// First len(z) entries: identity path to z.
+	copy(grads[0], gradFeat[:len(z)])
+	// Remaining entries: pairwise dots in (i, j) order.
+	idx := len(z)
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			g := gradFeat[idx]
+			idx++
+			for k := range vecs[i] {
+				grads[i][k] += g * vecs[j][k]
+				grads[j][k] += g * vecs[i][k]
+			}
+		}
+	}
+	return grads[0], grads[1:]
+}
+
+// ForwardInteract evaluates the model with an explicit interaction kind.
+// Forward (Concat) remains the default path.
+func (m *Model) ForwardInteract(kind Interaction, dense []float64, sparse []SparseFeature) (float64, error) {
+	if len(sparse) != len(m.Tables) {
+		return 0, fmt.Errorf("dlrm: %d sparse features, want %d", len(sparse), len(m.Tables))
+	}
+	z, err := m.Bottom.Forward(dense)
+	if err != nil {
+		return 0, err
+	}
+	pooled := make([][]float64, len(m.Tables))
+	for t, sf := range sparse {
+		pooled[t] = m.Tables[t].Pool(sf.Idx, sf.Weights)
+	}
+	out, err := m.Top.Forward(interact(kind, z, pooled))
+	if err != nil {
+		return 0, err
+	}
+	return sigmoid(out[0]), nil
+}

@@ -1,0 +1,151 @@
+package dlrm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestInteractionDim(t *testing.T) {
+	if d, err := InteractionDim(Concat, 32, 32, 8); err != nil || d != 32+8*32 {
+		t.Errorf("concat dim %d (%v)", d, err)
+	}
+	// Dot-product: z plus C(9,2)=36 pairwise dots.
+	if d, err := InteractionDim(DotProduct, 32, 32, 8); err != nil || d != 32+36 {
+		t.Errorf("dot dim %d (%v)", d, err)
+	}
+	if _, err := InteractionDim(DotProduct, 16, 32, 8); err == nil {
+		t.Error("mismatched dims accepted for dot product")
+	}
+	if _, err := InteractionDim(Interaction(9), 1, 1, 1); err == nil {
+		t.Error("unknown interaction accepted")
+	}
+}
+
+func TestInteractConcat(t *testing.T) {
+	z := []float64{1, 2}
+	pooled := [][]float64{{3, 4}, {5, 6}}
+	got := interact(Concat, z, pooled)
+	want := []float64{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concat = %v", got)
+		}
+	}
+}
+
+func TestInteractDotProduct(t *testing.T) {
+	z := []float64{1, 0}
+	pooled := [][]float64{{0, 1}, {1, 1}}
+	got := interact(DotProduct, z, pooled)
+	// feat = z ++ [z·e1, z·e2, e1·e2] = [1,0, 0, 1, 1]
+	want := []float64{1, 0, 0, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("dot feat = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dot feat = %v, want %v", got, want)
+		}
+	}
+}
+
+// Gradient check for the dot-product interaction backward pass.
+func TestInteractBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const d = 4
+	z := make([]float64, d)
+	pooled := [][]float64{make([]float64, d), make([]float64, d)}
+	for k := 0; k < d; k++ {
+		z[k] = rng.NormFloat64()
+		pooled[0][k] = rng.NormFloat64()
+		pooled[1][k] = rng.NormFloat64()
+	}
+	featLen := d + 3
+	gradFeat := make([]float64, featLen)
+	for i := range gradFeat {
+		gradFeat[i] = rng.NormFloat64()
+	}
+	// Scalar objective: L = Σ gradFeat[i]·feat[i]; its gradient w.r.t.
+	// inputs is exactly interactBackward's output.
+	loss := func() float64 {
+		f := interact(DotProduct, z, pooled)
+		s := 0.0
+		for i := range f {
+			s += gradFeat[i] * f[i]
+		}
+		return s
+	}
+	gz, gp := interactBackward(z, pooled, gradFeat)
+	const h = 1e-6
+	check := func(name string, w *float64, g float64) {
+		orig := *w
+		*w = orig + h
+		lp := loss()
+		*w = orig - h
+		lm := loss()
+		*w = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-g) > 1e-6*(1+math.Abs(num)) {
+			t.Errorf("%s: analytic %g vs numeric %g", name, g, num)
+		}
+	}
+	for k := 0; k < d; k++ {
+		check("z", &z[k], gz[k])
+		check("e1", &pooled[0][k], gp[0][k])
+		check("e2", &pooled[1][k], gp[1][k])
+	}
+}
+
+func TestForwardInteractDotProduct(t *testing.T) {
+	// Build a model whose top tower expects the dot-product width.
+	rng := rand.New(rand.NewSource(6))
+	const embDim, tables = 4, 2
+	bottom, err := NewMLP([]int{3, 4, embDim}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDim, err := InteractionDim(DotProduct, embDim, embDim, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := NewMLP([]int{inDim, 4, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embs := make([]EmbeddingSource, tables)
+	for t0 := range embs {
+		ft := make(FloatTable, 16)
+		for i := range ft {
+			ft[i] = make([]float64, embDim)
+			for j := range ft[i] {
+				ft[i][j] = rng.NormFloat64()
+			}
+		}
+		embs[t0] = ft
+	}
+	m := &Model{Bottom: bottom, Top: top, Tables: embs}
+	sparse := []SparseFeature{
+		{Idx: []int{0, 3}, Weights: []float64{1, 1}},
+		{Idx: []int{7}, Weights: []float64{2}},
+	}
+	p, err := m.ForwardInteract(DotProduct, []float64{0.1, -0.2, 0.3}, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("probability %g outside (0,1)", p)
+	}
+	if _, err := m.ForwardInteract(DotProduct, []float64{0.1, -0.2, 0.3}, sparse[:1]); err == nil {
+		t.Error("wrong sparse count accepted")
+	}
+}
+
+func TestInteractionStrings(t *testing.T) {
+	if Concat.String() != "concat" || DotProduct.String() != "dot-product" {
+		t.Error("interaction labels wrong")
+	}
+	if Interaction(9).String() != "Interaction(9)" {
+		t.Error("unknown interaction label")
+	}
+}

@@ -1,0 +1,145 @@
+package dlrm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"secndp/internal/quant"
+)
+
+// SyntheticConfig parameterizes the synthetic stand-in for the paper's
+// production-scale model and dataset (see DESIGN.md §2 for why the
+// substitution preserves Table IV's ordering).
+type SyntheticConfig struct {
+	NumTables int
+	RowsPer   int
+	EmbDim    int
+	DenseDim  int
+	Hidden    []int // bottom tower hidden widths
+	TopHidden []int
+	// PF is the pooling factor per sparse feature.
+	PF int
+	// Samples is the evaluation set size (paper: 40K).
+	Samples int
+	Seed    int64
+}
+
+// DefaultSyntheticConfig is a laptop-scale configuration that preserves the
+// Table IV mechanics.
+func DefaultSyntheticConfig() SyntheticConfig {
+	return SyntheticConfig{
+		NumTables: 8,
+		RowsPer:   4096,
+		EmbDim:    32,
+		DenseDim:  16,
+		Hidden:    []int{64, 32},
+		TopHidden: []int{64},
+		PF:        20,
+		Samples:   4096,
+		Seed:      1,
+	}
+}
+
+// Synthesize builds a ground-truth model with float embedding tables whose
+// columns have strongly heterogeneous scales (log-uniform over two decades,
+// as in real trained embeddings), plus an evaluation dataset whose labels
+// are Bernoulli draws from the ground-truth model's own probabilities.
+// Evaluating the same model on that dataset yields the fp32 reference
+// LogLoss; swapping quantized tables yields the degradations of Table IV.
+func Synthesize(cfg SyntheticConfig) (*Model, []Sample, error) {
+	if cfg.NumTables <= 0 || cfg.RowsPer <= 0 || cfg.EmbDim <= 0 || cfg.Samples <= 0 {
+		return nil, nil, fmt.Errorf("dlrm: invalid synthetic config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	bottomDims := append([]int{cfg.DenseDim}, cfg.Hidden...)
+	bottom, err := NewMLP(bottomDims, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	topIn := bottom.OutDim() + cfg.NumTables*cfg.EmbDim
+	topDims := append(append([]int{topIn}, cfg.TopHidden...), 1)
+	top, err := NewMLP(topDims, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	tables := make([]EmbeddingSource, cfg.NumTables)
+	for t := range tables {
+		// Per-column scales: log-uniform in [0.01, 1].
+		colScale := make([]float64, cfg.EmbDim)
+		for j := range colScale {
+			colScale[j] = powTen(rng.Float64()*2 - 2)
+		}
+		tab := make(FloatTable, cfg.RowsPer)
+		for i := range tab {
+			tab[i] = make([]float64, cfg.EmbDim)
+			for j := range tab[i] {
+				tab[i][j] = rng.NormFloat64() * colScale[j] / float64(cfg.PF)
+			}
+		}
+		tables[t] = tab
+	}
+
+	model := &Model{Bottom: bottom, Top: top, Tables: tables}
+	if err := model.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	ds := make([]Sample, cfg.Samples)
+	for s := range ds {
+		dense := make([]float64, cfg.DenseDim)
+		for i := range dense {
+			dense[i] = rng.NormFloat64()
+		}
+		sparse := make([]SparseFeature, cfg.NumTables)
+		for t := range sparse {
+			idx := make([]int, cfg.PF)
+			w := make([]float64, cfg.PF)
+			for k := range idx {
+				idx[k] = rng.Intn(cfg.RowsPer)
+				w[k] = 1
+			}
+			sparse[t] = SparseFeature{Idx: idx, Weights: w}
+		}
+		p, err := model.Forward(dense, sparse)
+		if err != nil {
+			return nil, nil, err
+		}
+		label := 0.0
+		if rng.Float64() < p {
+			label = 1
+		}
+		ds[s] = Sample{Dense: dense, Sparse: sparse, Label: label, Prob: p}
+	}
+	return model, ds, nil
+}
+
+func powTen(x float64) float64 { return math.Pow(10, x) }
+
+// QuantizeTables converts the model's float tables to the given scheme.
+// Fixed32 uses fracBits fractional bits.
+func QuantizeTables(m *Model, scheme quant.Scheme, fracBits uint) ([]EmbeddingSource, error) {
+	out := make([]EmbeddingSource, len(m.Tables))
+	for i, src := range m.Tables {
+		ft, ok := src.(FloatTable)
+		if !ok {
+			return nil, fmt.Errorf("dlrm: table %d is not a FloatTable", i)
+		}
+		qt, err := quant.Quantize(scheme, ft, fracBits)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = quantAdapter{qt}
+	}
+	return out, nil
+}
+
+// quantAdapter adapts quant.Table to EmbeddingSource.
+type quantAdapter struct {
+	t *quant.Table
+}
+
+func (a quantAdapter) Pool(idx []int, w []float64) []float64 { return a.t.Pool(idx, w) }
+func (a quantAdapter) Dim() int                              { return a.t.M }

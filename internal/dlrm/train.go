@@ -1,0 +1,156 @@
+package dlrm
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements SGD training for the DLRM: backpropagation through
+// the top tower, the feature concatenation, the bottom tower, and the
+// embedding rows (the paper's models are trained; Table IV quantizes a
+// *trained* model's tables, and training is what gives embedding values
+// their heavy-tailed per-column structure).
+
+// forwardTrace evaluates the tower and returns all activations:
+// acts[0] = input, acts[L] = output; hidden activations are post-ReLU.
+func (m *MLP) forwardTrace(x []float64) ([][]float64, error) {
+	if len(x) != m.InDim() {
+		return nil, fmt.Errorf("dlrm: input dim %d, want %d", len(x), m.InDim())
+	}
+	acts := make([][]float64, len(m.Weights)+1)
+	acts[0] = x
+	cur := x
+	for l := range m.Weights {
+		next := make([]float64, len(m.Weights[l]))
+		for o := range m.Weights[l] {
+			s := m.Biases[l][o]
+			row := m.Weights[l][o]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l+1 < len(m.Weights) && s < 0 {
+				s = 0
+			}
+			next[o] = s
+		}
+		acts[l+1] = next
+		cur = next
+	}
+	return acts, nil
+}
+
+// backward runs one SGD step through the tower given the output gradient,
+// updating weights in place and returning the gradient w.r.t. the input.
+func (m *MLP) backward(acts [][]float64, gradOut []float64, lr float64) []float64 {
+	g := gradOut
+	last := len(m.Weights) - 1
+	for l := last; l >= 0; l-- {
+		// ReLU derivative for hidden layers: gradient flows only where the
+		// post-activation is positive.
+		if l != last {
+			masked := make([]float64, len(g))
+			for o := range g {
+				if acts[l+1][o] > 0 {
+					masked[o] = g[o]
+				}
+			}
+			g = masked
+		}
+		in := acts[l]
+		gradIn := make([]float64, len(in))
+		for o := range m.Weights[l] {
+			go_ := g[o]
+			if go_ == 0 {
+				continue
+			}
+			row := m.Weights[l][o]
+			for i := range row {
+				gradIn[i] += row[i] * go_
+				row[i] -= lr * go_ * in[i]
+			}
+			m.Biases[l][o] -= lr * go_
+		}
+		g = gradIn
+	}
+	return g
+}
+
+// TrainStep performs one SGD step on a sample and returns the sample's
+// loss before the update. Embedding tables must be FloatTable (training a
+// quantized model is not meaningful).
+func (m *Model) TrainStep(s Sample, lr float64) (float64, error) {
+	if len(s.Sparse) != len(m.Tables) {
+		return 0, fmt.Errorf("dlrm: %d sparse features, want %d", len(s.Sparse), len(m.Tables))
+	}
+	tables := make([]FloatTable, len(m.Tables))
+	for i, t := range m.Tables {
+		ft, ok := t.(FloatTable)
+		if !ok {
+			return 0, fmt.Errorf("dlrm: table %d is not trainable (not a FloatTable)", i)
+		}
+		tables[i] = ft
+	}
+
+	bottomActs, err := m.Bottom.forwardTrace(s.Dense)
+	if err != nil {
+		return 0, err
+	}
+	z := bottomActs[len(bottomActs)-1]
+	feat := append([]float64(nil), z...)
+	pooled := make([][]float64, len(tables))
+	for t, sf := range s.Sparse {
+		pooled[t] = tables[t].Pool(sf.Idx, sf.Weights)
+		feat = append(feat, pooled[t]...)
+	}
+	topActs, err := m.Top.forwardTrace(feat)
+	if err != nil {
+		return 0, err
+	}
+	logit := topActs[len(topActs)-1][0]
+	p := sigmoid(logit)
+
+	const eps = 1e-12
+	loss := -s.Label*math.Log(math.Max(p, eps)) - (1-s.Label)*math.Log(math.Max(1-p, eps))
+
+	// d(BCE∘sigmoid)/dlogit = p − y.
+	gradFeat := m.Top.backward(topActs, []float64{p - s.Label}, lr)
+
+	// Split the feature gradient: bottom output, then per-table pooled.
+	m.Bottom.backward(bottomActs, gradFeat[:len(z)], lr)
+	off := len(z)
+	for t, sf := range s.Sparse {
+		dim := tables[t].Dim()
+		gp := gradFeat[off : off+dim]
+		off += dim
+		// d pooled / d row[idx_k] = weights[k] · I.
+		for k, idx := range sf.Idx {
+			w := sf.Weights[k]
+			row := tables[t][idx]
+			for j := range row {
+				row[j] -= lr * w * gp[j]
+			}
+		}
+	}
+	return loss, nil
+}
+
+// Train runs epochs of SGD over the dataset and returns the mean loss per
+// epoch (computed online, before each step's update).
+func (m *Model) Train(ds []Sample, epochs int, lr float64) ([]float64, error) {
+	if epochs <= 0 || lr <= 0 {
+		return nil, fmt.Errorf("dlrm: epochs=%d lr=%g must be positive", epochs, lr)
+	}
+	losses := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		sum := 0.0
+		for _, s := range ds {
+			l, err := m.TrainStep(s, lr)
+			if err != nil {
+				return nil, err
+			}
+			sum += l
+		}
+		losses[e] = sum / float64(len(ds))
+	}
+	return losses, nil
+}

@@ -1,0 +1,218 @@
+package dlrm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/quant"
+)
+
+func tinyModelAndData(t *testing.T, samples int) (*Model, []Sample) {
+	t.Helper()
+	cfg := SyntheticConfig{
+		NumTables: 2, RowsPer: 32, EmbDim: 4, DenseDim: 3,
+		Hidden: []int{6, 4}, TopHidden: []int{5},
+		PF: 3, Samples: samples, Seed: 3,
+	}
+	model, ds, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, ds
+}
+
+// Numerical gradient check: the weight delta applied by TrainStep at
+// learning rate lr must equal lr times the numerical gradient.
+func TestTrainStepGradientCheck(t *testing.T) {
+	model, ds := tinyModelAndData(t, 4)
+	s := ds[0]
+
+	lossAt := func(m *Model) float64 {
+		p, err := m.Forward(s.Dense, s.Sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const eps = 1e-12
+		return -s.Label*math.Log(math.Max(p, eps)) - (1-s.Label)*math.Log(math.Max(1-p, eps))
+	}
+
+	// Pick a few representative weights: top tower, bottom tower, and an
+	// embedding row actually touched by the sample.
+	checks := []struct {
+		name string
+		get  func() *float64
+	}{
+		{"top w", func() *float64 { return &model.Top.Weights[0][1][2] }},
+		{"top bias", func() *float64 { return &model.Top.Biases[0][1] }},
+		{"bottom w", func() *float64 { return &model.Bottom.Weights[0][2][1] }},
+		{"embedding", func() *float64 {
+			ft := model.Tables[0].(FloatTable)
+			return &ft[s.Sparse[0].Idx[0]][1]
+		}},
+	}
+	const h = 1e-6
+	for _, c := range checks {
+		w := c.get()
+		orig := *w
+		*w = orig + h
+		lPlus := lossAt(model)
+		*w = orig - h
+		lMinus := lossAt(model)
+		*w = orig
+		numGrad := (lPlus - lMinus) / (2 * h)
+
+		// One TrainStep at tiny lr: delta = -lr * analyticGrad.
+		const lr = 1e-7
+		if _, err := model.TrainStep(s, lr); err != nil {
+			t.Fatal(err)
+		}
+		analytic := (orig - *w) / lr
+		*w = orig // restore for the next check (other weights moved a bit,
+		// but h-scale differences don't disturb the comparison)
+
+		if math.Abs(numGrad) > 1e-4 {
+			rel := math.Abs(analytic-numGrad) / math.Abs(numGrad)
+			if rel > 0.05 {
+				t.Errorf("%s: analytic grad %g vs numeric %g (rel err %.3f)",
+					c.name, analytic, numGrad, rel)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	model, ds := tinyModelAndData(t, 128)
+	losses, err := model.Train(ds, 8, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0]*0.99 {
+		t.Errorf("training did not reduce loss: %v", losses)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	model, ds := tinyModelAndData(t, 4)
+	if _, err := model.Train(ds, 0, 0.1); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if _, err := model.Train(ds, 1, 0); err == nil {
+		t.Error("zero lr accepted")
+	}
+	// Quantized tables are not trainable.
+	tabs, err := QuantizeTables(model, quant.TableWise, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := model.WithTables(tabs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qm.TrainStep(ds[0], 0.1); err == nil {
+		t.Error("training a quantized model accepted")
+	}
+	if _, err := model.TrainStep(Sample{Dense: ds[0].Dense, Sparse: ds[0].Sparse[:1]}, 0.1); err == nil {
+		t.Error("wrong sparse count accepted")
+	}
+}
+
+// Training then quantizing: the full Table IV pipeline on a trained model
+// still orders column-wise under table-wise degradation.
+func TestTrainedModelQuantizationOrdering(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.Samples = 768
+	cfg.RowsPer = 256
+	cfg.Seed = 8
+	model, ds, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Train(ds[:256], 2, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	eval := ds[256:]
+	// Re-anchor ground truth after training: use binary-label LogLoss for
+	// the reference and expected LogLoss only for the fp-vs-quant deltas —
+	// compare against the *trained* model's own predictions.
+	refPreds := make([]float64, len(eval))
+	for i, s := range eval {
+		p, err := model.Forward(s.Dense, s.Sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPreds[i] = p
+	}
+	delta := func(sch quant.Scheme) float64 {
+		tabs, err := QuantizeTables(model, sch, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := model.WithTables(tabs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// LogLoss of quantized predictions against the trained model's own
+		// predictions as soft labels: zero iff quantization changed nothing.
+		preds := make([]float64, len(eval))
+		for i, s := range eval {
+			p, err := qm.Forward(s.Dense, s.Sparse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds[i] = p
+		}
+		ll, err := LogLoss(preds, refPreds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := LogLoss(refPreds, refPreds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ll - base
+	}
+	dTW := delta(quant.TableWise)
+	dCW := delta(quant.ColumnWise)
+	if dTW <= 0 || dCW <= 0 {
+		t.Fatalf("quantization deltas must be positive: tw=%g cw=%g", dTW, dCW)
+	}
+	if dCW >= dTW {
+		t.Errorf("trained model: column-wise %g should beat table-wise %g", dCW, dTW)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	m1, ds1 := tinyModelAndData(t, 32)
+	m2, ds2 := tinyModelAndData(t, 32)
+	l1, _ := m1.Train(ds1, 2, 0.05)
+	l2, _ := m2.Train(ds2, 2, 0.05)
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("training diverged across identical seeds: %v vs %v", l1, l2)
+		}
+	}
+}
+
+func TestForwardTraceMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, err := NewMLP([]int{4, 6, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -1.2, 0.7, 2.1}
+	acts, err := m.forwardTrace(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := acts[len(acts)-1]
+	for i := range out {
+		if out[i] != final[i] {
+			t.Fatalf("forwardTrace disagrees with Forward: %v vs %v", final, out)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package dram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The constraint audit: replay the event trace of a random schedule and
+// verify every modeled JEDEC constraint pairwise. This is the property
+// test that keeps the backfilling scheduler honest — any calendar bug that
+// lets two commands violate spacing shows up here.
+
+type auditor struct {
+	t      *testing.T
+	timing Timing
+	events []Event
+}
+
+func (a *auditor) audit() {
+	a.checkACTSpacing()
+	a.checkFAW()
+	a.checkCCD()
+	a.checkBankTimings()
+	a.checkRefresh()
+}
+
+func (a *auditor) perRank(kind func(EventKind) bool) map[int][]Event {
+	m := map[int][]Event{}
+	for _, e := range a.events {
+		if kind(e.Kind) {
+			m[e.Rank] = append(m[e.Rank], e)
+		}
+	}
+	for r := range m {
+		sort.Slice(m[r], func(i, j int) bool { return m[r][i].Cycle < m[r][j].Cycle })
+	}
+	return m
+}
+
+func (a *auditor) checkACTSpacing() {
+	for rank, acts := range a.perRank(func(k EventKind) bool { return k == EvACT }) {
+		for i := 0; i < len(acts); i++ {
+			for j := i + 1; j < len(acts); j++ {
+				d := acts[j].Cycle - acts[i].Cycle
+				if d >= int64(a.timing.TRRDL) {
+					break // sorted: all further pairs are fine for both spacings
+				}
+				need := int64(a.timing.TRRDS)
+				if acts[i].Group == acts[j].Group {
+					need = int64(a.timing.TRRDL)
+				}
+				if d < need {
+					a.t.Errorf("rank %d: ACTs %d cycles apart (groups %d/%d), need %d",
+						rank, d, acts[i].Group, acts[j].Group, need)
+				}
+			}
+		}
+	}
+}
+
+func (a *auditor) checkFAW() {
+	for rank, acts := range a.perRank(func(k EventKind) bool { return k == EvACT }) {
+		for i := 0; i+4 < len(acts); i++ {
+			if acts[i+4].Cycle-acts[i].Cycle < int64(a.timing.TFAW) {
+				a.t.Errorf("rank %d: 5 ACTs within %d cycles (tFAW=%d)",
+					rank, acts[i+4].Cycle-acts[i].Cycle, a.timing.TFAW)
+			}
+		}
+	}
+}
+
+func (a *auditor) checkCCD() {
+	for rank, cas := range a.perRank(func(k EventKind) bool { return k == EvRD || k == EvWR }) {
+		for i := 0; i+1 < len(cas); i++ {
+			d := cas[i+1].Cycle - cas[i].Cycle
+			need := int64(a.timing.TCCDS)
+			if cas[i].Group == cas[i+1].Group {
+				need = int64(a.timing.TCCDL)
+			}
+			if d < need {
+				// Same-group constraint also applies to non-adjacent pairs,
+				// but adjacent is the binding case for a sorted trace with
+				// spacing >= tCCD_S.
+				a.t.Errorf("rank %d: CAS %d cycles apart (groups %d/%d), need %d",
+					rank, d, cas[i].Group, cas[i+1].Group, need)
+			}
+		}
+	}
+}
+
+func (a *auditor) checkBankTimings() {
+	// Per bank: ACT-to-ACT >= tRC; every CAS lands >= tRCD after the
+	// bank's most recent ACT to that row.
+	type bankKey struct{ r, g, b int }
+	byBank := map[bankKey][]Event{}
+	for _, e := range a.events {
+		k := bankKey{e.Rank, e.Group, e.Bank}
+		byBank[k] = append(byBank[k], e)
+	}
+	for k, evs := range byBank {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+		var lastACT int64 = -1 << 62
+		haveACT := false
+		for _, e := range evs {
+			switch e.Kind {
+			case EvACT:
+				if haveACT && e.Cycle-lastACT < int64(a.timing.TRC) {
+					a.t.Errorf("bank %v: ACT-to-ACT %d < tRC %d", k, e.Cycle-lastACT, a.timing.TRC)
+				}
+				lastACT, haveACT = e.Cycle, true
+			case EvRD, EvWR:
+				if haveACT && e.Cycle-lastACT < int64(a.timing.TRCD) {
+					a.t.Errorf("bank %v: CAS %d cycles after ACT, need tRCD %d",
+						k, e.Cycle-lastACT, a.timing.TRCD)
+				}
+			}
+		}
+	}
+}
+
+func (a *auditor) checkRefresh() {
+	if a.timing.TREFI <= 0 {
+		return
+	}
+	for _, e := range a.events {
+		if e.Cycle%int64(a.timing.TREFI) < int64(a.timing.TRFC) {
+			a.t.Errorf("command at cycle %d inside a refresh window", e.Cycle)
+		}
+	}
+}
+
+func runAudit(t *testing.T, tm Timing, mode BusMode, ranks int, accesses int, writes bool, seed int64) {
+	t.Helper()
+	s := NewSystem(tm, DefaultOrg(ranks), mode)
+	a := &auditor{t: t, timing: tm}
+	s.OnEvent = func(e Event) { a.events = append(a.events, e) }
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < accesses; i++ {
+		addr := rng.Uint64() % s.Org.TotalBytes()
+		earliest := int64(rng.Intn(200)) * int64(i) / int64(accesses+1)
+		if writes && rng.Intn(4) == 0 {
+			s.WriteLine(addr, earliest)
+		} else {
+			s.ReadLine(addr, earliest)
+		}
+	}
+	a.audit()
+}
+
+func TestScheduleAuditRandomShared(t *testing.T) {
+	runAudit(t, DDR4_2400(), SharedBus, 4, 2000, true, 1)
+}
+
+func TestScheduleAuditRandomRankBus(t *testing.T) {
+	runAudit(t, DDR4_2400(), RankBus, 8, 2000, true, 2)
+}
+
+func TestScheduleAuditSingleRankHotBanks(t *testing.T) {
+	// Hammer a single rank with bank conflicts: the worst case for the
+	// calendars' backfilling.
+	tm := DDR4_2400()
+	s := NewSystem(tm, DefaultOrg(1), SharedBus)
+	a := &auditor{t: t, timing: tm}
+	s.OnEvent = func(e Event) { a.events = append(a.events, e) }
+	rng := rand.New(rand.NewSource(3))
+	rowStride := s.Org.TotalBytes() / s.Org.RowsPerBank
+	for i := 0; i < 1500; i++ {
+		// Only 2 banks, random rows: constant conflicts.
+		bank := uint64(rng.Intn(2)) << 15
+		row := uint64(rng.Intn(64)) * rowStride
+		s.ReadLine(bank|row, 0)
+	}
+	a.audit()
+}
+
+func TestScheduleAuditWithRefresh(t *testing.T) {
+	runAudit(t, DDR4_2400WithRefresh(), SharedBus, 2, 2000, true, 4)
+	runAudit(t, DDR4_2400WithRefresh(), RankBus, 4, 2000, false, 5)
+}
+
+func TestScheduleAuditStreaming(t *testing.T) {
+	tm := DDR4_2400()
+	s := NewSystem(tm, DefaultOrg(2), RankBus)
+	a := &auditor{t: t, timing: tm}
+	s.OnEvent = func(e Event) { a.events = append(a.events, e) }
+	for i := 0; i < 4000; i++ {
+		s.ReadLine(uint64(i)*64, 0)
+	}
+	a.audit()
+}

@@ -1,0 +1,112 @@
+package dram
+
+import "fmt"
+
+// Org describes the DRAM organization and the physical-address-to-DRAM
+// coordinate mapping. The default (see DefaultOrg) is an 8 GB DDR4 rank of
+// 4 bank groups × 4 banks, 8 KiB rows, with the address bits laid out
+// low-to-high as
+//
+//	[ line offset | bank group | column | bank | rank | row ]
+//
+// Placing the bank-group bits immediately above the line offset interleaves
+// consecutive lines across bank groups, so streaming reads pace at tCCD_S
+// (which equals tBL) and saturate the data bus — the standard DDR4
+// controller mapping choice.
+type Org struct {
+	Ranks         int
+	BankGroups    int
+	BanksPerGroup int
+	// RowsPerBank is the number of DRAM rows per bank.
+	RowsPerBank uint64
+	// ColumnsPerRow is the number of cache lines per row buffer.
+	ColumnsPerRow int
+	// LineBytes is the transfer granule (cache line), 64.
+	LineBytes int
+}
+
+// DefaultOrg returns the Table II organization: rank_size = 8 GB, with the
+// given number of ranks on the channel (NDP_rank in the paper).
+func DefaultOrg(ranks int) Org {
+	return Org{
+		Ranks:         ranks,
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		// 8 GB / 16 banks / 8 KiB rows = 64 Ki rows per bank.
+		RowsPerBank:   64 << 10,
+		ColumnsPerRow: 128, // 8 KiB row / 64 B line
+		LineBytes:     64,
+	}
+}
+
+// Validate checks the organization for power-of-two field widths, which the
+// bit-sliced decode requires.
+func (o Org) Validate() error {
+	for name, v := range map[string]int{
+		"Ranks": o.Ranks, "BankGroups": o.BankGroups, "BanksPerGroup": o.BanksPerGroup,
+		"ColumnsPerRow": o.ColumnsPerRow, "LineBytes": o.LineBytes,
+	} {
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf("dram: %s = %d must be a positive power of two", name, v)
+		}
+	}
+	if o.RowsPerBank == 0 || o.RowsPerBank&(o.RowsPerBank-1) != 0 {
+		return fmt.Errorf("dram: RowsPerBank = %d must be a positive power of two", o.RowsPerBank)
+	}
+	return nil
+}
+
+// RankBytes returns the capacity of one rank.
+func (o Org) RankBytes() uint64 {
+	return uint64(o.BankGroups) * uint64(o.BanksPerGroup) * o.RowsPerBank *
+		uint64(o.ColumnsPerRow) * uint64(o.LineBytes)
+}
+
+// TotalBytes returns the channel capacity.
+func (o Org) TotalBytes() uint64 { return o.RankBytes() * uint64(o.Ranks) }
+
+// Coord is a decoded DRAM coordinate.
+type Coord struct {
+	Rank, Group, Bank int
+	Row               uint64
+	Col               int
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Decode maps a physical byte address to its DRAM coordinate using the
+// package's bit layout. Addresses beyond the channel capacity wrap.
+func (o Org) Decode(addr uint64) Coord {
+	a := addr % o.TotalBytes()
+	a >>= log2(uint64(o.LineBytes))
+	group := int(a & uint64(o.BankGroups-1))
+	a >>= log2(uint64(o.BankGroups))
+	col := int(a & uint64(o.ColumnsPerRow-1))
+	a >>= log2(uint64(o.ColumnsPerRow))
+	bank := int(a & uint64(o.BanksPerGroup-1))
+	a >>= log2(uint64(o.BanksPerGroup))
+	rank := int(a & uint64(o.Ranks-1))
+	a >>= log2(uint64(o.Ranks))
+	row := a & (o.RowsPerBank - 1)
+	return Coord{Rank: rank, Group: group, Bank: bank, Row: row, Col: col}
+}
+
+// LineAddrs expands a byte range [addr, addr+size) into the line-granular
+// addresses it touches.
+func (o Org) LineAddrs(addr uint64, size int) []uint64 {
+	lb := uint64(o.LineBytes)
+	first := addr &^ (lb - 1)
+	last := (addr + uint64(size) - 1) &^ (lb - 1)
+	var out []uint64
+	for a := first; a <= last; a += lb {
+		out = append(out, a)
+	}
+	return out
+}

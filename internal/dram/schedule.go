@@ -1,0 +1,217 @@
+package dram
+
+// This file implements the backfilling schedulers that stand in for an
+// FR-FCFS memory controller: rank-level constraint calendars that let a
+// younger request slip into an idle slot instead of queuing behind an older
+// request that is stalled on a bank conflict (the head-of-line blocking a
+// frontier-only model would suffer).
+
+// pruneWindow is how far behind the newest scheduled command the calendars
+// keep history. Every modeled pairwise constraint spans at most tRC (55)
+// cycles, so 512 is generous. Entries older than the window are dropped and
+// the dropped region becomes a floor: nothing can be scheduled there
+// anymore (conservative — it behaves like a fully busy past).
+const pruneWindow = 512
+
+// cmdRec is a scheduled ACT or CAS command.
+type cmdRec struct {
+	t     int64
+	group int
+}
+
+// cmdCal is a calendar of scheduled commands with pairwise spacing
+// constraints (tRRD for ACTs, tCCD for CASes) that depend on bank-group
+// equality, plus an optional sliding-window cap (tFAW for ACTs).
+type cmdCal struct {
+	recs []cmdRec // sorted by t
+	// floor: times before this are unschedulable (pruned history).
+	floor int64
+	// required spacing to commands in the same / a different bank group.
+	sameSpacing, diffSpacing int64
+	// windowLen/windowMax: at most windowMax commands in any half-open
+	// windowLen span. Zero windowLen disables the check (CAS calendars).
+	windowLen int64
+	windowMax int
+}
+
+// feasible returns the earliest t >= lb at which a command of the given
+// group could be inserted without violating any constraint. No insertion.
+func (c *cmdCal) feasible(lb int64, group int) int64 {
+	t := lb
+	if t < c.floor {
+		t = c.floor
+	}
+	for {
+		moved := false
+		for _, r := range c.recs {
+			sp := c.diffSpacing
+			if r.group == group {
+				sp = c.sameSpacing
+			}
+			if t > r.t-sp && t < r.t+sp {
+				t = r.t + sp
+				moved = true
+			}
+		}
+		if c.windowLen > 0 && c.windowOverfull(t) {
+			t = c.windowBump(t)
+			moved = true
+		}
+		if !moved {
+			return t
+		}
+	}
+}
+
+// windowOverfull reports whether inserting a command at t would create a
+// span of windowMax+1 commands within windowLen cycles.
+func (c *cmdCal) windowOverfull(t int64) bool {
+	// Count scheduled commands in (t-windowLen, t+windowLen) around t and
+	// check every windowMax+1-wide run including t.
+	times := c.timesWith(t)
+	for i := 0; i+c.windowMax < len(times); i++ {
+		lo, hi := times[i], times[i+c.windowMax]
+		if hi-lo < c.windowLen && t >= lo && t <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// windowBump pushes t past the earliest over-full window it participates in.
+func (c *cmdCal) windowBump(t int64) int64 {
+	times := c.timesWith(t)
+	for i := 0; i+c.windowMax < len(times); i++ {
+		lo, hi := times[i], times[i+c.windowMax]
+		if hi-lo < c.windowLen && t >= lo && t <= hi {
+			return lo + c.windowLen
+		}
+	}
+	return t
+}
+
+// timesWith returns the scheduled times with t merged in, sorted.
+func (c *cmdCal) timesWith(t int64) []int64 {
+	times := make([]int64, 0, len(c.recs)+1)
+	ins := false
+	for _, r := range c.recs {
+		if !ins && r.t > t {
+			times = append(times, t)
+			ins = true
+		}
+		times = append(times, r.t)
+	}
+	if !ins {
+		times = append(times, t)
+	}
+	return times
+}
+
+// insert records a command at t (t must come from feasible).
+func (c *cmdCal) insert(t int64, group int) {
+	i := len(c.recs)
+	for i > 0 && c.recs[i-1].t > t {
+		i--
+	}
+	c.recs = append(c.recs, cmdRec{})
+	copy(c.recs[i+1:], c.recs[i:])
+	c.recs[i] = cmdRec{t: t, group: group}
+	c.pruneTo(c.recs[len(c.recs)-1].t - pruneWindow)
+}
+
+// place is feasible followed by insert.
+func (c *cmdCal) place(lb int64, group int) int64 {
+	t := c.feasible(lb, group)
+	c.insert(t, group)
+	return t
+}
+
+// constraintSpan is the farthest a dropped record could still constrain a
+// new command: the window length (tFAW) or the largest pairwise spacing.
+func (c *cmdCal) constraintSpan() int64 {
+	span := c.sameSpacing
+	if c.diffSpacing > span {
+		span = c.diffSpacing
+	}
+	if c.windowLen > span {
+		span = c.windowLen
+	}
+	return span
+}
+
+func (c *cmdCal) pruneTo(cut int64) {
+	// The floor must sit a full constraint span above the cut: a record
+	// just below the cut is forgotten, so nothing may be scheduled close
+	// enough to have conflicted with it.
+	floor := cut + c.constraintSpan()
+	if floor <= c.floor {
+		return
+	}
+	i := 0
+	for i < len(c.recs) && c.recs[i].t < cut {
+		i++
+	}
+	if i > 0 {
+		c.recs = append(c.recs[:0], c.recs[i:]...)
+	}
+	c.floor = floor
+}
+
+// busCal is a calendar of busy intervals on a data bus with first-fit gap
+// reservation.
+type busCal struct {
+	iv    [][2]int64 // sorted, non-overlapping [start, end)
+	floor int64
+}
+
+// gap returns the earliest start >= lb of a dur-cycle idle gap. No booking.
+func (b *busCal) gap(lb, dur int64) int64 {
+	t := lb
+	if t < b.floor {
+		t = b.floor
+	}
+	for _, iv := range b.iv {
+		if t+dur <= iv[0] {
+			return t
+		}
+		if t < iv[1] {
+			t = iv[1]
+		}
+	}
+	return t
+}
+
+// book reserves [t, t+dur). t must come from gap.
+func (b *busCal) book(t, dur int64) {
+	i := len(b.iv)
+	for j, iv := range b.iv {
+		if iv[0] > t {
+			i = j
+			break
+		}
+	}
+	b.iv = append(b.iv, [2]int64{})
+	copy(b.iv[i+1:], b.iv[i:])
+	b.iv[i] = [2]int64{t, t + dur}
+	if last := b.iv[len(b.iv)-1][1]; last-pruneWindow > b.floor {
+		b.pruneTo(last - pruneWindow)
+	}
+}
+
+// reserve is gap followed by book, returning the start.
+func (b *busCal) reserve(lb, dur int64) int64 {
+	t := b.gap(lb, dur)
+	b.book(t, dur)
+	return t
+}
+
+func (b *busCal) pruneTo(cut int64) {
+	i := 0
+	for i < len(b.iv) && b.iv[i][1] <= cut {
+		i++
+	}
+	if i > 0 {
+		b.iv = append(b.iv[:0], b.iv[i:]...)
+	}
+	b.floor = cut
+}

@@ -1,0 +1,177 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCmdCalSpacingSameGroup(t *testing.T) {
+	c := cmdCal{sameSpacing: 6, diffSpacing: 4}
+	t1 := c.place(0, 0)
+	t2 := c.place(0, 0) // same group: spacing 6
+	if t2-t1 < 6 {
+		t.Errorf("same-group spacing %d < 6", t2-t1)
+	}
+	t3 := c.place(0, 1) // different group: spacing 4 from both
+	for _, prev := range []int64{t1, t2} {
+		d := t3 - prev
+		if d < 0 {
+			d = -d
+		}
+		if d < 4 {
+			t.Errorf("diff-group spacing %d < 4", d)
+		}
+	}
+}
+
+func TestCmdCalBackfill(t *testing.T) {
+	c := cmdCal{sameSpacing: 4, diffSpacing: 4}
+	c.place(0, 0)
+	c.place(100, 0)
+	// A request with lb=0 should backfill between the two, not queue after.
+	got := c.place(0, 0)
+	if got >= 100 {
+		t.Errorf("no backfill: placed at %d", got)
+	}
+	if got < 4 {
+		t.Errorf("backfill violated spacing: %d", got)
+	}
+}
+
+func TestCmdCalWindow(t *testing.T) {
+	// tFAW-style: at most 4 in any 26 cycles.
+	c := cmdCal{sameSpacing: 4, diffSpacing: 4, windowLen: 26, windowMax: 4}
+	var times []int64
+	for i := 0; i < 12; i++ {
+		times = append(times, c.place(0, i%4))
+	}
+	for i := 0; i+4 < len(times); i++ {
+		// times returned by successive places with lb=0 are increasing here
+		if times[i+4]-times[i] < 26 {
+			t.Fatalf("5 ACTs within %d cycles (window violated): %v", times[i+4]-times[i], times)
+		}
+	}
+}
+
+func TestCmdCalWindowRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := cmdCal{sameSpacing: 4, diffSpacing: 4, windowLen: 26, windowMax: 4}
+	var times []int64
+	for i := 0; i < 200; i++ {
+		lb := int64(rng.Intn(50)) + int64(i)
+		times = append(times, c.place(lb, rng.Intn(4)))
+	}
+	// Verify globally: sort and check every 5-run.
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	for i := 0; i+4 < len(times); i++ {
+		if times[i+4]-times[i] < 26 {
+			t.Fatalf("window violated at %d: %v", i, times[i:i+5])
+		}
+	}
+}
+
+func TestCmdCalFloor(t *testing.T) {
+	c := cmdCal{sameSpacing: 1, diffSpacing: 1}
+	var last int64
+	for i := 0; i < 2000; i++ {
+		last = c.place(int64(i*2), 0)
+	}
+	// After pruning, an ancient lb cannot schedule before the floor.
+	got := c.place(0, 0)
+	if got < last-pruneWindow {
+		t.Errorf("scheduled at %d, before the pruned floor", got)
+	}
+}
+
+func TestBusCalReserveNoOverlap(t *testing.T) {
+	var b busCal
+	rng := rand.New(rand.NewSource(2))
+	var booked [][2]int64
+	for i := 0; i < 300; i++ {
+		lb := int64(rng.Intn(100))
+		start := b.reserve(lb, 4)
+		if start < lb {
+			t.Fatalf("reserved at %d before lb %d", start, lb)
+		}
+		booked = append(booked, [2]int64{start, start + 4})
+	}
+	for i := range booked {
+		for j := i + 1; j < len(booked); j++ {
+			lo := max64(booked[i][0], booked[j][0])
+			hi := booked[i][1]
+			if booked[j][1] < hi {
+				hi = booked[j][1]
+			}
+			if lo < hi {
+				t.Fatalf("intervals overlap: %v %v", booked[i], booked[j])
+			}
+		}
+	}
+}
+
+func TestBusCalBackfillsGaps(t *testing.T) {
+	var b busCal
+	b.reserve(0, 4)
+	b.reserve(100, 4)
+	got := b.reserve(0, 4)
+	if got >= 100 {
+		t.Errorf("gap between 4 and 100 not used: %d", got)
+	}
+}
+
+func TestBusCalExactFit(t *testing.T) {
+	var b busCal
+	b.reserve(0, 4) // [0,4)
+	b.reserve(8, 4) // [8,12)
+	got := b.reserve(0, 4)
+	if got != 4 {
+		t.Errorf("exact 4-cycle gap at 4 not used: got %d", got)
+	}
+}
+
+func BenchmarkReadLineRandom(b *testing.B) {
+	s := NewSystem(DDR4_2400(), DefaultOrg(8), SharedBus)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReadLine(rng.Uint64()%s.Org.TotalBytes(), 0)
+	}
+}
+
+func BenchmarkReadLineStream(b *testing.B) {
+	s := NewSystem(DDR4_2400(), DefaultOrg(8), RankBus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReadLine(uint64(i)*64, 0)
+	}
+}
+
+func TestCmdCalWindowFullyRandomLB(t *testing.T) {
+	// Regression for the prune-floor bug: placements clamped to the floor
+	// must not violate tFAW against records dropped just below the cut.
+	rng := rand.New(rand.NewSource(99))
+	c := cmdCal{sameSpacing: 6, diffSpacing: 4, windowLen: 26, windowMax: 4}
+	var times []int64
+	for i := 0; i < 500; i++ {
+		lb := int64(rng.Intn(3000))
+		times = append(times, c.place(lb, rng.Intn(4)))
+	}
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			if times[j] < times[i] {
+				times[i], times[j] = times[j], times[i]
+			}
+		}
+	}
+	for i := 0; i+4 < len(times); i++ {
+		if times[i+4]-times[i] < 26 {
+			t.Fatalf("tFAW violated at %d: %v", i, times[i:i+5])
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package dram
+
+import "fmt"
+
+// BusMode selects how data leaves the DRAM devices.
+type BusMode int
+
+const (
+	// SharedBus models a conventional host-attached channel: every rank's
+	// data crosses one 64-bit channel data bus. This is the non-NDP
+	// baseline's world.
+	SharedBus BusMode = iota
+	// RankBus models rank-level NDP: each rank streams into its own NDP PU
+	// inside the DIMM buffer, so ranks have independent data-bus resources
+	// and the channel carries only NDP packets and results.
+	RankBus
+)
+
+type bank struct {
+	openRow  int64 // -1 when closed
+	lastAct  int64
+	readyPre int64 // earliest PRE (tRAS / tRTP / tWR)
+	readyAct int64 // earliest ACT (tRP after PRE, tRC after ACT)
+}
+
+type rank struct {
+	banks []bank // BankGroups × BanksPerGroup, index g*BanksPerGroup+b
+	acts  cmdCal // tRRD_S/L spacing + tFAW window
+	cass  cmdCal // tCCD_S/L spacing
+	bus   busCal // rank-internal data bus (RankBus mode)
+}
+
+// Stats aggregates scheduler activity for reporting and the energy model.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	Activates    uint64
+	RowHits      uint64
+	RowMisses    uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// EventKind tags a scheduled DRAM command in the event trace.
+type EventKind int
+
+const (
+	// EvACT is a row activation.
+	EvACT EventKind = iota
+	// EvRD is a read CAS.
+	EvRD
+	// EvWR is a write CAS.
+	EvWR
+)
+
+// Event is one scheduled command, emitted through System.OnEvent when set.
+// Used by the constraint-audit tests and available for debugging.
+type Event struct {
+	Kind              EventKind
+	Rank, Group, Bank int
+	Row               uint64
+	Cycle             int64
+}
+
+// Access reports the scheduling of one line transfer.
+type Access struct {
+	// Issue is the cycle of the first command issued for this access (the
+	// ACT on a miss, the CAS on a hit).
+	Issue int64
+	// Done is the cycle the last data beat is transferred.
+	Done int64
+	// RowHit reports whether the access hit an open row.
+	RowHit bool
+}
+
+// System is one memory channel: Org.Ranks ranks with per-bank timing state
+// and backfilling command/bus calendars approximating an FR-FCFS
+// controller. Command-bus bandwidth is intentionally not modeled: at
+// 64-byte granularity the data bus and bank timings dominate (see DESIGN.md
+// §2, Ramulator substitution).
+// PagePolicy selects the row-buffer management policy.
+type PagePolicy int
+
+const (
+	// OpenPage keeps rows open after a CAS, betting on locality (the
+	// default; right for streaming and for vectors spanning lines).
+	OpenPage PagePolicy = iota
+	// ClosedPage auto-precharges after every CAS: random single-line
+	// traffic never pays a conflict PRE, at the price of an ACT per
+	// access. The A6 ablation in bench_test.go compares the two.
+	ClosedPage
+)
+
+type System struct {
+	T      Timing
+	Org    Org
+	Mode   BusMode
+	Policy PagePolicy
+
+	// OnEvent, when non-nil, receives every scheduled command. Auditing
+	// and debugging hook; nil costs nothing.
+	OnEvent func(Event)
+
+	ranks   []rank
+	chanBus busCal // channel data bus, SharedBus mode
+
+	stats Stats
+}
+
+// NewSystem builds a channel simulator. Panics on an invalid organization
+// (a construction-time programming error, not a runtime condition).
+func NewSystem(t Timing, org Org, mode BusMode) *System {
+	if err := org.Validate(); err != nil {
+		panic(err)
+	}
+	s := &System{T: t, Org: org, Mode: mode}
+	s.ranks = make([]rank, org.Ranks)
+	nb := org.BankGroups * org.BanksPerGroup
+	for i := range s.ranks {
+		r := &s.ranks[i]
+		r.banks = make([]bank, nb)
+		for b := range r.banks {
+			r.banks[b].openRow = -1
+		}
+		r.acts = cmdCal{
+			sameSpacing: int64(t.TRRDL), diffSpacing: int64(t.TRRDS),
+			windowLen: int64(t.TFAW), windowMax: 4,
+		}
+		r.cass = cmdCal{sameSpacing: int64(t.TCCDL), diffSpacing: int64(t.TCCDS)}
+	}
+	return s
+}
+
+// Stats returns cumulative counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (timing state is preserved).
+func (s *System) ResetStats() { s.stats = Stats{} }
+
+func (s *System) bus(rk *rank) *busCal {
+	if s.Mode == SharedBus {
+		return &s.chanBus
+	}
+	return &rk.bus
+}
+
+func max64(vals ...int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// refreshClamp pushes a command time out of any refresh window: with
+// refresh enabled, each rank is unavailable during the first TRFC cycles
+// of every TREFI interval.
+func (s *System) refreshClamp(t int64) int64 {
+	if s.T.TREFI <= 0 {
+		return t
+	}
+	refi, rfc := int64(s.T.TREFI), int64(s.T.TRFC)
+	if off := t % refi; off < rfc {
+		return t - off + rfc
+	}
+	return t
+}
+
+// openRow performs the PRE/ACT sequence (if needed) for coordinate c,
+// returning the cycle from which CAS commands may target the row, and
+// whether the access was a row hit. earliest lower-bounds every command.
+func (s *System) openRow(c Coord, earliest int64) (casReady int64, hit bool) {
+	rk := &s.ranks[c.Rank]
+	bk := &rk.banks[c.Group*s.Org.BanksPerGroup+c.Bank]
+
+	if bk.openRow == int64(c.Row) {
+		// Row hit: CAS must still respect tRCD from the opening ACT.
+		return bk.lastAct + int64(s.T.TRCD), true
+	}
+
+	at := earliest
+	if bk.openRow >= 0 {
+		// Conflict: precharge first.
+		pre := max64(at, bk.readyPre)
+		bk.readyAct = max64(bk.readyAct, pre+int64(s.T.TRP))
+		bk.openRow = -1
+	}
+
+	// ACT, subject to per-bank tRC/tRP, the rank's tRRD/tFAW calendar, and
+	// refresh windows.
+	lb := s.refreshClamp(max64(at, bk.readyAct))
+	var act int64
+	for {
+		cand := rk.acts.feasible(lb, c.Group)
+		if cl := s.refreshClamp(cand); cl != cand {
+			lb = cl
+			continue
+		}
+		rk.acts.insert(cand, c.Group)
+		act = cand
+		break
+	}
+
+	bk.openRow = int64(c.Row)
+	bk.lastAct = act
+	bk.readyAct = act + int64(s.T.TRC)
+	bk.readyPre = act + int64(s.T.TRAS())
+	s.stats.Activates++
+	if s.OnEvent != nil {
+		s.OnEvent(Event{Kind: EvACT, Rank: c.Rank, Group: c.Group, Bank: c.Bank, Row: c.Row, Cycle: act})
+	}
+	return act + int64(s.T.TRCD), false
+}
+
+// scheduleCAS jointly places a CAS command (tCCD calendar) and its data
+// burst (bus calendar), where the burst starts dataDelay cycles after the
+// CAS. Returns the CAS cycle.
+func (s *System) scheduleCAS(rk *rank, group int, lb, dataDelay int64) int64 {
+	cas := lb
+	for i := 0; i < 1000; i++ {
+		c1 := rk.cass.feasible(cas, group)
+		if cl := s.refreshClamp(c1); cl != c1 {
+			cas = cl
+			continue
+		}
+		busStart := s.bus(rk).gap(c1+dataDelay, int64(s.T.TBL))
+		c2 := busStart - dataDelay
+		if c2 == c1 {
+			rk.cass.insert(c1, group)
+			s.bus(rk).book(c1+dataDelay, int64(s.T.TBL))
+			return c1
+		}
+		cas = c2
+	}
+	panic("dram: CAS scheduling did not converge")
+}
+
+// ReadLine schedules a full-line read of the line containing addr, starting
+// no earlier than cycle earliest, and returns its scheduling. Done is the
+// cycle the line's last beat lands — at the host in SharedBus mode, at the
+// rank's NDP PU in RankBus mode.
+func (s *System) ReadLine(addr uint64, earliest int64) Access {
+	c := s.Org.Decode(addr)
+	rk := &s.ranks[c.Rank]
+	rowReady, hit := s.openRow(c, earliest)
+
+	rd := s.scheduleCAS(rk, c.Group, max64(earliest, rowReady), int64(s.T.TCL))
+
+	bk := &rk.banks[c.Group*s.Org.BanksPerGroup+c.Bank]
+	bk.readyPre = max64(bk.readyPre, rd+int64(s.T.TRTP))
+	if s.Policy == ClosedPage {
+		// Auto-precharge: the row closes after the burst; the next ACT
+		// waits for the implicit precharge to complete.
+		bk.openRow = -1
+		bk.readyAct = max64(bk.readyAct, bk.readyPre+int64(s.T.TRP))
+	}
+	if s.OnEvent != nil {
+		s.OnEvent(Event{Kind: EvRD, Rank: c.Rank, Group: c.Group, Bank: c.Bank, Row: c.Row, Cycle: rd})
+	}
+
+	s.stats.Reads++
+	s.stats.BytesRead += uint64(s.Org.LineBytes)
+	if hit {
+		s.stats.RowHits++
+	} else {
+		s.stats.RowMisses++
+	}
+	issue := rd
+	if !hit {
+		issue = bk.lastAct
+	}
+	return Access{Issue: issue, Done: rd + int64(s.T.TCL) + int64(s.T.TBL), RowHit: hit}
+}
+
+// WriteLine schedules a full-line write. Done is the cycle the last data
+// beat is absorbed by the DRAM.
+func (s *System) WriteLine(addr uint64, earliest int64) Access {
+	c := s.Org.Decode(addr)
+	rk := &s.ranks[c.Rank]
+	rowReady, hit := s.openRow(c, earliest)
+
+	wr := s.scheduleCAS(rk, c.Group, max64(earliest, rowReady), int64(s.T.TCWL))
+	dataEnd := wr + int64(s.T.TCWL) + int64(s.T.TBL)
+	bk := &rk.banks[c.Group*s.Org.BanksPerGroup+c.Bank]
+	bk.readyPre = max64(bk.readyPre, dataEnd+int64(s.T.TWR))
+	if s.Policy == ClosedPage {
+		bk.openRow = -1
+		bk.readyAct = max64(bk.readyAct, bk.readyPre+int64(s.T.TRP))
+	}
+	if s.OnEvent != nil {
+		s.OnEvent(Event{Kind: EvWR, Rank: c.Rank, Group: c.Group, Bank: c.Bank, Row: c.Row, Cycle: wr})
+	}
+
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(s.Org.LineBytes)
+	if hit {
+		s.stats.RowHits++
+	} else {
+		s.stats.RowMisses++
+	}
+	issue := wr
+	if !hit {
+		issue = bk.lastAct
+	}
+	return Access{Issue: issue, Done: dataEnd, RowHit: hit}
+}
+
+// ReadRange reads every line of [addr, addr+size) and returns the cycle the
+// last line lands, with all lines constrained to start at or after earliest.
+func (s *System) ReadRange(addr uint64, size int, earliest int64) int64 {
+	var done int64
+	for _, la := range s.Org.LineAddrs(addr, size) {
+		if d := s.ReadLine(la, earliest).Done; d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+// String summarizes the configuration.
+func (s *System) String() string {
+	return fmt.Sprintf("dram.System{ranks=%d mode=%d %0.0fMHz}", s.Org.Ranks, s.Mode, 1000/s.T.ClockNS)
+}

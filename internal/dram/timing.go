@@ -1,0 +1,105 @@
+// Package dram is a cycle-level DDR4 DRAM timing simulator — the
+// repository's substitute for Ramulator in the paper's evaluation framework
+// (§VI-B). It models per-bank state machines, bank-group-aware CAS and
+// activate spacing (tCCD_S/L, tRRD_S/L), the four-activate window (tFAW),
+// row-buffer hits and misses, and the data-bus occupancy that separates a
+// conventional host-attached memory system (one data bus shared by all
+// ranks) from rank-level NDP (each rank streams internally).
+//
+// The simulator is deliberately request-granular: callers submit line reads
+// and writes with an earliest-start cycle, and the scheduler greedily
+// places the ACT/PRE/CAS commands subject to every modeled constraint.
+// Absolute latencies are approximate; the rank-parallelism, activation-rate
+// and bus-occupancy effects that drive the paper's speedups are modeled
+// exactly.
+package dram
+
+// Timing holds DDR4 timing parameters in memory-clock cycles, mirroring
+// Table II of the paper.
+type Timing struct {
+	// ClockNS is the duration of one memory clock cycle in nanoseconds.
+	ClockNS float64
+	// TRC: ACT-to-ACT delay, same bank.
+	TRC int
+	// TRCD: ACT-to-CAS delay.
+	TRCD int
+	// TCL: CAS-to-data delay (read latency).
+	TCL int
+	// TRP: PRE-to-ACT delay.
+	TRP int
+	// TBL: burst length on the data bus in cycles (BL8 on a DDR bus = 4).
+	TBL int
+	// TCCDS / TCCDL: CAS-to-CAS, different / same bank group.
+	TCCDS, TCCDL int
+	// TRRDS / TRRDL: ACT-to-ACT, different / same bank group.
+	TRRDS, TRRDL int
+	// TFAW: window in which at most four ACTs may issue per rank.
+	TFAW int
+	// TRTP: READ-to-PRE delay (not in Table II; JEDEC-typical value).
+	TRTP int
+	// TWR: write recovery, data-end to PRE (JEDEC-typical).
+	TWR int
+	// TCWL: CAS write latency (JEDEC-typical, TCL-2).
+	TCWL int
+	// TREFI/TRFC: refresh interval and refresh cycle time. When TREFI is
+	// nonzero, every rank is blocked for TRFC cycles at the start of each
+	// TREFI window. Disabled (0) in the Table II configuration: the paper
+	// does not list refresh parameters, and since every compared system
+	// pays refresh identically it cancels out of all reported ratios. Use
+	// DDR4_2400WithRefresh for absolute-latency studies.
+	TREFI, TRFC int
+}
+
+// DDR4_2400 returns the configuration of Table II: DDR4-2400MHz with
+// tRC=55, tRCD=16, tCL=16, tRP=16, tBL=4, tCCD_S=4, tCCD_L=6, tRRD_S=4,
+// tRRD_L=6, tFAW=26. The memory clock is 1200 MHz (2400 MT/s).
+func DDR4_2400() Timing {
+	return Timing{
+		ClockNS: 1.0 / 1.2, // 1200 MHz
+		TRC:     55,
+		TRCD:    16,
+		TCL:     16,
+		TRP:     16,
+		TBL:     4,
+		TCCDS:   4,
+		TCCDL:   6,
+		TRRDS:   4,
+		TRRDL:   6,
+		TFAW:    26,
+		TRTP:    8,
+		TWR:     18,
+		TCWL:    14,
+	}
+}
+
+// DDR4_2400WithRefresh is DDR4_2400 plus JEDEC refresh: tREFI = 7.8 µs
+// (9360 cycles at 1200 MHz) and tRFC = 350 ns (420 cycles, 8 Gb devices).
+func DDR4_2400WithRefresh() Timing {
+	t := DDR4_2400()
+	t.TREFI = 9360
+	t.TRFC = 420
+	return t
+}
+
+// TRAS is the minimum ACT-to-PRE delay, derived as tRC − tRP for
+// consistency with Table II's parameter set.
+func (t Timing) TRAS() int { return t.TRC - t.TRP }
+
+// CyclesToNS converts a cycle count to nanoseconds.
+func (t Timing) CyclesToNS(c int64) float64 { return float64(c) * t.ClockNS }
+
+// NSToCycles converts nanoseconds to (rounded-up) cycles.
+func (t Timing) NSToCycles(ns float64) int64 {
+	c := ns / t.ClockNS
+	ic := int64(c)
+	if float64(ic) < c {
+		ic++
+	}
+	return ic
+}
+
+// LineBandwidthGBs returns the peak data-bus bandwidth in GB/s for a
+// 64-byte line every TBL cycles — 19.2 GB/s for DDR4-2400 on a 64-bit bus.
+func (t Timing) LineBandwidthGBs(lineBytes int) float64 {
+	return float64(lineBytes) / (float64(t.TBL) * t.ClockNS)
+}

@@ -1,0 +1,150 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// Table V's normalized column at PF=80 is the ground truth.
+func TestNormalizedMatchesTableV(t *testing.T) {
+	c := TableV()
+	want := map[Mode]float64{
+		NonNDP:       1.0,
+		NDP:          0.792,
+		NonNDPEnc:    1.015,
+		SecNDPEnc:    0.8183,
+		SecNDPEncVer: 0.9209,
+	}
+	for m, w := range want {
+		got := c.Normalized(m, 80)
+		if math.Abs(got-w) > 0.005 {
+			t.Errorf("%v: normalized %.4f, want %.4f", m, got, w)
+		}
+	}
+}
+
+func TestPerBitComponents(t *testing.T) {
+	c := TableV()
+	b := c.PerBit(NonNDP, 80)
+	if math.Abs(b.DIMM-27.42*80) > 1e-9 || math.Abs(b.IO-7.3*80) > 1e-9 || b.Engine != 0 {
+		t.Errorf("non-NDP breakdown %+v", b)
+	}
+	n := c.PerBit(NDP, 80)
+	if n.IO != 7.3 {
+		t.Errorf("NDP IO should be PF-independent: %f", n.IO)
+	}
+	s := c.PerBit(SecNDPEnc, 80)
+	if math.Abs(s.Engine-0.9*80) > 1e-9 {
+		t.Errorf("SecNDP engine %.2f, want 72 (0.9×PF)", s.Engine)
+	}
+	v := c.PerBit(SecNDPEncVer, 80)
+	if math.Abs(v.DIMM-30.85*80) > 0.01 {
+		t.Errorf("Enc+ver DIMM %.2f, want 2468 (30.85×PF)", v.DIMM)
+	}
+	if math.Abs(v.Engine-(1.01*80+1.72)) > 0.01 {
+		t.Errorf("Enc+ver engine %.2f, want 1.01×PF+1.72", v.Engine)
+	}
+}
+
+func TestEnergySavingsGrowWithPF(t *testing.T) {
+	// NDP's IO savings grow with PF: normalized energy decreases.
+	c := TableV()
+	prev := 2.0
+	for _, pf := range []int{10, 40, 80, 160} {
+		n := c.Normalized(SecNDPEnc, pf)
+		if n >= prev {
+			t.Errorf("PF=%d: normalized %f not decreasing", pf, n)
+		}
+		prev = n
+	}
+}
+
+func TestSecNDPSavesVsNonNDPEnc(t *testing.T) {
+	// The comparison that matters for a TEE user: SecNDP Enc vs non-NDP
+	// Enc (both protected).
+	c := TableV()
+	for _, pf := range []int{20, 80, 200} {
+		if c.Normalized(SecNDPEnc, pf) >= c.Normalized(NonNDPEnc, pf) {
+			t.Errorf("PF=%d: SecNDP does not save energy over encrypted non-NDP", pf)
+		}
+	}
+}
+
+func TestVerificationCostsEnergy(t *testing.T) {
+	c := TableV()
+	if c.Normalized(SecNDPEncVer, 80) <= c.Normalized(SecNDPEnc, 80) {
+		t.Error("verification should cost extra energy")
+	}
+	// But still below the unprotected baseline at PF=80 (the paper's 8%
+	// saving claim).
+	if c.Normalized(SecNDPEncVer, 80) >= 1 {
+		t.Error("SecNDP Enc+ver should still beat non-NDP at PF=80")
+	}
+}
+
+func TestPaperHeadlineSavings(t *testing.T) {
+	// §VII-C: "SecNDP saves memory system energy by 18% with encryption
+	// only and by 8% with verification" at PF=80.
+	c := TableV()
+	encSaving := 1 - c.Normalized(SecNDPEnc, 80)
+	verSaving := 1 - c.Normalized(SecNDPEncVer, 80)
+	if encSaving < 0.17 || encSaving > 0.19 {
+		t.Errorf("encryption-only saving %.3f, want ~0.18", encSaving)
+	}
+	if verSaving < 0.07 || verSaving > 0.09 {
+		t.Errorf("verification saving %.3f, want ~0.08", verSaving)
+	}
+}
+
+func TestFromTraffic(t *testing.T) {
+	c := TableV()
+	tr := Traffic{
+		DIMMBits:  1000,
+		IOBits:    100,
+		AESBlocks: 2,
+		OTPPUBits: 256,
+	}
+	want := 1000*27.42 + 100*7.3 + 2*128*0.5 + 256*0.4
+	if got := c.FromTraffic(tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("FromTraffic = %f, want %f", got, want)
+	}
+	tr.Verified = true
+	tr.ResultBits = 128
+	if got := c.FromTraffic(tr); math.Abs(got-(want+128*1.72)) > 1e-9 {
+		t.Errorf("verified FromTraffic = %f", got)
+	}
+}
+
+// The closed-form Table V row and the traffic-based computation must agree
+// for the canonical SLS shape: PF rows of data in, one result out.
+func TestClosedFormMatchesTrafficModel(t *testing.T) {
+	c := TableV()
+	const pf = 80
+	const resultBits = 1024 // one 32×32-bit embedding row
+	dataBits := uint64(pf * resultBits)
+
+	closed := c.PerBit(SecNDPEnc, pf).Total() * resultBits
+	traffic := c.FromTraffic(Traffic{
+		DIMMBits:  dataBits,
+		IOBits:    resultBits,
+		AESBlocks: dataBits / 128,
+		OTPPUBits: dataBits,
+	})
+	if math.Abs(closed-traffic)/closed > 1e-9 {
+		t.Errorf("closed form %f vs traffic %f", closed, traffic)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if len(Modes()) != 5 {
+		t.Fatal("Modes() should list the 5 Table V rows")
+	}
+	for _, m := range Modes() {
+		if m.String() == "" || m.String()[0] == 'M' {
+			t.Errorf("missing label for mode %d", int(m))
+		}
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Error("unknown mode label")
+	}
+}

@@ -1,0 +1,109 @@
+// Package engine models the SecNDP engine of paper §V-C: a pool of
+// pipelined AES engines generating OTPs, the OTP PU that mirrors NDP
+// operations on the processor's shares, and the verification engine. The
+// model is throughput-centric: the paper's performance results hinge on
+// whether OTP generation keeps up with NDP memory throughput (Figures 7,
+// 8, 10), not on AES internals.
+package engine
+
+import "fmt"
+
+// AESBlockNS is the per-block latency of the reference fully pipelined AES
+// design [22]: 111.3 Gbps ≈ 1.15 ns per 128-bit block.
+const AESBlockNS = 1.15
+
+// AESBlockBytes is the cipher block size in bytes.
+const AESBlockBytes = 16
+
+// Config sizes the SecNDP engine.
+type Config struct {
+	// NumEngines is the number of parallel AES pipelines (the x-axis of
+	// Figure 7's green bars).
+	NumEngines int
+	// BlockNS is the per-engine, per-block service time (default AESBlockNS).
+	BlockNS float64
+	// VerifyNS is the fixed verification-engine cost appended per verified
+	// query: the final tag comparison, 1–2 processor cycles (§V-E3). The
+	// per-element checksum work is pipelined behind OTP generation and the
+	// OTP PU, matching the paper's design point.
+	VerifyNS float64
+}
+
+// DefaultConfig returns an engine with n AES pipelines at the reference
+// throughput.
+func DefaultConfig(n int) Config {
+	return Config{NumEngines: n, BlockNS: AESBlockNS, VerifyNS: 1.0}
+}
+
+// Pool is the scheduling state of the engine pool. OTP requests are served
+// in arrival order by the aggregate pipeline: with E engines the pool
+// sustains E/BlockNS blocks per nanosecond.
+type Pool struct {
+	cfg    Config
+	freeNS float64
+	blocks uint64
+}
+
+// NewPool builds an engine pool. Panics on a non-positive engine count
+// (construction-time programming error).
+func NewPool(cfg Config) *Pool {
+	if cfg.NumEngines <= 0 {
+		panic(fmt.Sprintf("engine: NumEngines = %d", cfg.NumEngines))
+	}
+	if cfg.BlockNS <= 0 {
+		cfg.BlockNS = AESBlockNS
+	}
+	return &Pool{cfg: cfg}
+}
+
+// Config returns the pool's configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Service schedules the generation of n OTP blocks at or after atNS and
+// returns the completion time. The pool is a single aggregate pipeline:
+// a query's pads occupy it for n·BlockNS/E nanoseconds.
+func (p *Pool) Service(atNS float64, n int) (doneNS float64) {
+	if n <= 0 {
+		return atNS
+	}
+	start := atNS
+	if start < p.freeNS {
+		start = p.freeNS
+	}
+	done := start + float64(n)*p.cfg.BlockNS/float64(p.cfg.NumEngines)
+	p.freeNS = done
+	p.blocks += uint64(n)
+	return done
+}
+
+// Blocks returns the total OTP blocks generated — input to the energy
+// model (AES energy per block).
+func (p *Pool) Blocks() uint64 { return p.blocks }
+
+// Reset clears scheduling state and counters.
+func (p *Pool) Reset() { p.freeNS = 0; p.blocks = 0 }
+
+// ThroughputGBs returns the pool's pad-generation bandwidth in GB/s —
+// compare against dram.Timing.LineBandwidthGBs to size the pool (§V-C1:
+// "the number of AES engines should be chosen to match the NDP memory
+// throughput").
+func (p *Pool) ThroughputGBs() float64 {
+	return float64(AESBlockBytes) * float64(p.cfg.NumEngines) / p.cfg.BlockNS
+}
+
+// BlocksForBytes returns how many OTP blocks cover n data bytes (Algorithm
+// 1 pads per wc-bit chunk).
+func BlocksForBytes(n int) int {
+	return (n + AESBlockBytes - 1) / AESBlockBytes
+}
+
+// EnginesToMatch returns the minimum engine count whose throughput covers
+// the given memory bandwidth (GB/s) — the paper's burst-mode sizing rule.
+func EnginesToMatch(memGBs, blockNS float64) int {
+	perEngine := float64(AESBlockBytes) / blockNS
+	n := int(memGBs / perEngine)
+	if float64(n)*perEngine < memGBs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPoolPanicsOnZeroEngines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero engines did not panic")
+		}
+	}()
+	NewPool(Config{NumEngines: 0})
+}
+
+func TestServiceThroughput(t *testing.T) {
+	p := NewPool(DefaultConfig(1))
+	done := p.Service(0, 100)
+	if math.Abs(done-100*AESBlockNS) > 1e-9 {
+		t.Errorf("1 engine, 100 blocks: done=%f want %f", done, 100*AESBlockNS)
+	}
+	p2 := NewPool(DefaultConfig(10))
+	done2 := p2.Service(0, 100)
+	if math.Abs(done2-10*AESBlockNS) > 1e-9 {
+		t.Errorf("10 engines, 100 blocks: done=%f want %f", done2, 10*AESBlockNS)
+	}
+}
+
+func TestServiceQueues(t *testing.T) {
+	p := NewPool(DefaultConfig(1))
+	d1 := p.Service(0, 10)
+	d2 := p.Service(0, 10) // arrives at 0 but must queue
+	if d2 <= d1 {
+		t.Error("second request did not queue behind the first")
+	}
+	if math.Abs(d2-2*d1) > 1e-9 {
+		t.Errorf("d2 = %f, want %f", d2, 2*d1)
+	}
+}
+
+func TestServiceIdleGap(t *testing.T) {
+	p := NewPool(DefaultConfig(1))
+	p.Service(0, 10)
+	done := p.Service(1000, 10)
+	if math.Abs(done-(1000+10*AESBlockNS)) > 1e-9 {
+		t.Errorf("request after idle: done=%f", done)
+	}
+}
+
+func TestServiceZeroBlocks(t *testing.T) {
+	p := NewPool(DefaultConfig(4))
+	if got := p.Service(42, 0); got != 42 {
+		t.Errorf("zero blocks should be free: %f", got)
+	}
+	if p.Blocks() != 0 {
+		t.Error("zero blocks counted")
+	}
+}
+
+func TestBlocksAccounting(t *testing.T) {
+	p := NewPool(DefaultConfig(2))
+	p.Service(0, 5)
+	p.Service(0, 7)
+	if p.Blocks() != 12 {
+		t.Errorf("Blocks() = %d, want 12", p.Blocks())
+	}
+	p.Reset()
+	if p.Blocks() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+	if d := p.Service(0, 1); math.Abs(d-AESBlockNS/2) > 1e-9 {
+		t.Errorf("Reset did not clear schedule: %f", d)
+	}
+}
+
+func TestThroughputMatchesPaper(t *testing.T) {
+	// One engine [22]: 111.3 Gbps ≈ 13.9 GB/s.
+	p := NewPool(DefaultConfig(1))
+	gbs := p.ThroughputGBs()
+	if gbs < 13.5 || gbs > 14.5 {
+		t.Errorf("single-engine throughput %f GB/s, want ~13.9", gbs)
+	}
+}
+
+func TestBlocksForBytes(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 16: 1, 17: 2, 128: 8, 4096: 256}
+	for n, want := range cases {
+		if got := BlocksForBytes(n); got != want {
+			t.Errorf("BlocksForBytes(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEnginesToMatch(t *testing.T) {
+	// 8 ranks streaming at 19.2 GB/s each = 153.6 GB/s needs 12 engines at
+	// 13.9 GB/s each (the paper quotes ~10 with its rounding; the sizing
+	// rule and monotonicity are what matter).
+	n := EnginesToMatch(153.6, AESBlockNS)
+	if n < 10 || n > 12 {
+		t.Errorf("engines for 153.6 GB/s = %d, want 10..12", n)
+	}
+	if EnginesToMatch(13.9, AESBlockNS) != 1 {
+		t.Errorf("one engine should match its own throughput")
+	}
+	if EnginesToMatch(14.0, AESBlockNS) != 2 {
+		t.Errorf("just above one engine's rate needs 2")
+	}
+}
+
+func TestDefaultBlockNSApplied(t *testing.T) {
+	p := NewPool(Config{NumEngines: 1}) // BlockNS zero -> default
+	if p.Config().BlockNS != AESBlockNS {
+		t.Errorf("default BlockNS not applied: %f", p.Config().BlockNS)
+	}
+}

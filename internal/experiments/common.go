@@ -1,0 +1,208 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII). Each experiment has a Run function returning a
+// structured result and a formatted, paper-style text rendering. The
+// experiment ↔ module mapping lives in DESIGN.md §3; paper-vs-measured
+// numbers are recorded in EXPERIMENTS.md.
+//
+// Simulations run at a reduced batch size relative to the paper's
+// batch=256 (the runners are throughput-steady well below that), scaled by
+// Options.Quick; reported speedups are ratios and are batch-stable.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"secndp/internal/memory"
+	"secndp/internal/sim"
+	"secndp/internal/tee"
+	"secndp/internal/workload"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks workloads for tests/CI (seconds instead of minutes).
+	Quick bool
+	// Seed drives all trace generation and page mapping.
+	Seed int64
+}
+
+// DefaultOptions runs at full (paper-shaped) scale.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+func (o Options) batch() int {
+	if o.Quick {
+		return 4
+	}
+	return 16
+}
+
+func (o Options) analyticsPF() int {
+	if o.Quick {
+		return 2000
+	}
+	return 10000
+}
+
+// slsTraceFor builds the SLS trace of one Table I model at the given row
+// size (128 = 32-bit elements, 32/40 = 8-bit quantized without/with
+// per-row scale+bias).
+func (o Options) slsTraceFor(m workload.DLRMModel, rowBytes int) workload.Trace {
+	rows := m.RowsPerTable()
+	if o.Quick && rows > 1<<18 {
+		rows = 1 << 18 // cap table height; access pattern stays irregular
+	}
+	return workload.SLSTrace(workload.SLSConfig{
+		NumTables:    m.NumTables,
+		RowsPerTable: rows,
+		RowBytes:     rowBytes,
+		Batch:        o.batch(),
+		PF:           80,
+		Seed:         o.Seed,
+	})
+}
+
+// analyticsTrace builds the §VI-A(2) medical analytics trace: m=1024 genes
+// (4 KiB rows), PF patients per query.
+func (o Options) analyticsTrace() workload.Trace {
+	return workload.AnalyticsTrace(workload.AnalyticsConfig{
+		NumPatients: 500_000,
+		RowBytes:    4096,
+		PF:          o.analyticsPF(),
+		Queries:     2,
+		Seed:        o.Seed + 1,
+	})
+}
+
+// modeTimes bundles one workload's execution time under the three systems.
+type modeTimes struct {
+	HostNS, NDPNS, SecNDPNS float64
+	Bottlenecked            float64
+	SecLines                uint64
+}
+
+// runModes places the trace once per needed placement and runs the three
+// systems. aes sizes the SecNDP engine pool; placement picks Enc-only or a
+// verification layout (the host baseline is always measured tag-free).
+func runModes(opts Options, trace workload.Trace, ranks, regs, aes int, placement memory.TagPlacement) (modeTimes, error) {
+	base := sim.DefaultConfig(ranks, regs)
+	base.Seed = opts.Seed
+	pHost, err := sim.Place(base, trace)
+	if err != nil {
+		return modeTimes{}, err
+	}
+	host := sim.RunHost(base, pHost)
+	nd, err := sim.RunNDP(base, pHost)
+	if err != nil {
+		return modeTimes{}, err
+	}
+
+	secCfg := base
+	secCfg.AESEngines = aes
+	secCfg.Placement = placement
+	pSec := pHost
+	if placement != memory.TagNone {
+		pSec, err = sim.Place(secCfg, trace)
+		if err != nil {
+			return modeTimes{}, err
+		}
+	}
+	sec, err := sim.RunSecNDP(secCfg, pSec)
+	if err != nil {
+		return modeTimes{}, err
+	}
+	return modeTimes{
+		HostNS:       host.TotalNS,
+		NDPNS:        nd.TotalNS,
+		SecNDPNS:     sec.TotalNS,
+		Bottlenecked: sec.BottleneckedFrac,
+		SecLines:     sec.Stats.Reads,
+	}, nil
+}
+
+// endToEnd combines a CPU (MLP) portion with an SLS portion into the
+// whole-system times of Table III / Figure 11.
+type endToEnd struct {
+	CPUBaseNS float64 // unprotected MLP time
+	SLS       modeTimes
+	Model     workload.DLRMModel
+	Batch     int
+	RowFetch  uint64 // SLS row fetches (page touches for the SGX model)
+}
+
+func (o Options) endToEndFor(m workload.DLRMModel, ranks, regs, aes int, placement memory.TagPlacement) (endToEnd, error) {
+	trace := o.slsTraceFor(m, m.RowBytes)
+	times, err := runModes(o, trace, ranks, regs, aes, placement)
+	if err != nil {
+		return endToEnd{}, err
+	}
+	cpu := tee.DefaultCPU()
+	return endToEnd{
+		CPUBaseNS: cpu.TimeNS(float64(o.batch()) * m.MLPFlops()),
+		SLS:       times,
+		Model:     m,
+		Batch:     o.batch(),
+		RowFetch:  uint64(trace.TotalRowFetches()),
+	}, nil
+}
+
+// Speedups of the whole system relative to the unprotected non-NDP
+// baseline, following §VI-B's composition: baseline = CPU + host-SLS;
+// NDP = CPU + NDP-SLS; SecNDP = CPU×enclave-factor + SecNDP-SLS;
+// SGX = CPU×enclave-factor + SGX-penalized host-SLS.
+func (e endToEnd) baselineNS() float64 { return e.CPUBaseNS + e.SLS.HostNS }
+
+func (e endToEnd) ndpSpeedup() float64 {
+	return e.baselineNS() / (e.CPUBaseNS + e.SLS.NDPNS)
+}
+
+func (e endToEnd) secNDPSpeedup() float64 {
+	const enclaveCompute = 1.05 // §VI-B: ~5% when the CPU portion fits caches
+	return e.baselineNS() / (e.CPUBaseNS*enclaveCompute + e.SLS.SecNDPNS)
+}
+
+func (e endToEnd) sgxSpeedup(m tee.SGXModel) float64 {
+	cpu := m.TimeNS(tee.Phase{BaselineNS: e.CPUBaseNS, MemoryBound: false})
+	sls := m.TimeNS(tee.Phase{
+		BaselineNS:      e.SLS.HostNS,
+		MemoryBound:     true,
+		WorkingSetBytes: e.Model.TotalEmbBytes,
+		PageTouches:     e.RowFetch,
+	})
+	return e.baselineNS() / (cpu + sls)
+}
+
+// table renders rows of labeled columns with aligned widths.
+func table(header []string, rows [][]string) string {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

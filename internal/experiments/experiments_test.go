@@ -1,0 +1,481 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+func TestTable3Shapes(t *testing.T) {
+	res, err := Table3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows, want 4 DLRM models + analytics", len(res.Rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range res.Rows {
+		byName[r.Workload] = r
+	}
+	// NDP speedups grow with model size (more SLS-dominated).
+	order := []string{"RMC1-small", "RMC1-large", "RMC2-small", "RMC2-large"}
+	for i := 1; i < len(order); i++ {
+		if byName[order[i]].NDP <= byName[order[i-1]].NDP {
+			t.Errorf("NDP speedup not increasing: %s %.2f vs %s %.2f",
+				order[i], byName[order[i]].NDP, order[i-1], byName[order[i-1]].NDP)
+		}
+	}
+	for _, r := range res.Rows {
+		// SecNDP approaches but does not exceed unprotected NDP.
+		if r.SecNDP > r.NDP*1.01 {
+			t.Errorf("%s: SecNDP %.2f exceeds NDP %.2f", r.Workload, r.SecNDP, r.NDP)
+		}
+		if r.SecNDP < r.NDP*0.9 {
+			t.Errorf("%s: SecNDP %.2f far below NDP %.2f (paper: within ~3%%)", r.Workload, r.SecNDP, r.NDP)
+		}
+		if r.NDP < 1 {
+			t.Errorf("%s: NDP slower than baseline: %.2f", r.Workload, r.NDP)
+		}
+		// SGX always loses to the unprotected baseline.
+		if r.ICLSupported && (r.SGXICL >= 1 || r.SGXICL < 0.3) {
+			t.Errorf("%s: SGX-ICL %.3f outside the paper's ~0.5–0.6 band", r.Workload, r.SGXICL)
+		}
+	}
+	// Analytics has the best NDP speedup (paper: 7.46× vs ≤4.44×).
+	if a := byName["Data Analytics"]; a.NDP < byName["RMC2-large"].NDP {
+		t.Errorf("analytics NDP %.2f below RMC2-large %.2f", a.NDP, byName["RMC2-large"].NDP)
+	}
+	if a := byName["Data Analytics"]; a.NDP < 6 {
+		t.Errorf("analytics NDP speedup %.2f, paper reports 7.46", a.NDP)
+	}
+	// SGX-CFL: collapses on RMC1 (paper 0.0038×), N/A on RMC2.
+	if r := byName["RMC1-small"]; !r.CFLSupported || r.SGXCFL > 0.05 {
+		t.Errorf("RMC1-small SGX-CFL %.4f, want a collapse ≪1", r.SGXCFL)
+	}
+	if byName["RMC2-large"].CFLSupported {
+		t.Error("RMC2 should be N/A under SGX-CFL (malloc limit)")
+	}
+	if !strings.Contains(res.Format(), "N/A") {
+		t.Error("Format should mark CFL N/A rows")
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	res, err := Table4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	ref := res.Rows[0].LogLoss
+	if ref <= 0 || ref > 0.75 {
+		t.Errorf("reference LogLoss %.4f outside a plausible CTR band", ref)
+	}
+	fixed, tw, cw := res.Rows[1], res.Rows[2], res.Rows[3]
+	if math.Abs(fixed.Degradation) > 1e-6 {
+		t.Errorf("fixed32 degradation %g not negligible", fixed.Degradation)
+	}
+	if tw.Degradation <= 0 || cw.Degradation <= 0 {
+		t.Errorf("8-bit degradations must be positive: tw=%g cw=%g", tw.Degradation, cw.Degradation)
+	}
+	if cw.Degradation >= tw.Degradation {
+		t.Errorf("column-wise %g should degrade less than table-wise %g", cw.Degradation, tw.Degradation)
+	}
+	if tw.RelPercent > 0.07 {
+		t.Errorf("table-wise degradation %.4f%% exceeds the paper's 0.07%%", tw.RelPercent)
+	}
+	if !strings.Contains(res.Format(), "LogLoss") {
+		t.Error("Format missing header")
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	res, err := Table5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0, 0.792, 1.015, 0.8183, 0.9209}
+	for i, row := range res.Rows {
+		if math.Abs(row.Normalized-want[i]) > 0.005 {
+			t.Errorf("%v: normalized %.4f, want %.4f", row.Mode, row.Normalized, want[i])
+		}
+	}
+	if !strings.Contains(res.Format(), "SecNDP Enc+ver") {
+		t.Error("Format missing rows")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	res, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group cells by variant; NDP speedup must grow with ranks, and
+	// SecNDP at the largest engine count must approach NDP.
+	prev := map[SLSWorkloadVariant]float64{}
+	for _, c := range res.Cells {
+		if p, ok := prev[c.Variant]; ok && c.NDPSpeedup < p*0.85 {
+			t.Errorf("%v ranks=%d: NDP speedup %.2f fell from %.2f", c.Variant, c.Ranks, c.NDPSpeedup, p)
+		}
+		prev[c.Variant] = c.NDPSpeedup
+		if c.Variant == SLS8Row {
+			if len(c.SecNDPSpeedup) != 0 {
+				t.Error("row_quan should have no SecNDP bars")
+			}
+			continue
+		}
+		if len(c.SecNDPSpeedup) != len(Fig7Engines) {
+			t.Fatalf("%v: %d SecNDP bars", c.Variant, len(c.SecNDPSpeedup))
+		}
+		// Monotone non-decreasing in engines.
+		for i := 1; i < len(c.SecNDPSpeedup); i++ {
+			if c.SecNDPSpeedup[i] < c.SecNDPSpeedup[i-1]*0.99 {
+				t.Errorf("%v ranks=%d: SecNDP speedup drops with more engines: %v",
+					c.Variant, c.Ranks, c.SecNDPSpeedup)
+			}
+		}
+		last := c.SecNDPSpeedup[len(c.SecNDPSpeedup)-1]
+		if last < c.NDPSpeedup*0.95 {
+			t.Errorf("%v ranks=%d: SecNDP@12AES %.2f does not reach NDP %.2f",
+				c.Variant, c.Ranks, last, c.NDPSpeedup)
+		}
+	}
+	if !strings.Contains(res.Format(), "SecNDP 12AES") {
+		t.Error("Format missing engine columns")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	res, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per (variant, ranks): bottleneck fraction non-increasing in engines.
+	type key struct {
+		v SLSWorkloadVariant
+		r int
+	}
+	last := map[key]float64{}
+	firstSeen := map[key]bool{}
+	for _, p := range res.Points {
+		k := key{p.Variant, p.Ranks}
+		if firstSeen[k] && p.Bottlenecked > last[k]+1e-9 {
+			t.Errorf("%v ranks=%d: bottleneck rose to %.2f at %d engines",
+				p.Variant, p.Ranks, p.Bottlenecked, p.AESEngines)
+		}
+		last[k] = p.Bottlenecked
+		firstSeen[k] = true
+	}
+	// At 1 engine, 8 ranks unquantized must be nearly fully bottlenecked;
+	// at 12 engines, nothing should be.
+	for _, p := range res.Points {
+		if p.Variant == SLS32 && p.Ranks == 8 && p.AESEngines == 1 && p.Bottlenecked < 0.9 {
+			t.Errorf("8 ranks, 1 engine: bottleneck %.2f, want ~1", p.Bottlenecked)
+		}
+		if p.AESEngines == 12 && p.Bottlenecked > 0.05 {
+			t.Errorf("%v ranks=%d: still bottlenecked at 12 engines (%.2f)",
+				p.Variant, p.Ranks, p.Bottlenecked)
+		}
+	}
+	// Quantization reduces the engine demand: the largest engine count at
+	// which rank-8 is still >50% bottlenecked is smaller for SLS8.
+	cliff := func(v SLSWorkloadVariant) int {
+		worst := 0
+		for _, p := range res.Points {
+			if p.Variant == v && p.Ranks == 8 && p.Bottlenecked > 0.5 && p.AESEngines > worst {
+				worst = p.AESEngines
+			}
+		}
+		return worst
+	}
+	if cliff(SLS8) >= cliff(SLS32) {
+		t.Errorf("quantized cliff %d not below unquantized %d", cliff(SLS8), cliff(SLS32))
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	res, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(v SLSWorkloadVariant, pl memory.TagPlacement) Fig9Point {
+		for _, p := range res.Points {
+			if p.Variant == v && p.Placement == pl {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v/%v", v, pl)
+		return Fig9Point{}
+	}
+	// Ver-ECC infeasible for quantized rows, feasible otherwise.
+	if get(SLS8, memory.TagECC).Feasible {
+		t.Error("Ver-ECC should be N/A for 8-bit quantized rows")
+	}
+	if !get(SLS32, memory.TagECC).Feasible {
+		t.Error("Ver-ECC should be feasible for 32-bit rows")
+	}
+	// Ver-ECC matches Enc-only (no extra memory traffic).
+	enc, ecc := get(SLS32, memory.TagNone), get(SLS32, memory.TagECC)
+	if math.Abs(enc.Speedup-ecc.Speedup)/enc.Speedup > 0.05 {
+		t.Errorf("Ver-ECC %.2f should match Enc-only %.2f", ecc.Speedup, enc.Speedup)
+	}
+	// Quantized: Enc-only > Ver-coloc > Ver-sep.
+	qe, qc, qs := get(SLS8, memory.TagNone), get(SLS8, memory.TagColoc), get(SLS8, memory.TagSep)
+	if !(qe.Speedup > qc.Speedup && qc.Speedup > qs.Speedup) {
+		t.Errorf("quantized ordering violated: enc %.2f coloc %.2f sep %.2f",
+			qe.Speedup, qc.Speedup, qs.Speedup)
+	}
+	// Analytics: big rows make the 128-bit tag nearly free (paper §VII-A).
+	ae, ac := get(Analytics, memory.TagNone), get(Analytics, memory.TagColoc)
+	if ac.Speedup < ae.Speedup*0.93 {
+		t.Errorf("analytics verification overhead too large: %.2f vs %.2f", ac.Speedup, ae.Speedup)
+	}
+	if !strings.Contains(res.Format(), "N/A") {
+		t.Error("Format should mark infeasible cells")
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	res, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breakdown: baselines sum to 1; SLS share grows RMC1→RMC2.
+	var slsShare []float64
+	for _, b := range res.Breakdowns {
+		if b.System == "non-NDP" {
+			if math.Abs(b.Total()-1) > 1e-9 {
+				t.Errorf("%s baseline total %.3f != 1", b.Model, b.Total())
+			}
+			slsShare = append(slsShare, b.SLS)
+		}
+		if b.System == "SecNDP" && b.Total() >= 1 {
+			t.Errorf("%s SecNDP total %.3f not below baseline", b.Model, b.Total())
+		}
+	}
+	for i := 1; i < len(slsShare); i++ {
+		if slsShare[i] <= slsShare[i-1] {
+			t.Errorf("SLS share not growing with model size: %v", slsShare)
+		}
+	}
+	// Batch sweep: SecNDP speedup non-decreasing with batch; SGX flat and <1.
+	byModel := map[string][]Fig11Batch{}
+	for _, b := range res.Batches {
+		byModel[b.Model] = append(byModel[b.Model], b)
+	}
+	for model, pts := range byModel {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].SecNDP < pts[i-1].SecNDP*0.97 {
+				t.Errorf("%s: SecNDP speedup dropped with batch: %.2f -> %.2f",
+					model, pts[i-1].SecNDP, pts[i].SecNDP)
+			}
+		}
+		for _, p := range pts {
+			if p.SGXICL >= 1 {
+				t.Errorf("%s batch %d: SGX-ICL %.2f not a slowdown", model, p.Batch, p.SGXICL)
+			}
+		}
+		spread := pts[len(pts)-1].SGXICL - pts[0].SGXICL
+		if math.Abs(spread) > 0.1 {
+			t.Errorf("%s: SGX-ICL should not scale with batch (spread %.3f)", model, spread)
+		}
+	}
+}
+
+func TestRegistryAndFind(t *testing.T) {
+	if len(Registry()) != 13 {
+		t.Errorf("%d experiments registered", len(Registry()))
+	}
+	if _, err := Find("table5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunAllQuickProducesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table3", "table4", "table5", "fig7", "fig8", "fig9", "fig11"} {
+		if !strings.Contains(out, "=== "+want) {
+			t.Errorf("RunAll output missing %s", want)
+		}
+	}
+}
+
+func TestRegsAblationShape(t *testing.T) {
+	res, err := Regs(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(RegsSweep) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// NDP speedup non-decreasing with registers, and regs=8 clearly beats
+	// regs=1 on irregular SLS (§V, §VII-A).
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].NDPSpeedup < res.Points[i-1].NDPSpeedup*0.97 {
+			t.Errorf("NDP speedup dropped with more registers: %+v", res.Points)
+		}
+	}
+	if res.Points[3].NDPSpeedup <= res.Points[0].NDPSpeedup {
+		t.Errorf("regs=8 (%.2f) not faster than regs=1 (%.2f)",
+			res.Points[3].NDPSpeedup, res.Points[0].NDPSpeedup)
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestProdTraceShape(t *testing.T) {
+	res, err := ProdTrace(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The production trace (PF 50-100, mean 75) should land near the fixed
+	// PF=80 speedups.
+	if res.ProdNDP < res.FixedNDP*0.7 || res.ProdNDP > res.FixedNDP*1.3 {
+		t.Errorf("production NDP speedup %.2f far from fixed %.2f", res.ProdNDP, res.FixedNDP)
+	}
+	if res.ProdSecNDP < res.ProdNDP*0.9 {
+		t.Errorf("SecNDP %.2f far below NDP %.2f on production trace", res.ProdSecNDP, res.ProdNDP)
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestStorageExtensionShape(t *testing.T) {
+	res, err := Storage(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SparseNDP < 1.5 {
+		t.Errorf("in-SSD NDP sparse speedup %.2f, want > 1.5 (read amplification)", res.SparseNDP)
+	}
+	// One AES engine suffices for sparse rows on an SSD (the package's
+	// documented finding); dense rows need more.
+	if res.SparseSecNDP1 < res.SparseNDP*0.95 {
+		t.Errorf("sparse SecNDP@1 %.2f should track NDP %.2f", res.SparseSecNDP1, res.SparseNDP)
+	}
+	if res.DenseSecNDP12 < res.DenseSecNDP1 {
+		t.Errorf("dense SecNDP should improve with engines: %.2f vs %.2f",
+			res.DenseSecNDP12, res.DenseSecNDP1)
+	}
+	if res.LinkReduction < 10 {
+		t.Errorf("link reduction %.1f, want large", res.LinkReduction)
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res, err := Table5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title row + header + 5 mode rows.
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Table V") {
+		t.Errorf("first CSV row should carry the title: %q", lines[0])
+	}
+	if !strings.Contains(out, "SecNDP Enc+ver") {
+		t.Error("CSV missing data rows")
+	}
+}
+
+func TestInitExpShape(t *testing.T) {
+	res, err := InitExp(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Bytes <= res.Rows[i-1].Bytes {
+			t.Errorf("init bytes not growing with model size: %+v", res.Rows)
+		}
+		if res.Rows[i].TotalMS < res.Rows[i].WriteMS || res.Rows[i].TotalMS < res.Rows[i].OTPMS {
+			t.Errorf("total below a component: %+v", res.Rows[i])
+		}
+	}
+	// With 12 engines the pad pipeline outruns the single write bus.
+	for _, row := range res.Rows {
+		if row.AESBound {
+			t.Errorf("%s: T0 should be write-bus-bound with 12 engines", row.Model)
+		}
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestSlalomComparisonShape(t *testing.T) {
+	res, err := Slalom(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §VIII argument: a stored share caps the online speedup at ~1×,
+	// while SecNDP tracks unprotected NDP.
+	if res.StoredShare > 1.2 {
+		t.Errorf("stored-share speedup %.2f should be pinned near 1×", res.StoredShare)
+	}
+	if res.SecNDP < res.StoredShare*2 {
+		t.Errorf("SecNDP %.2f should clearly beat stored-share %.2f", res.SecNDP, res.StoredShare)
+	}
+	if res.SecNDP < res.NDP*0.9 {
+		t.Errorf("SecNDP %.2f should track NDP %.2f", res.SecNDP, res.NDP)
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestChannelsExtensionShape(t *testing.T) {
+	res, err := Channels(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(ChannelsSweep) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].NDPThroughputScale <= res.Points[i-1].NDPThroughputScale {
+			t.Errorf("NDP throughput not scaling with channels: %+v", res.Points)
+		}
+		if res.Points[i].EnginesNeeded < res.Points[i-1].EnginesNeeded {
+			t.Errorf("AES demand should grow with channels: %+v", res.Points)
+		}
+	}
+	// One channel: 12 engines suffice (the paper's setting).
+	if res.Points[0].Bottlenecked > 0.05 {
+		t.Errorf("single channel bottlenecked %.2f at 12 engines", res.Points[0].Bottlenecked)
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/workload"
+)
+
+// This file holds extension experiments beyond the paper's figures: the
+// explicit NDP_reg ablation (A5 in DESIGN.md — the paper sweeps regs only
+// jointly with ranks in Figure 7) and the production-style pooling-factor
+// trace (§VI-A: "a query trace from a production model with a pooling
+// factor PF ranging from 50 to 100").
+
+// RegsPoint is one register-count ablation point at fixed NDP_rank=8.
+type RegsPoint struct {
+	Regs          int
+	NDPSpeedup    float64
+	SecNDPSpeedup float64
+}
+
+// RegsResult is the A5 ablation: "for workloads that need to store a
+// number of intermediate results simultaneously, the number of NDP PU
+// registers can become the bottleneck and more registers can improve
+// performance" (§V).
+type RegsResult struct {
+	Points []RegsPoint
+}
+
+// RegsSweep is the register counts swept.
+var RegsSweep = []int{1, 2, 4, 8, 16}
+
+// Regs runs the ablation on the irregular SLS workload (regular analytics
+// does not benefit — "there is only one resulting sum", §VII-A).
+func Regs(opts Options) (*RegsResult, error) {
+	trace := opts.traceForVariant(SLS32)
+	res := &RegsResult{}
+	for _, regs := range RegsSweep {
+		t, err := runModes(opts, trace, 8, regs, 12, memory.TagNone)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RegsPoint{
+			Regs:          regs,
+			NDPSpeedup:    t.HostNS / t.NDPNS,
+			SecNDPSpeedup: t.HostNS / t.SecNDPNS,
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *RegsResult) Tables() []TableData {
+	header := []string{"NDP_reg", "NDP speedup", "SecNDP speedup"}
+	var rows [][]string
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Regs),
+			fmt.Sprintf("%.2fx", p.NDPSpeedup),
+			fmt.Sprintf("%.2fx", p.SecNDPSpeedup),
+		})
+	}
+	return []TableData{{
+		Title:  "Extension A5: NDP_reg ablation (SLS 32-bit, NDP_rank=8, 12 AES)",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the sweep.
+func (r *RegsResult) Format() string { return renderTables(r.Tables()) }
+
+// ProdTraceResult compares the fixed-PF trace with the production-style
+// PF∈[50,100] trace on the standard configuration.
+type ProdTraceResult struct {
+	FixedNDP, FixedSecNDP float64
+	ProdNDP, ProdSecNDP   float64
+	ProdBottlenecked      float64
+}
+
+// ProdTrace runs both traces at rank=8, reg=8, 12 AES engines.
+func ProdTrace(opts Options) (*ProdTraceResult, error) {
+	m := workload.TableIModels()[0]
+	rows := m.RowsPerTable()
+	if opts.Quick && rows > 1<<18 {
+		rows = 1 << 18
+	}
+	fixed := opts.slsTraceFor(m, m.RowBytes)
+	prod := workload.SLSTrace(workload.SLSConfig{
+		NumTables:    m.NumTables,
+		RowsPerTable: rows,
+		RowBytes:     m.RowBytes,
+		Batch:        opts.batch(),
+		PF:           50,
+		PFMax:        100,
+		Seed:         opts.Seed,
+	})
+	tf, err := runModes(opts, fixed, 8, 8, 12, memory.TagNone)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := runModes(opts, prod, 8, 8, 12, memory.TagNone)
+	if err != nil {
+		return nil, err
+	}
+	return &ProdTraceResult{
+		FixedNDP:         tf.HostNS / tf.NDPNS,
+		FixedSecNDP:      tf.HostNS / tf.SecNDPNS,
+		ProdNDP:          tp.HostNS / tp.NDPNS,
+		ProdSecNDP:       tp.HostNS / tp.SecNDPNS,
+		ProdBottlenecked: tp.Bottlenecked,
+	}, nil
+}
+
+// Tables implements Tabler.
+func (r *ProdTraceResult) Tables() []TableData {
+	header := []string{"trace", "NDP speedup", "SecNDP speedup"}
+	rows := [][]string{
+		{"fixed PF=80", fmt.Sprintf("%.2fx", r.FixedNDP), fmt.Sprintf("%.2fx", r.FixedSecNDP)},
+		{"production PF in [50,100]", fmt.Sprintf("%.2fx", r.ProdNDP), fmt.Sprintf("%.2fx", r.ProdSecNDP)},
+	}
+	return []TableData{{
+		Title:  "Extension: production pooling-factor trace (rank=8, reg=8, 12 AES)",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the comparison.
+func (r *ProdTraceResult) Format() string { return renderTables(r.Tables()) }

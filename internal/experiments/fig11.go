@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/tee"
+	"secndp/internal/workload"
+)
+
+// Fig11Breakdown is one stacked bar of Figure 11 (top): the CPU and NDP
+// (SLS) portions of one system's execution, normalized to the unprotected
+// non-NDP baseline's total.
+type Fig11Breakdown struct {
+	Model  string
+	System string // "non-NDP", "NDP", "SecNDP"
+	CPU    float64
+	SLS    float64
+}
+
+// Total is the normalized end-to-end time.
+func (b Fig11Breakdown) Total() float64 { return b.CPU + b.SLS }
+
+// Fig11Batch is one point of Figure 11 (bottom): SecNDP's end-to-end
+// speedup at a batch size, with SGX-ICL as the non-scaling contrast.
+type Fig11Batch struct {
+	Model  string
+	Batch  int
+	SecNDP float64
+	SGXICL float64
+}
+
+// Fig11Result reproduces Figure 11.
+type Fig11Result struct {
+	Breakdowns []Fig11Breakdown
+	Batches    []Fig11Batch
+}
+
+// Fig11 runs the end-to-end breakdown (top, at the standard batch) and the
+// batch-size sweep (bottom).
+func Fig11(opts Options) (*Fig11Result, error) {
+	const ranks, regs, aes = 8, 8, 12
+	const enclaveCompute = 1.05
+	res := &Fig11Result{}
+	icl := tee.IceLake()
+
+	for _, m := range workload.TableIModels() {
+		e2e, err := opts.endToEndFor(m, ranks, regs, aes, memory.TagECC)
+		if err != nil {
+			return nil, err
+		}
+		base := e2e.baselineNS()
+		res.Breakdowns = append(res.Breakdowns,
+			Fig11Breakdown{Model: m.Name, System: "non-NDP", CPU: e2e.CPUBaseNS / base, SLS: e2e.SLS.HostNS / base},
+			Fig11Breakdown{Model: m.Name, System: "NDP", CPU: e2e.CPUBaseNS / base, SLS: e2e.SLS.NDPNS / base},
+			Fig11Breakdown{Model: m.Name, System: "SecNDP", CPU: e2e.CPUBaseNS * enclaveCompute / base, SLS: e2e.SLS.SecNDPNS / base},
+		)
+	}
+
+	// Bottom: speedup vs batch size. Batch is swept by scaling the trace.
+	batches := []int{16, 64, 256}
+	if opts.Quick {
+		batches = []int{2, 4, 8}
+	}
+	cpu := tee.DefaultCPU()
+	for _, m := range workload.TableIModels() {
+		for _, b := range batches {
+			trace := workload.SLSTrace(workload.SLSConfig{
+				NumTables:    m.NumTables,
+				RowsPerTable: min(m.RowsPerTable(), 1<<18),
+				RowBytes:     m.RowBytes,
+				Batch:        b,
+				PF:           80,
+				Seed:         opts.Seed,
+			})
+			times, err := runModes(opts, trace, ranks, regs, aes, memory.TagECC)
+			if err != nil {
+				return nil, err
+			}
+			cpuNS := cpu.TimeNS(float64(b) * m.MLPFlops())
+			baseline := cpuNS + times.HostNS
+			sec := cpuNS*enclaveCompute + times.SecNDPNS
+			sgxSLS := icl.TimeNS(tee.Phase{
+				BaselineNS:      times.HostNS,
+				MemoryBound:     true,
+				WorkingSetBytes: m.TotalEmbBytes,
+				PageTouches:     uint64(trace.TotalRowFetches()),
+			})
+			sgx := cpuNS*enclaveCompute + sgxSLS
+			res.Batches = append(res.Batches, Fig11Batch{
+				Model:  m.Name,
+				Batch:  b,
+				SecNDP: baseline / sec,
+				SGXICL: baseline / sgx,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig11Result) Tables() []TableData {
+	header := []string{"model", "system", "CPU portion", "NDP portion", "total (normalized)"}
+	var rows [][]string
+	for _, b := range r.Breakdowns {
+		rows = append(rows, []string{
+			b.Model, b.System,
+			fmt.Sprintf("%.3f", b.CPU),
+			fmt.Sprintf("%.3f", b.SLS),
+			fmt.Sprintf("%.3f", b.Total()),
+		})
+	}
+	top := TableData{
+		Title:  "Figure 11 (top): normalized execution time breakdown (NDP_rank=8)",
+		Header: header,
+		Rows:   rows,
+	}
+
+	header2 := []string{"model", "batch", "SecNDP speedup", "SGX-ICL speedup"}
+	var rows2 [][]string
+	for _, b := range r.Batches {
+		rows2 = append(rows2, []string{
+			b.Model,
+			fmt.Sprintf("%d", b.Batch),
+			fmt.Sprintf("%.2fx", b.SecNDP),
+			fmt.Sprintf("%.2fx", b.SGXICL),
+		})
+	}
+	return []TableData{top, {
+		Title:  "Figure 11 (bottom): inference speedup vs batch size",
+		Header: header2,
+		Rows:   rows2,
+	}}
+}
+
+// Format renders the stacked breakdown and the batch sweep.
+func (r *Fig11Result) Format() string { return renderTables(r.Tables()) }

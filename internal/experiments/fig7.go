@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/workload"
+)
+
+// SLSWorkloadVariant selects the Figure 7 workload groups.
+type SLSWorkloadVariant int
+
+const (
+	// SLS32 is the unquantized SLS (32-bit elements, 128-byte rows).
+	SLS32 SLSWorkloadVariant = iota
+	// SLS8 is table-/column-wise 8-bit quantization (32-byte rows; scale
+	// and bias cached in the processor, §VI-A).
+	SLS8
+	// SLS8Row is row-wise 8-bit quantization: 32 codes + per-row scale and
+	// bias (40-byte rows), shown for the baseline and unprotected NDP only.
+	SLS8Row
+	// Analytics is the medical data analytics workload.
+	Analytics
+)
+
+// String implements fmt.Stringer with the paper's labels.
+func (v SLSWorkloadVariant) String() string {
+	switch v {
+	case SLS32:
+		return "SLS 32-bit"
+	case SLS8:
+		return "SLS 8-bit quan"
+	case SLS8Row:
+		return "SLS 8-bit (row_quan)"
+	case Analytics:
+		return "Data Analytics"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+func (o Options) traceForVariant(v SLSWorkloadVariant) workload.Trace {
+	m := workload.TableIModels()[0] // RMC1-small table geometry
+	switch v {
+	case SLS32:
+		return o.slsTraceFor(m, 128)
+	case SLS8:
+		return o.slsTraceFor(m, 32)
+	case SLS8Row:
+		return o.slsTraceFor(m, 40)
+	case Analytics:
+		return o.analyticsTrace()
+	}
+	panic("experiments: unknown workload variant")
+}
+
+// Fig7Cell is the performance of one (workload, NDP setting) point: the
+// non-NDP baseline, unprotected NDP, and SecNDP-Enc for each engine count.
+type Fig7Cell struct {
+	Variant    SLSWorkloadVariant
+	Ranks      int
+	Regs       int
+	HostNS     float64
+	NDPNS      float64
+	NDPSpeedup float64
+	// SecNDP[i] pairs AESEngines[i] with its speedup.
+	AESEngines    []int
+	SecNDPSpeedup []float64
+}
+
+// Fig7Result reproduces Figure 7: speedups of non-NDP, NDP, and SecNDP-Enc
+// with varying AES engine counts, across NDP settings and workloads.
+type Fig7Result struct {
+	Cells []Fig7Cell
+}
+
+// Fig7Engines is the engine sweep of the green bars.
+var Fig7Engines = []int{2, 4, 8, 12}
+
+// Fig7Settings is the (NDP_rank, NDP_reg) sweep.
+var Fig7Settings = [][2]int{{1, 1}, {2, 2}, {4, 4}, {8, 8}}
+
+// Fig7 runs the grid. SLS8Row is evaluated only for baseline/NDP, matching
+// the paper's figure (SecNDP uses table-/column-wise quantization).
+func Fig7(opts Options) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	for _, v := range []SLSWorkloadVariant{SLS32, SLS8, SLS8Row, Analytics} {
+		trace := opts.traceForVariant(v)
+		for _, setting := range Fig7Settings {
+			ranks, regs := setting[0], setting[1]
+			cell := Fig7Cell{Variant: v, Ranks: ranks, Regs: regs}
+			if v == SLS8Row {
+				t, err := runModes(opts, trace, ranks, regs, 12, memory.TagNone)
+				if err != nil {
+					return nil, err
+				}
+				cell.HostNS, cell.NDPNS = t.HostNS, t.NDPNS
+				cell.NDPSpeedup = t.HostNS / t.NDPNS
+			} else {
+				for _, aes := range Fig7Engines {
+					t, err := runModes(opts, trace, ranks, regs, aes, memory.TagNone)
+					if err != nil {
+						return nil, err
+					}
+					cell.HostNS, cell.NDPNS = t.HostNS, t.NDPNS
+					cell.NDPSpeedup = t.HostNS / t.NDPNS
+					cell.AESEngines = append(cell.AESEngines, aes)
+					cell.SecNDPSpeedup = append(cell.SecNDPSpeedup, t.HostNS/t.SecNDPNS)
+				}
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig7Result) Tables() []TableData {
+	header := []string{"workload", "(rank,reg)", "non-NDP", "NDP"}
+	for _, e := range Fig7Engines {
+		header = append(header, fmt.Sprintf("SecNDP %dAES", e))
+	}
+	var rows [][]string
+	for _, c := range r.Cells {
+		row := []string{
+			c.Variant.String(),
+			fmt.Sprintf("(%d,%d)", c.Ranks, c.Regs),
+			"1.00x",
+			fmt.Sprintf("%.2fx", c.NDPSpeedup),
+		}
+		for i := range Fig7Engines {
+			if i < len(c.SecNDPSpeedup) {
+				row = append(row, fmt.Sprintf("%.2fx", c.SecNDPSpeedup[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return []TableData{{
+		Title:  "Figure 7: speedup over the unprotected non-NDP baseline",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders one row per (workload, setting): the bar heights of Fig 7.
+func (r *Fig7Result) Format() string { return renderTables(r.Tables()) }

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/sim"
+)
+
+// Fig8Point is one curve point: the fraction of NDP packets bottlenecked
+// by decryption bandwidth at a given engine count.
+type Fig8Point struct {
+	Variant      SLSWorkloadVariant
+	Ranks        int
+	AESEngines   int
+	Bottlenecked float64
+}
+
+// Fig8Result reproduces Figure 8: percentage of NDP packets for SLS
+// operations bottlenecked by decryption bandwidth, across AES engine
+// counts and NDP_rank settings, with and without quantization.
+type Fig8Result struct {
+	Points []Fig8Point
+}
+
+// Fig8Engines is the x-axis sweep.
+var Fig8Engines = []int{1, 2, 3, 4, 6, 8, 10, 12}
+
+// Fig8 runs the sweep (NDP_reg = NDP_rank as in Figure 7's settings).
+func Fig8(opts Options) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, v := range []SLSWorkloadVariant{SLS32, SLS8} {
+		trace := opts.traceForVariant(v)
+		for _, ranks := range []int{1, 2, 4, 8} {
+			cfg := sim.DefaultConfig(ranks, ranks)
+			cfg.Seed = opts.Seed
+			p, err := sim.Place(cfg, trace)
+			if err != nil {
+				return nil, err
+			}
+			for _, aes := range Fig8Engines {
+				cfg.AESEngines = aes
+				cfg.Placement = memory.TagNone
+				rep, err := sim.RunSecNDP(cfg, p)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, Fig8Point{
+					Variant:      v,
+					Ranks:        ranks,
+					AESEngines:   aes,
+					Bottlenecked: rep.BottleneckedFrac,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig8Result) Tables() []TableData {
+	header := []string{"workload", "NDP_rank"}
+	for _, e := range Fig8Engines {
+		header = append(header, fmt.Sprintf("%d AES", e))
+	}
+	byKey := map[string][]string{}
+	var order []string
+	for _, p := range r.Points {
+		key := fmt.Sprintf("%s|%d", p.Variant, p.Ranks)
+		if _, ok := byKey[key]; !ok {
+			byKey[key] = []string{p.Variant.String(), fmt.Sprintf("%d", p.Ranks)}
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], fmt.Sprintf("%.0f%%", 100*p.Bottlenecked))
+	}
+	var rows [][]string
+	for _, k := range order {
+		rows = append(rows, byKey[k])
+	}
+	return []TableData{{
+		Title:  "Figure 8: % of NDP packets bottlenecked by decryption bandwidth (Enc-only)",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders one row per (workload, rank) with the bottlenecked
+// percentage per engine count — the series of Figure 8.
+func (r *Fig8Result) Format() string { return renderTables(r.Tables()) }

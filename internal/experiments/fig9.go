@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/sim"
+)
+
+// Fig9Point is one bar of Figures 9/10: a (workload, tag placement) pair's
+// speedup over the unprotected non-NDP baseline and its
+// decryption-bottleneck fraction.
+type Fig9Point struct {
+	Variant      SLSWorkloadVariant
+	Placement    memory.TagPlacement
+	Speedup      float64
+	Bottlenecked float64
+	// Feasible is false where the paper marks the scheme unusable
+	// (Ver-ECC with quantized rows: tags don't fit the ECC budget).
+	Feasible bool
+}
+
+// Fig9Result reproduces Figure 9 (speedup of the verification schemes) and
+// Figure 10 (their decryption-bottleneck percentages): NDP_rank=8,
+// NDP_reg=8, 12 AES engines.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9Placements lists the §V-D options plus encryption-only.
+var Fig9Placements = []memory.TagPlacement{
+	memory.TagNone, memory.TagColoc, memory.TagSep, memory.TagECC,
+}
+
+// Fig9 runs the verification-placement sweep.
+func Fig9(opts Options) (*Fig9Result, error) {
+	const ranks, regs, aes = 8, 8, 12
+	res := &Fig9Result{}
+	for _, v := range []SLSWorkloadVariant{SLS32, SLS8, Analytics} {
+		trace := opts.traceForVariant(v)
+		// Common unprotected baseline (no tags anywhere).
+		base := sim.DefaultConfig(ranks, regs)
+		base.Seed = opts.Seed
+		pBase, err := sim.Place(base, trace)
+		if err != nil {
+			return nil, err
+		}
+		host := sim.RunHost(base, pBase)
+
+		for _, placement := range Fig9Placements {
+			point := Fig9Point{Variant: v, Placement: placement, Feasible: true}
+			cfg := sim.DefaultConfig(ranks, regs)
+			cfg.Seed = opts.Seed
+			cfg.AESEngines = aes
+			cfg.Placement = placement
+			p, err := sim.Place(cfg, trace)
+			if err != nil {
+				// Geometric infeasibility (Ver-ECC × quantized rows) is a
+				// result, not a failure.
+				point.Feasible = false
+				res.Points = append(res.Points, point)
+				continue
+			}
+			rep, err := sim.RunSecNDP(cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			point.Speedup = host.TotalNS / rep.TotalNS
+			point.Bottlenecked = rep.BottleneckedFrac
+			res.Points = append(res.Points, point)
+		}
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Fig9Result) Tables() []TableData {
+	header := []string{"workload"}
+	for _, pl := range Fig9Placements {
+		header = append(header, pl.String())
+	}
+	speed := map[SLSWorkloadVariant][]string{}
+	btl := map[SLSWorkloadVariant][]string{}
+	var order []SLSWorkloadVariant
+	for _, p := range r.Points {
+		if _, ok := speed[p.Variant]; !ok {
+			speed[p.Variant] = []string{p.Variant.String()}
+			btl[p.Variant] = []string{p.Variant.String()}
+			order = append(order, p.Variant)
+		}
+		if p.Feasible {
+			speed[p.Variant] = append(speed[p.Variant], fmt.Sprintf("%.2fx", p.Speedup))
+			btl[p.Variant] = append(btl[p.Variant], fmt.Sprintf("%.0f%%", 100*p.Bottlenecked))
+		} else {
+			speed[p.Variant] = append(speed[p.Variant], "N/A")
+			btl[p.Variant] = append(btl[p.Variant], "N/A")
+		}
+	}
+	var sRows, bRows [][]string
+	for _, v := range order {
+		sRows = append(sRows, speed[v])
+		bRows = append(bRows, btl[v])
+	}
+	return []TableData{
+		{
+			Title:  "Figure 9: speedup of SecNDP encryption+verification schemes (rank=8, reg=8, 12 AES)",
+			Header: header,
+			Rows:   sRows,
+		},
+		{
+			Title:  "Figure 10: % packets bottlenecked by decryption (same configs)",
+			Header: header,
+			Rows:   bRows,
+		},
+	}
+}
+
+// Format renders both figures' data: speedups (Fig 9) and bottleneck
+// percentages (Fig 10).
+func (r *Fig9Result) Format() string { return renderTables(r.Tables()) }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/sim"
+	"secndp/internal/workload"
+)
+
+// InitRow is one model's T0 initialization cost.
+type InitRow struct {
+	Model     string
+	Bytes     uint64
+	OTPBlocks uint64
+	WriteMS   float64
+	OTPMS     float64
+	TotalMS   float64
+	AESBound  bool
+}
+
+// InitResult is the extension experiment for the initialization step T0 of
+// Figure 4: running ArithEnc (§V-E1) over every embedding table of each
+// Table I model, with the standard 12-engine SecNDP pool and Ver-ECC tags.
+type InitResult struct {
+	Rows []InitRow
+}
+
+// InitExp measures T0 for each Table I model. T0 cost is linear in table
+// bytes (a straight write stream plus a straight pad stream), so the
+// simulation runs on a capped slice of each table and extrapolates to the
+// full Table I size — RMC2-large alone would otherwise need 134M simulated
+// line writes.
+func InitExp(opts Options) (*InitResult, error) {
+	capRows := 1 << 15
+	if opts.Quick {
+		capRows = 1 << 12
+	}
+	res := &InitResult{}
+	for _, m := range workload.TableIModels() {
+		fullRows := m.RowsPerTable()
+		rows := fullRows
+		if rows > capRows {
+			rows = capRows
+		}
+		scale := float64(fullRows) / float64(rows)
+		trace := workload.Trace{Tables: make([]workload.TableSpec, m.NumTables)}
+		for i := range trace.Tables {
+			trace.Tables[i] = workload.TableSpec{NumRows: rows, RowBytes: m.RowBytes}
+		}
+		cfg := sim.DefaultConfig(8, 8)
+		cfg.Placement = memory.TagECC
+		rep, err := sim.RunInit(cfg, trace)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, InitRow{
+			Model:     m.Name,
+			Bytes:     uint64(float64(rep.Bytes) * scale),
+			OTPBlocks: uint64(float64(rep.OTPBlocks) * scale),
+			WriteMS:   rep.WriteNS * scale / 1e6,
+			OTPMS:     rep.OTPNS * scale / 1e6,
+			TotalMS:   rep.TotalNS * scale / 1e6,
+			AESBound:  rep.AESBound,
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *InitResult) Tables() []TableData {
+	header := []string{"model", "bytes", "OTP blocks", "write (ms)", "pads (ms)", "total (ms)", "bound"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		bound := "write-bus"
+		if row.AESBound {
+			bound = "AES"
+		}
+		rows = append(rows, []string{
+			row.Model,
+			fmt.Sprintf("%d", row.Bytes),
+			fmt.Sprintf("%d", row.OTPBlocks),
+			fmt.Sprintf("%.2f", row.WriteMS),
+			fmt.Sprintf("%.2f", row.OTPMS),
+			fmt.Sprintf("%.2f", row.TotalMS),
+			bound,
+		})
+	}
+	return []TableData{{
+		Title:  "Extension: T0 initialization (ArithEnc, Ver-ECC, 12 AES engines)",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the T0 table.
+func (r *InitResult) Format() string { return renderTables(r.Tables()) }

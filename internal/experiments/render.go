@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+)
+
+// TableData is one titled table of an experiment's results — the
+// structured form behind both the aligned-text rendering and CSV export.
+type TableData struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Tabler is implemented by every experiment result: structured tables for
+// machine-readable export.
+type Tabler interface {
+	Tables() []TableData
+}
+
+// renderTables produces the aligned-text form used by Format methods.
+func renderTables(ts []TableData) string {
+	var b strings.Builder
+	for i, td := range ts {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(td.Title)
+		b.WriteByte('\n')
+		b.WriteString(table(td.Header, td.Rows))
+	}
+	return b.String()
+}
+
+// WriteCSV exports an experiment result as CSV: each table becomes a
+// section introduced by a single-cell title row, then the header and rows.
+func WriteCSV(w io.Writer, t Tabler) error {
+	cw := csv.NewWriter(w)
+	for _, td := range t.Tables() {
+		if err := cw.Write([]string{td.Title}); err != nil {
+			return err
+		}
+		if err := cw.Write(td.Header); err != nil {
+			return err
+		}
+		for _, r := range td.Rows {
+			if err := cw.Write(r); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Experiment is a named, runnable table/figure reproduction.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) (Formatter, error)
+}
+
+// Formatter is any experiment result: it renders aligned text and exposes
+// structured tables (for CSV export, see WriteCSV).
+type Formatter interface {
+	Format() string
+	Tabler
+}
+
+// Registry lists all experiments by their paper artifact id.
+func Registry() []Experiment {
+	return []Experiment{
+		{
+			ID:          "table3",
+			Description: "Table III: end-to-end speedup vs unprotected non-NDP and SGX",
+			Run: func(o Options) (Formatter, error) {
+				return Table3(o)
+			},
+		},
+		{
+			ID:          "table4",
+			Description: "Table IV: LogLoss of the quantization schemes",
+			Run: func(o Options) (Formatter, error) {
+				return Table4(o)
+			},
+		},
+		{
+			ID:          "table5",
+			Description: "Table V: memory energy per bit and normalized energy",
+			Run: func(o Options) (Formatter, error) {
+				return Table5(o)
+			},
+		},
+		{
+			ID:          "fig7",
+			Description: "Figure 7: speedups across NDP settings and AES engine counts",
+			Run: func(o Options) (Formatter, error) {
+				return Fig7(o)
+			},
+		},
+		{
+			ID:          "fig8",
+			Description: "Figure 8: % packets bottlenecked by decryption bandwidth",
+			Run: func(o Options) (Formatter, error) {
+				return Fig8(o)
+			},
+		},
+		{
+			ID:          "fig9",
+			Description: "Figures 9+10: verification tag placements (speedup and bottleneck)",
+			Run: func(o Options) (Formatter, error) {
+				return Fig9(o)
+			},
+		},
+		{
+			ID:          "fig11",
+			Description: "Figure 11: execution-time breakdown and batch-size scaling",
+			Run: func(o Options) (Formatter, error) {
+				return Fig11(o)
+			},
+		},
+		{
+			ID:          "regs",
+			Description: "Extension A5: NDP_reg ablation on irregular SLS",
+			Run: func(o Options) (Formatter, error) {
+				return Regs(o)
+			},
+		},
+		{
+			ID:          "storage",
+			Description: "Extension: SecNDP on a computational SSD (near-storage)",
+			Run: func(o Options) (Formatter, error) {
+				return Storage(o)
+			},
+		},
+		{
+			ID:          "init",
+			Description: "Extension: T0 initialization (ArithEnc) cost per Table I model",
+			Run: func(o Options) (Formatter, error) {
+				return InitExp(o)
+			},
+		},
+		{
+			ID:          "slalom",
+			Description: "Extension (§VIII): stored-share (Slalom-style) vs on-chip share",
+			Run: func(o Options) (Formatter, error) {
+				return Slalom(o)
+			},
+		},
+		{
+			ID:          "channels",
+			Description: "Extension: multi-channel scaling and the shared-engine AES demand",
+			Run: func(o Options) (Formatter, error) {
+				return Channels(o)
+			},
+		},
+		{
+			ID:          "prodtrace",
+			Description: "Extension: production pooling-factor (50-100) trace",
+			Run: func(o Options) (Formatter, error) {
+				return ProdTrace(o)
+			},
+		},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// RunAll executes every experiment and streams formatted results to w.
+func RunAll(opts Options, w io.Writer) error {
+	for _, e := range Registry() {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "=== %s — %s (%.1fs)\n\n%s\n", e.ID, e.Description,
+			time.Since(start).Seconds(), res.Format())
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/storage"
+)
+
+// StorageResult is the near-storage extension experiment: SecNDP applied
+// to a computational SSD (§I positions NDP "to main memory or even
+// storage"; RecSSD [76] is one of the two SLS workload sources). Reported
+// as speedups over the host-read baseline.
+type StorageResult struct {
+	// Sparse embedding rows (128 B) and dense analytics rows (4 KiB).
+	SparseNDP, SparseSecNDP1, SparseSecNDP12 float64
+	DenseNDP, DenseSecNDP1, DenseSecNDP12    float64
+	LinkReduction                            float64 // host/NDP link bytes, sparse
+}
+
+// Storage runs both row shapes through host, in-storage NDP, and SecNDP
+// with 1 and 12 AES engines.
+func Storage(opts Options) (*StorageResult, error) {
+	cfg := storage.Default()
+	n := 256
+	if opts.Quick {
+		n = 64
+	}
+	mk := func(rowBytes, resultBytes int) []storage.Query {
+		qs := make([]storage.Query, n)
+		for i := range qs {
+			qs[i] = storage.Query{Rows: 80, RowBytes: rowBytes, ResultBytes: resultBytes}
+		}
+		return qs
+	}
+	res := &StorageResult{}
+	sparse := mk(128, 128+16)
+	dense := mk(4096, 4096+16)
+
+	hostS, err := storage.RunHost(cfg, sparse)
+	if err != nil {
+		return nil, err
+	}
+	ndpS, err := storage.RunNDP(cfg, sparse)
+	if err != nil {
+		return nil, err
+	}
+	sec1S, err := storage.RunSecNDP(cfg, sparse, 1)
+	if err != nil {
+		return nil, err
+	}
+	sec12S, err := storage.RunSecNDP(cfg, sparse, 12)
+	if err != nil {
+		return nil, err
+	}
+	res.SparseNDP = hostS.TotalNS / ndpS.TotalNS
+	res.SparseSecNDP1 = hostS.TotalNS / sec1S.TotalNS
+	res.SparseSecNDP12 = hostS.TotalNS / sec12S.TotalNS
+	res.LinkReduction = float64(hostS.LinkBytes) / float64(ndpS.LinkBytes)
+
+	hostD, err := storage.RunHost(cfg, dense)
+	if err != nil {
+		return nil, err
+	}
+	ndpD, err := storage.RunNDP(cfg, dense)
+	if err != nil {
+		return nil, err
+	}
+	sec1D, err := storage.RunSecNDP(cfg, dense, 1)
+	if err != nil {
+		return nil, err
+	}
+	sec12D, err := storage.RunSecNDP(cfg, dense, 12)
+	if err != nil {
+		return nil, err
+	}
+	res.DenseNDP = hostD.TotalNS / ndpD.TotalNS
+	res.DenseSecNDP1 = hostD.TotalNS / sec1D.TotalNS
+	res.DenseSecNDP12 = hostD.TotalNS / sec12D.TotalNS
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *StorageResult) Tables() []TableData {
+	header := []string{"rows", "in-SSD NDP", "SecNDP 1 AES", "SecNDP 12 AES"}
+	rows := [][]string{
+		{"sparse 128 B (SLS)", fmt.Sprintf("%.2fx", r.SparseNDP),
+			fmt.Sprintf("%.2fx", r.SparseSecNDP1), fmt.Sprintf("%.2fx", r.SparseSecNDP12)},
+		{"dense 4 KiB (analytics)", fmt.Sprintf("%.2fx", r.DenseNDP),
+			fmt.Sprintf("%.2fx", r.DenseSecNDP1), fmt.Sprintf("%.2fx", r.DenseSecNDP12)},
+	}
+	return []TableData{{
+		Title: fmt.Sprintf(
+			"Extension: SecNDP on near-storage processing (speedup vs host reads; link traffic ÷%.0f)",
+			r.LinkReduction),
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the comparison.
+func (r *StorageResult) Format() string { return renderTables(r.Tables()) }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/tee"
+	"secndp/internal/workload"
+)
+
+// Table3Row is one column of the paper's Table III: the whole-system
+// speedups of one workload against the unprotected non-NDP baseline.
+type Table3Row struct {
+	Workload string
+	// Speedups vs unprotected non-NDP (1.0 = baseline).
+	NDP, SGXCFL, SGXICL, SecNDP float64
+	// CFLSupported is false for RMC2 models ("due to the malloc size limit
+	// by the current SGX library, we could only run RMC1 in SGX").
+	CFLSupported bool
+	ICLSupported bool
+}
+
+// Table3Result reproduces Table III: SecNDP speedup against unsecured
+// baseline and SGX, NDP_rank=8, NDP_reg=8, batch scaled, Ver-ECC tags,
+// 12 AES engines.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 runs the experiment.
+func Table3(opts Options) (*Table3Result, error) {
+	const ranks, regs, aes = 8, 8, 12
+	res := &Table3Result{}
+	cfl, icl := tee.CoffeeLake(), tee.IceLake()
+
+	for _, m := range workload.TableIModels() {
+		e2e, err := opts.endToEndFor(m, ranks, regs, aes, memory.TagECC)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Workload:     m.Name,
+			NDP:          e2e.ndpSpeedup(),
+			SecNDP:       e2e.secNDPSpeedup(),
+			CFLSupported: m.NumTables <= 12, // RMC1 only
+			ICLSupported: true,
+			SGXICL:       e2e.sgxSpeedup(icl),
+		}
+		if row.CFLSupported {
+			row.SGXCFL = e2e.sgxSpeedup(cfl)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Data analytics: no MLP portion; SGX penalties apply to the scan.
+	trace := opts.analyticsTrace()
+	times, err := runModes(opts, trace, ranks, regs, aes, memory.TagECC)
+	if err != nil {
+		return nil, err
+	}
+	// The analytics working set is the queried cohort (PF rows of 4 KiB:
+	// 40 MB in the paper's configuration), not the whole database.
+	wsBytes := uint64(opts.analyticsPF()) * uint64(trace.Tables[0].RowBytes)
+	pages := uint64(trace.TotalRowFetches()) // 4 KiB rows: one page per row
+	sgx := func(m tee.SGXModel) float64 {
+		t := m.TimeNS(tee.Phase{
+			BaselineNS:      times.HostNS,
+			MemoryBound:     true,
+			WorkingSetBytes: wsBytes,
+			PageTouches:     pages,
+		})
+		return times.HostNS / t
+	}
+	res.Rows = append(res.Rows, Table3Row{
+		Workload:     "Data Analytics",
+		NDP:          times.HostNS / times.NDPNS,
+		SecNDP:       times.HostNS / times.SecNDPNS,
+		SGXCFL:       sgx(cfl),
+		SGXICL:       sgx(icl),
+		CFLSupported: true,
+		ICLSupported: true,
+	})
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Table3Result) Tables() []TableData {
+	header := []string{"workload", "unprot. non-NDP", "unprot. NDP", "SGX-CFL", "SGX-ICL (no int. tree)", "SecNDP"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		cfl := "N/A"
+		if row.CFLSupported {
+			cfl = fmt.Sprintf("%.4fx", row.SGXCFL)
+		}
+		rows = append(rows, []string{
+			row.Workload,
+			"1x",
+			fmt.Sprintf("%.2fx", row.NDP),
+			cfl,
+			fmt.Sprintf("%.2fx", row.SGXICL),
+			fmt.Sprintf("%.2fx", row.SecNDP),
+		})
+	}
+	return []TableData{{
+		Title:  "Table III: speedup against the unprotected non-NDP baseline",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the result in the paper's Table III layout.
+func (r *Table3Result) Format() string { return renderTables(r.Tables()) }

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/dlrm"
+	"secndp/internal/quant"
+)
+
+// Table4Row is one row of Table IV: the LogLoss of a quantization scheme
+// and its degradation relative to 32-bit floating point.
+type Table4Row struct {
+	Scheme      string
+	LogLoss     float64
+	Degradation float64 // absolute LogLoss delta vs fp32
+	RelPercent  float64 // degradation as a % of the fp32 LogLoss
+}
+
+// Table4Result reproduces Table IV: accuracy of the quantization schemes
+// on the (synthetic, see DESIGN.md §2) recommendation model.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// Table4 runs the accuracy experiment: build the synthetic ground-truth
+// model + dataset, evaluate the expected LogLoss under fp32, 32-bit fixed
+// point, and 8-bit table-/column-wise quantization.
+func Table4(opts Options) (*Table4Result, error) {
+	cfg := dlrm.DefaultSyntheticConfig()
+	cfg.Seed = opts.Seed
+	if opts.Quick {
+		cfg.Samples = 1024
+		cfg.RowsPer = 512
+	} else {
+		cfg.Samples = 40_000 // the paper's 40K-sample production dataset
+		cfg.RowsPer = 4096
+	}
+	model, ds, err := dlrm.Synthesize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := model.EvaluateExpected(ds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{
+		Rows: []Table4Row{{Scheme: quant.Float32.String(), LogLoss: ref}},
+	}
+	for _, sch := range []quant.Scheme{quant.Fixed32, quant.TableWise, quant.ColumnWise} {
+		tables, err := dlrm.QuantizeTables(model, sch, 20)
+		if err != nil {
+			return nil, err
+		}
+		qm, err := model.WithTables(tables)
+		if err != nil {
+			return nil, err
+		}
+		ll, err := qm.EvaluateExpected(ds)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{
+			Scheme:      sch.String(),
+			LogLoss:     ll,
+			Degradation: ll - ref,
+			RelPercent:  100 * (ll - ref) / ref,
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Table4Result) Tables() []TableData {
+	header := []string{"", "LogLoss", "LogLoss degradation"}
+	var rows [][]string
+	for i, row := range r.Rows {
+		deg := "0"
+		if i > 0 {
+			deg = fmt.Sprintf("%.3g (%.4f%%)", row.Degradation, row.RelPercent)
+		}
+		rows = append(rows, []string{row.Scheme, fmt.Sprintf("%.5f", row.LogLoss), deg})
+	}
+	return []TableData{{
+		Title:  "Table IV: accuracy of different quantization schemes",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the paper's Table IV layout.
+func (r *Table4Result) Format() string { return renderTables(r.Tables()) }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"secndp/internal/energy"
+)
+
+// Table5Result reproduces Table V: per-bit memory energy of each system
+// mode and the normalized memory energy at PF=80.
+type Table5Result struct {
+	PF    int
+	Coeff energy.Coefficients
+	Rows  []Table5Row
+}
+
+// Table5Row is one Table V row.
+type Table5Row struct {
+	Mode       energy.Mode
+	Breakdown  energy.Breakdown
+	Normalized float64
+}
+
+// Table5 evaluates the closed-form energy model at the paper's PF=80.
+func Table5(opts Options) (*Table5Result, error) {
+	const pf = 80
+	c := energy.TableV()
+	res := &Table5Result{PF: pf, Coeff: c}
+	for _, m := range energy.Modes() {
+		res.Rows = append(res.Rows, Table5Row{
+			Mode:       m,
+			Breakdown:  c.PerBit(m, pf),
+			Normalized: c.Normalized(m, pf),
+		})
+	}
+	return res, nil
+}
+
+// Tables implements Tabler.
+func (r *Table5Result) Tables() []TableData {
+	header := []string{"", "DIMM (pJ/bit)", "DIMM IO", "SecNDP Engine", fmt.Sprintf("Normd. Mem. Energy (PF=%d)", r.PF)}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Mode.String(),
+			fmt.Sprintf("%.1f", row.Breakdown.DIMM),
+			fmt.Sprintf("%.1f", row.Breakdown.IO),
+			fmt.Sprintf("%.2f", row.Breakdown.Engine),
+			fmt.Sprintf("%.2f%%", 100*row.Normalized),
+		})
+	}
+	return []TableData{{
+		Title:  "Table V: memory energy consumption of SecNDP (evaluated pJ per result bit)",
+		Header: header,
+		Rows:   rows,
+	}}
+}
+
+// Format renders the paper's Table V layout (pJ per result bit; the ×PF
+// structure is evaluated at the chosen PF).
+func (r *Table5Result) Format() string { return renderTables(r.Tables()) }

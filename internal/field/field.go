@@ -1,0 +1,228 @@
+// Package field implements arithmetic in the prime field GF(q) for the
+// Mersenne prime q = 2^127 - 1, the modulus of SecNDP's linear modular hash
+// (paper §IV-F, Algorithms 2/3/5/8). The Mersenne structure makes reduction
+// a shift-and-add: x mod q = (x & q) + (x >> 127), which is why the paper
+// picks w_t = 127 "considering both security and performance".
+//
+// Elements are 127-bit values held in two uint64 limbs. All exported
+// operations accept and return canonical representatives in [0, q).
+package field
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Elem is a field element: value = Hi*2^64 + Lo, canonical in [0, 2^127-1).
+type Elem struct {
+	Hi, Lo uint64
+}
+
+// Q is the field modulus 2^127 - 1 represented as an out-of-range Elem
+// (Q itself is congruent to zero and is never a canonical element).
+var Q = Elem{Hi: 0x7FFFFFFFFFFFFFFF, Lo: 0xFFFFFFFFFFFFFFFF}
+
+// Zero and One are the additive and multiplicative identities.
+var (
+	Zero = Elem{}
+	One  = Elem{Lo: 1}
+)
+
+// Bits is the tag width w_t of the paper: 127.
+const Bits = 127
+
+// FromUint64 lifts a uint64 into the field.
+func FromUint64(x uint64) Elem { return Elem{Lo: x} }
+
+// New builds a canonical element from two limbs, reducing mod q.
+func New(hi, lo uint64) Elem { return reduce(Elem{Hi: hi, Lo: lo}) }
+
+// FromBytes interprets the first 16 bytes as a little-endian 128-bit
+// integer, truncates to 127 bits ("first w_t bits" of a cipher block in
+// Algorithms 2 and 3), and reduces mod q. Panics if b is shorter than 16
+// bytes.
+func FromBytes(b []byte) Elem {
+	_ = b[15]
+	var lo, hi uint64
+	for i := 0; i < 8; i++ {
+		lo |= uint64(b[i]) << (8 * i)
+		hi |= uint64(b[8+i]) << (8 * i)
+	}
+	hi &= 0x7FFFFFFFFFFFFFFF // truncate bit 127
+	return reduce(Elem{Hi: hi, Lo: lo})
+}
+
+// Bytes serializes the element as 16 little-endian bytes (bit 127 is zero).
+func (e Elem) Bytes() [16]byte {
+	var out [16]byte
+	for i := 0; i < 8; i++ {
+		out[i] = byte(e.Lo >> (8 * i))
+		out[8+i] = byte(e.Hi >> (8 * i))
+	}
+	return out
+}
+
+// IsZero reports whether e is the additive identity.
+func (e Elem) IsZero() bool { return e.Hi == 0 && e.Lo == 0 }
+
+// Equal reports whether two canonical elements are equal.
+func (e Elem) Equal(o Elem) bool { return e.Hi == o.Hi && e.Lo == o.Lo }
+
+// String prints the element in hexadecimal.
+func (e Elem) String() string { return fmt.Sprintf("%016x%016x", e.Hi, e.Lo) }
+
+// reduce maps a full 128-bit value (possibly >= q) to its canonical
+// representative. Because the input is < 2^128 = 4q + 4, two folds plus a
+// conditional subtract suffice.
+func reduce(e Elem) Elem {
+	// fold: x = (x mod 2^127) + (x >> 127). x >> 127 is just the top bit.
+	for e.Hi>>63 != 0 {
+		top := e.Hi >> 63
+		e.Hi &= 0x7FFFFFFFFFFFFFFF
+		var c uint64
+		e.Lo, c = bits.Add64(e.Lo, top, 0)
+		e.Hi, _ = bits.Add64(e.Hi, 0, c)
+	}
+	// now e < 2^127; subtract q if e == q.
+	if e.Hi == Q.Hi && e.Lo == Q.Lo {
+		return Elem{}
+	}
+	return e
+}
+
+// Add returns a + b mod q.
+func Add(a, b Elem) Elem {
+	lo, c := bits.Add64(a.Lo, b.Lo, 0)
+	hi, _ := bits.Add64(a.Hi, b.Hi, c)
+	return reduce(Elem{Hi: hi, Lo: lo})
+}
+
+// Neg returns -a mod q.
+func Neg(a Elem) Elem {
+	if a.IsZero() {
+		return a
+	}
+	lo, brw := bits.Sub64(Q.Lo, a.Lo, 0)
+	hi, _ := bits.Sub64(Q.Hi, a.Hi, brw)
+	return Elem{Hi: hi, Lo: lo}
+}
+
+// Sub returns a - b mod q.
+func Sub(a, b Elem) Elem { return Add(a, Neg(b)) }
+
+// Mul returns a * b mod q using a 256-bit schoolbook product followed by
+// Mersenne folding (2^128 ≡ 2 mod q).
+func Mul(a, b Elem) Elem {
+	// 256-bit product into limbs r3:r2:r1:r0.
+	h00, l00 := bits.Mul64(a.Lo, b.Lo)
+	h01, l01 := bits.Mul64(a.Lo, b.Hi)
+	h10, l10 := bits.Mul64(a.Hi, b.Lo)
+	h11, l11 := bits.Mul64(a.Hi, b.Hi)
+
+	r0 := l00
+	r1, c := bits.Add64(h00, l01, 0)
+	r2, c2 := bits.Add64(h01, l11, c)
+	r3, _ := bits.Add64(h11, 0, c2)
+
+	r1, c = bits.Add64(r1, l10, 0)
+	r2, c = bits.Add64(r2, h10, c)
+	r3, _ = bits.Add64(r3, 0, c)
+
+	// N = (r3:r2)*2^128 + (r1:r0) ≡ 2*(r3:r2) + (r1:r0) mod q.
+	// a,b < 2^127 so the product < 2^254 and (r3:r2) < 2^126;
+	// 2*(r3:r2) fits in 127 bits.
+	hi2 := r3<<1 | r2>>63
+	lo2 := r2 << 1
+	lo, c := bits.Add64(r0, lo2, 0)
+	hi, carry := bits.Add64(r1, hi2, c)
+	// carry out of 128 bits contributes 2 (since 2^128 ≡ 2).
+	if carry != 0 {
+		lo, c = bits.Add64(lo, 2, 0)
+		hi, _ = bits.Add64(hi, 0, c)
+	}
+	return reduce(Elem{Hi: hi, Lo: lo})
+}
+
+// MulUint64 returns a * k mod q for a small (uint64) scalar. This is the
+// hot operation when folding ring elements into checksums.
+func MulUint64(a Elem, k uint64) Elem {
+	return Mul(a, Elem{Lo: k})
+}
+
+// Pow returns a^k mod q by square-and-multiply.
+func Pow(a Elem, k uint64) Elem {
+	res := One
+	base := a
+	for k > 0 {
+		if k&1 == 1 {
+			res = Mul(res, base)
+		}
+		base = Mul(base, base)
+		k >>= 1
+	}
+	return res
+}
+
+// Inv returns the multiplicative inverse a^(q-2) mod q. Panics on zero.
+func Inv(a Elem) Elem {
+	if a.IsZero() {
+		panic("field: inverse of zero")
+	}
+	// q - 2 = 2^127 - 3.
+	// Exponentiate by the 127-bit exponent 0x7FFF...FFFD.
+	res := One
+	base := a
+	// Low limb of exponent: 0xFFFFFFFFFFFFFFFD, high limb: 0x7FFFFFFFFFFFFFFF.
+	exp := [2]uint64{0xFFFFFFFFFFFFFFFD, 0x7FFFFFFFFFFFFFFF}
+	for limb := 0; limb < 2; limb++ {
+		e := exp[limb]
+		n := 64
+		if limb == 1 {
+			n = 63 // top limb has 63 significant bits
+		}
+		for i := 0; i < n; i++ {
+			if e&1 == 1 {
+				res = Mul(res, base)
+			}
+			base = Mul(base, base)
+			e >>= 1
+		}
+	}
+	return res
+}
+
+// Horner evaluates Σ_{j=0}^{m-1} coeffs[j] * s^(m-j) mod q — the linear
+// modular hash of Algorithm 2 — using Horner's rule:
+//
+//	T = s * (((c0*s + c1)*s + c2) ... + c_{m-1})
+//
+// coeffs are ring elements (≤ 64 bits), lifted into the field.
+func Horner(s Elem, coeffs []uint64) Elem {
+	acc := Zero
+	for _, c := range coeffs {
+		acc = Add(Mul(acc, s), Elem{Lo: c})
+	}
+	return Mul(acc, s)
+}
+
+// HornerElems is Horner for field-element coefficients.
+func HornerElems(s Elem, coeffs []Elem) Elem {
+	acc := Zero
+	for _, c := range coeffs {
+		acc = Add(Mul(acc, s), c)
+	}
+	return Mul(acc, s)
+}
+
+// NaivePowerSum evaluates the same polynomial as Horner by computing each
+// power independently. Quadratic; retained as the ablation baseline (A4 in
+// DESIGN.md) and as a cross-check oracle in tests.
+func NaivePowerSum(s Elem, coeffs []uint64) Elem {
+	acc := Zero
+	m := uint64(len(coeffs))
+	for j, c := range coeffs {
+		term := Mul(Pow(s, m-uint64(j)), Elem{Lo: c})
+		acc = Add(acc, term)
+	}
+	return acc
+}

@@ -1,0 +1,300 @@
+package field
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bigQ is the modulus as a math/big integer, the reference oracle.
+var bigQ = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+
+func toBig(e Elem) *big.Int {
+	v := new(big.Int).SetUint64(e.Hi)
+	v.Lsh(v, 64)
+	return v.Add(v, new(big.Int).SetUint64(e.Lo))
+}
+
+func fromBig(v *big.Int) Elem {
+	m := new(big.Int).Mod(v, bigQ)
+	var lo, hi uint64
+	words := m.Bits()
+	if len(words) > 0 {
+		lo = uint64(words[0])
+	}
+	if len(words) > 1 {
+		hi = uint64(words[1])
+	}
+	return Elem{Hi: hi, Lo: lo}
+}
+
+func randElem(rng *rand.Rand) Elem {
+	return New(rng.Uint64()&0x7FFFFFFFFFFFFFFF, rng.Uint64())
+}
+
+func TestConstants(t *testing.T) {
+	if toBig(Q).Cmp(bigQ) != 0 {
+		t.Fatalf("Q = %v, want 2^127-1", toBig(Q))
+	}
+	if !Zero.IsZero() {
+		t.Error("Zero is not zero")
+	}
+	if One.Lo != 1 || One.Hi != 0 {
+		t.Error("One is wrong")
+	}
+}
+
+func TestNewReducesQ(t *testing.T) {
+	if got := New(Q.Hi, Q.Lo); !got.IsZero() {
+		t.Errorf("New(q) = %v, want 0", got)
+	}
+	// 2^127 = q+1 ≡ 1
+	if got := New(1<<63, 0); !got.Equal(One) {
+		t.Errorf("New(2^127) = %v, want 1", got)
+	}
+	// all ones (2^128-1) ≡ 2q+1 ≡ 1
+	if got := New(^uint64(0), ^uint64(0)); !got.Equal(One) {
+		t.Errorf("New(2^128-1) = %v, want 1", got)
+	}
+}
+
+func TestAddAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randElem(rng), randElem(rng)
+		got := Add(a, b)
+		want := fromBig(new(big.Int).Add(toBig(a), toBig(b)))
+		if !got.Equal(want) {
+			t.Fatalf("Add(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMulAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b := randElem(rng), randElem(rng)
+		got := Mul(a, b)
+		want := fromBig(new(big.Int).Mul(toBig(a), toBig(b)))
+		if !got.Equal(want) {
+			t.Fatalf("Mul(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMulEdgeCases(t *testing.T) {
+	qm1 := Elem{Hi: Q.Hi, Lo: Q.Lo - 1} // q-1 ≡ -1
+	got := Mul(qm1, qm1)                // (-1)^2 = 1
+	if !got.Equal(One) {
+		t.Errorf("(q-1)^2 = %v, want 1", got)
+	}
+	if !Mul(Zero, qm1).IsZero() {
+		t.Error("0 * x != 0")
+	}
+	if !Mul(One, qm1).Equal(qm1) {
+		t.Error("1 * x != x")
+	}
+}
+
+func TestSubNeg(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		a, b := randElem(rng), randElem(rng)
+		got := Sub(a, b)
+		want := fromBig(new(big.Int).Sub(toBig(a), toBig(b)))
+		if !got.Equal(want) {
+			t.Fatalf("Sub mismatch")
+		}
+		if !Add(a, Neg(a)).IsZero() {
+			t.Fatalf("a + (-a) != 0")
+		}
+	}
+	if !Neg(Zero).IsZero() {
+		t.Error("Neg(0) != 0")
+	}
+}
+
+func TestPowAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		a := randElem(rng)
+		k := rng.Uint64() % 10000
+		got := Pow(a, k)
+		want := fromBig(new(big.Int).Exp(toBig(a), new(big.Int).SetUint64(k), bigQ))
+		if !got.Equal(want) {
+			t.Fatalf("Pow(%v, %d) mismatch", a, k)
+		}
+	}
+}
+
+func TestPowZeroExponent(t *testing.T) {
+	if !Pow(Elem{Lo: 12345}, 0).Equal(One) {
+		t.Error("x^0 != 1")
+	}
+}
+
+func TestFermatLittleTheorem(t *testing.T) {
+	// a^(q-1) ≡ 1 for a != 0. Exponent q-1 = 2^127-2 doesn't fit uint64,
+	// so check via Inv: a * Inv(a) == 1 exercises a^(q-2).
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		a := randElem(rng)
+		if a.IsZero() {
+			continue
+		}
+		if !Mul(a, Inv(a)).Equal(One) {
+			t.Fatalf("a * a^-1 != 1 for a = %v", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(Zero)
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		a := randElem(rng)
+		b := a.Bytes()
+		got := FromBytes(b[:])
+		if !got.Equal(a) {
+			t.Fatalf("bytes round trip: %v -> %v", a, got)
+		}
+	}
+}
+
+func TestFromBytesTruncatesBit127(t *testing.T) {
+	// All 0xFF: 2^128-1 truncated to 127 bits = q ≡ 0.
+	b := make([]byte, 16)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	if got := FromBytes(b); !got.IsZero() {
+		t.Errorf("FromBytes(all ones) = %v, want 0", got)
+	}
+}
+
+func TestFromBytesPanicsShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromBytes(short) did not panic")
+		}
+	}()
+	FromBytes(make([]byte, 15))
+}
+
+// Property: field axioms via testing/quick on uint64-lifted elements.
+func TestFieldAxiomsProperty(t *testing.T) {
+	commutAdd := func(x, y uint64) bool {
+		a, b := FromUint64(x), FromUint64(y)
+		return Add(a, b).Equal(Add(b, a))
+	}
+	commutMul := func(x, y uint64) bool {
+		a, b := FromUint64(x), FromUint64(y)
+		return Mul(a, b).Equal(Mul(b, a))
+	}
+	distrib := func(x, y, z uint64) bool {
+		a, b, c := FromUint64(x), FromUint64(y), FromUint64(z)
+		return Mul(a, Add(b, c)).Equal(Add(Mul(a, b), Mul(a, c)))
+	}
+	for name, f := range map[string]interface{}{
+		"add-commutative": commutAdd,
+		"mul-commutative": commutMul,
+		"distributive":    distrib,
+	} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: associativity on full-width random elements.
+func TestAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a, b, c := randElem(rng), randElem(rng), randElem(rng)
+		if !Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c))) {
+			t.Fatalf("mul not associative: %v %v %v", a, b, c)
+		}
+		if !Add(Add(a, b), c).Equal(Add(a, Add(b, c))) {
+			t.Fatalf("add not associative")
+		}
+	}
+}
+
+func TestHornerMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(40)
+		coeffs := make([]uint64, m)
+		for i := range coeffs {
+			coeffs[i] = rng.Uint64()
+		}
+		s := randElem(rng)
+		h := Horner(s, coeffs)
+		n := NaivePowerSum(s, coeffs)
+		if !h.Equal(n) {
+			t.Fatalf("trial %d: Horner %v != naive %v", trial, h, n)
+		}
+	}
+}
+
+func TestHornerEmpty(t *testing.T) {
+	if !Horner(FromUint64(5), nil).IsZero() {
+		t.Error("Horner of empty polynomial should be 0")
+	}
+}
+
+// Property: linearity of the checksum — h(a·P1 + b·P2) = a·h(P1) + b·h(P2)
+// when coefficients are lifted to the field (no ring reduction). This is
+// the algebraic fact behind SecNDP verification (§IV-F).
+func TestHornerLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(16)
+		p1 := make([]Elem, m)
+		p2 := make([]Elem, m)
+		for i := 0; i < m; i++ {
+			p1[i] = FromUint64(rng.Uint64() % 1000)
+			p2[i] = FromUint64(rng.Uint64() % 1000)
+		}
+		a := FromUint64(rng.Uint64() % 1000)
+		b := FromUint64(rng.Uint64() % 1000)
+		s := randElem(rng)
+
+		comb := make([]Elem, m)
+		for i := 0; i < m; i++ {
+			comb[i] = Add(Mul(a, p1[i]), Mul(b, p2[i]))
+		}
+		lhs := HornerElems(s, comb)
+		rhs := Add(Mul(a, HornerElems(s, p1)), Mul(b, HornerElems(s, p2)))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("trial %d: checksum not linear", trial)
+		}
+	}
+}
+
+func TestMulUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		a := randElem(rng)
+		k := rng.Uint64()
+		if !MulUint64(a, k).Equal(Mul(a, FromUint64(k))) {
+			t.Fatal("MulUint64 disagrees with Mul")
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Elem{Hi: 1, Lo: 2}.String()
+	if got != "00000000000000010000000000000002" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,432 @@
+// Package integration holds cross-module end-to-end tests: the functional
+// SecNDP scheme driven by real workload traces, consistency between the
+// functional and timing paths, the DLRM accuracy pipeline on top of
+// SecNDP pooling, and coexistence of SecNDP tables with conventional
+// memenc-protected memory in one untrusted space.
+package integration
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/core"
+	"secndp/internal/dlrm"
+	"secndp/internal/memenc"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+	"secndp/internal/quant"
+	"secndp/internal/ring"
+	"secndp/internal/sim"
+	"secndp/internal/stats"
+	"secndp/internal/workload"
+)
+
+var key = []byte("integration-key!")
+
+// TestWorkloadTraceThroughScheme drives the functional scheme with a real
+// SLS trace: every query of the trace executes over ciphertext and matches
+// the plaintext pooling.
+func TestWorkloadTraceThroughScheme(t *testing.T) {
+	trace := workload.SLSTrace(workload.SLSConfig{
+		NumTables: 3, RowsPerTable: 256, RowBytes: 128,
+		Batch: 4, PF: 20, Seed: 5,
+	})
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := core.NewVersionManager(16, otp.MaxVersion)
+	mem := memory.NewSpace()
+	r := ring.MustNew(32)
+
+	// Encrypt each table at its own base with Ver-sep tags.
+	type tbl struct {
+		enc   *core.Table
+		plain [][]uint64
+	}
+	rng := rand.New(rand.NewSource(9))
+	tables := make([]tbl, len(trace.Tables))
+	base := uint64(0x10000)
+	tagBase := uint64(0x4000000)
+	for i, spec := range trace.Tables {
+		rows := make([][]uint64, spec.NumRows)
+		for ri := range rows {
+			rows[ri] = make([]uint64, 32)
+			for j := range rows[ri] {
+				rows[ri][j] = rng.Uint64() % (1 << 20)
+			}
+		}
+		geo := core.Geometry{
+			Layout: memory.Layout{
+				Placement: memory.TagSep, Base: base, TagBase: tagBase,
+				NumRows: spec.NumRows, RowBytes: spec.RowBytes,
+			},
+			Params: core.Params{We: 32, M: 32},
+		}
+		base += uint64(spec.NumRows*spec.RowBytes) + 0x1000
+		tagBase += uint64(spec.NumRows*memory.TagBytes) + 0x1000
+		v, err := vm.Allocate(fmt.Sprintf("table-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := scheme.EncryptTable(mem, geo, v, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tbl{enc: enc, plain: rows}
+	}
+
+	ndp := &core.HonestNDP{Mem: mem}
+	for qi, q := range trace.Queries {
+		w := make([]uint64, len(q.Rows))
+		for k := range w {
+			w[k] = 1 + uint64(k%7)
+		}
+		got, err := tables[q.Table].enc.QueryVerified(ndp, q.Rows, w)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		for j := 0; j < 32; j++ {
+			var want uint64
+			for k, ri := range q.Rows {
+				want += w[k] * tables[q.Table].plain[ri][j]
+			}
+			if got[j] != r.Reduce(want) {
+				t.Fatalf("query %d col %d: %d != %d", qi, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestFunctionalAndTimingAgreeOnShape runs the same trace through both the
+// functional scheme (counting real OTP blocks consumed) and the timing
+// simulator (its OTP accounting), checking they agree on the AES work.
+func TestFunctionalAndTimingAgreeOnShape(t *testing.T) {
+	trace := workload.SLSTrace(workload.SLSConfig{
+		NumTables: 1, RowsPerTable: 512, RowBytes: 128,
+		Batch: 2, PF: 10, Seed: 6,
+	})
+	cfg := sim.DefaultConfig(2, 2)
+	p, err := sim.Place(cfg, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.RunSecNDP(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Functional count: each 128-byte row needs 8 pad blocks.
+	wantBlocks := uint64(trace.TotalRowFetches() * 8)
+	if rep.OTPBlocks != wantBlocks {
+		t.Errorf("timing model generated %d OTP blocks, functional math says %d",
+			rep.OTPBlocks, wantBlocks)
+	}
+}
+
+// TestDLRMInferenceOverSecNDP wires the recommendation model's embedding
+// pooling through the encrypted path: predictions with SecNDP-pooled
+// embeddings equal predictions with local pooling (fixed-point exact).
+func TestDLRMInferenceOverSecNDP(t *testing.T) {
+	cfg := dlrm.DefaultSyntheticConfig()
+	cfg.NumTables = 2
+	cfg.RowsPer = 128
+	cfg.Samples = 8
+	cfg.PF = 10
+	model, ds, err := dlrm.Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantize each table to 8-bit codes and encrypt the codes (16-bit ring
+	// for PF≤10 headroom: 10·255 < 2^16).
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.NewSpace()
+	ndp := &core.HonestNDP{Mem: mem}
+
+	type encEmb struct {
+		q   *quant.Table
+		tab *core.Table
+	}
+	encs := make([]encEmb, cfg.NumTables)
+	base := uint64(0x100000)
+	for i := range encs {
+		ft := model.Tables[i].(dlrm.FloatTable)
+		q, err := quant.Quantize(quant.ColumnWise, ft, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		geo := core.Geometry{
+			Layout: memory.Layout{
+				Placement: memory.TagColoc, Base: base,
+				NumRows: cfg.RowsPer, RowBytes: cfg.EmbDim * 2,
+			},
+			Params: core.Params{We: 16, M: cfg.EmbDim},
+		}
+		base = (geo.Layout.DataEnd() + 0xFFF) &^ 0xFFF
+		tab, err := scheme.EncryptTable(mem, geo, uint64(i+1), q.Codes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i] = encEmb{q: q, tab: tab}
+	}
+
+	for si, s := range ds {
+		// Local (reference) prediction with quantized tables.
+		qtabs, err := dlrm.QuantizeTables(model, quant.ColumnWise, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qm, err := model.WithTables(qtabs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := qm.Forward(s.Dense, s.Sparse)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// SecNDP prediction: pool codes over ciphertext, apply the cached
+		// per-column scale/bias, feed the same towers.
+		feat, err := model.Bottom.Forward(s.Dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec := append([]float64(nil), feat...)
+		for ti, sf := range s.Sparse {
+			w := make([]uint64, len(sf.Idx))
+			var sumW float64
+			for k := range w {
+				w[k] = 1
+				sumW++
+			}
+			pooled, err := encs[ti].tab.QueryVerified(ndp, sf.Idx, w)
+			if err != nil {
+				t.Fatalf("sample %d table %d: %v", si, ti, err)
+			}
+			q := encs[ti].q
+			for j := 0; j < cfg.EmbDim; j++ {
+				vec = append(vec, float64(pooled[j])*q.Scale[j]+q.Bias[j]*sumW)
+			}
+		}
+		out, err := model.Top.Forward(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 1 / (1 + math.Exp(-out[0]))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("sample %d: SecNDP prediction %g != local %g", si, got, want)
+		}
+	}
+}
+
+// TestMedicalPipelineEndToEnd: encrypted cohort sums feed a t-test that
+// detects a planted effect and nothing else.
+func TestMedicalPipelineEndToEnd(t *testing.T) {
+	const (
+		patients = 512
+		genes    = 16
+		cohort   = 128
+		target   = 5
+	)
+	rng := rand.New(rand.NewSource(12))
+	expr := make([][]float64, patients)
+	for p := range expr {
+		expr[p] = make([]float64, genes)
+		for g := range expr[p] {
+			v := 10 + rng.NormFloat64()
+			if g == target && p < cohort {
+				v += 2
+			}
+			expr[p][g] = math.Max(v, 0)
+		}
+	}
+	fx := ring.NewFixed(ring.MustNew(32), 8)
+	rows := make([][]uint64, patients)
+	for p := range rows {
+		rows[p] = fx.EncodeVec(expr[p])
+	}
+	scheme, _ := core.NewScheme(key)
+	mem := memory.NewSpace()
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagSep, Base: 0x10000, TagBase: 0x2000000,
+			NumRows: patients, RowBytes: genes * 4,
+		},
+		Params: core.Params{We: 32, M: genes},
+	}
+	tab, err := scheme.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp := &core.HonestNDP{Mem: mem}
+
+	sum := func(from, to int) []float64 {
+		idx := make([]int, to-from)
+		w := make([]uint64, to-from)
+		for k := range idx {
+			idx[k], w[k] = from+k, 1
+		}
+		s, err := tab.QueryVerified(ndp, idx, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, genes)
+		for g := range out {
+			out[g] = float64(s[g]) / fx.Scale()
+		}
+		return out
+	}
+	sumA := sum(0, cohort)
+	sumB := sum(cohort, 2*cohort)
+	sig := 0
+	for g := 0; g < genes; g++ {
+		a := summarize(expr, 0, cohort, g)
+		b := summarize(expr, cohort, 2*cohort, g)
+		// The verified NDP sums must match the local sufficient statistic.
+		if math.Abs(a.Sum-sumA[g]) > float64(cohort)/fx.Scale() {
+			t.Fatalf("gene %d: NDP sum %.3f != local %.3f", g, sumA[g], a.Sum)
+		}
+		if math.Abs(b.Sum-sumB[g]) > float64(cohort)/fx.Scale() {
+			t.Fatalf("gene %d control sum mismatch", g)
+		}
+		res, err := stats.WelchTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 1e-4 {
+			if g != target {
+				t.Errorf("false positive at gene %d (p=%g)", g, res.P)
+			}
+			sig++
+		}
+	}
+	if sig != 1 {
+		t.Errorf("%d significant genes, want exactly the planted one", sig)
+	}
+}
+
+func summarize(expr [][]float64, from, to, gene int) stats.Summary {
+	vals := make([]float64, to-from)
+	for i := range vals {
+		vals[i] = expr[from+i][gene]
+	}
+	return stats.Summarize(vals)
+}
+
+// TestSecNDPAndMemencCoexist: one untrusted memory holds a conventional
+// TEE-protected region (memenc) and a SecNDP table; both keep their
+// guarantees, and cross-region tampering is attributed correctly.
+func TestSecNDPAndMemencCoexist(t *testing.T) {
+	mem := memory.NewSpace()
+
+	eng, err := memenc.NewEngine(key, mem, memenc.Config{
+		DataBase: 0x10000, MACBase: 0x20000, CounterBase: 0x30000, TreeBase: 0x40000,
+		NumLines: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private := make([]byte, memenc.LineBytes)
+	for i := range private {
+		private[i] = byte(i)
+	}
+	if err := eng.WriteLine(3, private); err != nil {
+		t.Fatal(err)
+	}
+
+	scheme, _ := core.NewScheme([]byte("a different key1"))
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagSep, Base: 0x100000, TagBase: 0x200000,
+			NumRows: 8, RowBytes: 128,
+		},
+		Params: core.Params{We: 32, M: 32},
+	}
+	rng := rand.New(rand.NewSource(13))
+	rows := make([][]uint64, 8)
+	for i := range rows {
+		rows[i] = make([]uint64, 32)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % 1000
+		}
+	}
+	tab, err := scheme.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp := &core.HonestNDP{Mem: mem}
+
+	// Both paths work.
+	if _, err := eng.ReadLine(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.QueryVerified(ndp, []int{0, 1}, []uint64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper the memenc region: only memenc notices.
+	mem.FlipBit(0x10000+3*memenc.LineBytes, 0)
+	if _, err := eng.ReadLine(3); !errors.Is(err, memenc.ErrIntegrity) {
+		t.Error("memenc tamper not detected")
+	}
+	if _, err := tab.QueryVerified(ndp, []int{0, 1}, []uint64{1, 1}); err != nil {
+		t.Errorf("SecNDP affected by unrelated tamper: %v", err)
+	}
+	// Tamper the SecNDP region: only SecNDP notices.
+	mem.FlipBit(geo.Layout.RowAddr(1)+2, 1)
+	if _, err := tab.QueryVerified(ndp, []int{0, 1}, []uint64{1, 1}); !errors.Is(err, core.ErrVerification) {
+		t.Error("SecNDP tamper not detected")
+	}
+}
+
+// TestCiphertextByteUniformity: a chi-square goodness-of-fit test over the
+// byte histogram of a large ciphertext region — a stronger version of the
+// bit-balance smoke tests, using the stats substrate against the crypto
+// substrate.
+func TestCiphertextByteUniformity(t *testing.T) {
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, m = 512, 32
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagNone, Base: 0x10000, NumRows: n, RowBytes: m * 4,
+		},
+		Params: core.Params{We: 32, M: m},
+	}
+	// Worst-case plaintext for a bad cipher: all zeros.
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = make([]uint64, m)
+	}
+	mem := memory.NewSpace()
+	if _, err := scheme.EncryptTable(mem, geo, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	ct := mem.Snapshot(geo.Layout.Base, n*m*4) // 64 KiB of ciphertext
+	counts := make([]uint64, 256)
+	for _, b := range ct {
+		counts[b]++
+	}
+	chi2, p, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("ciphertext bytes fail uniformity: chi2=%.1f p=%g", chi2, p)
+	}
+	// Control: the plaintext itself (all zeros) must fail spectacularly.
+	zero := make([]uint64, 256)
+	zero[0] = uint64(len(ct))
+	if _, pz, _ := stats.ChiSquareUniform(zero); pz > 1e-10 {
+		t.Error("control case did not fail — test has no power")
+	}
+}

@@ -1,0 +1,164 @@
+// Package isa is a functional model of the paper's §V micro-architecture:
+// the NDP ISA extensions (NDPInst, NDPLd), the SecNDP ISA extensions
+// (ArithEnc, SecNDPInst, SecNDPLd), the NDP command format dispatched by
+// the memory controller, the Rank-NDP PU register machine, and the SecNDP
+// engine (encryption engine + OTP PU + verification engine) in front of
+// the core.
+//
+// Where internal/ndp models *timing*, this package models *function*: an
+// instruction stream executes against untrusted memory and produces
+// architecturally visible results, with verification failures raising the
+// interrupt the paper describes (§V-E3). It demonstrates the paper's
+// central architectural claim in executable form: the NDP PU runs the
+// *same* commands whether the data is plaintext or SecNDP ciphertext.
+package isa
+
+import (
+	"fmt"
+
+	"secndp/internal/memory"
+	"secndp/internal/ring"
+)
+
+// Op is the NDP arithmetic operation of an NDP command.
+type Op uint8
+
+const (
+	// OpMACC: reg[dst] += Imm × mem[addr : addr+vsize], the weighted
+	// accumulate used by SLS (Figure 5's example encodes exactly this).
+	OpMACC Op = iota
+	// OpACC: reg[dst] += mem[...], an unweighted accumulate.
+	OpACC
+	// OpClear zeroes a register.
+	OpClear
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpMACC:
+		return "MACC"
+	case OpACC:
+		return "ACC"
+	case OpClear:
+		return "CLEAR"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// NDPInst is the baseline NDP instruction (§V, Figure 5): "all the
+// operands for issuing an NDP command, including a data address, the
+// operation Op, vector size vsize, data size dsize, an immediate operand
+// Imm, and source/destination register IDs".
+type NDPInst struct {
+	Op    Op
+	Addr  uint64 // physical address of the row vector
+	VSize int    // elements in the vector (m)
+	DSize uint8  // element width in bits (we)
+	Imm   uint64 // the weight a_i
+	Reg   int    // destination register
+}
+
+// NDPLd loads an NDP PU register back to the processor.
+type NDPLd struct {
+	Reg int
+}
+
+// SecNDPInst extends NDPInst with "two extra fields: the version number v
+// and one extra bit indicating whether verification is needed" (§V-B).
+type SecNDPInst struct {
+	NDPInst
+	Version uint64
+	Verify  bool
+	// TagAddr is the address of the row's tag when Verify is set (layout
+	// dependent; the memory controller computes it from the table layout).
+	TagAddr uint64
+}
+
+// SecNDPLd loads and decrypts a register pair (NDP PU + OTP PU), and "will
+// also verify the data when loading" (§V-B).
+type SecNDPLd struct {
+	Reg    int
+	Verify bool
+}
+
+// Command is the NDP command the memory controller dispatches to a rank PU
+// — identical for protected and unprotected operation (§V-A: "The NDP
+// commands and NDP PUs remain unchanged").
+type Command struct {
+	Op    Op
+	Addr  uint64
+	VSize int
+	DSize uint8
+	Imm   uint64
+	Reg   int
+}
+
+// PU is one Rank-NDP processing unit: NDP_reg vector accumulator registers
+// plus a tag accumulator per register (the §V-D "extended register" design
+// option, used only when verification is on).
+type PU struct {
+	mem  *memory.Space
+	regs [][]uint64
+	m    int
+}
+
+// NewPU builds a PU with nregs registers of m elements.
+func NewPU(mem *memory.Space, nregs, m int) (*PU, error) {
+	if nregs <= 0 || m <= 0 {
+		return nil, fmt.Errorf("isa: invalid PU shape regs=%d m=%d", nregs, m)
+	}
+	p := &PU{mem: mem, m: m, regs: make([][]uint64, nregs)}
+	for i := range p.regs {
+		p.regs[i] = make([]uint64, m)
+	}
+	return p, nil
+}
+
+// Execute runs one NDP command against the PU's memory. The PU is a dumb
+// integer ALU: it neither knows nor cares whether the bytes are plaintext
+// or SecNDP ciphertext.
+func (p *PU) Execute(c Command) error {
+	if c.Reg < 0 || c.Reg >= len(p.regs) {
+		return fmt.Errorf("isa: register %d out of range [0,%d)", c.Reg, len(p.regs))
+	}
+	if c.Op == OpClear {
+		for j := range p.regs[c.Reg] {
+			p.regs[c.Reg][j] = 0
+		}
+		return nil
+	}
+	if c.VSize != p.m {
+		return fmt.Errorf("isa: vector size %d != PU width %d", c.VSize, p.m)
+	}
+	switch c.DSize {
+	case 8, 16, 32, 64:
+	default:
+		return fmt.Errorf("isa: unsupported data size %d (want 8/16/32/64)", c.DSize)
+	}
+	r, err := ring.New(uint(c.DSize))
+	if err != nil {
+		return fmt.Errorf("isa: %w", err)
+	}
+	raw := p.mem.Read(c.Addr, c.VSize*int(c.DSize)/8)
+	vec := r.UnpackElems(raw)
+	w := c.Imm
+	if c.Op == OpACC {
+		w = 1
+	}
+	r.ScaleAccum(p.regs[c.Reg], w, vec)
+	return nil
+}
+
+// Load returns a copy of a register's value (the NDPLd data path).
+func (p *PU) Load(reg int) ([]uint64, error) {
+	if reg < 0 || reg >= len(p.regs) {
+		return nil, fmt.Errorf("isa: register %d out of range", reg)
+	}
+	out := make([]uint64, p.m)
+	copy(out, p.regs[reg])
+	return out, nil
+}
+
+// Registers returns the register count (NDP_reg).
+func (p *PU) Registers() int { return len(p.regs) }

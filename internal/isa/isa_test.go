@@ -1,0 +1,334 @@
+package isa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+var testKey = []byte("isa-test-key-16b")
+
+const (
+	testRows = 16
+	testM    = 32
+	testWe   = 32
+)
+
+// setup encrypts a table with core and returns the machine plus the
+// plaintext and geometry, so ISA-level execution can be checked against
+// the scheme-level implementation.
+func setup(t *testing.T, placement memory.TagPlacement) (*Machine, core.Geometry, [][]uint64, *memory.Space) {
+	t.Helper()
+	scheme, err := core.NewScheme(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: placement,
+			Base:      0x10000,
+			TagBase:   0x400000,
+			NumRows:   testRows,
+			RowBytes:  testM * testWe / 8,
+		},
+		Params: core.Params{We: testWe, M: testM},
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]uint64, testRows)
+	for i := range rows {
+		rows[i] = make([]uint64, testM)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % (1 << 20)
+		}
+	}
+	mem := memory.NewSpace()
+	if _, err := scheme.EncryptTable(mem, geo, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	ma, err := NewMachine(testKey, mem, 4, testM, testWe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ma, geo, rows, mem
+}
+
+func slsInst(geo core.Geometry, row int, w uint64, reg int, verify bool) SecNDPInst {
+	inst := SecNDPInst{
+		NDPInst: NDPInst{
+			Op: OpMACC, Addr: geo.Layout.RowAddr(row),
+			VSize: testM, DSize: testWe, Imm: w, Reg: reg,
+		},
+		Version: 1,
+		Verify:  verify,
+	}
+	if verify {
+		inst.TagAddr = geo.Layout.TagAddr(row)
+	}
+	return inst
+}
+
+func TestMachineSLSMatchesPlaintext(t *testing.T) {
+	ma, geo, rows, _ := setup(t, memory.TagNone)
+	idx := []int{1, 3, 5, 7}
+	w := []uint64{2, 3, 4, 5}
+	for k, i := range idx {
+		if err := ma.Issue(slsInst(geo, i, w[k], 0, false), geo.Layout.Base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ma.Load(SecNDPLd{Reg: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < testM; j++ {
+		var want uint64
+		for k, i := range idx {
+			want += w[k] * rows[i][j]
+		}
+		want &= 0xFFFFFFFF
+		if res[j] != want {
+			t.Fatalf("col %d: %d != %d", j, res[j], want)
+		}
+	}
+}
+
+func TestMachineVerifiedLoad(t *testing.T) {
+	ma, geo, rows, _ := setup(t, memory.TagSep)
+	idx := []int{0, 2, 4}
+	w := []uint64{1, 2, 3}
+	for k, i := range idx {
+		if err := ma.Issue(slsInst(geo, i, w[k], 1, true), geo.Layout.Base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ma.Load(SecNDPLd{Reg: 1, Verify: true})
+	if err != nil {
+		t.Fatalf("honest verified load failed: %v", err)
+	}
+	var want uint64
+	for k, i := range idx {
+		want += w[k] * rows[i][0]
+	}
+	if res[0] != want&0xFFFFFFFF {
+		t.Fatalf("result wrong: %d != %d", res[0], want)
+	}
+}
+
+func TestMachineVerifyInterruptOnTamper(t *testing.T) {
+	ma, geo, _, mem := setup(t, memory.TagSep)
+	mem.FlipBit(geo.Layout.RowAddr(2)+1, 3)
+	for _, i := range []int{0, 2} {
+		if err := ma.Issue(slsInst(geo, i, 1, 0, true), geo.Layout.Base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ma.Load(SecNDPLd{Reg: 0, Verify: true}); !errors.Is(err, ErrVerifyInterrupt) {
+		t.Fatalf("tampered load not interrupted: %v", err)
+	}
+}
+
+func TestMachineUnverifiedLoadIgnoresTags(t *testing.T) {
+	ma, geo, _, mem := setup(t, memory.TagSep)
+	mem.FlipBit(geo.Layout.TagAddr(0), 0) // tag corrupted, data intact
+	if err := ma.Issue(slsInst(geo, 0, 1, 0, false), geo.Layout.Base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ma.Load(SecNDPLd{Reg: 0}); err != nil {
+		t.Fatalf("unverified load should succeed: %v", err)
+	}
+}
+
+func TestMachineRegisterBindingEnforced(t *testing.T) {
+	ma, geo, _, _ := setup(t, memory.TagSep)
+	if err := ma.Issue(slsInst(geo, 0, 1, 0, true), geo.Layout.Base); err != nil {
+		t.Fatal(err)
+	}
+	// Different version to the same register: architectural error.
+	bad := slsInst(geo, 1, 1, 0, true)
+	bad.Version = 2
+	if err := ma.Issue(bad, geo.Layout.Base); err == nil {
+		t.Error("version mix in one register accepted")
+	}
+	// Different seed address: also rejected.
+	if err := ma.Issue(slsInst(geo, 1, 1, 0, true), geo.Layout.Base+16); err == nil {
+		t.Error("seed mix in one register accepted")
+	}
+	// After Clear, rebinding is fine.
+	if err := ma.Clear(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.Issue(bad, geo.Layout.Base); err != nil {
+		t.Errorf("rebinding after clear failed: %v", err)
+	}
+}
+
+func TestMachineClearResetsAccumulators(t *testing.T) {
+	ma, geo, rows, _ := setup(t, memory.TagSep)
+	if err := ma.Issue(slsInst(geo, 0, 5, 2, true), geo.Layout.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.Clear(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.Issue(slsInst(geo, 1, 1, 2, true), geo.Layout.Base); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ma.Load(SecNDPLd{Reg: 2, Verify: true})
+	if err != nil {
+		t.Fatalf("load after clear failed verification: %v", err)
+	}
+	if res[0] != rows[1][0] {
+		t.Errorf("stale accumulator after clear: %d != %d", res[0], rows[1][0])
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	ma, geo, _, _ := setup(t, memory.TagNone)
+	bad := slsInst(geo, 0, 1, 9, false)
+	if err := ma.Issue(bad, geo.Layout.Base); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	wrongW := slsInst(geo, 0, 1, 0, false)
+	wrongW.DSize = 16
+	if err := ma.Issue(wrongW, geo.Layout.Base); err == nil {
+		t.Error("mismatched dsize accepted")
+	}
+	wrongV := slsInst(geo, 0, 1, 0, false)
+	wrongV.VSize = 8
+	if err := ma.Issue(wrongV, geo.Layout.Base); err == nil {
+		t.Error("mismatched vsize accepted")
+	}
+	if _, err := ma.Load(SecNDPLd{Reg: -1}); err == nil {
+		t.Error("negative register load accepted")
+	}
+	if _, err := ma.Load(SecNDPLd{Reg: 0, Verify: true}); err == nil {
+		t.Error("verified load of unbound register accepted")
+	}
+}
+
+func TestPUPlainOperation(t *testing.T) {
+	// The same PU runs unprotected NDP: write plaintext and accumulate.
+	mem := memory.NewSpace()
+	pu, err := NewPU(mem, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.Write(0x100, []byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 4, 0, 0, 0})
+	if err := pu.Execute(Command{Op: OpMACC, Addr: 0x100, VSize: 4, DSize: 32, Imm: 10, Reg: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pu.Execute(Command{Op: OpACC, Addr: 0x100, VSize: 4, DSize: 32, Reg: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pu.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11, 22, 33, 44}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("reg[0] = %v, want %v", got, want)
+		}
+	}
+	if pu.Registers() != 2 {
+		t.Errorf("Registers() = %d", pu.Registers())
+	}
+}
+
+func TestPUValidation(t *testing.T) {
+	mem := memory.NewSpace()
+	if _, err := NewPU(mem, 0, 4); err == nil {
+		t.Error("zero registers accepted")
+	}
+	pu, _ := NewPU(mem, 1, 4)
+	if err := pu.Execute(Command{Op: OpMACC, Reg: 1, VSize: 4, DSize: 32}); err == nil {
+		t.Error("bad register accepted")
+	}
+	if err := pu.Execute(Command{Op: OpMACC, Reg: 0, VSize: 8, DSize: 32}); err == nil {
+		t.Error("bad vsize accepted")
+	}
+	if err := pu.Execute(Command{Op: OpMACC, Reg: 0, VSize: 4, DSize: 9}); err == nil {
+		t.Error("bad dsize accepted")
+	}
+	if _, err := pu.Load(3); err == nil {
+		t.Error("bad register load accepted")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if OpMACC.String() != "MACC" || OpACC.String() != "ACC" || OpClear.String() != "CLEAR" {
+		t.Error("op labels wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown op label")
+	}
+}
+
+// The architectural headline (§IV-D): the PU command stream for SecNDP is
+// byte-identical to the unprotected one — only the data differs.
+func TestSameCommandsPlaintextAndCiphertext(t *testing.T) {
+	// Plaintext world.
+	memPlain := memory.NewSpace()
+	rngSeed := rand.New(rand.NewSource(2))
+	rows := make([][]uint64, 4)
+	r32 := uint64(0xFFFFFFFF)
+	for i := range rows {
+		rows[i] = make([]uint64, testM)
+		for j := range rows[i] {
+			rows[i][j] = rngSeed.Uint64() & 0xFFFFF
+		}
+	}
+	// Write plaintext rows at the same addresses the table uses.
+	geoAddr := uint64(0x10000)
+	for i, row := range rows {
+		raw := make([]byte, testM*4)
+		for j, v := range row {
+			raw[j*4] = byte(v)
+			raw[j*4+1] = byte(v >> 8)
+			raw[j*4+2] = byte(v >> 16)
+			raw[j*4+3] = byte(v >> 24)
+		}
+		memPlain.Write(geoAddr+uint64(i*testM*4), raw)
+	}
+	puPlain, _ := NewPU(memPlain, 1, testM)
+
+	// SecNDP world.
+	scheme, _ := core.NewScheme(testKey)
+	geo := core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagNone, Base: geoAddr, NumRows: 4, RowBytes: testM * 4},
+		Params: core.Params{We: testWe, M: testM},
+	}
+	memEnc := memory.NewSpace()
+	if _, err := scheme.EncryptTable(memEnc, geo, 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := NewMachine(testKey, memEnc, 1, testM, testWe)
+
+	// Identical command streams.
+	cmds := []Command{
+		{Op: OpMACC, Addr: geo.Layout.RowAddr(0), VSize: testM, DSize: testWe, Imm: 3, Reg: 0},
+		{Op: OpMACC, Addr: geo.Layout.RowAddr(2), VSize: testM, DSize: testWe, Imm: 7, Reg: 0},
+	}
+	for _, c := range cmds {
+		if err := puPlain.Execute(c); err != nil {
+			t.Fatal(err)
+		}
+		inst := SecNDPInst{NDPInst: NDPInst{Op: c.Op, Addr: c.Addr, VSize: c.VSize, DSize: c.DSize, Imm: c.Imm, Reg: c.Reg}, Version: 1}
+		if err := ma.Issue(inst, geo.Layout.Base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, _ := puPlain.Load(0)
+	dec, err := ma.Load(SecNDPLd{Reg: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range plain {
+		if plain[j]&r32 != dec[j] {
+			t.Fatalf("col %d: plaintext PU %d != decrypted SecNDP %d", j, plain[j], dec[j])
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+	"secndp/internal/ring"
+)
+
+// ErrVerifyInterrupt is raised by SecNDPLd when the loaded result fails
+// verification — "the verification fails and an interrupt will be
+// triggered" (§V-E3).
+var ErrVerifyInterrupt = errors.New("isa: verification interrupt: loaded result rejected")
+
+// tagReg is the NDP PU's extended tag accumulator (§V-D second design:
+// "an operation on a vector and a tag a × [C_i | C_Ti]").
+type puTagState struct {
+	acc field.Elem
+}
+
+// ExecuteTag accumulates Imm × C_T(mem[tagAddr]) into the PU-side tag
+// register — computation the untrusted PU performs over the encrypted tag.
+func (p *PU) ExecuteTag(st *puTagState, tagAddr uint64, imm uint64) {
+	ct := field.FromBytes(p.mem.Read(tagAddr, memory.TagBytes))
+	st.acc = field.Add(st.acc, field.MulUint64(ct, imm))
+}
+
+// regBinding tracks what a register pair is accumulating: the version and
+// checksum-seed address its OTP mirror was generated under. Mixing
+// versions or tables in one register is an architectural error.
+type regBinding struct {
+	active   bool
+	version  uint64
+	seedAddr uint64
+	verify   bool
+}
+
+// Machine is the trusted-processor side of §V: the SecNDP engine
+// (encryption engine + OTP PU + verification engine) plus the memory
+// controller that dispatches unchanged NDP commands to an untrusted PU.
+type Machine struct {
+	gen *otp.Generator
+	pu  *PU // the untrusted rank PU
+	r   ring.Ring
+	m   int
+
+	otpRegs  [][]uint64   // OTP PU registers, mirroring pu's
+	puTags   []puTagState // NDP-side tag accumulators (extended regs)
+	otpTags  []field.Elem // processor-side tag-pad accumulators
+	bindings []regBinding
+}
+
+// NewMachine builds a machine over an untrusted memory with nregs register
+// pairs of m we-bit elements.
+func NewMachine(key []byte, mem *memory.Space, nregs, m int, we uint) (*Machine, error) {
+	gen, err := otp.NewGenerator(key)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ring.New(we)
+	if err != nil {
+		return nil, err
+	}
+	pu, err := NewPU(mem, nregs, m)
+	if err != nil {
+		return nil, err
+	}
+	ma := &Machine{
+		gen: gen, pu: pu, r: r, m: m,
+		otpRegs:  make([][]uint64, nregs),
+		puTags:   make([]puTagState, nregs),
+		otpTags:  make([]field.Elem, nregs),
+		bindings: make([]regBinding, nregs),
+	}
+	for i := range ma.otpRegs {
+		ma.otpRegs[i] = make([]uint64, m)
+	}
+	return ma, nil
+}
+
+// PU exposes the untrusted processing unit (for direct/plaintext use and
+// for tests that corrupt its state).
+func (ma *Machine) PU() *PU { return ma.pu }
+
+// Clear resets a register pair (issues OpClear to both PUs).
+func (ma *Machine) Clear(reg int) error {
+	if err := ma.pu.Execute(Command{Op: OpClear, Reg: reg}); err != nil {
+		return err
+	}
+	for j := range ma.otpRegs[reg] {
+		ma.otpRegs[reg][j] = 0
+	}
+	ma.puTags[reg] = puTagState{}
+	ma.otpTags[reg] = field.Zero
+	ma.bindings[reg] = regBinding{}
+	return nil
+}
+
+// Issue executes one SecNDPInst: the memory controller dispatches the
+// unchanged NDP command to the untrusted PU while the SecNDP engine
+// regenerates the row's OTP and mirrors the operation in the OTP PU
+// (§V-E2). SeedAddr is the table base used by Algorithm 2's seed.
+func (ma *Machine) Issue(inst SecNDPInst, seedAddr uint64) error {
+	reg := inst.Reg
+	if reg < 0 || reg >= len(ma.otpRegs) {
+		return fmt.Errorf("isa: register %d out of range", reg)
+	}
+	if uint(inst.DSize) != ma.r.Width() {
+		return fmt.Errorf("isa: dsize %d != machine width %d", inst.DSize, ma.r.Width())
+	}
+	if inst.VSize != ma.m {
+		return fmt.Errorf("isa: vsize %d != machine width %d", inst.VSize, ma.m)
+	}
+	b := &ma.bindings[reg]
+	if b.active {
+		if b.version != inst.Version || b.seedAddr != seedAddr || b.verify != inst.Verify {
+			return fmt.Errorf("isa: register %d bound to version %d/seed %#x/verify %v; clear before reuse",
+				reg, b.version, b.seedAddr, b.verify)
+		}
+	} else {
+		*b = regBinding{active: true, version: inst.Version, seedAddr: seedAddr, verify: inst.Verify}
+	}
+
+	// Untrusted side: the plain NDP command.
+	if err := ma.pu.Execute(Command{
+		Op: inst.Op, Addr: inst.Addr, VSize: inst.VSize, DSize: inst.DSize,
+		Imm: inst.Imm, Reg: reg,
+	}); err != nil {
+		return err
+	}
+	// Trusted side: regenerate the row's pads and mirror.
+	rowBytes := inst.VSize * int(inst.DSize) / 8
+	pads := ma.r.UnpackElems(ma.gen.Pads(otp.DomainData, inst.Addr, inst.Version, rowBytes/otp.BlockBytes))
+	w := inst.Imm
+	if inst.Op == OpACC {
+		w = 1
+	}
+	ma.r.ScaleAccum(ma.otpRegs[reg], w, pads)
+
+	if inst.Verify {
+		// Untrusted side accumulates the encrypted tag; trusted side the
+		// tag pad (Algorithm 5's two halves).
+		ma.pu.ExecuteTag(&ma.puTags[reg], inst.TagAddr, w)
+		et := field.FromBytes(tagPadBytes(ma.gen.TagPad(inst.Addr, inst.Version)))
+		ma.otpTags[reg] = field.Add(ma.otpTags[reg], field.MulUint64(et, w))
+	}
+	return nil
+}
+
+func tagPadBytes(b [otp.BlockBytes]byte) []byte { return b[:] }
+
+// Load executes SecNDPLd: the PU register lands in the response buffer,
+// the OTP PU register in the decryption buffer, and the single final adder
+// produces the plaintext result (§V-E3). With ld.Verify, the verification
+// engine recomputes the checksum and compares it with the retrieved MAC;
+// a mismatch returns ErrVerifyInterrupt.
+func (ma *Machine) Load(ld SecNDPLd) ([]uint64, error) {
+	reg := ld.Reg
+	if reg < 0 || reg >= len(ma.otpRegs) {
+		return nil, fmt.Errorf("isa: register %d out of range", reg)
+	}
+	b := ma.bindings[reg]
+	respBuf, err := ma.pu.Load(reg) // C_res
+	if err != nil {
+		return nil, err
+	}
+	decBuf := ma.otpRegs[reg] // E_res
+	res := make([]uint64, ma.m)
+	ma.r.AddVec(res, respBuf, decBuf)
+
+	if ld.Verify {
+		if !b.active || !b.verify {
+			return nil, fmt.Errorf("isa: register %d has no verification state", reg)
+		}
+		seed := field.FromBytes(tagPadBytes(ma.gen.Seed(b.seedAddr, b.version)))
+		tRes := field.Horner(seed, res)
+		retrieved := field.Add(ma.puTags[reg].acc, ma.otpTags[reg])
+		if !tRes.Equal(retrieved) {
+			return nil, ErrVerifyInterrupt
+		}
+	}
+	return res, nil
+}

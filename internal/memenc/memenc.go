@@ -1,0 +1,279 @@
+// Package memenc implements the conventional TEE memory protection that
+// SecNDP is contrasted with (paper §III-B, Figure 2a/2b): per-cache-line
+// counter-mode encryption (XOR with an encrypted counter), a keyed MAC per
+// line binding data to its address and version, and a Merkle integrity
+// tree over the version counters with an on-chip root to defeat replay
+// [62]. This is the "non-NDP Enc" world of Table V and the memory engine
+// of the SGX-style baselines: it protects reads and writes but supports no
+// computation over ciphertext — precisely the limitation SecNDP removes.
+package memenc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+)
+
+// LineBytes is the protection granule (one cache line).
+const LineBytes = 64
+
+// macBytes is the per-line MAC size (truncated 127-bit linear MAC).
+const macBytes = 16
+
+// counterBytes is the per-line version counter size.
+const counterBytes = 8
+
+// hashBytes is a Merkle node size.
+const hashBytes = sha256.Size
+
+// ErrIntegrity is returned when a line's MAC or the counter tree fails
+// verification: the memory was tampered with or replayed.
+var ErrIntegrity = errors.New("memenc: integrity check failed")
+
+// Engine protects a region of numLines cache lines in untrusted memory.
+// Layout (all in the untrusted space):
+//
+//	DataBase    : numLines × 64 B ciphertext
+//	MACBase     : numLines × 16 B MACs
+//	CounterBase : numLines × 8 B version counters
+//	TreeBase    : Merkle nodes over the counters
+//
+// Only the secret key and the tree root live on-chip.
+type Engine struct {
+	gen  *otp.Generator
+	mem  *memory.Space
+	seed field.Elem // MAC hash seed (Algorithm 2 style, fixed per engine)
+
+	dataBase, macBase, counterBase, treeBase uint64
+	numLines                                 int
+	leaves                                   int // tree leaves (power of two)
+	root                                     [hashBytes]byte
+}
+
+// Config places the engine's regions.
+type Config struct {
+	DataBase, MACBase, CounterBase, TreeBase uint64
+	NumLines                                 int
+}
+
+// NewEngine initializes protection over zeroed counters. Existing memory
+// content is not trusted until written through the engine.
+func NewEngine(key []byte, mem *memory.Space, cfg Config) (*Engine, error) {
+	if cfg.NumLines <= 0 {
+		return nil, fmt.Errorf("memenc: NumLines = %d", cfg.NumLines)
+	}
+	gen, err := otp.NewGenerator(key)
+	if err != nil {
+		return nil, err
+	}
+	leaves := 1
+	for leaves < cfg.NumLines {
+		leaves <<= 1
+	}
+	e := &Engine{
+		gen:         gen,
+		mem:         mem,
+		dataBase:    cfg.DataBase,
+		macBase:     cfg.MACBase,
+		counterBase: cfg.CounterBase,
+		treeBase:    cfg.TreeBase,
+		numLines:    cfg.NumLines,
+		leaves:      leaves,
+	}
+	seedBlock := gen.Block(otp.DomainSeed, cfg.DataBase, 0)
+	e.seed = field.FromBytes(seedBlock[:])
+	e.rebuildTree()
+	return e, nil
+}
+
+// NumLines returns the protected line count.
+func (e *Engine) NumLines() int { return e.numLines }
+
+// lineAddr returns the ciphertext address of line i.
+func (e *Engine) lineAddr(i int) uint64 { return e.dataBase + uint64(i)*LineBytes }
+
+func (e *Engine) counter(i int) uint64 {
+	raw := e.mem.Read(e.counterBase+uint64(i)*counterBytes, counterBytes)
+	return binary.LittleEndian.Uint64(raw)
+}
+
+func (e *Engine) setCounter(i int, v uint64) {
+	var raw [counterBytes]byte
+	binary.LittleEndian.PutUint64(raw[:], v)
+	e.mem.Write(e.counterBase+uint64(i)*counterBytes, raw[:])
+}
+
+// --- Merkle tree over counters ---------------------------------------------
+
+// The tree is a standard heap-shaped binary Merkle tree: node 1 is the
+// root; node n has children 2n and 2n+1; leaves occupy [leaves, 2·leaves).
+// Leaf hashes commit to (index, counter); missing lines hash a zero
+// counter. Internal nodes (except the root, which stays on-chip) are
+// stored in untrusted memory — tampering them just breaks the chain.
+
+func (e *Engine) leafHash(i int) [hashBytes]byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(i))
+	var ctr uint64
+	if i < e.numLines {
+		ctr = e.counter(i)
+	}
+	binary.LittleEndian.PutUint64(buf[8:], ctr)
+	return sha256.Sum256(buf[:])
+}
+
+func nodeHash(l, r [hashBytes]byte) [hashBytes]byte {
+	var buf [2 * hashBytes]byte
+	copy(buf[:hashBytes], l[:])
+	copy(buf[hashBytes:], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+func (e *Engine) nodeAddr(n int) uint64 { return e.treeBase + uint64(n)*hashBytes }
+
+func (e *Engine) readNode(n int) [hashBytes]byte {
+	var h [hashBytes]byte
+	copy(h[:], e.mem.Read(e.nodeAddr(n), hashBytes))
+	return h
+}
+
+func (e *Engine) writeNode(n int, h [hashBytes]byte) {
+	e.mem.Write(e.nodeAddr(n), h[:])
+}
+
+// rebuildTree recomputes every node from the stored counters, keeping the
+// root on-chip. Called at initialization (boot / enclave load).
+func (e *Engine) rebuildTree() {
+	hashes := make([][hashBytes]byte, 2*e.leaves)
+	for i := 0; i < e.leaves; i++ {
+		hashes[e.leaves+i] = e.leafHash(i)
+		e.writeNode(e.leaves+i, hashes[e.leaves+i])
+	}
+	for n := e.leaves - 1; n >= 1; n-- {
+		hashes[n] = nodeHash(hashes[2*n], hashes[2*n+1])
+		e.writeNode(n, hashes[n])
+	}
+	e.root = hashes[1]
+}
+
+// verifyCounter walks leaf i's path against stored siblings up to the
+// on-chip root.
+func (e *Engine) verifyCounter(i int) error {
+	h := e.leafHash(i)
+	n := e.leaves + i
+	for n > 1 {
+		sib := e.readNode(n ^ 1)
+		if n&1 == 0 {
+			h = nodeHash(h, sib)
+		} else {
+			h = nodeHash(sib, h)
+		}
+		n >>= 1
+	}
+	if h != e.root {
+		return fmt.Errorf("%w: counter tree root mismatch for line %d", ErrIntegrity, i)
+	}
+	return nil
+}
+
+// updateCounterPath rewrites leaf i's path (after a counter bump) and the
+// on-chip root.
+func (e *Engine) updateCounterPath(i int) {
+	h := e.leafHash(i)
+	n := e.leaves + i
+	e.writeNode(n, h)
+	for n > 1 {
+		sib := e.readNode(n ^ 1)
+		if n&1 == 0 {
+			h = nodeHash(h, sib)
+		} else {
+			h = nodeHash(sib, h)
+		}
+		n >>= 1
+		if n >= 1 {
+			e.writeNode(n, h)
+		}
+	}
+	e.root = h
+}
+
+// --- Line encryption and MACs ----------------------------------------------
+
+// mac computes the keyed MAC of a plaintext line bound to (addr, version):
+// a 127-bit linear modular hash of the line's four 128-bit chunks under
+// the engine seed, encrypted with the address/version-bound tag pad (the
+// MAC-then-encrypt construction of §IV-F applied at line granularity).
+func (e *Engine) mac(plain []byte, addr, version uint64) [macBytes]byte {
+	chunks := make([]field.Elem, LineBytes/16)
+	for c := range chunks {
+		chunks[c] = field.FromBytes(plain[c*16 : (c+1)*16])
+	}
+	t := field.HornerElems(e.seed, chunks)
+	pad := e.gen.TagPad(addr, version)
+	ct := field.Add(t, field.FromBytes(pad[:])) // encrypt the MAC
+	return ct.Bytes()
+}
+
+// WriteLine encrypts and stores 64 bytes at line index i: bump the version
+// counter, XOR with the fresh pad (Figure 2a), store ciphertext + MAC,
+// update the counter tree.
+func (e *Engine) WriteLine(i int, plain []byte) error {
+	if i < 0 || i >= e.numLines {
+		return fmt.Errorf("memenc: line %d out of range [0,%d)", i, e.numLines)
+	}
+	if len(plain) != LineBytes {
+		return fmt.Errorf("memenc: line must be %d bytes, got %d", LineBytes, len(plain))
+	}
+	v := e.counter(i) + 1 // never reuse a version for this address
+	addr := e.lineAddr(i)
+
+	ct := make([]byte, LineBytes)
+	pads := e.gen.Pads(otp.DomainData, addr, v, LineBytes/otp.BlockBytes)
+	for b := range ct {
+		ct[b] = plain[b] ^ pads[b]
+	}
+	e.mem.Write(addr, ct)
+	m := e.mac(plain, addr, v)
+	e.mem.Write(e.macBase+uint64(i)*macBytes, m[:])
+	e.setCounter(i, v)
+	e.updateCounterPath(i)
+	return nil
+}
+
+// ReadLine fetches, decrypts, and verifies line i: the counter is checked
+// against the on-chip tree root (replay defense), the pad regenerated and
+// XORed (Figure 2a), and the MAC recomputed and compared (Figure 2b).
+func (e *Engine) ReadLine(i int) ([]byte, error) {
+	if i < 0 || i >= e.numLines {
+		return nil, fmt.Errorf("memenc: line %d out of range [0,%d)", i, e.numLines)
+	}
+	if err := e.verifyCounter(i); err != nil {
+		return nil, err
+	}
+	v := e.counter(i)
+	if v == 0 {
+		return nil, fmt.Errorf("memenc: line %d was never written", i)
+	}
+	addr := e.lineAddr(i)
+	ct := e.mem.Read(addr, LineBytes)
+	pads := e.gen.Pads(otp.DomainData, addr, v, LineBytes/otp.BlockBytes)
+	plain := make([]byte, LineBytes)
+	for b := range plain {
+		plain[b] = ct[b] ^ pads[b]
+	}
+	want := e.mac(plain, addr, v)
+	var got [macBytes]byte
+	copy(got[:], e.mem.Read(e.macBase+uint64(i)*macBytes, macBytes))
+	if want != got {
+		return nil, fmt.Errorf("%w: MAC mismatch on line %d", ErrIntegrity, i)
+	}
+	return plain, nil
+}
+
+// Root returns the on-chip tree root (for tests and state save/restore).
+func (e *Engine) Root() [hashBytes]byte { return e.root }

@@ -1,0 +1,244 @@
+package memenc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+var testKey = []byte("memenc-test-key!")
+
+func testConfig(n int) Config {
+	return Config{
+		DataBase:    0x10000,
+		MACBase:     0x100000,
+		CounterBase: 0x200000,
+		TreeBase:    0x300000,
+		NumLines:    n,
+	}
+}
+
+func newEngine(t *testing.T, n int) (*Engine, *memory.Space) {
+	t.Helper()
+	mem := memory.NewSpace()
+	e, err := NewEngine(testKey, mem, testConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, mem
+}
+
+func line(seed byte) []byte {
+	b := make([]byte, LineBytes)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	mem := memory.NewSpace()
+	if _, err := NewEngine(testKey, mem, testConfig(0)); err == nil {
+		t.Error("zero lines accepted")
+	}
+	if _, err := NewEngine([]byte("short"), mem, testConfig(4)); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	e, _ := newEngine(t, 8)
+	for i := 0; i < 8; i++ {
+		if err := e.WriteLine(i, line(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		got, err := e.ReadLine(i)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !bytes.Equal(got, line(byte(i))) {
+			t.Fatalf("line %d round trip failed", i)
+		}
+	}
+}
+
+func TestCiphertextIsNotPlaintext(t *testing.T) {
+	e, mem := newEngine(t, 2)
+	p := line(0xAA)
+	if err := e.WriteLine(0, p); err != nil {
+		t.Fatal(err)
+	}
+	ct := mem.Snapshot(0x10000, LineBytes)
+	if bytes.Equal(ct, p) {
+		t.Error("ciphertext equals plaintext")
+	}
+}
+
+func TestRewriteChangesCiphertext(t *testing.T) {
+	// Same plaintext written twice must produce different ciphertext: the
+	// counter bump prevents pad reuse (§III-B).
+	e, mem := newEngine(t, 2)
+	p := line(0x55)
+	e.WriteLine(0, p)
+	ct1 := mem.Snapshot(0x10000, LineBytes)
+	e.WriteLine(0, p)
+	ct2 := mem.Snapshot(0x10000, LineBytes)
+	if bytes.Equal(ct1, ct2) {
+		t.Error("pad reused across writes to the same line")
+	}
+	got, err := e.ReadLine(0)
+	if err != nil || !bytes.Equal(got, p) {
+		t.Errorf("read after rewrite: %v", err)
+	}
+}
+
+func TestReadUnwrittenLineFails(t *testing.T) {
+	e, _ := newEngine(t, 4)
+	if _, err := e.ReadLine(1); err == nil {
+		t.Error("unwritten line readable")
+	}
+}
+
+func TestBoundsChecking(t *testing.T) {
+	e, _ := newEngine(t, 4)
+	if err := e.WriteLine(4, line(0)); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := e.WriteLine(0, make([]byte, 32)); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := e.ReadLine(-1); err == nil {
+		t.Error("negative read accepted")
+	}
+}
+
+func TestDetectsCiphertextTamper(t *testing.T) {
+	e, mem := newEngine(t, 4)
+	e.WriteLine(2, line(7))
+	mem.FlipBit(0x10000+2*LineBytes+13, 4)
+	if _, err := e.ReadLine(2); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered ciphertext not rejected: %v", err)
+	}
+}
+
+func TestDetectsMACTamper(t *testing.T) {
+	e, mem := newEngine(t, 4)
+	e.WriteLine(1, line(9))
+	mem.FlipBit(0x100000+1*macBytes, 0)
+	if _, err := e.ReadLine(1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered MAC not rejected: %v", err)
+	}
+}
+
+func TestDetectsCounterTamper(t *testing.T) {
+	e, mem := newEngine(t, 4)
+	e.WriteLine(3, line(1))
+	mem.FlipBit(0x200000+3*counterBytes, 0)
+	if _, err := e.ReadLine(3); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered counter not rejected: %v", err)
+	}
+}
+
+func TestDetectsTreeNodeTamper(t *testing.T) {
+	e, mem := newEngine(t, 4)
+	e.WriteLine(0, line(2))
+	// Corrupt a node on line 0's authentication path. With 4 leaves the
+	// nodes are heap-indexed 1..7 (leaves 4..7); leaf 4's path reads its
+	// sibling 5 and its parent's sibling 3 — corrupt node 3.
+	mem.FlipBit(0x300000+3*hashBytes, 1)
+	if _, err := e.ReadLine(0); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("tampered tree node not rejected: %v", err)
+	}
+}
+
+func TestDetectsReplay(t *testing.T) {
+	// The attack the tree exists for: restore an entire consistent stale
+	// snapshot (line + MAC + counter + tree nodes). Only the on-chip root
+	// disagrees.
+	e, mem := newEngine(t, 4)
+	e.WriteLine(0, line(3))
+	const span = 0x400000
+	stale := mem.Snapshot(0x10000, span)
+	e.WriteLine(0, line(4)) // newer secret value
+	mem.Replay(0x10000, stale)
+	if _, err := e.ReadLine(0); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("replayed snapshot not rejected: %v", err)
+	}
+}
+
+func TestDetectsLineRelocation(t *testing.T) {
+	// Copy line 0's (ciphertext, MAC) over line 1's: the address binding in
+	// pad and MAC must reject it.
+	e, mem := newEngine(t, 4)
+	e.WriteLine(0, line(5))
+	e.WriteLine(1, line(6))
+	ct := mem.Snapshot(0x10000, LineBytes)
+	mac := mem.Snapshot(0x100000, macBytes)
+	mem.TamperWrite(0x10000+LineBytes, ct)
+	mem.TamperWrite(0x100000+macBytes, mac)
+	// Make counters equal too (both lines written once): still rejected.
+	if _, err := e.ReadLine(1); !errors.Is(err, ErrIntegrity) {
+		t.Errorf("relocated line not rejected: %v", err)
+	}
+}
+
+func TestNonPowerOfTwoLineCount(t *testing.T) {
+	e, _ := newEngine(t, 5) // leaves rounds to 8
+	for i := 0; i < 5; i++ {
+		if err := e.WriteLine(i, line(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.ReadLine(i); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomTamperSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		e, mem := newEngine(t, 8)
+		for i := 0; i < 8; i++ {
+			e.WriteLine(i, line(byte(trial*8+i)))
+		}
+		target := rng.Intn(8)
+		// Corrupt a random byte in one of the four regions covering the
+		// target line.
+		var addr uint64
+		switch rng.Intn(3) {
+		case 0:
+			addr = 0x10000 + uint64(target)*LineBytes + uint64(rng.Intn(LineBytes))
+		case 1:
+			addr = 0x100000 + uint64(target)*macBytes + uint64(rng.Intn(macBytes))
+		case 2:
+			addr = 0x200000 + uint64(target)*counterBytes + uint64(rng.Intn(counterBytes))
+		}
+		mem.FlipBit(addr, uint(rng.Intn(8)))
+		if _, err := e.ReadLine(target); !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("trial %d: tamper in region not detected (err=%v)", trial, err)
+		}
+	}
+}
+
+func TestRootChangesOnWrite(t *testing.T) {
+	e, _ := newEngine(t, 4)
+	r0 := e.Root()
+	e.WriteLine(0, line(1))
+	if e.Root() == r0 {
+		t.Error("root unchanged after write")
+	}
+}
+
+func TestNumLines(t *testing.T) {
+	e, _ := newEngine(t, 7)
+	if e.NumLines() != 7 {
+		t.Errorf("NumLines = %d", e.NumLines())
+	}
+}

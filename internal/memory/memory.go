@@ -1,0 +1,188 @@
+// Package memory models the untrusted off-chip memory of SecNDP's threat
+// model (paper §II, Figure 1). Everything stored here is visible to and
+// modifiable by the adversary: the package exposes tamper primitives
+// (bit flips, raw overwrites, replay of stale snapshots) used by the
+// integrity tests, alongside ordinary read/write for the NDP units.
+//
+// The space is sparse (page-granular allocation) so multi-gigabyte
+// embedding-table address ranges can be modeled without resident memory,
+// and it counts traffic for the energy model.
+package memory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the allocation granule of the sparse space.
+const PageSize = 1 << 12
+
+// Space is a byte-addressable untrusted memory with a side-band "ECC chip"
+// region (used by the Ver-ECC tag placement, §V-D option 3). The zero value
+// is not usable; call NewSpace. Safe for concurrent use: concurrent reads
+// proceed in parallel (multiple NDP PUs / batch queries), writes serialize.
+type Space struct {
+	mu    sync.RWMutex
+	pages map[uint64][]byte
+	ecc   map[uint64][]byte // side-band tag storage keyed by data address
+
+	bytesRead, bytesWritten atomic.Uint64
+	eccReads, eccWrites     atomic.Uint64
+}
+
+// Stats counts memory traffic in bytes, input to the energy model.
+type Stats struct {
+	BytesRead    uint64
+	BytesWritten uint64
+	ECCReads     uint64
+	ECCWrites    uint64
+}
+
+// NewSpace returns an empty untrusted memory.
+func NewSpace() *Space {
+	return &Space{
+		pages: make(map[uint64][]byte),
+		ecc:   make(map[uint64][]byte),
+	}
+}
+
+func (s *Space) page(addr uint64, alloc bool) ([]byte, uint64) {
+	base := addr &^ (PageSize - 1)
+	p, ok := s.pages[base]
+	if !ok && alloc {
+		p = make([]byte, PageSize)
+		s.pages[base] = p
+	}
+	return p, addr - base
+}
+
+// Write stores data at addr, allocating pages as needed.
+func (s *Space) Write(addr uint64, data []byte) {
+	s.bytesWritten.Add(uint64(len(data)))
+	s.writeRaw(addr, data)
+}
+
+func (s *Space) writeRaw(addr uint64, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(data) > 0 {
+		p, off := s.page(addr, true)
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read returns n bytes starting at addr. Unwritten bytes read as zero.
+func (s *Space) Read(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	s.ReadInto(out, addr)
+	return out
+}
+
+// ReadInto fills dst from memory starting at addr.
+func (s *Space) ReadInto(dst []byte, addr uint64) {
+	s.bytesRead.Add(uint64(len(dst)))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for len(dst) > 0 {
+		p, off := s.page(addr, false)
+		var n int
+		if p == nil {
+			// Unallocated page reads as zeros.
+			n = min(len(dst), PageSize-int(off))
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		} else {
+			n = copy(dst, p[off:])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteECC stores a tag in the side-band ECC region, keyed by the data
+// address it covers. Models the Ver-ECC placement where the tag travels on
+// the ECC pins with the data and costs no extra data-bus access.
+func (s *Space) WriteECC(dataAddr uint64, tag []byte) {
+	s.eccWrites.Add(uint64(len(tag)))
+	cp := make([]byte, len(tag))
+	copy(cp, tag)
+	s.mu.Lock()
+	s.ecc[dataAddr] = cp
+	s.mu.Unlock()
+}
+
+// ReadECC fetches the side-band tag for dataAddr, or zeros if absent.
+func (s *Space) ReadECC(dataAddr uint64, n int) []byte {
+	s.eccReads.Add(uint64(n))
+	out := make([]byte, n)
+	s.mu.RLock()
+	copy(out, s.ecc[dataAddr])
+	s.mu.RUnlock()
+	return out
+}
+
+// Stats returns the cumulative traffic counters.
+func (s *Space) Stats() Stats {
+	return Stats{
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		ECCReads:     s.eccReads.Load(),
+		ECCWrites:    s.eccWrites.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters.
+func (s *Space) ResetStats() {
+	s.bytesRead.Store(0)
+	s.bytesWritten.Store(0)
+	s.eccReads.Store(0)
+	s.eccWrites.Store(0)
+}
+
+// --- Adversary primitives (threat model §II) -------------------------------
+
+// FlipBit flips one bit, modeling an active bus/DRAM tampering attack.
+// Does not count as legitimate traffic.
+func (s *Space) FlipBit(addr uint64, bit uint) {
+	if bit > 7 {
+		panic(fmt.Sprintf("memory: bit index %d out of range", bit))
+	}
+	s.mu.Lock()
+	p, off := s.page(addr, true)
+	p[off] ^= 1 << bit
+	s.mu.Unlock()
+}
+
+// TamperWrite overwrites memory without counting traffic — the adversary's
+// raw write path.
+func (s *Space) TamperWrite(addr uint64, data []byte) {
+	s.writeRaw(addr, data)
+}
+
+// TamperECC overwrites a side-band tag.
+func (s *Space) TamperECC(dataAddr uint64, tag []byte) {
+	cp := make([]byte, len(tag))
+	copy(cp, tag)
+	s.mu.Lock()
+	s.ecc[dataAddr] = cp
+	s.mu.Unlock()
+}
+
+// Snapshot copies a region without counting traffic — the adversary's
+// passive eavesdrop (cold-boot dump).
+func (s *Space) Snapshot(addr uint64, n int) []byte {
+	out := s.Read(addr, n)
+	// Undo the traffic accounting: eavesdropping is not legitimate traffic.
+	s.bytesRead.Add(^uint64(n - 1)) // two's-complement subtract
+	return out
+}
+
+// Replay writes back a previously captured snapshot — the replay attack
+// that version numbers defend against.
+func (s *Space) Replay(addr uint64, snapshot []byte) {
+	s.writeRaw(addr, snapshot)
+}

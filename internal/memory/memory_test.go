@@ -1,0 +1,270 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewSpace()
+	data := []byte("hello, untrusted world")
+	s.Write(0x1234, data)
+	if got := s.Read(0x1234, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("Read = %q, want %q", got, data)
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	s := NewSpace()
+	got := s.Read(0xDEAD000, 8)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("unwritten memory reads %v, want zeros", got)
+		}
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	s := NewSpace()
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := uint64(PageSize - 100) // straddles three pages
+	s.Write(addr, data)
+	if got := s.Read(addr, len(data)); !bytes.Equal(got, data) {
+		t.Error("cross-page round trip failed")
+	}
+}
+
+func TestPartialPageReadAcrossUnallocated(t *testing.T) {
+	s := NewSpace()
+	s.Write(0, []byte{1, 2, 3})
+	// Read spanning the written page and an unallocated one.
+	got := s.Read(PageSize-2, 4)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("expected zeros, got %v", got)
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := NewSpace()
+	s.Write(0, make([]byte, 100))
+	s.Read(0, 40)
+	s.Read(0, 24)
+	st := s.Stats()
+	if st.BytesWritten != 100 || st.BytesRead != 64 {
+		t.Errorf("stats = %+v, want written=100 read=64", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestECCRoundTrip(t *testing.T) {
+	s := NewSpace()
+	tag := []byte("0123456789abcdef")
+	s.WriteECC(0x40, tag)
+	if got := s.ReadECC(0x40, 16); !bytes.Equal(got, tag) {
+		t.Errorf("ECC round trip: %q", got)
+	}
+	if got := s.ReadECC(0x80, 16); !bytes.Equal(got, make([]byte, 16)) {
+		t.Error("missing ECC entry should read as zeros")
+	}
+	st := s.Stats()
+	if st.ECCWrites != 16 || st.ECCReads != 32 {
+		t.Errorf("ECC stats = %+v", st)
+	}
+}
+
+func TestECCWriteCopiesInput(t *testing.T) {
+	s := NewSpace()
+	tag := []byte{1, 2, 3, 4}
+	s.WriteECC(0, tag)
+	tag[0] = 99 // caller mutates its buffer afterwards
+	if got := s.ReadECC(0, 4); got[0] != 1 {
+		t.Error("WriteECC aliased the caller's buffer")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	s := NewSpace()
+	s.Write(10, []byte{0b1000})
+	s.FlipBit(10, 3)
+	if got := s.Read(10, 1)[0]; got != 0 {
+		t.Errorf("after flip: %#b", got)
+	}
+	s.FlipBit(10, 0)
+	if got := s.Read(10, 1)[0]; got != 1 {
+		t.Errorf("after second flip: %#b", got)
+	}
+}
+
+func TestFlipBitPanicsOnBadIndex(t *testing.T) {
+	s := NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlipBit(bit=8) did not panic")
+		}
+	}()
+	s.FlipBit(0, 8)
+}
+
+func TestTamperWriteDoesNotCount(t *testing.T) {
+	s := NewSpace()
+	s.TamperWrite(0, make([]byte, 64))
+	if s.Stats().BytesWritten != 0 {
+		t.Error("adversary writes counted as traffic")
+	}
+}
+
+func TestSnapshotReplay(t *testing.T) {
+	s := NewSpace()
+	s.Write(0x100, []byte("version1-data"))
+	snap := s.Snapshot(0x100, 13)
+	s.Write(0x100, []byte("version2-data"))
+	s.Replay(0x100, snap)
+	if got := s.Read(0x100, 13); !bytes.Equal(got, []byte("version1-data")) {
+		t.Errorf("replay did not restore stale data: %q", got)
+	}
+	if s.Stats().BytesRead != 13 {
+		t.Errorf("snapshot counted as read traffic: %+v", s.Stats())
+	}
+}
+
+func TestTagPlacementString(t *testing.T) {
+	cases := map[TagPlacement]string{
+		TagNone:          "Enc-only",
+		TagColoc:         "Ver-coloc",
+		TagSep:           "Ver-sep",
+		TagECC:           "Ver-ECC",
+		TagPlacement(99): "TagPlacement(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestLayoutRowAddr(t *testing.T) {
+	l := Layout{Placement: TagSep, Base: 0x1000, TagBase: 0x9000, NumRows: 4, RowBytes: 128}
+	if got := l.RowAddr(0); got != 0x1000 {
+		t.Errorf("RowAddr(0) = %#x", got)
+	}
+	if got := l.RowAddr(3); got != 0x1000+3*128 {
+		t.Errorf("RowAddr(3) = %#x", got)
+	}
+	if got := l.TagAddr(2); got != 0x9000+32 {
+		t.Errorf("TagAddr(2) = %#x", got)
+	}
+}
+
+func TestLayoutColocStride(t *testing.T) {
+	l := Layout{Placement: TagColoc, Base: 0, NumRows: 3, RowBytes: 128}
+	if got := l.RowStride(); got != 144 {
+		t.Errorf("coloc stride = %d, want 144", got)
+	}
+	if got := l.TagAddr(1); got != 144+128 {
+		t.Errorf("coloc TagAddr(1) = %d, want 272", got)
+	}
+	if got := l.DataEnd(); got != 3*144 {
+		t.Errorf("DataEnd = %d", got)
+	}
+}
+
+func TestLayoutRowAddrPanics(t *testing.T) {
+	l := Layout{Placement: TagNone, NumRows: 2, RowBytes: 8}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range row did not panic")
+		}
+	}()
+	l.RowAddr(2)
+}
+
+func TestLayoutTagAddrUndefinedPanics(t *testing.T) {
+	l := Layout{Placement: TagNone, NumRows: 2, RowBytes: 8}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TagAddr on TagNone did not panic")
+		}
+	}()
+	l.TagAddr(0)
+}
+
+func TestLayoutValidateECCFeasibility(t *testing.T) {
+	// 128-byte rows: 2 lines × 8 ECC bytes = 16 ≥ 16-byte tag — feasible.
+	ok := Layout{Placement: TagECC, NumRows: 1, RowBytes: 128}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("128-byte row Ver-ECC should be feasible: %v", err)
+	}
+	// 32-byte quantized rows: 1 line × 8 = 8 < 16 — infeasible (paper §VII-A).
+	bad := Layout{Placement: TagECC, NumRows: 1, RowBytes: 32}
+	if err := bad.Validate(); err == nil {
+		t.Error("32-byte row Ver-ECC should be infeasible")
+	}
+}
+
+func TestLayoutValidateDimensions(t *testing.T) {
+	if err := (Layout{Placement: TagNone, NumRows: -1, RowBytes: 8}).Validate(); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if err := (Layout{Placement: TagNone, NumRows: 1, RowBytes: 0}).Validate(); err == nil {
+		t.Error("zero row bytes accepted")
+	}
+}
+
+func TestLayoutRowTagIO(t *testing.T) {
+	s := NewSpace()
+	for _, placement := range []TagPlacement{TagColoc, TagSep, TagECC} {
+		l := Layout{Placement: placement, Base: 0x10000, TagBase: 0x90000, NumRows: 4, RowBytes: 128}
+		row := bytes.Repeat([]byte{0xAB}, 128)
+		tag := bytes.Repeat([]byte{0xCD}, TagBytes)
+		l.WriteRow(s, 2, row)
+		l.WriteTag(s, 2, tag)
+		if got := l.ReadRow(s, 2); !bytes.Equal(got, row) {
+			t.Errorf("%v: row round trip failed", placement)
+		}
+		if got := l.ReadTag(s, 2); !bytes.Equal(got, tag) {
+			t.Errorf("%v: tag round trip failed", placement)
+		}
+	}
+}
+
+func TestLinesPerRowFetch(t *testing.T) {
+	// 128-byte rows, line = 64B.
+	cases := []struct {
+		p    TagPlacement
+		want int // for row 0
+	}{
+		{TagNone, 2},  // 128/64
+		{TagColoc, 3}, // 144 bytes spans 3 lines
+		{TagSep, 3},   // 2 data lines + 1 tag line
+		{TagECC, 2},   // tag rides the ECC pins
+	}
+	for _, c := range cases {
+		l := Layout{Placement: c.p, Base: 0, TagBase: 1 << 20, NumRows: 8, RowBytes: 128}
+		if got := l.LinesPerRowFetch(0); got != c.want {
+			t.Errorf("%v: lines = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLinesPerRowFetchColocMisalignment(t *testing.T) {
+	// Quantized 32-byte rows with coloc tags: stride 48; row 1 starts at 48,
+	// ends at 96 (+16 tag = 112): spans lines 0 and 1 — 2 accesses, versus 1
+	// for a dense 32-byte row. This is the paper's "data is not aligned with
+	// the cache line boundary" effect.
+	coloc := Layout{Placement: TagColoc, Base: 0, NumRows: 8, RowBytes: 32}
+	if got := coloc.LinesPerRowFetch(1); got != 2 {
+		t.Errorf("coloc quantized row 1: %d lines, want 2", got)
+	}
+	dense := Layout{Placement: TagNone, Base: 0, NumRows: 8, RowBytes: 32}
+	if got := dense.LinesPerRowFetch(1); got != 1 {
+		t.Errorf("dense quantized row 1: %d lines, want 1", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package ndp simulates the baseline NDP architecture of paper §V: Rank-NDP
+// processing units inside the DIMM buffer, each with NDP_reg accumulator
+// registers, driven by NDP command packets from the memory controller.
+// Rank PUs access their rank's DRAM in parallel (dram.RankBus mode); a
+// packet's latency is bounded by the slowest rank; registers bound how many
+// pooling operations may be in flight, which controls load balance across
+// ranks for irregular SLS traffic.
+//
+// The same simulation drives SecNDP (paper §V-C) by attaching an
+// engine.Pool: each query additionally requires its OTP blocks, generated
+// in parallel with the NDP memory work, and completes at the later of the
+// two — the quantity behind Figures 7–10.
+package ndp
+
+import (
+	"fmt"
+
+	"secndp/internal/dram"
+	"secndp/internal/engine"
+)
+
+// Row is one row fetch of a pooling query: a physical address and size.
+// TagAddr/TagBytes describe an additional tag fetch for verification
+// placements that cost extra accesses (Ver-coloc extends Bytes instead;
+// Ver-ECC costs nothing; Ver-sep sets TagAddr).
+type Row struct {
+	Addr  uint64
+	Bytes int
+	// TagAddr is the address of a separately stored tag, or 0 when the tag
+	// is co-located/ECC/absent.
+	TagAddr  uint64
+	TagBytes int
+}
+
+// Query is one pooling operation (an SLS lookup or an analytics
+// aggregation): the set of rows it reads. The arithmetic itself (multiply
+// and accumulate) is pipelined with the reads in the PU and adds no cycles.
+type Query struct {
+	Rows []Row
+	// OTPBlocks is the number of AES blocks the SecNDP engine must produce
+	// for this query (data pads + tag pads). Ignored when no engine pool
+	// is attached.
+	OTPBlocks int
+}
+
+// Config fixes the simulated system.
+type Config struct {
+	Timing dram.Timing
+	Org    dram.Org // Org.Ranks is NDP_rank
+	// Regs is NDP_reg: in-flight pooling operations per PU.
+	Regs int
+	// InitCycles models the per-packet DRAM cycles spent configuring
+	// memory-mapped control registers (§VI-B).
+	InitCycles int64
+	// LoadCycles models the final NDPLd: moving the PU register (one
+	// result vector) back over the channel (§VI-B "a cycle in the final
+	// stage", plus the burst itself).
+	LoadCycles int64
+	// Engine, when non-nil, attaches the SecNDP engine pool; queries then
+	// complete at max(memory, OTP generation) — the decryption-bandwidth
+	// interaction of Figure 8.
+	Engine *engine.Pool
+	// VerifyNS is added to every query when an engine is attached and the
+	// workload carries tags (the final MAC compare, §V-E3).
+	VerifyNS float64
+	// ALUBytesPerCycle bounds each rank PU's multiply-accumulate rate
+	// (bytes of operands consumed per DRAM cycle). Zero means the PU
+	// matches its memory bandwidth — the paper's design point (§V-C2: a
+	// lightweight integer ALU sized to the rank's read rate). Setting it
+	// below 8 (the per-cycle burst rate) exposes a compute-bound regime.
+	ALUBytesPerCycle float64
+	// Channels extends the paper's single-channel system: each channel is
+	// an independent DRAM system (with its own Org.Ranks rank PUs), and
+	// lines route to channels at page granularity. 0/1 = the paper's
+	// configuration. The SecNDP engine pool stays shared — the processor
+	// has one — so AES demand grows with total channel bandwidth.
+	Channels int
+}
+
+// DefaultConfig returns the Table II system with the given NDP_rank and
+// NDP_reg.
+func DefaultConfig(ranks, regs int) Config {
+	return Config{
+		Timing:     dram.DDR4_2400(),
+		Org:        dram.DefaultOrg(ranks),
+		Regs:       regs,
+		InitCycles: 8,
+		LoadCycles: 8,
+	}
+}
+
+// QueryResult reports one query's simulated execution.
+type QueryResult struct {
+	// DispatchCycle is when the query's NDP commands were issued (a free
+	// register existed).
+	DispatchCycle int64
+	// MemDoneCycle is when the slowest rank finished the query's reads.
+	MemDoneCycle int64
+	// DoneNS is the query's completion in nanoseconds, including OTP
+	// generation (if an engine is attached) and the final load/add.
+	DoneNS float64
+	// OTPDoneNS is when the engine finished the query's pads (0 without an
+	// engine).
+	OTPDoneNS float64
+	// DecryptBottlenecked reports OTPDoneNS > memory completion — the
+	// packet was bottlenecked by decryption bandwidth (Figures 8/10).
+	DecryptBottlenecked bool
+	// Lines is the number of DRAM line accesses the query performed.
+	Lines int
+}
+
+// Result is a whole-trace simulation outcome.
+type Result struct {
+	Queries []QueryResult
+	// TotalNS is the completion time of the last query.
+	TotalNS float64
+	// Stats is the DRAM activity.
+	Stats dram.Stats
+	// BottleneckedFrac is the fraction of queries limited by decryption.
+	BottleneckedFrac float64
+}
+
+// Simulate runs the trace through the NDP system. Queries are dispatched
+// in order; query i must wait for a PU register, i.e. for query i−Regs to
+// complete (its partial sums leave the PU registers at completion).
+func Simulate(cfg Config, queries []Query) (Result, error) {
+	if cfg.Regs <= 0 {
+		return Result{}, fmt.Errorf("ndp: Regs must be positive, got %d", cfg.Regs)
+	}
+	channels := cfg.Channels
+	if channels <= 0 {
+		channels = 1
+	}
+	systems := make([]*dram.System, channels)
+	for c := range systems {
+		systems[c] = dram.NewSystem(cfg.Timing, cfg.Org, dram.RankBus)
+	}
+	// Channel routing: page-granular interleave (bit 12 up), so embedding
+	// rows stay within one channel but tables stripe across all.
+	channelOf := func(addr uint64) int {
+		return int(addr>>12) % channels
+	}
+	res := Result{Queries: make([]QueryResult, len(queries))}
+
+	// Per-channel, per-rank ALU pipelines (only when a rate limit is set).
+	var aluFree [][]int64
+	if cfg.ALUBytesPerCycle > 0 {
+		aluFree = make([][]int64, channels)
+		for c := range aluFree {
+			aluFree[c] = make([]int64, cfg.Org.Ranks)
+		}
+	}
+
+	doneNS := make([]float64, len(queries)) // completion per query
+	bottlenecked := 0
+	for i, q := range queries {
+		// Register windowing: wait for slot (i - Regs)'s owner.
+		var dispatchNS float64
+		if i >= cfg.Regs {
+			dispatchNS = doneNS[i-cfg.Regs]
+		}
+		dispatch := cfg.Timing.NSToCycles(dispatchNS) + cfg.InitCycles
+
+		var memDone int64
+		lines := 0
+		consume := func(addr uint64, size int) {
+			for _, la := range cfg.Org.LineAddrs(addr, size) {
+				ch := channelOf(la)
+				a := systems[ch].ReadLine(la, dispatch)
+				done := a.Done
+				if aluFree != nil {
+					// The PU's MAC pipeline processes the line's operands
+					// after the burst lands; a slow ALU backs up the rank.
+					rank := cfg.Org.Decode(la).Rank
+					start := max64i(done, aluFree[ch][rank])
+					aluCycles := int64(float64(cfg.Org.LineBytes)/cfg.ALUBytesPerCycle + 0.999999)
+					aluFree[ch][rank] = start + aluCycles
+					done = aluFree[ch][rank]
+				}
+				if done > memDone {
+					memDone = done
+				}
+				lines++
+			}
+		}
+		for _, row := range q.Rows {
+			consume(row.Addr, row.Bytes)
+			if row.TagBytes > 0 {
+				consume(row.TagAddr, row.TagBytes)
+			}
+		}
+		memDone += cfg.LoadCycles
+		memDoneNS := cfg.Timing.CyclesToNS(memDone)
+
+		qr := QueryResult{
+			DispatchCycle: dispatch,
+			MemDoneCycle:  memDone,
+			Lines:         lines,
+		}
+		qr.DoneNS = memDoneNS
+		if cfg.Engine != nil && q.OTPBlocks > 0 {
+			// OTP generation starts at dispatch, in parallel with memory.
+			qr.OTPDoneNS = cfg.Engine.Service(cfg.Timing.CyclesToNS(dispatch), q.OTPBlocks)
+			if qr.OTPDoneNS > memDoneNS {
+				qr.DecryptBottlenecked = true
+				bottlenecked++
+				qr.DoneNS = qr.OTPDoneNS
+			}
+			qr.DoneNS += cfg.VerifyNS
+		}
+		doneNS[i] = qr.DoneNS
+		if qr.DoneNS > res.TotalNS {
+			res.TotalNS = qr.DoneNS
+		}
+		res.Queries[i] = qr
+	}
+	for _, sys := range systems {
+		st := sys.Stats()
+		res.Stats.Reads += st.Reads
+		res.Stats.Writes += st.Writes
+		res.Stats.Activates += st.Activates
+		res.Stats.RowHits += st.RowHits
+		res.Stats.RowMisses += st.RowMisses
+		res.Stats.BytesRead += st.BytesRead
+		res.Stats.BytesWritten += st.BytesWritten
+	}
+	if len(queries) > 0 {
+		res.BottleneckedFrac = float64(bottlenecked) / float64(len(queries))
+	}
+	return res, nil
+}
+
+func max64i(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

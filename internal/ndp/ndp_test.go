@@ -1,0 +1,285 @@
+package ndp
+
+import (
+	"math/rand"
+	"testing"
+
+	"secndp/internal/engine"
+)
+
+// randomQueries builds n pooling queries of pf random rows of rowBytes each
+// over a span of physical memory.
+func randomQueries(rng *rand.Rand, n, pf, rowBytes int, span uint64) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		rows := make([]Row, pf)
+		for k := range rows {
+			addr := (rng.Uint64() % (span / uint64(rowBytes))) * uint64(rowBytes)
+			rows[k] = Row{Addr: addr, Bytes: rowBytes}
+		}
+		qs[i] = Query{Rows: rows}
+	}
+	return qs
+}
+
+func TestSimulateRejectsZeroRegs(t *testing.T) {
+	cfg := DefaultConfig(1, 0)
+	if _, err := Simulate(cfg, nil); err == nil {
+		t.Error("Regs=0 accepted")
+	}
+}
+
+func TestSimulateEmptyTrace(t *testing.T) {
+	res, err := Simulate(DefaultConfig(1, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalNS != 0 || len(res.Queries) != 0 {
+		t.Errorf("empty trace produced %+v", res)
+	}
+}
+
+func TestSpeedupGrowsWithRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	span := uint64(8) << 30
+	queries := randomQueries(rng, 64, 40, 128, span)
+	var prev float64
+	for i, ranks := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig(ranks, ranks)
+		res, err := Simulate(cfg, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.TotalNS >= prev {
+			t.Errorf("ranks=%d: %.0f ns not faster than previous %.0f ns", ranks, res.TotalNS, prev)
+		}
+		prev = res.TotalNS
+	}
+}
+
+func TestMoreRegistersHelpIrregularTraffic(t *testing.T) {
+	// More NDP_reg means more in-flight pooling ops and better rank load
+	// balance (paper §VII-A).
+	rng := rand.New(rand.NewSource(2))
+	queries := randomQueries(rng, 128, 40, 128, 8<<30)
+	cfg1 := DefaultConfig(8, 1)
+	res1, err := Simulate(cfg1, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg8 := DefaultConfig(8, 8)
+	res8, err := Simulate(cfg8, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.TotalNS >= res1.TotalNS {
+		t.Errorf("regs=8 (%.0f ns) not faster than regs=1 (%.0f ns)", res8.TotalNS, res1.TotalNS)
+	}
+}
+
+func TestRegisterWindowEnforced(t *testing.T) {
+	// With 1 register, query i+1 cannot dispatch before query i completes.
+	rng := rand.New(rand.NewSource(3))
+	queries := randomQueries(rng, 16, 8, 128, 1<<30)
+	cfg := DefaultConfig(2, 1)
+	res, err := Simulate(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Queries); i++ {
+		prevDone := cfg.Timing.NSToCycles(res.Queries[i-1].DoneNS)
+		if res.Queries[i].DispatchCycle < prevDone {
+			t.Fatalf("query %d dispatched at %d before predecessor done %d",
+				i, res.Queries[i].DispatchCycle, prevDone)
+		}
+	}
+}
+
+func TestTagRowsCostExtraLines(t *testing.T) {
+	q1 := []Query{{Rows: []Row{{Addr: 0, Bytes: 128}}}}
+	q2 := []Query{{Rows: []Row{{Addr: 0, Bytes: 128, TagAddr: 1 << 20, TagBytes: 16}}}}
+	r1, err := Simulate(DefaultConfig(1, 1), q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(DefaultConfig(1, 1), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Queries[0].Lines != r1.Queries[0].Lines+1 {
+		t.Errorf("tag fetch lines: %d vs %d", r2.Queries[0].Lines, r1.Queries[0].Lines)
+	}
+}
+
+func TestEngineBottleneckDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	queries := randomQueries(rng, 64, 40, 128, 8<<30)
+	for i := range queries {
+		queries[i].OTPBlocks = 40 * 8 // pads for 40 rows × 128 B
+	}
+	// Starved engine: 1 pipeline for 8 ranks.
+	cfgStarved := DefaultConfig(8, 8)
+	cfgStarved.Engine = engine.NewPool(engine.DefaultConfig(1))
+	starved, err := Simulate(cfgStarved, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.BottleneckedFrac < 0.9 {
+		t.Errorf("1 engine, 8 ranks: bottlenecked frac %.2f, want ~1", starved.BottleneckedFrac)
+	}
+	// Ample engines: should match unprotected NDP.
+	cfgAmple := DefaultConfig(8, 8)
+	cfgAmple.Engine = engine.NewPool(engine.DefaultConfig(16))
+	ample, err := Simulate(cfgAmple, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ample.BottleneckedFrac > 0.1 {
+		t.Errorf("16 engines: bottlenecked frac %.2f, want ~0", ample.BottleneckedFrac)
+	}
+	cfgPlain := DefaultConfig(8, 8)
+	plain, err := Simulate(cfgPlain, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ample.TotalNS > plain.TotalNS*1.1 {
+		t.Errorf("SecNDP with ample engines (%.0f) much slower than NDP (%.0f)",
+			ample.TotalNS, plain.TotalNS)
+	}
+	if starved.TotalNS <= plain.TotalNS {
+		t.Error("starved SecNDP not slower than unprotected NDP")
+	}
+}
+
+func TestOTPDoneRecorded(t *testing.T) {
+	q := []Query{{Rows: []Row{{Addr: 0, Bytes: 128}}, OTPBlocks: 8}}
+	cfg := DefaultConfig(1, 1)
+	cfg.Engine = engine.NewPool(engine.DefaultConfig(2))
+	res, err := Simulate(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries[0].OTPDoneNS <= 0 {
+		t.Error("OTPDoneNS not recorded")
+	}
+	// Without engine the field stays zero.
+	res2, _ := Simulate(DefaultConfig(1, 1), q)
+	if res2.Queries[0].OTPDoneNS != 0 {
+		t.Error("OTPDoneNS set without an engine")
+	}
+}
+
+func TestStreamingQueryFasterPerByteThanRandom(t *testing.T) {
+	// One contiguous analytics-style query vs the same bytes as random
+	// rows: contiguous should finish sooner (row-buffer locality).
+	rng := rand.New(rand.NewSource(5))
+	contig := []Query{{Rows: []Row{{Addr: 0, Bytes: 64 * 1024}}}}
+	random := randomQueries(rng, 1, 512, 128, 8<<30)
+	rc, err := Simulate(DefaultConfig(1, 1), contig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Simulate(DefaultConfig(1, 1), random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.TotalNS >= rr.TotalNS {
+		t.Errorf("contiguous 64 KiB (%.0f ns) not faster than random 64 KiB (%.0f ns)",
+			rc.TotalNS, rr.TotalNS)
+	}
+}
+
+func TestResultStatsPopulated(t *testing.T) {
+	q := []Query{{Rows: []Row{{Addr: 0, Bytes: 256}}}}
+	res, err := Simulate(DefaultConfig(1, 1), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Reads != 4 {
+		t.Errorf("stats reads = %d, want 4 lines", res.Stats.Reads)
+	}
+	if res.Queries[0].Lines != 4 {
+		t.Errorf("query lines = %d, want 4", res.Queries[0].Lines)
+	}
+}
+
+func TestALUThroughputConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	queries := randomQueries(rng, 32, 40, 128, 8<<30)
+
+	// Matched ALU (default): no slowdown versus the unconstrained run.
+	base, err := Simulate(DefaultConfig(4, 4), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := DefaultConfig(4, 4)
+	matched.ALUBytesPerCycle = 16 // burst delivers 16 B/cycle peak (64 B / tBL=4)
+	m, err := Simulate(matched, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalNS > base.TotalNS*1.1 {
+		t.Errorf("matched ALU slowed the PU: %.0f vs %.0f", m.TotalNS, base.TotalNS)
+	}
+
+	// Starved ALU: 1 B/cycle cannot keep up with the read stream.
+	starved := DefaultConfig(4, 4)
+	starved.ALUBytesPerCycle = 1
+	s, err := Simulate(starved, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalNS < base.TotalNS*1.5 {
+		t.Errorf("starved ALU not compute-bound: %.0f vs %.0f", s.TotalNS, base.TotalNS)
+	}
+}
+
+func TestMultiChannelScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries := randomQueries(rng, 64, 40, 128, 8<<30)
+	run := func(channels int) (float64, float64) {
+		cfg := DefaultConfig(8, 8)
+		cfg.Channels = channels
+		cfg.Engine = engine.NewPool(engine.DefaultConfig(12))
+		qs := make([]Query, len(queries))
+		copy(qs, queries)
+		for i := range qs {
+			qs[i].OTPBlocks = 40 * 8
+		}
+		res, err := Simulate(cfg, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalNS, res.BottleneckedFrac
+	}
+	t1, b1 := run(1)
+	t4, b4 := run(4)
+	if t4 >= t1 {
+		t.Errorf("4 channels (%.0f ns) not faster than 1 (%.0f ns)", t4, t1)
+	}
+	// The shared 12-engine pool that matched one channel cannot match four:
+	// more packets become decryption-bottlenecked (the Figure 8 mechanism
+	// extended across channels).
+	if b4 <= b1 {
+		t.Errorf("bottleneck fraction did not grow with channels: %.2f -> %.2f", b1, b4)
+	}
+}
+
+func TestMultiChannelStatsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	queries := randomQueries(rng, 8, 10, 128, 1<<30)
+	one := DefaultConfig(2, 2)
+	r1, err := Simulate(one, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := DefaultConfig(2, 2)
+	four.Channels = 4
+	r4, err := Simulate(four, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Reads != r4.Stats.Reads {
+		t.Errorf("line counts differ across channel counts: %d vs %d", r1.Stats.Reads, r4.Stats.Reads)
+	}
+}

@@ -1,0 +1,161 @@
+// Package otp generates the one-time pads of SecNDP's counter-mode
+// arithmetic encryption (paper §IV-B, Definition A.2). A pad block is
+//
+//	E(K, D ‖ addr ‖ v ‖ 0…)
+//
+// where E is a 128-bit block cipher (AES-128 here), D is a 2-bit domain
+// separator, addr is the physical byte address of the wc-bit chunk the pad
+// covers, and v is the version number drawn by the trusted software
+// (§V-A). The three domains keep the data pads (Alg. 1), the checksum seed
+// s (Alg. 2) and the tag pads (Alg. 3) cryptographically independent even
+// when addresses collide.
+package otp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// Domain is the 2-bit domain separator D of Definition A.2.
+type Domain byte
+
+const (
+	// DomainData ('00') pads data chunks (Algorithm 1).
+	DomainData Domain = 0b00
+	// DomainSeed ('01') derives the checksum seed s (Algorithm 2).
+	DomainSeed Domain = 0b01
+	// DomainTag ('10') pads verification tags (Algorithm 3).
+	DomainTag Domain = 0b10
+)
+
+// BlockBytes is the cipher block size wc/8 = 16 bytes.
+const BlockBytes = 16
+
+// BlockBits is the cipher block width wc = 128 bits.
+const BlockBits = 128
+
+// KeySize is the AES-128 key size in bytes (w_K = 128).
+const KeySize = 16
+
+// MaxAddr bounds physical addresses to the paper's w_A = 38-bit address
+// space (256 GiB), leaving room for the version field in the counter block.
+const MaxAddr = uint64(1)<<38 - 1
+
+// MaxVersion bounds version numbers to w_v = 56 bits, the width of the
+// version field in this implementation's counter-block layout (the paper
+// requires w_v < wc − 37 − 2 = 89; we use 56 so the layout is byte-aligned).
+const MaxVersion = uint64(1)<<56 - 1
+
+// Generator produces OTP blocks under a fixed secret key. It is safe for
+// concurrent use: cipher.Block is stateless for encryption.
+type Generator struct {
+	block cipher.Block
+}
+
+// NewGenerator builds a Generator from a w_K = 128-bit secret key.
+func NewGenerator(key []byte) (*Generator, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("otp: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("otp: %w", err)
+	}
+	return &Generator{block: b}, nil
+}
+
+// counterBlock assembles the 16-byte cipher input D ‖ addr ‖ v:
+//
+//	byte 0      : D in the top 2 bits, top 6 bits of addr below
+//	bytes 1..5  : remaining 32 bits of the 38-bit address (big endian)
+//	byte 5..8   : zero pad
+//	bytes 9..15 : 56-bit version (big endian)
+//
+// Layout detail is an implementation choice; the security argument only
+// needs (D, addr, v) to be injective into the block, which this is.
+func counterBlock(d Domain, addr, version uint64) [BlockBytes]byte {
+	if addr > MaxAddr {
+		panic(fmt.Sprintf("otp: address %#x exceeds the %d-bit physical address space", addr, 38))
+	}
+	if version > MaxVersion {
+		panic(fmt.Sprintf("otp: version %#x exceeds %d bits", version, 56))
+	}
+	var in [BlockBytes]byte
+	in[0] = byte(d) << 6
+	in[0] |= byte(addr >> 32) // top 6 bits of the 38-bit address
+	binary.BigEndian.PutUint32(in[1:5], uint32(addr))
+	// bytes 5..8 zero
+	in[9] = byte(version >> 48)
+	in[10] = byte(version >> 40)
+	in[11] = byte(version >> 32)
+	binary.BigEndian.PutUint32(in[12:16], uint32(version))
+	return in
+}
+
+// Block returns the 128-bit OTP block E(K, D‖addr‖v). addr is the starting
+// physical byte address of the wc-bit chunk the pad covers.
+func (g *Generator) Block(d Domain, addr, version uint64) [BlockBytes]byte {
+	in := counterBlock(d, addr, version)
+	var out [BlockBytes]byte
+	g.block.Encrypt(out[:], in[:])
+	return out
+}
+
+// Pads writes n consecutive OTP blocks into a 16·n byte slice: block i
+// covers the chunk at addr + 16·i, matching the loop of Algorithm 1
+// (Addr_i ← Addr + i · wc/8).
+func (g *Generator) Pads(d Domain, addr, version uint64, n int) []byte {
+	out := make([]byte, n*BlockBytes)
+	g.PadsInto(out, d, addr, version)
+	return out
+}
+
+// PadsInto fills dst (whose length must be a multiple of 16) with
+// consecutive OTP blocks starting at addr.
+func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
+	if len(dst)%BlockBytes != 0 {
+		panic("otp: PadsInto destination not a multiple of the block size")
+	}
+	for i := 0; i < len(dst); i += BlockBytes {
+		in := counterBlock(d, addr+uint64(i), version)
+		g.block.Encrypt(dst[i:i+BlockBytes], in[:])
+	}
+}
+
+// ElemPad returns the we-bit pad substring for the element at physical byte
+// address elemAddr, as used by the processor when it reconstructs a single
+// element's share (Algorithm 4 lines 9–11): the pad block is generated for
+// the enclosing 16-byte-aligned chunk and the element's lane is extracted.
+// we must be a byte-aligned width in {8,16,32,64}.
+func (g *Generator) ElemPad(elemAddr, version uint64, we uint) uint64 {
+	eb := we / 8
+	if eb == 0 || we%8 != 0 || eb > 8 {
+		panic("otp: ElemPad requires a byte-aligned element width <= 64")
+	}
+	chunk := elemAddr &^ uint64(BlockBytes-1)
+	idx := elemAddr - chunk // byte offset within the chunk
+	if idx%uint64(eb) != 0 {
+		panic("otp: element address not aligned to the element width")
+	}
+	pad := g.Block(DomainData, chunk, version)
+	var v uint64
+	for b := uint64(0); b < uint64(eb); b++ {
+		v |= uint64(pad[idx+b]) << (8 * b)
+	}
+	return v
+}
+
+// Seed derives the checksum seed s of Algorithm 2: the first w_t = 127 bits
+// of E(K, 01‖paddr(P)‖v), returned as 16 little-endian bytes with bit 127
+// cleared by the caller (package core lifts it into the field).
+func (g *Generator) Seed(matrixAddr, version uint64) [BlockBytes]byte {
+	return g.Block(DomainSeed, matrixAddr, version)
+}
+
+// TagPad derives the tag pad E_{T_i} of Algorithm 3: the first w_t bits of
+// E(K, 10‖paddr(P_i)‖v) for row i's physical address.
+func (g *Generator) TagPad(rowAddr, version uint64) [BlockBytes]byte {
+	return g.Block(DomainTag, rowAddr, version)
+}

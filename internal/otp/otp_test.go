@@ -1,0 +1,264 @@
+package otp
+
+import (
+	"bytes"
+	"crypto/aes"
+	"sync"
+	"testing"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func mustGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 32} {
+		if _, err := NewGenerator(make([]byte, n)); err == nil {
+			t.Errorf("key length %d accepted", n)
+		}
+	}
+}
+
+func TestBlockDeterministic(t *testing.T) {
+	g := mustGen(t)
+	a := g.Block(DomainData, 0x1000, 7)
+	b := g.Block(DomainData, 0x1000, 7)
+	if a != b {
+		t.Error("same inputs produced different pads")
+	}
+}
+
+func TestBlockMatchesRawAES(t *testing.T) {
+	g := mustGen(t)
+	// Reconstruct the counter block by hand and encrypt with stdlib AES.
+	in := counterBlock(DomainTag, 0x2A0, 99)
+	c, err := aes.NewCipher(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [16]byte
+	c.Encrypt(want[:], in[:])
+	if got := g.Block(DomainTag, 0x2A0, 99); got != want {
+		t.Error("Block disagrees with direct AES encryption of the counter block")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	g := mustGen(t)
+	d := g.Block(DomainData, 0x40, 1)
+	s := g.Block(DomainSeed, 0x40, 1)
+	tg := g.Block(DomainTag, 0x40, 1)
+	if d == s || d == tg || s == tg {
+		t.Error("pads from different domains collide for identical (addr, v)")
+	}
+}
+
+func TestAddressSeparation(t *testing.T) {
+	g := mustGen(t)
+	if g.Block(DomainData, 0, 1) == g.Block(DomainData, 16, 1) {
+		t.Error("pads for adjacent chunks collide")
+	}
+}
+
+func TestVersionSeparation(t *testing.T) {
+	g := mustGen(t)
+	if g.Block(DomainData, 0, 1) == g.Block(DomainData, 0, 2) {
+		t.Error("pads for different versions collide")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	g1 := mustGen(t)
+	g2, err := NewGenerator([]byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Block(DomainData, 0, 1) == g2.Block(DomainData, 0, 1) {
+		t.Error("pads under different keys collide")
+	}
+}
+
+func TestCounterBlockLayout(t *testing.T) {
+	in := counterBlock(DomainTag, MaxAddr, MaxVersion)
+	// Domain 10 in top 2 bits, then the 6 top address bits (all ones).
+	if in[0] != 0b10_111111 {
+		t.Errorf("byte 0 = %#b, want 0b10111111", in[0])
+	}
+	for i := 1; i < 5; i++ {
+		if in[i] != 0xFF {
+			t.Errorf("address byte %d = %#x, want 0xFF", i, in[i])
+		}
+	}
+	for i := 5; i < 9; i++ {
+		if in[i] != 0 {
+			t.Errorf("pad byte %d = %#x, want 0", i, in[i])
+		}
+	}
+	for i := 9; i < 16; i++ {
+		if in[i] != 0xFF {
+			t.Errorf("version byte %d = %#x, want 0xFF", i, in[i])
+		}
+	}
+}
+
+func TestCounterBlockInjective(t *testing.T) {
+	// Distinct (D, addr, v) triples must map to distinct blocks.
+	seen := make(map[[16]byte]string)
+	for _, d := range []Domain{DomainData, DomainSeed, DomainTag} {
+		for _, addr := range []uint64{0, 16, 1 << 20, MaxAddr} {
+			for _, v := range []uint64{0, 1, MaxVersion} {
+				b := counterBlock(d, addr, v)
+				key := string(rune(d)) + "/" + string(rune(addr)) + "/" + string(rune(v))
+				if prev, dup := seen[b]; dup {
+					t.Fatalf("counter block collision: %s vs %s", prev, key)
+				}
+				seen[b] = key
+			}
+		}
+	}
+}
+
+func TestCounterBlockPanicsOnOversizeAddr(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize address did not panic")
+		}
+	}()
+	counterBlock(DomainData, MaxAddr+1, 0)
+}
+
+func TestCounterBlockPanicsOnOversizeVersion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize version did not panic")
+		}
+	}()
+	counterBlock(DomainData, 0, MaxVersion+1)
+}
+
+func TestPadsMatchBlocks(t *testing.T) {
+	g := mustGen(t)
+	pads := g.Pads(DomainData, 0x100, 5, 4)
+	if len(pads) != 64 {
+		t.Fatalf("Pads length = %d, want 64", len(pads))
+	}
+	for i := 0; i < 4; i++ {
+		want := g.Block(DomainData, 0x100+uint64(16*i), 5)
+		if !bytes.Equal(pads[i*16:(i+1)*16], want[:]) {
+			t.Errorf("pad block %d disagrees with Block()", i)
+		}
+	}
+}
+
+func TestPadsIntoPanicsOnBadLength(t *testing.T) {
+	g := mustGen(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PadsInto with odd length did not panic")
+		}
+	}()
+	g.PadsInto(make([]byte, 17), DomainData, 0, 0)
+}
+
+func TestElemPadExtractsLane(t *testing.T) {
+	g := mustGen(t)
+	block := g.Block(DomainData, 0x200, 3)
+	// 32-bit elements: lane j covers bytes 4j..4j+3, little endian.
+	for j := uint64(0); j < 4; j++ {
+		var want uint64
+		for b := uint64(0); b < 4; b++ {
+			want |= uint64(block[j*4+b]) << (8 * b)
+		}
+		got := g.ElemPad(0x200+j*4, 3, 32)
+		if got != want {
+			t.Errorf("lane %d: ElemPad = %#x, want %#x", j, got, want)
+		}
+	}
+}
+
+func TestElemPad8Bit(t *testing.T) {
+	g := mustGen(t)
+	block := g.Block(DomainData, 0x300, 1)
+	for j := uint64(0); j < 16; j++ {
+		if got := g.ElemPad(0x300+j, 1, 8); got != uint64(block[j]) {
+			t.Errorf("8-bit lane %d mismatch", j)
+		}
+	}
+}
+
+func TestElemPadUnalignedPanics(t *testing.T) {
+	g := mustGen(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned element address did not panic")
+		}
+	}()
+	g.ElemPad(0x201, 0, 32) // not 4-byte aligned
+}
+
+func TestSeedAndTagPadUseDistinctDomains(t *testing.T) {
+	g := mustGen(t)
+	s := g.Seed(0x400, 9)
+	tp := g.TagPad(0x400, 9)
+	if s == tp {
+		t.Error("Seed and TagPad collide for identical inputs")
+	}
+	if s != g.Block(DomainSeed, 0x400, 9) {
+		t.Error("Seed is not the DomainSeed block")
+	}
+	if tp != g.Block(DomainTag, 0x400, 9) {
+		t.Error("TagPad is not the DomainTag block")
+	}
+}
+
+// A crude uniformity smoke test: pads over many chunks should have roughly
+// balanced bits (|ones/total - 0.5| small). Catches catastrophic layout
+// bugs such as encrypting a constant block.
+func TestPadBitBalance(t *testing.T) {
+	g := mustGen(t)
+	pads := g.Pads(DomainData, 0, 1, 4096)
+	ones := 0
+	for _, b := range pads {
+		for i := 0; i < 8; i++ {
+			ones += int(b>>i) & 1
+		}
+	}
+	total := len(pads) * 8
+	frac := float64(ones) / float64(total)
+	if frac < 0.48 || frac > 0.52 {
+		t.Errorf("pad bit balance %f is far from 0.5", frac)
+	}
+}
+
+func TestGeneratorConcurrentUse(t *testing.T) {
+	// The Generator backs concurrent batch queries; concurrent Block calls
+	// must agree with sequential ones.
+	g := mustGen(t)
+	want := make([][16]byte, 64)
+	for i := range want {
+		want[i] = g.Block(DomainData, uint64(i)*16, 1)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if g.Block(DomainData, uint64(i)*16, 1) != want[i] {
+				errs <- "mismatch"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -1,0 +1,244 @@
+// Package quant implements the embedding-table quantization schemes of
+// paper §VI-A(1) and Table IV: 32-bit fixed point and 8-bit affine
+// quantization with row-wise, table-wise, or column-wise scale and bias.
+//
+// Row-wise quantization (the industry default) attaches (scale, bias) to
+// every row, which forces a per-row multiplication during pooling and makes
+// computation over ciphertext inefficient. The paper therefore proposes
+// table-wise and column-wise schemes, where the SLS pooling runs directly
+// over quantized codes and the scale/bias are applied once at the end:
+//
+//	res_j = scale_j · Σ_k a_k·code[i_k][j] + bias_j · Σ_k a_k
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"secndp/internal/ring"
+)
+
+// Scheme enumerates Table IV's quantization schemes.
+type Scheme int
+
+const (
+	// Float32 is the unquantized reference (float64 here; the paper's
+	// models use fp32).
+	Float32 Scheme = iota
+	// Fixed32 is 32-bit fixed point, the SecNDP-native full-precision
+	// format.
+	Fixed32
+	// RowWise is 8-bit with per-row scale/bias (baseline-only; not
+	// SecNDP-friendly).
+	RowWise
+	// TableWise is 8-bit with one scale/bias for the whole table.
+	TableWise
+	// ColumnWise is 8-bit with per-column scale/bias.
+	ColumnWise
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Float32:
+		return "32-bit floating point"
+	case Fixed32:
+		return "32-bit fixed point"
+	case RowWise:
+		return "row-wise quantization (8-bit)"
+	case TableWise:
+		return "table-wise quantization (8-bit)"
+	case ColumnWise:
+		return "column-wise quantization (8-bit)"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Table is a quantized embedding table. Codes are stored as ring elements
+// (uint64 holding an 8-bit or 32-bit code) so they plug directly into the
+// SecNDP scheme; Scale/Bias hold the affine parameters at the scheme's
+// granularity.
+type Table struct {
+	Scheme Scheme
+	N, M   int
+	// Codes[i][j] is the stored integer code.
+	Codes [][]uint64
+	// Scale/Bias lengths: 1 (TableWise/Fixed32), M (ColumnWise), N (RowWise).
+	Scale, Bias []float64
+	// fixed is set for Fixed32.
+	fixed ring.Fixed
+}
+
+const codeMax = 255 // 8-bit affine range
+
+func affine(vals []float64) (scale, bias float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // empty
+		return 1, 0
+	}
+	if hi == lo {
+		return 1, lo
+	}
+	return (hi - lo) / codeMax, lo
+}
+
+func encode(v, scale, bias float64) uint64 {
+	c := math.Round((v - bias) / scale)
+	if c < 0 {
+		c = 0
+	}
+	if c > codeMax {
+		c = codeMax
+	}
+	return uint64(c)
+}
+
+// Quantize converts a float matrix into the given scheme. For Fixed32,
+// fracBits selects the fixed-point format (ignored otherwise).
+func Quantize(scheme Scheme, data [][]float64, fracBits uint) (*Table, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("quant: empty table")
+	}
+	m := len(data[0])
+	for i, row := range data {
+		if len(row) != m {
+			return nil, fmt.Errorf("quant: ragged row %d", i)
+		}
+	}
+	t := &Table{Scheme: scheme, N: n, M: m, Codes: make([][]uint64, n)}
+	switch scheme {
+	case Float32:
+		return nil, fmt.Errorf("quant: Float32 is the unquantized reference; keep the floats")
+	case Fixed32:
+		t.fixed = ring.NewFixed(ring.MustNew(32), fracBits)
+		for i, row := range data {
+			t.Codes[i] = t.fixed.EncodeVec(row)
+		}
+		t.Scale = []float64{1 / t.fixed.Scale()}
+		t.Bias = []float64{0}
+	case RowWise:
+		t.Scale = make([]float64, n)
+		t.Bias = make([]float64, n)
+		for i, row := range data {
+			t.Scale[i], t.Bias[i] = affine(row)
+			t.Codes[i] = make([]uint64, m)
+			for j, v := range row {
+				t.Codes[i][j] = encode(v, t.Scale[i], t.Bias[i])
+			}
+		}
+	case TableWise:
+		flat := make([]float64, 0, n*m)
+		for _, row := range data {
+			flat = append(flat, row...)
+		}
+		s, b := affine(flat)
+		t.Scale, t.Bias = []float64{s}, []float64{b}
+		for i, row := range data {
+			t.Codes[i] = make([]uint64, m)
+			for j, v := range row {
+				t.Codes[i][j] = encode(v, s, b)
+			}
+		}
+	case ColumnWise:
+		t.Scale = make([]float64, m)
+		t.Bias = make([]float64, m)
+		col := make([]float64, n)
+		for j := 0; j < m; j++ {
+			for i := range data {
+				col[i] = data[i][j]
+			}
+			t.Scale[j], t.Bias[j] = affine(col)
+		}
+		for i, row := range data {
+			t.Codes[i] = make([]uint64, m)
+			for j, v := range row {
+				t.Codes[i][j] = encode(v, t.Scale[j], t.Bias[j])
+			}
+		}
+	default:
+		return nil, fmt.Errorf("quant: unknown scheme %d", scheme)
+	}
+	return t, nil
+}
+
+// Dequantize reconstructs element (i, j).
+func (t *Table) Dequantize(i, j int) float64 {
+	switch t.Scheme {
+	case Fixed32:
+		return t.fixed.Decode(t.Codes[i][j])
+	case RowWise:
+		return float64(t.Codes[i][j])*t.Scale[i] + t.Bias[i]
+	case TableWise:
+		return float64(t.Codes[i][j])*t.Scale[0] + t.Bias[0]
+	case ColumnWise:
+		return float64(t.Codes[i][j])*t.Scale[j] + t.Bias[j]
+	}
+	panic("quant: Dequantize on unsupported scheme")
+}
+
+// Pool computes the SLS pooling Σ_k w[k] · x̂[idx[k]][j] through the
+// scheme-appropriate path. For TableWise/ColumnWise (and Fixed32) the sum
+// runs over integer codes first — exactly the computation SecNDP offloads —
+// and the affine correction is applied once; for RowWise the per-row scale
+// forces the multiply inside the loop (the inefficiency the paper calls
+// out).
+func (t *Table) Pool(idx []int, w []float64) []float64 {
+	res := make([]float64, t.M)
+	switch t.Scheme {
+	case RowWise:
+		for k, i := range idx {
+			for j := 0; j < t.M; j++ {
+				res[j] += w[k] * (float64(t.Codes[i][j])*t.Scale[i] + t.Bias[i])
+			}
+		}
+	case Fixed32:
+		// Integer pooling in the ring, then one decode. Mirrors SecNDP.
+		acc := make([]float64, t.M)
+		for k, i := range idx {
+			for j := 0; j < t.M; j++ {
+				acc[j] += w[k] * t.fixed.Decode(t.Codes[i][j])
+			}
+		}
+		copy(res, acc)
+	case TableWise, ColumnWise:
+		sumW := 0.0
+		accq := make([]float64, t.M)
+		for k, i := range idx {
+			sumW += w[k]
+			for j := 0; j < t.M; j++ {
+				accq[j] += w[k] * float64(t.Codes[i][j])
+			}
+		}
+		for j := 0; j < t.M; j++ {
+			s, b := t.Scale[0], t.Bias[0]
+			if t.Scheme == ColumnWise {
+				s, b = t.Scale[j], t.Bias[j]
+			}
+			res[j] = accq[j]*s + b*sumW
+		}
+	default:
+		panic("quant: Pool on unsupported scheme")
+	}
+	return res
+}
+
+// MaxAbsError returns the worst-case per-element reconstruction error of
+// the scheme on the quantized data: half a code step at the scheme's
+// granularity (Fixed32: half a ULP).
+func (t *Table) MaxAbsError() float64 {
+	switch t.Scheme {
+	case Fixed32:
+		return t.fixed.MaxAbsError()
+	default:
+		worst := 0.0
+		for _, s := range t.Scale {
+			worst = math.Max(worst, s/2)
+		}
+		return worst
+	}
+}

@@ -1,0 +1,176 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, n, m int, colScale bool) [][]float64 {
+	scales := make([]float64, m)
+	for j := range scales {
+		if colScale {
+			scales[j] = math.Pow(10, rng.Float64()*2-2) // 0.01 .. 1
+		} else {
+			scales[j] = 1
+		}
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = make([]float64, m)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64() * scales[j]
+		}
+	}
+	return data
+}
+
+func TestQuantizeRejectsBadInput(t *testing.T) {
+	if _, err := Quantize(TableWise, nil, 0); err == nil {
+		t.Error("empty table accepted")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Quantize(TableWise, ragged, 0); err == nil {
+		t.Error("ragged table accepted")
+	}
+	if _, err := Quantize(Float32, [][]float64{{1}}, 0); err == nil {
+		t.Error("Float32 pseudo-scheme accepted")
+	}
+	if _, err := Quantize(Scheme(99), [][]float64{{1}}, 0); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestReconstructionWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randMatrix(rng, 64, 16, true)
+	for _, sch := range []Scheme{Fixed32, RowWise, TableWise, ColumnWise} {
+		tab, err := Quantize(sch, data, 16)
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		bound := tab.MaxAbsError() * 1.0001
+		for i := range data {
+			for j := range data[i] {
+				got := tab.Dequantize(i, j)
+				if e := math.Abs(got - data[i][j]); e > bound {
+					t.Fatalf("%v (%d,%d): error %g > bound %g", sch, i, j, e, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorOrderingColumnBeatsTable(t *testing.T) {
+	// With per-column scale spread, column-wise quantization must have
+	// lower mean reconstruction error than table-wise — the mechanism
+	// behind Table IV's ordering.
+	rng := rand.New(rand.NewSource(2))
+	data := randMatrix(rng, 256, 32, true)
+	mse := func(sch Scheme) float64 {
+		tab, err := Quantize(sch, data, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := 0.0
+		for i := range data {
+			for j := range data[i] {
+				d := tab.Dequantize(i, j) - data[i][j]
+				s += d * d
+			}
+		}
+		return s / float64(len(data)*len(data[0]))
+	}
+	col, tabw, fx := mse(ColumnWise), mse(TableWise), mse(Fixed32)
+	if col >= tabw {
+		t.Errorf("column-wise MSE %g not below table-wise %g", col, tabw)
+	}
+	if fx >= col {
+		t.Errorf("fixed32 MSE %g not below column-wise %g", fx, col)
+	}
+}
+
+func TestPoolMatchesDequantizedSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randMatrix(rng, 32, 8, true)
+	idx := []int{1, 5, 9, 13, 1}
+	w := []float64{0.5, 1, 2, 0.25, 1}
+	for _, sch := range []Scheme{Fixed32, RowWise, TableWise, ColumnWise} {
+		tab, err := Quantize(sch, data, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tab.Pool(idx, w)
+		for j := 0; j < tab.M; j++ {
+			want := 0.0
+			for k, i := range idx {
+				want += w[k] * tab.Dequantize(i, j)
+			}
+			if math.Abs(got[j]-want) > 1e-9 {
+				t.Fatalf("%v col %d: Pool %g != direct %g", sch, j, got[j], want)
+			}
+		}
+	}
+}
+
+func TestPoolApproximatesFloatSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randMatrix(rng, 32, 8, false)
+	idx := []int{0, 3, 7}
+	w := []float64{1, 1, 1}
+	want := make([]float64, 8)
+	for k, i := range idx {
+		for j := 0; j < 8; j++ {
+			want[j] += w[k] * data[i][j]
+		}
+	}
+	tab, _ := Quantize(ColumnWise, data, 0)
+	got := tab.Pool(idx, w)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 3*tab.MaxAbsError()*float64(len(idx)) {
+			t.Fatalf("col %d: %g vs %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestConstantMatrix(t *testing.T) {
+	data := [][]float64{{5, 5}, {5, 5}}
+	for _, sch := range []Scheme{RowWise, TableWise, ColumnWise} {
+		tab, err := Quantize(sch, data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Dequantize(1, 1); got != 5 {
+			t.Errorf("%v: constant 5 reconstructed as %g", sch, got)
+		}
+	}
+}
+
+func TestCodesFitInByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randMatrix(rng, 16, 4, true)
+	for _, sch := range []Scheme{RowWise, TableWise, ColumnWise} {
+		tab, _ := Quantize(sch, data, 0)
+		for _, row := range tab.Codes {
+			for _, c := range row {
+				if c > 255 {
+					t.Fatalf("%v: code %d exceeds 8 bits", sch, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for sch, want := range map[Scheme]string{
+		Float32:    "32-bit floating point",
+		Fixed32:    "32-bit fixed point",
+		TableWise:  "table-wise quantization (8-bit)",
+		ColumnWise: "column-wise quantization (8-bit)",
+		RowWise:    "row-wise quantization (8-bit)",
+	} {
+		if sch.String() != want {
+			t.Errorf("%d: %q", int(sch), sch.String())
+		}
+	}
+}

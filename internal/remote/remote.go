@@ -1,0 +1,482 @@
+// Package remote runs the untrusted NDP as an actual network service: an
+// NDP server owns the untrusted memory and performs the ciphertext-side
+// operations of Algorithms 4/5; a client on the trusted side implements
+// core.NDP over a TCP connection. This realizes the paper's trust split as
+// a real process boundary — everything that crosses the wire is what the
+// adversary may see (ciphertext, public geometry, indices, weights) and
+// everything that returns is verified by the processor-side scheme.
+//
+// The wire protocol is a minimal length-prefixed binary format (no
+// dependencies): each request is one operation over one table region.
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"secndp/internal/core"
+	"secndp/internal/field"
+	"secndp/internal/memory"
+)
+
+// Op codes of the wire protocol.
+const (
+	opWeightedSum byte = 1
+	opTagSum      byte = 2
+	opWriteBlob   byte = 3 // provisioning path: load ciphertext into memory
+	opWriteECC    byte = 4 // provisioning path: side-band tags
+)
+
+// status codes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// maxVectorLen bounds request sizes a server will accept (DoS hygiene).
+const maxVectorLen = 1 << 20
+
+// ---- wire helpers -----------------------------------------------------------
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func writeGeometry(w *bufio.Writer, g core.Geometry) error {
+	for _, v := range []uint64{
+		uint64(g.Layout.Placement), g.Layout.Base, g.Layout.TagBase,
+		uint64(g.Layout.NumRows), uint64(g.Layout.RowBytes),
+		uint64(g.Params.We), uint64(g.Params.M), uint64(g.Params.ChecksumSubstrings),
+	} {
+		if err := writeUvarint(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readGeometry(r *bufio.Reader) (core.Geometry, error) {
+	var vals [8]uint64
+	for i := range vals {
+		v, err := readUvarint(r)
+		if err != nil {
+			return core.Geometry{}, err
+		}
+		vals[i] = v
+	}
+	g := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagPlacement(vals[0]),
+			Base:      vals[1],
+			TagBase:   vals[2],
+			NumRows:   int(vals[3]),
+			RowBytes:  int(vals[4]),
+		},
+		Params: core.Params{
+			We: uint(vals[5]), M: int(vals[6]), ChecksumSubstrings: int(vals[7]),
+		},
+	}
+	return g, g.Validate()
+}
+
+func writeQuery(w *bufio.Writer, idx []int, weights []uint64) error {
+	if err := writeUvarint(w, uint64(len(idx))); err != nil {
+		return err
+	}
+	for _, i := range idx {
+		if err := writeUvarint(w, uint64(i)); err != nil {
+			return err
+		}
+	}
+	for _, wt := range weights {
+		if err := writeUvarint(w, wt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readQuery(r *bufio.Reader) ([]int, []uint64, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: query of %d rows exceeds limit", n)
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		v, err := readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[k] = int(v)
+	}
+	weights := make([]uint64, n)
+	for k := range weights {
+		weights[k], err = readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return idx, weights, nil
+}
+
+// ---- server -----------------------------------------------------------------
+
+// Server is the untrusted NDP process: it owns a memory.Space and answers
+// ciphertext-side operations. It never holds key material.
+type Server struct {
+	mem *memory.Space
+	ndp *core.HonestNDP
+
+	mu sync.Mutex // serializes memory access across connections
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewServer wraps an untrusted memory space.
+func NewServer(mem *memory.Space) *Server {
+	return &Server{mem: mem, ndp: &core.HonestNDP{Mem: mem}}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection's request stream until EOF or error.
+func (s *Server) serve(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if err := s.serveOne(r, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
+	op, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	fail := func(msg string) error {
+		if err := w.WriteByte(statusErr); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(msg))); err != nil {
+			return err
+		}
+		_, err := w.WriteString(msg)
+		return err
+	}
+	switch op {
+	case opWeightedSum, opTagSum:
+		geo, err := readGeometry(r)
+		if err != nil {
+			return fail(fmt.Sprintf("bad geometry: %v", err))
+		}
+		idx, weights, err := readQuery(r)
+		if err != nil {
+			return fail(fmt.Sprintf("bad query: %v", err))
+		}
+		for _, i := range idx {
+			if i < 0 || i >= geo.Layout.NumRows {
+				return fail(fmt.Sprintf("row %d out of range", i))
+			}
+		}
+		s.mu.Lock()
+		if op == opWeightedSum {
+			res := s.ndp.WeightedSum(geo, idx, weights)
+			s.mu.Unlock()
+			if err := w.WriteByte(statusOK); err != nil {
+				return err
+			}
+			if err := writeUvarint(w, uint64(len(res))); err != nil {
+				return err
+			}
+			for _, v := range res {
+				if err := writeUvarint(w, v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		tag := s.ndp.TagSum(geo, idx, weights)
+		s.mu.Unlock()
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		b := tag.Bytes()
+		_, err = w.Write(b[:])
+		return err
+
+	case opWriteBlob:
+		addr, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		n, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		if n > maxVectorLen {
+			return fail("blob too large")
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.mem.Write(addr, buf)
+		s.mu.Unlock()
+		return w.WriteByte(statusOK)
+
+	case opWriteECC:
+		addr, err := readUvarint(r)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, memory.TagBytes)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.mem.WriteECC(addr, buf)
+		s.mu.Unlock()
+		return w.WriteByte(statusOK)
+
+	default:
+		return fail(fmt.Sprintf("unknown op %d", op))
+	}
+}
+
+// ---- client -----------------------------------------------------------------
+
+// Client talks to a remote NDP server and implements core.NDP, so a
+// core.Table can run Query/QueryVerified against a different process.
+// Methods panic on transport errors to satisfy the core.NDP interface
+// (whose results are always verified downstream); use Call-style wrappers
+// if graceful degradation is needed.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+var _ core.NDP = (*Client)(nil)
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(send func() error) error {
+	if err := send(); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if status == statusOK {
+		return nil
+	}
+	n, err := readUvarint(c.r)
+	if err != nil {
+		return err
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.r, msg); err != nil {
+		return err
+	}
+	return errors.New("remote: server error: " + string(msg))
+}
+
+// WeightedSum implements core.NDP over the wire.
+func (c *Client) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.roundTrip(func() error {
+		if err := c.w.WriteByte(opWeightedSum); err != nil {
+			return err
+		}
+		if err := writeGeometry(c.w, geo); err != nil {
+			return err
+		}
+		return writeQuery(c.w, idx, weights)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("remote: WeightedSum: %v", err))
+	}
+	n, err := readUvarint(c.r)
+	if err != nil {
+		panic(fmt.Sprintf("remote: WeightedSum response: %v", err))
+	}
+	res := make([]uint64, n)
+	for k := range res {
+		res[k], err = readUvarint(c.r)
+		if err != nil {
+			panic(fmt.Sprintf("remote: WeightedSum response: %v", err))
+		}
+	}
+	return res
+}
+
+// WeightedSumElem is not part of the wire protocol; element-granular
+// queries are composed client-side from WeightedSum when needed.
+func (c *Client) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []uint64) uint64 {
+	panic("remote: WeightedSumElem not supported over the wire")
+}
+
+// TagSum implements core.NDP over the wire.
+func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.roundTrip(func() error {
+		if err := c.w.WriteByte(opTagSum); err != nil {
+			return err
+		}
+		if err := writeGeometry(c.w, geo); err != nil {
+			return err
+		}
+		return writeQuery(c.w, idx, weights)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("remote: TagSum: %v", err))
+	}
+	var b [16]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		panic(fmt.Sprintf("remote: TagSum response: %v", err))
+	}
+	return field.FromBytes(b[:])
+}
+
+// WriteBlob provisions ciphertext bytes into the server's memory (the
+// initialization transfer of Figure 4's T0 step).
+func (c *Client) WriteBlob(addr uint64, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip(func() error {
+		if err := c.w.WriteByte(opWriteBlob); err != nil {
+			return err
+		}
+		if err := writeUvarint(c.w, addr); err != nil {
+			return err
+		}
+		if err := writeUvarint(c.w, uint64(len(data))); err != nil {
+			return err
+		}
+		_, err := c.w.Write(data)
+		return err
+	})
+}
+
+// WriteECC provisions a side-band tag (Ver-ECC placement).
+func (c *Client) WriteECC(dataAddr uint64, tag []byte) error {
+	if len(tag) != memory.TagBytes {
+		return fmt.Errorf("remote: tag must be %d bytes", memory.TagBytes)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTrip(func() error {
+		if err := c.w.WriteByte(opWriteECC); err != nil {
+			return err
+		}
+		if err := writeUvarint(c.w, dataAddr); err != nil {
+			return err
+		}
+		_, err := c.w.Write(tag)
+		return err
+	})
+}
+
+// Provision encrypts a table locally (trusted side) and ships only the
+// resulting ciphertext and tags to the server — the plaintext never
+// crosses the wire. Returns the processor-side table handle.
+func Provision(c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+	staging := memory.NewSpace()
+	tab, err := scheme.EncryptTable(staging, geo, version, rows)
+	if err != nil {
+		return nil, err
+	}
+	span := int(geo.Layout.DataEnd() - geo.Layout.Base)
+	if err := c.WriteBlob(geo.Layout.Base, staging.Snapshot(geo.Layout.Base, span)); err != nil {
+		return nil, err
+	}
+	switch geo.Layout.Placement {
+	case memory.TagSep:
+		n := geo.Layout.NumRows * memory.TagBytes
+		if err := c.WriteBlob(geo.Layout.TagBase, staging.Snapshot(geo.Layout.TagBase, n)); err != nil {
+			return nil, err
+		}
+	case memory.TagECC:
+		for i := 0; i < geo.Layout.NumRows; i++ {
+			if err := c.WriteECC(geo.Layout.RowAddr(i), staging.ReadECC(geo.Layout.RowAddr(i), memory.TagBytes)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tab, nil
+}

@@ -1,0 +1,68 @@
+package ring
+
+import "math"
+
+// Fixed describes a signed fixed-point representation inside a ring: values
+// are stored as two's-complement we-bit integers with Frac fractional bits.
+// SecNDP operates over integers/fixed point because arithmetic sharing works
+// in Z(2^we) (paper §III-C); this type performs the quantization at the
+// boundary.
+type Fixed struct {
+	R    Ring
+	Frac uint // number of fractional bits
+}
+
+// NewFixed returns a fixed-point codec with the given ring and fractional
+// bits. Frac must be < the ring width so at least one integer bit (the sign)
+// remains.
+func NewFixed(r Ring, frac uint) Fixed {
+	if frac >= r.Width() {
+		panic("ring: fractional bits must be smaller than the ring width")
+	}
+	return Fixed{R: r, Frac: frac}
+}
+
+// Scale returns 2^Frac as a float64.
+func (f Fixed) Scale() float64 { return math.Ldexp(1, int(f.Frac)) }
+
+// Encode quantizes a float64 to the nearest representable fixed-point value,
+// saturating at the representable range.
+func (f Fixed) Encode(x float64) uint64 {
+	s := math.Round(x * f.Scale())
+	max := math.Ldexp(1, int(f.R.Width()-1)) - 1
+	min := -math.Ldexp(1, int(f.R.Width()-1))
+	if s > max {
+		s = max
+	}
+	if s < min {
+		s = min
+	}
+	return f.R.FromSigned(int64(s))
+}
+
+// Decode maps a ring element back to a float64.
+func (f Fixed) Decode(e uint64) float64 {
+	return float64(f.R.ToSigned(e)) / f.Scale()
+}
+
+// EncodeVec quantizes a float64 slice.
+func (f Fixed) EncodeVec(xs []float64) []uint64 {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		out[i] = f.Encode(x)
+	}
+	return out
+}
+
+// DecodeVec dequantizes a ring-element slice.
+func (f Fixed) DecodeVec(es []uint64) []float64 {
+	out := make([]float64, len(es))
+	for i, e := range es {
+		out[i] = f.Decode(e)
+	}
+	return out
+}
+
+// MaxAbsError returns the worst-case absolute quantization error, half an
+// ULP of the fixed-point grid.
+func (f Fixed) MaxAbsError() float64 { return 0.5 / f.Scale() }

@@ -1,0 +1,249 @@
+// Package ring implements modular arithmetic in the integer ring Z(2^we),
+// the algebraic structure underlying SecNDP's arithmetic secret sharing
+// (paper §III-C, §IV-A). Elements are stored in uint64 regardless of the
+// ring width; all operations reduce modulo 2^we.
+//
+// The ring width we is the bit width of one data element (8 for quantized
+// embeddings, 32 for full-precision fixed point). A 128-bit cipher block
+// covers l = wc/we consecutive elements.
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Ring is the integer ring Z(2^we) for a fixed element width we in bits.
+// The zero value is not valid; use New.
+type Ring struct {
+	we   uint
+	mask uint64
+}
+
+// New returns the ring Z(2^we). The width must be in [1, 64].
+func New(we uint) (Ring, error) {
+	if we == 0 || we > 64 {
+		return Ring{}, fmt.Errorf("ring: element width %d out of range [1,64]", we)
+	}
+	return Ring{we: we, mask: maskFor(we)}, nil
+}
+
+// MustNew is New but panics on an invalid width. Intended for package-level
+// constants and tests where the width is a literal.
+func MustNew(we uint) Ring {
+	r, err := New(we)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func maskFor(we uint) uint64 {
+	if we == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << we) - 1
+}
+
+// Width returns the element width we in bits.
+func (r Ring) Width() uint { return r.we }
+
+// Bytes returns the element width in bytes. Widths that are not a multiple
+// of 8 round up.
+func (r Ring) Bytes() int { return int(r.we+7) / 8 }
+
+// Mask returns the bit mask 2^we - 1.
+func (r Ring) Mask() uint64 { return r.mask }
+
+// Order returns the number of elements in the ring as a float64 (2^we).
+// Exact for we < 53; used only for statistics and reporting.
+func (r Ring) Order() float64 {
+	return float64(1) * pow2(r.we)
+}
+
+func pow2(n uint) float64 {
+	v := 1.0
+	for i := uint(0); i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Reduce maps an arbitrary uint64 into the canonical representative in
+// [0, 2^we).
+func (r Ring) Reduce(a uint64) uint64 { return a & r.mask }
+
+// Add returns a + b mod 2^we.
+func (r Ring) Add(a, b uint64) uint64 { return (a + b) & r.mask }
+
+// Sub returns a - b mod 2^we. This is the ⊖ operator of Algorithm 1.
+func (r Ring) Sub(a, b uint64) uint64 { return (a - b) & r.mask }
+
+// Neg returns -a mod 2^we.
+func (r Ring) Neg(a uint64) uint64 { return (-a) & r.mask }
+
+// Mul returns a * b mod 2^we.
+func (r Ring) Mul(a, b uint64) uint64 { return (a * b) & r.mask }
+
+// ToSigned interprets a canonical ring element as a two's-complement signed
+// integer of width we.
+func (r Ring) ToSigned(a uint64) int64 {
+	a &= r.mask
+	sign := uint64(1) << (r.we - 1)
+	if a&sign != 0 {
+		return int64(a | ^r.mask) // sign-extend
+	}
+	return int64(a)
+}
+
+// FromSigned maps a signed integer into the ring (two's complement,
+// truncated to we bits).
+func (r Ring) FromSigned(v int64) uint64 { return uint64(v) & r.mask }
+
+// AddVec stores a[i] + b[i] mod 2^we into dst. The three slices must have
+// equal length; dst may alias a or b.
+func (r Ring) AddVec(dst, a, b []uint64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("ring: AddVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = (a[i] + b[i]) & r.mask
+	}
+}
+
+// SubVec stores a[i] - b[i] mod 2^we into dst.
+func (r Ring) SubVec(dst, a, b []uint64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("ring: SubVec length mismatch")
+	}
+	for i := range a {
+		dst[i] = (a[i] - b[i]) & r.mask
+	}
+}
+
+// ScaleAccum computes dst[i] += w * v[i] mod 2^we. This is the per-row step
+// of the weighted summation (NDPInst with a multiply-accumulate).
+func (r Ring) ScaleAccum(dst []uint64, w uint64, v []uint64) {
+	if len(dst) != len(v) {
+		panic("ring: ScaleAccum length mismatch")
+	}
+	for i := range v {
+		dst[i] = (dst[i] + w*v[i]) & r.mask
+	}
+}
+
+// Dot returns the inner product of a and b mod 2^we.
+func (r Ring) Dot(a, b []uint64) uint64 {
+	if len(a) != len(b) {
+		panic("ring: Dot length mismatch")
+	}
+	var acc uint64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return acc & r.mask
+}
+
+// WeightedSum computes res_j = Σ_k weights[k] * rows[k][j] mod 2^we, the
+// core SLS/pooling operation of Algorithm 4. All rows must share one length.
+func (r Ring) WeightedSum(weights []uint64, rows [][]uint64) []uint64 {
+	if len(weights) != len(rows) {
+		panic("ring: WeightedSum length mismatch")
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	res := make([]uint64, len(rows[0]))
+	for k, row := range rows {
+		r.ScaleAccum(res, weights[k], row)
+	}
+	return res
+}
+
+// WeightedSumExact computes the weighted sum over the full integers
+// (128-bit accumulation) alongside the ring result and reports, per column,
+// whether the exact unsigned sum exceeded the ring order — i.e. whether the
+// ring computation overflowed. SecNDP's verification scheme detects exactly
+// these overflows (paper footnote 1, Theorem A.2).
+func (r Ring) WeightedSumExact(weights []uint64, rows [][]uint64) (res []uint64, overflow []bool) {
+	if len(weights) != len(rows) {
+		panic("ring: WeightedSumExact length mismatch")
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	m := len(rows[0])
+	hi := make([]uint64, m)
+	lo := make([]uint64, m)
+	for k, row := range rows {
+		if len(row) != m {
+			panic("ring: WeightedSumExact ragged rows")
+		}
+		w := weights[k]
+		for j, x := range row {
+			ph, pl := bits.Mul64(w, x)
+			var c uint64
+			lo[j], c = bits.Add64(lo[j], pl, 0)
+			hi[j], _ = bits.Add64(hi[j], ph, c)
+		}
+	}
+	res = make([]uint64, m)
+	overflow = make([]bool, m)
+	for j := 0; j < m; j++ {
+		res[j] = lo[j] & r.mask
+		overflow[j] = hi[j] != 0 || lo[j] > r.mask
+	}
+	return res, overflow
+}
+
+// PackElems serializes canonical ring elements into bytes, little-endian
+// within each element, matching the byte layout Algorithm 1 assumes when it
+// slices a plaintext block into we-bit strings. Only widths that are
+// multiples of 8 can be packed.
+func (r Ring) PackElems(elems []uint64) []byte {
+	eb := r.Bytes()
+	if uint(eb)*8 != r.we {
+		panic("ring: PackElems requires byte-aligned width")
+	}
+	out := make([]byte, len(elems)*eb)
+	for i, e := range elems {
+		e &= r.mask
+		for b := 0; b < eb; b++ {
+			out[i*eb+b] = byte(e >> (8 * b))
+		}
+	}
+	return out
+}
+
+// UnpackElems is the inverse of PackElems. len(data) must be a multiple of
+// the element byte width.
+func (r Ring) UnpackElems(data []byte) []uint64 {
+	eb := r.Bytes()
+	if uint(eb)*8 != r.we {
+		panic("ring: UnpackElems requires byte-aligned width")
+	}
+	if len(data)%eb != 0 {
+		panic("ring: UnpackElems data not a multiple of element size")
+	}
+	out := make([]uint64, len(data)/eb)
+	for i := range out {
+		var e uint64
+		for b := 0; b < eb; b++ {
+			e |= uint64(data[i*eb+b]) << (8 * b)
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// ElemsPerBlock returns l = wc/we, the number of ring elements covered by
+// one cipher block of wc bits (Algorithm 1).
+func (r Ring) ElemsPerBlock(wc uint) int {
+	if wc%r.we != 0 {
+		panic("ring: cipher block width not a multiple of element width")
+	}
+	return int(wc / r.we)
+}
+
+// String implements fmt.Stringer.
+func (r Ring) String() string { return fmt.Sprintf("Z(2^%d)", r.we) }

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"secndp/internal/dram"
+	"secndp/internal/engine"
+	"secndp/internal/memory"
+	"secndp/internal/workload"
+)
+
+// InitReport measures the initialization step T0 of Figure 4: running
+// ArithEnc (§V-E1) over every table — generating pads, subtracting, and
+// writing ciphertext (plus tags) back to memory "like a cache line flush".
+// Initialization streams over the shared channel bus regardless of NDP
+// mode (the data comes from the processor).
+type InitReport struct {
+	// TotalNS is the wall-clock initialization time: the slower of the
+	// write stream and pad generation, which overlap.
+	TotalNS float64
+	// WriteNS / OTPNS are the two pipelines' individual times.
+	WriteNS, OTPNS float64
+	// Bytes written and AES blocks consumed.
+	Bytes     uint64
+	OTPBlocks uint64
+	// AESBound reports whether pad generation, not the bus, limited T0.
+	AESBound bool
+}
+
+// RunInit simulates encrypting every table of the trace into memory under
+// cfg's placement, with cfg.AESEngines generating pads.
+func RunInit(cfg Config, trace workload.Trace) (InitReport, error) {
+	if err := trace.Validate(); err != nil {
+		return InitReport{}, err
+	}
+	org := dram.DefaultOrg(cfg.Ranks)
+	sys := dram.NewSystem(cfg.Timing, org, dram.SharedBus)
+
+	var rep InitReport
+	var addr uint64
+	var lastWrite int64
+	for _, t := range trace.Tables {
+		rowStride := uint64(t.RowBytes)
+		if cfg.Placement == memory.TagColoc {
+			rowStride += memory.TagBytes
+		}
+		span := uint64(t.NumRows) * rowStride
+		for line := uint64(0); line < span; line += uint64(org.LineBytes) {
+			if a := sys.WriteLine(addr+line, 0); a.Done > lastWrite {
+				lastWrite = a.Done
+			}
+		}
+		rep.Bytes += span
+		rep.OTPBlocks += uint64(t.NumRows) * uint64(engine.BlocksForBytes(t.RowBytes))
+		if cfg.Placement != memory.TagNone {
+			// One tag pad + one checksum-seed share per row region.
+			rep.OTPBlocks += uint64(t.NumRows)
+			if cfg.Placement == memory.TagSep {
+				tagSpan := uint64(t.NumRows) * memory.TagBytes
+				for line := uint64(0); line < tagSpan; line += uint64(org.LineBytes) {
+					if a := sys.WriteLine(addr+span+line, 0); a.Done > lastWrite {
+						lastWrite = a.Done
+					}
+				}
+				rep.Bytes += tagSpan
+			}
+		}
+		addr += span + (1 << 20) // tables spaced out
+	}
+	rep.WriteNS = cfg.Timing.CyclesToNS(lastWrite)
+	ecfg := engine.DefaultConfig(cfg.AESEngines)
+	if cfg.BlockNS > 0 {
+		ecfg.BlockNS = cfg.BlockNS
+	}
+	pool := engine.NewPool(ecfg)
+	rep.OTPNS = pool.Service(0, int(rep.OTPBlocks))
+	rep.TotalNS = rep.WriteNS
+	if rep.OTPNS > rep.TotalNS {
+		rep.TotalNS = rep.OTPNS
+		rep.AESBound = true
+	}
+	return rep, nil
+}

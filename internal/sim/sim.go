@@ -1,0 +1,249 @@
+// Package sim is the performance-mode runner of the evaluation framework
+// (paper §VI-B): it lays workload tables out in physical memory through the
+// OS page-mapping model, expands logical traces into physical line
+// accesses, and executes them under each system organization:
+//
+//   - unprotected non-NDP: all data crosses the shared channel bus to the
+//     host (the memory-bandwidth-bound baseline);
+//   - unprotected NDP: rank PUs read locally, only results cross the bus;
+//   - SecNDP: NDP plus the OTP engine pool (encryption only, or with one
+//     of the three verification tag placements).
+//
+// Outputs are wall-clock nanoseconds, DRAM activity, and the fraction of
+// packets bottlenecked by decryption bandwidth — the raw material for every
+// figure and table of §VII.
+package sim
+
+import (
+	"fmt"
+
+	"secndp/internal/addrmap"
+	"secndp/internal/dram"
+	"secndp/internal/engine"
+	"secndp/internal/memory"
+	"secndp/internal/ndp"
+	"secndp/internal/workload"
+)
+
+// Config selects the simulated system.
+type Config struct {
+	Timing dram.Timing
+	// Ranks is NDP_rank; Regs is NDP_reg.
+	Ranks, Regs int
+	// AESEngines sizes the SecNDP engine pool (SecNDP modes only).
+	AESEngines int
+	// BlockNS overrides the AES per-block latency (default engine.AESBlockNS).
+	BlockNS float64
+	// Placement selects Enc-only (TagNone) or a verification layout.
+	Placement memory.TagPlacement
+	// HostWindow is the number of outstanding pooling operations the host
+	// core sustains in non-NDP mode (MSHR/ROB bound).
+	HostWindow int
+	// Seed drives the page mapper.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's standard setting: Table II timing,
+// NDP_rank/NDP_reg as given, 32-deep host window.
+func DefaultConfig(ranks, regs int) Config {
+	return Config{
+		Timing:     dram.DDR4_2400(),
+		Ranks:      ranks,
+		Regs:       regs,
+		AESEngines: 12,
+		BlockNS:    engine.AESBlockNS,
+		Placement:  memory.TagNone,
+		HostWindow: 32,
+		Seed:       1,
+	}
+}
+
+// Report is the outcome of one mode run.
+type Report struct {
+	// TotalNS is the trace completion time.
+	TotalNS float64
+	// Stats is DRAM activity (lines, activates, row hits).
+	Stats dram.Stats
+	// BottleneckedFrac is the fraction of packets limited by decryption
+	// (SecNDP only).
+	BottleneckedFrac float64
+	// OTPBlocks is the total AES work performed (SecNDP only).
+	OTPBlocks uint64
+	// Queries is the number of pooling operations executed.
+	Queries int
+}
+
+// ThroughputQPS returns queries per second.
+func (r Report) ThroughputQPS() float64 {
+	if r.TotalNS == 0 {
+		return 0
+	}
+	return float64(r.Queries) / (r.TotalNS * 1e-9)
+}
+
+// Placed is a workload trace bound to physical addresses under a given tag
+// placement. Build once, run under several modes.
+type Placed struct {
+	Queries []ndp.Query
+	// DataBlocksPerQuery / TagBlocksPerQuery are the OTP requirements.
+	dataBlocks []int
+	tagBlocks  []int
+	org        dram.Org
+}
+
+// Place lays the trace's tables out in physical memory (sequential virtual
+// allocation, random page mapping) under the tag placement, and expands
+// every query into physical row fetches.
+func Place(cfg Config, trace workload.Trace) (*Placed, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	org := dram.DefaultOrg(cfg.Ranks)
+	mapper := addrmap.NewMapper(org.TotalBytes(), cfg.Seed)
+
+	// Lay tables out back-to-back in virtual space, page-aligned, with
+	// per-table separate tag regions when Ver-sep is selected.
+	layouts := make([]memory.Layout, len(trace.Tables))
+	var vbase uint64
+	align := func(v uint64) uint64 {
+		return (v + addrmap.PageSize - 1) &^ uint64(addrmap.PageSize-1)
+	}
+	for i, t := range trace.Tables {
+		l := memory.Layout{
+			Placement: cfg.Placement,
+			Base:      vbase,
+			NumRows:   t.NumRows,
+			RowBytes:  t.RowBytes,
+		}
+		vbase = align(l.DataEnd())
+		if cfg.Placement == memory.TagSep {
+			l.TagBase = vbase
+			vbase = align(l.TagBase + uint64(t.NumRows)*memory.TagBytes)
+		}
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: table %d: %w", i, err)
+		}
+		layouts[i] = l
+	}
+
+	p := &Placed{org: org}
+	for _, q := range trace.Queries {
+		l := layouts[q.Table]
+		nq := ndp.Query{}
+		dataBytes := 0
+		for _, row := range q.Rows {
+			fetchBytes := l.RowBytes
+			if cfg.Placement == memory.TagColoc {
+				fetchBytes += memory.TagBytes // tag rides along, contiguous
+			}
+			frags, err := mapper.TranslateRange(l.RowAddr(row), fetchBytes)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range frags {
+				nq.Rows = append(nq.Rows, ndp.Row{Addr: f.Phys, Bytes: f.Len})
+			}
+			if cfg.Placement == memory.TagSep {
+				tfrags, err := mapper.TranslateRange(l.TagAddr(row), memory.TagBytes)
+				if err != nil {
+					return nil, err
+				}
+				for _, f := range tfrags {
+					nq.Rows = append(nq.Rows, ndp.Row{Addr: f.Phys, Bytes: f.Len})
+				}
+			}
+			dataBytes += l.RowBytes
+		}
+		p.Queries = append(p.Queries, nq)
+		p.dataBlocks = append(p.dataBlocks, engine.BlocksForBytes(dataBytes))
+		if cfg.Placement == memory.TagNone {
+			p.tagBlocks = append(p.tagBlocks, 0)
+		} else {
+			// One tag-pad block per row (Algorithm 3's E_{T_i}).
+			p.tagBlocks = append(p.tagBlocks, len(q.Rows))
+		}
+	}
+	return p, nil
+}
+
+// RunHost executes the trace on the non-NDP baseline: every line crosses
+// the shared channel bus; the host overlaps up to HostWindow queries.
+func RunHost(cfg Config, p *Placed) Report {
+	sys := dram.NewSystem(cfg.Timing, p.org, dram.SharedBus)
+	window := cfg.HostWindow
+	if window <= 0 {
+		window = 32
+	}
+	done := make([]int64, len(p.Queries))
+	var total int64
+	for i, q := range p.Queries {
+		var earliest int64
+		if i >= window {
+			earliest = done[i-window]
+		}
+		var memDone int64
+		for _, row := range q.Rows {
+			for _, la := range p.org.LineAddrs(row.Addr, row.Bytes) {
+				if a := sys.ReadLine(la, earliest); a.Done > memDone {
+					memDone = a.Done
+				}
+			}
+		}
+		done[i] = memDone
+		if memDone > total {
+			total = memDone
+		}
+	}
+	return Report{
+		TotalNS: cfg.Timing.CyclesToNS(total),
+		Stats:   sys.Stats(),
+		Queries: len(p.Queries),
+	}
+}
+
+// RunNDP executes the trace on unprotected NDP.
+func RunNDP(cfg Config, p *Placed) (Report, error) {
+	ncfg := ndp.DefaultConfig(cfg.Ranks, cfg.Regs)
+	ncfg.Timing = cfg.Timing
+	res, err := ndp.Simulate(ncfg, p.Queries)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		TotalNS: res.TotalNS,
+		Stats:   res.Stats,
+		Queries: len(p.Queries),
+	}, nil
+}
+
+// RunSecNDP executes the trace on SecNDP: NDP plus the OTP engine pool.
+// The tag placement baked into the Placed workload decides verification
+// cost; TagNone gives encryption-only.
+func RunSecNDP(cfg Config, p *Placed) (Report, error) {
+	ecfg := engine.DefaultConfig(cfg.AESEngines)
+	if cfg.BlockNS > 0 {
+		ecfg.BlockNS = cfg.BlockNS
+	}
+	pool := engine.NewPool(ecfg)
+
+	queries := make([]ndp.Query, len(p.Queries))
+	for i := range p.Queries {
+		queries[i] = p.Queries[i]
+		queries[i].OTPBlocks = p.dataBlocks[i] + p.tagBlocks[i]
+	}
+	ncfg := ndp.DefaultConfig(cfg.Ranks, cfg.Regs)
+	ncfg.Timing = cfg.Timing
+	ncfg.Engine = pool
+	ncfg.VerifyNS = ecfg.VerifyNS
+	res, err := ndp.Simulate(ncfg, queries)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		TotalNS:          res.TotalNS,
+		Stats:            res.Stats,
+		BottleneckedFrac: res.BottleneckedFrac,
+		OTPBlocks:        pool.Blocks(),
+		Queries:          len(p.Queries),
+	}, nil
+}

@@ -1,0 +1,273 @@
+// Package stats implements the statistical machinery of the medical data
+// analytics use case (paper §VI-A(2)): cohort means/variances computed from
+// NDP summations, and Student/Welch t-tests with p-values — "the test
+// statistics (e.g., p-value of t-test)" the researchers compute over the
+// gene-expression data set.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean. Panics on empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		panic("stats: Variance needs at least two samples")
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Summary holds the sufficient statistics of a cohort, computable from the
+// NDP-provided sums: Σx (a weighted summation with unit weights) and Σx²
+// (a summation over squared values, also linear in precomputed squares).
+type Summary struct {
+	N          int
+	Sum, SumSq float64
+}
+
+// Summarize builds a Summary from raw samples.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	for _, x := range xs {
+		s.Sum += x
+		s.SumSq += x * x
+	}
+	return s
+}
+
+// Mean of the summarized cohort.
+func (s Summary) Mean() float64 { return s.Sum / float64(s.N) }
+
+// Variance (unbiased) of the summarized cohort.
+func (s Summary) Variance() float64 {
+	n := float64(s.N)
+	return (s.SumSq - s.Sum*s.Sum/n) / (n - 1)
+}
+
+// TTestResult reports a two-sample t-test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs the two-sample t-test with unequal variances (the
+// appropriate test for patient vs non-patient gene expression cohorts).
+func WelchTTest(a, b Summary) (TTestResult, error) {
+	if a.N < 2 || b.N < 2 {
+		return TTestResult{}, fmt.Errorf("stats: cohorts need ≥2 samples (got %d, %d)", a.N, b.N)
+	}
+	va, vb := a.Variance(), b.Variance()
+	na, nb := float64(a.N), float64(b.N)
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		return TTestResult{}, fmt.Errorf("stats: zero variance in both cohorts")
+	}
+	t := (a.Mean() - b.Mean()) / math.Sqrt(se2)
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+// StudentTTest performs the pooled-variance two-sample t-test.
+func StudentTTest(a, b Summary) (TTestResult, error) {
+	if a.N < 2 || b.N < 2 {
+		return TTestResult{}, fmt.Errorf("stats: cohorts need ≥2 samples (got %d, %d)", a.N, b.N)
+	}
+	na, nb := float64(a.N), float64(b.N)
+	df := na + nb - 2
+	sp2 := ((na-1)*a.Variance() + (nb-1)*b.Variance()) / df
+	if sp2 == 0 {
+		return TTestResult{}, fmt.Errorf("stats: zero pooled variance")
+	}
+	t := (a.Mean() - b.Mean()) / math.Sqrt(sp2*(1/na+1/nb))
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+// tTwoSidedP returns the two-sided p-value of a t statistic with df degrees
+// of freedom via the regularized incomplete beta function:
+//
+//	P(|T| > |t|) = I_{df/(df+t²)}(df/2, 1/2)
+func tTwoSidedP(t, df float64) float64 {
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical-Recipes-style Lentz
+// algorithm).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// ChiSquareUniform tests observed category counts against the uniform
+// distribution and returns the statistic and its p-value (via the
+// regularized incomplete gamma function, evaluated through RegIncBeta's
+// machinery's sibling below). Used by the crypto tests to check ciphertext
+// byte uniformity, and available for analytics.
+func ChiSquareUniform(counts []uint64) (chi2, p float64, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, fmt.Errorf("stats: chi-square needs ≥2 categories")
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("stats: chi-square with no observations")
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	df := float64(k - 1)
+	return chi2, chiSquareSurvival(chi2, df), nil
+}
+
+// chiSquareSurvival returns P(X > x) for a chi-square with df degrees of
+// freedom: Q(df/2, x/2), the upper regularized incomplete gamma function,
+// computed by series/continued fraction.
+func chiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - lowerRegGamma(df/2, x/2)
+}
+
+// lowerRegGamma computes P(a, x), the lower regularized incomplete gamma
+// function, by series expansion for x < a+1 and by the Lentz continued
+// fraction for the complement otherwise.
+func lowerRegGamma(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		// Series: P(a,x) = x^a e^-x / Γ(a) · Σ x^n / (a(a+1)…(a+n)).
+		ap := a
+		sum := 1 / a
+		del := sum
+		for n := 0; n < 500; n++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+	default:
+		// Continued fraction for Q(a,x); P = 1 − Q.
+		const fpmin = 1e-300
+		b := x + 1 - a
+		c := 1 / fpmin
+		d := 1 / b
+		h := d
+		for i := 1; i <= 500; i++ {
+			an := -float64(i) * (float64(i) - a)
+			b += 2
+			d = an*d + b
+			if math.Abs(d) < fpmin {
+				d = fpmin
+			}
+			c = b + an/c
+			if math.Abs(c) < fpmin {
+				c = fpmin
+			}
+			d = 1 / d
+			del := d * c
+			h *= del
+			if math.Abs(del-1) < 1e-15 {
+				break
+			}
+		}
+		q := math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+		return 1 - q
+	}
+}

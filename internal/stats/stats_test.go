@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestSummaryMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean()-Mean(xs)) > 1e-12 {
+		t.Errorf("summary mean %g vs %g", s.Mean(), Mean(xs))
+	}
+	if math.Abs(s.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("summary variance %g vs %g", s.Variance(), Variance(xs))
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// I_x(1/2,1/2) = (2/π)·asin(√x) (arcsine law).
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := RegIncBeta(0.5, 0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("I_%g(.5,.5) = %g, want %g", x, got, want)
+		}
+	}
+	// Boundaries.
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// Symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got := RegIncBeta(2, 5, 0.3) + RegIncBeta(5, 2, 0.7); math.Abs(got-1) > 1e-10 {
+		t.Errorf("symmetry violated: %g", got)
+	}
+}
+
+func TestTTestIdenticalCohorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	a, b := Summarize(xs[:100]), Summarize(xs[100:])
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-distribution cohorts rejected: p=%g t=%g", res.P, res.T)
+	}
+}
+
+func TestTTestSeparatedCohorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 2 // strong effect
+	}
+	res, err := WelchTTest(Summarize(a), Summarize(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("2-sigma separation not detected: p=%g", res.P)
+	}
+	if res.T > 0 {
+		t.Errorf("t should be negative for mean(a) < mean(b): %g", res.T)
+	}
+}
+
+func TestTTestKnownValue(t *testing.T) {
+	// Student t-test, equal sizes: a classic hand-checkable case.
+	a := Summarize([]float64{1, 2, 3, 4, 5})
+	b := Summarize([]float64{2, 3, 4, 5, 6})
+	res, err := StudentTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DF-8) > 1e-12 {
+		t.Errorf("df = %g, want 8", res.DF)
+	}
+	want := -1.0 / math.Sqrt(2.5*(0.2+0.2))
+	if math.Abs(res.T-want) > 1e-9 {
+		t.Errorf("t = %g, want %g", res.T, want)
+	}
+	if res.P < 0.3 || res.P > 0.4 {
+		t.Errorf("p = %g, want ≈0.347", res.P)
+	}
+}
+
+func TestTTestErrors(t *testing.T) {
+	one := Summarize([]float64{1})
+	two := Summarize([]float64{1, 2})
+	if _, err := WelchTTest(one, two); err == nil {
+		t.Error("tiny cohort accepted")
+	}
+	flat := Summarize([]float64{3, 3, 3})
+	if _, err := WelchTTest(flat, flat); err == nil {
+		t.Error("zero variance accepted")
+	}
+	if _, err := StudentTTest(one, two); err == nil {
+		t.Error("Student tiny cohort accepted")
+	}
+	if _, err := StudentTTest(flat, flat); err == nil {
+		t.Error("Student zero variance accepted")
+	}
+}
+
+func TestWelchVsStudentAgreeOnEqualVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.1
+	}
+	w, _ := WelchTTest(Summarize(a), Summarize(b))
+	s, _ := StudentTTest(Summarize(a), Summarize(b))
+	if math.Abs(w.T-s.T) > 0.01 {
+		t.Errorf("Welch t %g vs Student t %g", w.T, s.T)
+	}
+	if math.Abs(w.P-s.P) > 0.01 {
+		t.Errorf("Welch p %g vs Student p %g", w.P, s.P)
+	}
+}
+
+func TestChiSquareUniformFairCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]uint64, 16)
+	for i := 0; i < 16000; i++ {
+		counts[rng.Intn(16)]++
+	}
+	chi2, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("uniform counts rejected: chi2=%.1f p=%g", chi2, p)
+	}
+}
+
+func TestChiSquareUniformBiasedCounts(t *testing.T) {
+	counts := make([]uint64, 16)
+	for i := range counts {
+		counts[i] = 1000
+	}
+	counts[3] = 2500 // a heavy bias
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("biased counts not rejected: p=%g", p)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]uint64{5}); err == nil {
+		t.Error("single category accepted")
+	}
+	if _, _, err := ChiSquareUniform([]uint64{0, 0}); err == nil {
+		t.Error("empty observations accepted")
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	// df=1: P(X > 3.841) ≈ 0.05.
+	if got := chiSquareSurvival(3.841, 1); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("chi2 survival(3.841, 1) = %g, want ~0.05", got)
+	}
+	// df=10: P(X > 18.307) ≈ 0.05.
+	if got := chiSquareSurvival(18.307, 10); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("chi2 survival(18.307, 10) = %g, want ~0.05", got)
+	}
+	if chiSquareSurvival(0, 5) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+}

@@ -1,0 +1,194 @@
+// Package storage models near-storage processing, the other substrate the
+// paper targets ("NDP ... to main memory or even storage", §I; SmartSSD
+// [45], Willow [64], RecSSD [76] — the latter being one of the two SLS
+// workload sources). SecNDP applies unchanged: ciphertext lives on the
+// untrusted SSD, the in-storage PU computes over it, and the host's SecNDP
+// engine supplies pads.
+//
+// Unlike internal/dram this is a throughput/latency model, not cycle-level:
+// SSD performance is governed by NAND channel bandwidth, host-link
+// bandwidth, and read amplification, all well captured analytically.
+//
+//   - Host path: every embedding row costs an LBA-granular (4 KiB)
+//     transfer over the host link plus per-IO protocol/software overhead —
+//     the read amplification and IO-stack cost RecSSD identifies.
+//   - In-storage path: rows are gathered internally across channels and
+//     only results cross the link (one IO per query).
+//   - SecNDP path: in-storage compute over ciphertext, with the host's AES
+//     pool generating pads for the row bytes actually consumed.
+//
+// NAND arrays serve LBA-granular (partial-page) reads in both paths, so
+// the host/NDP difference comes from link traffic and IO overhead — the
+// dominant effects in practice.
+package storage
+
+import (
+	"fmt"
+
+	"secndp/internal/engine"
+)
+
+// Config describes the computational SSD and its host link.
+type Config struct {
+	// Channels is the number of independent NAND channels.
+	Channels int
+	// ChannelMBps is per-channel NAND read bandwidth.
+	ChannelMBps float64
+	// HostLinkMBps is the host interface bandwidth (e.g. PCIe 3.0 ×4).
+	HostLinkMBps float64
+	// LBABytes is the host-visible read granule (4 KiB).
+	LBABytes int
+	// NANDPageBytes is the physical page size (16 KiB); reads are served
+	// at LBA granularity via partial-page reads.
+	NANDPageBytes int
+	// ReadLatencyUS is the NAND array read latency added to a query's
+	// completion (not occupancy; queries pipeline).
+	ReadLatencyUS float64
+	// IOOverheadUS is the per-IO host protocol/software cost on the host
+	// path (NVMe command handling, completion, driver), amortized at
+	// realistic queue depths.
+	IOOverheadUS float64
+}
+
+// Default returns a contemporary TLC SSD: 8 channels × 800 MB/s internal,
+// 3.5 GB/s host link, 4 KiB LBAs, 16 KiB pages, 80 µs read latency.
+func Default() Config {
+	return Config{
+		Channels:      8,
+		ChannelMBps:   800,
+		HostLinkMBps:  3500,
+		LBABytes:      4096,
+		NANDPageBytes: 16384,
+		ReadLatencyUS: 80,
+		IOOverheadUS:  1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.ChannelMBps <= 0 || c.HostLinkMBps <= 0 ||
+		c.LBABytes <= 0 || c.NANDPageBytes <= 0 || c.ReadLatencyUS < 0 || c.IOOverheadUS < 0 {
+		return fmt.Errorf("storage: invalid config %+v", c)
+	}
+	return nil
+}
+
+// InternalMBps is the aggregate NAND bandwidth.
+func (c Config) InternalMBps() float64 { return float64(c.Channels) * c.ChannelMBps }
+
+// Query is one pooling operation: rows of RowBytes each, randomly placed.
+type Query struct {
+	Rows     int
+	RowBytes int
+	// ResultBytes crosses the link in NDP modes (one pooled vector + tag).
+	ResultBytes int
+}
+
+// Report is one mode's outcome.
+type Report struct {
+	TotalNS float64
+	// LinkBytes crossed the host interface.
+	LinkBytes uint64
+	// NANDBytes were read from the arrays.
+	NANDBytes uint64
+	// BottleneckedFrac is the fraction of queries limited by the host AES
+	// pool (SecNDP mode only).
+	BottleneckedFrac float64
+}
+
+func mbpsToBytesPerNS(mbps float64) float64 { return mbps * 1e6 / 1e9 }
+
+// RunHost executes the queries with host-side compute: each row becomes an
+// LBA-granular read over the link; NAND reads are page-granular.
+func RunHost(cfg Config, queries []Query) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	var linkFree, nandFree float64
+	for _, q := range queries {
+		lbaPerRow := (q.RowBytes + cfg.LBABytes - 1) / cfg.LBABytes
+		ios := q.Rows * lbaPerRow
+		linkBytes := uint64(ios) * uint64(cfg.LBABytes)
+		nandBytes := linkBytes // LBA-granular partial-page reads
+
+		nandDone := nandFree + float64(nandBytes)/mbpsToBytesPerNS(cfg.InternalMBps())
+		linkTime := float64(linkBytes)/mbpsToBytesPerNS(cfg.HostLinkMBps) +
+			float64(ios)*cfg.IOOverheadUS*1e3
+		linkDone := maxf(nandDone, linkFree+linkTime)
+		nandFree = nandDone
+		linkFree = linkDone
+
+		rep.LinkBytes += linkBytes
+		rep.NANDBytes += nandBytes
+		if done := linkDone + cfg.ReadLatencyUS*1e3; done > rep.TotalNS {
+			rep.TotalNS = done
+		}
+	}
+	return rep, nil
+}
+
+// RunNDP executes the queries with in-storage compute: page reads stay
+// internal; only results cross the link.
+func RunNDP(cfg Config, queries []Query) (Report, error) {
+	return runNDP(cfg, queries, 0)
+}
+
+// RunSecNDP is RunNDP plus the host AES pool generating pads for the row
+// bytes consumed by the in-storage PU (plus one tag pad per row).
+func RunSecNDP(cfg Config, queries []Query, aesEngines int) (Report, error) {
+	if aesEngines <= 0 {
+		return Report{}, fmt.Errorf("storage: need a positive AES engine count")
+	}
+	return runNDP(cfg, queries, aesEngines)
+}
+
+func runNDP(cfg Config, queries []Query, aesEngines int) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	var pool *engine.Pool
+	if aesEngines > 0 {
+		pool = engine.NewPool(engine.DefaultConfig(aesEngines))
+	}
+	var rep Report
+	var linkFree, nandFree float64
+	bottlenecked := 0
+	for _, q := range queries {
+		lbaPerRow := (q.RowBytes + cfg.LBABytes - 1) / cfg.LBABytes
+		nandBytes := uint64(q.Rows) * uint64(lbaPerRow) * uint64(cfg.LBABytes)
+		nandDone := nandFree + float64(nandBytes)/mbpsToBytesPerNS(cfg.InternalMBps())
+		nandFree = nandDone
+
+		done := nandDone + cfg.ReadLatencyUS*1e3
+		if pool != nil {
+			blocks := engine.BlocksForBytes(q.Rows*q.RowBytes) + q.Rows // data + tag pads
+			otpDone := pool.Service(linkFree, blocks)
+			if otpDone > done {
+				done = otpDone
+				bottlenecked++
+			}
+		}
+		linkBytes := uint64(q.ResultBytes)
+		linkDone := maxf(done, linkFree+float64(linkBytes)/mbpsToBytesPerNS(cfg.HostLinkMBps)+
+			cfg.IOOverheadUS*1e3) // one IO per query
+		linkFree = linkDone
+
+		rep.LinkBytes += linkBytes
+		rep.NANDBytes += nandBytes
+		if linkDone > rep.TotalNS {
+			rep.TotalNS = linkDone
+		}
+	}
+	if len(queries) > 0 {
+		rep.BottleneckedFrac = float64(bottlenecked) / float64(len(queries))
+	}
+	return rep, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package storage
+
+import "testing"
+
+func slsQueries(n, pf int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{Rows: pf, RowBytes: 128, ResultBytes: 128 + 16}
+	}
+	return qs
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := Default()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero channels accepted")
+	}
+}
+
+func TestInternalExceedsLink(t *testing.T) {
+	c := Default()
+	if c.InternalMBps() <= c.HostLinkMBps {
+		t.Errorf("internal %f should exceed link %f for NDP to pay off",
+			c.InternalMBps(), c.HostLinkMBps)
+	}
+}
+
+func TestNDPBeatsHost(t *testing.T) {
+	cfg := Default()
+	qs := slsQueries(64, 80)
+	host, err := RunHost(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp, err := RunNDP(cfg, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := host.TotalNS / ndp.TotalNS
+	if speedup < 1.2 {
+		t.Errorf("in-storage speedup %.2f, want > 1.2 (read amplification avoided)", speedup)
+	}
+	if ndp.LinkBytes >= host.LinkBytes {
+		t.Errorf("NDP link traffic %d not below host %d", ndp.LinkBytes, host.LinkBytes)
+	}
+}
+
+func TestHostReadAmplification(t *testing.T) {
+	cfg := Default()
+	rep, err := RunHost(cfg, slsQueries(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 rows × 128 B of useful data cost 10 LBAs of 4 KiB on the link —
+	// a 32× read amplification.
+	if rep.LinkBytes != 10*4096 {
+		t.Errorf("link bytes %d, want 40960 (LBA amplification)", rep.LinkBytes)
+	}
+	if rep.NANDBytes != 10*4096 {
+		t.Errorf("NAND bytes %d, want LBA-granular partial-page reads", rep.NANDBytes)
+	}
+}
+
+func TestSecNDPTracksNDPWithEnoughEngines(t *testing.T) {
+	cfg := Default()
+	qs := slsQueries(64, 80)
+	ndp, _ := RunNDP(cfg, qs)
+	sec, err := RunSecNDP(cfg, qs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.TotalNS > ndp.TotalNS*1.05 {
+		t.Errorf("SecNDP %.0f not tracking NDP %.0f with 12 engines", sec.TotalNS, ndp.TotalNS)
+	}
+	if sec.BottleneckedFrac > 0.05 {
+		t.Errorf("bottlenecked %.2f with ample engines", sec.BottleneckedFrac)
+	}
+}
+
+func TestSecNDPOneEngineSufficesForSparseRows(t *testing.T) {
+	// A finding the model surfaces: near-storage SecNDP over sparse
+	// embedding rows needs almost no AES capacity — the PU consumes only
+	// 128 B of each 16 KiB page it reads, so pad demand (~1% of NAND
+	// bandwidth) is covered by a single engine. Contrast with DRAM NDP,
+	// where consumed bytes ≈ read bytes and ~10 engines are needed.
+	cfg := Default()
+	qs := slsQueries(64, 80)
+	ndp, _ := RunNDP(cfg, qs)
+	sec, err := RunSecNDP(cfg, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.TotalNS > ndp.TotalNS*1.05 {
+		t.Errorf("one engine should suffice for sparse rows: %.0f vs %.0f", sec.TotalNS, ndp.TotalNS)
+	}
+}
+
+func TestSecNDPStarvedEnginesDenseRows(t *testing.T) {
+	// Dense analytics-style rows (the PU consumes whole pages) do stress
+	// the AES pool: one engine (13.9 GB/s) cannot cover 25.6 GB/s of
+	// consumed ciphertext.
+	cfg := Default()
+	cfg.Channels = 32 // 25.6 GB/s internal
+	qs := make([]Query, 32)
+	for i := range qs {
+		qs[i] = Query{Rows: 400, RowBytes: cfg.NANDPageBytes, ResultBytes: 4096 + 16}
+	}
+	ndp, _ := RunNDP(cfg, qs)
+	sec, err := RunSecNDP(cfg, qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.TotalNS <= ndp.TotalNS {
+		t.Errorf("starved SecNDP %.0f not slower than NDP %.0f", sec.TotalNS, ndp.TotalNS)
+	}
+	if sec.BottleneckedFrac < 0.5 {
+		t.Errorf("bottlenecked %.2f, want majority", sec.BottleneckedFrac)
+	}
+	// And 4 engines (55.6 GB/s) recover NDP performance.
+	sec4, _ := RunSecNDP(cfg, qs, 4)
+	if sec4.TotalNS > ndp.TotalNS*1.05 {
+		t.Errorf("4 engines should suffice: %.0f vs %.0f", sec4.TotalNS, ndp.TotalNS)
+	}
+}
+
+func TestRunSecNDPValidatesEngines(t *testing.T) {
+	if _, err := RunSecNDP(Default(), slsQueries(1, 1), 0); err == nil {
+		t.Error("zero engines accepted")
+	}
+}
+
+func TestEmptyQueries(t *testing.T) {
+	rep, err := RunHost(Default(), nil)
+	if err != nil || rep.TotalNS != 0 {
+		t.Errorf("empty host run: %+v, %v", rep, err)
+	}
+	rep2, err := RunNDP(Default(), nil)
+	if err != nil || rep2.TotalNS != 0 {
+		t.Errorf("empty NDP run: %+v, %v", rep2, err)
+	}
+}

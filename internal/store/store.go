@@ -1,0 +1,199 @@
+// Package store serializes encrypted SecNDP tables: the geometry, version,
+// ciphertext, and verification tags — everything the *untrusted* side
+// holds — to an io.Writer and back. A stored blob is exactly what would
+// live on an untrusted SSD in the paper's near-storage deployment (§III-A:
+// computation "near memory or data storage"): it contains no key material
+// and no plaintext, so it can be shipped, cached, and re-provisioned
+// freely; only a Scheme holding the key can use it.
+//
+// Format (little-endian, length-prefixed):
+//
+//	magic "SNDP" | format u16 | geometry fields | version u64 |
+//	data length u64 | data bytes | tag section
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+var magic = [4]byte{'S', 'N', 'D', 'P'}
+
+// formatVersion is bumped on incompatible layout changes.
+const formatVersion uint16 = 1
+
+// maxBlobBytes bounds what Load will allocate (corrupt headers must not
+// OOM the loader).
+const maxBlobBytes = 1 << 32
+
+// ErrFormat reports a malformed or corrupt blob.
+var ErrFormat = errors.New("store: malformed table blob")
+
+// Save writes the untrusted-side state of a table region (ciphertext and
+// tags read from mem under the geometry) to w, with a trailing CRC-32 so
+// accidental corruption is distinguished from adversarial tampering
+// (which only the scheme's verification can catch).
+func Save(w io.Writer, mem *memory.Space, geo core.Geometry, version uint64) error {
+	if err := geo.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, formatVersion); err != nil {
+		return err
+	}
+	fields := []uint64{
+		uint64(geo.Layout.Placement), geo.Layout.Base, geo.Layout.TagBase,
+		uint64(geo.Layout.NumRows), uint64(geo.Layout.RowBytes),
+		uint64(geo.Params.We), uint64(geo.Params.M),
+		uint64(geo.Params.ChecksumSubstrings), version,
+	}
+	for _, f := range fields {
+		if err := binary.Write(out, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	// Ciphertext region (includes co-located tags via the stride).
+	span := geo.Layout.DataEnd() - geo.Layout.Base
+	if err := binary.Write(out, binary.LittleEndian, span); err != nil {
+		return err
+	}
+	if _, err := out.Write(mem.Snapshot(geo.Layout.Base, int(span))); err != nil {
+		return err
+	}
+	// Tag section: separate region or ECC side band.
+	switch geo.Layout.Placement {
+	case memory.TagSep:
+		n := uint64(geo.Layout.NumRows) * memory.TagBytes
+		if err := binary.Write(out, binary.LittleEndian, n); err != nil {
+			return err
+		}
+		if _, err := out.Write(mem.Snapshot(geo.Layout.TagBase, int(n))); err != nil {
+			return err
+		}
+	case memory.TagECC:
+		n := uint64(geo.Layout.NumRows) * memory.TagBytes
+		if err := binary.Write(out, binary.LittleEndian, n); err != nil {
+			return err
+		}
+		for i := 0; i < geo.Layout.NumRows; i++ {
+			if _, err := out.Write(mem.ReadECC(geo.Layout.RowAddr(i), memory.TagBytes)); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := binary.Write(out, binary.LittleEndian, uint64(0)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a blob into mem at the geometry recorded in the header and
+// returns that geometry and the version. The caller opens the table with
+// scheme.OpenTable(geo, version); results remain subject to the scheme's
+// own verification — the CRC here only catches accidental damage.
+func Load(r io.Reader, mem *memory.Space) (core.Geometry, uint64, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReader(r)
+	in := io.TeeReader(br, crc)
+
+	var m [4]byte
+	if _, err := io.ReadFull(in, m[:]); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if m != magic {
+		return core.Geometry{}, 0, fmt.Errorf("%w: bad magic %q", ErrFormat, m)
+	}
+	var fv uint16
+	if err := binary.Read(in, binary.LittleEndian, &fv); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if fv != formatVersion {
+		return core.Geometry{}, 0, fmt.Errorf("%w: format %d not supported", ErrFormat, fv)
+	}
+	var fields [9]uint64
+	for i := range fields {
+		if err := binary.Read(in, binary.LittleEndian, &fields[i]); err != nil {
+			return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	geo := core.Geometry{
+		Layout: memory.Layout{
+			Placement: memory.TagPlacement(fields[0]),
+			Base:      fields[1],
+			TagBase:   fields[2],
+			NumRows:   int(fields[3]),
+			RowBytes:  int(fields[4]),
+		},
+		Params: core.Params{
+			We: uint(fields[5]), M: int(fields[6]), ChecksumSubstrings: int(fields[7]),
+		},
+	}
+	version := fields[8]
+	if err := geo.Validate(); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+
+	var span uint64
+	if err := binary.Read(in, binary.LittleEndian, &span); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if span > maxBlobBytes || span != geo.Layout.DataEnd()-geo.Layout.Base {
+		return core.Geometry{}, 0, fmt.Errorf("%w: data span %d inconsistent with geometry", ErrFormat, span)
+	}
+	data := make([]byte, span)
+	if _, err := io.ReadFull(in, data); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	var tagLen uint64
+	if err := binary.Read(in, binary.LittleEndian, &tagLen); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	wantTagLen := uint64(0)
+	if geo.Layout.Placement == memory.TagSep || geo.Layout.Placement == memory.TagECC {
+		wantTagLen = uint64(geo.Layout.NumRows) * memory.TagBytes
+	}
+	if tagLen != wantTagLen {
+		return core.Geometry{}, 0, fmt.Errorf("%w: tag section %d, want %d", ErrFormat, tagLen, wantTagLen)
+	}
+	tags := make([]byte, tagLen)
+	if _, err := io.ReadFull(in, tags); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return core.Geometry{}, 0, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if got != want {
+		return core.Geometry{}, 0, fmt.Errorf("%w: CRC mismatch", ErrFormat)
+	}
+
+	// Commit into memory only after everything checked out.
+	mem.Write(geo.Layout.Base, data)
+	switch geo.Layout.Placement {
+	case memory.TagSep:
+		mem.Write(geo.Layout.TagBase, tags)
+	case memory.TagECC:
+		for i := 0; i < geo.Layout.NumRows; i++ {
+			mem.WriteECC(geo.Layout.RowAddr(i), tags[i*memory.TagBytes:(i+1)*memory.TagBytes])
+		}
+	}
+	return geo, version, nil
+}

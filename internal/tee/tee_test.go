@@ -1,0 +1,101 @@
+package tee
+
+import (
+	"testing"
+)
+
+func TestCPUTime(t *testing.T) {
+	c := CPU{GFLOPS: 100}
+	if got := c.TimeNS(1e9); got != 1e7 {
+		t.Errorf("1 GFLOP at 100 GFLOPS = %f ns", got)
+	}
+}
+
+func TestCPUTimePanicsOnBadThroughput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CPU{}.TimeNS(1)
+}
+
+func TestICLComputePhase(t *testing.T) {
+	m := IceLake()
+	p := Phase{BaselineNS: 1000, MemoryBound: false, WorkingSetBytes: 1 << 20}
+	got := m.Slowdown(p)
+	// "When the workload fits in caches... SGX ICL has about 5% slowdown."
+	if got < 1.04 || got > 1.06 {
+		t.Errorf("ICL cache-resident slowdown %.3f, want ~1.05", got)
+	}
+}
+
+func TestICLMemoryPhaseNoPaging(t *testing.T) {
+	m := IceLake()
+	p := Phase{
+		BaselineNS:      1e6,
+		MemoryBound:     true,
+		WorkingSetBytes: 8 << 30, // fits the 96 GB EPC
+		PageTouches:     1 << 20,
+	}
+	got := m.Slowdown(p)
+	// Paper: 1.8–2.6× slowdown for ICL on these workloads.
+	if got < 1.7 || got > 2.7 {
+		t.Errorf("ICL memory-bound slowdown %.2f, want 1.8–2.6", got)
+	}
+}
+
+func TestCFLCollapsesBeyondEPC(t *testing.T) {
+	m := CoffeeLake()
+	small := Phase{BaselineNS: 1e6, MemoryBound: true, WorkingSetBytes: 32 << 20, PageTouches: 10000}
+	large := Phase{BaselineNS: 1e6, MemoryBound: true, WorkingSetBytes: 1 << 30, PageTouches: 100000}
+	sSmall, sLarge := m.Slowdown(small), m.Slowdown(large)
+	// Under-EPC memory-bound phases still pay the integrity tree (the
+	// paper measures 5.75× on the EPC-resident analytics set).
+	if sSmall < 3 || sSmall > 8 {
+		t.Errorf("CFL under-EPC slowdown %.2f, want the integrity-tree band 3–8×", sSmall)
+	}
+	// Paper: "6x-300x slowdown for the CFL SGX enclave" on >EPC sets.
+	if sLarge < 6 {
+		t.Errorf("CFL over-EPC slowdown %.2f, want ≥6 (paper: 6–300×)", sLarge)
+	}
+	if sLarge <= sSmall {
+		t.Error("paging should dominate beyond the EPC")
+	}
+}
+
+func TestCFLFaultFractionScalesWithWorkingSet(t *testing.T) {
+	m := CoffeeLake()
+	mk := func(ws uint64) float64 {
+		return m.TimeNS(Phase{BaselineNS: 1e6, MemoryBound: true, WorkingSetBytes: ws, PageTouches: 100000})
+	}
+	t1 := mk(256 << 20)
+	t2 := mk(8 << 30)
+	if t2 <= t1 {
+		t.Error("larger working set should fault more")
+	}
+}
+
+func TestPhasePanicsOnNegativeBaseline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	IceLake().TimeNS(Phase{BaselineNS: -1})
+}
+
+func TestSlowdownPanicsOnZeroBaseline(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	IceLake().Slowdown(Phase{BaselineNS: 0})
+}
+
+func TestModelNames(t *testing.T) {
+	if CoffeeLake().Name != "SGX-CFL" || IceLake().Name != "SGX-ICL" {
+		t.Error("model names wrong")
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload generates the two evaluation traces of paper §VI-A:
+//
+//  1. Deep-learning recommendation inference: SparseLengths(Weighted)Sum
+//     (SLS) queries over large embedding tables — sparse, irregular row
+//     accesses with pooling factor PF per query.
+//  2. Medical data analytics: summations of gene-expression rows over a
+//     patient cohort — large contiguous rows, regular access.
+//
+// Traces are logical (table id + row indices); internal/sim translates them
+// to physical addresses through the OS page-mapping model.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TableSpec describes one embedding table (or the analytics matrix).
+type TableSpec struct {
+	// NumRows is the number of vectors in the table.
+	NumRows int
+	// RowBytes is the data size of one vector (m × we/8).
+	RowBytes int
+}
+
+// Bytes returns the table's total data size.
+func (t TableSpec) Bytes() uint64 { return uint64(t.NumRows) * uint64(t.RowBytes) }
+
+// Query is one pooling operation against one table.
+type Query struct {
+	Table int
+	Rows  []int
+}
+
+// Trace is an ordered sequence of queries over a set of tables.
+type Trace struct {
+	Tables  []TableSpec
+	Queries []Query
+}
+
+// Validate checks referential integrity.
+func (t Trace) Validate() error {
+	for qi, q := range t.Queries {
+		if q.Table < 0 || q.Table >= len(t.Tables) {
+			return fmt.Errorf("workload: query %d references table %d of %d", qi, q.Table, len(t.Tables))
+		}
+		n := t.Tables[q.Table].NumRows
+		for _, r := range q.Rows {
+			if r < 0 || r >= n {
+				return fmt.Errorf("workload: query %d row %d out of range [0,%d)", qi, r, n)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalRowFetches counts row reads across the trace.
+func (t Trace) TotalRowFetches() int {
+	n := 0
+	for _, q := range t.Queries {
+		n += len(q.Rows)
+	}
+	return n
+}
+
+// SLSConfig parameterizes a recommendation-inference trace.
+type SLSConfig struct {
+	// Tables in the model (# Emb. of Table I).
+	NumTables int
+	// RowsPerTable sizes each table; total bytes should match Table I.
+	RowsPerTable int
+	// RowBytes is the embedding row size (m=32 × 4 B = 128 B unquantized,
+	// 32 B with 8-bit quantization).
+	RowBytes int
+	// Batch is the inference batch size; each sample issues one SLS query
+	// per table.
+	Batch int
+	// PF is the pooling factor. When PFMax > PF, the pooling factor is
+	// drawn uniformly from [PF, PFMax] per query — the "production" trace
+	// whose PF ranges 50–100 (§VI-A).
+	PF, PFMax int
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// SLSTrace generates the embedding-lookup trace: for every sample in the
+// batch and every table, one query of PF uniformly random row indices
+// (indices are irregular; repeats allowed, as in real lookups).
+func SLSTrace(cfg SLSConfig) Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tables := make([]TableSpec, cfg.NumTables)
+	for i := range tables {
+		tables[i] = TableSpec{NumRows: cfg.RowsPerTable, RowBytes: cfg.RowBytes}
+	}
+	var queries []Query
+	for b := 0; b < cfg.Batch; b++ {
+		for t := 0; t < cfg.NumTables; t++ {
+			pf := cfg.PF
+			if cfg.PFMax > cfg.PF {
+				pf = cfg.PF + rng.Intn(cfg.PFMax-cfg.PF+1)
+			}
+			rows := make([]int, pf)
+			for k := range rows {
+				rows[k] = rng.Intn(cfg.RowsPerTable)
+			}
+			queries = append(queries, Query{Table: t, Rows: rows})
+		}
+	}
+	return Trace{Tables: tables, Queries: queries}
+}
+
+// AnalyticsConfig parameterizes the medical-analytics trace of §VI-A(2):
+// a gene-expression matrix of NumPatients rows × RowBytes, queried by
+// summations over PF patient IDs. Patient IDs per query are contiguous
+// ranges ("usually the queried patient IDs are not sparse").
+type AnalyticsConfig struct {
+	NumPatients int
+	// RowBytes is one patient's gene-expression vector (m=1024 genes × 4 B
+	// = 4 KiB in the performance evaluation).
+	RowBytes int
+	// PF is the number of patients aggregated per query (10,000 in §VI-A).
+	PF int
+	// Queries is the number of aggregation queries.
+	Queries int
+	Seed    int64
+}
+
+// AnalyticsTrace generates the medical data analytics trace.
+func AnalyticsTrace(cfg AnalyticsConfig) Trace {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	table := TableSpec{NumRows: cfg.NumPatients, RowBytes: cfg.RowBytes}
+	var queries []Query
+	for q := 0; q < cfg.Queries; q++ {
+		start := 0
+		if cfg.NumPatients > cfg.PF {
+			start = rng.Intn(cfg.NumPatients - cfg.PF)
+		}
+		rows := make([]int, cfg.PF)
+		for k := range rows {
+			rows[k] = start + k
+		}
+		queries = append(queries, Query{Table: 0, Rows: rows})
+	}
+	return Trace{Tables: []TableSpec{table}, Queries: queries}
+}
+
+// DLRMModel bundles the Table I model configurations: MLP shapes for the
+// CPU portion and embedding-table geometry for the NDP portion.
+type DLRMModel struct {
+	Name     string
+	BottomFC []int // layer widths, e.g. 256-128-32
+	TopFC    []int
+	// NumTables and TotalEmbBytes reproduce the "# Emb." and "total Emb.
+	// size" columns of Table I.
+	NumTables     int
+	TotalEmbBytes uint64
+	// RowBytes is the embedding row size (m=32, 32-bit elements).
+	RowBytes int
+}
+
+// RowsPerTable derives the per-table row count from the total size.
+func (m DLRMModel) RowsPerTable() int {
+	return int(m.TotalEmbBytes / uint64(m.NumTables) / uint64(m.RowBytes))
+}
+
+// TableIModels returns the four DLRM configurations of Table I.
+func TableIModels() []DLRMModel {
+	return []DLRMModel{
+		{Name: "RMC1-small", BottomFC: []int{256, 128, 32}, TopFC: []int{256, 64, 1}, NumTables: 8, TotalEmbBytes: 1 << 30, RowBytes: 128},
+		{Name: "RMC1-large", BottomFC: []int{256, 128, 32}, TopFC: []int{256, 64, 1}, NumTables: 12, TotalEmbBytes: 3 << 29, RowBytes: 128},
+		{Name: "RMC2-small", BottomFC: []int{256, 128, 32}, TopFC: []int{256, 128, 1}, NumTables: 24, TotalEmbBytes: 3 << 30, RowBytes: 128},
+		{Name: "RMC2-large", BottomFC: []int{256, 128, 32}, TopFC: []int{256, 128, 1}, NumTables: 64, TotalEmbBytes: 8 << 30, RowBytes: 128},
+	}
+}
+
+// MLPFlops returns the multiply-accumulate FLOPs of one inference sample's
+// MLP portion: 2·(in·out) per fully connected layer of both towers.
+func (m DLRMModel) MLPFlops() float64 {
+	f := 0.0
+	for _, fc := range [][]int{m.BottomFC, m.TopFC} {
+		for i := 0; i+1 < len(fc); i++ {
+			f += 2 * float64(fc[i]) * float64(fc[i+1])
+		}
+	}
+	return f
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSLSTraceShape(t *testing.T) {
+	tr := SLSTrace(SLSConfig{NumTables: 4, RowsPerTable: 1000, RowBytes: 128, Batch: 8, PF: 40, Seed: 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tables) != 4 {
+		t.Errorf("tables = %d", len(tr.Tables))
+	}
+	if len(tr.Queries) != 8*4 {
+		t.Errorf("queries = %d, want batch×tables = 32", len(tr.Queries))
+	}
+	for _, q := range tr.Queries {
+		if len(q.Rows) != 40 {
+			t.Fatalf("PF = %d, want 40", len(q.Rows))
+		}
+	}
+	if got := tr.TotalRowFetches(); got != 32*40 {
+		t.Errorf("row fetches = %d", got)
+	}
+}
+
+func TestSLSTraceDeterministic(t *testing.T) {
+	cfg := SLSConfig{NumTables: 2, RowsPerTable: 100, RowBytes: 128, Batch: 2, PF: 10, Seed: 7}
+	a, b := SLSTrace(cfg), SLSTrace(cfg)
+	for i := range a.Queries {
+		for k := range a.Queries[i].Rows {
+			if a.Queries[i].Rows[k] != b.Queries[i].Rows[k] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+	cfg.Seed = 8
+	c := SLSTrace(cfg)
+	same := true
+	for i := range a.Queries {
+		for k := range a.Queries[i].Rows {
+			if a.Queries[i].Rows[k] != c.Queries[i].Rows[k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestSLSTraceProductionPFRange(t *testing.T) {
+	tr := SLSTrace(SLSConfig{NumTables: 1, RowsPerTable: 1000, RowBytes: 128, Batch: 200, PF: 50, PFMax: 100, Seed: 2})
+	seen := make(map[int]bool)
+	for _, q := range tr.Queries {
+		pf := len(q.Rows)
+		if pf < 50 || pf > 100 {
+			t.Fatalf("PF %d outside [50,100]", pf)
+		}
+		seen[pf] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("production PF distribution too narrow: %d distinct values", len(seen))
+	}
+}
+
+func TestAnalyticsTraceContiguous(t *testing.T) {
+	tr := AnalyticsTrace(AnalyticsConfig{NumPatients: 100000, RowBytes: 4096, PF: 1000, Queries: 3, Seed: 3})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tr.Queries {
+		if len(q.Rows) != 1000 {
+			t.Fatalf("PF = %d", len(q.Rows))
+		}
+		for k := 1; k < len(q.Rows); k++ {
+			if q.Rows[k] != q.Rows[k-1]+1 {
+				t.Fatal("analytics rows not contiguous")
+			}
+		}
+	}
+}
+
+func TestAnalyticsTraceSmallCohort(t *testing.T) {
+	// PF equal to the whole population starts at row 0.
+	tr := AnalyticsTrace(AnalyticsConfig{NumPatients: 100, RowBytes: 64, PF: 100, Queries: 1, Seed: 4})
+	if tr.Queries[0].Rows[0] != 0 {
+		t.Error("full-population query should start at 0")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadTraces(t *testing.T) {
+	bad1 := Trace{Tables: []TableSpec{{NumRows: 10, RowBytes: 64}}, Queries: []Query{{Table: 1, Rows: []int{0}}}}
+	if bad1.Validate() == nil {
+		t.Error("out-of-range table accepted")
+	}
+	bad2 := Trace{Tables: []TableSpec{{NumRows: 10, RowBytes: 64}}, Queries: []Query{{Table: 0, Rows: []int{10}}}}
+	if bad2.Validate() == nil {
+		t.Error("out-of-range row accepted")
+	}
+}
+
+func TestTableIModels(t *testing.T) {
+	models := TableIModels()
+	if len(models) != 4 {
+		t.Fatalf("%d models, want 4", len(models))
+	}
+	wantSizes := map[string]uint64{
+		"RMC1-small": 1 << 30,
+		"RMC1-large": 3 << 29, // 1.5 GB
+		"RMC2-small": 3 << 30,
+		"RMC2-large": 8 << 30,
+	}
+	wantTables := map[string]int{
+		"RMC1-small": 8, "RMC1-large": 12, "RMC2-small": 24, "RMC2-large": 64,
+	}
+	for _, m := range models {
+		if m.TotalEmbBytes != wantSizes[m.Name] {
+			t.Errorf("%s: size %d, want %d", m.Name, m.TotalEmbBytes, wantSizes[m.Name])
+		}
+		if m.NumTables != wantTables[m.Name] {
+			t.Errorf("%s: tables %d", m.Name, m.NumTables)
+		}
+		if m.RowsPerTable() <= 0 {
+			t.Errorf("%s: non-positive rows per table", m.Name)
+		}
+		// Each row is m=32 32-bit elements.
+		if m.RowBytes != 128 {
+			t.Errorf("%s: row bytes %d", m.Name, m.RowBytes)
+		}
+	}
+}
+
+func TestMLPFlops(t *testing.T) {
+	m := DLRMModel{BottomFC: []int{256, 128, 32}, TopFC: []int{256, 64, 1}}
+	// 2·(256·128 + 128·32) + 2·(256·64 + 64·1)
+	want := 2.0 * (256*128 + 128*32 + 256*64 + 64*1)
+	if got := m.MLPFlops(); got != want {
+		t.Errorf("MLPFlops = %f, want %f", got, want)
+	}
+}
+
+func TestTableSpecBytes(t *testing.T) {
+	if got := (TableSpec{NumRows: 1000, RowBytes: 128}).Bytes(); got != 128000 {
+		t.Errorf("Bytes = %d", got)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := SLSTrace(SLSConfig{NumTables: 2, RowsPerTable: 64, RowBytes: 128, Batch: 2, PF: 5, Seed: 1})
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries) != len(tr.Queries) || len(back.Tables) != len(tr.Tables) {
+		t.Fatal("shape lost in JSON round trip")
+	}
+	for i := range tr.Queries {
+		for k := range tr.Queries[i].Rows {
+			if back.Queries[i].Rows[k] != tr.Queries[i].Rows[k] {
+				t.Fatal("rows lost in JSON round trip")
+			}
+		}
+	}
+}
