@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/core/ ./internal/memory/ ./internal/remote/ ./internal/otp/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -5,18 +5,34 @@
 // counter-mode one-time pads with two-party arithmetic secret sharing, and
 // verifying results with encrypted linear checksums over GF(2^127−1).
 //
-// The repository layout:
+// The package itself is the public facade. An Engine owns the secret key
+// and version discipline; Encrypt (in-process NDP) or Provision (remote
+// NDP server) produce Table handles; Table.Query runs the weighted-sum
+// protocol through the concurrent query engine — NDP ciphertext sums, OTP
+// share regeneration, and tag-pad sums overlapped, with the pad loop
+// sharded across a worker pool (the software analogue of the paper's
+// multiple OTP engines, §V-C2):
 //
-//   - internal/core — the SecNDP scheme itself (Algorithms 1–8): use
-//     core.NewScheme, EncryptTable, Query / QueryVerified.
+//	eng, _ := secndp.New(key, secndp.WithParallelism(8), secndp.WithPadCache(1024))
+//	mem := secndp.NewMemory()
+//	tab, _ := eng.Encrypt(mem, secndp.TableSpec{Rows: n, Cols: m}, rows)
+//	res, err := tab.Query(ctx, secndp.Request{Idx: idx, Weights: w})
+//	// errors.Is(err, secndp.ErrVerification) ⇒ tampered result rejected.
+//
+// The repository layout behind the facade:
+//
+//   - internal/core — the SecNDP scheme itself (Algorithms 1–8) and the
+//     concurrent query engine (parallel.go, padcache.go).
 //   - internal/{ring,field,otp,memory} — the crypto and memory substrates.
+//   - internal/remote — the untrusted NDP server and its context-aware
+//     TCP client.
 //   - internal/{dram,addrmap,ndp,engine,sim} — the cycle-level performance
 //     simulator reproducing the paper's evaluation framework.
 //   - internal/{workload,dlrm,quant,stats,energy,tee} — workloads, the
 //     recommendation model, quantization, analytics, and cost models.
 //   - internal/experiments — one entry point per paper table/figure.
 //   - cmd/secndp-bench — regenerates every table and figure.
-//   - examples/ — runnable walkthroughs of the public API.
+//   - examples/ — runnable walkthroughs of the facade.
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.

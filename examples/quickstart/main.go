@@ -1,50 +1,37 @@
-// Quickstart: the SecNDP scheme end to end on a small matrix.
+// Quickstart: the SecNDP scheme end to end on a small matrix, through the
+// public secndp facade.
 //
-// A trusted processor encrypts a private matrix into untrusted memory
+// A trusted Engine encrypts a private matrix into untrusted memory
 // (Algorithm 1 + verification tags), an untrusted NDP unit computes a
-// weighted summation over the ciphertext (Algorithm 4), and the processor
+// weighted summation over the ciphertext (Algorithm 4), and the engine
 // decrypts with one addition and verifies the result against an encrypted
-// linear checksum (Algorithm 5).
+// linear checksum (Algorithm 5) — all behind a single Query call running
+// the concurrent query engine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 
-	"secndp/internal/core"
-	"secndp/internal/memory"
-	"secndp/internal/otp"
+	"secndp"
 )
 
 func main() {
-	// The processor's secret key never leaves the trusted side.
-	scheme, err := core.NewScheme([]byte("an AES-128 key!!"))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Trusted software manages version numbers (§V-A): one per region,
-	// never reused for the same address.
-	versions := core.NewVersionManager(core.DefaultVersionLimit, otp.MaxVersion)
-	v, err := versions.Allocate("demo-table")
+	// The engine owns the secret key and the version discipline (§V-A);
+	// neither ever leaves the trusted side.
+	eng, err := secndp.New([]byte("an AES-128 key!!"),
+		secndp.WithParallelism(4),  // shard the OTP pad loop across 4 workers
+		secndp.WithPadCache(1024)) // cache hot rows' pads (DLRM-style reuse)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// An 8×32 matrix of 32-bit elements, tags co-located with the rows.
 	const n, m = 8, 32
-	geo := core.Geometry{
-		Layout: memory.Layout{
-			Placement: memory.TagColoc,
-			Base:      0x1000,
-			NumRows:   n,
-			RowBytes:  m * 4,
-		},
-		Params: core.Params{We: 32, M: m},
-	}
 	plain := make([][]uint64, n)
 	for i := range plain {
 		plain[i] = make([]uint64, m)
@@ -53,21 +40,21 @@ func main() {
 		}
 	}
 
-	// T0 (Figure 4): encrypt into the untrusted memory.
-	mem := memory.NewSpace()
-	table, err := scheme.EncryptTable(mem, geo, v, plain)
+	// T0 (Figure 4): encrypt into the untrusted memory. The returned table
+	// handle is bound to an in-process NDP over that memory.
+	mem := secndp.NewMemory()
+	table, err := eng.Encrypt(mem, secndp.TableSpec{
+		Name: "demo-table", Rows: n, Cols: m, Tags: secndp.TagsColocated,
+	}, plain)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("encrypted %d×%d matrix under version %d (%d ciphertext bytes + %d tag bytes)\n",
-		n, m, v, n*m*4, n*memory.TagBytes)
+	fmt.Printf("encrypted %d×%d matrix under version %d\n", n, m, table.Version())
 
-	// T1: the untrusted NDP computes over ciphertext. It sees only memory
-	// and public geometry — no key, no plaintext.
-	ndpUnit := &core.HonestNDP{Mem: mem}
-	idx := []int{1, 3, 5}
-	weights := []uint64{2, 3, 4}
-	result, err := table.QueryVerified(ndpUnit, idx, weights)
+	// T1: the untrusted NDP computes over ciphertext while the engine
+	// regenerates OTP shares; Query joins, decrypts, and verifies.
+	req := secndp.Request{Idx: []int{1, 3, 5}, Weights: []uint64{2, 3, 4}}
+	res, err := table.Query(context.Background(), req)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,17 +62,17 @@ func main() {
 	// Check against the plaintext computation.
 	for j := 0; j < m; j++ {
 		want := 2*plain[1][j] + 3*plain[3][j] + 4*plain[5][j]
-		if result[j] != want {
-			log.Fatalf("column %d: got %d, want %d", j, result[j], want)
+		if res.Values[j] != want {
+			log.Fatalf("column %d: got %d, want %d", j, res.Values[j], want)
 		}
 	}
-	fmt.Printf("verified weighted sum over rows %v with weights %v: first columns %v\n",
-		idx, weights, result[:4])
+	fmt.Printf("verified=%v weighted sum over rows %v with weights %v: first columns %v\n",
+		res.Verified, req.Idx, req.Weights, res.Values[:4])
 
 	// Tamper with one ciphertext bit: the verification must reject.
-	mem.FlipBit(geo.Layout.RowAddr(3)+7, 0)
-	_, err = table.QueryVerified(ndpUnit, idx, weights)
-	if errors.Is(err, core.ErrVerification) {
+	mem.FlipBit(table.Geometry().Layout.RowAddr(3)+7, 0)
+	_, err = table.Query(context.Background(), req)
+	if errors.Is(err, secndp.ErrVerification) {
 		fmt.Println("tampered ciphertext correctly rejected:", err)
 	} else {
 		log.Fatalf("tampering was not detected (err=%v)", err)

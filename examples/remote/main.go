@@ -1,6 +1,7 @@
-// Remote NDP: the untrusted NDP as a separate network service. The trusted
-// client encrypts a table locally, ships only ciphertext to the server,
-// then runs verified queries over TCP. The server — which models an
+// Remote NDP: the untrusted NDP as a separate network service, driven
+// through the public secndp facade. The trusted engine encrypts a table
+// locally, ships only ciphertext to the server, then runs verified
+// queries over TCP with per-call deadlines. The server — which models an
 // untrusted memory/NDP vendor — never sees plaintext or key material, and
 // when it cheats, verification catches it.
 //
@@ -8,20 +9,20 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"secndp/internal/core"
-	"secndp/internal/memory"
-	"secndp/internal/remote"
+	"secndp"
 )
 
 func main() {
 	// --- untrusted side: an NDP server with its own memory --------------
-	serverMem := memory.NewSpace()
-	srv := remote.NewServer(serverMem)
+	serverMem := secndp.NewMemory()
+	srv := secndp.NewServer(serverMem)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -30,18 +31,11 @@ func main() {
 	fmt.Println("untrusted NDP server listening on", addr)
 
 	// --- trusted side: encrypt locally, provision ciphertext ------------
-	scheme, err := core.NewScheme([]byte("remote-demo-key!"))
+	eng, err := secndp.New([]byte("remote-demo-key!"), secndp.WithParallelism(4))
 	if err != nil {
 		log.Fatal(err)
 	}
 	const n, m = 64, 32
-	geo := core.Geometry{
-		Layout: memory.Layout{
-			Placement: memory.TagSep, Base: 0x10000, TagBase: 0x800000,
-			NumRows: n, RowBytes: m * 4,
-		},
-		Params: core.Params{We: 32, M: m},
-	}
 	rng := rand.New(rand.NewSource(42))
 	rows := make([][]uint64, n)
 	for i := range rows {
@@ -50,35 +44,41 @@ func main() {
 			rows[i][j] = rng.Uint64() % (1 << 20)
 		}
 	}
-	client, err := remote.Dial(addr)
+	client, err := secndp.DialNDP(context.Background(), addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	table, err := remote.Provision(client, scheme, geo, 1, rows)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	table, err := eng.Provision(ctx, client, secndp.TableSpec{
+		Name: "remote-table", Rows: n, Cols: m,
+	}, rows)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("provisioned %d×%d table: only ciphertext and tags crossed the wire\n", n, m)
 
 	// --- verified queries against the remote PU -------------------------
-	idx := []int{3, 14, 15, 9, 26}
-	w := []uint64{5, 3, 5, 8, 9}
-	res, err := table.QueryVerified(client, idx, w)
+	// The context deadline bounds each wire call, so a hung or stalling
+	// server cannot block the trusted side.
+	req := secndp.Request{Idx: []int{3, 14, 15, 9, 26}, Weights: []uint64{5, 3, 5, 8, 9}}
+	res, err := table.Query(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var want uint64
-	for k, i := range idx {
-		want += w[k] * rows[i][0]
+	for k, i := range req.Idx {
+		want += req.Weights[k] * rows[i][0]
 	}
 	fmt.Printf("remote verified weighted sum, column 0: %d (locally recomputed: %d)\n",
-		res[0], want&0xFFFFFFFF)
+		res.Values[0], want&0xFFFFFFFF)
 
 	// --- the server operator turns malicious ---------------------------
-	serverMem.FlipBit(geo.Layout.RowAddr(14)+5, 2)
-	_, err = table.QueryVerified(client, idx, w)
-	if errors.Is(err, core.ErrVerification) {
+	serverMem.FlipBit(table.Geometry().Layout.RowAddr(14)+5, 2)
+	_, err = table.Query(ctx, req)
+	if errors.Is(err, secndp.ErrVerification) {
 		fmt.Println("server-side tampering detected over the wire:", err)
 	} else {
 		log.Fatalf("tampering not detected: %v", err)

@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // BatchRequest is one pooling query of a batch.
@@ -23,69 +22,16 @@ type BatchResult struct {
 // counterpart of the paper's multiple NDP PU registers letting several
 // pooling operations be in flight at once (§V). The NDP implementation
 // must be safe for concurrent use (HonestNDP and remote.Client are).
-// workers ≤ 0 selects GOMAXPROCS.
+// workers ≤ 0 selects GOMAXPROCS. It is QueryBatchCtx without
+// cancellation or a pad cache.
 func (t *Table) QueryBatch(ndp NDP, reqs []BatchRequest, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	out := make([]BatchResult, len(reqs))
-	if len(reqs) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := t.QueryVerified(ndp, reqs[i].Idx, reqs[i].Weights)
-				out[i] = BatchResult{Res: res, Err: err}
-			}
-		}()
-	}
-	for i := range reqs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return t.QueryBatchCtx(context.Background(), ndp, reqs, QueryOptions{Workers: workers, Verify: true})
 }
 
 // QueryBatchUnverified is QueryBatch over the encryption-only path
 // (Algorithm 4 without Algorithm 5) for tables without tags.
 func (t *Table) QueryBatchUnverified(ndp NDP, reqs []BatchRequest, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(reqs) {
-		workers = len(reqs)
-	}
-	out := make([]BatchResult, len(reqs))
-	if len(reqs) == 0 {
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				res, err := t.Query(ndp, reqs[i].Idx, reqs[i].Weights)
-				out[i] = BatchResult{Res: res, Err: err}
-			}
-		}()
-	}
-	for i := range reqs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return t.QueryBatchCtx(context.Background(), ndp, reqs, QueryOptions{Workers: workers})
 }
 
 // FirstError returns the first non-nil error of a batch, annotated with

@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors of the scheme's API. Callers branch on failure
+// classes with errors.Is; the values returned from the query/verify paths
+// wrap these sentinels with situational detail (indices, bounds).
+
+var (
+	// ErrVerification is returned when the retrieved MAC does not match the
+	// checksum of the decrypted result: the NDP misbehaved, memory was
+	// tampered with, or a column overflowed the ring (footnote 1).
+	ErrVerification = errors.New("core: verification failed: result rejected")
+
+	// ErrNoTags is returned when a verified operation is requested on a
+	// table whose geometry carries no tag placement (Enc-only operation).
+	ErrNoTags = errors.New("core: table has no verification tags")
+
+	// ErrBadGeometry is returned when a Geometry or its Params fail
+	// validation: bad element width, misaligned rows, layout mismatch.
+	ErrBadGeometry = errors.New("core: invalid geometry")
+
+	// ErrIndexRange is returned when a query names a row or column outside
+	// the table.
+	ErrIndexRange = errors.New("core: index out of range")
+)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"secndp/internal/field"
 	"secndp/internal/memory"
 )
@@ -24,6 +26,17 @@ type NDP interface {
 	// TagSum returns C_Tres = Σ_k weights[k] · C_T[idx[k]] mod q — the
 	// NDP's half of Algorithm 5.
 	TagSum(geo Geometry, idx []int, weights []uint64) field.Elem
+}
+
+// ContextNDP is an optional extension of NDP for transports that support
+// cancellation and per-call deadlines (remote clients). The concurrent
+// query engine prefers these methods when present, so a hung NDP server
+// cannot block the trusted side past its context deadline; in-process
+// implementations need not bother.
+type ContextNDP interface {
+	NDP
+	WeightedSumContext(ctx context.Context, geo Geometry, idx []int, weights []uint64) ([]uint64, error)
+	TagSumContext(ctx context.Context, geo Geometry, idx []int, weights []uint64) (field.Elem, error)
 }
 
 // HonestNDP is the faithful NDP implementation operating on an untrusted

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// PadCache is a bounded, concurrency-safe cache of per-row OTP pad vectors
+// (the unpacked output of padRow). DLRM embedding traffic is heavily
+// skewed — a few hot rows appear in most pooling queries — so caching
+// their pads trades a little trusted-side SRAM for skipping the AES
+// regeneration entirely, the same trade the paper's OTP engines make by
+// running ahead of the NDP (§V-C2).
+//
+// A cache holds pads for exactly one (table, version) pair: the facade
+// creates one cache per table handle, and re-encryption (version bump)
+// must discard it. Cached slices are shared between readers and must be
+// treated as read-only.
+type PadCache struct {
+	shards [padCacheShards]padShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// padCacheShards spreads lock contention across independent LRU shards;
+// rows hash to shards by index modulo.
+const padCacheShards = 16
+
+type padShard struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recently used
+	m   map[int]*list.Element
+}
+
+type padEntry struct {
+	row  int
+	pads []uint64
+}
+
+// NewPadCache returns a cache bounded to roughly `rows` row-pad vectors
+// (rounded up to a multiple of the shard count). rows <= 0 returns nil,
+// which every consumer treats as "no cache".
+func NewPadCache(rows int) *PadCache {
+	if rows <= 0 {
+		return nil
+	}
+	per := (rows + padCacheShards - 1) / padCacheShards
+	c := &PadCache{}
+	for i := range c.shards {
+		c.shards[i] = padShard{
+			cap: per,
+			lru: list.New(),
+			m:   make(map[int]*list.Element),
+		}
+	}
+	return c
+}
+
+func (c *PadCache) shard(row int) *padShard {
+	return &c.shards[uint(row)%padCacheShards]
+}
+
+// get returns the cached pad vector for a row, promoting it to most
+// recently used. A nil cache never hits.
+func (c *PadCache) get(row int) ([]uint64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(row)
+	s.mu.Lock()
+	el, ok := s.m[row]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	pads := el.Value.(*padEntry).pads
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return pads, true
+}
+
+// put stores a row's pad vector, evicting the shard's least recently used
+// entry when full. The slice is retained — callers must not mutate it.
+// A nil cache drops the insert.
+func (c *PadCache) put(row int, pads []uint64) {
+	if c == nil {
+		return
+	}
+	s := c.shard(row)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[row]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*padEntry).pads = pads
+		return
+	}
+	if s.lru.Len() >= s.cap {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.m, old.Value.(*padEntry).row)
+	}
+	s.m[row] = s.lru.PushFront(&padEntry{row: row, pads: pads})
+}
+
+// Len returns the number of cached rows.
+func (c *PadCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *PadCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+)
+
+// This file is the concurrent query engine: the software counterpart of the
+// paper's multiple OTP engines running ahead of the NDP (§V-C2). Pad
+// regeneration — the per-row AES loop that dominates the trusted side — is
+// sharded across a worker pool, and one query's three halves (NDP ciphertext
+// sums, OTP share sums, tag-pad sums) execute concurrently instead of
+// back-to-back.
+
+// QueryOptions tunes one query or batch through the concurrent engine.
+// The zero value selects GOMAXPROCS workers, no cache, no verification.
+type QueryOptions struct {
+	// Workers is the OTP-side parallelism (goroutines sharding the pad
+	// loop). <= 0 selects GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, serves hot rows' pads without AES regeneration.
+	// The cache must be dedicated to this table and version.
+	Cache *PadCache
+	// Verify runs Algorithm 5 (encrypted-MAC check) after Algorithm 4.
+	Verify bool
+}
+
+func (o QueryOptions) workerCount(items int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ctxCheckStride bounds how many rows a worker processes between
+// cancellation checks.
+const ctxCheckStride = 64
+
+// otpWeightedSumRange accumulates weights[k]·pad(idx[k]) for k in [lo,hi)
+// into acc — one worker's shard of OTPWeightedSum. Pad blocks are generated
+// into a reused buffer and unpacked into a reused scratch vector, so the
+// steady state allocates nothing (cache insertions excepted).
+func (t *Table) otpWeightedSumRange(ctx context.Context, idx []int, weights []uint64, lo, hi int, cache *PadCache, acc []uint64) error {
+	buf := make([]byte, t.geo.Params.RowBytes())
+	scratch := make([]uint64, t.geo.Params.M)
+	for k := lo; k < hi; k++ {
+		if (k-lo)%ctxCheckStride == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		i := idx[k]
+		var pads []uint64
+		if cache != nil {
+			if p, ok := cache.get(i); ok {
+				pads = p
+			}
+		}
+		if pads == nil {
+			t.scheme.gen.PadsInto(buf, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
+			if cache != nil {
+				pads = t.r.UnpackElems(buf)
+				cache.put(i, pads)
+			} else {
+				t.r.UnpackElemsInto(scratch, buf)
+				pads = scratch
+			}
+		}
+		t.r.ScaleAccum(acc, weights[k], pads)
+	}
+	return nil
+}
+
+// OTPWeightedSumCtx is OTPWeightedSum through the worker pool: the index
+// list is split into contiguous shards, each worker accumulates its partial
+// share vector, and the partials merge with ring additions (addition
+// commutes with the sharding, so the result is bit-identical to the serial
+// path). opts.Verify is ignored.
+func (t *Table) OTPWeightedSumCtx(ctx context.Context, idx []int, weights []uint64, opts QueryOptions) ([]uint64, error) {
+	if len(idx) != len(weights) {
+		return nil, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
+	}
+	acc := make([]uint64, t.geo.Params.M)
+	if len(idx) == 0 {
+		return acc, nil
+	}
+	w := opts.workerCount(len(idx))
+	if w == 1 {
+		if err := t.otpWeightedSumRange(ctx, idx, weights, 0, len(idx), opts.Cache, acc); err != nil {
+			return nil, err
+		}
+		return acc, nil
+	}
+	chunk := (len(idx) + w - 1) / w
+	partials := make([][]uint64, 0, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo >= hi {
+			break
+		}
+		part := make([]uint64, t.geo.Params.M)
+		partials = append(partials, part)
+		wg.Add(1)
+		go func(s, lo, hi int, part []uint64) {
+			defer wg.Done()
+			errs[s] = t.otpWeightedSumRange(ctx, idx, weights, lo, hi, opts.Cache, part)
+		}(s, lo, hi, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, part := range partials {
+		t.r.AddVec(acc, acc, part)
+	}
+	return acc, nil
+}
+
+// TagPadSumCtx is TagPadSum through the worker pool, merging partial field
+// sums with field additions. Tag pads are one AES block per row (no cache:
+// regeneration is as cheap as a lookup).
+func (t *Table) TagPadSumCtx(ctx context.Context, idx []int, weights []uint64, opts QueryOptions) (field.Elem, error) {
+	if len(idx) != len(weights) {
+		return field.Zero, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
+	}
+	sumRange := func(lo, hi int) (field.Elem, error) {
+		acc := field.Zero
+		for k := lo; k < hi; k++ {
+			if (k-lo)%ctxCheckStride == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return field.Zero, err
+				}
+			}
+			addr := t.geo.Layout.RowAddr(idx[k])
+			et := field.FromBytes(padBytes(t.scheme.gen.TagPad(addr, t.version)))
+			acc = field.Add(acc, field.MulUint64(et, weights[k]))
+		}
+		return acc, nil
+	}
+	w := opts.workerCount(len(idx))
+	if w <= 1 {
+		return sumRange(0, len(idx))
+	}
+	chunk := (len(idx) + w - 1) / w
+	parts := make([]field.Elem, w)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for s := 0; s < w; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			parts[s], errs[s] = sumRange(lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	acc := field.Zero
+	for s := range parts {
+		if errs[s] != nil {
+			return field.Zero, errs[s]
+		}
+		acc = field.Add(acc, parts[s])
+	}
+	return acc, nil
+}
+
+// ndpOutputs collects what one query needs from the NDP side.
+type ndpOutputs struct {
+	cres  []uint64
+	cTres field.Elem
+	err   error
+}
+
+// runNDP executes the ciphertext-side half of a query, preferring the
+// context-aware transport when the NDP offers one and converting panics
+// (the legacy transport's failure mode) into errors.
+func runNDP(ctx context.Context, ndp NDP, geo Geometry, idx []int, weights []uint64, verify bool) (out ndpOutputs) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.err = fmt.Errorf("core: ndp failed: %v", r)
+		}
+	}()
+	if cn, ok := ndp.(ContextNDP); ok && ctx != nil {
+		out.cres, out.err = cn.WeightedSumContext(ctx, geo, idx, weights)
+		if out.err == nil && verify {
+			out.cTres, out.err = cn.TagSumContext(ctx, geo, idx, weights)
+		}
+		return
+	}
+	out.cres = ndp.WeightedSum(geo, idx, weights)
+	if verify {
+		out.cTres = ndp.TagSum(geo, idx, weights)
+	}
+	return
+}
+
+// QueryCtx runs the weighted-summation protocol with every independent half
+// overlapped: the NDP computes its ciphertext sums in the background while
+// the worker pool regenerates the OTP shares and tag pads, mirroring the
+// paper's pipeline where the OTP engines run ahead of the NDP response
+// (§V-C2). With opts.Verify the encrypted-MAC check of Algorithm 5 runs on
+// the joined result; a rejected result returns ErrVerification.
+//
+// The serial Query / QueryVerified methods remain as the reference
+// implementation; QueryCtx computes bit-identical results.
+func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint64, opts QueryOptions) ([]uint64, error) {
+	if err := t.checkQuery(idx, weights); err != nil {
+		return nil, err
+	}
+	if opts.Verify && t.geo.Layout.Placement == memory.TagNone {
+		return nil, fmt.Errorf("%w; disable verification for Enc-only tables", ErrNoTags)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Ciphertext side in the background.
+	ndpCh := make(chan ndpOutputs, 1)
+	go func() {
+		ndpCh <- runNDP(ctx, ndp, t.geo, idx, weights, opts.Verify)
+	}()
+
+	// Processor side: OTP shares and tag pads, each through the pool.
+	var (
+		eTres   field.Elem
+		tagErr  error
+		tagDone chan struct{}
+	)
+	if opts.Verify {
+		tagDone = make(chan struct{})
+		go func() {
+			defer close(tagDone)
+			eTres, tagErr = t.TagPadSumCtx(ctx, idx, weights, opts)
+		}()
+	}
+	eres, err := t.OTPWeightedSumCtx(ctx, idx, weights, opts)
+	if opts.Verify {
+		<-tagDone
+	}
+	nd := <-ndpCh
+	if err != nil {
+		return nil, err
+	}
+	if opts.Verify && tagErr != nil {
+		return nil, tagErr
+	}
+	if nd.err != nil {
+		return nil, nd.err
+	}
+	if len(nd.cres) != t.geo.Params.M {
+		return nil, fmt.Errorf("core: ndp returned %d columns, want %d", len(nd.cres), t.geo.Params.M)
+	}
+
+	res := t.Decrypt(nd.cres, eres)
+	if opts.Verify {
+		if !t.Checksum(res).Equal(field.Add(nd.cTres, eTres)) {
+			return nil, ErrVerification
+		}
+	}
+	return res, nil
+}
+
+// QueryBatchCtx runs many queries through a request-level worker pool,
+// sharing one pad cache across the batch (where DLRM's hot-row reuse pays
+// off). Each request uses the serial OTP path — for batches, inter-query
+// parallelism dominates intra-query sharding. Cancellation marks the
+// remaining requests with ctx.Err().
+func (t *Table) QueryBatchCtx(ctx context.Context, ndp NDP, reqs []BatchRequest, opts QueryOptions) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.workerCount(len(reqs))
+	per := opts
+	per.Workers = 1
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := t.QueryCtx(ctx, ndp, reqs[i].Idx, reqs[i].Weights, per)
+				out[i] = BatchResult{Res: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+// Property: the sharded pad generator is bit-identical to the serial
+// reference implementation for every element width and worker count.
+func TestParallelOTPWeightedSumMatchesSerial(t *testing.T) {
+	for _, we := range []uint{8, 16, 32, 64} {
+		s := newTestScheme(t)
+		geo := mkGeometry(memory.TagSep, 200, 32, we)
+		tab, err := s.OpenTable(geo, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(we)))
+		for trial := 0; trial < 10; trial++ {
+			pf := 1 + rng.Intn(150)
+			idx := make([]int, pf)
+			w := make([]uint64, pf)
+			for k := range idx {
+				idx[k] = rng.Intn(200)
+				w[k] = rng.Uint64()
+			}
+			want, err := tab.OTPWeightedSum(idx, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTag, err := tab.TagPadSum(idx, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 3, 8, 177} {
+				opts := QueryOptions{Workers: workers}
+				got, err := tab.OTPWeightedSumCtx(context.Background(), idx, w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("we=%d workers=%d trial=%d col=%d: %d != %d",
+							we, workers, trial, j, got[j], want[j])
+					}
+				}
+				gotTag, err := tab.TagPadSumCtx(context.Background(), idx, w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gotTag.Equal(wantTag) {
+					t.Fatalf("we=%d workers=%d trial=%d: tag pad sum diverged", we, workers, trial)
+				}
+			}
+		}
+	}
+}
+
+// Property: QueryCtx through the full concurrent pipeline equals the
+// plaintext oracle, verified, across element widths.
+func TestQueryCtxMatchesPlaintext(t *testing.T) {
+	for _, we := range []uint{16, 32, 64} {
+		s := newTestScheme(t)
+		mem := memory.NewSpace()
+		geo := mkGeometry(memory.TagSep, 64, 32, we)
+		rng := rand.New(rand.NewSource(int64(100 + we)))
+		rows := boundedRows(rng, 64, 32, 1<<(we/2))
+		tab, err := s.EncryptTable(mem, geo, 1, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndp := &HonestNDP{Mem: mem}
+		for trial := 0; trial < 10; trial++ {
+			pf := 1 + rng.Intn(32)
+			idx := make([]int, pf)
+			w := make([]uint64, pf)
+			for k := range idx {
+				idx[k] = rng.Intn(64)
+				w[k] = 1 + rng.Uint64()%8
+			}
+			got, err := tab.QueryCtx(context.Background(), ndp, idx, w,
+				QueryOptions{Workers: 4, Verify: true})
+			if err != nil {
+				t.Fatalf("we=%d trial=%d: %v", we, trial, err)
+			}
+			want := plainWeightedSum(geo, rows, idx, w)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("we=%d trial=%d col=%d: %d != %d", we, trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryCtxRejectsTamper(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 8, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(31)), 8, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	ndp := &HonestNDP{Mem: mem}
+	idx := []int{0, 3, 5}
+	w := []uint64{2, 3, 4}
+	opts := QueryOptions{Workers: 4, Verify: true}
+	if _, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts); err != nil {
+		t.Fatalf("pre-tamper query failed: %v", err)
+	}
+	mem.FlipBit(geo.Layout.RowAddr(3)+5, 2)
+	if _, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts); !errors.Is(err, ErrVerification) {
+		t.Errorf("tampered ciphertext not rejected: %v", err)
+	}
+	mem.FlipBit(geo.Layout.RowAddr(3)+5, 2) // restore
+	mem.FlipBit(geo.Layout.TagAddr(5), 1)
+	if _, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts); !errors.Is(err, ErrVerification) {
+		t.Errorf("tampered tag not rejected: %v", err)
+	}
+}
+
+func TestQueryCtxVerifyWithoutTags(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagNone, 4, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(32)), 4, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	ndp := &HonestNDP{Mem: mem}
+	_, err := tab.QueryCtx(context.Background(), ndp, []int{0}, []uint64{1},
+		QueryOptions{Verify: true})
+	if !errors.Is(err, ErrNoTags) {
+		t.Errorf("verify on tag-less table: got %v, want ErrNoTags", err)
+	}
+}
+
+func TestQueryCtxCancelled(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 8, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(33)), 8, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A large query so every shard crosses a cancellation check.
+	idx := make([]int, 1000)
+	w := make([]uint64, 1000)
+	for k := range idx {
+		idx[k] = k % 8
+		w[k] = 1
+	}
+	if _, err := tab.OTPWeightedSumCtx(ctx, idx, w, QueryOptions{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled OTPWeightedSumCtx: got %v", err)
+	}
+	if _, err := tab.TagPadSumCtx(ctx, idx, w, QueryOptions{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled TagPadSumCtx: got %v", err)
+	}
+}
+
+// panickyNDP simulates a legacy transport failing mid-query.
+type panickyNDP struct{ HonestNDP }
+
+func (p *panickyNDP) WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64 {
+	panic("transport lost")
+}
+
+func TestQueryCtxRecoversNDPPanic(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagNone, 4, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(34)), 4, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	bad := &panickyNDP{HonestNDP{Mem: mem}}
+	_, err := tab.QueryCtx(context.Background(), bad, []int{0}, []uint64{1}, QueryOptions{})
+	if err == nil {
+		t.Fatal("panicking NDP did not surface as an error")
+	}
+}
+
+func TestPadCacheHitsAndEviction(t *testing.T) {
+	s := newTestScheme(t)
+	geo := mkGeometry(memory.TagSep, 256, 32, 32)
+	tab, err := s.OpenTable(geo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPadCache(32)
+	idx := make([]int, 64)
+	w := make([]uint64, 64)
+	for k := range idx {
+		idx[k] = k % 8 // 8 hot rows, heavy reuse
+		w[k] = uint64(k + 1)
+	}
+	want, _ := tab.OTPWeightedSum(idx, w)
+	for round := 0; round < 3; round++ {
+		got, err := tab.OTPWeightedSumCtx(context.Background(), idx, w,
+			QueryOptions{Workers: 2, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("round %d col %d: cached path diverged: %d != %d", round, j, got[j], want[j])
+			}
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Error("hot-row workload produced no cache hits")
+	}
+	if misses == 0 {
+		t.Error("cold cache produced no misses")
+	}
+	if cache.Len() > 32 {
+		t.Errorf("cache holds %d rows, cap 32", cache.Len())
+	}
+
+	// Sweep far more distinct rows than capacity: eviction must bound Len.
+	sweep := make([]int, 256)
+	sw := make([]uint64, 256)
+	for k := range sweep {
+		sweep[k] = k
+		sw[k] = 1
+	}
+	wantSweep, _ := tab.OTPWeightedSum(sweep, sw)
+	gotSweep, err := tab.OTPWeightedSumCtx(context.Background(), sweep, sw,
+		QueryOptions{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantSweep {
+		if gotSweep[j] != wantSweep[j] {
+			t.Fatalf("sweep col %d: %d != %d", j, gotSweep[j], wantSweep[j])
+		}
+	}
+	if cache.Len() > 32 {
+		t.Errorf("after sweep cache holds %d rows, cap 32", cache.Len())
+	}
+}
+
+func TestPadCacheNilSafe(t *testing.T) {
+	var c *PadCache
+	if _, ok := c.get(3); ok {
+		t.Error("nil cache reported a hit")
+	}
+	c.put(3, []uint64{1})
+	if c.Len() != 0 {
+		t.Error("nil cache has nonzero length")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("nil cache has nonzero stats")
+	}
+	if NewPadCache(0) != nil {
+		t.Error("NewPadCache(0) should be nil (disabled)")
+	}
+}
+
+func TestPadCacheConcurrent(t *testing.T) {
+	s := newTestScheme(t)
+	geo := mkGeometry(memory.TagSep, 64, 32, 32)
+	tab, _ := s.OpenTable(geo, 1)
+	cache := NewPadCache(16)
+	idx := make([]int, 128)
+	w := make([]uint64, 128)
+	rng := rand.New(rand.NewSource(35))
+	for k := range idx {
+		idx[k] = rng.Intn(64)
+		w[k] = rng.Uint64()
+	}
+	want, _ := tab.OTPWeightedSum(idx, w)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := tab.OTPWeightedSumCtx(context.Background(), idx, w,
+				QueryOptions{Workers: 2, Cache: cache})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("concurrent cached query diverged at col %d", j)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQueryBatchCtxSharedCache(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 32, 32, 32)
+	rng := rand.New(rand.NewSource(36))
+	rows := boundedRows(rng, 32, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	ndp := &HonestNDP{Mem: mem}
+	cache := NewPadCache(32)
+	reqs := make([]BatchRequest, 24)
+	for i := range reqs {
+		pf := 1 + rng.Intn(8)
+		idx := make([]int, pf)
+		w := make([]uint64, pf)
+		for k := range idx {
+			idx[k] = rng.Intn(8) // shared hot set across the batch
+			w[k] = 1 + rng.Uint64()%4
+		}
+		reqs[i] = BatchRequest{Idx: idx, Weights: w}
+	}
+	out := tab.QueryBatchCtx(context.Background(), ndp, reqs,
+		QueryOptions{Workers: 4, Cache: cache, Verify: true})
+	if err := FirstError(out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out {
+		want := plainWeightedSum(geo, rows, reqs[i].Idx, reqs[i].Weights)
+		for j := range want {
+			if r.Res[j] != want[j] {
+				t.Fatalf("request %d col %d mismatch", i, j)
+			}
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("batch over a hot row set produced no cache hits")
+	}
+}
+
+// oobNDP returns a result vector of the wrong width.
+type oobNDP struct{ HonestNDP }
+
+func (o *oobNDP) WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64 {
+	return make([]uint64, 3)
+}
+
+func TestQueryCtxRejectsWrongWidthResult(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagNone, 4, 32, 32)
+	rows := boundedRows(rand.New(rand.NewSource(37)), 4, 32, 1<<20)
+	tab, _ := s.EncryptTable(mem, geo, 1, rows)
+	bad := &oobNDP{HonestNDP{Mem: mem}}
+	if _, err := tab.QueryCtx(context.Background(), bad, []int{0}, []uint64{1}, QueryOptions{}); err == nil {
+		t.Error("wrong-width NDP result accepted")
+	}
+}

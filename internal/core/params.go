@@ -40,23 +40,23 @@ type Params struct {
 	ChecksumSubstrings int
 }
 
-// Validate checks the parameters.
+// Validate checks the parameters. Failures wrap ErrBadGeometry.
 func (p Params) Validate() error {
 	switch p.We {
 	case 8, 16, 32, 64:
 	default:
-		return fmt.Errorf("core: element width %d not in {8,16,32,64}", p.We)
+		return fmt.Errorf("%w: element width %d not in {8,16,32,64}", ErrBadGeometry, p.We)
 	}
 	if p.M <= 0 {
-		return fmt.Errorf("core: row length m=%d must be positive", p.M)
+		return fmt.Errorf("%w: row length m=%d must be positive", ErrBadGeometry, p.M)
 	}
 	rowBytes := p.M * int(p.We) / 8
 	if rowBytes%otp.BlockBytes != 0 {
-		return fmt.Errorf("core: row size %d bytes must be a multiple of the %d-byte cipher block",
-			rowBytes, otp.BlockBytes)
+		return fmt.Errorf("%w: row size %d bytes must be a multiple of the %d-byte cipher block",
+			ErrBadGeometry, rowBytes, otp.BlockBytes)
 	}
 	if p.ChecksumSubstrings < 0 {
-		return fmt.Errorf("core: negative ChecksumSubstrings")
+		return fmt.Errorf("%w: negative ChecksumSubstrings", ErrBadGeometry)
 	}
 	return nil
 }
@@ -82,23 +82,23 @@ type Geometry struct {
 
 // Validate checks geometric consistency, including the paper's alignment
 // assumption that rows start on cipher-block boundaries so each row is
-// covered by whole OTP blocks.
+// covered by whole OTP blocks. Failures wrap ErrBadGeometry.
 func (g Geometry) Validate() error {
 	if err := g.Params.Validate(); err != nil {
 		return err
 	}
 	if g.Layout.RowBytes != g.Params.RowBytes() {
-		return fmt.Errorf("core: layout row size %d != params row size %d",
-			g.Layout.RowBytes, g.Params.RowBytes())
+		return fmt.Errorf("%w: layout row size %d != params row size %d",
+			ErrBadGeometry, g.Layout.RowBytes, g.Params.RowBytes())
 	}
 	if err := g.Layout.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrBadGeometry, err)
 	}
 	if g.Layout.Base%otp.BlockBytes != 0 {
-		return fmt.Errorf("core: table base %#x not aligned to the cipher block", g.Layout.Base)
+		return fmt.Errorf("%w: table base %#x not aligned to the cipher block", ErrBadGeometry, g.Layout.Base)
 	}
 	if g.Layout.RowStride()%otp.BlockBytes != 0 {
-		return fmt.Errorf("core: row stride %d not a multiple of the cipher block", g.Layout.RowStride())
+		return fmt.Errorf("%w: row stride %d not a multiple of the cipher block", ErrBadGeometry, g.Layout.RowStride())
 	}
 	return nil
 }

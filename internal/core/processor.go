@@ -46,7 +46,7 @@ func (t *Table) OTPWeightedSumElem(idx, jdx []int, weights []uint64) (uint64, er
 	var acc uint64
 	for k, i := range idx {
 		if jdx[k] < 0 || jdx[k] >= t.geo.Params.M {
-			return 0, fmt.Errorf("core: column %d out of range", jdx[k])
+			return 0, fmt.Errorf("%w: column %d not in [0,%d)", ErrIndexRange, jdx[k], t.geo.Params.M)
 		}
 		elemAddr := t.geo.Layout.RowAddr(i) + uint64(jdx[k])*eb
 		pad := t.scheme.gen.ElemPad(elemAddr, t.version, t.geo.Params.We)
@@ -91,7 +91,7 @@ func (t *Table) Checksum(res []uint64) field.Elem {
 // overflow in some column.
 func (t *Table) Verify(idx []int, weights []uint64, res []uint64, cTres field.Elem) (bool, error) {
 	if t.geo.Layout.Placement == memory.TagNone {
-		return false, fmt.Errorf("core: table has no verification tags")
+		return false, ErrNoTags
 	}
 	eTres, err := t.TagPadSum(idx, weights)
 	if err != nil {
@@ -133,7 +133,7 @@ func (t *Table) QueryVerified(ndp NDP, idx []int, weights []uint64) ([]uint64, e
 		return nil, err
 	}
 	if t.geo.Layout.Placement == memory.TagNone {
-		return nil, fmt.Errorf("core: table has no verification tags; use Query")
+		return nil, fmt.Errorf("%w; use Query", ErrNoTags)
 	}
 	cres := ndp.WeightedSum(t.geo, idx, weights)
 	cTres := ndp.TagSum(t.geo, idx, weights)
@@ -158,7 +158,7 @@ func (t *Table) checkQuery(idx []int, weights []uint64) error {
 	}
 	for _, i := range idx {
 		if i < 0 || i >= t.geo.Layout.NumRows {
-			return fmt.Errorf("core: row index %d out of range [0,%d)", i, t.geo.Layout.NumRows)
+			return fmt.Errorf("%w: row %d not in [0,%d)", ErrIndexRange, i, t.geo.Layout.NumRows)
 		}
 	}
 	return nil

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"secndp/internal/field"
@@ -131,7 +130,3 @@ func (t *Table) Geometry() Geometry { return t.geo }
 // Version returns the version number the table was encrypted under.
 func (t *Table) Version() uint64 { return t.version }
 
-// ErrVerification is returned when the retrieved MAC does not match the
-// checksum of the decrypted result: the NDP misbehaved, memory was
-// tampered with, or a column overflowed the ring (footnote 1).
-var ErrVerification = errors.New("core: verification failed: result rejected")

@@ -118,8 +118,20 @@ func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
 	if len(dst)%BlockBytes != 0 {
 		panic("otp: PadsInto destination not a multiple of the block size")
 	}
+	if len(dst) == 0 {
+		return
+	}
+	// One counter buffer for the whole call: only the address bytes vary
+	// between consecutive blocks, and the cipher interface call makes the
+	// buffer escape — per call here instead of per block.
+	in := counterBlock(d, addr, version)
 	for i := 0; i < len(dst); i += BlockBytes {
-		in := counterBlock(d, addr+uint64(i), version)
+		a := addr + uint64(i)
+		if a > MaxAddr {
+			panic(fmt.Sprintf("otp: address %#x exceeds the %d-bit physical address space", a, 38))
+		}
+		in[0] = byte(d)<<6 | byte(a>>32)
+		binary.BigEndian.PutUint32(in[1:5], uint32(a))
 		g.block.Encrypt(dst[i:i+BlockBytes], in[:])
 	}
 }

@@ -12,16 +12,19 @@ package remote
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"secndp/internal/core"
 	"secndp/internal/field"
 	"secndp/internal/memory"
+	"secndp/internal/otp"
 )
 
 // Op codes of the wire protocol.
@@ -88,7 +91,10 @@ func readGeometry(r *bufio.Reader) (core.Geometry, error) {
 			We: uint(vals[5]), M: int(vals[6]), ChecksumSubstrings: int(vals[7]),
 		},
 	}
-	return g, g.Validate()
+	// Validation is the caller's job: a semantic rejection must wait until
+	// the whole request has been drained, or the statusErr reply leaves the
+	// stream out of sync.
+	return g, nil
 }
 
 func writeQuery(w *bufio.Writer, idx []int, weights []uint64) error {
@@ -191,8 +197,16 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serve handles one connection's request stream until EOF or error.
+// serve handles one connection's request stream until EOF or error. A
+// panic while serving (a malformed request reaching a bounds check) drops
+// only this connection — the server, which fields requests from untrusted
+// clients, must not die with it.
 func (s *Server) serve(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = conn.Close()
+		}
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
@@ -222,13 +236,26 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 	}
 	switch op {
 	case opWeightedSum, opTagSum:
+		// Drain the full request first, then validate: statusErr replies to
+		// a half-read request would leave the stream out of sync. Transport
+		// and framing errors (including oversized queries, whose payload is
+		// not worth draining) drop the connection instead.
 		geo, err := readGeometry(r)
 		if err != nil {
-			return fail(fmt.Sprintf("bad geometry: %v", err))
+			return err
 		}
 		idx, weights, err := readQuery(r)
 		if err != nil {
-			return fail(fmt.Sprintf("bad query: %v", err))
+			return err
+		}
+		// The geometry is validated with core.Geometry.Validate before any
+		// memory is touched, rather than relied on to trip bounds checks
+		// (or panics) downstream.
+		if err := geo.Validate(); err != nil {
+			return fail(fmt.Sprintf("bad geometry: %v", err))
+		}
+		if op == opTagSum && geo.Layout.Placement == memory.TagNone {
+			return fail("geometry has no tag placement")
 		}
 		for _, i := range idx {
 			if i < 0 || i >= geo.Layout.NumRows {
@@ -273,6 +300,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if n > maxVectorLen {
 			return fail("blob too large")
 		}
+		if addr > otp.MaxAddr {
+			return fail(fmt.Sprintf("address %#x beyond the physical address space", addr))
+		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return err
@@ -286,6 +316,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		addr, err := readUvarint(r)
 		if err != nil {
 			return err
+		}
+		if addr > otp.MaxAddr {
+			return fail(fmt.Sprintf("address %#x beyond the physical address space", addr))
 		}
 		buf := make([]byte, memory.TagBytes)
 		if _, err := io.ReadFull(r, buf); err != nil {
@@ -303,31 +336,115 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 
 // ---- client -----------------------------------------------------------------
 
-// Client talks to a remote NDP server and implements core.NDP, so a
-// core.Table can run Query/QueryVerified against a different process.
-// Methods panic on transport errors to satisfy the core.NDP interface
-// (whose results are always verified downstream); use Call-style wrappers
-// if graceful degradation is needed.
+// Client talks to a remote NDP server and implements core.NDP (and
+// core.ContextNDP), so a core.Table can run queries against a different
+// process. The *Context methods carry per-call deadlines: the context's
+// deadline (or, absent one, the default set by SetCallTimeout) is applied
+// to the connection, so a hung server cannot block the trusted side
+// forever. The legacy deadline-free signatures remain as thin wrappers;
+// the core.NDP interface methods panic on transport errors as before.
+//
+// After a transport-level failure (timeout, short read) the wire stream
+// may be desynchronized, so the connection is marked unusable and every
+// subsequent call fails fast — dial a fresh client. Server-reported
+// errors (statusErr) leave the stream in sync and the client usable.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+	fatal   error
 }
 
-var _ core.NDP = (*Client)(nil)
+var (
+	_ core.NDP        = (*Client)(nil)
+	_ core.ContextNDP = (*Client)(nil)
+)
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a server, honoring the context's deadline and
+// cancellation for the dial itself.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
+// SetCallTimeout sets the default per-call deadline applied when a call's
+// context carries none (and used by the legacy deadline-free wrappers).
+// Zero, the initial value, means no deadline.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
 // Close shuts the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// serverError is a statusErr response from the server. The stream stays in
+// sync, so the connection remains usable after one.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return "remote: server error: " + e.msg }
+
+// arm applies the context's deadline to the connection and returns a
+// cleanup restoring the no-deadline state. The returned stop also guards
+// against cancellation mid-call: ctx.Done fires a deadline in the past,
+// unblocking any in-flight read. Caller holds c.mu.
+func (c *Client) arm(ctx context.Context) (func(), error) {
+	if c.fatal != nil {
+		return nil, fmt.Errorf("remote: connection unusable after earlier failure: %w", c.fatal)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(time.Unix(1, 0)) })
+	return func() {
+		stop()
+		c.conn.SetDeadline(time.Time{})
+	}, nil
+}
+
+// finish classifies a call's error: server-reported errors pass through;
+// transport errors poison the connection and surface the context's error
+// when the failure was deadline- or cancellation-induced. Caller holds c.mu.
+func (c *Client) finish(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *serverError
+	if errors.As(err, &se) {
+		return err
+	}
+	c.fatal = err
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("%w (transport: %v)", ctxErr, err)
+	}
+	// The socket deadline mirrors the context deadline, so it can fire a
+	// beat before ctx.Err() flips non-nil; a timeout with a context
+	// deadline set is still a deadline failure.
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		if _, ok := ctx.Deadline(); ok {
+			return fmt.Errorf("%w (transport: %v)", context.DeadlineExceeded, err)
+		}
+	}
+	return err
+}
 
 func (c *Client) roundTrip(send func() error) error {
 	if err := send(); err != nil {
@@ -347,17 +464,30 @@ func (c *Client) roundTrip(send func() error) error {
 	if err != nil {
 		return err
 	}
+	if n > maxVectorLen {
+		return fmt.Errorf("remote: oversized error message (%d bytes)", n)
+	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(c.r, msg); err != nil {
 		return err
 	}
-	return errors.New("remote: server error: " + string(msg))
+	return &serverError{msg: string(msg)}
 }
 
-// WeightedSum implements core.NDP over the wire.
-func (c *Client) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
+// WeightedSumContext implements core.ContextNDP over the wire.
+func (c *Client) WeightedSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done, err := c.arm(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	res, err := c.weightedSumLocked(geo, idx, weights)
+	return res, c.finish(ctx, err)
+}
+
+func (c *Client) weightedSumLocked(geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
 	err := c.roundTrip(func() error {
 		if err := c.w.WriteByte(opWeightedSum); err != nil {
 			return err
@@ -368,18 +498,30 @@ func (c *Client) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []u
 		return writeQuery(c.w, idx, weights)
 	})
 	if err != nil {
-		panic(fmt.Sprintf("remote: WeightedSum: %v", err))
+		return nil, err
 	}
 	n, err := readUvarint(c.r)
 	if err != nil {
-		panic(fmt.Sprintf("remote: WeightedSum response: %v", err))
+		return nil, err
+	}
+	if n > maxVectorLen {
+		return nil, fmt.Errorf("remote: oversized response (%d values)", n)
 	}
 	res := make([]uint64, n)
 	for k := range res {
-		res[k], err = readUvarint(c.r)
-		if err != nil {
-			panic(fmt.Sprintf("remote: WeightedSum response: %v", err))
+		if res[k], err = readUvarint(c.r); err != nil {
+			return nil, err
 		}
+	}
+	return res, nil
+}
+
+// WeightedSum implements core.NDP over the wire; it panics on transport
+// errors (use WeightedSumContext for graceful degradation).
+func (c *Client) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
+	res, err := c.WeightedSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		panic(fmt.Sprintf("remote: WeightedSum: %v", err))
 	}
 	return res
 }
@@ -390,10 +532,20 @@ func (c *Client) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []ui
 	panic("remote: WeightedSumElem not supported over the wire")
 }
 
-// TagSum implements core.NDP over the wire.
-func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
+// TagSumContext implements core.ContextNDP over the wire.
+func (c *Client) TagSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	done, err := c.arm(ctx)
+	if err != nil {
+		return field.Zero, err
+	}
+	defer done()
+	tag, err := c.tagSumLocked(geo, idx, weights)
+	return tag, c.finish(ctx, err)
+}
+
+func (c *Client) tagSumLocked(geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
 	err := c.roundTrip(func() error {
 		if err := c.w.WriteByte(opTagSum); err != nil {
 			return err
@@ -404,21 +556,36 @@ func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.El
 		return writeQuery(c.w, idx, weights)
 	})
 	if err != nil {
-		panic(fmt.Sprintf("remote: TagSum: %v", err))
+		return field.Zero, err
 	}
 	var b [16]byte
 	if _, err := io.ReadFull(c.r, b[:]); err != nil {
-		panic(fmt.Sprintf("remote: TagSum response: %v", err))
+		return field.Zero, err
 	}
-	return field.FromBytes(b[:])
+	return field.FromBytes(b[:]), nil
 }
 
-// WriteBlob provisions ciphertext bytes into the server's memory (the
-// initialization transfer of Figure 4's T0 step).
-func (c *Client) WriteBlob(addr uint64, data []byte) error {
+// TagSum implements core.NDP over the wire; it panics on transport errors
+// (use TagSumContext for graceful degradation).
+func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
+	tag, err := c.TagSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		panic(fmt.Sprintf("remote: TagSum: %v", err))
+	}
+	return tag
+}
+
+// WriteBlobContext provisions ciphertext bytes into the server's memory
+// (the initialization transfer of Figure 4's T0 step).
+func (c *Client) WriteBlobContext(ctx context.Context, addr uint64, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.roundTrip(func() error {
+	done, err := c.arm(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return c.finish(ctx, c.roundTrip(func() error {
 		if err := c.w.WriteByte(opWriteBlob); err != nil {
 			return err
 		}
@@ -430,17 +597,27 @@ func (c *Client) WriteBlob(addr uint64, data []byte) error {
 		}
 		_, err := c.w.Write(data)
 		return err
-	})
+	}))
 }
 
-// WriteECC provisions a side-band tag (Ver-ECC placement).
-func (c *Client) WriteECC(dataAddr uint64, tag []byte) error {
+// WriteBlob is WriteBlobContext without a deadline.
+func (c *Client) WriteBlob(addr uint64, data []byte) error {
+	return c.WriteBlobContext(context.Background(), addr, data)
+}
+
+// WriteECCContext provisions a side-band tag (Ver-ECC placement).
+func (c *Client) WriteECCContext(ctx context.Context, dataAddr uint64, tag []byte) error {
 	if len(tag) != memory.TagBytes {
 		return fmt.Errorf("remote: tag must be %d bytes", memory.TagBytes)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.roundTrip(func() error {
+	done, err := c.arm(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return c.finish(ctx, c.roundTrip(func() error {
 		if err := c.w.WriteByte(opWriteECC); err != nil {
 			return err
 		}
@@ -449,34 +626,45 @@ func (c *Client) WriteECC(dataAddr uint64, tag []byte) error {
 		}
 		_, err := c.w.Write(tag)
 		return err
-	})
+	}))
 }
 
-// Provision encrypts a table locally (trusted side) and ships only the
-// resulting ciphertext and tags to the server — the plaintext never
-// crosses the wire. Returns the processor-side table handle.
-func Provision(c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+// WriteECC is WriteECCContext without a deadline.
+func (c *Client) WriteECC(dataAddr uint64, tag []byte) error {
+	return c.WriteECCContext(context.Background(), dataAddr, tag)
+}
+
+// ProvisionContext encrypts a table locally (trusted side) and ships only
+// the resulting ciphertext and tags to the server — the plaintext never
+// crosses the wire. The context bounds every transfer. Returns the
+// processor-side table handle.
+func ProvisionContext(ctx context.Context, c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
 	staging := memory.NewSpace()
 	tab, err := scheme.EncryptTable(staging, geo, version, rows)
 	if err != nil {
 		return nil, err
 	}
 	span := int(geo.Layout.DataEnd() - geo.Layout.Base)
-	if err := c.WriteBlob(geo.Layout.Base, staging.Snapshot(geo.Layout.Base, span)); err != nil {
+	if err := c.WriteBlobContext(ctx, geo.Layout.Base, staging.Snapshot(geo.Layout.Base, span)); err != nil {
 		return nil, err
 	}
 	switch geo.Layout.Placement {
 	case memory.TagSep:
 		n := geo.Layout.NumRows * memory.TagBytes
-		if err := c.WriteBlob(geo.Layout.TagBase, staging.Snapshot(geo.Layout.TagBase, n)); err != nil {
+		if err := c.WriteBlobContext(ctx, geo.Layout.TagBase, staging.Snapshot(geo.Layout.TagBase, n)); err != nil {
 			return nil, err
 		}
 	case memory.TagECC:
 		for i := 0; i < geo.Layout.NumRows; i++ {
-			if err := c.WriteECC(geo.Layout.RowAddr(i), staging.ReadECC(geo.Layout.RowAddr(i), memory.TagBytes)); err != nil {
+			if err := c.WriteECCContext(ctx, geo.Layout.RowAddr(i), staging.ReadECC(geo.Layout.RowAddr(i), memory.TagBytes)); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return tab, nil
+}
+
+// Provision is ProvisionContext without a deadline.
+func Provision(c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+	return ProvisionContext(context.Background(), c, scheme, geo, version, rows)
 }

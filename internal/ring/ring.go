@@ -215,6 +215,27 @@ func (r Ring) PackElems(elems []uint64) []byte {
 	return out
 }
 
+// UnpackElemsInto decodes packed elements into dst without allocating —
+// the hot-path form used by the parallel OTP engine, where each worker
+// reuses one scratch vector across rows. len(data) must equal
+// len(dst) × element bytes.
+func (r Ring) UnpackElemsInto(dst []uint64, data []byte) {
+	eb := r.Bytes()
+	if uint(eb)*8 != r.we {
+		panic("ring: UnpackElemsInto requires byte-aligned width")
+	}
+	if len(data) != len(dst)*eb {
+		panic("ring: UnpackElemsInto size mismatch")
+	}
+	for i := range dst {
+		var e uint64
+		for b := 0; b < eb; b++ {
+			e |= uint64(data[i*eb+b]) << (8 * b)
+		}
+		dst[i] = e
+	}
+}
+
 // UnpackElems is the inverse of PackElems. len(data) must be a multiple of
 // the element byte width.
 func (r Ring) UnpackElems(data []byte) []uint64 {

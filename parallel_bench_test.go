@@ -1,0 +1,134 @@
+package secndp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+// The acceptance benchmark for the concurrent query engine: sharding the
+// OTP pad loop across 8 workers versus the serial reference, on a batch
+// large enough (512 rows) for the fan-out to amortize. On a multi-core
+// machine the parallel variant is expected ≥2× faster; per-op allocations
+// stay flat because each worker reuses its pad buffer.
+
+const (
+	benchParRows  = 4096
+	benchParCols  = 64
+	benchParBatch = 512
+)
+
+func benchParQuery(b *testing.B) (*core.Table, []int, []uint64) {
+	b.Helper()
+	_, _, tab, _ := benchTable(b, memory.TagSep, benchParRows, benchParCols, 32)
+	rng := rand.New(rand.NewSource(42))
+	idx := make([]int, benchParBatch)
+	w := make([]uint64, benchParBatch)
+	for k := range idx {
+		idx[k] = rng.Intn(benchParRows)
+		w[k] = 1 + uint64(rng.Intn(16))
+	}
+	return tab, idx, w
+}
+
+func benchOTPWeightedSum(b *testing.B, workers int) {
+	tab, idx, w := benchParQuery(b)
+	ctx := context.Background()
+	opts := core.QueryOptions{Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.OTPWeightedSumCtx(ctx, idx, w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOTPWeightedSumSerial(b *testing.B)    { benchOTPWeightedSum(b, 1) }
+func BenchmarkOTPWeightedSumParallel2(b *testing.B) { benchOTPWeightedSum(b, 2) }
+func BenchmarkOTPWeightedSumParallel4(b *testing.B) { benchOTPWeightedSum(b, 4) }
+func BenchmarkOTPWeightedSumParallel8(b *testing.B) { benchOTPWeightedSum(b, 8) }
+
+// BenchmarkQueryCtxParallel8 runs the whole verified protocol through the
+// concurrent engine (NDP, OTP shares, and tag pads overlapped) — compare
+// against BenchmarkQueryVerified, the serialized reference.
+func BenchmarkQueryCtxParallel8(b *testing.B) {
+	_, mem, tab, _ := benchTable(b, memory.TagSep, benchParRows, benchParCols, 32)
+	ndp := &core.HonestNDP{Mem: mem}
+	rng := rand.New(rand.NewSource(43))
+	idx := make([]int, benchParBatch)
+	w := make([]uint64, benchParBatch)
+	for k := range idx {
+		idx[k] = rng.Intn(benchParRows)
+		w[k] = 1 + uint64(rng.Intn(4))
+	}
+	ctx := context.Background()
+	opts := core.QueryOptions{Workers: 8, Verify: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.QueryCtx(ctx, ndp, idx, w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPadCacheHotRows measures the cache's payoff on DLRM-like skew:
+// the same 64 hot rows dominate every query, so after warmup nearly every
+// pad comes from the cache instead of AES regeneration.
+func BenchmarkPadCacheHotRows(b *testing.B) {
+	tab, _, _ := benchParQuery(b)
+	rng := rand.New(rand.NewSource(44))
+	idx := make([]int, benchParBatch)
+	w := make([]uint64, benchParBatch)
+	for k := range idx {
+		idx[k] = rng.Intn(64)
+		w[k] = 1 + uint64(rng.Intn(16))
+	}
+	ctx := context.Background()
+	cache := core.NewPadCache(128)
+	opts := core.QueryOptions{Workers: 1, Cache: cache}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.OTPWeightedSumCtx(ctx, idx, w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeQuery exercises the public entry point end to end.
+func BenchmarkFacadeQuery(b *testing.B) {
+	eng, err := New(benchKey, WithParallelism(8), WithPadCache(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := NewMemory()
+	rng := rand.New(rand.NewSource(45))
+	rows := make([][]uint64, 1024)
+	for i := range rows {
+		rows[i] = make([]uint64, 32)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % (1 << 16)
+		}
+	}
+	tab, err := eng.Encrypt(mem, TableSpec{Rows: 1024, Cols: 32}, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := make([]int, 80)
+	w := make([]uint64, 80)
+	for k := range idx {
+		idx[k] = rng.Intn(1024)
+		w[k] = 1 + uint64(rng.Intn(4))
+	}
+	req := Request{Idx: idx, Weights: w}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

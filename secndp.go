@@ -1,0 +1,437 @@
+package secndp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+	"secndp/internal/remote"
+)
+
+// This file is the public facade over internal/core, internal/memory, and
+// internal/remote: one Engine per secret key, one Table per encrypted
+// region, and a single Query entry point that routes through the
+// concurrent query engine (internal/core/parallel.go) regardless of
+// whether the NDP is an in-process memory space or a remote server.
+
+// Sentinel errors, re-exported so callers never import internal packages.
+// Branch with errors.Is; returned errors wrap these with detail.
+var (
+	// ErrVerification: the result failed the encrypted-MAC check — NDP
+	// misbehavior, memory tampering, a replay, or ring overflow.
+	ErrVerification = core.ErrVerification
+	// ErrNoTags: a verified operation was requested on a table encrypted
+	// without verification tags.
+	ErrNoTags = core.ErrNoTags
+	// ErrBadGeometry: a TableSpec describes an invalid or misaligned table.
+	ErrBadGeometry = core.ErrBadGeometry
+	// ErrIndexRange: a query names a row or column outside the table.
+	ErrIndexRange = core.ErrIndexRange
+)
+
+// KeySize is the secret key size in bytes (AES-128).
+const KeySize = otp.KeySize
+
+// Memory is an untrusted memory space: everything stored in one is
+// visible to and modifiable by the adversary.
+type Memory = memory.Space
+
+// NewMemory returns an empty untrusted memory.
+func NewMemory() *Memory { return memory.NewSpace() }
+
+// Server is an untrusted NDP network service owning a Memory. It never
+// holds key material.
+type Server = remote.Server
+
+// NewServer wraps an untrusted memory space in an NDP server; start it
+// with Listen.
+func NewServer(mem *Memory) *Server { return remote.NewServer(mem) }
+
+// RemoteNDP is a client connection to a remote NDP server. Its calls
+// honor context deadlines (see Engine.Provision and Table.Query).
+type RemoteNDP = remote.Client
+
+// DialNDP connects to a remote NDP server.
+func DialNDP(ctx context.Context, addr string) (*RemoteNDP, error) {
+	return remote.DialContext(ctx, addr)
+}
+
+// verifyMode resolves the engine-level verification policy.
+type verifyMode int
+
+const (
+	verifyAuto verifyMode = iota // verify whenever the table carries tags
+	verifyOn                     // require tags; error on Enc-only tables
+	verifyOff                    // never verify
+)
+
+type config struct {
+	workers   int
+	cacheRows int
+	verify    verifyMode
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+// WithParallelism fixes the worker count of the OTP-side pad generator
+// (the software analogue of the paper's multiple OTP engines, §V-C2).
+// n <= 0 — the default — selects GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithPadCache grants each table a bounded cache of `rows` hot-row pad
+// vectors, so skewed access patterns (DLRM embedding reuse) skip AES
+// regeneration. rows <= 0 — the default — disables caching.
+func WithPadCache(rows int) Option {
+	return func(c *config) { c.cacheRows = rows }
+}
+
+// WithVerification pins the verification policy. Without this option the
+// engine verifies exactly when the table carries tags; with on=true a
+// query against a tag-less table fails with ErrNoTags; with on=false
+// verification is never run (Algorithm 4 without Algorithm 5).
+func WithVerification(on bool) Option {
+	return func(c *config) {
+		if on {
+			c.verify = verifyOn
+		} else {
+			c.verify = verifyOff
+		}
+	}
+}
+
+// Engine is the trusted-processor side of SecNDP: it owns the secret key
+// and the version discipline, and hands out Table handles. One Engine
+// serves any number of tables (bounded by the paper's 64 live versions,
+// §V-A); it is safe for concurrent use.
+type Engine struct {
+	scheme   *core.Scheme
+	versions *core.VersionManager
+	cfg      config
+	tableSeq atomic.Uint64
+}
+
+// New builds an Engine from a 128-bit secret key.
+func New(key []byte, opts ...Option) (*Engine, error) {
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		return nil, err
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Engine{
+		scheme:   scheme,
+		versions: core.NewVersionManager(core.DefaultVersionLimit, otp.MaxVersion),
+		cfg:      cfg,
+	}, nil
+}
+
+// TagMode selects where verification tags live (paper §V-D). The zero
+// value is TagsSeparate, so tables verify by default.
+type TagMode int
+
+const (
+	// TagsSeparate stores all tags in a dedicated region (Ver-sep).
+	TagsSeparate TagMode = iota
+	// TagsNone encrypts without tags (Enc-only; queries cannot verify).
+	TagsNone
+	// TagsColocated places each row's tag right after its data (Ver-coloc).
+	TagsColocated
+	// TagsECC stores tags in the ECC side band (Ver-ECC; infeasible for
+	// short quantized rows).
+	TagsECC
+)
+
+// DefaultBase is the data base address used when a TableSpec leaves Base
+// zero.
+const DefaultBase = 0x1000
+
+// TableSpec describes the shape and placement of one encrypted table.
+// Rows×Cols elements of ElemBits each; a row must span whole 16-byte
+// cipher blocks (Cols × ElemBits/8 ≡ 0 mod 16).
+type TableSpec struct {
+	// Name identifies the table to the version manager; one version per
+	// name, never reused. Empty auto-generates a unique name.
+	Name string
+	// Rows and Cols are the matrix dimensions (n and m).
+	Rows, Cols int
+	// ElemBits is the element width we ∈ {8,16,32,64}; 0 means 32.
+	ElemBits uint
+	// Tags selects the verification-tag placement (default Ver-sep).
+	Tags TagMode
+	// Base is the data region's physical base address (0 → DefaultBase).
+	Base uint64
+	// TagBase is the tag region's base for TagsSeparate; 0 places tags
+	// directly after the data region.
+	TagBase uint64
+	// ChecksumSubstrings > 1 selects the Algorithm 8 multi-substring
+	// checksum, lowering the forgery bound.
+	ChecksumSubstrings int
+}
+
+func (spec TableSpec) geometry() (core.Geometry, error) {
+	we := spec.ElemBits
+	if we == 0 {
+		we = 32
+	}
+	var placement memory.TagPlacement
+	switch spec.Tags {
+	case TagsSeparate:
+		placement = memory.TagSep
+	case TagsNone:
+		placement = memory.TagNone
+	case TagsColocated:
+		placement = memory.TagColoc
+	case TagsECC:
+		placement = memory.TagECC
+	default:
+		return core.Geometry{}, fmt.Errorf("%w: unknown tag mode %d", ErrBadGeometry, spec.Tags)
+	}
+	base := spec.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	layout := memory.Layout{
+		Placement: placement,
+		Base:      base,
+		TagBase:   spec.TagBase,
+		NumRows:   spec.Rows,
+		RowBytes:  spec.Cols * int(we) / 8,
+	}
+	if placement == memory.TagSep && layout.TagBase == 0 {
+		layout.TagBase = layout.DataEnd()
+	}
+	geo := core.Geometry{
+		Layout: layout,
+		Params: core.Params{We: we, M: spec.Cols, ChecksumSubstrings: spec.ChecksumSubstrings},
+	}
+	return geo, geo.Validate()
+}
+
+// Table is a handle to one encrypted table bound to the NDP that serves
+// it. It carries no plaintext and is safe for concurrent queries.
+type Table struct {
+	eng    *Engine
+	tab    *core.Table
+	ndp    core.NDP
+	cache  *core.PadCache
+	region string
+}
+
+func (e *Engine) newTable(tab *core.Table, ndp core.NDP, region string) *Table {
+	return &Table{
+		eng:    e,
+		tab:    tab,
+		ndp:    ndp,
+		cache:  core.NewPadCache(e.cfg.cacheRows),
+		region: region,
+	}
+}
+
+func (e *Engine) allocRegion(spec TableSpec) (string, uint64, error) {
+	region := spec.Name
+	if region == "" {
+		region = fmt.Sprintf("table-%d", e.tableSeq.Add(1))
+	}
+	v, err := e.versions.Allocate(region)
+	return region, v, err
+}
+
+// Encrypt runs the initialization step T0: the plaintext rows are
+// arithmetically encrypted (and tagged, per spec.Tags) into the untrusted
+// memory under a freshly allocated version. The returned Table queries an
+// in-process NDP over that memory.
+func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, error) {
+	geo, err := spec.geometry()
+	if err != nil {
+		return nil, err
+	}
+	region, v, err := e.allocRegion(spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := e.scheme.EncryptTable(mem, geo, v, rows)
+	if err != nil {
+		e.versions.Release(region)
+		return nil, err
+	}
+	return e.newTable(tab, &core.HonestNDP{Mem: mem}, region), nil
+}
+
+// Provision encrypts locally and ships only ciphertext and tags to a
+// remote NDP server — plaintext never crosses the wire. The context
+// bounds every transfer. The returned Table queries the remote server.
+func (e *Engine) Provision(ctx context.Context, client *RemoteNDP, spec TableSpec, rows [][]uint64) (*Table, error) {
+	geo, err := spec.geometry()
+	if err != nil {
+		return nil, err
+	}
+	region, v, err := e.allocRegion(spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := remote.ProvisionContext(ctx, client, e.scheme, geo, v, rows)
+	if err != nil {
+		e.versions.Release(region)
+		return nil, err
+	}
+	return e.newTable(tab, client, region), nil
+}
+
+// Close releases the table's version-manager slot (the version value
+// itself is never reissued). The handle must not be used afterwards.
+func (t *Table) Close() { t.eng.versions.Release(t.region) }
+
+// Geometry returns the table's public geometry.
+func (t *Table) Geometry() core.Geometry { return t.tab.Geometry() }
+
+// Version returns the version the table was encrypted under.
+func (t *Table) Version() uint64 { return t.tab.Version() }
+
+// CacheStats reports cumulative pad-cache hits and misses (both zero when
+// the engine was built without WithPadCache).
+func (t *Table) CacheStats() (hits, misses uint64) { return t.cache.Stats() }
+
+// Request is one weighted-summation query: result[j] = Σ_k Weights[k] ·
+// P[Idx[k]][j]. With Cols set, the query is element-indexed instead —
+// the scalar Σ_k Weights[k] · P[Idx[k]][Cols[k]] — which the paper's
+// tags cannot authenticate (they cover whole-row combinations), so such
+// results are never verified.
+type Request struct {
+	Idx     []int
+	Weights []uint64
+	// Cols selects the element-indexed form; len(Cols) must equal
+	// len(Idx). Leave nil for whole-row summation.
+	Cols []int
+	// Unverified opts this request out of verification (Algorithm 4
+	// without Algorithm 5) even when the table carries tags.
+	Unverified bool
+}
+
+// Result is a query's decrypted output.
+type Result struct {
+	// Values holds one element per table column — or a single element for
+	// an element-indexed request.
+	Values []uint64
+	// Verified reports whether the encrypted-MAC check ran (and passed —
+	// a failed check returns ErrVerification instead of a Result).
+	Verified bool
+}
+
+// Query runs one request through the concurrent engine: the NDP computes
+// its ciphertext sums while the worker pool regenerates OTP shares and
+// tag pads, and the joined result is decrypted and (by policy) verified.
+// It subsumes the former Query / QueryVerified / QueryElem triplet.
+func (t *Table) Query(ctx context.Context, req Request) (Result, error) {
+	return t.query(ctx, req, t.eng.cfg.workers)
+}
+
+func (t *Table) query(ctx context.Context, req Request, workers int) (Result, error) {
+	if req.Cols != nil {
+		return t.queryElem(ctx, req)
+	}
+	verify, err := t.resolveVerify(req.Unverified)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify}
+	values, err := t.tab.QueryCtx(ctx, t.ndp, req.Idx, req.Weights, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Values: values, Verified: verify}, nil
+}
+
+// resolveVerify merges the engine policy, the table's tag placement, and
+// the per-request opt-out.
+func (t *Table) resolveVerify(unverified bool) (bool, error) {
+	hasTags := t.tab.Geometry().Layout.Placement != memory.TagNone
+	switch t.eng.cfg.verify {
+	case verifyOff:
+		return false, nil
+	case verifyOn:
+		if !hasTags {
+			return false, fmt.Errorf("%w: engine requires verification", ErrNoTags)
+		}
+		return !unverified, nil
+	default:
+		return hasTags && !unverified, nil
+	}
+}
+
+func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
+	if t.eng.cfg.verify == verifyOn {
+		return Result{}, fmt.Errorf("%w: element-indexed queries cannot be verified (tags authenticate whole-row sums)", ErrNoTags)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	v, err := queryElemRecover(t.tab, t.ndp, req)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Values: []uint64{v}}, nil
+}
+
+// queryElemRecover converts NDP transport panics (the legacy failure mode
+// of core.NDP implementations) into errors.
+func queryElemRecover(tab *core.Table, ndp core.NDP, req Request) (v uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("secndp: ndp failed: %v", r)
+		}
+	}()
+	return tab.QueryElem(ndp, req.Idx, req.Cols, req.Weights)
+}
+
+// QueryBatch runs many requests through a request-level worker pool
+// sharing the table's pad cache — the software counterpart of several
+// pooling operations in flight across the paper's NDP PU registers. The
+// results align with the requests; the error aggregates every per-request
+// failure (annotated with its index), so errors.Is(err, ErrVerification)
+// detects a rejected result anywhere in the batch.
+func (t *Table) QueryBatch(ctx context.Context, reqs []Request) ([]Result, error) {
+	out := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	pool := t.eng.cfg.workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if pool > len(reqs) {
+		pool = len(reqs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := t.query(ctx, reqs[i], 1)
+				out[i] = res
+				if err != nil {
+					errs[i] = fmt.Errorf("request %d: %w", i, err)
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
