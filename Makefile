@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench vet examples experiments quick clean
+.PHONY: all build test test-race bench vet fuzz examples experiments quick clean
 
 all: build vet test
 
@@ -21,6 +21,18 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Fuzz the wire-protocol parsers briefly (go fuzzing accepts exactly one
+# target per invocation).
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run xxx -fuzz '^FuzzReadGeometry$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzReadQuery$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzClientResponse$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzServeOne$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzEncryptDecryptRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz '^FuzzVerifyRejectsTamper$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz '^FuzzQueryLinearity$$' -fuzztime $(FUZZTIME) ./internal/core
+
 # Run every example once.
 examples:
 	$(GO) run ./examples/quickstart
@@ -29,6 +41,7 @@ examples:
 	$(GO) run ./examples/tamper
 	$(GO) run ./examples/teecompare
 	$(GO) run ./examples/remote
+	$(GO) run ./examples/faulttolerance
 
 # Regenerate every paper table and figure (full scale; ~2 minutes).
 experiments:

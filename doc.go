@@ -19,6 +19,39 @@
 //	res, err := tab.Query(ctx, secndp.Request{Idx: idx, Weights: w})
 //	// errors.Is(err, secndp.ErrVerification) ⇒ tampered result rejected.
 //
+// # Failure model
+//
+// A remote NDP is reached through a fault-tolerant transport: DialReliableNDP
+// returns a ReliableNDP backed by a reconnecting connection pool, a retry
+// loop with exponential backoff and jitter (every wire operation is
+// idempotent), and a circuit breaker that stops hammering a dead server and
+// probes it back to life. Failures surface as typed sentinels — branch with
+// errors.Is:
+//
+//   - ErrRetriesExhausted — the transport gave up after its configured
+//     attempts; the NDP server is unreachable or persistently failing.
+//   - ErrCircuitOpen — the breaker is rejecting calls outright until a
+//     probe succeeds; callers get an immediate failure instead of a
+//     timeout.
+//   - ErrVerification — the NDP answered, but the encrypted-MAC check
+//     rejected the result: tampering, replay, or corruption in flight.
+//
+// With WithFallback, Provision additionally keeps the encrypted staging
+// image inside the TEE as a trusted mirror; when the transport is down or
+// verification keeps failing, queries are recomputed locally from the
+// mirror (the paper's trusted-processor baseline, Figure 4(b)) and return
+// Result.Degraded = true instead of an error.
+//
+// # Batch error contract
+//
+// QueryBatch never stops early: every request in the batch is attempted.
+// Results align with requests; a failed request leaves a zero Result at its
+// index, and the returned error joins every per-request failure annotated
+// with its request index ("request 3: ..."). errors.Is works through the
+// join, so errors.Is(err, ErrVerification) detects a rejected result
+// anywhere in the batch; siblings of a failed request are still valid (and
+// Verified, when verification ran).
+//
 // The repository layout behind the facade:
 //
 //   - internal/core — the SecNDP scheme itself (Algorithms 1–8) and the

@@ -118,6 +118,11 @@ func (t *Table) Query(ndp NDP, idx []int, weights []uint64) ([]uint64, error) {
 		return nil, err
 	}
 	cres := ndp.WeightedSum(t.geo, idx, weights)
+	// A failed transport's legacy wrapper returns nil instead of panicking;
+	// reject any wrong-shaped response rather than decrypting garbage.
+	if len(cres) != t.geo.Params.M {
+		return nil, fmt.Errorf("core: ndp returned %d columns, want %d", len(cres), t.geo.Params.M)
+	}
 	eres, err := t.OTPWeightedSum(idx, weights)
 	if err != nil {
 		return nil, err
@@ -136,6 +141,9 @@ func (t *Table) QueryVerified(ndp NDP, idx []int, weights []uint64) ([]uint64, e
 		return nil, fmt.Errorf("%w; use Query", ErrNoTags)
 	}
 	cres := ndp.WeightedSum(t.geo, idx, weights)
+	if len(cres) != t.geo.Params.M {
+		return nil, fmt.Errorf("core: ndp returned %d columns, want %d", len(cres), t.geo.Params.M)
+	}
 	cTres := ndp.TagSum(t.geo, idx, weights)
 	eres, err := t.OTPWeightedSum(idx, weights)
 	if err != nil {

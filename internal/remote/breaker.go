@@ -1,0 +1,153 @@
+package remote
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned when the circuit breaker is rejecting calls
+// outright: the NDP has failed enough consecutive times that attempting
+// the wire again is pointless until a probe succeeds. Branch with
+// errors.Is; callers with a TEE fallback serve degraded results instead.
+var ErrCircuitOpen = errors.New("remote: circuit breaker open")
+
+// BreakerConfig tunes the transport circuit breaker. The zero value
+// selects the defaults documented per field.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive transport failures
+	// that opens the circuit. <= 0 selects 5.
+	FailureThreshold int
+	// ProbeInterval is how long an open circuit waits before letting a
+	// single probe call through (half-open). <= 0 selects 250ms.
+	ProbeInterval time.Duration
+	// Disabled turns the breaker off entirely: Allow always passes.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: closed until
+// FailureThreshold transport failures in a row, then open (every call
+// rejected with ErrCircuitOpen) until ProbeInterval elapses, then
+// half-open — exactly one probe call is let through, whose outcome closes
+// or re-opens the circuit. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test hook
+
+	mu      sync.Mutex
+	state   breakerState
+	fails   int
+	probeAt time.Time
+	probing bool
+	opens   uint64
+}
+
+// NewBreaker builds a breaker from cfg (zero value → defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a call may proceed. A nil return from Allow must
+// be matched by exactly one later Success or Failure, or a half-open
+// probe slot would leak.
+func (b *Breaker) Allow() error {
+	if b.cfg.Disabled {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Before(b.probeAt) {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open: one probe in flight at a time
+		if b.probing {
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a completed call: the circuit closes and the failure
+// run resets.
+func (b *Breaker) Success() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// Failure records a transport failure: a failed half-open probe re-opens
+// the circuit immediately; in the closed state the circuit opens once the
+// consecutive-failure run reaches the threshold.
+func (b *Breaker) Failure() {
+	if b.cfg.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.cfg.FailureThreshold {
+		if b.state != breakerOpen {
+			b.opens++
+		}
+		b.state = breakerOpen
+		b.probeAt = b.now().Add(b.cfg.ProbeInterval)
+	}
+}
+
+// State reports the current state ("closed", "open", "half-open") for
+// observability.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// Opens reports how many times the circuit has transitioned to open.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,138 @@
+package remote
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's probe timer without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time              { return c.t }
+func (c *fakeClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	b := NewBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 3, ProbeInterval: time.Second})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.State() != "closed" {
+		t.Fatalf("breaker opened after 2/3 failures: %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure()
+	if b.State() != "open" {
+		t.Fatalf("breaker not open after 3 failures: %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+	if b.Opens() != 1 {
+		t.Errorf("Opens() = %d, want 1", b.Opens())
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{FailureThreshold: 2, ProbeInterval: time.Second})
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success() // non-consecutive: run resets
+	b.Allow()
+	b.Failure()
+	if b.State() != "closed" {
+		t.Fatalf("non-consecutive failures opened the breaker: %s", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, ProbeInterval: time.Second})
+	b.Allow()
+	b.Failure()
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("open breaker allowed a call before the probe interval")
+	}
+	clk.advance(2 * time.Second)
+	// The probe slot admits exactly one call.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("successful probe left state %s", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed-after-probe breaker rejected: %v", err)
+	}
+	b.Success()
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureThreshold: 1, ProbeInterval: time.Second})
+	b.Allow()
+	b.Failure()
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure() // probe fails → straight back to open
+	if b.State() != "open" {
+		t.Fatalf("failed probe left state %s", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("reopened breaker allowed a call immediately")
+	}
+	if b.Opens() != 2 {
+		t.Errorf("Opens() = %d, want 2", b.Opens())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Disabled: true})
+	for i := 0; i < 100; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal("disabled breaker rejected a call")
+		}
+		b.Failure()
+	}
+}
+
+func TestRetryBackoffGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+		Multiplier: 2, Jitter: -1}.withDefaults()
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryBackoffJitterBounded(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond,
+		Jitter: 0.5}.withDefaults()
+	for i := 0; i < 100; i++ {
+		d := p.backoff(1)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [50ms, 100ms]", d)
+		}
+	}
+}

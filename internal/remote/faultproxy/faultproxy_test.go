@@ -1,0 +1,210 @@
+package faultproxy
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func startProxy(t *testing.T, target string, sched Schedule) (*Proxy, string) {
+	t.Helper()
+	p := New(target, sched)
+	addr, err := p.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, addr
+}
+
+// exchange writes msg through the proxy and reads len(msg) echoed bytes
+// back, returning whatever arrived and the terminal read error, if any.
+func exchange(t *testing.T, addr string, msg []byte) ([]byte, error) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write(msg); err != nil {
+		return nil, err
+	}
+	got := make([]byte, len(msg))
+	n, err := io.ReadFull(c, got)
+	return got[:n], err
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), nil)
+	msg := []byte("secndp wire bytes")
+	got, err := exchange(t, addr, msg)
+	if err != nil {
+		t.Fatalf("clean proxy broke the stream: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("clean proxy altered bytes: %q", got)
+	}
+}
+
+func TestProxyCorruptsPrescribedByte(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t),
+		Script{{CorruptAt: 3, CorruptMask: 0x40}})
+	msg := []byte{0x10, 0x20, 0x30, 0x40}
+	got, err := exchange(t, addr, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x10, 0x20, 0x30 ^ 0x40, 0x40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProxyTruncates(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Script{{TruncateAfter: 5}})
+	got, err := exchange(t, addr, []byte("0123456789"))
+	if err == nil {
+		t.Fatal("truncated stream delivered all bytes")
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d bytes past a 5-byte truncation", len(got))
+	}
+	if string(got) != "01234" {
+		t.Fatalf("pre-truncation bytes altered: %q", got)
+	}
+}
+
+func TestProxyResets(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Script{{ResetAfter: 2}})
+	got, err := exchange(t, addr, []byte("abcdef"))
+	if err == nil {
+		t.Fatal("reset stream delivered all bytes")
+	}
+	if len(got) > 2 {
+		t.Fatalf("got %d bytes past a 2-byte reset", len(got))
+	}
+}
+
+func TestProxyDropsOnAccept(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Script{{DropOnAccept: true}})
+	if _, err := exchange(t, addr, []byte("hello")); err == nil {
+		t.Fatal("dropped connection carried traffic")
+	}
+	// The script is exhausted: the next connection passes clean.
+	if _, err := exchange(t, addr, []byte("hello")); err != nil {
+		t.Fatalf("connection after the script failed: %v", err)
+	}
+}
+
+func TestProxyDelays(t *testing.T) {
+	_, addr := startProxy(t, echoServer(t), Script{{Delay: 150 * time.Millisecond}})
+	start := time.Now()
+	if _, err := exchange(t, addr, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("delayed response arrived in %v", elapsed)
+	}
+}
+
+func TestProxySetScheduleResetsNumbering(t *testing.T) {
+	p, addr := startProxy(t, echoServer(t), nil)
+	if _, err := exchange(t, addr, []byte("warmup")); err != nil {
+		t.Fatal(err)
+	}
+	// Arm a script: numbering restarts, so the NEXT connection (not some
+	// later index) hits plan 0.
+	p.SetSchedule(Script{{DropOnAccept: true}})
+	if p.Conns() != 0 {
+		t.Fatalf("Conns() = %d after SetSchedule, want 0", p.Conns())
+	}
+	if _, err := exchange(t, addr, []byte("x")); err == nil {
+		t.Fatal("armed plan 0 did not fire on the first post-arm connection")
+	}
+}
+
+func TestProxyBreakConnsSeversLiveStreams(t *testing.T) {
+	p, addr := startProxy(t, echoServer(t), nil)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.BreakConns()
+	// The live stream is dead: the next read fails rather than hanging.
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded on a severed connection")
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a := Chaos{Seed: 7, PDrop: 0.15, PDelay: 0.15, PCorrupt: 0.15, PTruncate: 0.15, PReset: 0.15}
+	b := Chaos{Seed: 7, PDrop: 0.15, PDelay: 0.15, PCorrupt: 0.15, PTruncate: 0.15, PReset: 0.15}
+	classes := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		pa, pb := a.PlanFor(i), b.PlanFor(i)
+		if pa != pb {
+			t.Fatalf("conn %d: same seed produced different plans: %+v vs %+v", i, pa, pb)
+		}
+		switch {
+		case pa.DropOnAccept:
+			classes["drop"] = true
+		case pa.Delay > 0:
+			classes["delay"] = true
+		case pa.CorruptAt > 0:
+			classes["corrupt"] = true
+			if pa.CorruptMask == 0 || pa.CorruptMask&0x80 != 0 {
+				t.Fatalf("chaos corrupt mask %#x touches the varint framing bit", pa.CorruptMask)
+			}
+		case pa.TruncateAfter > 0:
+			classes["truncate"] = true
+		case pa.ResetAfter > 0:
+			classes["reset"] = true
+		default:
+			classes["clean"] = true
+		}
+	}
+	for _, class := range []string{"drop", "delay", "corrupt", "truncate", "reset", "clean"} {
+		if !classes[class] {
+			t.Errorf("200 chaos plans never produced class %q", class)
+		}
+	}
+	if p := (Chaos{Seed: 8}).PlanFor(0); p != (Plan{}) {
+		t.Errorf("zero-probability chaos produced a fault: %+v", p)
+	}
+}

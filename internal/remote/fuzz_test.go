@@ -1,0 +1,137 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+// The wire protocol sits on the trust boundary: the server parses bytes from
+// untrusted clients, and the client parses bytes from the untrusted server.
+// These targets assert the one property both directions must hold under
+// arbitrary input — parsers return errors, they never panic — plus
+// round-trip consistency for anything that does parse.
+
+func fuzzGeometryBytes(g core.Geometry) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeGeometry(w, g); err != nil {
+		panic(err)
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+func FuzzReadGeometry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80}) // truncated uvarint
+	f.Add(fuzzGeometryBytes(core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagSep, Base: 0x10000,
+			TagBase: 0x800000, NumRows: 16, RowBytes: 128},
+		Params: core.Params{We: 32, M: 32},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := readGeometry(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a write/read round trip unchanged.
+		g2, err := readGeometry(bufio.NewReader(bytes.NewReader(fuzzGeometryBytes(g))))
+		if err != nil {
+			t.Fatalf("re-read of serialized geometry failed: %v", err)
+		}
+		if g2 != g {
+			t.Fatalf("geometry round trip: %+v != %+v", g2, g)
+		}
+	})
+}
+
+func FuzzReadQuery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x01, 0x02, 0x03}) // truncated weights
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // n > maxVectorLen
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	writeQuery(w, []int{1, 5, 9}, []uint64{2, 3, 4})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, weights, err := readQuery(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(idx) != len(weights) {
+			t.Fatalf("parsed query with %d indices but %d weights", len(idx), len(weights))
+		}
+		if len(idx) > maxVectorLen {
+			t.Fatalf("parsed query of %d rows exceeds the advertised limit", len(idx))
+		}
+		var rt bytes.Buffer
+		rw := bufio.NewWriter(&rt)
+		if err := writeQuery(rw, idx, weights); err != nil {
+			t.Fatal(err)
+		}
+		rw.Flush()
+		idx2, weights2, err := readQuery(bufio.NewReader(bytes.NewReader(rt.Bytes())))
+		if err != nil {
+			t.Fatalf("re-read of serialized query failed: %v", err)
+		}
+		for k := range idx {
+			if idx2[k] != idx[k] || weights2[k] != weights[k] {
+				t.Fatal("query round trip mismatch")
+			}
+		}
+	})
+}
+
+// FuzzClientResponse feeds arbitrary bytes to the client-side response
+// parsers — the path a malicious or fault-corrupted server controls.
+func FuzzClientResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{statusOK, 0x02, 0x07, 0x09})
+	f.Add([]byte{statusErr, 0x03, 'b', 'a', 'd'})
+	f.Add([]byte{0x42}) // corrupt status byte
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		if err := readStatus(r); err != nil {
+			return
+		}
+		// Exercise both response shapes over the remaining bytes.
+		readSumResponse(bufio.NewReader(bytes.NewReader(data[1:])))
+		readTagResponse(bufio.NewReader(bytes.NewReader(data[1:])))
+	})
+}
+
+// FuzzServeOne runs the full server request loop over an arbitrary byte
+// stream. The server faces untrusted clients directly, so no input may
+// panic it or make it allocate unboundedly.
+func FuzzServeOne(f *testing.F) {
+	f.Add([]byte{opPing})
+	f.Add([]byte{opWriteBlob, 0x10, 0x02, 0xAB, 0xCD, opPing})
+	f.Add([]byte{0x99}) // unknown op
+	var req bytes.Buffer
+	w := bufio.NewWriter(&req)
+	w.WriteByte(opWeightedSum)
+	writeGeometry(w, core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagSep, Base: 0x10000,
+			TagBase: 0x800000, NumRows: 16, RowBytes: 128},
+		Params: core.Params{We: 32, M: 32},
+	})
+	writeQuery(w, []int{1, 5}, []uint64{2, 3})
+	w.Flush()
+	f.Add(req.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewServer(memory.NewSpace())
+		r := bufio.NewReader(bytes.NewReader(data))
+		out := bufio.NewWriter(io.Discard)
+		for i := 0; i < 64; i++ { // bound work per input
+			if err := s.serveOne(r, out); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPoolClosed is returned by Pool.Get after Close.
+var ErrPoolClosed = errors.New("remote: connection pool closed")
+
+// DialFunc dials one wire connection; the default is DialContext. Tests
+// substitute it to route through fault injectors or fail deterministically.
+type DialFunc func(ctx context.Context, addr string) (*Client, error)
+
+// PoolConfig tunes a reconnecting connection pool. The zero value selects
+// the defaults documented per field.
+type PoolConfig struct {
+	// MaxIdle is how many healthy connections are kept warm for reuse.
+	// <= 0 selects 2.
+	MaxIdle int
+	// DialTimeout bounds each redial plus its health check. <= 0 selects 2s.
+	DialTimeout time.Duration
+	// CallTimeout is installed as the default per-call deadline on every
+	// pooled connection (Client.SetCallTimeout). 0 means none.
+	CallTimeout time.Duration
+	// Dial overrides the dialer. nil selects DialContext.
+	Dial DialFunc
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.MaxIdle <= 0 {
+		c.MaxIdle = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Dial == nil {
+		c.Dial = DialContext
+	}
+	return c
+}
+
+// Pool is a reconnecting pool of wire connections to one NDP server,
+// replacing the single-Client pattern whose connection stays poisoned
+// after its first transport failure. Get hands out a healthy connection —
+// reusing an idle one when possible, otherwise performing a
+// health-checked dial (the new connection must answer a Ping before it is
+// handed out). Put returns a connection for reuse; poisoned connections
+// are discarded and replaced on the next Get. Safe for concurrent use.
+type Pool struct {
+	addr string
+	cfg  PoolConfig
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+
+	dials atomic.Uint64
+}
+
+// NewPool builds a pool for one server address. No connection is made
+// until the first Get.
+func NewPool(addr string, cfg PoolConfig) *Pool {
+	return &Pool{addr: addr, cfg: cfg.withDefaults()}
+}
+
+// Get returns a healthy connection, redialing if every pooled one has been
+// poisoned or discarded.
+func (p *Pool) Get(ctx context.Context) (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	for len(p.idle) > 0 {
+		c := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		if c.Usable() {
+			p.mu.Unlock()
+			return c, nil
+		}
+		c.Close()
+	}
+	p.mu.Unlock()
+
+	dctx, cancel := context.WithTimeout(ctx, p.cfg.DialTimeout)
+	defer cancel()
+	c, err := p.cfg.Dial(dctx, p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.dials.Add(1)
+	if err := c.PingContext(dctx); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("remote: dial health check: %w", err)
+	}
+	if p.cfg.CallTimeout > 0 {
+		c.SetCallTimeout(p.cfg.CallTimeout)
+	}
+	return c, nil
+}
+
+// Put returns a connection to the pool. Poisoned connections are closed
+// instead; beyond MaxIdle warm connections, extras are closed too.
+func (p *Pool) Put(c *Client) {
+	if c == nil {
+		return
+	}
+	if !c.Usable() {
+		c.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.cfg.MaxIdle {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection and fails all future Gets.
+// Connections currently handed out are closed by their users via Put.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	return nil
+}
+
+// Dials reports how many connections the pool has dialed — the redial
+// count observable by tests and operators.
+func (p *Pool) Dials() uint64 { return p.dials.Load() }

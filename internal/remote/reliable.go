@@ -1,0 +1,256 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"secndp/internal/core"
+	"secndp/internal/field"
+	"secndp/internal/memory"
+)
+
+// ReliableClient layers fault tolerance over the wire protocol: a
+// reconnecting Pool (a connection poisoned by a transport failure is
+// replaced by a health-checked redial), a RetryPolicy with exponential
+// backoff and jitter for the idempotent operations, and a circuit Breaker
+// that stops hammering a dead server and probes it back to life.
+//
+// It satisfies Transport (and so core.NDP / core.ContextNDP), making it a
+// drop-in replacement for a single *Client everywhere the trusted engine
+// talks to an NDP. Errors surface typed: ErrRetriesExhausted when every
+// attempt failed, ErrCircuitOpen when the breaker is rejecting calls, and
+// server-reported semantic rejections verbatim (those are never retried —
+// the server would answer identically). Safe for concurrent use.
+type ReliableClient struct {
+	pool    *Pool
+	retry   RetryPolicy
+	breaker *Breaker
+
+	attempts atomic.Uint64
+	retries  atomic.Uint64
+}
+
+// ReliableConfig bundles the fault-tolerance knobs. The zero value selects
+// every documented default.
+type ReliableConfig struct {
+	Pool    PoolConfig
+	Retry   RetryPolicy
+	Breaker BreakerConfig
+}
+
+var (
+	_ Transport       = (*ReliableClient)(nil)
+	_ core.NDP        = (*ReliableClient)(nil)
+	_ core.ContextNDP = (*ReliableClient)(nil)
+)
+
+// NewReliable builds the fault-tolerant client without touching the
+// network; the first operation dials lazily (useful when the server comes
+// up later than the client).
+func NewReliable(addr string, cfg ReliableConfig) *ReliableClient {
+	return &ReliableClient{
+		pool:    NewPool(addr, cfg.Pool),
+		retry:   cfg.Retry.withDefaults(),
+		breaker: NewBreaker(cfg.Breaker),
+	}
+}
+
+// DialReliable builds the fault-tolerant client and verifies the server is
+// reachable with one health-checked connection (kept warm in the pool).
+func DialReliable(ctx context.Context, addr string, cfg ReliableConfig) (*ReliableClient, error) {
+	rc := NewReliable(addr, cfg)
+	c, err := rc.pool.Get(ctx)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	rc.pool.Put(c)
+	return rc, nil
+}
+
+// Close releases the pooled connections.
+func (rc *ReliableClient) Close() error { return rc.pool.Close() }
+
+// attempt runs fn over one pooled connection and settles the breaker:
+// server-reported rejections keep the connection (the stream is in sync)
+// and count as breaker successes; transport failures poison and close it.
+func (rc *ReliableClient) attempt(ctx context.Context, fn func(context.Context, *Client) error) error {
+	c, err := rc.pool.Get(ctx)
+	if err != nil {
+		rc.breaker.Failure()
+		return err
+	}
+	err = fn(ctx, c)
+	if err == nil {
+		rc.breaker.Success()
+		rc.pool.Put(c)
+		return nil
+	}
+	var se *serverError
+	if errors.As(err, &se) {
+		rc.breaker.Success()
+		rc.pool.Put(c)
+		return err
+	}
+	rc.breaker.Failure()
+	c.Close()
+	return err
+}
+
+// do is the retry loop shared by every operation: per-attempt deadlines
+// derived from the caller's context, exponential backoff with jitter
+// between attempts, the circuit breaker consulted before each one.
+func (rc *ReliableClient) do(ctx context.Context, op string, fn func(context.Context, *Client) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	for att := 1; att <= rc.retry.MaxAttempts; att++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := rc.breaker.Allow(); err != nil {
+			if last != nil {
+				return fmt.Errorf("remote: %s: %w after %d attempts: %w", op, ErrCircuitOpen, att-1, last)
+			}
+			return fmt.Errorf("remote: %s: %w", op, err)
+		}
+		rc.attempts.Add(1)
+		if att > 1 {
+			rc.retries.Add(1)
+		}
+		actx, cancel := rc.retry.attemptContext(ctx, att)
+		err := rc.attempt(actx, fn)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		var se *serverError
+		if errors.As(err, &se) {
+			return err // semantic rejection: retrying is pointless
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // the caller's budget ran out, not the attempt's
+		}
+		last = err
+		if errors.Is(err, ErrPoolClosed) {
+			break
+		}
+		if att < rc.retry.MaxAttempts {
+			if serr := sleepCtx(ctx, rc.retry.backoff(att)); serr != nil {
+				return serr
+			}
+		}
+	}
+	return fmt.Errorf("remote: %s: %w after %d attempts: %w", op, ErrRetriesExhausted, rc.retry.MaxAttempts, last)
+}
+
+// WeightedSumContext implements core.ContextNDP with retry, reconnect, and
+// breaker protection. Safe to retry: a pure read over ciphertext.
+func (rc *ReliableClient) WeightedSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
+	var res []uint64
+	err := rc.do(ctx, "WeightedSum", func(ctx context.Context, c *Client) error {
+		var err error
+		res, err = c.WeightedSumContext(ctx, geo, idx, weights)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TagSumContext implements core.ContextNDP with retry, reconnect, and
+// breaker protection. Safe to retry: a pure read over encrypted tags.
+func (rc *ReliableClient) TagSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
+	var tag field.Elem
+	err := rc.do(ctx, "TagSum", func(ctx context.Context, c *Client) error {
+		var err error
+		tag, err = c.TagSumContext(ctx, geo, idx, weights)
+		return err
+	})
+	if err != nil {
+		return field.Zero, err
+	}
+	return tag, nil
+}
+
+// WriteBlobContext provisions ciphertext with retry. Idempotent: a replay
+// stores identical bytes at identical addresses.
+func (rc *ReliableClient) WriteBlobContext(ctx context.Context, addr uint64, data []byte) error {
+	return rc.do(ctx, "WriteBlob", func(ctx context.Context, c *Client) error {
+		return c.WriteBlobContext(ctx, addr, data)
+	})
+}
+
+// WriteECCContext provisions a side-band tag with retry (idempotent, as
+// WriteBlobContext).
+func (rc *ReliableClient) WriteECCContext(ctx context.Context, dataAddr uint64, tag []byte) error {
+	if len(tag) != memory.TagBytes {
+		// Validate before the retry loop: a malformed argument is permanent.
+		return fmt.Errorf("remote: tag must be %d bytes", memory.TagBytes)
+	}
+	return rc.do(ctx, "WriteECC", func(ctx context.Context, c *Client) error {
+		return c.WriteECCContext(ctx, dataAddr, tag)
+	})
+}
+
+// PingContext round-trips a no-op through the retry layer.
+func (rc *ReliableClient) PingContext(ctx context.Context) error {
+	return rc.do(ctx, "Ping", func(ctx context.Context, c *Client) error {
+		return c.PingContext(ctx)
+	})
+}
+
+// WeightedSum implements core.NDP; as with Client, the error-free
+// signature returns nil on failure and the core query paths reject it.
+func (rc *ReliableClient) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
+	res, err := rc.WeightedSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// TagSum implements core.NDP; field.Zero on failure (rejected by the MAC
+// check downstream).
+func (rc *ReliableClient) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
+	tag, err := rc.TagSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		return field.Zero
+	}
+	return tag
+}
+
+// WeightedSumElem is not part of the wire protocol (see Client); engines
+// with a TEE mirror serve element queries via local fallback instead.
+func (rc *ReliableClient) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []uint64) uint64 {
+	panic("remote: WeightedSumElem not supported over the wire")
+}
+
+// TransportStats is a snapshot of the fault-tolerance counters.
+type TransportStats struct {
+	// Attempts counts every wire attempt, first tries included.
+	Attempts uint64
+	// Retries counts attempts beyond the first of each operation.
+	Retries uint64
+	// Dials counts pool (re)dials.
+	Dials uint64
+	// BreakerOpens counts circuit-open transitions.
+	BreakerOpens uint64
+	// BreakerState is "closed", "open", or "half-open".
+	BreakerState string
+}
+
+// Stats reports the client's cumulative fault-tolerance counters.
+func (rc *ReliableClient) Stats() TransportStats {
+	return TransportStats{
+		Attempts:     rc.attempts.Load(),
+		Retries:      rc.retries.Load(),
+		Dials:        rc.pool.Dials(),
+		BreakerOpens: rc.breaker.Opens(),
+		BreakerState: rc.breaker.State(),
+	}
+}

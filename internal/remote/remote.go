@@ -33,6 +33,7 @@ const (
 	opTagSum      byte = 2
 	opWriteBlob   byte = 3 // provisioning path: load ciphertext into memory
 	opWriteECC    byte = 4 // provisioning path: side-band tags
+	opPing        byte = 5 // no-op round trip: pool health checks, breaker probes
 )
 
 // status codes.
@@ -151,11 +152,14 @@ type Server struct {
 	mu sync.Mutex // serializes memory access across connections
 	ln net.Listener
 	wg sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // NewServer wraps an untrusted memory space.
 func NewServer(mem *memory.Space) *Server {
-	return &Server{mem: mem, ndp: &core.HonestNDP{Mem: mem}}
+	return &Server{mem: mem, ndp: &core.HonestNDP{Mem: mem}, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -171,27 +175,56 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, severs live connections, and waits for their
+// handlers — so a restart on the same address never deadlocks behind an
+// idle client.
 func (s *Server) Close() error {
 	if s.ln == nil {
 		return nil
 	}
 	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return err
 }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed
+			}
+			// Transient accept failures (EMFILE under fd pressure,
+			// ECONNABORTED) must not silently kill the listener: back off
+			// and keep accepting until the listener itself is closed.
+			if delay == 0 {
+				delay = 5 * time.Millisecond
+			} else if delay *= 2; delay > time.Second {
+				delay = time.Second
+			}
+			time.Sleep(delay)
+			continue
 		}
+		delay = 0
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
 			s.serve(conn)
 		}()
 	}
@@ -253,6 +286,11 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		// (or panics) downstream.
 		if err := geo.Validate(); err != nil {
 			return fail(fmt.Sprintf("bad geometry: %v", err))
+		}
+		// Validate bounds shape, not size: cap the row footprint so a
+		// hostile geometry cannot drive gigabyte per-row allocations.
+		if geo.Layout.RowBytes > maxVectorLen {
+			return fail(fmt.Sprintf("row size %d exceeds limit", geo.Layout.RowBytes))
 		}
 		if op == opTagSum && geo.Layout.Placement == memory.TagNone {
 			return fail("geometry has no tag placement")
@@ -329,6 +367,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		s.mu.Unlock()
 		return w.WriteByte(statusOK)
 
+	case opPing:
+		return w.WriteByte(statusOK)
+
 	default:
 		return fail(fmt.Sprintf("unknown op %d", op))
 	}
@@ -342,12 +383,16 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 // deadline (or, absent one, the default set by SetCallTimeout) is applied
 // to the connection, so a hung server cannot block the trusted side
 // forever. The legacy deadline-free signatures remain as thin wrappers;
-// the core.NDP interface methods panic on transport errors as before.
+// because the core.NDP interface methods carry no error return, a failed
+// legacy call returns a zero value and records the error (see Err) — the
+// core query paths reject the zero values via their column-count check and
+// verification rather than consuming them silently.
 //
 // After a transport-level failure (timeout, short read) the wire stream
 // may be desynchronized, so the connection is marked unusable and every
-// subsequent call fails fast — dial a fresh client. Server-reported
-// errors (statusErr) leave the stream in sync and the client usable.
+// subsequent call fails fast — dial a fresh client, or use a ReliableClient
+// which redials automatically. Server-reported errors (statusErr) leave
+// the stream in sync and the client usable.
 type Client struct {
 	mu      sync.Mutex
 	conn    net.Conn
@@ -355,6 +400,9 @@ type Client struct {
 	w       *bufio.Writer
 	timeout time.Duration
 	fatal   error
+
+	errMu   sync.Mutex
+	lastErr error
 }
 
 var (
@@ -389,6 +437,29 @@ func (c *Client) SetCallTimeout(d time.Duration) {
 
 // Close shuts the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Usable reports whether the connection has not been poisoned by a
+// transport failure — the health predicate the reconnecting pool uses to
+// decide between reuse and redial.
+func (c *Client) Usable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fatal == nil
+}
+
+// Err returns the most recent error swallowed by an error-free legacy
+// wrapper (WeightedSum, TagSum), or nil. It does not clear the record.
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.lastErr
+}
+
+func (c *Client) setErr(err error) {
+	c.errMu.Lock()
+	c.lastErr = err
+	c.errMu.Unlock()
+}
 
 // serverError is a statusErr response from the server. The stream stays in
 // sync, so the connection remains usable after one.
@@ -446,21 +517,23 @@ func (c *Client) finish(ctx context.Context, err error) error {
 	return err
 }
 
-func (c *Client) roundTrip(send func() error) error {
-	if err := send(); err != nil {
-		return err
-	}
-	if err := c.w.Flush(); err != nil {
-		return err
-	}
-	status, err := c.r.ReadByte()
+// readStatus consumes a response's status byte; on statusErr it also
+// drains the error payload and returns it as a *serverError. A status byte
+// outside {statusOK, statusErr} means the stream is corrupt or desynced —
+// a transport error, so the caller's connection gets poisoned.
+func readStatus(r *bufio.Reader) error {
+	status, err := r.ReadByte()
 	if err != nil {
 		return err
 	}
-	if status == statusOK {
+	switch status {
+	case statusOK:
 		return nil
+	case statusErr:
+	default:
+		return fmt.Errorf("remote: corrupt status byte %#x", status)
 	}
-	n, err := readUvarint(c.r)
+	n, err := readUvarint(r)
 	if err != nil {
 		return err
 	}
@@ -468,10 +541,49 @@ func (c *Client) roundTrip(send func() error) error {
 		return fmt.Errorf("remote: oversized error message (%d bytes)", n)
 	}
 	msg := make([]byte, n)
-	if _, err := io.ReadFull(c.r, msg); err != nil {
+	if _, err := io.ReadFull(r, msg); err != nil {
 		return err
 	}
 	return &serverError{msg: string(msg)}
+}
+
+// readSumResponse parses a WeightedSum reply's payload (after the status
+// byte): a length-prefixed vector of ring elements.
+func readSumResponse(r *bufio.Reader) ([]uint64, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxVectorLen {
+		return nil, fmt.Errorf("remote: oversized response (%d values)", n)
+	}
+	res := make([]uint64, n)
+	for k := range res {
+		if res[k], err = readUvarint(r); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// readTagResponse parses a TagSum reply's payload: one 16-byte field
+// element.
+func readTagResponse(r *bufio.Reader) (field.Elem, error) {
+	var b [16]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return field.Zero, err
+	}
+	return field.FromBytes(b[:]), nil
+}
+
+func (c *Client) roundTrip(send func() error) error {
+	if err := send(); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return readStatus(c.r)
 }
 
 // WeightedSumContext implements core.ContextNDP over the wire.
@@ -500,28 +612,18 @@ func (c *Client) weightedSumLocked(geo core.Geometry, idx []int, weights []uint6
 	if err != nil {
 		return nil, err
 	}
-	n, err := readUvarint(c.r)
-	if err != nil {
-		return nil, err
-	}
-	if n > maxVectorLen {
-		return nil, fmt.Errorf("remote: oversized response (%d values)", n)
-	}
-	res := make([]uint64, n)
-	for k := range res {
-		if res[k], err = readUvarint(c.r); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return readSumResponse(c.r)
 }
 
-// WeightedSum implements core.NDP over the wire; it panics on transport
-// errors (use WeightedSumContext for graceful degradation).
+// WeightedSum implements core.NDP over the wire. The error-free signature
+// cannot surface failures, so a failed call returns nil (recorded via Err);
+// the core query paths turn that into a typed "ndp returned 0 columns"
+// error instead of a silent wrong result.
 func (c *Client) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
 	res, err := c.WeightedSumContext(context.Background(), geo, idx, weights)
 	if err != nil {
-		panic(fmt.Sprintf("remote: WeightedSum: %v", err))
+		c.setErr(fmt.Errorf("remote: WeightedSum: %w", err))
+		return nil
 	}
 	return res
 }
@@ -558,21 +660,35 @@ func (c *Client) tagSumLocked(geo core.Geometry, idx []int, weights []uint64) (f
 	if err != nil {
 		return field.Zero, err
 	}
-	var b [16]byte
-	if _, err := io.ReadFull(c.r, b[:]); err != nil {
-		return field.Zero, err
-	}
-	return field.FromBytes(b[:]), nil
+	return readTagResponse(c.r)
 }
 
-// TagSum implements core.NDP over the wire; it panics on transport errors
-// (use TagSumContext for graceful degradation).
+// TagSum implements core.NDP over the wire. The error-free signature
+// cannot surface failures, so a failed call returns field.Zero (recorded
+// via Err); a query verifying against it is rejected by the MAC check
+// rather than silently accepted.
 func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
 	tag, err := c.TagSumContext(context.Background(), geo, idx, weights)
 	if err != nil {
-		panic(fmt.Sprintf("remote: TagSum: %v", err))
+		c.setErr(fmt.Errorf("remote: TagSum: %w", err))
+		return field.Zero
 	}
 	return tag
+}
+
+// PingContext performs a no-op round trip — the health check used by the
+// reconnecting pool's dial path and the circuit breaker's half-open probe.
+func (c *Client) PingContext(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done, err := c.arm(ctx)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return c.finish(ctx, c.roundTrip(func() error {
+		return c.w.WriteByte(opPing)
+	}))
 }
 
 // WriteBlobContext provisions ciphertext bytes into the server's memory
@@ -634,37 +750,61 @@ func (c *Client) WriteECC(dataAddr uint64, tag []byte) error {
 	return c.WriteECCContext(context.Background(), dataAddr, tag)
 }
 
+// Transport is the client-side contract the trusted engine needs from an
+// NDP connection: the context-aware compute operations plus the
+// provisioning writes. It is satisfied by *Client (one connection, fails
+// fast once poisoned) and *ReliableClient (reconnecting pool + retry +
+// circuit breaker).
+type Transport interface {
+	core.ContextNDP
+	WriteBlobContext(ctx context.Context, addr uint64, data []byte) error
+	WriteECCContext(ctx context.Context, dataAddr uint64, tag []byte) error
+	Close() error
+}
+
+var _ Transport = (*Client)(nil)
+
 // ProvisionContext encrypts a table locally (trusted side) and ships only
 // the resulting ciphertext and tags to the server — the plaintext never
 // crosses the wire. The context bounds every transfer. Returns the
 // processor-side table handle.
-func ProvisionContext(ctx context.Context, c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+func ProvisionContext(ctx context.Context, c Transport, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+	tab, _, err := ProvisionMirrored(ctx, c, scheme, geo, version, rows)
+	return tab, err
+}
+
+// ProvisionMirrored is ProvisionContext additionally returning the TEE-side
+// staging space the ciphertext was encrypted into. The staging space never
+// leaves the trusted side, so it can serve as a trusted mirror for local
+// fallback recomputation when the NDP becomes unreachable or starts failing
+// verification — at the cost of keeping one in-TEE copy of the ciphertext.
+func ProvisionMirrored(ctx context.Context, c Transport, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, *memory.Space, error) {
 	staging := memory.NewSpace()
 	tab, err := scheme.EncryptTable(staging, geo, version, rows)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	span := int(geo.Layout.DataEnd() - geo.Layout.Base)
 	if err := c.WriteBlobContext(ctx, geo.Layout.Base, staging.Snapshot(geo.Layout.Base, span)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	switch geo.Layout.Placement {
 	case memory.TagSep:
 		n := geo.Layout.NumRows * memory.TagBytes
 		if err := c.WriteBlobContext(ctx, geo.Layout.TagBase, staging.Snapshot(geo.Layout.TagBase, n)); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	case memory.TagECC:
 		for i := 0; i < geo.Layout.NumRows; i++ {
 			if err := c.WriteECCContext(ctx, geo.Layout.RowAddr(i), staging.ReadECC(geo.Layout.RowAddr(i), memory.TagBytes)); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	return tab, nil
+	return tab, staging, nil
 }
 
 // Provision is ProvisionContext without a deadline.
-func Provision(c *Client, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
+func Provision(c Transport, scheme *core.Scheme, geo core.Geometry, version uint64, rows [][]uint64) (*core.Table, error) {
 	return ProvisionContext(context.Background(), c, scheme, geo, version, rows)
 }

@@ -199,12 +199,17 @@ func TestRemoteServerRejectsBadQueries(t *testing.T) {
 	_, _, addr := startServer(t)
 	client := dial(t, addr)
 	geo := testGeometry(memory.TagNone, 4, 32)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range remote query did not panic on the client")
-		}
-	}()
-	client.WeightedSum(geo, []int{99}, []uint64{1}) // row out of range
+	// The legacy error-free wrapper returns nil and records the rejection.
+	if res := client.WeightedSum(geo, []int{99}, []uint64{1}); res != nil {
+		t.Fatalf("out-of-range remote query returned %v, want nil", res)
+	}
+	if err := client.Err(); err == nil {
+		t.Fatal("rejected query left no recorded error")
+	}
+	// A server-reported rejection keeps the stream usable.
+	if !client.Usable() {
+		t.Error("connection poisoned by a semantic rejection")
+	}
 }
 
 func TestRemoteWriteECCValidation(t *testing.T) {

@@ -33,6 +33,12 @@ var (
 	ErrBadGeometry = core.ErrBadGeometry
 	// ErrIndexRange: a query names a row or column outside the table.
 	ErrIndexRange = core.ErrIndexRange
+	// ErrRetriesExhausted: the fault-tolerant transport gave up after its
+	// configured attempts (each failing at the transport level).
+	ErrRetriesExhausted = remote.ErrRetriesExhausted
+	// ErrCircuitOpen: the transport circuit breaker is rejecting calls
+	// until a probe succeeds against the NDP server.
+	ErrCircuitOpen = remote.ErrCircuitOpen
 )
 
 // KeySize is the secret key size in bytes (AES-128).
@@ -53,13 +59,49 @@ type Server = remote.Server
 // with Listen.
 func NewServer(mem *Memory) *Server { return remote.NewServer(mem) }
 
-// RemoteNDP is a client connection to a remote NDP server. Its calls
-// honor context deadlines (see Engine.Provision and Table.Query).
+// RemoteNDP is a single client connection to a remote NDP server. Its
+// calls honor context deadlines (see Engine.Provision and Table.Query),
+// but one transport failure poisons the connection for good — production
+// callers want ReliableNDP.
 type RemoteNDP = remote.Client
 
-// DialNDP connects to a remote NDP server.
+// DialNDP connects to a remote NDP server over one connection.
 func DialNDP(ctx context.Context, addr string) (*RemoteNDP, error) {
 	return remote.DialContext(ctx, addr)
+}
+
+// NDPTransport is any client-side connection to a remote NDP server: a
+// single RemoteNDP connection or a fault-tolerant ReliableNDP.
+type NDPTransport = remote.Transport
+
+// ReliableNDP is a fault-tolerant NDP connection: a reconnecting
+// connection pool with health-checked redials, retry with exponential
+// backoff and jitter for the (idempotent) wire operations, and a circuit
+// breaker that stops hammering a dead server and probes it back to life.
+// Failures surface as ErrRetriesExhausted / ErrCircuitOpen; its Stats
+// method reports attempts, retries, redials, and breaker state.
+type ReliableNDP = remote.ReliableClient
+
+// TransportConfig bundles the fault-tolerance knobs of a ReliableNDP; the
+// zero value selects the documented defaults (4 attempts, 5ms..500ms
+// exponential backoff with 50% jitter, breaker opening after 5 consecutive
+// failures with a 250ms probe interval, 2 warm pooled connections).
+type TransportConfig = remote.ReliableConfig
+
+// RetryPolicy tunes the transport retry loop (see TransportConfig).
+type RetryPolicy = remote.RetryPolicy
+
+// BreakerConfig tunes the transport circuit breaker (see TransportConfig).
+type BreakerConfig = remote.BreakerConfig
+
+// PoolConfig tunes the reconnecting connection pool (see TransportConfig).
+type PoolConfig = remote.PoolConfig
+
+// DialReliableNDP connects to a remote NDP server through the
+// fault-tolerant transport, verifying reachability with one
+// health-checked connection.
+func DialReliableNDP(ctx context.Context, addr string, cfg TransportConfig) (*ReliableNDP, error) {
+	return remote.DialReliable(ctx, addr, cfg)
 }
 
 // verifyMode resolves the engine-level verification policy.
@@ -72,9 +114,10 @@ const (
 )
 
 type config struct {
-	workers   int
-	cacheRows int
-	verify    verifyMode
+	workers         int
+	cacheRows       int
+	verify          verifyMode
+	fallbackVerifyN int // 0 = TEE fallback disabled
 }
 
 // Option configures an Engine.
@@ -92,6 +135,27 @@ func WithParallelism(n int) Option {
 // regeneration. rows <= 0 — the default — disables caching.
 func WithPadCache(rows int) Option {
 	return func(c *config) { c.cacheRows = rows }
+}
+
+// WithFallback enables TEE-side graceful degradation for provisioned
+// tables: Provision keeps the encrypted staging image as a trusted
+// in-TEE mirror, and when the transport fails (circuit open, retries
+// exhausted, connection loss) — or verification rejects results
+// verifyFailures consecutive times (<= 0 selects 3) — the query is
+// recomputed locally by decrypting the mirror, exactly the paper's
+// trusted-processor baseline (Figure 4(b)). Such results carry
+// Result.Degraded = true; they are computed wholly inside the TEE, so
+// they are at least as trustworthy as a verified NDP result even though
+// no MAC check runs. The cost is one in-TEE copy of each provisioned
+// table's ciphertext. Tables made with Encrypt are unaffected: their
+// memory is the adversary's, so it can never serve as a trusted mirror.
+func WithFallback(verifyFailures int) Option {
+	return func(c *config) {
+		if verifyFailures <= 0 {
+			verifyFailures = 3
+		}
+		c.fallbackVerifyN = verifyFailures
+	}
 }
 
 // WithVerification pins the verification policy. Without this option the
@@ -226,15 +290,25 @@ type Table struct {
 	ndp    core.NDP
 	cache  *core.PadCache
 	region string
+
+	// mirror, when non-nil, is the TEE-held ciphertext image enabling
+	// local fallback recomputation (WithFallback + Provision).
+	mirror *Memory
+	// verifyFails counts consecutive verification rejections; crossing
+	// the engine's threshold routes queries to the fallback path.
+	verifyFails atomic.Uint32
+	// degraded counts queries served from the fallback path.
+	degraded atomic.Uint64
 }
 
-func (e *Engine) newTable(tab *core.Table, ndp core.NDP, region string) *Table {
+func (e *Engine) newTable(tab *core.Table, ndp core.NDP, region string, mirror *Memory) *Table {
 	return &Table{
 		eng:    e,
 		tab:    tab,
 		ndp:    ndp,
 		cache:  core.NewPadCache(e.cfg.cacheRows),
 		region: region,
+		mirror: mirror,
 	}
 }
 
@@ -265,13 +339,15 @@ func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, 
 		e.versions.Release(region)
 		return nil, err
 	}
-	return e.newTable(tab, &core.HonestNDP{Mem: mem}, region), nil
+	return e.newTable(tab, &core.HonestNDP{Mem: mem}, region, nil), nil
 }
 
 // Provision encrypts locally and ships only ciphertext and tags to a
 // remote NDP server — plaintext never crosses the wire. The context
-// bounds every transfer. The returned Table queries the remote server.
-func (e *Engine) Provision(ctx context.Context, client *RemoteNDP, spec TableSpec, rows [][]uint64) (*Table, error) {
+// bounds every transfer. The returned Table queries the remote server;
+// with WithFallback, the TEE-side staging image is kept as a trusted
+// mirror for graceful degradation.
+func (e *Engine) Provision(ctx context.Context, client NDPTransport, spec TableSpec, rows [][]uint64) (*Table, error) {
 	geo, err := spec.geometry()
 	if err != nil {
 		return nil, err
@@ -280,12 +356,16 @@ func (e *Engine) Provision(ctx context.Context, client *RemoteNDP, spec TableSpe
 	if err != nil {
 		return nil, err
 	}
-	tab, err := remote.ProvisionContext(ctx, client, e.scheme, geo, v, rows)
+	tab, staging, err := remote.ProvisionMirrored(ctx, client, e.scheme, geo, v, rows)
 	if err != nil {
 		e.versions.Release(region)
 		return nil, err
 	}
-	return e.newTable(tab, client, region), nil
+	var mirror *Memory
+	if e.cfg.fallbackVerifyN > 0 {
+		mirror = staging
+	}
+	return e.newTable(tab, client, region, mirror), nil
 }
 
 // Close releases the table's version-manager slot (the version value
@@ -326,6 +406,13 @@ type Result struct {
 	// Verified reports whether the encrypted-MAC check ran (and passed —
 	// a failed check returns ErrVerification instead of a Result).
 	Verified bool
+	// Degraded reports that the NDP could not serve this query (transport
+	// down, retries exhausted, circuit open, or repeated verification
+	// failures) and the result was recomputed inside the TEE from the
+	// trusted ciphertext mirror (WithFallback). Degraded results carry
+	// Verified = false — no MAC check ran — but are computed wholly on the
+	// trusted side, so they are at least as trustworthy as verified ones.
+	Degraded bool
 }
 
 // Query runs one request through the concurrent engine: the NDP computes
@@ -346,11 +433,48 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 	}
 	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify}
 	values, err := t.tab.QueryCtx(ctx, t.ndp, req.Idx, req.Weights, opts)
-	if err != nil {
+	if err == nil {
+		if verify {
+			t.verifyFails.Store(0)
+		}
+		return Result{Values: values, Verified: verify}, nil
+	}
+	if !t.shouldFallback(err) {
 		return Result{}, err
 	}
-	return Result{Values: values, Verified: verify}, nil
+	values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, req.Idx, req.Weights)
+	if ferr != nil {
+		return Result{}, fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, err)
+	}
+	t.degraded.Add(1)
+	return Result{Values: values, Degraded: true}, nil
 }
+
+// shouldFallback classifies a failed NDP query: semantic rejections and
+// the caller's own cancellation never degrade; verification failures
+// degrade only once the configured consecutive run is reached (the NDP is
+// then presumed compromised or corrupt); everything else — retries
+// exhausted, circuit open, poisoned connections, transport panics — is a
+// transport-class failure served from the mirror.
+func (t *Table) shouldFallback(err error) bool {
+	if t.mirror == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrVerification) {
+		return int(t.verifyFails.Add(1)) >= t.eng.cfg.fallbackVerifyN
+	}
+	if errors.Is(err, ErrIndexRange) || errors.Is(err, ErrNoTags) || errors.Is(err, ErrBadGeometry) {
+		return false
+	}
+	return true
+}
+
+// DegradedCount reports how many of the table's queries were served from
+// the TEE fallback path rather than the NDP.
+func (t *Table) DegradedCount() uint64 { return t.degraded.Load() }
 
 // resolveVerify merges the engine policy, the table's tag placement, and
 // the per-request opt-out.
@@ -376,11 +500,33 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	// Remote transports have no element op on the wire; with a mirror the
+	// TEE serves element queries locally instead of failing them.
+	if t.mirror != nil {
+		if _, isRemote := t.ndp.(core.ContextNDP); isRemote {
+			return t.queryElemFallback(ctx, req, nil)
+		}
+	}
 	v, err := queryElemRecover(t.tab, t.ndp, req)
-	if err != nil {
+	if err == nil {
+		return Result{Values: []uint64{v}}, nil
+	}
+	if !t.shouldFallback(err) {
 		return Result{}, err
 	}
-	return Result{Values: []uint64{v}}, nil
+	return t.queryElemFallback(ctx, req, err)
+}
+
+func (t *Table) queryElemFallback(ctx context.Context, req Request, cause error) (Result, error) {
+	v, err := t.tab.LocalWeightedSumElem(ctx, t.mirror, req.Idx, req.Cols, req.Weights)
+	if err != nil {
+		if cause != nil {
+			return Result{}, fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", err, cause)
+		}
+		return Result{}, err
+	}
+	t.degraded.Add(1)
+	return Result{Values: []uint64{v}, Degraded: true}, nil
 }
 
 // queryElemRecover converts NDP transport panics (the legacy failure mode
