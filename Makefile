@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench vet fuzz examples experiments quick clean
+.PHONY: all build test test-race bench bench-json vet fuzz examples experiments quick clean
 
 all: build vet test
 
@@ -18,8 +18,22 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# One parameterized bench entry point: `make bench` prints to stdout;
+# `make bench BENCHOUT=file.txt` also tees the artifact; BENCHFLAGS
+# overrides the selection (e.g. BENCHFLAGS='-bench OTPWeightedSum -benchmem').
+BENCHFLAGS ?= -bench=. -benchmem
 bench:
-	$(GO) test -bench=. -benchmem ./...
+ifdef BENCHOUT
+	$(GO) test $(BENCHFLAGS) ./... 2>&1 | tee $(BENCHOUT)
+else
+	$(GO) test $(BENCHFLAGS) ./...
+endif
+
+# Machine-readable benchmark snapshot for regression tracking: runs the
+# internal/perf suite and writes BENCH_<date>.json (committed snapshots
+# document each optimization PR's before/after).
+bench-json:
+	$(GO) run ./cmd/secndp-bench -perf -o BENCH_$$(date +%F).json
 
 # Fuzz the wire-protocol parsers briefly (go fuzzing accepts exactly one
 # target per invocation).
@@ -54,7 +68,7 @@ quick:
 # The artifacts referenced by EXPERIMENTS.md.
 artifacts:
 	$(GO) test ./... 2>&1 | tee test_output.txt
-	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(MAKE) bench BENCHOUT=bench_output.txt
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	secndp-bench -exp table3     # just Table III
 //	secndp-bench -quick -exp fig7
 //	secndp-bench -list
+//	secndp-bench -perf -o BENCH_2026-01-01.json   # regression microbenchmarks
 package main
 
 import (
@@ -15,20 +16,46 @@ import (
 	"os"
 
 	"secndp/internal/experiments"
+	"secndp/internal/perf"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list); empty = all")
-		quick  = flag.Bool("quick", false, "reduced workload sizes for a fast run")
-		seed   = flag.Int64("seed", 1, "trace and page-mapping seed")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "text", "output format: text | csv")
+		exp     = flag.String("exp", "", "experiment id (see -list); empty = all")
+		quick   = flag.Bool("quick", false, "reduced workload sizes for a fast run")
+		seed    = flag.Int64("seed", 1, "trace and page-mapping seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		format  = flag.String("format", "text", "output format: text | csv")
+		perfRun = flag.Bool("perf", false, "run the benchmark-regression suite and emit JSON")
+		outPath = flag.String("o", "", "output file for -perf JSON (default stdout)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "secndp-bench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	if *perfRun {
+		rep, err := perf.Run(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {

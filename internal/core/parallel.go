@@ -50,12 +50,16 @@ func (o QueryOptions) workerCount(items int) int {
 const ctxCheckStride = 64
 
 // otpWeightedSumRange accumulates weights[k]·pad(idx[k]) for k in [lo,hi)
-// into acc — one worker's shard of OTPWeightedSum. Pad blocks are generated
-// into a reused buffer and unpacked into a reused scratch vector, so the
-// steady state allocates nothing (cache insertions excepted).
+// into acc — one worker's shard of OTPWeightedSum. The uncached path is the
+// fused generate-unpack-multiply-accumulate kernel, allocation-free in the
+// steady state; only cache misses that must populate the cache materialize
+// an unpacked pad vector.
 func (t *Table) otpWeightedSumRange(ctx context.Context, idx []int, weights []uint64, lo, hi int, cache *PadCache, acc []uint64) error {
-	buf := make([]byte, t.geo.Params.RowBytes())
-	scratch := make([]uint64, t.geo.Params.M)
+	we := t.geo.Params.We
+	var buf []byte // staging for cache insertion; unused on the fused path
+	if cache != nil {
+		buf = make([]byte, t.geo.Params.RowBytes())
+	}
 	for k := lo; k < hi; k++ {
 		if (k-lo)%ctxCheckStride == 0 && ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -63,23 +67,17 @@ func (t *Table) otpWeightedSumRange(ctx context.Context, idx []int, weights []ui
 			}
 		}
 		i := idx[k]
-		var pads []uint64
 		if cache != nil {
-			if p, ok := cache.get(i); ok {
-				pads = p
-			}
-		}
-		if pads == nil {
-			t.scheme.gen.PadsInto(buf, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
-			if cache != nil {
+			pads, ok := cache.get(i)
+			if !ok {
+				t.scheme.gen.PadsInto(buf, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
 				pads = t.r.UnpackElems(buf)
 				cache.put(i, pads)
-			} else {
-				t.r.UnpackElemsInto(scratch, buf)
-				pads = scratch
 			}
+			t.r.ScaleAccum(acc, weights[k], pads)
+			continue
 		}
-		t.r.ScaleAccum(acc, weights[k], pads)
+		t.scheme.gen.PadScaleAccum(acc, weights[k], we, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
 	}
 	return nil
 }

@@ -15,7 +15,9 @@ import (
 // padRow regenerates the OTP share of row i — the processor's arithmetic
 // share of the secret, recomputed from (key, address, version) with zero
 // memory traffic. This is what makes SecNDP cheaper than classic MPC: the
-// TEE's share never needs to be stored or fetched.
+// TEE's share never needs to be stored or fetched. Hot paths use the fused
+// kernels instead of materializing this vector; padRow remains for the
+// pad cache, which stores rows in unpacked form.
 func (t *Table) padRow(i int) []uint64 {
 	addr := t.geo.Layout.RowAddr(i)
 	raw := t.scheme.gen.Pads(otp.DomainData, addr, t.version, t.geo.Params.RowBytes()/otp.BlockBytes)
@@ -24,14 +26,17 @@ func (t *Table) padRow(i int) []uint64 {
 
 // OTPWeightedSum computes E_res[j] = Σ_k weights[k] · E[idx[k]][j] mod 2^we
 // (Algorithm 4 lines 8–14) — the OTP PU mirroring the NDP's operation on
-// the processor's shares.
+// the processor's shares. Each row goes through the fused
+// generate-unpack-multiply-accumulate kernel: the pad keystream is consumed
+// as it is produced, never stored or unpacked into a vector.
 func (t *Table) OTPWeightedSum(idx []int, weights []uint64) ([]uint64, error) {
 	if len(idx) != len(weights) {
 		return nil, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
 	}
 	acc := make([]uint64, t.geo.Params.M)
+	we := t.geo.Params.We
 	for k, i := range idx {
-		t.r.ScaleAccum(acc, weights[k], t.padRow(i))
+		t.scheme.gen.PadScaleAccum(acc, weights[k], we, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
 	}
 	return acc, nil
 }
@@ -104,9 +109,9 @@ func (t *Table) Verify(idx []int, weights []uint64, res []uint64, cTres field.El
 // (Figure 4(b)) where the processor pulls ciphertext over the bus and XORs
 // (here: adds) the pad. Used by baselines and tests.
 func (t *Table) DecryptRow(mem *memory.Space, i int) []uint64 {
-	ct := t.r.UnpackElems(t.geo.Layout.ReadRow(mem, i))
-	res := make([]uint64, len(ct))
-	t.r.AddVec(res, ct, t.padRow(i))
+	ct := t.geo.Layout.ReadRow(mem, i)
+	res := make([]uint64, t.geo.Params.M)
+	t.scheme.gen.PadAddUnpack(res, ct, t.geo.Params.We, otp.DomainData, t.geo.Layout.RowAddr(i), t.version)
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"secndp/internal/memory"
+	"secndp/internal/otp"
 )
 
 // Reencrypt refreshes a table in place under a new version: every row is
@@ -30,10 +31,19 @@ func (t *Table) ReencryptTo(dst *Scheme, mem *memory.Space, newVersion uint64) (
 	if dst == t.scheme && newVersion == t.version {
 		return nil, fmt.Errorf("core: re-encryption under the same key must change the version (still %d)", newVersion)
 	}
-	// Decrypt every row with the old handle, in memory order.
+	// Decrypt every row with the old handle, in memory order: one
+	// sequential pad keystream over the whole table, skipping the tag gap
+	// between rows, with the fused add-unpack kernel per row.
 	rows := make([][]uint64, t.geo.Layout.NumRows)
+	gap := int(t.geo.Layout.RowStride()) - t.geo.Params.RowBytes()
+	ks := t.scheme.gen.Keystream(otp.DomainData, t.geo.Layout.Base, t.version)
 	for i := range rows {
-		rows[i] = t.DecryptRow(mem, i)
+		if i > 0 {
+			ks.Skip(gap)
+		}
+		row := make([]uint64, t.geo.Params.M)
+		ks.AddUnpack(row, t.geo.Layout.ReadRow(mem, i), t.geo.Params.We)
+		rows[i] = row
 	}
 	// Verify-capable tables: check each row against its tag before
 	// committing to re-encrypt, so corruption cannot be laundered into a

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+// A PadCache is bound to one (table, version) pair: after re-encryption
+// the cached pad vectors belong to the dead version, and using them on the
+// refreshed table must never decrypt correctly. These tests pin both halves
+// of that contract — the stale cache is caught by verification, and a fresh
+// cache restores correct operation.
+
+func TestStaleCacheAfterReencryptFailsVerification(t *testing.T) {
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagSep, 64, 32, 32)
+	rng := rand.New(rand.NewSource(41))
+	rows := boundedRows(rng, 64, 32, 1<<20)
+	tab, err := s.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp := &HonestNDP{Mem: mem}
+
+	idx := []int{3, 17, 42, 3}
+	w := []uint64{1, 2, 3, 4}
+
+	// Populate the cache under version 1 and prove it serves hits.
+	cache := NewPadCache(64)
+	opts := QueryOptions{Cache: cache, Verify: true}
+	want, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Fatal("cache never hit; test is not exercising cached pads")
+	}
+
+	// Re-encrypt under a new version. Memory now holds ciphertext whose
+	// pads the cache does not have.
+	tab2, err := tab.Reencrypt(mem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale cache's pads decrypt the new ciphertext into garbage; the
+	// MAC check must reject it rather than return silently wrong data.
+	if _, err := tab2.QueryCtx(context.Background(), ndp, idx, w, opts); !errors.Is(err, ErrVerification) {
+		t.Fatalf("stale version-1 cache on re-encrypted table: err = %v, want ErrVerification", err)
+	}
+
+	// A fresh cache bound to the new version works and reproduces the
+	// pre-rotation result.
+	fresh := QueryOptions{Cache: NewPadCache(64), Verify: true}
+	got, err := tab2.QueryCtx(context.Background(), ndp, idx, w, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("column %d: post-rotation result %d != pre-rotation %d", j, got[j], want[j])
+		}
+	}
+}
+
+func TestStaleCacheAfterReencryptCorruptsUnverifiedQueries(t *testing.T) {
+	// Without verification nothing can catch the stale pads — the query
+	// silently returns garbage. This test documents that failure mode (it
+	// is why the facade must discard the cache on rotation, not merely
+	// prefer not to reuse it).
+	s := newTestScheme(t)
+	mem := memory.NewSpace()
+	geo := mkGeometry(memory.TagNone, 16, 8, 32)
+	rng := rand.New(rand.NewSource(42))
+	rows := boundedRows(rng, 16, 8, 1<<20)
+	tab, err := s.EncryptTable(mem, geo, 7, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp := &HonestNDP{Mem: mem}
+	idx := []int{5}
+	w := []uint64{1}
+
+	cache := NewPadCache(16)
+	opts := QueryOptions{Cache: cache}
+	want, err := tab.QueryCtx(context.Background(), ndp, idx, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab2, err := tab.Reencrypt(mem, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab2.QueryCtx(context.Background(), ndp, idx, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range want {
+		if got[j] != want[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("stale cache produced the correct row — cache keys must not be colliding across versions in this setup")
+	}
+
+	// Dropping the stale cache restores correctness.
+	got, err = tab2.QueryCtx(context.Background(), ndp, idx, w, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("column %d: cache-free query after rotation %d != original %d", j, got[j], want[j])
+		}
+	}
+}

@@ -61,22 +61,28 @@ func (s *Scheme) EncryptTableFrom(mem *memory.Space, geo Geometry, version uint6
 		return nil, fmt.Errorf("core: version %d out of range [1, %d]", version, otp.MaxVersion)
 	}
 	t := s.openTable(geo, version)
-	r := t.r
 	m := geo.Params.M
+	we := geo.Params.We
 	rowBytes := geo.Params.RowBytes()
-	ct := make([]uint64, m)
+	// One sequential pad keystream covers the whole table: rows are laid
+	// out at a constant stride, so the stream just skips the tag gap (if
+	// any) between consecutive rows. The CTR setup cost is paid once and
+	// the per-row encrypt is the fused reduce-subtract-pack kernel.
+	gap := int(geo.Layout.RowStride()) - rowBytes
+	ks := s.gen.Keystream(otp.DomainData, geo.Layout.Base, version)
+	ct := make([]byte, rowBytes)
 	for i := 0; i < geo.Layout.NumRows; i++ {
 		row := rowFn(i)
 		if len(row) != m {
 			return nil, fmt.Errorf("core: row %d has %d elements, want %d", i, len(row), m)
 		}
+		if i > 0 {
+			ks.Skip(gap)
+		}
 		addr := geo.Layout.RowAddr(i)
 		// Algorithm 1: c_j = p_j ⊖ e_j, pads drawn per 128-bit chunk.
-		pads := r.UnpackElems(s.gen.Pads(otp.DomainData, addr, version, rowBytes/otp.BlockBytes))
-		for j := 0; j < m; j++ {
-			ct[j] = r.Sub(r.Reduce(row[j]), pads[j])
-		}
-		geo.Layout.WriteRow(mem, i, r.PackElems(ct))
+		ks.SubPack(ct, row, we)
+		geo.Layout.WriteRow(mem, i, ct)
 
 		if geo.Layout.Placement != memory.TagNone {
 			// Algorithm 2: T_i = h_K(P_i); Algorithm 3: C_Ti = T_i - E_Ti mod q.
@@ -129,4 +135,3 @@ func (t *Table) Geometry() Geometry { return t.geo }
 
 // Version returns the version number the table was encrypted under.
 func (t *Table) Version() uint64 { return t.version }
-

@@ -131,14 +131,13 @@ func (ma *Machine) Issue(inst SecNDPInst, seedAddr uint64) error {
 	}); err != nil {
 		return err
 	}
-	// Trusted side: regenerate the row's pads and mirror.
-	rowBytes := inst.VSize * int(inst.DSize) / 8
-	pads := ma.r.UnpackElems(ma.gen.Pads(otp.DomainData, inst.Addr, inst.Version, rowBytes/otp.BlockBytes))
+	// Trusted side: regenerate the row's pads and mirror, fused into one
+	// pass over the keystream (the OTP PU never materializes pad vectors).
 	w := inst.Imm
 	if inst.Op == OpACC {
 		w = 1
 	}
-	ma.r.ScaleAccum(ma.otpRegs[reg], w, pads)
+	ma.gen.PadScaleAccum(ma.otpRegs[reg], w, ma.r.Width(), otp.DomainData, inst.Addr, inst.Version)
 
 	if inst.Verify {
 		// Untrusted side accumulates the encrypted tag; trusted side the

@@ -233,10 +233,7 @@ func (e *Engine) WriteLine(i int, plain []byte) error {
 	addr := e.lineAddr(i)
 
 	ct := make([]byte, LineBytes)
-	pads := e.gen.Pads(otp.DomainData, addr, v, LineBytes/otp.BlockBytes)
-	for b := range ct {
-		ct[b] = plain[b] ^ pads[b]
-	}
+	e.gen.XORPads(ct, plain, otp.DomainData, addr, v)
 	e.mem.Write(addr, ct)
 	m := e.mac(plain, addr, v)
 	e.mem.Write(e.macBase+uint64(i)*macBytes, m[:])
@@ -261,11 +258,8 @@ func (e *Engine) ReadLine(i int) ([]byte, error) {
 	}
 	addr := e.lineAddr(i)
 	ct := e.mem.Read(addr, LineBytes)
-	pads := e.gen.Pads(otp.DomainData, addr, v, LineBytes/otp.BlockBytes)
 	plain := make([]byte, LineBytes)
-	for b := range plain {
-		plain[b] = ct[b] ^ pads[b]
-	}
+	e.gen.XORPads(plain, ct, otp.DomainData, addr, v)
 	want := e.mac(plain, addr, v)
 	var got [macBytes]byte
 	copy(got[:], e.mem.Read(e.macBase+uint64(i)*macBytes, macBytes))

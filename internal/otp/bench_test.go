@@ -1,0 +1,99 @@
+package otp
+
+import "testing"
+
+// Benchmarks for the keystream engine. PadsInto sizes straddle the
+// per-block/CTR crossover; the fused and sequential benchmarks cover the
+// pad-apply kernels that back every hot query and encryption path.
+//
+//	go test -bench 'PadsInto|Fused|Keystream' -benchmem ./internal/otp
+
+func benchGen(b *testing.B) *Generator {
+	b.Helper()
+	g, err := NewGenerator(katKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchPadsInto(b *testing.B, n int) {
+	g := benchGen(b)
+	dst := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PadsInto(dst, DomainData, uint64(i%1024)*uint64(n), 1)
+	}
+}
+
+func BenchmarkPadsInto64(b *testing.B)  { benchPadsInto(b, 64) }
+func BenchmarkPadsInto256(b *testing.B) { benchPadsInto(b, 256) }
+func BenchmarkPadsInto1K(b *testing.B)  { benchPadsInto(b, 1024) }
+func BenchmarkPadsInto4K(b *testing.B)  { benchPadsInto(b, 4096) }
+
+// BenchmarkFusedScaleAccum256 is one OTP-PU row step (Algorithm 4 line 11)
+// over a 256-byte row of 32-bit elements: keystream generation plus fused
+// unpack-multiply-accumulate.
+func BenchmarkFusedScaleAccum256(b *testing.B) {
+	g := benchGen(b)
+	acc := make([]uint64, 64)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PadScaleAccum(acc, 3, 32, DomainData, uint64(i%1024)*256, 1)
+	}
+}
+
+// BenchmarkKeystreamSubPack is the steady-state streaming encrypt kernel
+// (Algorithm 1 per row over one sequential stream). Expected 0 allocs/op:
+// the CTR state is paid once outside the loop and scratch is pooled.
+func BenchmarkKeystreamSubPack(b *testing.B) {
+	g := benchGen(b)
+	row := make([]uint64, 64)
+	for j := range row {
+		row[j] = uint64(j) * 0x9E37
+	}
+	out := make([]byte, 256)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ks := g.Keystream(DomainData, 0, 1)
+	for i := 0; i < b.N; i++ {
+		if ks.Addr()+256 > MaxAddr-256 {
+			ks = g.Keystream(DomainData, 0, 1)
+		}
+		ks.SubPack(out, row, 32)
+	}
+}
+
+// BenchmarkKeystreamAddUnpack is the matching streaming decrypt kernel
+// (bulk decryption / re-encryption read side).
+func BenchmarkKeystreamAddUnpack(b *testing.B) {
+	g := benchGen(b)
+	ct := make([]byte, 256)
+	dst := make([]uint64, 64)
+	b.SetBytes(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ks := g.Keystream(DomainData, 0, 1)
+	for i := 0; i < b.N; i++ {
+		if ks.Addr()+256 > MaxAddr-256 {
+			ks = g.Keystream(DomainData, 0, 1)
+		}
+		ks.AddUnpack(dst, ct, 32)
+	}
+}
+
+func BenchmarkElemPad(b *testing.B) {
+	g := benchGen(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.ElemPad(uint64(i%4096)*4, 1, 32)
+	}
+	_ = sink
+}

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package otp
+
+// ctrKeystream fills dst[0:16·nblocks] with AES-128-CTR keystream: block i
+// is E(rk, iv+i) with iv incremented as a 128-bit big-endian integer.
+// rk points at the 176-byte expanded encryption schedule, iv at the
+// 16-byte initial counter block. Implemented in ctr_amd64.s with
+// eight-way interleaved AES-NI rounds.
+//
+// The counter's low 64 bits must not wrap within the run — guaranteed
+// here because the chunk index occupying them is at most 34 bits wide
+// (checkPadRange bounds every run to the 38-bit address space).
+//
+//go:noescape
+func ctrKeystream(rk *byte, iv *byte, dst *byte, nblocks int)
+
+// cpuidFeatECX returns ECX of CPUID leaf 1 (feature flags).
+func cpuidFeatECX() uint64
+
+// supportsNativeCTR reports whether the CPU has the instructions the
+// native keystream uses: AES-NI (ECX bit 25) and SSE4.1 for PINSRQ
+// (ECX bit 19).
+func supportsNativeCTR() bool {
+	ecx := cpuidFeatECX()
+	return ecx&(1<<25) != 0 && ecx&(1<<19) != 0
+}

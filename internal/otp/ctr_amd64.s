@@ -1,0 +1,153 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AES-128-CTR keystream with eight-way interleaved AES-NI rounds.
+//
+// Register use:
+//   AX  expanded round keys (11 × 16 bytes)
+//   DI  destination
+//   CX  blocks remaining
+//   R8  counter-block bytes 0..7 in memory order (domain ‖ version) — fixed
+//   R9  block counter (bytes 8..15 byte-swapped to an integer)
+//   DX  scratch for the byte-swapped counter
+//   X0-X7  state blocks
+//   X8  current round key
+//
+// The counter increments only in its low 64 bits; callers guarantee those
+// never wrap (the chunk index is at most 34 bits).
+
+// Build one counter block: xreg = R8 ‖ bswap64(R9 + i).
+#define CTRBLOCK(i, xreg) \
+	LEAQ   i(R9), DX;      \
+	BSWAPQ DX;             \
+	MOVQ   R8, xreg;       \
+	PINSRQ $1, DX, xreg
+
+// One AES round over all eight state blocks with the round key at off(AX).
+#define AESRND8(off) \
+	MOVOU  off(AX), X8; \
+	AESENC X8, X0;      \
+	AESENC X8, X1;      \
+	AESENC X8, X2;      \
+	AESENC X8, X3;      \
+	AESENC X8, X4;      \
+	AESENC X8, X5;      \
+	AESENC X8, X6;      \
+	AESENC X8, X7
+
+// func ctrKeystream(rk *byte, iv *byte, dst *byte, nblocks int)
+TEXT ·ctrKeystream(SB), NOSPLIT, $0-32
+	MOVQ rk+0(FP), AX
+	MOVQ iv+8(FP), BX
+	MOVQ dst+16(FP), DI
+	MOVQ nblocks+24(FP), CX
+
+	MOVQ   0(BX), R8
+	MOVQ   8(BX), R9
+	BSWAPQ R9
+
+loop8:
+	CMPQ CX, $8
+	JB   tail
+
+	CTRBLOCK(0, X0)
+	CTRBLOCK(1, X1)
+	CTRBLOCK(2, X2)
+	CTRBLOCK(3, X3)
+	CTRBLOCK(4, X4)
+	CTRBLOCK(5, X5)
+	CTRBLOCK(6, X6)
+	CTRBLOCK(7, X7)
+	ADDQ $8, R9
+
+	// Round 0: whitening.
+	MOVOU 0(AX), X8
+	PXOR  X8, X0
+	PXOR  X8, X1
+	PXOR  X8, X2
+	PXOR  X8, X3
+	PXOR  X8, X4
+	PXOR  X8, X5
+	PXOR  X8, X6
+	PXOR  X8, X7
+
+	AESRND8(16)
+	AESRND8(32)
+	AESRND8(48)
+	AESRND8(64)
+	AESRND8(80)
+	AESRND8(96)
+	AESRND8(112)
+	AESRND8(128)
+	AESRND8(144)
+
+	MOVOU       160(AX), X8
+	AESENCLAST  X8, X0
+	AESENCLAST  X8, X1
+	AESENCLAST  X8, X2
+	AESENCLAST  X8, X3
+	AESENCLAST  X8, X4
+	AESENCLAST  X8, X5
+	AESENCLAST  X8, X6
+	AESENCLAST  X8, X7
+
+	MOVOU X0, 0(DI)
+	MOVOU X1, 16(DI)
+	MOVOU X2, 32(DI)
+	MOVOU X3, 48(DI)
+	MOVOU X4, 64(DI)
+	MOVOU X5, 80(DI)
+	MOVOU X6, 96(DI)
+	MOVOU X7, 112(DI)
+	ADDQ  $128, DI
+	SUBQ  $8, CX
+	JMP   loop8
+
+tail:
+	TESTQ CX, CX
+	JE    done
+
+tailloop:
+	CTRBLOCK(0, X0)
+	ADDQ $1, R9
+
+	MOVOU      0(AX), X8
+	PXOR       X8, X0
+	MOVOU      16(AX), X8
+	AESENC     X8, X0
+	MOVOU      32(AX), X8
+	AESENC     X8, X0
+	MOVOU      48(AX), X8
+	AESENC     X8, X0
+	MOVOU      64(AX), X8
+	AESENC     X8, X0
+	MOVOU      80(AX), X8
+	AESENC     X8, X0
+	MOVOU      96(AX), X8
+	AESENC     X8, X0
+	MOVOU      112(AX), X8
+	AESENC     X8, X0
+	MOVOU      128(AX), X8
+	AESENC     X8, X0
+	MOVOU      144(AX), X8
+	AESENC     X8, X0
+	MOVOU      160(AX), X8
+	AESENCLAST X8, X0
+
+	MOVOU X0, 0(DI)
+	ADDQ  $16, DI
+	DECQ  CX
+	JNZ   tailloop
+
+done:
+	RET
+
+// func cpuidFeatECX() uint64
+TEXT ·cpuidFeatECX(SB), NOSPLIT, $0-8
+	MOVL  $1, AX
+	XORL  CX, CX
+	CPUID
+	MOVL  CX, CX
+	MOVQ  CX, ret+0(FP)
+	RET

@@ -9,6 +9,12 @@
 // (§V-A). The three domains keep the data pads (Alg. 1), the checksum seed
 // s (Alg. 2) and the tag pads (Alg. 3) cryptographically independent even
 // when addresses collide.
+//
+// The counter block is laid out so that the pads of consecutive 16-byte
+// chunks form an exact AES-CTR keystream (the chunk index occupies the
+// low-order counter bytes). Multi-block pad runs therefore go through the
+// standard library's hardware-pipelined CTR implementation instead of one
+// serialized single-block encryption per chunk — see keystream.go.
 package otp
 
 import (
@@ -49,9 +55,14 @@ const MaxAddr = uint64(1)<<38 - 1
 const MaxVersion = uint64(1)<<56 - 1
 
 // Generator produces OTP blocks under a fixed secret key. It is safe for
-// concurrent use: cipher.Block is stateless for encryption.
+// concurrent use: cipher.Block is stateless for encryption, and the native
+// keystream (aesctr.go) is stateless by construction.
 type Generator struct {
 	block cipher.Block
+	// rk is the expanded AES-128 schedule for the native CTR fast path;
+	// valid only when native is true (AES-NI present on amd64).
+	rk     roundKeyBytes
+	native bool
 }
 
 // NewGenerator builds a Generator from a w_K = 128-bit secret key.
@@ -63,18 +74,32 @@ func NewGenerator(key []byte) (*Generator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("otp: %w", err)
 	}
-	return &Generator{block: b}, nil
+	g := &Generator{block: b}
+	if supportsNativeCTR() {
+		expandKey128(key, &g.rk)
+		g.native = true
+	}
+	return g, nil
 }
 
 // counterBlock assembles the 16-byte cipher input D ‖ addr ‖ v:
 //
-//	byte 0      : D in the top 2 bits, top 6 bits of addr below
-//	bytes 1..5  : remaining 32 bits of the 38-bit address (big endian)
-//	byte 5..8   : zero pad
-//	bytes 9..15 : 56-bit version (big endian)
+//	byte 0      : D in the top 2 bits, two zero bits, then the low 4 bits
+//	              of addr (the byte offset within its 16-byte chunk)
+//	bytes 1..7  : 56-bit version (big endian)
+//	bytes 8..15 : addr >> 4, the 34-bit chunk index (big endian)
 //
 // Layout detail is an implementation choice; the security argument only
-// needs (D, addr, v) to be injective into the block, which this is.
+// needs (D, addr, v) to be injective into the block, which this is: byte 0
+// recovers D and addr's low nibble, bytes 1..7 recover v, bytes 8..15
+// recover addr's chunk index.
+//
+// Placing the chunk index in the low-order bytes makes the pads of
+// consecutive chunks (addr, addr+16, addr+32, …) an exact AES-CTR
+// keystream under the IV counterBlock(d, addr, v): CTR increments the
+// block counter by one per 16 bytes, which is precisely the chunk-index
+// step. The index is 34 bits, so stepping through the whole 38-bit address
+// space never carries into the version bytes.
 func counterBlock(d Domain, addr, version uint64) [BlockBytes]byte {
 	if addr > MaxAddr {
 		panic(fmt.Sprintf("otp: address %#x exceeds the %d-bit physical address space", addr, 38))
@@ -83,14 +108,12 @@ func counterBlock(d Domain, addr, version uint64) [BlockBytes]byte {
 		panic(fmt.Sprintf("otp: version %#x exceeds %d bits", version, 56))
 	}
 	var in [BlockBytes]byte
-	in[0] = byte(d) << 6
-	in[0] |= byte(addr >> 32) // top 6 bits of the 38-bit address
-	binary.BigEndian.PutUint32(in[1:5], uint32(addr))
-	// bytes 5..8 zero
-	in[9] = byte(version >> 48)
-	in[10] = byte(version >> 40)
-	in[11] = byte(version >> 32)
-	binary.BigEndian.PutUint32(in[12:16], uint32(version))
+	in[0] = byte(d)<<6 | byte(addr&0xF)
+	in[1] = byte(version >> 48)
+	in[2] = byte(version >> 40)
+	in[3] = byte(version >> 32)
+	binary.BigEndian.PutUint32(in[4:8], uint32(version))
+	binary.BigEndian.PutUint64(in[8:16], addr>>4)
 	return in
 }
 
@@ -99,41 +122,26 @@ func counterBlock(d Domain, addr, version uint64) [BlockBytes]byte {
 func (g *Generator) Block(d Domain, addr, version uint64) [BlockBytes]byte {
 	in := counterBlock(d, addr, version)
 	var out [BlockBytes]byte
-	g.block.Encrypt(out[:], in[:])
+	if g.native {
+		// A one-block keystream is exactly E(K, in), without the heap
+		// escapes the cipher.Block interface call forces.
+		g.nativeKeystream(out[:], &in)
+	} else {
+		g.blockEncrypt(&out, &in)
+	}
 	return out
 }
 
-// Pads writes n consecutive OTP blocks into a 16·n byte slice: block i
-// covers the chunk at addr + 16·i, matching the loop of Algorithm 1
-// (Addr_i ← Addr + i · wc/8).
-func (g *Generator) Pads(d Domain, addr, version uint64, n int) []byte {
-	out := make([]byte, n*BlockBytes)
-	g.PadsInto(out, d, addr, version)
-	return out
-}
-
-// PadsInto fills dst (whose length must be a multiple of 16) with
-// consecutive OTP blocks starting at addr.
-func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
-	if len(dst)%BlockBytes != 0 {
-		panic("otp: PadsInto destination not a multiple of the block size")
-	}
-	if len(dst) == 0 {
-		return
-	}
-	// One counter buffer for the whole call: only the address bytes vary
-	// between consecutive blocks, and the cipher interface call makes the
-	// buffer escape — per call here instead of per block.
-	in := counterBlock(d, addr, version)
-	for i := 0; i < len(dst); i += BlockBytes {
-		a := addr + uint64(i)
-		if a > MaxAddr {
-			panic(fmt.Sprintf("otp: address %#x exceeds the %d-bit physical address space", a, 38))
-		}
-		in[0] = byte(d)<<6 | byte(a>>32)
-		binary.BigEndian.PutUint32(in[1:5], uint32(a))
-		g.block.Encrypt(dst[i:i+BlockBytes], in[:])
-	}
+// blockEncrypt outlines the cipher.Block call so its interface-driven heap
+// escapes stay local to the slow path: the copies escape here, the caller's
+// arrays remain on its stack.
+//
+//go:noinline
+func (g *Generator) blockEncrypt(out, in *[BlockBytes]byte) {
+	src := *in
+	var dst [BlockBytes]byte
+	g.block.Encrypt(dst[:], src[:])
+	*out = dst
 }
 
 // ElemPad returns the we-bit pad substring for the element at physical byte
@@ -143,20 +151,29 @@ func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
 // we must be a byte-aligned width in {8,16,32,64}.
 func (g *Generator) ElemPad(elemAddr, version uint64, we uint) uint64 {
 	eb := we / 8
-	if eb == 0 || we%8 != 0 || eb > 8 {
+	if we%8 != 0 {
 		panic("otp: ElemPad requires a byte-aligned element width <= 64")
 	}
 	chunk := elemAddr &^ uint64(BlockBytes-1)
 	idx := elemAddr - chunk // byte offset within the chunk
-	if idx%uint64(eb) != 0 {
+	if eb != 0 && idx%uint64(eb) != 0 {
 		panic("otp: element address not aligned to the element width")
 	}
 	pad := g.Block(DomainData, chunk, version)
-	var v uint64
-	for b := uint64(0); b < uint64(eb); b++ {
-		v |= uint64(pad[idx+b]) << (8 * b)
+	// Lanes are little-endian we-bit substrings of the pad block, the same
+	// byte order ring.UnpackElems uses for whole rows.
+	switch eb {
+	case 1:
+		return uint64(pad[idx])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(pad[idx:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(pad[idx:]))
+	case 8:
+		return binary.LittleEndian.Uint64(pad[idx:])
+	default:
+		panic("otp: ElemPad requires a byte-aligned element width <= 64")
 	}
-	return v
 }
 
 // Seed derives the checksum seed s of Algorithm 2: the first w_t = 127 bits

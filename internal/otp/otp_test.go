@@ -87,23 +87,42 @@ func TestKeySeparation(t *testing.T) {
 
 func TestCounterBlockLayout(t *testing.T) {
 	in := counterBlock(DomainTag, MaxAddr, MaxVersion)
-	// Domain 10 in top 2 bits, then the 6 top address bits (all ones).
-	if in[0] != 0b10_111111 {
-		t.Errorf("byte 0 = %#b, want 0b10111111", in[0])
+	// Domain 10 in the top 2 bits, two zero bits, then the low 4 address
+	// bits (all ones).
+	if in[0] != 0b10_00_1111 {
+		t.Errorf("byte 0 = %#b, want 0b10001111", in[0])
 	}
-	for i := 1; i < 5; i++ {
-		if in[i] != 0xFF {
-			t.Errorf("address byte %d = %#x, want 0xFF", i, in[i])
-		}
-	}
-	for i := 5; i < 9; i++ {
-		if in[i] != 0 {
-			t.Errorf("pad byte %d = %#x, want 0", i, in[i])
-		}
-	}
-	for i := 9; i < 16; i++ {
+	// 56-bit version, all ones, in bytes 1..7.
+	for i := 1; i < 8; i++ {
 		if in[i] != 0xFF {
 			t.Errorf("version byte %d = %#x, want 0xFF", i, in[i])
+		}
+	}
+	// Chunk index MaxAddr>>4 = 2^34-1 in bytes 8..15, big endian.
+	want := [8]byte{0, 0, 0, 0x03, 0xFF, 0xFF, 0xFF, 0xFF}
+	for i := 8; i < 16; i++ {
+		if in[i] != want[i-8] {
+			t.Errorf("chunk-index byte %d = %#x, want %#x", i, in[i], want[i-8])
+		}
+	}
+}
+
+func TestCounterBlockCTRSequence(t *testing.T) {
+	// The load-bearing property of the layout: the counter block of chunk
+	// addr+16 is the counter block of chunk addr, incremented by one as a
+	// 128-bit big-endian integer — what AES-CTR computes.
+	for _, addr := range []uint64{0, 16, 7, 0xFF0, MaxAddr - 16} {
+		a := counterBlock(DomainData, addr, 42)
+		b := counterBlock(DomainData, addr+16, 42)
+		// Increment a as a big-endian 128-bit integer.
+		for i := 15; i >= 0; i-- {
+			a[i]++
+			if a[i] != 0 {
+				break
+			}
+		}
+		if a != b {
+			t.Errorf("addr %#x: counter block of next chunk is not counter+1", addr)
 		}
 	}
 }

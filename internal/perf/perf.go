@@ -1,0 +1,228 @@
+// Package perf is the benchmark-regression harness: a fixed suite of
+// microbenchmarks over the hot paths — pad generation, the fused OTP
+// kernels, full queries, table encryption, and the conventional-TEE
+// engine — emitted as machine-readable JSON so successive snapshots
+// (BENCH_<date>.json, written by `make bench-json`) can be diffed for
+// regressions. The suite reuses the stdlib benchmark runner, so numbers
+// are directly comparable to `go test -bench` output.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/memenc"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is a full suite run plus the environment it ran in.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Quick     bool     `json:"quick,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+const benchKey = "0123456789abcdef"
+
+// suite builds the benchmark list over a shared fixture. Table geometry
+// matches the repository's reference workload: 32-bit elements, 64
+// columns (256-byte rows), separate tags.
+func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
+	numRows, batch := 4096, 512
+	if quick {
+		numRows, batch = 256, 64
+	}
+	const m, we = 64, 32
+	rowBytes := m * we / 8
+
+	gen, err := otp.NewGenerator([]byte(benchKey))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.NewScheme([]byte(benchKey))
+	if err != nil {
+		return nil, err
+	}
+	mem := memory.NewSpace()
+	geo := core.Geometry{
+		Params: core.Params{M: m, We: we},
+		Layout: memory.Layout{
+			Placement: memory.TagSep,
+			Base:      0,
+			TagBase:   uint64(numRows*rowBytes) + 1<<20,
+			NumRows:   numRows,
+			RowBytes:  rowBytes,
+		},
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]uint64, numRows)
+	for i := range rows {
+		rows[i] = make([]uint64, m)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % (1 << 20)
+		}
+	}
+	tab, err := scheme.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		return nil, err
+	}
+	ndp := &core.HonestNDP{Mem: mem}
+	idx := make([]int, batch)
+	weights := make([]uint64, batch)
+	for k := range idx {
+		idx[k] = rng.Intn(numRows)
+		weights[k] = 1 + rng.Uint64()%16
+	}
+
+	enc, err := memenc.NewEngine([]byte(benchKey), memory.NewSpace(), memenc.Config{
+		MACBase:     1 << 24,
+		CounterBase: 1 << 25,
+		TreeBase:    1 << 26,
+		NumLines:    1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, memenc.LineBytes)
+	rng.Read(line)
+	if err := enc.WriteLine(0, line); err != nil {
+		return nil, err
+	}
+
+	bench := func(name string, bytes int64, fn func(b *testing.B)) func() (string, testing.BenchmarkResult) {
+		return func() (string, testing.BenchmarkResult) {
+			return name, testing.Benchmark(func(b *testing.B) {
+				if bytes > 0 {
+					b.SetBytes(bytes)
+				}
+				fn(b)
+			})
+		}
+	}
+
+	pads := make([]byte, 1024)
+	acc := make([]uint64, m)
+	return []func() (string, testing.BenchmarkResult){
+		bench("otp/pads_into_256", 256, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen.PadsInto(pads[:256], otp.DomainData, uint64(i%1024)*256, 1)
+			}
+		}),
+		bench("otp/pads_into_1k", 1024, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen.PadsInto(pads, otp.DomainData, uint64(i%1024)*1024, 1)
+			}
+		}),
+		bench("otp/fused_scale_accum_256", 256, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen.PadScaleAccum(acc, 3, we, otp.DomainData, uint64(i%1024)*256, 1)
+			}
+		}),
+		bench("otp/elem_pad", 0, func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += gen.ElemPad(uint64(i%4096)*4, 1, we)
+			}
+			_ = sink
+		}),
+		bench("core/otp_weighted_sum_serial", int64(batch*rowBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.OTPWeightedSum(idx, weights); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("core/query_verified", int64(batch*rowBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tab.QueryVerified(ndp, idx, weights); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("core/encrypt_table", int64(numRows*rowBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scheme.EncryptTable(memory.NewSpace(), geo, uint64(i+2), rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("memenc/write_line", memenc.LineBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := enc.WriteLine(0, line); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("memenc/read_line", memenc.LineBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.ReadLine(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}, nil
+}
+
+// Run executes the suite and assembles the report. quick shrinks the table
+// and batch fixtures (CI smoke); measurements still use the stdlib's
+// standard ~1s-per-benchmark calibration.
+func Run(quick bool) (Report, error) {
+	benches, err := suite(quick)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
+	for _, b := range benches {
+		name, r := b()
+		if r.N == 0 {
+			return Report{}, fmt.Errorf("perf: benchmark %s did not run", name)
+		}
+		res := Result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
