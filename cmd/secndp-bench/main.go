@@ -8,15 +8,18 @@
 //	secndp-bench -quick -exp fig7
 //	secndp-bench -list
 //	secndp-bench -perf -o BENCH_2026-01-01.json   # regression microbenchmarks
+//	secndp-bench -perf -quick -telemetry :9090 -hold 60s   # live /metrics while (and after) running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"secndp/internal/experiments"
 	"secndp/internal/perf"
+	"secndp/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +31,8 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | csv")
 		perfRun = flag.Bool("perf", false, "run the benchmark-regression suite and emit JSON")
 		outPath = flag.String("o", "", "output file for -perf JSON (default stdout)")
+		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9090) while running")
+		hold    = flag.Duration("hold", 0, "keep the telemetry server up this long after the run (with -telemetry)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -35,8 +40,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The registry outlives the run: the perf suite records into it and
+	// -hold keeps the scrape endpoint up after the work finishes, with
+	// secndp_bench_done marking completion for scripted scrapers (CI).
+	var reg *telemetry.Registry
+	if *teleAdr != "" {
+		reg = telemetry.NewRegistry()
+		reg.PublishExpvar("secndp")
+		bound, closeFn, err := reg.Serve(*teleAdr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "secndp-bench: telemetry on http://%s/metrics\n", bound)
+	}
+	done := func() {
+		if reg == nil {
+			return
+		}
+		reg.Gauge("secndp_bench_done", "1 once the requested bench work has finished.").Set(1)
+		if *hold > 0 {
+			fmt.Fprintf(os.Stderr, "secndp-bench: holding telemetry open for %s\n", *hold)
+			time.Sleep(*hold)
+		}
+	}
+
 	if *perfRun {
-		rep, err := perf.Run(*quick)
+		rep, err := perf.Run(*quick, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
 			os.Exit(1)
@@ -55,6 +86,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
 			os.Exit(1)
 		}
+		done()
 		return
 	}
 
@@ -71,6 +103,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
 			os.Exit(1)
 		}
+		done()
 		return
 	}
 	e, err := experiments.Find(*exp)
@@ -88,7 +121,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
 			os.Exit(1)
 		}
+		done()
 		return
 	}
 	fmt.Println(res.Format())
+	done()
 }

@@ -1,0 +1,60 @@
+// Command secndp-server runs the untrusted NDP as a standalone process:
+// it owns a memory space, answers the ciphertext-side operations of the
+// wire protocol, and holds no key material. Point an engine's Provision
+// at its address (see examples/remote).
+//
+//	secndp-server -addr :7070
+//	secndp-server -addr :7070 -telemetry :9091   # /metrics, /debug/traces, pprof
+//
+// With -telemetry, the server's request counters (connections, per-opcode
+// operations, semantic rejections) are served in Prometheus text format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"secndp"
+	"secndp/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "address to serve the NDP wire protocol on")
+		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9091)")
+	)
+	flag.Parse()
+
+	srv := secndp.NewServer(secndp.NewMemory())
+	if *teleAdr != "" {
+		reg := telemetry.NewRegistry()
+		reg.PublishExpvar("secndp")
+		srv.Instrument(reg)
+		bound, closeFn, err := reg.Serve(*teleAdr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-server:", err)
+			os.Exit(1)
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "secndp-server: telemetry on http://%s/metrics\n", bound)
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secndp-server:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "secndp-server: serving NDP on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "secndp-server: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "secndp-server:", err)
+		os.Exit(1)
+	}
+}

@@ -50,8 +50,13 @@ func main() {
 	}
 	defer client.Close()
 
+	// The shared registry sees both the engine (query anatomy, degraded
+	// count) and the transport (attempts, retries, breaker state) — the
+	// same numbers Stats() reports, but scrapeable via reg.Handler().
+	reg := secndp.NewTelemetry()
 	eng, err := secndp.New([]byte("fault-demo-key!!"),
-		secndp.WithParallelism(4), secndp.WithFallback(3))
+		secndp.WithParallelism(4), secndp.WithFallback(3),
+		secndp.WithTelemetry(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,5 +121,19 @@ func main() {
 	check(res, idx, w)
 	fmt.Printf("server dead: query served from the TEE ciphertext mirror (degraded=%v, verified=%v)\n",
 		res.Degraded, res.Verified)
+	// The per-phase timing shows where the latency went: the NDP phase ate
+	// the retries, then the fallback recompute served the result.
+	fmt.Printf("  timing: total=%v ndp=%v fallback=%v\n",
+		res.Timing.Total, res.Timing.NDP, res.Timing.Fallback)
 	fmt.Printf("degraded queries on this table: %d\n", table.DegradedCount())
+
+	// The registry aggregated the whole run; a /metrics scrape would show
+	// the same series (reg.Serve(":9090") to expose them over HTTP).
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case "secndp_queries_total", "secndp_queries_degraded_total",
+			"secndp_transport_retries_total", "secndp_breaker_opens_total":
+			fmt.Printf("  metric %s = %d\n", c.Name, c.Value)
+		}
+	}
 }

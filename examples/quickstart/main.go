@@ -22,10 +22,14 @@ import (
 
 func main() {
 	// The engine owns the secret key and the version discipline (§V-A);
-	// neither ever leaves the trusted side.
+	// neither ever leaves the trusted side. The telemetry registry makes
+	// every query observable: counters, per-phase latency histograms, and
+	// a trace ring (serve reg.Handler() for /metrics — see DESIGN.md §7).
+	reg := secndp.NewTelemetry()
 	eng, err := secndp.New([]byte("an AES-128 key!!"),
-		secndp.WithParallelism(4),  // shard the OTP pad loop across 4 workers
-		secndp.WithPadCache(1024)) // cache hot rows' pads (DLRM-style reuse)
+		secndp.WithParallelism(4), // shard the OTP pad loop across 4 workers
+		secndp.WithPadCache(1024), // cache hot rows' pads (DLRM-style reuse)
+		secndp.WithTelemetry(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +73,12 @@ func main() {
 	fmt.Printf("verified=%v weighted sum over rows %v with weights %v: first columns %v\n",
 		res.Verified, req.Idx, req.Weights, res.Values[:4])
 
+	// Result.Timing is the query's anatomy: the concurrent phases (OTP pad
+	// regeneration, NDP round trip, tag pads) overlap, so they do not sum
+	// to Total.
+	fmt.Printf("timing: total=%v pad=%v ndp=%v tag=%v verify=%v\n",
+		res.Timing.Total, res.Timing.Pad, res.Timing.NDP, res.Timing.Tag, res.Timing.Verify)
+
 	// Tamper with one ciphertext bit: the verification must reject.
 	mem.FlipBit(table.Geometry().Layout.RowAddr(3)+7, 0)
 	_, err = table.Query(context.Background(), req)
@@ -76,5 +86,12 @@ func main() {
 		fmt.Println("tampered ciphertext correctly rejected:", err)
 	} else {
 		log.Fatalf("tampering was not detected (err=%v)", err)
+	}
+
+	// One registry snapshot carries the whole session's story.
+	for _, c := range reg.Snapshot().Counters {
+		if c.Value != 0 {
+			fmt.Printf("metric %s = %d\n", c.Name, c.Value)
+		}
 	}
 }

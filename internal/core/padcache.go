@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"secndp/internal/telemetry"
 )
 
 // PadCache is a bounded, concurrency-safe cache of per-row OTP pad vectors
@@ -21,6 +23,11 @@ type PadCache struct {
 	shards [padCacheShards]padShard
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// mHits/mMisses mirror the counters onto a telemetry registry when the
+	// cache is instrumented; nil otherwise (nil-safe no-op recorders).
+	mHits   *telemetry.Counter
+	mMisses *telemetry.Counter
 }
 
 // padCacheShards spreads lock contention across independent LRU shards;
@@ -74,13 +81,26 @@ func (c *PadCache) get(row int) ([]uint64, bool) {
 	if !ok {
 		s.mu.Unlock()
 		c.misses.Add(1)
+		c.mMisses.Inc()
 		return nil, false
 	}
 	s.lru.MoveToFront(el)
 	pads := el.Value.(*padEntry).pads
 	s.mu.Unlock()
 	c.hits.Add(1)
+	c.mHits.Inc()
 	return pads, true
+}
+
+// Instrument mirrors the cache's hit/miss counters onto telemetry
+// counters (typically registry-owned, shared by every cache of one
+// engine). Call before the cache sees traffic; nil counters are valid
+// no-ops, as is calling on a nil cache.
+func (c *PadCache) Instrument(hits, misses *telemetry.Counter) {
+	if c == nil {
+		return
+	}
+	c.mHits, c.mMisses = hits, misses
 }
 
 // put stores a row's pad vector, evicting the shard's least recently used
@@ -122,6 +142,16 @@ func (c *PadCache) Len() int {
 }
 
 // Stats returns the cumulative hit/miss counters.
+//
+// Snapshot semantics: hits and misses are two independent atomics, each
+// loaded with one atomic read but not together — under concurrent lookups
+// the pair may be mutually skewed by the lookups in flight between the two
+// loads (e.g. a hit recorded after hits was read but before misses was).
+// Each value is exact for some instant in its own monotone history, so the
+// skew is bounded by the in-flight window and a derived hit ratio is
+// accurate to within it. Callers needing one consistent read path across
+// every subsystem should use an instrumented telemetry.Registry and its
+// Snapshot (see Instrument), which documents the same guarantee uniformly.
 func (c *PadCache) Stats() (hits, misses uint64) {
 	if c == nil {
 		return 0, 0

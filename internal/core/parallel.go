@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"secndp/internal/field"
 	"secndp/internal/memory"
@@ -29,6 +30,20 @@ type QueryOptions struct {
 	Cache *PadCache
 	// Verify runs Algorithm 5 (encrypted-MAC check) after Algorithm 4.
 	Verify bool
+	// Phases, when non-nil, receives the query's per-phase wall-clock
+	// breakdown. The phases overlap in real time (the NDP round trip runs
+	// concurrently with the OTP and tag halves), so they do not sum to the
+	// query's total latency — each is that half's own elapsed time.
+	Phases *PhaseTimes
+}
+
+// PhaseTimes is one query's anatomy: how long each architectural half
+// took. Pad is the OTP-share regeneration + accumulate, NDP the untrusted
+// round trip (ciphertext sums, plus tag sums when verifying), Tag the
+// tag-pad field sum, Verify the final join (share addition, checksum
+// recompute, MAC compare). Phases that did not run stay zero.
+type PhaseTimes struct {
+	Pad, NDP, Tag, Verify time.Duration
 }
 
 func (o QueryOptions) workerCount(items int) int {
@@ -195,6 +210,7 @@ type ndpOutputs struct {
 	cres  []uint64
 	cTres field.Elem
 	err   error
+	dur   time.Duration // round-trip elapsed; set only when phases are recorded
 }
 
 // runNDP executes the ciphertext-side half of a query, preferring the
@@ -240,10 +256,20 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 		ctx = context.Background()
 	}
 
+	pt := opts.Phases
+
 	// Ciphertext side in the background.
 	ndpCh := make(chan ndpOutputs, 1)
 	go func() {
-		ndpCh <- runNDP(ctx, ndp, t.geo, idx, weights, opts.Verify)
+		var t0 time.Time
+		if pt != nil {
+			t0 = time.Now()
+		}
+		out := runNDP(ctx, ndp, t.geo, idx, weights, opts.Verify)
+		if pt != nil {
+			out.dur = time.Since(t0)
+		}
+		ndpCh <- out
 	}()
 
 	// Processor side: OTP shares and tag pads, each through the pool.
@@ -255,15 +281,34 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 	if opts.Verify {
 		tagDone = make(chan struct{})
 		go func() {
+			// pt.Tag is written before close(tagDone) and read after
+			// <-tagDone; the channel orders the accesses.
 			defer close(tagDone)
+			var t0 time.Time
+			if pt != nil {
+				t0 = time.Now()
+			}
 			eTres, tagErr = t.TagPadSumCtx(ctx, idx, weights, opts)
+			if pt != nil {
+				pt.Tag = time.Since(t0)
+			}
 		}()
 	}
+	var padT0 time.Time
+	if pt != nil {
+		padT0 = time.Now()
+	}
 	eres, err := t.OTPWeightedSumCtx(ctx, idx, weights, opts)
+	if pt != nil {
+		pt.Pad = time.Since(padT0)
+	}
 	if opts.Verify {
 		<-tagDone
 	}
 	nd := <-ndpCh
+	if pt != nil {
+		pt.NDP = nd.dur
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -277,11 +322,21 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 		return nil, fmt.Errorf("core: ndp returned %d columns, want %d", len(nd.cres), t.geo.Params.M)
 	}
 
+	var verT0 time.Time
+	if pt != nil {
+		verT0 = time.Now()
+	}
 	res := t.Decrypt(nd.cres, eres)
 	if opts.Verify {
 		if !t.Checksum(res).Equal(field.Add(nd.cTres, eTres)) {
+			if pt != nil {
+				pt.Verify = time.Since(verT0)
+			}
 			return nil, ErrVerification
 		}
+	}
+	if pt != nil {
+		pt.Verify = time.Since(verT0)
 	}
 	return res, nil
 }
@@ -302,6 +357,9 @@ func (t *Table) QueryBatchCtx(ctx context.Context, ndp NDP, reqs []BatchRequest,
 	workers := opts.workerCount(len(reqs))
 	per := opts
 	per.Workers = 1
+	// A shared PhaseTimes across concurrent requests would race; batch
+	// phase breakdowns belong to the per-request spans of the caller.
+	per.Phases = nil
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {

@@ -25,6 +25,11 @@ func NewScheme(key []byte) (*Scheme, error) {
 	return &Scheme{gen: g}, nil
 }
 
+// Generator exposes the scheme's OTP generator for instrumentation (the
+// facade attaches engine-selection counters to it). The generator owns
+// the expanded key; callers must not use it to bypass the scheme.
+func (s *Scheme) Generator() *otp.Generator { return s.gen }
+
 // Table is the processor-side handle to one encrypted matrix resident in
 // untrusted memory: geometry, the version its pads were drawn with, and the
 // cached checksum seeds. It carries no plaintext.

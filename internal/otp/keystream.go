@@ -90,11 +90,13 @@ func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
 	}
 	checkPadRange(addr, len(dst))
 	if g.native && len(dst) <= nativeMaxBytes {
+		g.cNative.Inc()
 		iv := counterBlock(d, addr, version)
 		g.nativeKeystream(dst, &iv)
 		return
 	}
 	if len(dst) < ctrMinBytes {
+		g.cBlock.Inc()
 		in := counterBlock(d, addr, version)
 		idx := addr >> 4
 		for i := 0; i < len(dst); i += BlockBytes {
@@ -103,6 +105,7 @@ func (g *Generator) PadsInto(dst []byte, d Domain, addr, version uint64) {
 		}
 		return
 	}
+	g.cStream.Inc()
 	iv := counterBlock(d, addr, version)
 	s := cipher.NewCTR(g.block, iv[:])
 	for off := 0; off < len(dst); off += len(zeroBytes) {
@@ -146,9 +149,11 @@ func (g *Generator) XORPads(dst, src []byte, d Domain, addr, version uint64) {
 	if len(src) <= ctrMinBytes {
 		var ks [ctrMinBytes]byte
 		if g.native {
+			g.cNative.Inc()
 			iv := counterBlock(d, addr, version)
 			g.nativeKeystream(ks[:len(src)], &iv)
 		} else {
+			g.cBlock.Inc()
 			in := counterBlock(d, addr, version)
 			idx := addr >> 4
 			for i := 0; i < len(src); i += BlockBytes {
@@ -160,6 +165,7 @@ func (g *Generator) XORPads(dst, src []byte, d Domain, addr, version uint64) {
 		return
 	}
 	if g.native && len(src) <= nativeMaxBytes {
+		g.cNative.Inc()
 		iv := counterBlock(d, addr, version)
 		p, ks := getScratch(len(src))
 		g.nativeKeystream(ks, &iv)
@@ -167,6 +173,7 @@ func (g *Generator) XORPads(dst, src []byte, d Domain, addr, version uint64) {
 		putScratch(p)
 		return
 	}
+	g.cStream.Inc()
 	iv := counterBlock(d, addr, version)
 	cipher.NewCTR(g.block, iv[:]).XORKeyStream(dst, src)
 }
@@ -196,6 +203,7 @@ func (g *Generator) Keystream(d Domain, addr, version uint64) *Keystream {
 	if addr%BlockBytes != 0 {
 		panic("otp: Keystream start address not chunk-aligned")
 	}
+	g.cStream.Inc()
 	iv := counterBlock(d, addr, version)
 	return &Keystream{
 		g:       g,

@@ -22,6 +22,8 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+
+	"secndp/internal/telemetry"
 )
 
 // Domain is the 2-bit domain separator D of Definition A.2.
@@ -63,6 +65,22 @@ type Generator struct {
 	// valid only when native is true (AES-NI present on amd64).
 	rk     roundKeyBytes
 	native bool
+
+	// Engine-selection counters (nil-safe no-ops when uninstrumented):
+	// which keystream engine served each multi-block pad run — the native
+	// 8-way AES-NI assembly, the stdlib CTR stream, or the per-block
+	// cipher.Block fallback. One count per PadsInto/XORPads call plus one
+	// per Keystream opened.
+	cNative *telemetry.Counter
+	cStream *telemetry.Counter
+	cBlock  *telemetry.Counter
+}
+
+// Instrument attaches engine-selection counters (typically
+// registry-owned). Call before the generator sees traffic; nil counters
+// are valid no-ops.
+func (g *Generator) Instrument(native, stream, perBlock *telemetry.Counter) {
+	g.cNative, g.cStream, g.cBlock = native, stream, perBlock
 }
 
 // NewGenerator builds a Generator from a w_K = 128-bit secret key.

@@ -20,6 +20,7 @@ import (
 	"secndp/internal/memenc"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
+	"secndp/internal/telemetry"
 )
 
 // Result is one benchmark's measurement.
@@ -34,13 +35,14 @@ type Result struct {
 
 // Report is a full suite run plus the environment it ran in.
 type Report struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Quick     bool     `json:"quick,omitempty"`
-	Results   []Result `json:"results"`
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Quick     bool         `json:"quick,omitempty"`
+	Results   []Result     `json:"results"`
+	Phases    *PhaseReport `json:"phases,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -194,7 +196,18 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 // Run executes the suite and assembles the report. quick shrinks the table
 // and batch fixtures (CI smoke); measurements still use the stdlib's
 // standard ~1s-per-benchmark calibration.
-func Run(quick bool) (Report, error) {
+//
+// reg receives every measurement as it lands: the phase-breakdown
+// workload records its spans and subsystem counters there, and each
+// microbenchmark result is mirrored as secndp_perf_* gauges — so a live
+// `/metrics` scrape and the emitted JSON report from one source. nil runs
+// the suite against a private registry (the Phases breakdown still needs
+// one). The phase stage runs first so a scrape during the slower
+// microbenchmarks already sees the full query anatomy.
+func Run(quick bool, reg *telemetry.Registry) (Report, error) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	benches, err := suite(quick)
 	if err != nil {
 		return Report{}, err
@@ -207,6 +220,11 @@ func Run(quick bool) (Report, error) {
 		NumCPU:    runtime.NumCPU(),
 		Quick:     quick,
 	}
+	phases, err := phaseStage(quick, reg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Phases = phases
 	for _, b := range benches {
 		name, r := b()
 		if r.N == 0 {
@@ -223,6 +241,7 @@ func Run(quick bool) (Report, error) {
 			res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
 		}
 		rep.Results = append(rep.Results, res)
+		publishResult(reg, res)
 	}
 	return rep, nil
 }

@@ -1,0 +1,171 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"secndp"
+	"secndp/internal/telemetry"
+)
+
+// PhaseStat aggregates one query phase across the breakdown stage: how
+// many queries exercised the phase and its elapsed-time statistics, read
+// from the registry's per-phase histograms.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Count   uint64  `json:"count"`
+	TotalNs uint64  `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+}
+
+// PhaseReport is the per-phase query breakdown emitted into the
+// regression JSON: a small scripted workload — local queries with
+// pad-cache reuse, remote queries over a loopback NDP server, one
+// degraded query after the server dies — summarized phase by phase from
+// one telemetry snapshot.
+type PhaseReport struct {
+	Queries           uint64      `json:"queries"`
+	Verified          uint64      `json:"verified"`
+	Degraded          uint64      `json:"degraded"`
+	CacheHits         uint64      `json:"cache_hits"`
+	CacheMisses       uint64      `json:"cache_misses"`
+	TransportAttempts uint64      `json:"transport_attempts"`
+	TransportRetries  uint64      `json:"transport_retries"`
+	Phases            []PhaseStat `json:"phases"`
+}
+
+func counterVal(s telemetry.Snapshot, name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// phaseStage drives the scripted workload through the facade with the
+// given registry attached and distills the snapshot into a PhaseReport.
+// The workload covers every phase: pad/NDP/tag/verify on the happy path,
+// pad-cache hits via repeated rows, transport attempts over a real
+// loopback server, and one fallback after the server is closed.
+func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
+	rows, batch := 1024, 128
+	if quick {
+		rows, batch = 128, 32
+	}
+	const cols = 64
+	ctx := context.Background()
+
+	eng, err := secndp.New([]byte(benchKey),
+		secndp.WithTelemetry(reg),
+		secndp.WithPadCache(rows),
+		secndp.WithFallback(1))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]uint64, rows)
+	for i := range data {
+		data[i] = make([]uint64, cols)
+		for j := range data[i] {
+			data[i][j] = rng.Uint64() % (1 << 20)
+		}
+	}
+	idx := make([]int, batch)
+	weights := make([]uint64, batch)
+	for k := range idx {
+		idx[k] = rng.Intn(rows)
+		weights[k] = 1 + rng.Uint64()%16
+	}
+	req := secndp.Request{Idx: idx, Weights: weights}
+
+	// Local table: repeated requests over the same rows so the pad cache
+	// reports both misses (first pass) and hits (subsequent passes).
+	local, err := eng.Encrypt(secndp.NewMemory(), secndp.TableSpec{
+		Name: "perf-phases-local", Rows: rows, Cols: cols,
+	}, data)
+	if err != nil {
+		return nil, err
+	}
+	defer local.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := local.Query(ctx, req); err != nil {
+			return nil, fmt.Errorf("perf: local query: %w", err)
+		}
+	}
+
+	// Remote table: a real loopback NDP server behind the fault-tolerant
+	// transport, so the NDP phase includes the wire and the transport
+	// counters move.
+	srv := secndp.NewServer(secndp.NewMemory())
+	srv.Instrument(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	rc, err := secndp.DialReliableNDP(ctx, addr, secndp.TransportConfig{
+		Retry: secndp.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	remoteTab, err := eng.Provision(ctx, rc, secndp.TableSpec{
+		Name: "perf-phases-remote", Rows: rows, Cols: cols,
+	}, data)
+	if err != nil {
+		return nil, err
+	}
+	defer remoteTab.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := remoteTab.Query(ctx, req); err != nil {
+			return nil, fmt.Errorf("perf: remote query: %w", err)
+		}
+	}
+
+	// Kill the server and query once more: retries exhaust, the circuit
+	// settles, and the TEE mirror serves the degraded result.
+	srv.Close()
+	res, err := remoteTab.Query(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("perf: degraded query: %w", err)
+	}
+	if !res.Degraded {
+		return nil, fmt.Errorf("perf: expected degraded result after server close")
+	}
+
+	snap := reg.Snapshot()
+	pr := &PhaseReport{
+		Queries:           counterVal(snap, "secndp_queries_total"),
+		Verified:          counterVal(snap, "secndp_queries_verified_total"),
+		Degraded:          counterVal(snap, "secndp_queries_degraded_total"),
+		CacheHits:         counterVal(snap, "secndp_padcache_hits_total"),
+		CacheMisses:       counterVal(snap, "secndp_padcache_misses_total"),
+		TransportAttempts: counterVal(snap, "secndp_transport_attempts_total"),
+		TransportRetries:  counterVal(snap, "secndp_transport_retries_total"),
+	}
+	for p := 0; p < telemetry.NumPhases; p++ {
+		name := telemetry.Phase(p).String()
+		for _, h := range snap.Histograms {
+			if h.Name != "secndp_phase_"+name+"_seconds" || h.Count == 0 {
+				continue
+			}
+			st := PhaseStat{Phase: name, Count: h.Count, TotalNs: h.SumNs}
+			st.MeanNs = float64(h.SumNs) / float64(h.Count)
+			pr.Phases = append(pr.Phases, st)
+		}
+	}
+	return pr, nil
+}
+
+// publishResult mirrors one microbenchmark measurement onto the registry
+// as gauges, so `/metrics` and the -perf JSON report from one source.
+func publishResult(reg *telemetry.Registry, res Result) {
+	base := "secndp_perf_" + strings.NewReplacer("/", "_", "-", "_").Replace(res.Name)
+	reg.Gauge(base+"_ns_per_op", "Perf suite: ns/op of "+res.Name+".").Set(int64(res.NsPerOp))
+	reg.Gauge(base+"_allocs_per_op", "Perf suite: allocs/op of "+res.Name+".").Set(res.AllocsPerOp)
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"secndp/internal/telemetry"
 )
 
 // ErrCircuitOpen is returned when the circuit breaker is rejecting calls
@@ -69,6 +71,39 @@ type Breaker struct {
 	probeAt time.Time
 	probing bool
 	opens   uint64
+
+	// mOpens/mState mirror open transitions and the current state onto a
+	// telemetry registry when instrumented (nil-safe no-ops otherwise).
+	// The state gauge encodes 0 closed, 1 half-open, 2 open.
+	mOpens *telemetry.Counter
+	mState *telemetry.Gauge
+}
+
+// Gauge encodings of the breaker state (see Instrument).
+const (
+	BreakerGaugeClosed   = 0
+	BreakerGaugeHalfOpen = 1
+	BreakerGaugeOpen     = 2
+)
+
+func (s breakerState) gauge() int64 {
+	switch s {
+	case breakerOpen:
+		return BreakerGaugeOpen
+	case breakerHalfOpen:
+		return BreakerGaugeHalfOpen
+	default:
+		return BreakerGaugeClosed
+	}
+}
+
+// Instrument mirrors the breaker's open-transition count and current
+// state onto telemetry metrics. Nil metrics are valid no-ops.
+func (b *Breaker) Instrument(opens *telemetry.Counter, state *telemetry.Gauge) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mOpens, b.mState = opens, state
+	state.Set(b.state.gauge())
 }
 
 // NewBreaker builds a breaker from cfg (zero value → defaults).
@@ -93,6 +128,7 @@ func (b *Breaker) Allow() error {
 			return ErrCircuitOpen
 		}
 		b.state = breakerHalfOpen
+		b.mState.Set(BreakerGaugeHalfOpen)
 		b.probing = true
 		return nil
 	default: // half-open: one probe in flight at a time
@@ -112,6 +148,7 @@ func (b *Breaker) Success() {
 	}
 	b.mu.Lock()
 	b.state = breakerClosed
+	b.mState.Set(BreakerGaugeClosed)
 	b.fails = 0
 	b.probing = false
 	b.mu.Unlock()
@@ -131,8 +168,10 @@ func (b *Breaker) Failure() {
 	if b.state == breakerHalfOpen || b.fails >= b.cfg.FailureThreshold {
 		if b.state != breakerOpen {
 			b.opens++
+			b.mOpens.Inc()
 		}
 		b.state = breakerOpen
+		b.mState.Set(BreakerGaugeOpen)
 		b.probeAt = b.now().Add(b.cfg.ProbeInterval)
 	}
 }

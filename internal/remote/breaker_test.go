@@ -9,8 +9,8 @@ import (
 // fakeClock drives the breaker's probe timer without sleeping.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time              { return c.t }
-func (c *fakeClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
 	b := NewBreaker(cfg)
 	clk := &fakeClock{t: time.Unix(1000, 0)}

@@ -52,7 +52,7 @@ func FuzzReadGeometry(f *testing.F) {
 
 func FuzzReadQuery(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0x02, 0x01, 0x02, 0x03}) // truncated weights
+	f.Add([]byte{0x02, 0x01, 0x02, 0x03})                                     // truncated weights
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // n > maxVectorLen
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)

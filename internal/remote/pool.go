@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"secndp/internal/telemetry"
 )
 
 // ErrPoolClosed is returned by Pool.Get after Close.
@@ -60,7 +62,14 @@ type Pool struct {
 	closed bool
 
 	dials atomic.Uint64
+	// mDials mirrors dials onto a registry counter; atomic so Instrument
+	// may land while connections are being dialed. A nil load is a no-op.
+	mDials atomic.Pointer[telemetry.Counter]
 }
+
+// Instrument mirrors the pool's dial counter onto a telemetry counter.
+// A nil counter is a valid no-op.
+func (p *Pool) Instrument(dials *telemetry.Counter) { p.mDials.Store(dials) }
 
 // NewPool builds a pool for one server address. No connection is made
 // until the first Get.
@@ -94,6 +103,7 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 		return nil, err
 	}
 	p.dials.Add(1)
+	p.mDials.Load().Inc()
 	if err := c.PingContext(dctx); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("remote: dial health check: %w", err)

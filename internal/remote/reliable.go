@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"secndp/internal/core"
 	"secndp/internal/field"
 	"secndp/internal/memory"
+	"secndp/internal/telemetry"
 )
 
 // ReliableClient layers fault tolerance over the wire protocol: a
@@ -30,6 +32,37 @@ type ReliableClient struct {
 
 	attempts atomic.Uint64
 	retries  atomic.Uint64
+
+	// Registry mirrors of the fault-tolerance counters: atomic so
+	// Instrument may land while operations are in flight (a nil load is a
+	// no-op). instrumentOnce makes Instrument idempotent so the facade may
+	// auto-instrument on every Provision.
+	instrumentOnce sync.Once
+	mAttempts      atomic.Pointer[telemetry.Counter]
+	mRetries       atomic.Pointer[telemetry.Counter]
+}
+
+// Instrument mirrors the client's attempt/retry counters, the pool's dial
+// counter, and the breaker's open count and state gauge onto a telemetry
+// registry, using the shared secndp_transport_*/secndp_breaker_* series.
+// Idempotent; safe for concurrent use; a nil registry is a no-op.
+func (rc *ReliableClient) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	rc.instrumentOnce.Do(func() {
+		rc.mAttempts.Store(reg.Counter("secndp_transport_attempts_total",
+			"Wire attempts by the fault-tolerant NDP transport, first tries included."))
+		rc.mRetries.Store(reg.Counter("secndp_transport_retries_total",
+			"Wire attempts beyond the first of each transport operation."))
+		rc.pool.Instrument(reg.Counter("secndp_transport_dials_total",
+			"Connection (re)dials by the reconnecting NDP pool."))
+		rc.breaker.Instrument(
+			reg.Counter("secndp_breaker_opens_total",
+				"Circuit-breaker transitions to the open state."),
+			reg.Gauge("secndp_breaker_state",
+				"Circuit-breaker state: 0 closed, 1 half-open, 2 open."))
+	})
 }
 
 // ReliableConfig bundles the fault-tolerance knobs. The zero value selects
@@ -118,8 +151,10 @@ func (rc *ReliableClient) do(ctx context.Context, op string, fn func(context.Con
 			return fmt.Errorf("remote: %s: %w", op, err)
 		}
 		rc.attempts.Add(1)
+		rc.mAttempts.Load().Inc()
 		if att > 1 {
 			rc.retries.Add(1)
+			rc.mRetries.Load().Inc()
 		}
 		actx, cancel := rc.retry.attemptContext(ctx, att)
 		err := rc.attempt(actx, fn)

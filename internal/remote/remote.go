@@ -25,6 +25,7 @@ import (
 	"secndp/internal/field"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
+	"secndp/internal/telemetry"
 )
 
 // Op codes of the wire protocol.
@@ -155,6 +156,37 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// Registry mirrors (nil-safe no-ops until Instrument runs): accepted
+	// connections, operations served by opcode, and rejected requests.
+	mConns   *telemetry.Counter
+	mOps     [opPing + 1]*telemetry.Counter
+	mRejects *telemetry.Counter
+}
+
+// Instrument mirrors the server's request counters onto a telemetry
+// registry: connections accepted, operations served per opcode, and
+// semantic rejections (statusErr replies). Call before Listen; a nil
+// registry is a no-op.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mConns = reg.Counter("secndp_server_conns_total",
+		"Connections accepted by the NDP server.")
+	s.mRejects = reg.Counter("secndp_server_rejects_total",
+		"Requests the NDP server rejected with a semantic error.")
+	names := map[byte]string{
+		opWeightedSum: "weighted_sum",
+		opTagSum:      "tag_sum",
+		opWriteBlob:   "write_blob",
+		opWriteECC:    "write_ecc",
+		opPing:        "ping",
+	}
+	for op, name := range names {
+		s.mOps[op] = reg.Counter("secndp_server_ops_"+name+"_total",
+			"NDP server "+name+" operations served.")
+	}
 }
 
 // NewServer wraps an untrusted memory space.
@@ -213,6 +245,7 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		delay = 0
+		s.mConns.Inc()
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
@@ -258,6 +291,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		return err
 	}
 	fail := func(msg string) error {
+		s.mRejects.Inc()
 		if err := w.WriteByte(statusErr); err != nil {
 			return err
 		}
@@ -266,6 +300,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		}
 		_, err := w.WriteString(msg)
 		return err
+	}
+	if int(op) < len(s.mOps) {
+		s.mOps[op].Inc()
 	}
 	switch op {
 	case opWeightedSum, opTagSum:

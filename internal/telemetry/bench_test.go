@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledRecord measures the telemetry-disabled hot path: every
+// recorder invoked through nil receivers, exactly as an uninstrumented
+// engine does. The contract is sub-nanosecond per record site — a nil
+// check the branch predictor eats.
+func BenchmarkDisabledRecord(b *testing.B) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(int64(i))
+		h.ObserveNs(uint64(i))
+	}
+}
+
+// BenchmarkCounterInc is the enabled counterpart: one striped increment.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterIncParallel shows the striping paying off under
+// contention.
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkHistogramObserve is one enabled histogram record: bucket scan
+// plus three atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i % 1_000_000))
+	}
+}

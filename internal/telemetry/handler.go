@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// Handler returns the registry's serving surface:
+//
+//	/metrics        Prometheus text format (one Snapshot per scrape)
+//	/debug/traces   recent query spans as JSON (?n= bounds the count)
+//	/debug/vars     the process's expvar page (includes PublishExpvar output)
+//	/debug/pprof/*  the standard pprof endpoints
+//
+// A nil registry serves empty metrics and traces; pprof still works.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		n := DefaultTraceCapacity
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		spans := r.Traces(n)
+		if spans == nil {
+			spans = []Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spans)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler in the background, returning the
+// bound address (useful with ":0") and a closer that stops the listener.
+func (r *Registry) Serve(addr string) (bound string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// expvarOnce guards against double-publishing (expvar.Publish panics on a
+// duplicate name, and tests build many registries).
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar exposes the registry's snapshot under the given expvar
+// name (conventionally "secndp"). Publishing the same name twice is a
+// no-op — the process-global expvar namespace keeps the first registry.
+// No-op on a nil registry.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] {
+		return
+	}
+	expvarPublished[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

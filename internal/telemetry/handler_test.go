@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handler_total", "Handler test counter.").Add(5)
+	reg.RecordSpan(Span{Op: "query", Start: time.Now(), Total: time.Millisecond,
+		Phases: [NumPhases]time.Duration{PhasePad: time.Microsecond}, Verified: true})
+	reg.RecordSpan(Span{Op: "query", Start: time.Now(), Total: 2 * time.Millisecond, Err: "boom"})
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "handler_total 5") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv, "/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("traces not JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Newest first: the errored span leads.
+	if spans[0]["err"] != "boom" {
+		t.Fatalf("newest span = %v", spans[0])
+	}
+	if _, ok := spans[1]["phases_ns"].(map[string]any)["pad"]; !ok {
+		t.Fatalf("span phases not rendered by name: %v", spans[1])
+	}
+
+	code, body = get(t, srv, "/debug/traces?n=1")
+	if err := json.Unmarshal([]byte(body), &spans); err != nil || len(spans) != 1 {
+		t.Fatalf("/debug/traces?n=1 (code %d) = %v / %s", code, err, body)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("served_total", "").Inc()
+	bound, closeFn, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "served_total 1") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("expvar_total", "").Add(2)
+	reg.PublishExpvar("telemetry-test")
+	// A second publish under the same name must not panic (expvar.Publish
+	// panics on duplicates) — the first registry keeps the name.
+	NewRegistry().PublishExpvar("telemetry-test")
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	_, body := get(t, srv, "/debug/vars")
+	if !strings.Contains(body, "telemetry-test") || !strings.Contains(body, "expvar_total") {
+		t.Fatalf("/debug/vars missing published snapshot:\n%s", body)
+	}
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// numStripes spreads a counter's hot cell across cache lines so
+// concurrent writers on different cores don't bounce one line between
+// them. Power of two, bounded: past ~CPU-count stripes the extra cells
+// only cost snapshot reads.
+var numStripes = func() int {
+	n := 1
+	for n < runtime.NumCPU() && n < 16 {
+		n <<= 1
+	}
+	return n
+}()
+
+// cell is one cache-line-padded atomic counter stripe.
+type cell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// stripeIndex picks a stripe from the address of a stack byte: goroutines
+// live on distinct stacks, so concurrent writers spread across stripes
+// without any runtime support. The choice only affects contention, never
+// correctness — any index is valid.
+func stripeIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (numStripes - 1)
+}
+
+// Counter is a monotone, lock-free striped counter. The zero value is not
+// usable; obtain counters from Registry.Counter. A nil *Counter is a
+// valid no-op recorder.
+type Counter struct {
+	name, help string
+	cells      []cell
+}
+
+func newCounter(name, help string) *Counter {
+	return &Counter{name: name, help: help, cells: make([]cell, numStripes)}
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripeIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes. Each stripe is read atomically; see the package
+// comment for cross-stripe snapshot semantics.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var v uint64
+	for i := range c.cells {
+		v += c.cells[i].v.Load()
+	}
+	return v
+}
+
+// Gauge is a lock-free instantaneous value (breaker state, queue depth).
+// A nil *Gauge is a valid no-op recorder.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value loads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultDurationBucketsNs are the latency bucket upper bounds used when a
+// histogram is created without explicit bounds: 1µs → 2.5s in a 1-2.5-5
+// decade ladder, wide enough for a cached pad lookup and a cross-country
+// NDP round trip on the same axis.
+var DefaultDurationBucketsNs = []uint64{
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000,
+	100_000_000, 250_000_000, 500_000_000, 1_000_000_000, 2_500_000_000,
+}
+
+// Histogram is a fixed-bucket latency histogram: recording is one bucket
+// scan plus three atomic adds, lock-free. Bucket semantics match
+// Prometheus: bucket i counts observations <= BoundsNs[i]; the implicit
+// final bucket is +Inf. A nil *Histogram is a valid no-op recorder.
+type Histogram struct {
+	name, help string
+	bounds     []uint64
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum        atomic.Uint64   // nanoseconds
+	count      atomic.Uint64
+}
+
+func newHistogram(name, help string, boundsNs []uint64) *Histogram {
+	if boundsNs == nil {
+		boundsNs = DefaultDurationBucketsNs
+	}
+	bounds := make([]uint64, len(boundsNs))
+	copy(bounds, boundsNs)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records a duration. Negative durations clamp to zero. No-op on
+// a nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.ObserveNs(ns)
+}
+
+// ObserveNs records a raw nanosecond value. No-op on a nil histogram.
+func (h *Histogram) ObserveNs(ns uint64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && ns > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNs reports the running sum of observed nanoseconds.
+func (h *Histogram) SumNs() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) snap() HistSnap {
+	s := HistSnap{
+		Name:     h.name,
+		Help:     h.help,
+		BoundsNs: h.bounds,
+		Counts:   make([]uint64, len(h.counts)),
+		SumNs:    h.sum.Load(),
+		Count:    h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry's snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative le-labelled buckets with durations
+// converted from nanoseconds to seconds. A nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		writeHeader(&b, name, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		writeHeader(&b, name, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		writeHeader(&b, name, h.Help, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.BoundsNs {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, promSeconds(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promSeconds(h.SumNs))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// promSeconds renders nanoseconds as a seconds literal without float
+// noise (e.g. 2500000 → "0.0025").
+func promSeconds(ns uint64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// promName maps a metric name onto the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+func promName(name string) string {
+	ok := func(i int, c rune) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return i > 0
+		}
+		return false
+	}
+	clean := true
+	for i, c := range name {
+		if !ok(i, c) {
+			clean = false
+			break
+		}
+	}
+	if clean && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i, c := range name {
+		if ok(i, c) {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

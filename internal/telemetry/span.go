@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Phase identifies one block of a query's anatomy, mapped to the paper's
+// §V architecture (see DESIGN.md §7): the OTP engines regenerating data
+// pads, the NDP's ciphertext round trip, the tag-pad regeneration, the
+// final decrypt + MAC compare, and the TEE-mirror fallback recompute.
+type Phase uint8
+
+const (
+	// PhasePad is the OTP-share half: pad regeneration fused with the
+	// multiply-accumulate over data pads (Algorithm 4's trusted side).
+	PhasePad Phase = iota
+	// PhaseNDP is the untrusted half's round trip: the NDP computing
+	// ciphertext sums (plus tag sums when verifying) and the transport.
+	PhaseNDP
+	// PhaseTag is the tag-pad regeneration and weighted field sum
+	// (Algorithm 5's trusted side), overlapped with PhasePad and PhaseNDP.
+	PhaseTag
+	// PhaseVerify is the join: share addition (decrypt) plus the checksum
+	// recompute and encrypted-MAC compare.
+	PhaseVerify
+	// PhaseFallback is the TEE-mirror local recompute serving a query the
+	// NDP could not (graceful degradation).
+	PhaseFallback
+
+	// NumPhases is the number of span phases.
+	NumPhases = 5
+)
+
+var phaseNames = [NumPhases]string{"pad", "ndp", "tag", "verify", "fallback"}
+
+// String returns the phase's short name ("pad", "ndp", "tag", "verify",
+// "fallback").
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span is one recorded operation: its kind, wall-clock placement, total
+// latency, and per-phase breakdown. Phases that did not run are zero.
+type Span struct {
+	Op       string
+	Start    time.Time
+	Total    time.Duration
+	Phases   [NumPhases]time.Duration
+	Verified bool
+	Degraded bool
+	Err      string
+}
+
+// MarshalJSON renders the phase array as a name→nanoseconds object so
+// /debug/traces is readable without the Phase enum.
+func (s Span) MarshalJSON() ([]byte, error) {
+	phases := make(map[string]int64, NumPhases)
+	for p, d := range s.Phases {
+		if d != 0 {
+			phases[Phase(p).String()] = int64(d)
+		}
+	}
+	return json.Marshal(struct {
+		Op       string           `json:"op"`
+		Start    time.Time        `json:"start"`
+		TotalNs  int64            `json:"total_ns"`
+		Phases   map[string]int64 `json:"phases_ns,omitempty"`
+		Verified bool             `json:"verified"`
+		Degraded bool             `json:"degraded,omitempty"`
+		Err      string           `json:"err,omitempty"`
+	}{s.Op, s.Start, int64(s.Total), phases, s.Verified, s.Degraded, s.Err})
+}
+
+// DefaultTraceCapacity is the number of recent spans a registry retains.
+const DefaultTraceCapacity = 256
+
+// traceBuffer is a bounded ring of recent spans. Span recording happens
+// once per completed operation — orders of magnitude colder than metric
+// recording — so a plain mutex is the right tool; the lock is never on a
+// per-row or per-block path.
+type traceBuffer struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []Span
+	next int // buf index the next span lands in
+	full bool
+}
+
+func (b *traceBuffer) add(s Span) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.buf == nil {
+		if b.cap <= 0 {
+			b.cap = DefaultTraceCapacity
+		}
+		b.buf = make([]Span, b.cap)
+	}
+	b.buf[b.next] = s
+	b.next++
+	if b.next == len(b.buf) {
+		b.next = 0
+		b.full = true
+	}
+}
+
+// recent returns up to n spans, newest first.
+func (b *traceBuffer) recent(n int) []Span {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size := b.next
+	if b.full {
+		size = len(b.buf)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, b.buf[(b.next-i+len(b.buf))%len(b.buf)])
+	}
+	return out
+}
+
+// RecordSpan appends a completed span to the trace ring. No-op on a nil
+// registry.
+func (r *Registry) RecordSpan(s Span) {
+	if r == nil {
+		return
+	}
+	r.traces.add(s)
+}
+
+// Traces returns up to n recent spans, newest first. A nil registry
+// returns nil.
+func (r *Registry) Traces(n int) []Span {
+	if r == nil {
+		return nil
+	}
+	return r.traces.recent(n)
+}

@@ -132,3 +132,55 @@ func BenchmarkFacadeQuery(b *testing.B) {
 		}
 	}
 }
+
+// benchQueryParallel is the telemetry acceptance fixture: the public
+// Query on an 8-worker engine over the reference batch, with or without
+// a registry attached. The contract is that the instrumented run stays
+// within 2% of the bare one — recording is a handful of atomics per
+// query, not per row.
+func benchQueryParallel(b *testing.B, opts ...Option) {
+	b.Helper()
+	eng, err := New(benchKey, append([]Option{WithParallelism(8), WithPadCache(256)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := NewMemory()
+	rng := rand.New(rand.NewSource(46))
+	rows := make([][]uint64, benchParRows)
+	for i := range rows {
+		rows[i] = make([]uint64, benchParCols)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % (1 << 16)
+		}
+	}
+	tab, err := eng.Encrypt(mem, TableSpec{Rows: benchParRows, Cols: benchParCols}, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tab.Close()
+	idx := make([]int, benchParBatch)
+	w := make([]uint64, benchParBatch)
+	for k := range idx {
+		idx[k] = rng.Intn(benchParRows)
+		w[k] = 1 + uint64(rng.Intn(4))
+	}
+	req := Request{Idx: idx, Weights: w}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParallel is the bare engine: telemetry disabled, every
+// record site one nil check.
+func BenchmarkQueryParallel(b *testing.B) { benchQueryParallel(b) }
+
+// BenchmarkQueryParallelTelemetry runs the same workload with a live
+// registry: counters, per-phase histograms, and a span per query.
+func BenchmarkQueryParallelTelemetry(b *testing.B) {
+	benchQueryParallel(b, WithTelemetry(NewTelemetry()))
+}

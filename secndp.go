@@ -7,11 +7,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"secndp/internal/core"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
 	"secndp/internal/remote"
+	"secndp/internal/telemetry"
 )
 
 // This file is the public facade over internal/core, internal/memory, and
@@ -117,7 +119,8 @@ type config struct {
 	workers         int
 	cacheRows       int
 	verify          verifyMode
-	fallbackVerifyN int // 0 = TEE fallback disabled
+	fallbackVerifyN int                 // 0 = TEE fallback disabled
+	telemetry       *telemetry.Registry // nil = telemetry disabled
 }
 
 // Option configures an Engine.
@@ -181,6 +184,10 @@ type Engine struct {
 	versions *core.VersionManager
 	cfg      config
 	tableSeq atomic.Uint64
+	// tel holds the pre-resolved telemetry metric handles; nil when the
+	// engine runs without WithTelemetry (every record site is then one
+	// nil check).
+	tel *engineTelemetry
 }
 
 // New builds an Engine from a 128-bit secret key.
@@ -193,10 +200,13 @@ func New(key []byte, opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	tel := newEngineTelemetry(cfg.telemetry)
+	tel.instrumentGenerator(scheme)
 	return &Engine{
 		scheme:   scheme,
 		versions: core.NewVersionManager(core.DefaultVersionLimit, otp.MaxVersion),
 		cfg:      cfg,
+		tel:      tel,
 	}, nil
 }
 
@@ -302,11 +312,15 @@ type Table struct {
 }
 
 func (e *Engine) newTable(tab *core.Table, ndp core.NDP, region string, mirror *Memory) *Table {
+	cache := core.NewPadCache(e.cfg.cacheRows)
+	if e.tel != nil {
+		cache.Instrument(e.tel.cacheHits, e.tel.cacheMisses)
+	}
 	return &Table{
 		eng:    e,
 		tab:    tab,
 		ndp:    ndp,
-		cache:  core.NewPadCache(e.cfg.cacheRows),
+		cache:  cache,
 		region: region,
 		mirror: mirror,
 	}
@@ -326,6 +340,7 @@ func (e *Engine) allocRegion(spec TableSpec) (string, uint64, error) {
 // memory under a freshly allocated version. The returned Table queries an
 // in-process NDP over that memory.
 func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, error) {
+	start := time.Now()
 	geo, err := spec.geometry()
 	if err != nil {
 		return nil, err
@@ -337,8 +352,10 @@ func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, 
 	tab, err := e.scheme.EncryptTable(mem, geo, v, rows)
 	if err != nil {
 		e.versions.Release(region)
+		e.tel.recordOp("encrypt", start, err)
 		return nil, err
 	}
+	e.tel.recordOp("encrypt", start, nil)
 	return e.newTable(tab, &core.HonestNDP{Mem: mem}, region, nil), nil
 }
 
@@ -348,9 +365,15 @@ func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, 
 // with WithFallback, the TEE-side staging image is kept as a trusted
 // mirror for graceful degradation.
 func (e *Engine) Provision(ctx context.Context, client NDPTransport, spec TableSpec, rows [][]uint64) (*Table, error) {
+	start := time.Now()
 	geo, err := spec.geometry()
 	if err != nil {
 		return nil, err
+	}
+	// A fault-tolerant transport joins the engine's registry so one
+	// snapshot carries both query anatomy and transport health.
+	if rc, ok := client.(*remote.ReliableClient); ok && e.tel != nil {
+		rc.Instrument(e.tel.reg)
 	}
 	region, v, err := e.allocRegion(spec)
 	if err != nil {
@@ -359,12 +382,14 @@ func (e *Engine) Provision(ctx context.Context, client NDPTransport, spec TableS
 	tab, staging, err := remote.ProvisionMirrored(ctx, client, e.scheme, geo, v, rows)
 	if err != nil {
 		e.versions.Release(region)
+		e.tel.recordOp("provision", start, err)
 		return nil, err
 	}
 	var mirror *Memory
 	if e.cfg.fallbackVerifyN > 0 {
 		mirror = staging
 	}
+	e.tel.recordOp("provision", start, nil)
 	return e.newTable(tab, client, region, mirror), nil
 }
 
@@ -379,7 +404,13 @@ func (t *Table) Geometry() core.Geometry { return t.tab.Geometry() }
 func (t *Table) Version() uint64 { return t.tab.Version() }
 
 // CacheStats reports cumulative pad-cache hits and misses (both zero when
-// the engine was built without WithPadCache).
+// the engine was built without WithPadCache). The two values are loaded
+// atomically but separately, so under concurrent queries they may be
+// mutually skewed by the lookups in flight between the loads — never
+// torn, and each monotone on its own. For a single consistent read path
+// across every subsystem, attach a registry (WithTelemetry) and read
+// Telemetry().Snapshot(), whose secndp_padcache_{hits,misses}_total
+// series carry the same documented guarantee.
 func (t *Table) CacheStats() (hits, misses uint64) { return t.cache.Stats() }
 
 // Request is one weighted-summation query: result[j] = Σ_k Weights[k] ·
@@ -413,6 +444,10 @@ type Result struct {
 	// Verified = false — no MAC check ran — but are computed wholly on the
 	// trusted side, so they are at least as trustworthy as verified ones.
 	Degraded bool
+	// Timing is the query's per-phase anatomy (always populated; no
+	// telemetry registry required). The concurrent phases overlap, so they
+	// do not sum to Timing.Total.
+	Timing Timing
 }
 
 // Query runs one request through the concurrent engine: the NDP computes
@@ -431,23 +466,34 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 	if err != nil {
 		return Result{}, err
 	}
-	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify}
+	start := time.Now()
+	var pt core.PhaseTimes
+	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify, Phases: &pt}
 	values, err := t.tab.QueryCtx(ctx, t.ndp, req.Idx, req.Weights, opts)
 	if err == nil {
 		if verify {
 			t.verifyFails.Store(0)
 		}
-		return Result{Values: values, Verified: verify}, nil
+		res := Result{Values: values, Verified: verify, Timing: timingFrom(pt, 0, time.Since(start))}
+		t.eng.tel.recordQuery("query", start, res.Timing, verify, false, nil)
+		return res, nil
 	}
 	if !t.shouldFallback(err) {
+		t.eng.tel.recordQuery("query", start, timingFrom(pt, 0, time.Since(start)), false, false, err)
 		return Result{}, err
 	}
+	fb := time.Now()
 	values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, req.Idx, req.Weights)
+	fbDur := time.Since(fb)
 	if ferr != nil {
-		return Result{}, fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, err)
+		ferr = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, err)
+		t.eng.tel.recordQuery("query", start, timingFrom(pt, fbDur, time.Since(start)), false, false, ferr)
+		return Result{}, ferr
 	}
 	t.degraded.Add(1)
-	return Result{Values: values, Degraded: true}, nil
+	res := Result{Values: values, Degraded: true, Timing: timingFrom(pt, fbDur, time.Since(start))}
+	t.eng.tel.recordQuery("query", start, res.Timing, false, true, nil)
+	return res, nil
 }
 
 // shouldFallback classifies a failed NDP query: semantic rejections and
@@ -500,33 +546,42 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	start := time.Now()
 	// Remote transports have no element op on the wire; with a mirror the
 	// TEE serves element queries locally instead of failing them.
 	if t.mirror != nil {
 		if _, isRemote := t.ndp.(core.ContextNDP); isRemote {
-			return t.queryElemFallback(ctx, req, nil)
+			return t.queryElemFallback(ctx, req, start, nil)
 		}
 	}
 	v, err := queryElemRecover(t.tab, t.ndp, req)
 	if err == nil {
-		return Result{Values: []uint64{v}}, nil
+		res := Result{Values: []uint64{v}, Timing: Timing{Total: time.Since(start)}}
+		t.eng.tel.recordQuery("query_elem", start, res.Timing, false, false, nil)
+		return res, nil
 	}
 	if !t.shouldFallback(err) {
+		t.eng.tel.recordQuery("query_elem", start, Timing{Total: time.Since(start)}, false, false, err)
 		return Result{}, err
 	}
-	return t.queryElemFallback(ctx, req, err)
+	return t.queryElemFallback(ctx, req, start, err)
 }
 
-func (t *Table) queryElemFallback(ctx context.Context, req Request, cause error) (Result, error) {
+func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.Time, cause error) (Result, error) {
+	fb := time.Now()
 	v, err := t.tab.LocalWeightedSumElem(ctx, t.mirror, req.Idx, req.Cols, req.Weights)
+	fbDur := time.Since(fb)
 	if err != nil {
 		if cause != nil {
-			return Result{}, fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", err, cause)
+			err = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", err, cause)
 		}
+		t.eng.tel.recordQuery("query_elem", start, Timing{Total: time.Since(start), Fallback: fbDur}, false, false, err)
 		return Result{}, err
 	}
 	t.degraded.Add(1)
-	return Result{Values: []uint64{v}, Degraded: true}, nil
+	res := Result{Values: []uint64{v}, Degraded: true, Timing: Timing{Total: time.Since(start), Fallback: fbDur}}
+	t.eng.tel.recordQuery("query_elem", start, res.Timing, false, true, nil)
+	return res, nil
 }
 
 // queryElemRecover converts NDP transport panics (the legacy failure mode
@@ -551,6 +606,9 @@ func (t *Table) QueryBatch(ctx context.Context, reqs []Request) ([]Result, error
 	errs := make([]error, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
+	}
+	if t.eng.tel != nil {
+		t.eng.tel.batches.Inc()
 	}
 	pool := t.eng.cfg.workers
 	if pool <= 0 {

@@ -1,0 +1,217 @@
+package secndp
+
+import (
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/telemetry"
+)
+
+// This file is the facade's observability wiring: the re-exported
+// telemetry registry, the WithTelemetry option, the per-query phase
+// timings surfaced on Result, and the span/metric recording that makes
+// one registry snapshot tell the whole story — pad-cache hit ratio,
+// transport retries and breaker state, OTP engine selection, and
+// per-phase query latency histograms. See DESIGN.md §7.
+
+// Telemetry is the unified metrics and tracing registry: lock-free
+// counters, gauges, and latency histograms with Prometheus/expvar
+// exporters, plus a ring buffer of recent query spans. Serve its Handler
+// (or call WriteProm/Snapshot) to observe a running engine; share one
+// registry between the engine (WithTelemetry), the transport
+// (ReliableNDP.Instrument, done automatically by Provision), and the NDP
+// server (Server.Instrument) for a single coherent snapshot.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.NewRegistry() }
+
+// WithTelemetry attaches a metrics + tracing registry to the engine:
+// every query records per-phase latency histograms and a span in the
+// registry's trace ring, the pad cache mirrors its hit/miss counters, and
+// the OTP generator counts keystream engine selections. nil — the default
+// — disables telemetry entirely; the disabled path is a nil check per
+// record site and adds no measurable cost to Query (benchmark-verified,
+// see BenchmarkQueryParallel / BenchmarkQueryParallelTelemetry).
+func WithTelemetry(reg *Telemetry) Option {
+	return func(c *config) { c.telemetry = reg }
+}
+
+// Timing is one query's anatomy: the wall-clock total plus each
+// architectural phase's own elapsed time. Pad, NDP, and Tag run
+// concurrently (the paper's OTP engines run ahead of the NDP, §V-C2), so
+// the phases deliberately do not sum to Total. Phases that did not run
+// are zero; Fallback is non-zero exactly when the result was recomputed
+// from the TEE mirror. Timing is always populated — no registry needed.
+type Timing struct {
+	// Total is the query's end-to-end latency inside the facade.
+	Total time.Duration
+	// Pad is the OTP-share half: pad regeneration fused with the weighted
+	// accumulate (Algorithm 4's trusted side).
+	Pad time.Duration
+	// NDP is the untrusted half's round trip: ciphertext sums (plus tag
+	// sums when verifying) and, for remote tables, the transport.
+	NDP time.Duration
+	// Tag is the tag-pad regeneration and field sum (Algorithm 5's
+	// trusted side), overlapped with Pad and NDP.
+	Tag time.Duration
+	// Verify is the join: share addition (decrypt), checksum recompute,
+	// and the encrypted-MAC compare.
+	Verify time.Duration
+	// Fallback is the TEE-mirror local recompute, when the NDP could not
+	// serve the query (graceful degradation).
+	Fallback time.Duration
+}
+
+func timingFrom(pt core.PhaseTimes, fallback, total time.Duration) Timing {
+	return Timing{
+		Total:    total,
+		Pad:      pt.Pad,
+		NDP:      pt.NDP,
+		Tag:      pt.Tag,
+		Verify:   pt.Verify,
+		Fallback: fallback,
+	}
+}
+
+// engineTelemetry holds the engine's pre-resolved metric handles so the
+// hot path never touches the registry's registration lock. A nil
+// *engineTelemetry (telemetry disabled) makes every method a no-op.
+type engineTelemetry struct {
+	reg *telemetry.Registry
+
+	queries     *telemetry.Counter
+	queryErrors *telemetry.Counter
+	verified    *telemetry.Counter
+	degraded    *telemetry.Counter
+	batches     *telemetry.Counter
+	provisions  *telemetry.Counter
+	encrypts    *telemetry.Counter
+
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+
+	queryHist *telemetry.Histogram
+	phaseHist [telemetry.NumPhases]*telemetry.Histogram
+}
+
+func newEngineTelemetry(reg *telemetry.Registry) *engineTelemetry {
+	if reg == nil {
+		return nil
+	}
+	et := &engineTelemetry{
+		reg: reg,
+		queries: reg.Counter("secndp_queries_total",
+			"Queries completed by the facade (success or failure)."),
+		queryErrors: reg.Counter("secndp_query_errors_total",
+			"Queries that returned an error."),
+		verified: reg.Counter("secndp_queries_verified_total",
+			"Queries whose encrypted-MAC check ran and passed."),
+		degraded: reg.Counter("secndp_queries_degraded_total",
+			"Queries served from the TEE ciphertext mirror instead of the NDP."),
+		batches: reg.Counter("secndp_batches_total",
+			"QueryBatch calls."),
+		provisions: reg.Counter("secndp_provisions_total",
+			"Tables provisioned to a remote NDP."),
+		encrypts: reg.Counter("secndp_encrypts_total",
+			"Tables encrypted into local untrusted memory."),
+		cacheHits: reg.Counter("secndp_padcache_hits_total",
+			"Pad-cache hits across the engine's tables."),
+		cacheMisses: reg.Counter("secndp_padcache_misses_total",
+			"Pad-cache misses across the engine's tables."),
+		queryHist: reg.Histogram("secndp_query_seconds",
+			"End-to-end query latency.", nil),
+	}
+	for p := 0; p < telemetry.NumPhases; p++ {
+		name := telemetry.Phase(p).String()
+		et.phaseHist[p] = reg.Histogram("secndp_phase_"+name+"_seconds",
+			"Per-query elapsed time of the "+name+" phase.", nil)
+	}
+	return et
+}
+
+// instrumentGenerator attaches the OTP engine-selection counters.
+func (et *engineTelemetry) instrumentGenerator(scheme *core.Scheme) {
+	if et == nil {
+		return
+	}
+	scheme.Generator().Instrument(
+		et.reg.Counter("secndp_otp_engine_native_total",
+			"Pad runs served by the native AES-NI CTR assembly."),
+		et.reg.Counter("secndp_otp_engine_stream_total",
+			"Pad runs served by the stdlib AES-CTR stream."),
+		et.reg.Counter("secndp_otp_engine_perblock_total",
+			"Pad runs served by per-block cipher encryption (no AES-NI)."),
+	)
+}
+
+// recordQuery folds one completed query into the registry: counters, the
+// end-to-end and per-phase histograms, and a span in the trace ring.
+func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, verified, degraded bool, err error) {
+	if et == nil {
+		return
+	}
+	et.queries.Inc()
+	if err != nil {
+		et.queryErrors.Inc()
+	}
+	if verified {
+		et.verified.Inc()
+	}
+	if degraded {
+		et.degraded.Inc()
+	}
+	et.queryHist.Observe(tm.Total)
+	span := telemetry.Span{
+		Op:       op,
+		Start:    start,
+		Total:    tm.Total,
+		Verified: verified,
+		Degraded: degraded,
+	}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	phases := [telemetry.NumPhases]time.Duration{
+		telemetry.PhasePad:      tm.Pad,
+		telemetry.PhaseNDP:      tm.NDP,
+		telemetry.PhaseTag:      tm.Tag,
+		telemetry.PhaseVerify:   tm.Verify,
+		telemetry.PhaseFallback: tm.Fallback,
+	}
+	for p, d := range phases {
+		if d != 0 {
+			et.phaseHist[p].Observe(d)
+			span.Phases[p] = d
+		}
+	}
+	et.reg.RecordSpan(span)
+}
+
+// recordOp folds a non-query operation (provision, encrypt) into the
+// registry as a counter bump plus a single-phase span.
+func (et *engineTelemetry) recordOp(op string, start time.Time, err error) {
+	if et == nil {
+		return
+	}
+	switch op {
+	case "provision":
+		et.provisions.Inc()
+	case "encrypt":
+		et.encrypts.Inc()
+	}
+	span := telemetry.Span{Op: op, Start: start, Total: time.Since(start)}
+	if err != nil {
+		span.Err = err.Error()
+	}
+	et.reg.RecordSpan(span)
+}
+
+// Telemetry returns the registry attached with WithTelemetry, or nil when
+// the engine runs without telemetry.
+func (e *Engine) Telemetry() *Telemetry {
+	if e.tel == nil {
+		return nil
+	}
+	return e.tel.reg
+}
