@@ -43,6 +43,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzReadQuery$$' -fuzztime $(FUZZTIME) ./internal/remote
 	$(GO) test -run xxx -fuzz '^FuzzClientResponse$$' -fuzztime $(FUZZTIME) ./internal/remote
 	$(GO) test -run xxx -fuzz '^FuzzServeOne$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzReadBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/remote
+	$(GO) test -run xxx -fuzz '^FuzzReadBatchResponse$$' -fuzztime $(FUZZTIME) ./internal/remote
 	$(GO) test -run xxx -fuzz '^FuzzEncryptDecryptRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz '^FuzzVerifyRejectsTamper$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz '^FuzzQueryLinearity$$' -fuzztime $(FUZZTIME) ./internal/core

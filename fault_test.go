@@ -332,3 +332,59 @@ func TestFaultChaosSoak(t *testing.T) {
 	t.Logf("soak: %d hard errors, %d degraded, stats %+v, degraded count %d",
 		hard, degraded, h.rc.Stats(), h.tab.DegradedCount())
 }
+
+func TestFaultChaosBatchSoak(t *testing.T) {
+	// The batched pipeline under the same chaos schedule as the single-query
+	// soak: every opBatch frame rides one connection draw, so drops, delays,
+	// corruption, truncation, and resets all land on batch traffic. The
+	// invariant is per sub-request: correct values, or a typed error — a
+	// damaged batch may degrade or fail, never lie.
+	h := newFaultHarness(t, 111, fastTransport(), WithFallback(1))
+	h.proxy.SetSchedule(faultproxy.Chaos{
+		Seed: 43, PDrop: 0.15, PDelay: 0.15, PCorrupt: 0.15,
+		PTruncate: 0.15, PReset: 0.15,
+	})
+	h.proxy.BreakConns()
+	rng := rand.New(rand.NewSource(112))
+	var hard, degraded, coalesced int
+	for b := 0; b < 12; b++ {
+		reqs := make([]Request, 2+rng.Intn(6))
+		for i := range reqs {
+			n := 1 + rng.Intn(3)
+			idx := make([]int, n)
+			w := make([]uint64, n)
+			for k := range idx {
+				idx[k] = rng.Intn(8) // hot rows: exercise cross-request dedup
+				w[k] = 1 + rng.Uint64()%16
+			}
+			reqs[i] = Request{Idx: idx, Weights: w}
+		}
+		out, err := h.tab.QueryBatch(context.Background(), reqs)
+		if err != nil {
+			if !errors.Is(err, ErrRetriesExhausted) && !errors.Is(err, ErrCircuitOpen) &&
+				!errors.Is(err, ErrVerification) {
+				t.Fatalf("batch %d: untyped error %v", b, err)
+			}
+		}
+		for i := range reqs {
+			if out[i].Values == nil {
+				hard++
+				continue
+			}
+			want := plainSum(h.rows, reqs[i].Idx, reqs[i].Weights, 32, 0xFFFFFFFF)
+			for j := range want {
+				if out[i].Values[j] != want[j] {
+					t.Fatalf("batch %d request %d col %d: %d != %d (degraded=%v)",
+						b, i, j, out[i].Values[j], want[j], out[i].Degraded)
+				}
+			}
+			if out[i].Degraded {
+				degraded++
+			} else {
+				coalesced++
+			}
+		}
+	}
+	t.Logf("batch soak: %d hard errors, %d degraded, %d clean, stats %+v",
+		hard, degraded, coalesced, h.rc.Stats())
+}

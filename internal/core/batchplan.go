@@ -1,0 +1,583 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/otp"
+)
+
+// This file is the batched query pipeline: the trusted-side half of serving
+// a whole []BatchRequest as one coalesced operation. Three levers, all
+// enabled by the scheme's linearity:
+//
+//  1. Cross-request pad dedup. DLRM-style batches reference the same hot
+//     embedding rows from many sub-requests. The planner collapses the
+//     batch to its distinct rows, each row's OTP pad (and tag pad) is
+//     generated once, and the shared pad is scattered into every
+//     requester's accumulator — turning B×L AES pad generations into
+//     one per distinct row.
+//  2. One NDP exchange. The whole batch rides a single BatchNDP call
+//     (one wire round-trip for remote NDPs) instead of N.
+//  3. Aggregated verification. Instead of B independent checksum
+//     recomputations, one random linear combination of all results is
+//     checked against the combined tags (§IV-F linearity); bisection
+//     isolates individual failures on the rare mismatch.
+
+// BatchStats reports how much coalescing one QueryBatchCtx call achieved.
+// Populated when QueryOptions.Stats is non-nil.
+type BatchStats struct {
+	// Requests is the number of sub-requests in the batch.
+	Requests int
+	// RowRefs counts row references across all well-formed sub-requests.
+	RowRefs int
+	// DistinctRows counts rows after cross-request dedup; the pad dedup
+	// hit ratio is 1 − DistinctRows/RowRefs.
+	DistinctRows int
+	// WireOps is the number of NDP exchanges used (1 on the pipelined
+	// path; the fan-out path leaves it 0 — its per-request calls are
+	// counted by the transport, not here).
+	WireOps int
+	// Bisections counts aggregate-verify splits performed to isolate
+	// failing sub-requests (0 when the whole batch verifies clean).
+	Bisections int
+	// Pipelined reports whether the coalesced pipeline served the batch
+	// (false: per-request fan-out, e.g. the NDP lacks batch support).
+	Pipelined bool
+}
+
+// batchUse is one sub-request's appearance on a planned row's scatter
+// list.
+type batchUse struct {
+	req    int32
+	weight uint64
+}
+
+// plannedRow is one distinct row and every (request, weight) that
+// references it.
+type plannedRow struct {
+	row  int
+	uses []batchUse
+}
+
+// batchPlan is the deduplicated access plan for a batch: distinct rows in
+// first-appearance order, each carrying its scatter list.
+type batchPlan struct {
+	rows []plannedRow
+	refs int // total row references planned (post-skip, pre-dedup)
+	scr  *batchPlanScratch
+}
+
+// batchPlanScratch is the pooled backing store of one batchPlan: the row
+// list, one arena holding every scatter list, and the per-row use counts
+// of the planner's first pass. None of it holds pointers beyond the pooled
+// arrays themselves, so recycling needs no clearing.
+type batchPlanScratch struct {
+	rows   []plannedRow
+	uses   []batchUse
+	counts []int32
+}
+
+var planScratch = sync.Pool{New: func() any { return new(batchPlanScratch) }}
+
+// release recycles the plan's backing store. The caller must be done with
+// every scatter list; the plan is unusable afterwards.
+func (p *batchPlan) release() {
+	if p.scr != nil {
+		planScratch.Put(p.scr)
+		p.scr, p.rows = nil, nil
+	}
+}
+
+// maxDenseSlots bounds the row space for which the planner's row→slot
+// lookup uses a pooled dense table instead of a map: one array index per
+// reference, with only the touched entries reset afterwards.
+const maxDenseSlots = 1 << 16
+
+// planBatch scans the batch and collapses it to distinct rows. Duplicate
+// references to a row from the same sub-request coalesce into one use with
+// the summed weight — exact for the ring side (2^we divides 2^64) and kept
+// exact for the field side by splitting the use when the uint64 sum would
+// carry (a carried sum is no longer the same scalar mod q). Sub-requests
+// flagged in skip contribute nothing. numRows is the table's row count
+// (every non-skipped index must already be validated against it); pass 0
+// to force the map-based lookup.
+func planBatch(reqs []BatchRequest, skip []bool, numRows int) batchPlan {
+	var plan batchPlan
+	total := 0
+	for ri := range reqs {
+		if skip == nil || !skip[ri] {
+			total += len(reqs[ri].Idx)
+		}
+	}
+	scr := planScratch.Get().(*batchPlanScratch)
+	if cap(scr.rows) < total {
+		scr.rows = make([]plannedRow, 0, total)
+	}
+	if cap(scr.uses) < total {
+		scr.uses = make([]batchUse, 0, total)
+	}
+	if cap(scr.counts) < total {
+		scr.counts = make([]int32, 0, total)
+	}
+	plan.rows = scr.rows[:0]
+	plan.scr = scr
+	counts := scr.counts[:0]
+	var (
+		slots   []int32
+		slotTok *[]int32
+		slotMap map[int]int32
+	)
+	if numRows > 0 && numRows <= maxDenseSlots {
+		slotTok, slots = getSlotScratch(numRows)
+	} else {
+		slotMap = make(map[int]int32, total)
+	}
+	lookup := func(row int) int32 {
+		if slots != nil {
+			return slots[row]
+		}
+		if v, ok := slotMap[row]; ok {
+			return v
+		}
+		return -1
+	}
+	// Pass 1: assign slots in first-appearance order and count each
+	// distinct row's references — the capacity bound its scatter list is
+	// carved with, so pass 2 appends never allocate.
+	for ri := range reqs {
+		if skip != nil && skip[ri] {
+			continue
+		}
+		for _, row := range reqs[ri].Idx {
+			plan.refs++
+			si := lookup(row)
+			if si < 0 {
+				si = int32(len(plan.rows))
+				if slots != nil {
+					slots[row] = si
+				} else {
+					slotMap[row] = si
+				}
+				plan.rows = append(plan.rows, plannedRow{row: row})
+				counts = append(counts, 0)
+			}
+			counts[si]++
+		}
+	}
+	// Carve every scatter list out of one shared arena.
+	arena := scr.uses[:0]
+	off := 0
+	for i := range plan.rows {
+		c := int(counts[i])
+		plan.rows[i].uses = arena[off:off:off+c]
+		off += c
+	}
+	// Pass 2: fill the lists. Requests are scanned one at a time, so a
+	// row's uses from the current request are always the tail of its list
+	// and in-request duplicates coalesce there.
+	for ri := range reqs {
+		if skip != nil && skip[ri] {
+			continue
+		}
+		req := &reqs[ri]
+		for k, row := range req.Idx {
+			w := req.Weights[k]
+			si := lookup(row)
+			uses := plan.rows[si].uses
+			if n := len(uses); n > 0 && uses[n-1].req == int32(ri) {
+				if sum, carry := bits.Add64(uses[n-1].weight, w, 0); carry == 0 {
+					uses[n-1].weight = sum
+					continue
+				}
+			}
+			plan.rows[si].uses = append(uses, batchUse{req: int32(ri), weight: w})
+		}
+	}
+	if slotTok != nil {
+		// Restore the all−1 invariant before pooling the table back:
+		// only the entries this plan touched.
+		for i := range plan.rows {
+			slots[plan.rows[i].row] = -1
+		}
+		putSlotScratch(slotTok)
+	}
+	return plan
+}
+
+// batchTileRows bounds how many distinct rows' pads are resident at once
+// during the batched OTP sweep, so arbitrarily large batches run in
+// constant extra memory.
+const batchTileRows = 512
+
+// otpBatch computes every sub-request's OTP share vector (and, when
+// verifying, tag-pad field sum) from a deduplicated plan: each distinct
+// row's pad is generated once — through the PadCache when one is
+// configured — and scattered to all requesters. Generation parallelizes
+// across the worker pool tile by tile; the scatter is serial (it is pure
+// multiply-accumulate, orders of magnitude cheaper than the AES
+// generation it follows).
+// otpBatch additionally returns a release callback that recycles the
+// accumulator arena; the caller must invoke it once every accs[i] has been
+// consumed (and must not touch accs afterwards).
+func (t *Table) otpBatch(ctx context.Context, plan batchPlan, skip []bool, verify bool, opts QueryOptions) ([][]uint64, []field.Elem, func(), error) {
+	m := t.geo.Params.M
+	valid := 0
+	for i := range skip {
+		if !skip[i] {
+			valid++
+		}
+	}
+	// All accumulators live in one pooled zeroed arena: one grab per
+	// batch instead of one allocation per sub-request.
+	accTok, accArena := getU64Zeroed(valid * m)
+	release := func() { putU64Scratch(accTok) }
+	accs := make([][]uint64, len(skip))
+	next := 0
+	for i := range skip {
+		if !skip[i] {
+			accs[i] = accArena[next*m : (next+1)*m : (next+1)*m]
+			next++
+		}
+	}
+	tags := make([]field.Elem, len(skip))
+	if len(plan.rows) == 0 {
+		return accs, tags, release, nil
+	}
+	// Per-request tag-pad sums accumulate unreduced; one fold per request
+	// at the end instead of one per (row, user) visit.
+	var tagAccs []field.Acc
+	if verify {
+		tagAccs = make([]field.Acc, len(skip))
+	}
+
+	nTile := batchTileRows
+	if len(plan.rows) < nTile {
+		nTile = len(plan.rows)
+	}
+	type padEntry struct {
+		pads []uint64
+		tag  field.Elem
+	}
+	entries := make([]padEntry, nTile)
+	var arena []uint64
+	if opts.Cache == nil {
+		// Without a cache, pads live in a pooled per-tile arena. With a
+		// cache they live in cache-owned slices (the cache retains what
+		// it is handed, so misses must allocate fresh).
+		ap, a := getU64Scratch(nTile * m)
+		defer putU64Scratch(ap)
+		arena = a
+	}
+
+	genRange := func(tile, lo, hi int, fused bool) error {
+		bp, buf := getByteScratch(t.geo.Params.RowBytes())
+		defer putByteScratch(bp)
+		for s := lo; s < hi; s++ {
+			if (s-lo)%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			pr := &plan.rows[tile+s]
+			addr := t.geo.Layout.RowAddr(pr.row)
+			if verify {
+				entries[s].tag = field.FromBytes(padBytes(t.scheme.gen.TagPad(addr, t.version)))
+			}
+			switch {
+			case opts.Cache != nil:
+				pads, ok := opts.Cache.get(pr.row)
+				if !ok {
+					t.scheme.gen.PadsInto(buf, otp.DomainData, addr, t.version)
+					pads = t.r.UnpackElems(buf)
+					opts.Cache.put(pr.row, pads)
+				}
+				entries[s].pads = pads
+			case fused && len(pr.uses) == 1:
+				// A row only one sub-request references gains nothing from
+				// staging: the fused generate-scale-accumulate kernel runs
+				// straight into that requester's accumulator, skipping the
+				// unpack and the scatter visit. Accumulators are shared
+				// across rows of the same sub-request, so this arm is only
+				// taken on the serial generation path (fused=false under
+				// the worker fan-out, where two workers could hold
+				// single-use rows of one request).
+				u := pr.uses[0]
+				t.scheme.gen.PadScaleAccum(accs[u.req], u.weight, t.geo.Params.We,
+					otp.DomainData, addr, t.version)
+				entries[s].pads = nil
+			default:
+				dst := arena[s*m : (s+1)*m]
+				t.scheme.gen.PadsInto(buf, otp.DomainData, addr, t.version)
+				t.r.UnpackElemsInto(dst, buf)
+				entries[s].pads = dst
+			}
+		}
+		return nil
+	}
+
+	workers := opts.workerCount(len(plan.rows))
+	for tile := 0; tile < len(plan.rows); tile += nTile {
+		cnt := len(plan.rows) - tile
+		if cnt > nTile {
+			cnt = nTile
+		}
+		if workers == 1 || cnt < 2*ctxCheckStride {
+			if err := genRange(tile, 0, cnt, true); err != nil {
+				release()
+				return nil, nil, nil, err
+			}
+		} else {
+			w := workers
+			if w > cnt {
+				w = cnt
+			}
+			chunk := (cnt + w - 1) / w
+			errs := make([]error, w)
+			var wg sync.WaitGroup
+			for s := 0; s < w; s++ {
+				lo := s * chunk
+				hi := lo + chunk
+				if hi > cnt {
+					hi = cnt
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(s, lo, hi int) {
+					defer wg.Done()
+					errs[s] = genRange(tile, lo, hi, false)
+				}(s, lo, hi)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					release()
+					return nil, nil, nil, err
+				}
+			}
+		}
+		for s := 0; s < cnt; s++ {
+			pr := &plan.rows[tile+s]
+			for _, u := range pr.uses {
+				if entries[s].pads != nil {
+					t.r.ScaleAccum(accs[u.req], u.weight, entries[s].pads)
+				}
+				if verify {
+					tagAccs[u.req].AddMulUint64(entries[s].tag, u.weight)
+				}
+			}
+		}
+	}
+	if verify {
+		for i := range tags {
+			tags[i] = tagAccs[i].Sum()
+		}
+	}
+	return accs, tags, release, nil
+}
+
+// queryBatchPipelined serves the whole batch as one coalesced operation:
+// one BatchNDP exchange running concurrently with one deduplicated OTP
+// sweep, then one aggregated verification. A non-nil error is a
+// batch-level failure (transport trouble) and means nothing was decided —
+// the caller falls back to per-request fan-out. Per-sub-request problems
+// land in the returned BatchResult.Err slots with errors byte-identical
+// to the serial path's.
+func (t *Table) queryBatchPipelined(ctx context.Context, bn BatchNDP, reqs []BatchRequest, opts QueryOptions) ([]BatchResult, error) {
+	out := make([]BatchResult, len(reqs))
+	if opts.Verify && t.geo.Layout.Placement == memory.TagNone {
+		for i := range out {
+			out[i].Err = fmt.Errorf("%w; disable verification for Enc-only tables", ErrNoTags)
+		}
+		return out, nil
+	}
+	skip := make([]bool, len(reqs))
+	for i := range reqs {
+		if err := checkQuery(t.geo, reqs[i].Idx, reqs[i].Weights); err != nil {
+			out[i].Err = err
+			skip[i] = true
+		}
+	}
+	valid := make([]BatchRequest, 0, len(reqs))
+	validIdx := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if !skip[i] {
+			valid = append(valid, reqs[i])
+			validIdx = append(validIdx, i)
+		}
+	}
+
+	plan := planBatch(reqs, skip, t.geo.Layout.NumRows)
+	defer plan.release()
+	if opts.Stats != nil {
+		opts.Stats.RowRefs = plan.refs
+		opts.Stats.DistinctRows = len(plan.rows)
+	}
+	if len(valid) == 0 {
+		return out, nil
+	}
+
+	// Ciphertext side: the whole batch in one NDP exchange, in the
+	// background while the OTP sweep runs.
+	type ndpBatchOut struct {
+		res []NDPBatchResult
+		err error
+	}
+	ch := make(chan ndpBatchOut, 1)
+	go func() {
+		var o ndpBatchOut
+		defer func() {
+			if r := recover(); r != nil {
+				o.err = fmt.Errorf("core: ndp failed: %v", r)
+			}
+			ch <- o
+		}()
+		o.res, o.err = bn.WeightedTagSumBatch(ctx, t.geo, valid, opts.Verify)
+	}()
+
+	accs, tags, accRelease, otpErr := t.otpBatch(ctx, plan, skip, opts.Verify, opts)
+	nd := <-ch
+	if otpErr != nil {
+		return nil, otpErr
+	}
+	defer accRelease()
+	if nd.err != nil {
+		return nil, nd.err
+	}
+	if len(nd.res) != len(valid) {
+		return nil, fmt.Errorf("core: ndp answered %d of %d batch sub-requests", len(nd.res), len(valid))
+	}
+	if opts.Stats != nil {
+		opts.Stats.WireOps = 1
+		opts.Stats.Pipelined = true
+	}
+
+	// Join the halves; collect the verifiable survivors. Every decrypted
+	// result is carved from one slab (the slab's ownership leaves with
+	// the results, so it is not pooled).
+	m := t.geo.Params.M
+	resSlab := make([]uint64, len(valid)*m)
+	checked := make([]int, 0, len(valid))
+	combined := make([]field.Elem, 0, len(valid))
+	for vi, i := range validIdx {
+		r := nd.res[vi]
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		if len(r.Sums) != m {
+			out[i].Err = fmt.Errorf("core: ndp returned %d columns, want %d", len(r.Sums), m)
+			continue
+		}
+		res := resSlab[vi*m : (vi+1)*m : (vi+1)*m]
+		t.r.AddVec(res, r.Sums, accs[i])
+		out[i].Res = res
+		if opts.Verify {
+			checked = append(checked, i)
+			combined = append(combined, field.Add(r.Tag, tags[i]))
+		}
+	}
+	if opts.Verify {
+		t.verifyBatchAggregate(out, checked, combined, opts.Stats)
+	}
+	return out, nil
+}
+
+// verifyBatchAggregate runs Algorithm 5's MAC check over a whole batch at
+// once. Draw an independent uniform nonzero coefficient r_i per
+// sub-request and test the single identity
+//
+//	Σ_i r_i·(h(res_i) − (C_Tres_i + E_Tres_i))  ==  0   over F_q,
+//
+// which by the checksum's linearity equals h(Σ r_i·res_i) − Σ r_i·tag_i —
+// one scalar compare for the whole batch instead of B equality checks,
+// with soundness degraded only to ≤ B·m/q: a forged batch survives only
+// if the adversary's per-request checksum errors happen to cancel under
+// coefficients drawn after the results were fixed (union bound over B
+// requests of the m/q single-check bound; q = 2^127−1, so the slack is
+// negligible).
+//
+// On aggregate mismatch the range bisects — each half rechecked under the
+// same coefficients — until the failing sub-request(s) are isolated; a
+// singleton aggregate is an exact check because r_i is invertible. Failing
+// requests get the same ErrVerification sentinel the serial path returns.
+func (t *Table) verifyBatchAggregate(out []BatchResult, checked []int, combined []field.Elem, stats *BatchStats) {
+	n := len(checked)
+	if n == 0 {
+		return
+	}
+	fail := func(pos int) {
+		out[checked[pos]] = BatchResult{Err: ErrVerification}
+	}
+	// Memoize each sub-request's checksum defect δ_i = h(res_i) − (C_T+E_T)_i
+	// in one pass over the results. Every aggregate — the whole batch, each
+	// bisection half, each singleton — is then the O(range) scalar sum
+	// Σ r_i·δ_i, never a re-scan of the result vectors: by the checksum's
+	// linearity this is the same quantity as h(Σ r_i·res_i) − Σ r_i·combined_i.
+	deltas := make([]field.Elem, n)
+	clean := true
+	for pos, ri := range checked {
+		deltas[pos] = field.Sub(t.resultChecksum(out[ri].Res), combined[pos])
+		clean = clean && deltas[pos].IsZero()
+	}
+	if clean {
+		// Every defect is zero, so Σ r_i·δ_i = 0 holds for any coefficient
+		// draw — the aggregate accepts with certainty and no randomness is
+		// spent. This is the common case: honest NDP, untampered memory.
+		return
+	}
+	coeffs := make([]field.Elem, n)
+	rb := make([]byte, 16*n)
+	if _, err := rand.Read(rb); err != nil {
+		// No randomness, no aggregation: exact per-request checks.
+		for pos := range checked {
+			if !deltas[pos].IsZero() {
+				fail(pos)
+			}
+		}
+		return
+	}
+	for i := range coeffs {
+		coeffs[i] = field.FromBytes(rb[16*i : 16*i+16])
+		if coeffs[i].IsZero() {
+			coeffs[i] = field.One
+		}
+	}
+	aggOK := func(lo, hi int) bool {
+		acc := field.Zero
+		for i := lo; i < hi; i++ {
+			acc = field.Add(acc, field.Mul(coeffs[i], deltas[i]))
+		}
+		return acc.IsZero()
+	}
+	// Both sides of the identity are additive over sub-ranges, so if an
+	// aggregate fails at least one of its halves fails: bisection always
+	// terminates at the corrupted request(s).
+	var bisect func(lo, hi int)
+	bisect = func(lo, hi int) {
+		if hi-lo == 1 {
+			fail(lo)
+			return
+		}
+		if stats != nil {
+			stats.Bisections++
+		}
+		mid := (lo + hi) / 2
+		if !aggOK(lo, mid) {
+			bisect(lo, mid)
+		}
+		if !aggOK(mid, hi) {
+			bisect(mid, hi)
+		}
+	}
+	if !aggOK(0, n) {
+		bisect(0, n)
+	}
+}

@@ -21,6 +21,16 @@ import "secndp/internal/field"
 // Both forms are linear in the row elements, which is the property the
 // whole verification scheme rests on (§IV-F).
 func checksumRow(seeds []field.Elem, elems []uint64) field.Elem {
+	return checksumRowWith(seeds, elems, nil)
+}
+
+// checksumRowWith is checksumRow with caller-provided power scratch for
+// the multi-seed path. cnt_s ≤ 4 (every configuration the repo ships) uses
+// a stack array and never touches scratch; larger seed counts reuse
+// scratch when it has capacity, so per-row callers (table encryption, the
+// batch verifier's bisection leaves) allocate the power table once instead
+// of once per row. scratch contents are clobbered; nil always works.
+func checksumRowWith(seeds []field.Elem, elems []uint64, scratch []field.Elem) field.Elem {
 	switch len(seeds) {
 	case 0:
 		panic("core: checksumRow needs at least one seed")
@@ -32,7 +42,16 @@ func checksumRow(seeds []field.Elem, elems []uint64) field.Elem {
 	// pows[r] tracks s_r^e for the next term with (m-j) ≡ r (mod cnt).
 	// The first k = m-j with residue r is r itself (exponent 0) for r ≥ 1,
 	// and cnt (exponent 1) for r = 0.
-	pows := make([]field.Elem, cnt)
+	var stack [4]field.Elem
+	var pows []field.Elem
+	switch {
+	case cnt <= len(stack):
+		pows = stack[:cnt]
+	case cap(scratch) >= cnt:
+		pows = scratch[:cnt]
+	default:
+		pows = make([]field.Elem, cnt)
+	}
 	for r := range pows {
 		if r == 0 {
 			pows[r] = seeds[0]
@@ -44,6 +63,82 @@ func checksumRow(seeds []field.Elem, elems []uint64) field.Elem {
 	for k := 1; k <= m; k++ {
 		r := k % cnt
 		term := field.MulUint64(pows[r], elems[m-k])
+		acc = field.Add(acc, term)
+		pows[r] = field.Mul(pows[r], seeds[r])
+	}
+	return acc
+}
+
+// checksumPowers materializes the coefficient table of the length-m
+// checksum polynomial, aligned with element order: powers[j] is the field
+// element that multiplies elems[j], i.e. s^(m-j) for the single-seed
+// Algorithm 2 form and s_{(m-j) mod cnt}^{⌊(m-j)/cnt⌋} for Algorithm 8.
+// The table depends only on the seeds (fixed per table) and m, so hashing
+// a length-m row against a cached table is one deferred-reduction dot
+// product — zero full 128×128 multiplications; the power-update Muls are
+// hoisted out of every verification.
+func checksumPowers(seeds []field.Elem, m int) []field.Elem {
+	cnt := len(seeds)
+	pows := make([]field.Elem, cnt)
+	for r := range pows {
+		if r == 0 {
+			pows[r] = seeds[0]
+		} else {
+			pows[r] = field.One
+		}
+	}
+	table := make([]field.Elem, m)
+	for k := 1; k <= m; k++ {
+		r := k % cnt
+		table[m-k] = pows[r]
+		pows[r] = field.Mul(pows[r], seeds[r])
+	}
+	return table
+}
+
+// checksumRowPow evaluates the checksum against a precomputed power table.
+// len(elems) must equal len(powers).
+func checksumRowPow(powers []field.Elem, elems []uint64) field.Elem {
+	return field.DotUint64(powers, elems)
+}
+
+// checksumRowField evaluates the same polynomial over field-element
+// coefficients. The checksum is F_q-linear in its coefficients (§IV-F), so
+// for any scalars r_i and rows P_i:
+//
+//	Σ_i r_i · h(P_i)  =  checksumRowField(seeds, Σ_i r_i·lift(P_i))
+//
+// with the inner sum taken per column in F_q. This identity is what lets
+// the batch verifier check one random linear combination of a whole
+// batch's results against the combined tags instead of m multiplications
+// per request (aggregated verification; see batchplan.go).
+func checksumRowField(seeds []field.Elem, elems []field.Elem) field.Elem {
+	switch len(seeds) {
+	case 0:
+		panic("core: checksumRowField needs at least one seed")
+	case 1:
+		return field.HornerElems(seeds[0], elems)
+	}
+	cnt := len(seeds)
+	m := len(elems)
+	var stack [4]field.Elem
+	var pows []field.Elem
+	if cnt <= len(stack) {
+		pows = stack[:cnt]
+	} else {
+		pows = make([]field.Elem, cnt)
+	}
+	for r := range pows {
+		if r == 0 {
+			pows[r] = seeds[0]
+		} else {
+			pows[r] = field.One
+		}
+	}
+	acc := field.Zero
+	for k := 1; k <= m; k++ {
+		r := k % cnt
+		term := field.Mul(pows[r], elems[m-k])
 		acc = field.Add(acc, term)
 		pows[r] = field.Mul(pows[r], seeds[r])
 	}

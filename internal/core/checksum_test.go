@@ -47,6 +47,27 @@ func TestChecksumMultiSeedMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestChecksumPowerTableMatchesNaive pins the precomputed-power fast path
+// (the per-table cache behind resultChecksum) to the naive oracle across
+// seed counts and row lengths.
+func TestChecksumPowerTableMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, cnt := range []int{1, 2, 3, 4, 7} {
+		for trial := 0; trial < 10; trial++ {
+			m := 1 + rng.Intn(100)
+			elems := make([]uint64, m)
+			for i := range elems {
+				elems[i] = rng.Uint64()
+			}
+			seeds := randSeeds(rng, cnt)
+			pows := checksumPowers(seeds, m)
+			if got, want := checksumRowPow(pows, elems), checksumRowNaive(seeds, elems); !got.Equal(want) {
+				t.Fatalf("cnt=%d m=%d: power table %v != naive %v", cnt, m, got, want)
+			}
+		}
+	}
+}
+
 func TestChecksumPanicsWithoutSeeds(t *testing.T) {
 	defer func() {
 		if recover() == nil {

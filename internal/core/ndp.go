@@ -53,10 +53,15 @@ var _ NDP = (*HonestNDP)(nil)
 func (n *HonestNDP) WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64 {
 	r := geo.ringOf()
 	acc := make([]uint64, geo.Params.M)
+	bp, rowBuf := getByteScratch(geo.Layout.RowBytes)
+	up, row := getU64Scratch(geo.Params.M)
 	for k, i := range idx {
-		row := r.UnpackElems(geo.Layout.ReadRow(n.Mem, i))
+		geo.Layout.ReadRowInto(n.Mem, i, rowBuf)
+		r.UnpackElemsInto(row, rowBuf)
 		r.ScaleAccum(acc, weights[k], row)
 	}
+	putByteScratch(bp)
+	putU64Scratch(up)
 	return acc
 }
 
@@ -80,9 +85,121 @@ func (n *HonestNDP) WeightedSumElem(geo Geometry, idx, jdx []int, weights []uint
 // TagSum implements NDP.
 func (n *HonestNDP) TagSum(geo Geometry, idx []int, weights []uint64) field.Elem {
 	acc := field.Zero
+	var tb [memory.TagBytes]byte
 	for k, i := range idx {
-		ct := field.FromBytes(geo.Layout.ReadTag(n.Mem, i))
+		geo.Layout.ReadTagInto(n.Mem, i, tb[:])
+		ct := field.FromBytes(tb[:])
 		acc = field.Add(acc, field.MulUint64(ct, weights[k]))
 	}
 	return acc
+}
+
+// NDPBatchResult is one sub-request's answer from a batched NDP call.
+// Err is set (and Sums nil) when that sub-request was malformed; other
+// sub-requests in the batch are unaffected.
+type NDPBatchResult struct {
+	Sums []uint64
+	Tag  field.Elem
+	Err  error
+}
+
+// BatchNDP is an optional extension of NDP for implementations that can
+// answer a whole batch of weighted-sum (+ tag-sum) queries in one
+// exchange. Remote transports implement it with a single wire round-trip
+// (opBatch); HonestNDP answers in-process while deduplicating ciphertext
+// row reads shared across sub-requests. The batched query pipeline
+// (QueryBatchCtx) probes for this interface and falls back to per-request
+// fan-out when it is absent or SupportsBatch reports false.
+type BatchNDP interface {
+	NDP
+	// SupportsBatch reports whether the implementation can serve
+	// WeightedTagSumBatch. Remote clients answer this with a cached
+	// capability probe of the server; a false result is sticky for the
+	// connection.
+	SupportsBatch(ctx context.Context) bool
+	// WeightedTagSumBatch answers every sub-request: Sums[j] =
+	// Σ_k w_k·C[idx_k][j] mod 2^we, and, when verify is set, Tag =
+	// Σ_k w_k·C_T[idx_k] mod q. A non-nil error means the whole batch
+	// failed (transport trouble); per-sub-request problems land in the
+	// corresponding NDPBatchResult.Err instead. verify must not be set
+	// for geometries without tag placement.
+	WeightedTagSumBatch(ctx context.Context, geo Geometry, reqs []BatchRequest, verify bool) ([]NDPBatchResult, error)
+}
+
+var _ BatchNDP = (*HonestNDP)(nil)
+
+// SupportsBatch implements BatchNDP.
+func (n *HonestNDP) SupportsBatch(context.Context) bool { return true }
+
+// WeightedTagSumBatch implements BatchNDP. Distinct rows referenced by
+// several sub-requests are read and unpacked once and scattered into every
+// requester's accumulator — the untrusted half of the cross-request dedup
+// that the trusted side mirrors for pad generation.
+func (n *HonestNDP) WeightedTagSumBatch(ctx context.Context, geo Geometry, reqs []BatchRequest, verify bool) ([]NDPBatchResult, error) {
+	out := make([]NDPBatchResult, len(reqs))
+	skip := make([]bool, len(reqs))
+	for i, req := range reqs {
+		if err := checkQuery(geo, req.Idx, req.Weights); err != nil {
+			out[i].Err = err
+			skip[i] = true
+		}
+	}
+	plan := planBatch(reqs, skip, geo.Layout.NumRows)
+	defer plan.release()
+	r := geo.ringOf()
+	m := geo.Params.M
+	// One zeroed slab backs every sub-request's sum vector (the slab's
+	// ownership passes to the caller with the results).
+	valid := 0
+	for i := range skip {
+		if !skip[i] {
+			valid++
+		}
+	}
+	slab := make([]uint64, valid*m)
+	next := 0
+	for i := range reqs {
+		if !skip[i] {
+			out[i].Sums = slab[next*m : (next+1)*m : (next+1)*m]
+			next++
+		}
+	}
+	bp, rowBuf := getByteScratch(geo.Layout.RowBytes)
+	up, row := getU64Scratch(m)
+	defer putByteScratch(bp)
+	defer putU64Scratch(up)
+	var tagAccs []field.Acc
+	if verify {
+		tagAccs = make([]field.Acc, len(reqs))
+	}
+	var tb [memory.TagBytes]byte
+	for pi := range plan.rows {
+		if pi%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pr := &plan.rows[pi]
+		geo.Layout.ReadRowInto(n.Mem, pr.row, rowBuf)
+		r.UnpackElemsInto(row, rowBuf)
+		var ct field.Elem
+		if verify {
+			geo.Layout.ReadTagInto(n.Mem, pr.row, tb[:])
+			ct = field.FromBytes(tb[:])
+		}
+		for _, u := range pr.uses {
+			r.ScaleAccum(out[u.req].Sums, u.weight, row)
+			if verify {
+				tagAccs[u.req].AddMulUint64(ct, u.weight)
+			}
+		}
+	}
+	if verify {
+		for i := range out {
+			if !skip[i] {
+				out[i].Tag = tagAccs[i].Sum()
+			}
+		}
+	}
+	return out, nil
 }

@@ -35,6 +35,9 @@ type QueryOptions struct {
 	// concurrently with the OTP and tag halves), so they do not sum to the
 	// query's total latency — each is that half's own elapsed time.
 	Phases *PhaseTimes
+	// Stats, when non-nil, receives batch-coalescing counters from
+	// QueryBatchCtx (ignored by single-query entry points).
+	Stats *BatchStats
 }
 
 // PhaseTimes is one query's anatomy: how long each architectural half
@@ -73,7 +76,9 @@ func (t *Table) otpWeightedSumRange(ctx context.Context, idx []int, weights []ui
 	we := t.geo.Params.We
 	var buf []byte // staging for cache insertion; unused on the fused path
 	if cache != nil {
-		buf = make([]byte, t.geo.Params.RowBytes())
+		bp, b := getByteScratch(t.geo.Params.RowBytes())
+		defer putByteScratch(bp)
+		buf = b
 	}
 	for k := lo; k < hi; k++ {
 		if (k-lo)%ctxCheckStride == 0 && ctx != nil {
@@ -119,6 +124,7 @@ func (t *Table) OTPWeightedSumCtx(ctx context.Context, idx []int, weights []uint
 	}
 	chunk := (len(idx) + w - 1) / w
 	partials := make([][]uint64, 0, w)
+	tokens := make([]*[]uint64, 0, w)
 	errs := make([]error, w)
 	var wg sync.WaitGroup
 	for s := 0; s < w; s++ {
@@ -130,8 +136,9 @@ func (t *Table) OTPWeightedSumCtx(ctx context.Context, idx []int, weights []uint
 		if lo >= hi {
 			break
 		}
-		part := make([]uint64, t.geo.Params.M)
+		tok, part := getU64Zeroed(t.geo.Params.M)
 		partials = append(partials, part)
+		tokens = append(tokens, tok)
 		wg.Add(1)
 		go func(s, lo, hi int, part []uint64) {
 			defer wg.Done()
@@ -139,13 +146,23 @@ func (t *Table) OTPWeightedSumCtx(ctx context.Context, idx []int, weights []uint
 		}(s, lo, hi, part)
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			firstErr = err
+			break
 		}
 	}
-	for _, part := range partials {
-		t.r.AddVec(acc, acc, part)
+	if firstErr == nil {
+		for _, part := range partials {
+			t.r.AddVec(acc, acc, part)
+		}
+	}
+	for _, tok := range tokens {
+		putU64Scratch(tok)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return acc, nil
 }
@@ -341,19 +358,44 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 	return res, nil
 }
 
-// QueryBatchCtx runs many queries through a request-level worker pool,
-// sharing one pad cache across the batch (where DLRM's hot-row reuse pays
-// off). Each request uses the serial OTP path — for batches, inter-query
-// parallelism dominates intra-query sharding. Cancellation marks the
-// remaining requests with ctx.Err().
+// QueryBatchCtx runs many queries as one coalesced batch when the NDP
+// supports it: one wire exchange for every sub-request's ciphertext and
+// tag sums, each distinct row's OTP pad generated once and scattered to
+// all requesters, and a single aggregated tag verification over the whole
+// batch (bisecting to isolate failures). Per-request results and errors
+// are byte-identical to running QueryCtx per request.
+//
+// NDPs without batch support — or a batch-level transport failure — fall
+// back to the request-level worker pool, which still shares one pad cache
+// across the batch. Cancellation marks the remaining requests with
+// ctx.Err().
 func (t *Table) QueryBatchCtx(ctx context.Context, ndp NDP, reqs []BatchRequest, opts QueryOptions) []BatchResult {
-	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
-		return out
+		return make([]BatchResult, 0)
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Stats != nil {
+		*opts.Stats = BatchStats{Requests: len(reqs)}
+	}
+	if bn, ok := ndp.(BatchNDP); ok && bn.SupportsBatch(ctx) {
+		if out, err := t.queryBatchPipelined(ctx, bn, reqs, opts); err == nil {
+			return out
+		}
+		// Batch-level failure (transport trouble, capability raced away):
+		// the fan-out path re-runs everything per request.
+	}
+	if opts.Stats != nil {
+		opts.Stats.Pipelined = false
+	}
+	return t.queryBatchFanout(ctx, ndp, reqs, opts)
+}
+
+// queryBatchFanout is the per-request batch path: a request-level worker
+// pool over independent QueryCtx calls.
+func (t *Table) queryBatchFanout(ctx context.Context, ndp NDP, reqs []BatchRequest, opts QueryOptions) []BatchResult {
+	out := make([]BatchResult, len(reqs))
 	workers := opts.workerCount(len(reqs))
 	per := opts
 	per.Workers = 1

@@ -87,7 +87,7 @@ func (t *Table) Decrypt(cres, eres []uint64) []uint64 {
 // Checksum computes T_res = h_K(res), the verification engine's half of
 // Algorithm 5 (lines 8–10).
 func (t *Table) Checksum(res []uint64) field.Elem {
-	return checksumRow(t.seeds, res)
+	return t.resultChecksum(res)
 }
 
 // Verify runs the MAC check of Algorithm 5 line 16: the checksum of the
@@ -166,12 +166,20 @@ func (t *Table) QueryVerified(ndp NDP, idx []int, weights []uint64) ([]uint64, e
 }
 
 func (t *Table) checkQuery(idx []int, weights []uint64) error {
+	return checkQuery(t.geo, idx, weights)
+}
+
+// checkQuery validates one (idx, weights) query against a geometry. It is
+// shared by the per-request path, the batch planner (which must reject
+// malformed sub-requests with errors byte-identical to the serial path),
+// and HonestNDP's batched entry point.
+func checkQuery(geo Geometry, idx []int, weights []uint64) error {
 	if len(idx) != len(weights) {
 		return fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
 	}
 	for _, i := range idx {
-		if i < 0 || i >= t.geo.Layout.NumRows {
-			return fmt.Errorf("%w: row %d not in [0,%d)", ErrIndexRange, i, t.geo.Layout.NumRows)
+		if i < 0 || i >= geo.Layout.NumRows {
+			return fmt.Errorf("%w: row %d not in [0,%d)", ErrIndexRange, i, geo.Layout.NumRows)
 		}
 	}
 	return nil

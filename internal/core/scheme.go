@@ -39,6 +39,7 @@ type Table struct {
 	version uint64
 	r       ring.Ring
 	seeds   []field.Elem // checksum seed substrings s_0..s_{cnt-1}
+	ckPows  []field.Elem // precomputed checksum powers for length-M rows
 }
 
 // EncryptTable runs the initialization step T0 of Figure 4: Algorithm 1
@@ -91,7 +92,7 @@ func (s *Scheme) EncryptTableFrom(mem *memory.Space, geo Geometry, version uint6
 
 		if geo.Layout.Placement != memory.TagNone {
 			// Algorithm 2: T_i = h_K(P_i); Algorithm 3: C_Ti = T_i - E_Ti mod q.
-			ti := checksumRow(t.seeds, row)
+			ti := t.resultChecksum(row)
 			eti := field.FromBytes(padBytes(s.gen.TagPad(addr, version)))
 			cti := field.Sub(ti, eti)
 			b := cti.Bytes()
@@ -129,7 +130,20 @@ func (s *Scheme) openTable(geo Geometry, version uint64) *Table {
 		blk := s.gen.Block(otp.DomainSeed, geo.Layout.Base+uint64(k*otp.BlockBytes), version)
 		t.seeds[k] = field.FromBytes(blk[:])
 	}
+	if geo.Layout.Placement != memory.TagNone {
+		t.ckPows = checksumPowers(t.seeds, geo.Params.M)
+	}
 	return t
+}
+
+// resultChecksum is checksumRow specialized to this table: length-M inputs
+// (every query result and every plaintext row) hash against the
+// precomputed power table; anything else falls back to the generic form.
+func (t *Table) resultChecksum(elems []uint64) field.Elem {
+	if len(elems) == len(t.ckPows) {
+		return checksumRowPow(t.ckPows, elems)
+	}
+	return checksumRow(t.seeds, elems)
 }
 
 // padBytes adapts a [16]byte OTP block to a byte slice.

@@ -9,6 +9,7 @@
 package field
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -42,13 +43,8 @@ func New(hi, lo uint64) Elem { return reduce(Elem{Hi: hi, Lo: lo}) }
 // Algorithms 2 and 3), and reduces mod q. Panics if b is shorter than 16
 // bytes.
 func FromBytes(b []byte) Elem {
-	_ = b[15]
-	var lo, hi uint64
-	for i := 0; i < 8; i++ {
-		lo |= uint64(b[i]) << (8 * i)
-		hi |= uint64(b[8+i]) << (8 * i)
-	}
-	hi &= 0x7FFFFFFFFFFFFFFF // truncate bit 127
+	lo := binary.LittleEndian.Uint64(b[0:8])
+	hi := binary.LittleEndian.Uint64(b[8:16]) & 0x7FFFFFFFFFFFFFFF // truncate bit 127
 	return reduce(Elem{Hi: hi, Lo: lo})
 }
 
@@ -146,8 +142,83 @@ func Mul(a, b Elem) Elem {
 // MulUint64 returns a * k mod q for a small (uint64) scalar. This is the
 // hot operation when folding ring elements into checksums.
 func MulUint64(a Elem, k uint64) Elem {
-	return Mul(a, Elem{Lo: k})
+	// Specialized Mul with b.Hi = 0: the 192-bit product a*k is
+	// r2:r1:r0, then one Mersenne fold (2^128 ≡ 2 mod q).
+	h0, l0 := bits.Mul64(a.Lo, k)
+	h1, l1 := bits.Mul64(a.Hi, k)
+	r1, c := bits.Add64(h0, l1, 0)
+	r2 := h1 + c // a.Hi < 2^63 keeps h1 < 2^63: no overflow
+	lo, c := bits.Add64(l0, r2<<1, 0)
+	hi, carry := bits.Add64(r1, r2>>63, c)
+	if carry != 0 {
+		lo, c = bits.Add64(lo, 2, 0)
+		hi, _ = bits.Add64(hi, 0, c)
+	}
+	return reduce(Elem{Hi: hi, Lo: lo})
 }
+
+// DotUint64 returns Σ_i a[i]·k[i] mod q. The 192-bit term products
+// accumulate into one 256-bit running sum with a single Mersenne fold at
+// the end, so the inner loop is two Mul64s and three carried adds — no
+// per-term reduction. This is the checksum kernel: hashing a row against
+// a precomputed power table is exactly this dot product.
+func DotUint64(a []Elem, k []uint64) Elem {
+	if len(a) != len(k) {
+		panic("field: DotUint64 length mismatch")
+	}
+	var s0, s1, s2, s3 uint64
+	for i := range a {
+		h0, l0 := bits.Mul64(a[i].Lo, k[i])
+		h1, l1 := bits.Mul64(a[i].Hi, k[i])
+		m1, c1 := bits.Add64(h0, l1, 0)
+		var c uint64
+		s0, c = bits.Add64(s0, l0, 0)
+		s1, c = bits.Add64(s1, m1, c)
+		s2, c = bits.Add64(s2, h1+c1, c) // h1 < 2^63 keeps h1+c1 from overflowing
+		s3 += c
+	}
+	return fold256(s0, s1, s2, s3)
+}
+
+// fold256 reduces a 256-bit sum s3:s2:s1:s0 to a canonical element via
+// 2^128 ≡ 2 mod q. The top half must stay well below 2^127 (true for any
+// sum of fewer than 2^62 terms of Elem·uint64 products).
+func fold256(s0, s1, s2, s3 uint64) Elem {
+	hi2 := s3<<1 | s2>>63
+	lo2 := s2 << 1
+	lo, c := bits.Add64(s0, lo2, 0)
+	hi, carry := bits.Add64(s1, hi2, c)
+	if carry != 0 {
+		lo, c = bits.Add64(lo, 2, 0)
+		hi, _ = bits.Add64(hi, 0, c)
+	}
+	return reduce(Elem{Hi: hi, Lo: lo})
+}
+
+// Acc is a deferred-reduction accumulator for sums of Elem·uint64
+// products and canonical elements: terms land in a 256-bit running total
+// and a single Mersenne fold happens in Sum. The zero value is an empty
+// sum. It is the scatter-side counterpart of DotUint64 — use it when the
+// terms arrive interleaved across many accumulators (e.g. per-request tag
+// combination in the batched pipeline) instead of as one dense vector.
+type Acc struct {
+	s0, s1, s2, s3 uint64
+}
+
+// AddMulUint64 adds e·k to the accumulator.
+func (a *Acc) AddMulUint64(e Elem, k uint64) {
+	h0, l0 := bits.Mul64(e.Lo, k)
+	h1, l1 := bits.Mul64(e.Hi, k)
+	m1, c1 := bits.Add64(h0, l1, 0)
+	var c uint64
+	a.s0, c = bits.Add64(a.s0, l0, 0)
+	a.s1, c = bits.Add64(a.s1, m1, c)
+	a.s2, c = bits.Add64(a.s2, h1+c1, c)
+	a.s3 += c
+}
+
+// Sum reduces the accumulated total to a canonical element.
+func (a *Acc) Sum() Elem { return fold256(a.s0, a.s1, a.s2, a.s3) }
 
 // Pow returns a^k mod q by square-and-multiply.
 func Pow(a Elem, k uint64) Elem {

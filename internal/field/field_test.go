@@ -283,12 +283,54 @@ func TestHornerLinearity(t *testing.T) {
 
 func TestMulUint64(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	for i := 0; i < 100; i++ {
+	for i := 0; i < 5000; i++ {
 		a := randElem(rng)
 		k := rng.Uint64()
 		if !MulUint64(a, k).Equal(Mul(a, FromUint64(k))) {
-			t.Fatal("MulUint64 disagrees with Mul")
+			t.Fatalf("MulUint64 disagrees with Mul: a=%v k=%d", a, k)
 		}
+	}
+	// Extremes of the specialized carry chains: max canonical element,
+	// max scalar, and the identities.
+	qm1 := Elem{Hi: Q.Hi, Lo: Q.Lo - 1}
+	for _, a := range []Elem{Zero, One, qm1, {Hi: Q.Hi}, {Lo: ^uint64(0)}} {
+		for _, k := range []uint64{0, 1, 2, ^uint64(0), Q.Lo} {
+			if got, want := MulUint64(a, k), Mul(a, FromUint64(k)); !got.Equal(want) {
+				t.Fatalf("MulUint64(%v, %d) = %v, want %v", a, k, got, want)
+			}
+		}
+	}
+}
+
+func TestDotUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(130)
+		a := make([]Elem, n)
+		k := make([]uint64, n)
+		want := Zero
+		for i := range a {
+			a[i] = randElem(rng)
+			k[i] = rng.Uint64()
+			want = Add(want, MulUint64(a[i], k[i]))
+		}
+		if got := DotUint64(a, k); !got.Equal(want) {
+			t.Fatalf("trial %d (n=%d): DotUint64 = %v, want %v", trial, n, got, want)
+		}
+	}
+	// Saturated inputs exercise every carry chain of the deferred fold.
+	qm1 := Elem{Hi: Q.Hi, Lo: Q.Lo - 1}
+	n := 256
+	a := make([]Elem, n)
+	k := make([]uint64, n)
+	want := Zero
+	for i := range a {
+		a[i] = qm1
+		k[i] = ^uint64(0)
+		want = Add(want, MulUint64(a[i], k[i]))
+	}
+	if got := DotUint64(a, k); !got.Equal(want) {
+		t.Fatalf("saturated DotUint64 = %v, want %v", got, want)
 	}
 }
 

@@ -123,6 +123,16 @@ func (l Layout) ReadRow(s *Space, i int) []byte {
 	return s.Read(l.RowAddr(i), l.RowBytes)
 }
 
+// ReadRowInto fetches row i's data bytes into dst — the allocation-free
+// form for hot paths that reuse one scratch buffer across rows. len(dst)
+// must equal RowBytes.
+func (l Layout) ReadRowInto(s *Space, i int, dst []byte) {
+	if len(dst) != l.RowBytes {
+		panic("memory: ReadRowInto size mismatch")
+	}
+	s.ReadInto(dst, l.RowAddr(i))
+}
+
 // WriteRow stores row i's data bytes. len(data) must equal RowBytes.
 func (l Layout) WriteRow(s *Space, i int, data []byte) {
 	if len(data) != l.RowBytes {
@@ -140,6 +150,23 @@ func (l Layout) ReadTag(s *Space, i int) []byte {
 		return s.ReadECC(l.RowAddr(i), TagBytes)
 	default:
 		panic("memory: ReadTag with no tag placement")
+	}
+}
+
+// ReadTagInto fetches row i's tag into dst through the
+// placement-appropriate path, without allocating. len(dst) must equal
+// TagBytes.
+func (l Layout) ReadTagInto(s *Space, i int, dst []byte) {
+	if len(dst) != TagBytes {
+		panic("memory: ReadTagInto size mismatch")
+	}
+	switch l.Placement {
+	case TagColoc, TagSep:
+		s.ReadInto(dst, l.TagAddr(i))
+	case TagECC:
+		s.ReadECCInto(dst, l.RowAddr(i))
+	default:
+		panic("memory: ReadTagInto with no tag placement")
 	}
 }
 

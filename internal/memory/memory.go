@@ -117,12 +117,21 @@ func (s *Space) WriteECC(dataAddr uint64, tag []byte) {
 
 // ReadECC fetches the side-band tag for dataAddr, or zeros if absent.
 func (s *Space) ReadECC(dataAddr uint64, n int) []byte {
-	s.eccReads.Add(uint64(n))
 	out := make([]byte, n)
-	s.mu.RLock()
-	copy(out, s.ecc[dataAddr])
-	s.mu.RUnlock()
+	s.ReadECCInto(out, dataAddr)
 	return out
+}
+
+// ReadECCInto fills dst with the side-band tag for dataAddr (zeros if
+// absent) without allocating.
+func (s *Space) ReadECCInto(dst []byte, dataAddr uint64) {
+	s.eccReads.Add(uint64(len(dst)))
+	s.mu.RLock()
+	n := copy(dst, s.ecc[dataAddr])
+	s.mu.RUnlock()
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
 }
 
 // Stats returns the cumulative traffic counters.

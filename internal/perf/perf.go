@@ -8,6 +8,7 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,6 +54,11 @@ func (r Report) WriteJSON(w io.Writer) error {
 }
 
 const benchKey = "0123456789abcdef"
+
+// batchBlindNDP hides an NDP's batch entry points, forcing QueryBatchCtx
+// onto the per-request fan-out — the baseline the coalesced pipeline is
+// measured against.
+type batchBlindNDP struct{ core.NDP }
 
 // suite builds the benchmark list over a shared fixture. Table geometry
 // matches the repository's reference workload: 32-bit elements, 64
@@ -103,6 +109,36 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 		idx[k] = rng.Intn(numRows)
 		weights[k] = 1 + rng.Uint64()%16
 	}
+
+	// Batch fixtures for the coalesced pipeline: 64 sub-requests of 8 rows
+	// each. The dedup-heavy shape draws half of every request's rows from a
+	// small hot set shared across the whole batch (~50% shared references);
+	// the dedup-free shape gives every request its own row range.
+	const batchReqs, rowsPerReq = 64, 8
+	hot := make([]int, batchReqs*rowsPerReq/8)
+	for k := range hot {
+		hot[k] = rng.Intn(numRows)
+	}
+	mkBatch := func(dedup bool) []core.BatchRequest {
+		reqs := make([]core.BatchRequest, batchReqs)
+		for i := range reqs {
+			ridx := make([]int, rowsPerReq)
+			w := make([]uint64, rowsPerReq)
+			for k := range ridx {
+				if dedup && k%2 == 0 {
+					ridx[k] = hot[rng.Intn(len(hot))]
+				} else {
+					ridx[k] = (i*rowsPerReq + k) % numRows
+				}
+				w[k] = 1 + rng.Uint64()%16
+			}
+			reqs[i] = core.BatchRequest{Idx: ridx, Weights: w}
+		}
+		return reqs
+	}
+	batchShared, batchDistinct := mkBatch(true), mkBatch(false)
+	batchBytes := int64(batchReqs * rowsPerReq * rowBytes)
+	batchOpts := core.QueryOptions{Verify: true, Workers: runtime.NumCPU()}
 
 	enc, err := memenc.NewEngine([]byte(benchKey), memory.NewSpace(), memenc.Config{
 		MACBase:     1 << 24,
@@ -165,6 +201,33 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 		bench("core/query_verified", int64(batch*rowBytes), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := tab.QueryVerified(ndp, idx, weights); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("core/query_batch_verified", batchBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := tab.QueryBatchCtx(context.Background(), ndp, batchShared, batchOpts)
+				if err := core.FirstError(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("core/query_batch_verified_nodedup", batchBytes, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := tab.QueryBatchCtx(context.Background(), ndp, batchDistinct, batchOpts)
+				if err := core.FirstError(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("core/query_batch_perreq_baseline", batchBytes, func(b *testing.B) {
+			// The same dedup-heavy batch through a batch-blind NDP: one
+			// round trip and one verification per request. The coalesced
+			// pipeline's speedup is this measurement over query_batch_verified.
+			for i := 0; i < b.N; i++ {
+				out := tab.QueryBatchCtx(context.Background(), batchBlindNDP{ndp}, batchShared, batchOpts)
+				if err := core.FirstError(out); err != nil {
 					b.Fatal(err)
 				}
 			}

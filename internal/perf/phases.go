@@ -34,6 +34,12 @@ type PhaseReport struct {
 	CacheMisses       uint64      `json:"cache_misses"`
 	TransportAttempts uint64      `json:"transport_attempts"`
 	TransportRetries  uint64      `json:"transport_retries"`
+	BatchPipelined    uint64      `json:"batch_pipelined"`
+	BatchSubRequests  uint64      `json:"batch_sub_requests"`
+	BatchRowRefs      uint64      `json:"batch_row_refs"`
+	BatchDistinctRows uint64      `json:"batch_distinct_rows"`
+	BatchWireOps      uint64      `json:"batch_wire_ops"`
+	BatchBisections   uint64      `json:"batch_bisections"`
 	Phases            []PhaseStat `json:"phases"`
 }
 
@@ -127,6 +133,26 @@ func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
 		}
 	}
 
+	// Batched queries over both tables: a duplicate-heavy batch exercises
+	// the coalesced pipeline (one wire exchange, cross-request pad dedup,
+	// aggregated verification) and moves the secndp_batch_* series.
+	breqs := make([]secndp.Request, 8)
+	for i := range breqs {
+		bidx := make([]int, 4)
+		bw := make([]uint64, 4)
+		for k := range bidx {
+			bidx[k] = rng.Intn(8) // hot rows shared across the batch
+			bw[k] = 1 + rng.Uint64()%16
+		}
+		breqs[i] = secndp.Request{Idx: bidx, Weights: bw}
+	}
+	if _, err := local.QueryBatch(ctx, breqs); err != nil {
+		return nil, fmt.Errorf("perf: local batch: %w", err)
+	}
+	if _, err := remoteTab.QueryBatch(ctx, breqs); err != nil {
+		return nil, fmt.Errorf("perf: remote batch: %w", err)
+	}
+
 	// Kill the server and query once more: retries exhaust, the circuit
 	// settles, and the TEE mirror serves the degraded result.
 	srv.Close()
@@ -147,6 +173,12 @@ func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
 		CacheMisses:       counterVal(snap, "secndp_padcache_misses_total"),
 		TransportAttempts: counterVal(snap, "secndp_transport_attempts_total"),
 		TransportRetries:  counterVal(snap, "secndp_transport_retries_total"),
+		BatchPipelined:    counterVal(snap, "secndp_batch_pipelined_total"),
+		BatchSubRequests:  counterVal(snap, "secndp_batch_subrequests_total"),
+		BatchRowRefs:      counterVal(snap, "secndp_batch_rowrefs_total"),
+		BatchDistinctRows: counterVal(snap, "secndp_batch_distinct_rows_total"),
+		BatchWireOps:      counterVal(snap, "secndp_batch_wire_ops_total"),
+		BatchBisections:   counterVal(snap, "secndp_batch_bisections_total"),
 	}
 	for p := 0; p < telemetry.NumPhases; p++ {
 		name := telemetry.Phase(p).String()

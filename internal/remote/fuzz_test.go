@@ -124,6 +124,17 @@ func FuzzServeOne(f *testing.F) {
 	writeQuery(w, []int{1, 5}, []uint64{2, 3})
 	w.Flush()
 	f.Add(req.Bytes())
+	var breq bytes.Buffer
+	bw := bufio.NewWriter(&breq)
+	bw.WriteByte(opBatch)
+	writeBatchRequest(bw, core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagSep, Base: 0x10000,
+			TagBase: 0x800000, NumRows: 16, RowBytes: 128},
+		Params: core.Params{We: 32, M: 32},
+	}, []core.BatchRequest{{Idx: []int{1, 5}, Weights: []uint64{2, 3}}, {}}, true)
+	bw.Flush()
+	f.Add(breq.Bytes())
+	f.Add([]byte{opCaps, opPing})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := NewServer(memory.NewSpace())
 		r := bufio.NewReader(bytes.NewReader(data))
@@ -131,6 +142,134 @@ func FuzzServeOne(f *testing.F) {
 		for i := 0; i < 64; i++ { // bound work per input
 			if err := s.serveOne(r, out); err != nil {
 				break
+			}
+		}
+	})
+}
+
+// fuzzBatchRequestBytes serializes an opBatch request body for seeding.
+func fuzzBatchRequestBytes(geo core.Geometry, reqs []core.BatchRequest, verify bool) []byte {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeBatchRequest(w, geo, reqs, verify); err != nil {
+		panic(err)
+	}
+	w.Flush()
+	return buf.Bytes()
+}
+
+// FuzzReadBatchRequest hammers the server-side batch parser — the largest
+// frame an untrusted client controls. No input may panic it or make it
+// allocate past the advertised limits; whatever parses must survive a
+// write/read round trip.
+func FuzzReadBatchRequest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                                                       // truncated geometry
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // huge uvarint
+	geo := core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagSep, Base: 0x10000,
+			TagBase: 0x800000, NumRows: 16, RowBytes: 128},
+		Params: core.Params{We: 32, M: 32},
+	}
+	f.Add(fuzzBatchRequestBytes(geo, []core.BatchRequest{
+		{Idx: []int{1, 5}, Weights: []uint64{2, 3}},
+		{}, // empty sub-request
+		{Idx: []int{9}, Weights: []uint64{4, 7}}, // mismatched lengths must frame
+	}, true))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, reqs, verify, err := readBatchRequest(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		if len(reqs) > maxBatchSubs {
+			t.Fatalf("parsed batch of %d sub-requests exceeds the advertised limit", len(reqs))
+		}
+		for i := range reqs {
+			if len(reqs[i].Idx) > maxVectorLen || len(reqs[i].Weights) > maxVectorLen {
+				t.Fatalf("sub-request %d exceeds the per-vector limit", i)
+			}
+		}
+		g2, reqs2, verify2, err := readBatchRequest(
+			bufio.NewReader(bytes.NewReader(fuzzBatchRequestBytes(g, reqs, verify))))
+		if err != nil {
+			t.Fatalf("re-read of serialized batch request failed: %v", err)
+		}
+		if g2 != g || verify2 != verify || len(reqs2) != len(reqs) {
+			t.Fatal("batch request header round trip mismatch")
+		}
+		for i := range reqs {
+			if len(reqs2[i].Idx) != len(reqs[i].Idx) || len(reqs2[i].Weights) != len(reqs[i].Weights) {
+				t.Fatalf("sub-request %d shape round trip mismatch", i)
+			}
+			for k := range reqs[i].Idx {
+				if reqs2[i].Idx[k] != reqs[i].Idx[k] {
+					t.Fatal("sub-request index round trip mismatch")
+				}
+			}
+			for k := range reqs[i].Weights {
+				if reqs2[i].Weights[k] != reqs[i].Weights[k] {
+					t.Fatal("sub-request weight round trip mismatch")
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadBatchResponse feeds arbitrary bytes to the client-side batch
+// reply parser — the path a malicious or fault-corrupted server controls.
+func FuzzReadBatchResponse(f *testing.F) {
+	f.Add(uint16(0), false, []byte{})
+	f.Add(uint16(1), false, []byte{statusOK, 0x02, 0x07, 0x09})
+	f.Add(uint16(1), false, []byte{statusErr, 0x03, 'b', 'a', 'd'})
+	f.Add(uint16(2), true, []byte{statusOK, 0x01, 0x05})
+	f.Add(uint16(1), false, []byte{0x42}) // corrupt sub-status byte
+	{
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		writeBatchResponse(w, []core.NDPBatchResult{
+			{Sums: []uint64{7, 9, 1 << 40}},
+			{Err: io.ErrUnexpectedEOF},
+		}, true)
+		w.Flush()
+		f.Add(uint16(2), true, buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, count uint16, verify bool, data []byte) {
+		n := int(count) % (maxBatchSubs + 2) // cover the in-range and over-limit shapes
+		res, err := readBatchResponse(bufio.NewReader(bytes.NewReader(data)), n, verify)
+		if err != nil {
+			return
+		}
+		if len(res) != n {
+			t.Fatalf("parsed %d sub-results for a batch of %d", len(res), n)
+		}
+		// Whatever parsed must re-serialize and re-parse to the same shape.
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := writeBatchResponse(w, res, verify); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		res2, err := readBatchResponse(bufio.NewReader(bytes.NewReader(buf.Bytes())), n, verify)
+		if err != nil {
+			t.Fatalf("re-read of serialized batch response failed: %v", err)
+		}
+		for i := range res {
+			if (res[i].Err == nil) != (res2[i].Err == nil) {
+				t.Fatalf("sub-result %d error-ness round trip mismatch", i)
+			}
+			if res[i].Err != nil {
+				continue
+			}
+			if len(res2[i].Sums) != len(res[i].Sums) {
+				t.Fatalf("sub-result %d sums length round trip mismatch", i)
+			}
+			for k := range res[i].Sums {
+				if res2[i].Sums[k] != res[i].Sums[k] {
+					t.Fatal("sub-result sums round trip mismatch")
+				}
+			}
+			if verify && !res2[i].Tag.Equal(res[i].Tag) {
+				t.Fatal("sub-result tag round trip mismatch")
 			}
 		}
 	})

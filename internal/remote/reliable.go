@@ -33,6 +33,11 @@ type ReliableClient struct {
 	attempts atomic.Uint64
 	retries  atomic.Uint64
 
+	// Batch capability across the pool: 0 unprobed, 1 supported, 2 not.
+	// Connections share one server, so one definitive probe answers for
+	// all of them.
+	batchCap atomic.Int32
+
 	// Registry mirrors of the fault-tolerance counters: atomic so
 	// Instrument may land while operations are in flight (a nil load is a
 	// no-op). instrumentOnce makes Instrument idempotent so the facade may
@@ -77,6 +82,7 @@ var (
 	_ Transport       = (*ReliableClient)(nil)
 	_ core.NDP        = (*ReliableClient)(nil)
 	_ core.ContextNDP = (*ReliableClient)(nil)
+	_ core.BatchNDP   = (*ReliableClient)(nil)
 )
 
 // NewReliable builds the fault-tolerant client without touching the
@@ -230,6 +236,50 @@ func (rc *ReliableClient) WriteECCContext(ctx context.Context, dataAddr uint64, 
 	return rc.do(ctx, "WriteECC", func(ctx context.Context, c *Client) error {
 		return c.WriteECCContext(ctx, dataAddr, tag)
 	})
+}
+
+// WeightedTagSumBatch implements core.BatchNDP with retry, reconnect, and
+// breaker protection. Safe to retry: a pure read over ciphertext and tags.
+func (rc *ReliableClient) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	var res []core.NDPBatchResult
+	err := rc.do(ctx, "Batch", func(ctx context.Context, c *Client) error {
+		var err error
+		res, err = c.WeightedTagSumBatch(ctx, geo, reqs, verify)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SupportsBatch implements core.BatchNDP. The first call probes the server
+// over a pooled connection and the definitive answer is cached for the
+// client's lifetime (all connections in the pool reach the same server);
+// probe transport failures leave it unprobed and report false — the next
+// batch attempt will re-probe.
+func (rc *ReliableClient) SupportsBatch(ctx context.Context) bool {
+	switch rc.batchCap.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	var caps uint64
+	err := rc.do(ctx, "Caps", func(ctx context.Context, c *Client) error {
+		var err error
+		caps, err = c.CapabilitiesContext(ctx)
+		return err
+	})
+	if err != nil {
+		return false
+	}
+	if caps&capBatch != 0 {
+		rc.batchCap.Store(1)
+		return true
+	}
+	rc.batchCap.Store(2)
+	return false
 }
 
 // PingContext round-trips a no-op through the retry layer.

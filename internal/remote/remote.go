@@ -35,6 +35,8 @@ const (
 	opWriteBlob   byte = 3 // provisioning path: load ciphertext into memory
 	opWriteECC    byte = 4 // provisioning path: side-band tags
 	opPing        byte = 5 // no-op round trip: pool health checks, breaker probes
+	opBatch       byte = 6 // whole []BatchRequest in one round trip
+	opCaps        byte = 7 // capability probe; MUST stay body-free (see below)
 )
 
 // status codes.
@@ -43,8 +45,25 @@ const (
 	statusErr byte = 1
 )
 
+// Capability bits answered by opCaps. The probe request is the op byte
+// alone — a legacy server reads exactly one byte before replying
+// statusErr "unknown op", so a body-free probe is the only shape that
+// leaves a legacy stream in sync.
+const capBatch uint64 = 1 << 0
+
+// serverCaps is what this server implementation advertises.
+const serverCaps = capBatch
+
+// batchFlagVerify asks the server to include per-sub-request tag sums.
+const batchFlagVerify uint64 = 1 << 0
+
 // maxVectorLen bounds request sizes a server will accept (DoS hygiene).
 const maxVectorLen = 1 << 20
+
+// maxBatchSubs bounds the sub-request count of one opBatch frame. An
+// oversize count is a framing error (connection drop), like an oversized
+// query — its payload is not worth draining.
+const maxBatchSubs = 1 << 12
 
 // ---- wire helpers -----------------------------------------------------------
 
@@ -142,6 +161,201 @@ func readQuery(r *bufio.Reader) ([]int, []uint64, error) {
 	return idx, weights, nil
 }
 
+// writeBatchSub frames one batch sub-request. Unlike writeQuery it
+// carries the index and weight counts separately: a malformed
+// sub-request (mismatched lengths) must survive framing so the server
+// can answer it with a per-sub error instead of desyncing the stream.
+func writeBatchSub(w *bufio.Writer, idx []int, weights []uint64) error {
+	if err := writeUvarint(w, uint64(len(idx))); err != nil {
+		return err
+	}
+	for _, i := range idx {
+		if err := writeUvarint(w, uint64(i)); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(w, uint64(len(weights))); err != nil {
+		return err
+	}
+	for _, wt := range weights {
+		if err := writeUvarint(w, wt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readBatchSub(r *bufio.Reader) ([]int, []uint64, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: sub-request of %d rows exceeds limit", n)
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		v, err := readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[k] = int(v)
+	}
+	m, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: sub-request of %d weights exceeds limit", m)
+	}
+	weights := make([]uint64, m)
+	for k := range weights {
+		weights[k], err = readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return idx, weights, nil
+}
+
+// writeBatchRequest frames an opBatch request body (everything after the
+// op byte): geometry, a flags word, the sub-request count, then each
+// sub-request in writeBatchSub form.
+func writeBatchRequest(w *bufio.Writer, geo core.Geometry, reqs []core.BatchRequest, verify bool) error {
+	if err := writeGeometry(w, geo); err != nil {
+		return err
+	}
+	var flags uint64
+	if verify {
+		flags |= batchFlagVerify
+	}
+	if err := writeUvarint(w, flags); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(len(reqs))); err != nil {
+		return err
+	}
+	for i := range reqs {
+		if err := writeBatchSub(w, reqs[i].Idx, reqs[i].Weights); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBatchRequest parses an opBatch request body. Errors are framing
+// errors: the caller must drop the connection, not reply.
+func readBatchRequest(r *bufio.Reader) (core.Geometry, []core.BatchRequest, bool, error) {
+	geo, err := readGeometry(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	flags, err := readUvarint(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	count, err := readUvarint(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	if count > maxBatchSubs {
+		return core.Geometry{}, nil, false, fmt.Errorf("remote: batch of %d sub-requests exceeds limit", count)
+	}
+	reqs := make([]core.BatchRequest, count)
+	for i := range reqs {
+		idx, weights, err := readBatchSub(r)
+		if err != nil {
+			return core.Geometry{}, nil, false, err
+		}
+		reqs[i] = core.BatchRequest{Idx: idx, Weights: weights}
+	}
+	return geo, reqs, flags&batchFlagVerify != 0, nil
+}
+
+// writeBatchResponse frames an opBatch reply's payload (after the batch's
+// own statusOK): one status byte per sub-request, then either its sums
+// (+ tag when verifying) or its error message. Per-sub-request errors ride
+// inside an overall-OK reply — only batch-level problems use the outer
+// statusErr, so one bad sub-request cannot mask the rest of the batch.
+func writeBatchResponse(w *bufio.Writer, res []core.NDPBatchResult, verify bool) error {
+	for i := range res {
+		if res[i].Err != nil {
+			if err := w.WriteByte(statusErr); err != nil {
+				return err
+			}
+			msg := res[i].Err.Error()
+			if err := writeUvarint(w, uint64(len(msg))); err != nil {
+				return err
+			}
+			if _, err := w.WriteString(msg); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		if err := writeUvarint(w, uint64(len(res[i].Sums))); err != nil {
+			return err
+		}
+		for _, v := range res[i].Sums {
+			if err := writeUvarint(w, v); err != nil {
+				return err
+			}
+		}
+		if verify {
+			b := res[i].Tag.Bytes()
+			if _, err := w.Write(b[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readBatchResponse parses an opBatch reply's payload for a batch of count
+// sub-requests. Per-sub-request server errors land in NDPBatchResult.Err
+// (as *serverError); a non-nil returned error is a transport/framing
+// failure.
+func readBatchResponse(r *bufio.Reader, count int, verify bool) ([]core.NDPBatchResult, error) {
+	res := make([]core.NDPBatchResult, count)
+	for i := range res {
+		status, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch status {
+		case statusErr:
+			n, err := readUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if n > maxVectorLen {
+				return nil, fmt.Errorf("remote: oversized error message (%d bytes)", n)
+			}
+			msg := make([]byte, n)
+			if _, err := io.ReadFull(r, msg); err != nil {
+				return nil, err
+			}
+			res[i].Err = &serverError{msg: string(msg)}
+		case statusOK:
+			sums, err := readSumResponse(r)
+			if err != nil {
+				return nil, err
+			}
+			res[i].Sums = sums
+			if verify {
+				if res[i].Tag, err = readTagResponse(r); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("remote: corrupt batch sub-status byte %#x", status)
+		}
+	}
+	return res, nil
+}
+
 // ---- server -----------------------------------------------------------------
 
 // Server is the untrusted NDP process: it owns a memory.Space and answers
@@ -160,7 +374,7 @@ type Server struct {
 	// Registry mirrors (nil-safe no-ops until Instrument runs): accepted
 	// connections, operations served by opcode, and rejected requests.
 	mConns   *telemetry.Counter
-	mOps     [opPing + 1]*telemetry.Counter
+	mOps     [opCaps + 1]*telemetry.Counter
 	mRejects *telemetry.Counter
 }
 
@@ -182,6 +396,8 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 		opWriteBlob:   "write_blob",
 		opWriteECC:    "write_ecc",
 		opPing:        "ping",
+		opBatch:       "batch",
+		opCaps:        "caps",
 	}
 	for op, name := range names {
 		s.mOps[op] = reg.Counter("secndp_server_ops_"+name+"_total",
@@ -404,8 +620,44 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		s.mu.Unlock()
 		return w.WriteByte(statusOK)
 
+	case opBatch:
+		// Same drain-then-validate discipline as the single-query ops, at
+		// batch granularity: framing errors drop the connection; semantic
+		// problems with the batch as a whole get one statusErr after the
+		// frame is fully drained; per-sub-request problems are answered
+		// inside a statusOK reply so they cannot poison their neighbors.
+		geo, reqs, verify, err := readBatchRequest(r)
+		if err != nil {
+			return err
+		}
+		if err := geo.Validate(); err != nil {
+			return fail(fmt.Sprintf("bad geometry: %v", err))
+		}
+		if geo.Layout.RowBytes > maxVectorLen {
+			return fail(fmt.Sprintf("row size %d exceeds limit", geo.Layout.RowBytes))
+		}
+		if verify && geo.Layout.Placement == memory.TagNone {
+			return fail("geometry has no tag placement")
+		}
+		s.mu.Lock()
+		res, err := s.ndp.WeightedTagSumBatch(context.Background(), geo, reqs, verify)
+		s.mu.Unlock()
+		if err != nil {
+			return fail(fmt.Sprintf("batch failed: %v", err))
+		}
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		return writeBatchResponse(w, res, verify)
+
 	case opPing:
 		return w.WriteByte(statusOK)
+
+	case opCaps:
+		if err := w.WriteByte(statusOK); err != nil {
+			return err
+		}
+		return writeUvarint(w, serverCaps)
 
 	default:
 		return fail(fmt.Sprintf("unknown op %d", op))
@@ -438,6 +690,11 @@ type Client struct {
 	timeout time.Duration
 	fatal   error
 
+	// Capability probe result, cached once a definitive answer arrives
+	// (the server either answered opCaps or rejected it as unknown).
+	capsKnown bool
+	caps      uint64
+
 	errMu   sync.Mutex
 	lastErr error
 }
@@ -445,6 +702,7 @@ type Client struct {
 var (
 	_ core.NDP        = (*Client)(nil)
 	_ core.ContextNDP = (*Client)(nil)
+	_ core.BatchNDP   = (*Client)(nil)
 )
 
 // Dial connects to a server.
@@ -711,6 +969,84 @@ func (c *Client) TagSum(geo core.Geometry, idx []int, weights []uint64) field.El
 		return field.Zero
 	}
 	return tag
+}
+
+// WeightedTagSumBatch implements core.BatchNDP over the wire: the whole
+// batch's ciphertext sums (and, when verify is set, tag sums) in one
+// round trip. Per-sub-request server errors land in the corresponding
+// NDPBatchResult.Err; a non-nil returned error is batch-level (server
+// rejection or transport failure) and decided nothing.
+func (c *Client) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	if len(reqs) > maxBatchSubs {
+		return nil, fmt.Errorf("remote: batch of %d sub-requests exceeds limit", len(reqs))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	done, err := c.arm(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	res, err := c.batchLocked(geo, reqs, verify)
+	return res, c.finish(ctx, err)
+}
+
+func (c *Client) batchLocked(geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	err := c.roundTrip(func() error {
+		if err := c.w.WriteByte(opBatch); err != nil {
+			return err
+		}
+		return writeBatchRequest(c.w, geo, reqs, verify)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return readBatchResponse(c.r, len(reqs), verify)
+}
+
+// CapabilitiesContext asks the server which optional operations it
+// supports. The answer is cached per connection once definitive: a
+// statusErr ("unknown op") from a legacy server counts as "no optional
+// capabilities" — the probe frame is a bare op byte precisely so a legacy
+// server rejects it without stream desync. Transport failures are returned
+// and not cached.
+func (c *Client) CapabilitiesContext(ctx context.Context) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capsKnown {
+		return c.caps, nil
+	}
+	done, err := c.arm(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	caps, err := c.capsLocked()
+	if err = c.finish(ctx, err); err != nil {
+		var se *serverError
+		if errors.As(err, &se) {
+			c.caps, c.capsKnown = 0, true
+			return 0, nil
+		}
+		return 0, err
+	}
+	c.caps, c.capsKnown = caps, true
+	return caps, nil
+}
+
+func (c *Client) capsLocked() (uint64, error) {
+	if err := c.roundTrip(func() error { return c.w.WriteByte(opCaps) }); err != nil {
+		return 0, err
+	}
+	return readUvarint(c.r)
+}
+
+// SupportsBatch implements core.BatchNDP: whether the server answers
+// opBatch, per the cached capability probe. False on probe transport
+// failure (the batch path would fail the same way).
+func (c *Client) SupportsBatch(ctx context.Context) bool {
+	caps, err := c.CapabilitiesContext(ctx)
+	return err == nil && caps&capBatch != 0
 }
 
 // PingContext performs a no-op round trip — the health check used by the

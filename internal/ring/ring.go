@@ -9,6 +9,7 @@
 package ring
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -127,8 +128,22 @@ func (r Ring) ScaleAccum(dst []uint64, w uint64, v []uint64) {
 	if len(dst) != len(v) {
 		panic("ring: ScaleAccum length mismatch")
 	}
-	for i := range v {
-		dst[i] = (dst[i] + w*v[i]) & r.mask
+	// Unrolled 4-wide with explicit capacity slicing: this loop is the
+	// scatter kernel of the batched pipeline (one visit per (row, user)
+	// pair) as well as the NDP summation step, so shaving the per-element
+	// bounds checks is measurable at batch scale.
+	mask := r.mask
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		d := dst[i : i+4 : i+4]
+		s := v[i : i+4 : i+4]
+		d[0] = (d[0] + w*s[0]) & mask
+		d[1] = (d[1] + w*s[1]) & mask
+		d[2] = (d[2] + w*s[2]) & mask
+		d[3] = (d[3] + w*s[3]) & mask
+	}
+	for ; i < len(v); i++ {
+		dst[i] = (dst[i] + w*v[i]) & mask
 	}
 }
 
@@ -227,12 +242,35 @@ func (r Ring) UnpackElemsInto(dst []uint64, data []byte) {
 	if len(data) != len(dst)*eb {
 		panic("ring: UnpackElemsInto size mismatch")
 	}
-	for i := range dst {
-		var e uint64
-		for b := 0; b < eb; b++ {
-			e |= uint64(data[i*eb+b]) << (8 * b)
+	// Whole-word loads per element width: this is the hottest decode loop
+	// in the system (every row read on both the OTP and NDP sides passes
+	// through it), and the generic byte-assembly form costs eb shifts and
+	// bounds checks per element.
+	switch eb {
+	case 1:
+		for i := range dst {
+			dst[i] = uint64(data[i])
 		}
-		dst[i] = e
+	case 2:
+		for i := range dst {
+			dst[i] = uint64(binary.LittleEndian.Uint16(data[i*2:]))
+		}
+	case 4:
+		for i := range dst {
+			dst[i] = uint64(binary.LittleEndian.Uint32(data[i*4:]))
+		}
+	case 8:
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint64(data[i*8:])
+		}
+	default:
+		for i := range dst {
+			var e uint64
+			for b := 0; b < eb; b++ {
+				e |= uint64(data[i*eb+b]) << (8 * b)
+			}
+			dst[i] = e
+		}
 	}
 }
 
@@ -247,13 +285,7 @@ func (r Ring) UnpackElems(data []byte) []uint64 {
 		panic("ring: UnpackElems data not a multiple of element size")
 	}
 	out := make([]uint64, len(data)/eb)
-	for i := range out {
-		var e uint64
-		for b := 0; b < eb; b++ {
-			e |= uint64(data[i*eb+b]) << (8 * b)
-		}
-		out[i] = e
-	}
+	r.UnpackElemsInto(out, data)
 	return out
 }
 

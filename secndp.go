@@ -595,21 +595,126 @@ func queryElemRecover(tab *core.Table, ndp core.NDP, req Request) (v uint64, err
 	return tab.QueryElem(ndp, req.Idx, req.Cols, req.Weights)
 }
 
-// QueryBatch runs many requests through a request-level worker pool
-// sharing the table's pad cache — the software counterpart of several
-// pooling operations in flight across the paper's NDP PU registers. The
-// results align with the requests; the error aggregates every per-request
-// failure (annotated with its index), so errors.Is(err, ErrVerification)
-// detects a rejected result anywhere in the batch.
+// QueryBatch runs many requests as one coalesced batch whenever the NDP
+// supports it (detected by a cached capability probe): a single NDP
+// exchange answers every request's ciphertext and tag sums, each distinct
+// row's OTP pad is generated once and shared across requests, and one
+// aggregated MAC check verifies the whole batch — bisecting to isolate the
+// failing request(s) on a rejection, so per-request errors are unchanged.
+// Requests that cannot coalesce (element-indexed, mixed verification
+// settings, or an NDP without batch support) run through the per-request
+// worker pool instead, still sharing the table's pad cache.
+//
+// The results align with the requests; the error aggregates every
+// per-request failure (annotated with its index), so
+// errors.Is(err, ErrVerification) detects a rejected result anywhere in
+// the batch.
 func (t *Table) QueryBatch(ctx context.Context, reqs []Request) ([]Result, error) {
 	out := make([]Result, len(reqs))
-	errs := make([]error, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
 	}
 	if t.eng.tel != nil {
 		t.eng.tel.batches.Inc()
 	}
+	if res, err, ok := t.queryBatchCoalesced(ctx, reqs); ok {
+		return res, err
+	}
+	if t.eng.tel != nil {
+		t.eng.tel.batchFanout.Inc()
+	}
+	return t.queryBatchPool(ctx, reqs)
+}
+
+// queryBatchCoalesced routes a uniform batch through the core pipeline.
+// ok = false means the batch cannot coalesce (shape or capability) and the
+// caller should fan out.
+func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Result, error, bool) {
+	bn, isBatch := t.ndp.(core.BatchNDP)
+	if !isBatch {
+		return nil, nil, false
+	}
+	unverified := reqs[0].Unverified
+	for i := range reqs {
+		if reqs[i].Cols != nil || reqs[i].Unverified != unverified {
+			return nil, nil, false
+		}
+	}
+	verify, err := t.resolveVerify(unverified)
+	if err != nil {
+		return nil, nil, false // fan-out reports the policy error per request
+	}
+	if !bn.SupportsBatch(ctx) {
+		return nil, nil, false
+	}
+
+	start := time.Now()
+	creqs := make([]core.BatchRequest, len(reqs))
+	for i := range reqs {
+		creqs[i] = core.BatchRequest{Idx: reqs[i].Idx, Weights: reqs[i].Weights}
+	}
+	var stats core.BatchStats
+	opts := core.QueryOptions{Workers: t.eng.cfg.workers, Cache: t.cache, Verify: verify, Stats: &stats}
+	bres := t.tab.QueryBatchCtx(ctx, t.ndp, creqs, opts)
+
+	out := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var nOK, nErr, nVerified, nDegraded int
+	var firstErr error
+	sawVerifyReject := false
+	for i := range bres {
+		if bres[i].Err == nil {
+			out[i] = Result{Values: bres[i].Res, Verified: verify}
+			nOK++
+			if verify {
+				nVerified++
+			}
+			continue
+		}
+		qerr := bres[i].Err
+		if errors.Is(qerr, ErrVerification) {
+			sawVerifyReject = true
+		}
+		if t.shouldFallback(qerr) {
+			fb := time.Now()
+			values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, reqs[i].Idx, reqs[i].Weights)
+			if ferr == nil {
+				t.degraded.Add(1)
+				out[i] = Result{Values: values, Degraded: true, Timing: Timing{Fallback: time.Since(fb)}}
+				nOK++
+				nDegraded++
+				continue
+			}
+			qerr = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, qerr)
+		}
+		errs[i] = fmt.Errorf("request %d: %w", i, qerr)
+		if firstErr == nil {
+			firstErr = errs[i]
+		}
+		nErr++
+	}
+	if verify && !sawVerifyReject {
+		t.verifyFails.Store(0)
+	}
+	// Every coalesced result shares the batch's wall-clock total; the
+	// phase anatomy is batch-level and lives in the registry, not on
+	// individual results.
+	total := time.Since(start)
+	for i := range out {
+		if errs[i] == nil {
+			out[i].Timing.Total = total
+		}
+	}
+	t.eng.tel.recordBatch(start, stats, nOK, nErr, nVerified, nDegraded, firstErr)
+	return out, errors.Join(errs...), true
+}
+
+// queryBatchPool is the per-request batch path: a request-level worker
+// pool over independent queries — the software counterpart of several
+// pooling operations in flight across the paper's NDP PU registers.
+func (t *Table) queryBatchPool(ctx context.Context, reqs []Request) ([]Result, error) {
+	out := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
 	pool := t.eng.cfg.workers
 	if pool <= 0 {
 		pool = runtime.GOMAXPROCS(0)

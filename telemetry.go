@@ -91,7 +91,18 @@ type engineTelemetry struct {
 	cacheHits   *telemetry.Counter
 	cacheMisses *telemetry.Counter
 
+	// Batch-coalescing series (DESIGN.md §8): how much the batched query
+	// pipeline amortized across sub-requests.
+	batchPipelined *telemetry.Counter
+	batchFanout    *telemetry.Counter
+	batchSubs      *telemetry.Counter
+	batchRowRefs   *telemetry.Counter
+	batchDistinct  *telemetry.Counter
+	batchWireOps   *telemetry.Counter
+	batchBisects   *telemetry.Counter
+
 	queryHist *telemetry.Histogram
+	batchHist *telemetry.Histogram
 	phaseHist [telemetry.NumPhases]*telemetry.Histogram
 }
 
@@ -119,8 +130,24 @@ func newEngineTelemetry(reg *telemetry.Registry) *engineTelemetry {
 			"Pad-cache hits across the engine's tables."),
 		cacheMisses: reg.Counter("secndp_padcache_misses_total",
 			"Pad-cache misses across the engine's tables."),
+		batchPipelined: reg.Counter("secndp_batch_pipelined_total",
+			"QueryBatch calls served by the coalesced one-round-trip pipeline."),
+		batchFanout: reg.Counter("secndp_batch_fanout_total",
+			"QueryBatch calls served by per-request fan-out (no batch support, mixed request shapes, or pipeline failure)."),
+		batchSubs: reg.Counter("secndp_batch_subrequests_total",
+			"Sub-requests carried by pipelined QueryBatch calls."),
+		batchRowRefs: reg.Counter("secndp_batch_rowrefs_total",
+			"Row references across pipelined batches, before cross-request dedup."),
+		batchDistinct: reg.Counter("secndp_batch_distinct_rows_total",
+			"Distinct rows across pipelined batches, after cross-request dedup; the pad dedup hit ratio is 1 - distinct/rowrefs."),
+		batchWireOps: reg.Counter("secndp_batch_wire_ops_total",
+			"NDP exchanges used by pipelined batches (1 per batch when coalescing holds)."),
+		batchBisects: reg.Counter("secndp_batch_bisections_total",
+			"Aggregate-verification bisection splits performed to isolate failing sub-requests."),
 		queryHist: reg.Histogram("secndp_query_seconds",
 			"End-to-end query latency.", nil),
+		batchHist: reg.Histogram("secndp_batch_seconds",
+			"End-to-end pipelined QueryBatch latency (whole batch).", nil),
 	}
 	for p := 0; p < telemetry.NumPhases; p++ {
 		name := telemetry.Phase(p).String()
@@ -184,6 +211,40 @@ func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, ve
 			et.phaseHist[p].Observe(d)
 			span.Phases[p] = d
 		}
+	}
+	et.reg.RecordSpan(span)
+}
+
+// recordBatch folds one pipelined QueryBatch into the registry: per-result
+// counter bumps (queries, errors, verified, degraded — so the per-query
+// series stay comparable with the fan-out path), the batch latency
+// histogram, the coalescing counters, and one batch-level span (per-sub
+// spans would flood the trace ring at serving batch sizes).
+func (et *engineTelemetry) recordBatch(start time.Time, stats core.BatchStats, nOK, nErr, nVerified, nDegraded int, firstErr error) {
+	if et == nil {
+		return
+	}
+	total := time.Since(start)
+	et.batchPipelined.Inc()
+	et.batchSubs.Add(uint64(stats.Requests))
+	et.batchRowRefs.Add(uint64(stats.RowRefs))
+	et.batchDistinct.Add(uint64(stats.DistinctRows))
+	et.batchWireOps.Add(uint64(stats.WireOps))
+	et.batchBisects.Add(uint64(stats.Bisections))
+	et.queries.Add(uint64(nOK + nErr))
+	et.queryErrors.Add(uint64(nErr))
+	et.verified.Add(uint64(nVerified))
+	et.degraded.Add(uint64(nDegraded))
+	et.batchHist.Observe(total)
+	span := telemetry.Span{
+		Op:       "query_batch",
+		Start:    start,
+		Total:    total,
+		Verified: nVerified > 0,
+		Degraded: nDegraded > 0,
+	}
+	if firstErr != nil {
+		span.Err = firstErr.Error()
 	}
 	et.reg.RecordSpan(span)
 }
