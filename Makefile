@@ -48,6 +48,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzEncryptDecryptRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz '^FuzzVerifyRejectsTamper$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz '^FuzzQueryLinearity$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz '^FuzzShardSplit$$' -fuzztime $(FUZZTIME) ./internal/cluster
 
 # Run every example once.
 examples:
@@ -58,6 +59,7 @@ examples:
 	$(GO) run ./examples/teecompare
 	$(GO) run ./examples/remote
 	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/cluster
 
 # Regenerate every paper table and figure (full scale; ~2 minutes).
 experiments:

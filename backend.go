@@ -1,0 +1,342 @@
+package secndp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"secndp/internal/cluster"
+	"secndp/internal/core"
+	"secndp/internal/memory"
+	"secndp/internal/remote"
+)
+
+// This file is the provisioning redesign: one Engine.CreateTable entry
+// point over a pluggable Backend — local untrusted memory, one remote
+// NDP server, or a sharded cluster of them. The legacy Encrypt /
+// Provision methods survive as thin deprecated wrappers in secndp.go.
+
+// Backend selects where a table's ciphertext lives and which NDP serves
+// its queries. The set of backends is closed (the interface has an
+// unexported method): LocalBackend, RemoteBackend, and ClusterBackend
+// cover the three deployment shapes, and new shapes belong here rather
+// than in callers — the facade must know how to provision, mirror, and
+// route queries for each.
+type Backend interface {
+	createTable(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error)
+}
+
+// LocalBackend stores ciphertext in an in-process untrusted memory and
+// serves queries with an in-process NDP over it — the paper's
+// single-memory-system shape, and the fastest path for tests and
+// experiments. The memory is the adversary's: it can never serve as a
+// trusted mirror, so WithFallback does not apply.
+func LocalBackend(mem *Memory) Backend { return localBackend{mem: mem} }
+
+type localBackend struct{ mem *Memory }
+
+func (b localBackend) createTable(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
+	start := time.Now()
+	if b.mem == nil {
+		return nil, errors.New("secndp: LocalBackend requires a memory space")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	geo, err := spec.geometry()
+	if err != nil {
+		return nil, err
+	}
+	region, v, err := e.allocRegion(spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := e.scheme.EncryptTable(b.mem, geo, v, rows)
+	if err != nil {
+		e.versions.Release(region)
+		e.tel.recordOp("encrypt", start, err)
+		return nil, err
+	}
+	e.tel.recordOp("encrypt", start, nil)
+	return e.newTable(tab, &core.HonestNDP{Mem: b.mem}, region, nil), nil
+}
+
+// RemoteBackend encrypts locally and ships only ciphertext and tags to
+// one remote NDP server — plaintext never crosses the wire. With
+// WithFallback, the TEE-side staging image is kept as a trusted mirror
+// for graceful degradation. The caller owns the transport (it is not
+// closed by Table.Close); a ReliableNDP transport joins the engine's
+// telemetry registry automatically.
+func RemoteBackend(client NDPTransport) Backend { return remoteBackend{client: client} }
+
+type remoteBackend struct{ client NDPTransport }
+
+func (b remoteBackend) createTable(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
+	start := time.Now()
+	if b.client == nil {
+		return nil, errors.New("secndp: RemoteBackend requires a transport")
+	}
+	geo, err := spec.geometry()
+	if err != nil {
+		return nil, err
+	}
+	// A fault-tolerant transport joins the engine's registry so one
+	// snapshot carries both query anatomy and transport health.
+	if rc, ok := b.client.(*remote.ReliableClient); ok && e.tel != nil {
+		rc.Instrument(e.tel.reg)
+	}
+	region, v, err := e.allocRegion(spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, staging, err := remote.ProvisionMirrored(ctx, b.client, e.scheme, geo, v, rows)
+	if err != nil {
+		e.versions.Release(region)
+		e.tel.recordOp("provision", start, err)
+		return nil, err
+	}
+	var mirror *Memory
+	if e.cfg.fallbackVerifyN > 0 {
+		mirror = staging
+	}
+	e.tel.recordOp("provision", start, nil)
+	return e.newTable(tab, b.client, region, mirror), nil
+}
+
+// ShardSpec names one cluster shard: either an address the engine dials
+// itself (through the fault-tolerant transport, configured by
+// WithTransport) or an already-connected transport supplied by the
+// caller. Exactly one of the two must be set; see doc.go for the
+// precedence rules.
+type ShardSpec struct {
+	// Addr is the shard server's address; the backend dials it with
+	// DialReliableNDP and the engine's WithTransport configuration, and
+	// Table.Close closes the connection.
+	Addr string
+	// Transport, when non-nil, is used instead of dialing Addr. The
+	// caller keeps ownership: Table.Close does not close it.
+	Transport NDPTransport
+}
+
+// ShardingStrategy selects how a cluster table's rows map onto shards.
+type ShardingStrategy int
+
+const (
+	// ShardByRange assigns contiguous row blocks per shard (default):
+	// one provisioning blob per shard, range locality preserved.
+	ShardByRange ShardingStrategy = iota
+	// ShardByHash spreads rows by a fixed hash of the row index,
+	// load-balancing hot row sets across shards.
+	ShardByHash
+)
+
+// Cluster is the sharded multi-NDP backend, built by ClusterBackend.
+type Cluster struct {
+	shards   []ShardSpec
+	strategy ShardingStrategy
+}
+
+// ClusterBackend shards a table's rows across several NDP servers and
+// scatter-gathers queries over them: each query (or batch) is planned
+// into per-shard sub-queries, the partial ciphertext sums return
+// concurrently, and the gather re-adds them — by the scheme's linearity
+// the result, its decryption, and its verification are byte-identical
+// to a single NDP holding every row, with one aggregated tag check
+// covering the whole gather. With WithFallback, a failed shard's
+// partial is recomputed from the TEE mirror and the result is marked
+// Degraded instead of failing.
+func ClusterBackend(shards ...ShardSpec) *Cluster {
+	return &Cluster{shards: shards}
+}
+
+// Sharding selects the row→shard strategy (default ShardByRange). It
+// returns the receiver for chaining:
+//
+//	secndp.ClusterBackend(shards...).Sharding(secndp.ShardByHash)
+func (c *Cluster) Sharding(s ShardingStrategy) *Cluster {
+	c.strategy = s
+	return c
+}
+
+func (c *Cluster) createTable(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
+	start := time.Now()
+	tbl, err := c.provision(ctx, e, spec, rows)
+	e.tel.recordOp("provision", start, err)
+	return tbl, err
+}
+
+func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
+	if len(c.shards) == 0 {
+		return nil, errors.New("secndp: ClusterBackend requires at least one shard")
+	}
+	geo, err := spec.geometry()
+	if err != nil {
+		return nil, err
+	}
+	var strat cluster.Strategy
+	switch c.strategy {
+	case ShardByRange:
+		strat = cluster.RangeSharding
+	case ShardByHash:
+		strat = cluster.HashSharding
+	default:
+		return nil, fmt.Errorf("secndp: unknown sharding strategy %d", int(c.strategy))
+	}
+	smap, err := cluster.NewMap(spec.Rows, len(c.shards), strat, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Connect every shard before touching the version manager: a
+	// misconfigured ShardSpec should fail fast and leak nothing.
+	transports := make([]NDPTransport, len(c.shards))
+	var owned []io.Closer
+	closeOwned := func() {
+		for _, cl := range owned {
+			cl.Close()
+		}
+	}
+	for i, ss := range c.shards {
+		if ss.Transport != nil {
+			transports[i] = ss.Transport
+		} else if ss.Addr != "" {
+			rc, derr := remote.DialReliable(ctx, ss.Addr, e.transportConfig())
+			if derr != nil {
+				closeOwned()
+				return nil, fmt.Errorf("secndp: shard %d (%s): %w", i, ss.Addr, derr)
+			}
+			transports[i] = rc
+			owned = append(owned, rc)
+		} else {
+			closeOwned()
+			return nil, fmt.Errorf("secndp: shard %d: ShardSpec needs an Addr or a Transport", i)
+		}
+		if rc, ok := transports[i].(*remote.ReliableClient); ok && e.tel != nil {
+			rc.Instrument(e.tel.reg)
+		}
+	}
+
+	region, v, err := e.allocRegion(spec)
+	if err != nil {
+		closeOwned()
+		return nil, err
+	}
+	fail := func(err error) (*Table, error) {
+		e.versions.Release(region)
+		closeOwned()
+		return nil, err
+	}
+
+	// Encrypt once into TEE staging under the global geometry, then ship
+	// each shard only its rows' ciphertext (and tags) at their global
+	// addresses. Shards hold disjoint row subsets of one table image, so
+	// per-shard partial sums add back to the single-NDP answer exactly.
+	staging := NewMemory()
+	tab, err := e.scheme.EncryptTable(staging, geo, v, rows)
+	if err != nil {
+		return fail(err)
+	}
+	if err := provisionShards(ctx, geo, staging, smap, transports); err != nil {
+		return fail(err)
+	}
+
+	var mirror *Memory
+	if e.cfg.fallbackVerifyN > 0 {
+		mirror = staging
+	}
+	clients := make([]core.NDP, len(transports))
+	for i, tr := range transports {
+		clients[i] = tr
+	}
+	cnd, err := cluster.New(smap, clients, cluster.Options{Mirror: mirror})
+	if err != nil {
+		return fail(err)
+	}
+	if e.tel != nil {
+		cnd.Instrument(e.tel.reg)
+	}
+	tbl := e.newTable(tab, cnd, region, mirror)
+	tbl.cnd = cnd
+	tbl.owned = owned
+	return tbl, nil
+}
+
+// provisionShards ships each shard its owned rows, concurrently across
+// shards: per run of contiguous rows, one blob write of the data span
+// (which includes co-located tags), plus the tag span for Ver-sep or
+// per-row ECC writes for Ver-ECC. Everything lands at its global
+// address, so shard memories are sparse windows of the one table image.
+func provisionShards(ctx context.Context, geo core.Geometry, staging *memory.Space, smap *cluster.Map, transports []NDPTransport) error {
+	errs := make([]error, len(transports))
+	var wg sync.WaitGroup
+	for s := range transports {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = provisionShard(ctx, geo, staging, smap.Runs(s), transports[s])
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("secndp: provisioning shard %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+func provisionShard(ctx context.Context, geo core.Geometry, staging *memory.Space, runs [][2]int, tr NDPTransport) error {
+	lay := geo.Layout
+	for _, run := range runs {
+		lo, hi := run[0], run[1]
+		base := lay.RowAddr(lo)
+		span := lay.RowAddr(hi-1) + lay.RowStride() - base
+		if err := tr.WriteBlobContext(ctx, base, staging.Snapshot(base, int(span))); err != nil {
+			return err
+		}
+		switch lay.Placement {
+		case memory.TagSep:
+			tbase := lay.TagAddr(lo)
+			tspan := (hi - lo) * memory.TagBytes
+			if err := tr.WriteBlobContext(ctx, tbase, staging.Snapshot(tbase, tspan)); err != nil {
+				return err
+			}
+		case memory.TagECC:
+			for i := lo; i < hi; i++ {
+				if err := tr.WriteECCContext(ctx, lay.RowAddr(i), staging.ReadECC(lay.RowAddr(i), memory.TagBytes)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CreateTable provisions one encrypted table through a backend: the
+// plaintext rows are arithmetically encrypted (and tagged, per
+// spec.Tags) under a freshly allocated version, placed where the
+// backend dictates, and the returned Table routes queries to the
+// backend's NDP — in-process, one remote server, or a scatter-gather
+// cluster. The context bounds every transfer. CreateTable subsumes the
+// former Encrypt / Provision pair.
+func (e *Engine) CreateTable(ctx context.Context, backend Backend, spec TableSpec, rows [][]uint64) (*Table, error) {
+	if backend == nil {
+		return nil, errors.New("secndp: nil backend")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return backend.createTable(ctx, e, spec, rows)
+}
+
+// transportConfig resolves the engine-level default TransportConfig
+// (WithTransport), falling back to the zero-value defaults.
+func (e *Engine) transportConfig() TransportConfig {
+	if e.cfg.transport != nil {
+		return *e.cfg.transport
+	}
+	return TransportConfig{}
+}

@@ -33,7 +33,7 @@ func TestQueryBatchRemoteOneRoundTrip(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(120))
 	rows := testRows(rng, 32, 32, 1<<20)
-	tab, err := eng.Provision(context.Background(), rc, TableSpec{Rows: 32, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), RemoteBackend(rc), TableSpec{Rows: 32, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestQueryBatchMixedShapesFanOut(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(121))
 	rows := testRows(rng, 16, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 16, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 16, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,20 +1,28 @@
 // Command secndp-server runs the untrusted NDP as a standalone process:
 // it owns a memory space, answers the ciphertext-side operations of the
-// wire protocol, and holds no key material. Point an engine's Provision
-// at its address (see examples/remote).
+// wire protocol, and holds no key material. Point an engine's
+// RemoteBackend at its address (see examples/remote), or start several
+// instances with -shards and hand the addresses to ClusterBackend (see
+// examples/cluster).
 //
 //	secndp-server -addr :7070
 //	secndp-server -addr :7070 -telemetry :9091   # /metrics, /debug/traces, pprof
+//	secndp-server -addr :7070 -shards 4          # shard servers on :7070..:7073
 //
-// With -telemetry, the server's request counters (connections, per-opcode
-// operations, semantic rejections) are served in Prometheus text format.
+// With -shards N, N independent servers listen on consecutive ports
+// starting at -addr's port, each with its own memory space — a one-host
+// stand-in for an N-node NDP cluster. A single -telemetry endpoint
+// aggregates every shard's counters (each shard instruments the shared
+// registry, so per-opcode series accumulate across shards).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 
 	"secndp"
@@ -24,15 +32,19 @@ import (
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7070", "address to serve the NDP wire protocol on")
+		shards  = flag.Int("shards", 1, "number of shard servers on consecutive ports starting at -addr")
 		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9091)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "secndp-server: -shards must be >= 1")
+		os.Exit(1)
+	}
 
-	srv := secndp.NewServer(secndp.NewMemory())
+	var reg *telemetry.Registry
 	if *teleAdr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		reg.PublishExpvar("secndp")
-		srv.Instrument(reg)
 		bound, closeFn, err := reg.Serve(*teleAdr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secndp-server:", err)
@@ -42,19 +54,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "secndp-server: telemetry on http://%s/metrics\n", bound)
 	}
 
-	bound, err := srv.Listen(*addr)
+	addrs, err := shardAddrs(*addr, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secndp-server:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "secndp-server: serving NDP on %s\n", bound)
+	srvs := make([]*secndp.Server, len(addrs))
+	for i, a := range addrs {
+		srv := secndp.NewServer(secndp.NewMemory())
+		if reg != nil {
+			srv.Instrument(reg)
+		}
+		bound, err := srv.Listen(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secndp-server: shard %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		srvs[i] = srv
+		if *shards == 1 {
+			fmt.Fprintf(os.Stderr, "secndp-server: serving NDP on %s\n", bound)
+		} else {
+			fmt.Fprintf(os.Stderr, "secndp-server: shard %d serving NDP on %s\n", i, bound)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "secndp-server: shutting down")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "secndp-server:", err)
-		os.Exit(1)
+	code := 0
+	for i, srv := range srvs {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "secndp-server: shard %d: %v\n", i, err)
+			code = 1
+		}
 	}
+	os.Exit(code)
+}
+
+// shardAddrs expands base into n addresses on consecutive ports. Port 0
+// (kernel-assigned) only makes sense for a single shard — consecutive
+// ephemeral ports cannot be requested.
+func shardAddrs(base string, n int) ([]string, error) {
+	if n == 1 {
+		return []string{base}, nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: non-numeric port: %w", base, err)
+	}
+	if port == 0 {
+		return nil, fmt.Errorf("-addr %q: -shards %d needs a fixed base port, not 0", base, n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	return addrs, nil
 }

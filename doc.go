@@ -6,18 +6,55 @@
 // verifying results with encrypted linear checksums over GF(2^127−1).
 //
 // The package itself is the public facade. An Engine owns the secret key
-// and version discipline; Encrypt (in-process NDP) or Provision (remote
-// NDP server) produce Table handles; Table.Query runs the weighted-sum
-// protocol through the concurrent query engine — NDP ciphertext sums, OTP
-// share regeneration, and tag-pad sums overlapped, with the pad loop
-// sharded across a worker pool (the software analogue of the paper's
-// multiple OTP engines, §V-C2):
+// and version discipline; Engine.CreateTable provisions an encrypted table
+// through a pluggable Backend and returns a Table handle; Table.Query runs
+// the weighted-sum protocol through the concurrent query engine — NDP
+// ciphertext sums, OTP share regeneration, and tag-pad sums overlapped,
+// with the pad loop sharded across a worker pool (the software analogue of
+// the paper's multiple OTP engines, §V-C2):
 //
 //	eng, _ := secndp.New(key, secndp.WithParallelism(8), secndp.WithPadCache(1024))
 //	mem := secndp.NewMemory()
-//	tab, _ := eng.Encrypt(mem, secndp.TableSpec{Rows: n, Cols: m}, rows)
+//	tab, _ := eng.CreateTable(ctx, secndp.LocalBackend(mem), secndp.TableSpec{Rows: n, Cols: m}, rows)
 //	res, err := tab.Query(ctx, secndp.Request{Idx: idx, Weights: w})
 //	// errors.Is(err, secndp.ErrVerification) ⇒ tampered result rejected.
+//
+// # Backends
+//
+// A Backend selects where the ciphertext lives and which NDP serves the
+// table's queries; the set is closed and CreateTable is the single entry
+// point for all of them:
+//
+//   - LocalBackend(mem) — ciphertext in an in-process untrusted memory,
+//     queries served by an in-process NDP over it. The paper's
+//     single-memory-system shape; fastest for tests and experiments.
+//   - RemoteBackend(client) — encrypt locally, ship only ciphertext and
+//     tags to one remote NDP server over the wire protocol.
+//   - ClusterBackend(shards...) — shard the table's rows across several
+//     NDP servers and scatter-gather queries over them, with one
+//     aggregated verification covering each whole gather (see below).
+//
+// The legacy Engine.Encrypt and Engine.Provision methods survive as thin
+// deprecated wrappers over CreateTable with LocalBackend and RemoteBackend.
+//
+// # Clusters
+//
+// ClusterBackend partitions rows across shards — contiguous ranges by
+// default, or by a fixed hash of the row index with Sharding(ShardByHash).
+// The engine encrypts once into TEE staging under one global layout, then
+// ships each shard only its rows' ciphertext and tags at their global
+// addresses. Queries and batches split along the shard map, the per-shard
+// partial sums return concurrently, and by the scheme's linearity the
+// gathered result decrypts and verifies exactly as a single NDP holding
+// every row would — one aggregated MAC check per gather, regardless of the
+// shard count. When that check rejects, the facade bisects over the shards
+// to name the culprit(s) in the error. DESIGN.md §9 develops the math.
+//
+// Transport precedence for each ShardSpec: a non-nil ShardSpec.Transport
+// is used as-is and stays caller-owned (Table.Close does not close it);
+// otherwise ShardSpec.Addr is dialed with the engine-level TransportConfig
+// set by WithTransport (table-owned — Table.Close closes it); with no
+// WithTransport option, dialing uses the zero-value transport defaults.
 //
 // # Failure model
 //
@@ -36,11 +73,16 @@
 //   - ErrVerification — the NDP answered, but the encrypted-MAC check
 //     rejected the result: tampering, replay, or corruption in flight.
 //
-// With WithFallback, Provision additionally keeps the encrypted staging
-// image inside the TEE as a trusted mirror; when the transport is down or
-// verification keeps failing, queries are recomputed locally from the
-// mirror (the paper's trusted-processor baseline, Figure 4(b)) and return
-// Result.Degraded = true instead of an error.
+// With WithFallback, the remote and cluster backends additionally keep the
+// encrypted staging image inside the TEE as a trusted mirror; when the
+// transport is down or verification keeps failing, queries are recomputed
+// locally from the mirror (the paper's trusted-processor baseline, Figure
+// 4(b)) and return Result.Degraded = true instead of an error. On a
+// cluster, the mirror is also the unit of graceful degradation per shard:
+// a failed shard's partials are recomputed from the mirror while the
+// surviving shards' work is kept, the aggregated check still runs over the
+// filled gather (so such results stay Verified), and the result is marked
+// Degraded.
 //
 // # Batch error contract
 //
@@ -52,10 +94,21 @@
 // anywhere in the batch; siblings of a failed request are still valid (and
 // Verified, when verification ran).
 //
+// # Unified queries
+//
+// Request covers both granularities through one Query entry point: a
+// whole-row weighted sum by default, or an element-indexed sum when
+// Request.Cols is set (no verification applies — the paper's tags
+// authenticate whole-row linear combinations). Both routes record under
+// the same "query" telemetry labels and populate Result.Timing the same
+// way, including Fallback time when the TEE mirror served the request.
+//
 // The repository layout behind the facade:
 //
 //   - internal/core — the SecNDP scheme itself (Algorithms 1–8) and the
 //     concurrent query engine (parallel.go, padcache.go).
+//   - internal/cluster — the shard map and scatter-gather NDP behind
+//     ClusterBackend.
 //   - internal/{ring,field,otp,memory} — the crypto and memory substrates.
 //   - internal/remote — the untrusted NDP server and its context-aware
 //     TCP client.

@@ -1,0 +1,139 @@
+// Cluster: one encrypted table sharded across four NDP servers, queried
+// by scatter-gather with a single cross-shard verification.
+//
+// The trusted engine encrypts once into TEE staging, then ships each
+// shard only its rows' ciphertext and tags — plaintext never leaves the
+// trusted side, and no shard ever holds the whole table. Queries split
+// along the shard map, the per-shard partial sums return concurrently,
+// and by the scheme's linearity the gathered result decrypts and
+// verifies exactly as if one NDP held every row: one aggregated MAC
+// check covers the whole gather. When a shard dies mid-flight, the TEE
+// ciphertext mirror (WithFallback) recomputes just that shard's partial
+// and the result is marked Degraded instead of failing.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"secndp"
+)
+
+func main() {
+	// Four untrusted NDP servers, each with its own memory space — a
+	// one-process stand-in for four NDP-equipped memory nodes. (Outside an
+	// example you'd start them with `secndp-server -addr :7070 -shards 4`.)
+	const numShards = 4
+	srvs := make([]*secndp.Server, numShards)
+	specs := make([]secndp.ShardSpec, numShards)
+	for i := range srvs {
+		srvs[i] = secndp.NewServer(secndp.NewMemory())
+		addr, err := srvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srvs[i].Close()
+		specs[i] = secndp.ShardSpec{Addr: addr}
+	}
+
+	// WithTransport sets the engine-level dial defaults for every shard
+	// the backend connects itself; WithFallback keeps the TEE staging
+	// image as a mirror, arming degraded mode.
+	reg := secndp.NewTelemetry()
+	eng, err := secndp.New([]byte("cluster-demo-key"),
+		secndp.WithTransport(secndp.TransportConfig{}),
+		secndp.WithFallback(1),
+		secndp.WithTelemetry(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n, m = 64, 32
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = make([]uint64, m)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % (1 << 20)
+		}
+	}
+
+	// Provision through the cluster backend: rows 0..15 land on shard 0,
+	// 16..31 on shard 1, and so on (range sharding; .Sharding(ShardByHash)
+	// spreads hot rows instead).
+	ctx := context.Background()
+	table, err := eng.CreateTable(ctx, secndp.ClusterBackend(specs...),
+		secndp.TableSpec{Name: "cluster-demo", Rows: n, Cols: m}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer table.Close()
+	fmt.Printf("sharded %d×%d table across %d NDP servers\n", n, m, numShards)
+
+	check := func(res secndp.Result, idx []int, w []uint64) {
+		var want uint64
+		for k, i := range idx {
+			want += w[k] * rows[i][0]
+		}
+		if res.Values[0] != want&0xFFFFFFFF {
+			log.Fatalf("WRONG RESULT: %d != %d", res.Values[0], want&0xFFFFFFFF)
+		}
+	}
+
+	// A query spanning every shard: four concurrent sub-queries, one
+	// gather, one verification.
+	req := secndp.Request{Idx: []int{2, 20, 40, 60}, Weights: []uint64{1, 2, 3, 4}}
+	res, err := table.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(res, req.Idx, req.Weights)
+	fmt.Printf("scatter-gather query: verified=%v degraded=%v column 0 = %d\n",
+		res.Verified, res.Degraded, res.Values[0])
+
+	// A batch rides one exchange per touched shard, with each shard
+	// running its own cross-request pad dedup.
+	reqs := make([]secndp.Request, 8)
+	for i := range reqs {
+		idx := make([]int, 6)
+		w := make([]uint64, 6)
+		for k := range idx {
+			idx[k] = rng.Intn(n)
+			w[k] = 1 + rng.Uint64()%9
+		}
+		reqs[i] = secndp.Request{Idx: idx, Weights: w}
+	}
+	out, err := table.QueryBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range out {
+		check(out[i], reqs[i].Idx, reqs[i].Weights)
+	}
+	fmt.Printf("batched %d requests across %d shards, all verified\n", len(reqs), numShards)
+
+	// Kill shard 2 (rows 32..47): the mirror recomputes its partials, the
+	// gather still verifies, and the result reports Degraded.
+	srvs[2].Close()
+	res, err = table.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(res, req.Idx, req.Weights)
+	fmt.Printf("after killing shard 2: verified=%v degraded=%v — correct answer from %d survivors + TEE mirror\n",
+		res.Verified, res.Degraded, numShards-1)
+
+	// The registry tells the story: per-shard sub-operations, the shard
+	// failure, and the mirror fill.
+	for _, c := range reg.Snapshot().Counters {
+		switch c.Name {
+		case "secndp_cluster_gathers_total", "secndp_cluster_mirror_fills_total",
+			"secndp_cluster_shard_failures_total", "secndp_cluster_shard2_failures_total":
+			fmt.Printf("metric %s = %d\n", c.Name, c.Value)
+		}
+	}
+}

@@ -69,7 +69,7 @@ func main() {
 			rows[i][j] = rng.Uint64() % (1 << 20)
 		}
 	}
-	table, err := eng.Provision(context.Background(), client,
+	table, err := eng.CreateTable(context.Background(), secndp.RemoteBackend(client),
 		secndp.TableSpec{Name: "fault-demo", Rows: n, Cols: m}, rows)
 	if err != nil {
 		log.Fatal(err)

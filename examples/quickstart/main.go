@@ -44,10 +44,12 @@ func main() {
 		}
 	}
 
-	// T0 (Figure 4): encrypt into the untrusted memory. The returned table
-	// handle is bound to an in-process NDP over that memory.
+	// T0 (Figure 4): encrypt into the untrusted memory. CreateTable routes
+	// provisioning through a Backend — LocalBackend here binds the table to
+	// an in-process NDP over that memory (see examples/remote and
+	// examples/cluster for the other backends).
 	mem := secndp.NewMemory()
-	table, err := eng.Encrypt(mem, secndp.TableSpec{
+	table, err := eng.CreateTable(context.Background(), secndp.LocalBackend(mem), secndp.TableSpec{
 		Name: "demo-table", Rows: n, Cols: m, Tags: secndp.TagsColocated,
 	}, plain)
 	if err != nil {

@@ -52,7 +52,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	table, err := eng.Provision(ctx, client, secndp.TableSpec{
+	table, err := eng.CreateTable(ctx, secndp.RemoteBackend(client), secndp.TableSpec{
 		Name: "remote-table", Rows: n, Cols: m,
 	}, rows)
 	if err != nil {

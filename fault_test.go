@@ -65,7 +65,7 @@ func newFaultHarness(t *testing.T, seed int64, tcfg TransportConfig, opts ...Opt
 	}
 	rng := rand.New(rand.NewSource(seed))
 	h.rows = testRows(rng, 32, 32, 1<<20)
-	h.tab, err = h.eng.Provision(context.Background(), h.rc, TableSpec{Rows: 32, Cols: 32}, h.rows)
+	h.tab, err = h.eng.CreateTable(context.Background(), RemoteBackend(h.rc), TableSpec{Rows: 32, Cols: 32}, h.rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestFaultBatchPartialFailure(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(108))
 	rows := testRows(rng, 16, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 16, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 16, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,499 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/field"
+	"secndp/internal/memory"
+	"secndp/internal/ring"
+	"secndp/internal/telemetry"
+)
+
+// NDP is the scatter-gather near-data processor over a cluster of
+// shards: it implements core.NDP (plus the Context and Batch
+// extensions), so the whole trusted-side machinery — the concurrent
+// query engine, the batched pipeline's pad dedup, the aggregated
+// verification — runs over a cluster exactly as it runs over one
+// server. Each call splits its index list by the shard map, issues the
+// per-shard sub-queries concurrently, and re-adds the partials (ring
+// for data sums, field for tag sums).
+//
+// With a TEE ciphertext mirror attached, a failed shard's partial is
+// recomputed inside the trusted side from the mirror's copy of exactly
+// that shard's rows — the surviving shards' work is kept, and because
+// the mirror holds the same ciphertext bytes the shard does, the filled
+// gather still decrypts and verifies identically. Fills are reported
+// through the context flag (WithFlag) so the facade can mark the result
+// Degraded.
+type NDP struct {
+	smap   *Map
+	shards []core.NDP
+	mirror *core.HonestNDP // nil: shard failures are fatal for the call
+
+	// Telemetry handles; nil (registry never attached) makes every
+	// record site a no-op. Instrument must be called before the first
+	// query — the fields are not synchronized afterwards.
+	gathers  *telemetry.Counter
+	fills    *telemetry.Counter
+	failures *telemetry.Counter
+	perShard []shardTel
+}
+
+type shardTel struct {
+	subops   *telemetry.Counter
+	failures *telemetry.Counter
+	seconds  *telemetry.Histogram
+}
+
+// Options configures a cluster NDP.
+type Options struct {
+	// Mirror, when non-nil, is the TEE-held ciphertext image of the
+	// whole table: failed shards' partials are recomputed from it
+	// (degraded mode) instead of failing the gather.
+	Mirror *memory.Space
+}
+
+// New builds the scatter-gather NDP from a shard map and one client per
+// shard. len(shards) must equal smap.NumShards().
+func New(smap *Map, shards []core.NDP, opts Options) (*NDP, error) {
+	if smap == nil {
+		return nil, fmt.Errorf("cluster: nil shard map")
+	}
+	if len(shards) != smap.NumShards() {
+		return nil, fmt.Errorf("cluster: %d shard clients for a %d-shard map", len(shards), smap.NumShards())
+	}
+	for s, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("cluster: nil client for shard %d", s)
+		}
+	}
+	n := &NDP{smap: smap, shards: shards}
+	if opts.Mirror != nil {
+		n.mirror = &core.HonestNDP{Mem: opts.Mirror}
+	}
+	return n, nil
+}
+
+// Map returns the cluster's shard map.
+func (n *NDP) Map() *Map { return n.smap }
+
+// Instrument attaches the cluster's metric series to reg: gather and
+// mirror-fill counters plus per-shard sub-operation counts, failure
+// counts, and latency histograms (secndp_cluster_shard<i>_*). Call once,
+// before the first query.
+func (n *NDP) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	n.gathers = reg.Counter("secndp_cluster_gathers_total",
+		"Scatter-gather operations completed across the cluster (each sums per-shard partials).")
+	n.fills = reg.Counter("secndp_cluster_mirror_fills_total",
+		"Shard partials recomputed from the TEE ciphertext mirror after a shard failure.")
+	n.failures = reg.Counter("secndp_cluster_shard_failures_total",
+		"Per-shard sub-operations that failed after the shard transport gave up.")
+	n.perShard = make([]shardTel, len(n.shards))
+	for s := range n.shards {
+		p := fmt.Sprintf("secndp_cluster_shard%d_", s)
+		n.perShard[s] = shardTel{
+			subops: reg.Counter(p+"subops_total",
+				fmt.Sprintf("Sub-operations dispatched to shard %d.", s)),
+			failures: reg.Counter(p+"failures_total",
+				fmt.Sprintf("Sub-operations against shard %d that failed.", s)),
+			seconds: reg.Histogram(p+"seconds",
+				fmt.Sprintf("Per-sub-operation latency of shard %d.", s), nil),
+		}
+	}
+}
+
+func (n *NDP) observe(shard int, d time.Duration, err error) {
+	if n.perShard == nil {
+		return
+	}
+	st := &n.perShard[shard]
+	st.subops.Inc()
+	st.seconds.Observe(d)
+	if err != nil {
+		st.failures.Inc()
+		n.failures.Inc()
+	}
+}
+
+func (n *NDP) noteGather() {
+	if n.gathers != nil {
+		n.gathers.Inc()
+	}
+}
+
+// Flag collects what the cluster had to do behind a call's back: the
+// shards whose partials were served from the TEE mirror. The facade
+// installs one with WithFlag before a query and reads it afterwards to
+// mark results Degraded; concurrent sub-gathers of one query share it.
+type Flag struct {
+	mu     sync.Mutex
+	filled map[int]struct{}
+}
+
+type flagKey struct{}
+
+// WithFlag derives a context carrying a fresh fill flag.
+func WithFlag(ctx context.Context) (context.Context, *Flag) {
+	f := &Flag{}
+	return context.WithValue(ctx, flagKey{}, f), f
+}
+
+func flagFrom(ctx context.Context) *Flag {
+	f, _ := ctx.Value(flagKey{}).(*Flag)
+	return f
+}
+
+func (f *Flag) note(shard int) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.filled == nil {
+		f.filled = make(map[int]struct{})
+	}
+	f.filled[shard] = struct{}{}
+}
+
+// Filled returns the shards whose partials came from the mirror, in
+// increasing order; empty means every partial came from its shard.
+func (f *Flag) Filled() []int {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, 0, len(f.filled))
+	for s := range f.filled {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Any reports whether at least one partial was mirror-filled.
+func (f *Flag) Any() bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.filled) > 0
+}
+
+// callShard invokes one shard's weighted sum, preferring the
+// context-aware transport and converting legacy panics into errors.
+func callSum(ctx context.Context, sh core.NDP, geo core.Geometry, idx []int, weights []uint64) (res []uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: shard ndp failed: %v", r)
+		}
+	}()
+	if cn, ok := sh.(core.ContextNDP); ok {
+		return cn.WeightedSumContext(ctx, geo, idx, weights)
+	}
+	return sh.WeightedSum(geo, idx, weights), nil
+}
+
+func callTag(ctx context.Context, sh core.NDP, geo core.Geometry, idx []int, weights []uint64) (res field.Elem, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: shard ndp failed: %v", r)
+		}
+	}()
+	if cn, ok := sh.(core.ContextNDP); ok {
+		return cn.TagSumContext(ctx, geo, idx, weights)
+	}
+	return sh.TagSum(geo, idx, weights), nil
+}
+
+// sumSubs scatters the sub-queries concurrently and gathers the ring sum
+// of the partials. A failed shard's partial is recomputed from the
+// mirror when one is attached (noting the fill on the context flag);
+// without a mirror the first shard failure fails the gather.
+func (n *NDP) sumSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) ([]uint64, error) {
+	r, err := ring.New(geo.Params.We)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]uint64, geo.Params.M)
+	if len(subs) == 0 {
+		return acc, nil
+	}
+	partials := make([][]uint64, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for si := range subs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sub := subs[si]
+			start := time.Now()
+			partials[si], errs[si] = callSum(ctx, n.shards[sub.Shard], geo, sub.Idx, sub.Weights)
+			n.observe(sub.Shard, time.Since(start), errs[si])
+		}(si)
+	}
+	wg.Wait()
+	n.noteGather()
+	for si := range subs {
+		sub := subs[si]
+		if errs[si] != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if n.mirror == nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", sub.Shard, errs[si])
+			}
+			p, ferr := mirrorSum(n.mirror, geo, sub.Idx, sub.Weights)
+			if ferr != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w (mirror fill failed: %v)", sub.Shard, errs[si], ferr)
+			}
+			n.noteFill(ctx, sub.Shard)
+			partials[si] = p
+		}
+		if len(partials[si]) != geo.Params.M {
+			return nil, fmt.Errorf("cluster: shard %d returned %d columns, want %d", sub.Shard, len(partials[si]), geo.Params.M)
+		}
+		r.AddVec(acc, acc, partials[si])
+	}
+	return acc, nil
+}
+
+// tagSubs is sumSubs for the tag half: the per-shard tag partials add in
+// F_q to the unsharded tag sum.
+func (n *NDP) tagSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) (field.Elem, error) {
+	acc := field.Zero
+	if len(subs) == 0 {
+		return acc, nil
+	}
+	partials := make([]field.Elem, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for si := range subs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sub := subs[si]
+			start := time.Now()
+			partials[si], errs[si] = callTag(ctx, n.shards[sub.Shard], geo, sub.Idx, sub.Weights)
+			n.observe(sub.Shard, time.Since(start), errs[si])
+		}(si)
+	}
+	wg.Wait()
+	n.noteGather()
+	for si := range subs {
+		sub := subs[si]
+		if errs[si] != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return field.Zero, cerr
+			}
+			if n.mirror == nil {
+				return field.Zero, fmt.Errorf("cluster: shard %d: %w", sub.Shard, errs[si])
+			}
+			p, ferr := mirrorTag(n.mirror, geo, sub.Idx, sub.Weights)
+			if ferr != nil {
+				return field.Zero, fmt.Errorf("cluster: shard %d: %w (mirror fill failed: %v)", sub.Shard, errs[si], ferr)
+			}
+			n.noteFill(ctx, sub.Shard)
+			partials[si] = p
+		}
+		acc = field.Add(acc, partials[si])
+	}
+	return acc, nil
+}
+
+func (n *NDP) noteFill(ctx context.Context, shard int) {
+	flagFrom(ctx).note(shard)
+	if n.fills != nil {
+		n.fills.Inc()
+	}
+}
+
+// mirrorSum recomputes one shard's data partial from the TEE mirror. The
+// mirror holds the same ciphertext bytes the shard does, so the filled
+// partial is exactly what an honest shard would have returned — the
+// gathered result still decrypts and verifies unchanged.
+func mirrorSum(mir *core.HonestNDP, geo core.Geometry, idx []int, weights []uint64) (res []uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: mirror fill failed: %v", r)
+		}
+	}()
+	return mir.WeightedSum(geo, idx, weights), nil
+}
+
+func mirrorTag(mir *core.HonestNDP, geo core.Geometry, idx []int, weights []uint64) (res field.Elem, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: mirror fill failed: %v", r)
+		}
+	}()
+	return mir.TagSum(geo, idx, weights), nil
+}
+
+// WeightedSumContext implements core.ContextNDP by scatter-gathering the
+// query across the owning shards.
+func (n *NDP) WeightedSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
+	return n.sumSubs(ctx, geo, n.smap.Split(idx, weights))
+}
+
+// TagSumContext implements core.ContextNDP.
+func (n *NDP) TagSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
+	return n.tagSubs(ctx, geo, n.smap.Split(idx, weights))
+}
+
+// WeightedSum implements core.NDP; like other transport-backed NDPs its
+// legacy failure mode is a panic (the query engine converts it).
+func (n *NDP) WeightedSum(geo core.Geometry, idx []int, weights []uint64) []uint64 {
+	res, err := n.WeightedSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TagSum implements core.NDP.
+func (n *NDP) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem {
+	res, err := n.TagSumContext(context.Background(), geo, idx, weights)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// WeightedSumElem implements core.NDP. Element-granular sums have no
+// wire op (remote shards cannot serve them); the facade answers element
+// queries from the TEE mirror instead.
+func (n *NDP) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []uint64) uint64 {
+	panic("cluster: WeightedSumElem not supported across shards")
+}
+
+// SupportsBatch implements core.BatchNDP: true only when every shard
+// answers batches, so a sub-batch never needs a per-shard fallback path.
+func (n *NDP) SupportsBatch(ctx context.Context) bool {
+	for _, sh := range n.shards {
+		bn, ok := sh.(core.BatchNDP)
+		if !ok || !bn.SupportsBatch(ctx) {
+			return false
+		}
+	}
+	return true
+}
+
+func callBatch(ctx context.Context, bn core.BatchNDP, geo core.Geometry, reqs []core.BatchRequest, verify bool) (res []core.NDPBatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: shard ndp failed: %v", r)
+		}
+	}()
+	return bn.WeightedTagSumBatch(ctx, geo, reqs, verify)
+}
+
+func mirrorBatch(ctx context.Context, mir *core.HonestNDP, geo core.Geometry, reqs []core.BatchRequest, verify bool) (res []core.NDPBatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: mirror fill failed: %v", r)
+		}
+	}()
+	return mir.WeightedTagSumBatch(ctx, geo, reqs, verify)
+}
+
+// WeightedTagSumBatch implements core.BatchNDP: the batch splits into
+// per-shard sub-batches (each running the shard's own batch-plan dedup),
+// the sub-batches ride one concurrent exchange per touched shard, and
+// each original request's answer is the ring/field sum of its per-shard
+// partials. A request whose rows all live on failed shards is filled
+// from the mirror like any other partial; a request referencing no rows
+// answers the empty sum (zero). A returned error is batch-level — a
+// shard failed with no mirror to fill from — and the caller's fan-out
+// path re-runs the batch per request.
+func (n *NDP) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	m := geo.Params.M
+	r, err := ring.New(geo.Params.We)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.NDPBatchResult, len(reqs))
+	slab := make([]uint64, len(reqs)*m)
+	for i := range out {
+		out[i].Sums = slab[i*m : (i+1)*m : (i+1)*m]
+	}
+	subs := n.smap.SplitBatch(reqs)
+	if len(subs) == 0 {
+		return out, nil
+	}
+	results := make([][]core.NDPBatchResult, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for si := range subs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sub := subs[si]
+			bn, ok := n.shards[sub.Shard].(core.BatchNDP)
+			if !ok {
+				errs[si] = fmt.Errorf("cluster: shard %d has no batch support", sub.Shard)
+				return
+			}
+			start := time.Now()
+			results[si], errs[si] = callBatch(ctx, bn, geo, sub.Reqs, verify)
+			n.observe(sub.Shard, time.Since(start), errs[si])
+		}(si)
+	}
+	wg.Wait()
+	n.noteGather()
+	for si := range subs {
+		sub := subs[si]
+		res := results[si]
+		if errs[si] != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if n.mirror == nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", sub.Shard, errs[si])
+			}
+			filled, ferr := mirrorBatch(ctx, n.mirror, geo, sub.Reqs, verify)
+			if ferr != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w (mirror fill failed: %v)", sub.Shard, errs[si], ferr)
+			}
+			n.noteFill(ctx, sub.Shard)
+			res = filled
+		}
+		if len(res) != len(sub.Reqs) {
+			return nil, fmt.Errorf("cluster: shard %d answered %d of %d sub-requests", sub.Shard, len(res), len(sub.Reqs))
+		}
+		for j := range res {
+			oi := sub.Origin[j]
+			if out[oi].Err != nil {
+				continue
+			}
+			if res[j].Err != nil {
+				out[oi] = core.NDPBatchResult{Err: fmt.Errorf("cluster: shard %d: %w", sub.Shard, res[j].Err)}
+				continue
+			}
+			if len(res[j].Sums) != m {
+				out[oi] = core.NDPBatchResult{Err: fmt.Errorf("cluster: shard %d returned %d columns, want %d", sub.Shard, len(res[j].Sums), m)}
+				continue
+			}
+			r.AddVec(out[oi].Sums, out[oi].Sums, res[j].Sums)
+			if verify {
+				out[oi].Tag = field.Add(out[oi].Tag, res[j].Tag)
+			}
+		}
+	}
+	return out, nil
+}
+
+var (
+	_ core.NDP        = (*NDP)(nil)
+	_ core.ContextNDP = (*NDP)(nil)
+	_ core.BatchNDP   = (*NDP)(nil)
+)

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzShardSplit drives the shard-map planner with arbitrary geometries
+// and index lists and checks the partition invariants that the gather's
+// correctness rests on: every (idx, weight) pair lands on exactly one
+// sub-query, on its owning shard, in original relative order — so the
+// per-shard partials re-add to the unsharded sum by linearity.
+func FuzzShardSplit(f *testing.F) {
+	f.Add(64, 4, 0, uint64(1), []byte{0, 1, 2, 3, 62, 63})
+	f.Add(100, 7, 1, uint64(9), []byte{50, 50, 50, 0, 99})
+	f.Add(1, 1, 0, uint64(2), []byte{0})
+	f.Add(255, 16, 1, uint64(3), []byte{})
+	f.Fuzz(func(t *testing.T, numRows, numShards, strat int, epoch uint64, raw []byte) {
+		if numRows < 0 || numRows > 1<<16 || numShards <= 0 || numShards > 256 {
+			t.Skip()
+		}
+		strategy := Strategy(strat & 1)
+		m, err := NewMap(numRows, numShards, strategy, epoch)
+		if err != nil {
+			t.Fatalf("NewMap(%d, %d, %v): %v", numRows, numShards, strategy, err)
+		}
+		if m.Epoch() != epoch {
+			t.Fatalf("epoch %d != %d", m.Epoch(), epoch)
+		}
+		if numRows == 0 {
+			return
+		}
+		// Derive an in-range query from the raw bytes; weights vary with
+		// position so order violations change the observable pairing.
+		idx := make([]int, len(raw))
+		weights := make([]uint64, len(raw))
+		for k, b := range raw {
+			idx[k] = int(b) % numRows
+			weights[k] = uint64(b)<<8 | uint64(k&0xff)
+		}
+
+		subs := m.Split(idx, weights)
+		total := 0
+		cursor := make([]int, len(subs))
+		prevShard := -1
+		for si, sub := range subs {
+			if sub.Shard <= prevShard || sub.Shard >= numShards {
+				t.Fatalf("sub %d: shard %d after %d (of %d)", si, sub.Shard, prevShard, numShards)
+			}
+			prevShard = sub.Shard
+			if len(sub.Idx) != len(sub.Weights) || len(sub.Idx) == 0 {
+				t.Fatalf("shard %d: %d idx, %d weights", sub.Shard, len(sub.Idx), len(sub.Weights))
+			}
+			total += len(sub.Idx)
+			for _, i := range sub.Idx {
+				if m.Shard(i) != sub.Shard {
+					t.Fatalf("row %d on shard %d, owned by %d", i, sub.Shard, m.Shard(i))
+				}
+			}
+		}
+		if total != len(idx) {
+			t.Fatalf("%d pairs in, %d out", len(idx), total)
+		}
+		// Replay the original pair stream: each pair must be the next
+		// unconsumed pair of its owning shard's sub-query.
+		shardSub := make(map[int]int, len(subs))
+		for si, sub := range subs {
+			shardSub[sub.Shard] = si
+		}
+		for k := range idx {
+			si, ok := shardSub[m.Shard(idx[k])]
+			if !ok {
+				t.Fatalf("row %d: owning shard %d has no sub-query", idx[k], m.Shard(idx[k]))
+			}
+			sub := subs[si]
+			c := cursor[si]
+			if c >= len(sub.Idx) || sub.Idx[c] != idx[k] || sub.Weights[c] != weights[k] {
+				t.Fatalf("pair %d (row %d, weight %d) out of order on shard %d", k, idx[k], weights[k], sub.Shard)
+			}
+			cursor[si]++
+		}
+
+		// Runs partition the row space exactly once across shards.
+		seen := 0
+		for s := 0; s < numShards; s++ {
+			for _, run := range m.Runs(s) {
+				if run[0] < 0 || run[1] <= run[0] || run[1] > numRows {
+					t.Fatalf("shard %d: bad run %v", s, run)
+				}
+				for i := run[0]; i < run[1]; i++ {
+					if m.Shard(i) != s {
+						t.Fatalf("run %v of shard %d holds row %d owned by %d", run, s, i, m.Shard(i))
+					}
+				}
+				seen += run[1] - run[0]
+			}
+		}
+		if seen != numRows {
+			t.Fatalf("runs cover %d of %d rows", seen, numRows)
+		}
+	})
+}

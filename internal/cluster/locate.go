@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+
+	"secndp/internal/core"
+)
+
+// LocateFault isolates which shard(s) contributed corrupted partials
+// after a verified query was rejected. The aggregated check covers the
+// whole gather, so a rejection only says "some shard lied"; this
+// bisection re-runs verified sub-queries over halves of the shard list —
+// each half's union of sub-queries is itself a well-formed smaller query
+// whose verification is independent — until the failing shard(s) are
+// pinned down. Because every row lives on exactly one shard, a half
+// containing only honest shards verifies and a half containing a
+// corrupt shard fails, so the recursion terminates at the culprits.
+//
+// The diagnosis is best-effort: the re-queries give a compromised shard
+// a second chance to answer honestly (in which case it evades
+// localization — but the original result was still rejected, so nothing
+// unverified escapes). Transport errors during localization abort it;
+// whatever was already isolated is returned alongside the error.
+func (n *NDP) LocateFault(ctx context.Context, tab *core.Table, idx []int, weights []uint64, opts core.QueryOptions) ([]int, error) {
+	subs := n.smap.Split(idx, weights)
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	opts.Verify = true
+	opts.Phases = nil
+	opts.Stats = nil
+
+	// check runs one verified query over the union of subs[lo:hi).
+	// Splitting the union re-derives exactly subs[lo:hi) (each row maps
+	// to its one owning shard), so only those shards see traffic.
+	check := func(lo, hi int) (ok bool, err error) {
+		total := 0
+		for _, s := range subs[lo:hi] {
+			total += len(s.Idx)
+		}
+		ci := make([]int, 0, total)
+		cw := make([]uint64, 0, total)
+		for _, s := range subs[lo:hi] {
+			ci = append(ci, s.Idx...)
+			cw = append(cw, s.Weights...)
+		}
+		_, qerr := tab.QueryCtx(ctx, n, ci, cw, opts)
+		if qerr == nil {
+			return true, nil
+		}
+		if errors.Is(qerr, core.ErrVerification) {
+			return false, nil
+		}
+		return false, qerr
+	}
+
+	var bad []int
+	var abort error
+	var bisect func(lo, hi int)
+	bisect = func(lo, hi int) {
+		if abort != nil {
+			return
+		}
+		if hi-lo == 1 {
+			bad = append(bad, subs[lo].Shard)
+			return
+		}
+		mid := (lo + hi) / 2
+		for _, half := range [][2]int{{lo, mid}, {mid, hi}} {
+			ok, err := check(half[0], half[1])
+			if err != nil {
+				abort = err
+				return
+			}
+			if !ok {
+				bisect(half[0], half[1])
+			}
+		}
+	}
+	if len(subs) == 1 {
+		// One shard served the whole query; the rejection already names it.
+		return []int{subs[0].Shard}, nil
+	}
+	bisect(0, len(subs))
+	return bad, abort
+}

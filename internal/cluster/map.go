@@ -1,0 +1,251 @@
+// Package cluster is the scatter-gather layer over many NDP servers: a
+// shard map partitions a table's rows across N untrusted NDP nodes, each
+// query is planned into per-shard sub-queries, the partial ciphertext
+// sums come back concurrently, and the gather re-adds them in the ring
+// (and the tag field) to exactly the single-NDP answer.
+//
+// Correctness rests on the scheme's linearity (paper §IV-F): the
+// weighted sum Σ_k w_k·C[i_k] splits along any partition of the index
+// list, the per-shard partials add back losslessly in Z(2^we), and the
+// per-shard tag sums add back in F_q — so the gathered result, its
+// decryption, and its verification transcript are byte-identical to a
+// single NDP holding every row. Security is unchanged: each shard holds
+// only ciphertext shares and tags for its rows (Secure Scattered Memory
+// makes the same argument for distributing shares across untrusted
+// nodes), and the one aggregated verification covers the whole gather.
+package cluster
+
+import (
+	"fmt"
+
+	"secndp/internal/core"
+)
+
+// Strategy selects how row indices map onto shards.
+type Strategy int
+
+const (
+	// RangeSharding assigns contiguous blocks of ⌈rows/shards⌉ rows per
+	// shard: provisioning ships one contiguous blob per shard and range
+	// scans stay shard-local.
+	RangeSharding Strategy = iota
+	// HashSharding spreads rows by a fixed avalanche hash of the row
+	// index: skewed/hot row sets load-balance across shards at the cost
+	// of fragmented provisioning writes.
+	HashSharding
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case RangeSharding:
+		return "range"
+	case HashSharding:
+		return "hash"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Map is the authoritative row→shard assignment for one table. It is
+// immutable after construction; the epoch number identifies the
+// assignment generation so future live resharding can fence stale
+// sub-queries (a shard that changed owners bumps the epoch, and partials
+// computed under an older epoch are discarded at the gather).
+type Map struct {
+	numRows   int
+	numShards int
+	strategy  Strategy
+	epoch     uint64
+	chunk     int // RangeSharding: rows per shard, ⌈numRows/numShards⌉
+}
+
+// NewMap builds the row→shard assignment for numRows rows over numShards
+// shards under the given strategy. epoch is the assignment generation
+// (first provisioning uses 1).
+func NewMap(numRows, numShards int, strategy Strategy, epoch uint64) (*Map, error) {
+	if numRows < 0 {
+		return nil, fmt.Errorf("cluster: negative row count %d", numRows)
+	}
+	if numShards <= 0 {
+		return nil, fmt.Errorf("cluster: shard count %d must be positive", numShards)
+	}
+	switch strategy {
+	case RangeSharding, HashSharding:
+	default:
+		return nil, fmt.Errorf("cluster: unknown sharding strategy %d", int(strategy))
+	}
+	m := &Map{numRows: numRows, numShards: numShards, strategy: strategy, epoch: epoch}
+	if numRows > 0 {
+		m.chunk = (numRows + numShards - 1) / numShards
+	} else {
+		m.chunk = 1
+	}
+	return m, nil
+}
+
+// NumRows returns the table's row count.
+func (m *Map) NumRows() int { return m.numRows }
+
+// NumShards returns the shard count.
+func (m *Map) NumShards() int { return m.numShards }
+
+// Strategy returns the sharding strategy.
+func (m *Map) Strategy() Strategy { return m.strategy }
+
+// Epoch returns the assignment generation.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// mix64 is the splitmix64 finisher: a fixed, key-less avalanche over the
+// row index. Shard placement is public information (the layout already
+// is), so an unkeyed hash leaks nothing the adversary does not hold.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Shard returns the owner of row i. The row must be in [0, NumRows);
+// out-of-range rows panic, matching the layout's addressing discipline
+// (callers validate queries before planning them).
+func (m *Map) Shard(i int) int {
+	if i < 0 || i >= m.numRows {
+		panic(fmt.Sprintf("cluster: row %d out of range [0,%d)", i, m.numRows))
+	}
+	if m.strategy == RangeSharding {
+		return i / m.chunk
+	}
+	return int(mix64(uint64(i)) % uint64(m.numShards))
+}
+
+// Runs returns shard's owned rows as maximal contiguous [lo,hi) runs in
+// increasing order — the unit of provisioning: each run ships as one
+// blob write at its global address. RangeSharding yields at most one
+// run; HashSharding yields many short ones.
+func (m *Map) Runs(shard int) [][2]int {
+	if shard < 0 || shard >= m.numShards {
+		panic(fmt.Sprintf("cluster: shard %d out of range [0,%d)", shard, m.numShards))
+	}
+	if m.numRows == 0 {
+		return nil
+	}
+	if m.strategy == RangeSharding {
+		lo := shard * m.chunk
+		hi := lo + m.chunk
+		if hi > m.numRows {
+			hi = m.numRows
+		}
+		if lo >= hi {
+			return nil
+		}
+		return [][2]int{{lo, hi}}
+	}
+	var runs [][2]int
+	start := -1
+	for i := 0; i < m.numRows; i++ {
+		if m.Shard(i) == shard {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			runs = append(runs, [2]int{start, i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		runs = append(runs, [2]int{start, m.numRows})
+	}
+	return runs
+}
+
+// SubQuery is one shard's slice of a weighted-sum query: the (row,
+// weight) pairs it owns, in their original relative order.
+type SubQuery struct {
+	Shard   int
+	Idx     []int
+	Weights []uint64
+}
+
+// Split partitions one query's (idx, weights) pairs by owning shard.
+// Only shards referenced by at least one row appear, in increasing shard
+// order. Every pair lands on exactly one sub-query, so the per-shard
+// partial sums re-add to the unsharded result by linearity. len(idx)
+// must equal len(weights) and every index must be in range (callers
+// validate with checkQuery first).
+func (m *Map) Split(idx []int, weights []uint64) []SubQuery {
+	if len(idx) != len(weights) {
+		panic(fmt.Sprintf("cluster: %d indices vs %d weights", len(idx), len(weights)))
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	counts := make([]int, m.numShards)
+	for _, i := range idx {
+		counts[m.Shard(i)]++
+	}
+	subs := make([]SubQuery, 0, m.numShards)
+	slot := make([]int, m.numShards) // shard → index into subs, or -1
+	for s := range slot {
+		slot[s] = -1
+	}
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		slot[s] = len(subs)
+		subs = append(subs, SubQuery{
+			Shard:   s,
+			Idx:     make([]int, 0, c),
+			Weights: make([]uint64, 0, c),
+		})
+	}
+	for k, i := range idx {
+		sub := &subs[slot[m.Shard(i)]]
+		sub.Idx = append(sub.Idx, i)
+		sub.Weights = append(sub.Weights, weights[k])
+	}
+	return subs
+}
+
+// SubBatch is one shard's slice of a query batch: the per-request
+// sub-queries that touch the shard, plus the mapping back to the
+// original request indices.
+type SubBatch struct {
+	Shard int
+	// Reqs[j] holds request Origin[j]'s rows owned by this shard.
+	Reqs []core.BatchRequest
+	// Origin[j] is the index of Reqs[j] in the original batch.
+	Origin []int
+}
+
+// SplitBatch partitions every request of a batch by owning shard. A
+// request appears in a shard's sub-batch only if it references at least
+// one row there; a request referencing no rows at all appears nowhere
+// (its sum is the empty sum — zero). Only shards with at least one
+// sub-request are returned, in increasing shard order, so each shard's
+// sub-batch rides one BatchNDP exchange and reuses the per-shard
+// batch-plan dedup machinery unmodified.
+func (m *Map) SplitBatch(reqs []core.BatchRequest) []SubBatch {
+	perShard := make([][]core.BatchRequest, m.numShards)
+	origins := make([][]int, m.numShards)
+	for ri := range reqs {
+		subs := m.Split(reqs[ri].Idx, reqs[ri].Weights)
+		for _, sub := range subs {
+			perShard[sub.Shard] = append(perShard[sub.Shard],
+				core.BatchRequest{Idx: sub.Idx, Weights: sub.Weights})
+			origins[sub.Shard] = append(origins[sub.Shard], ri)
+		}
+	}
+	out := make([]SubBatch, 0, m.numShards)
+	for s := range perShard {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		out = append(out, SubBatch{Shard: s, Reqs: perShard[s], Origin: origins[s]})
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"secndp/internal/field"
@@ -185,21 +186,38 @@ func checkQuery(geo Geometry, idx []int, weights []uint64) error {
 	return nil
 }
 
-// QueryElem runs the element-indexed weighted summation of the appendix's
-// Algorithm 4 — the scalar Σ_k weights[k]·P[idx[k]][jdx[k]] — through the
-// NDP. No verification applies: the paper's tags authenticate whole-row
-// linear combinations (Algorithm 5 operates per column over full rows).
-func (t *Table) QueryElem(ndp NDP, idx, jdx []int, weights []uint64) (uint64, error) {
+// QueryElemCtx runs the element-indexed weighted summation of the
+// appendix's Algorithm 4 — the scalar Σ_k weights[k]·P[idx[k]][jdx[k]] —
+// through the NDP. No verification applies: the paper's tags authenticate
+// whole-row linear combinations (Algorithm 5 operates per column over
+// full rows). NDP panics (the legacy transport failure mode) are
+// converted into errors.
+func (t *Table) QueryElemCtx(ctx context.Context, ndp NDP, idx, jdx []int, weights []uint64) (v uint64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if err := t.checkQuery(idx, weights); err != nil {
 		return 0, err
 	}
 	if len(jdx) != len(idx) {
 		return 0, fmt.Errorf("core: %d column indices vs %d rows", len(jdx), len(idx))
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: ndp failed: %v", r)
+		}
+	}()
 	cres := ndp.WeightedSumElem(t.geo, idx, jdx, weights)
 	eres, err := t.OTPWeightedSumElem(idx, jdx, weights)
 	if err != nil {
 		return 0, err
 	}
 	return t.r.Add(cres, eres), nil
+}
+
+// QueryElem is QueryElemCtx without a context.
+//
+// Deprecated: use QueryElemCtx.
+func (t *Table) QueryElem(ndp NDP, idx, jdx []int, weights []uint64) (uint64, error) {
+	return t.QueryElemCtx(context.Background(), ndp, idx, jdx, weights)
 }

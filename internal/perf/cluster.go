@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"secndp"
+)
+
+// clusterBenches measures the scatter-gather cluster end to end over
+// real loopback TCP servers: a batch-64 query load against 1, 2, and 4
+// shards. The single-shard number is the baseline; on a multi-core host
+// the 4-shard wall time should beat it, because the per-shard ciphertext
+// sums run concurrently while the TEE-side pad work is shared (the
+// bench-smoke CI gate asserts exactly that on >= 4 cores). Fixture setup
+// — servers, provisioning — happens outside the timed region.
+func clusterBenches(quick bool) []func() (string, testing.BenchmarkResult) {
+	numRows := 4096
+	if quick {
+		numRows = 256
+	}
+	const cols = 64
+	// 64 requests x 32 rows: enough per-shard ciphertext-sum work that the
+	// concurrent scatter dominates the extra per-shard framing.
+	const batchReqs, rowsPerReq = 64, 32
+
+	var out []func() (string, testing.BenchmarkResult)
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		name := fmt.Sprintf("cluster/query_batch_shards%d", shards)
+		out = append(out, func() (string, testing.BenchmarkResult) {
+			return name, testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(int64(batchReqs * rowsPerReq * cols * 4))
+				ctx := context.Background()
+				srvs := make([]*secndp.Server, shards)
+				specs := make([]secndp.ShardSpec, shards)
+				for i := range srvs {
+					srvs[i] = secndp.NewServer(secndp.NewMemory())
+					addr, err := srvs[i].Listen("127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srvs[i].Close()
+					specs[i] = secndp.ShardSpec{Addr: addr}
+				}
+				eng, err := secndp.New([]byte(benchKey), secndp.WithTransport(secndp.TransportConfig{
+					Retry: secndp.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+						MaxDelay: 5 * time.Millisecond},
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(3))
+				rows := make([][]uint64, numRows)
+				for i := range rows {
+					rows[i] = make([]uint64, cols)
+					for j := range rows[i] {
+						rows[i][j] = rng.Uint64() % (1 << 20)
+					}
+				}
+				tab, err := eng.CreateTable(ctx, secndp.ClusterBackend(specs...), secndp.TableSpec{
+					Name: name, Rows: numRows, Cols: cols,
+				}, rows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tab.Close()
+				reqs := make([]secndp.Request, batchReqs)
+				for i := range reqs {
+					idx := make([]int, rowsPerReq)
+					w := make([]uint64, rowsPerReq)
+					for k := range idx {
+						idx[k] = rng.Intn(numRows)
+						w[k] = 1 + rng.Uint64()%16
+					}
+					reqs[i] = secndp.Request{Idx: idx, Weights: w}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tab.QueryBatch(ctx, reqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+	return out
+}

@@ -168,7 +168,7 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 
 	pads := make([]byte, 1024)
 	acc := make([]uint64, m)
-	return []func() (string, testing.BenchmarkResult){
+	benches := []func() (string, testing.BenchmarkResult){
 		bench("otp/pads_into_256", 256, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				gen.PadsInto(pads[:256], otp.DomainData, uint64(i%1024)*256, 1)
@@ -253,7 +253,8 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 				}
 			}
 		}),
-	}, nil
+	}
+	return append(benches, clusterBenches(quick)...), nil
 }
 
 // Run executes the suite and assembles the report. quick shrinks the table

@@ -90,7 +90,7 @@ func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
 
 	// Local table: repeated requests over the same rows so the pad cache
 	// reports both misses (first pass) and hits (subsequent passes).
-	local, err := eng.Encrypt(secndp.NewMemory(), secndp.TableSpec{
+	local, err := eng.CreateTable(ctx, secndp.LocalBackend(secndp.NewMemory()), secndp.TableSpec{
 		Name: "perf-phases-local", Rows: rows, Cols: cols,
 	}, data)
 	if err != nil {
@@ -120,7 +120,7 @@ func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
 		return nil, err
 	}
 	defer rc.Close()
-	remoteTab, err := eng.Provision(ctx, rc, secndp.TableSpec{
+	remoteTab, err := eng.CreateTable(ctx, secndp.RemoteBackend(rc), secndp.TableSpec{
 		Name: "perf-phases-remote", Rows: rows, Cols: cols,
 	}, data)
 	if err != nil {

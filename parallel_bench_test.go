@@ -113,7 +113,7 @@ func BenchmarkFacadeQuery(b *testing.B) {
 			rows[i][j] = rng.Uint64() % (1 << 16)
 		}
 	}
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 1024, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 1024, Cols: 32}, rows)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func benchQueryParallel(b *testing.B, opts ...Option) {
 			rows[i][j] = rng.Uint64() % (1 << 16)
 		}
 	}
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: benchParRows, Cols: benchParCols}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: benchParRows, Cols: benchParCols}, rows)
 	if err != nil {
 		b.Fatal(err)
 	}

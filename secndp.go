@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"secndp/internal/cluster"
 	"secndp/internal/core"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
@@ -121,6 +123,7 @@ type config struct {
 	verify          verifyMode
 	fallbackVerifyN int                 // 0 = TEE fallback disabled
 	telemetry       *telemetry.Registry // nil = telemetry disabled
+	transport       *TransportConfig    // nil = zero-value transport defaults
 }
 
 // Option configures an Engine.
@@ -159,6 +162,16 @@ func WithFallback(verifyFailures int) Option {
 		}
 		c.fallbackVerifyN = verifyFailures
 	}
+}
+
+// WithTransport sets the engine-level default TransportConfig used
+// whenever the engine dials an NDP server itself — today that is every
+// ClusterBackend shard named by address — so per-shard fault-tolerance
+// knobs need not be repeated. It does not affect transports the caller
+// dialed (RemoteBackend, or a ShardSpec carrying a Transport): those
+// were configured at dial time. See doc.go for the precedence rules.
+func WithTransport(cfg TransportConfig) Option {
+	return func(c *config) { c.transport = &cfg }
 }
 
 // WithVerification pins the verification policy. Without this option the
@@ -302,8 +315,16 @@ type Table struct {
 	region string
 
 	// mirror, when non-nil, is the TEE-held ciphertext image enabling
-	// local fallback recomputation (WithFallback + Provision).
+	// local fallback recomputation (WithFallback + a remote or cluster
+	// backend).
 	mirror *Memory
+	// cnd is set for cluster-backed tables: the same object as ndp,
+	// retyped so the facade can plumb the mirror-fill flag and run
+	// shard fault localization.
+	cnd *cluster.NDP
+	// owned holds transports the backend dialed for this table; Close
+	// closes them. Caller-supplied transports are never here.
+	owned []io.Closer
 	// verifyFails counts consecutive verification rejections; crossing
 	// the engine's threshold routes queries to the fallback path.
 	verifyFails atomic.Uint32
@@ -335,67 +356,39 @@ func (e *Engine) allocRegion(spec TableSpec) (string, uint64, error) {
 	return region, v, err
 }
 
-// Encrypt runs the initialization step T0: the plaintext rows are
-// arithmetically encrypted (and tagged, per spec.Tags) into the untrusted
-// memory under a freshly allocated version. The returned Table queries an
-// in-process NDP over that memory.
+// Encrypt runs the initialization step T0 into in-process untrusted
+// memory.
+//
+// Deprecated: use CreateTable with LocalBackend — Encrypt is a thin
+// wrapper over it, kept for one release:
+//
+//	eng.CreateTable(ctx, secndp.LocalBackend(mem), spec, rows)
 func (e *Engine) Encrypt(mem *Memory, spec TableSpec, rows [][]uint64) (*Table, error) {
-	start := time.Now()
-	geo, err := spec.geometry()
-	if err != nil {
-		return nil, err
-	}
-	region, v, err := e.allocRegion(spec)
-	if err != nil {
-		return nil, err
-	}
-	tab, err := e.scheme.EncryptTable(mem, geo, v, rows)
-	if err != nil {
-		e.versions.Release(region)
-		e.tel.recordOp("encrypt", start, err)
-		return nil, err
-	}
-	e.tel.recordOp("encrypt", start, nil)
-	return e.newTable(tab, &core.HonestNDP{Mem: mem}, region, nil), nil
+	return e.CreateTable(context.Background(), LocalBackend(mem), spec, rows)
 }
 
 // Provision encrypts locally and ships only ciphertext and tags to a
-// remote NDP server — plaintext never crosses the wire. The context
-// bounds every transfer. The returned Table queries the remote server;
-// with WithFallback, the TEE-side staging image is kept as a trusted
-// mirror for graceful degradation.
+// remote NDP server.
+//
+// Deprecated: use CreateTable with RemoteBackend — Provision is a thin
+// wrapper over it, kept for one release:
+//
+//	eng.CreateTable(ctx, secndp.RemoteBackend(client), spec, rows)
 func (e *Engine) Provision(ctx context.Context, client NDPTransport, spec TableSpec, rows [][]uint64) (*Table, error) {
-	start := time.Now()
-	geo, err := spec.geometry()
-	if err != nil {
-		return nil, err
-	}
-	// A fault-tolerant transport joins the engine's registry so one
-	// snapshot carries both query anatomy and transport health.
-	if rc, ok := client.(*remote.ReliableClient); ok && e.tel != nil {
-		rc.Instrument(e.tel.reg)
-	}
-	region, v, err := e.allocRegion(spec)
-	if err != nil {
-		return nil, err
-	}
-	tab, staging, err := remote.ProvisionMirrored(ctx, client, e.scheme, geo, v, rows)
-	if err != nil {
-		e.versions.Release(region)
-		e.tel.recordOp("provision", start, err)
-		return nil, err
-	}
-	var mirror *Memory
-	if e.cfg.fallbackVerifyN > 0 {
-		mirror = staging
-	}
-	e.tel.recordOp("provision", start, nil)
-	return e.newTable(tab, client, region, mirror), nil
+	return e.CreateTable(ctx, RemoteBackend(client), spec, rows)
 }
 
 // Close releases the table's version-manager slot (the version value
-// itself is never reissued). The handle must not be used afterwards.
-func (t *Table) Close() { t.eng.versions.Release(t.region) }
+// itself is never reissued) and closes any shard connections the
+// cluster backend dialed on the table's behalf (transports supplied by
+// the caller stay open). The handle must not be used afterwards.
+func (t *Table) Close() {
+	t.eng.versions.Release(t.region)
+	for _, c := range t.owned {
+		c.Close()
+	}
+	t.owned = nil
+}
 
 // Geometry returns the table's public geometry.
 func (t *Table) Geometry() core.Geometry { return t.tab.Geometry() }
@@ -437,12 +430,15 @@ type Result struct {
 	// Verified reports whether the encrypted-MAC check ran (and passed —
 	// a failed check returns ErrVerification instead of a Result).
 	Verified bool
-	// Degraded reports that the NDP could not serve this query (transport
-	// down, retries exhausted, circuit open, or repeated verification
-	// failures) and the result was recomputed inside the TEE from the
-	// trusted ciphertext mirror (WithFallback). Degraded results carry
-	// Verified = false — no MAC check ran — but are computed wholly on the
-	// trusted side, so they are at least as trustworthy as verified ones.
+	// Degraded reports that the NDP could not fully serve this query and
+	// the trusted ciphertext mirror (WithFallback) filled in: either the
+	// whole result was recomputed inside the TEE (transport down, retries
+	// exhausted, circuit open, or repeated verification failures — then
+	// Verified = false, no MAC check ran, but the computation was wholly
+	// trusted), or, on a cluster backend, one or more shards failed
+	// mid-gather and only their partial sums came from the mirror — then
+	// Verified may still be true, because the aggregated MAC check ran
+	// over the filled gather and passed.
 	Degraded bool
 	// Timing is the query's per-phase anatomy (always populated; no
 	// telemetry registry required). The concurrent phases overlap, so they
@@ -458,6 +454,34 @@ func (t *Table) Query(ctx context.Context, req Request) (Result, error) {
 	return t.query(ctx, req, t.eng.cfg.workers)
 }
 
+// clusterCtx derives the query context for cluster-backed tables: a
+// fresh mirror-fill flag rides the context so the gather can report
+// which shards (if any) were served from the TEE mirror. For other
+// backends the context passes through and the nil flag reads as "no
+// fills" everywhere.
+func (t *Table) clusterCtx(ctx context.Context) (context.Context, *cluster.Flag) {
+	if t.cnd == nil {
+		return ctx, nil
+	}
+	return cluster.WithFlag(ctx)
+}
+
+// annotateShardFault names the offending shard(s) when a cluster query
+// was rejected by verification: the aggregated check covers the whole
+// gather, so the facade bisects over the shards to localize the fault.
+// Best-effort — localization failures leave the original error as-is,
+// which still matches errors.Is(err, ErrVerification).
+func (t *Table) annotateShardFault(ctx context.Context, err error, req Request, opts core.QueryOptions) error {
+	if t.cnd == nil || !errors.Is(err, ErrVerification) {
+		return err
+	}
+	bad, lerr := t.cnd.LocateFault(ctx, t.tab, req.Idx, req.Weights, opts)
+	if lerr != nil || len(bad) == 0 {
+		return err
+	}
+	return fmt.Errorf("cluster shard(s) %v: %w", bad, err)
+}
+
 func (t *Table) query(ctx context.Context, req Request, workers int) (Result, error) {
 	if req.Cols != nil {
 		return t.queryElem(ctx, req)
@@ -467,18 +491,24 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 		return Result{}, err
 	}
 	start := time.Now()
+	qctx, cflag := t.clusterCtx(ctx)
 	var pt core.PhaseTimes
 	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify, Phases: &pt}
-	values, err := t.tab.QueryCtx(ctx, t.ndp, req.Idx, req.Weights, opts)
+	values, err := t.tab.QueryCtx(qctx, t.ndp, req.Idx, req.Weights, opts)
 	if err == nil {
 		if verify {
 			t.verifyFails.Store(0)
 		}
-		res := Result{Values: values, Verified: verify, Timing: timingFrom(pt, 0, time.Since(start))}
-		t.eng.tel.recordQuery("query", start, res.Timing, verify, false, nil)
+		degraded := cflag.Any()
+		if degraded {
+			t.degraded.Add(1)
+		}
+		res := Result{Values: values, Verified: verify, Degraded: degraded, Timing: timingFrom(pt, 0, time.Since(start))}
+		t.eng.tel.recordQuery("query", start, res.Timing, verify, degraded, nil)
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
+		err = t.annotateShardFault(ctx, err, req, opts)
 		t.eng.tel.recordQuery("query", start, timingFrom(pt, 0, time.Since(start)), false, false, err)
 		return Result{}, err
 	}
@@ -554,14 +584,14 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 			return t.queryElemFallback(ctx, req, start, nil)
 		}
 	}
-	v, err := queryElemRecover(t.tab, t.ndp, req)
+	v, err := t.tab.QueryElemCtx(ctx, t.ndp, req.Idx, req.Cols, req.Weights)
 	if err == nil {
-		res := Result{Values: []uint64{v}, Timing: Timing{Total: time.Since(start)}}
-		t.eng.tel.recordQuery("query_elem", start, res.Timing, false, false, nil)
+		res := Result{Values: []uint64{v}, Timing: timingFrom(core.PhaseTimes{}, 0, time.Since(start))}
+		t.eng.tel.recordQuery("query", start, res.Timing, false, false, nil)
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
-		t.eng.tel.recordQuery("query_elem", start, Timing{Total: time.Since(start)}, false, false, err)
+		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, 0, time.Since(start)), false, false, err)
 		return Result{}, err
 	}
 	return t.queryElemFallback(ctx, req, start, err)
@@ -575,24 +605,13 @@ func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.T
 		if cause != nil {
 			err = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", err, cause)
 		}
-		t.eng.tel.recordQuery("query_elem", start, Timing{Total: time.Since(start), Fallback: fbDur}, false, false, err)
+		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, fbDur, time.Since(start)), false, false, err)
 		return Result{}, err
 	}
 	t.degraded.Add(1)
-	res := Result{Values: []uint64{v}, Degraded: true, Timing: Timing{Total: time.Since(start), Fallback: fbDur}}
-	t.eng.tel.recordQuery("query_elem", start, res.Timing, false, true, nil)
+	res := Result{Values: []uint64{v}, Degraded: true, Timing: timingFrom(core.PhaseTimes{}, fbDur, time.Since(start))}
+	t.eng.tel.recordQuery("query", start, res.Timing, false, true, nil)
 	return res, nil
-}
-
-// queryElemRecover converts NDP transport panics (the legacy failure mode
-// of core.NDP implementations) into errors.
-func queryElemRecover(tab *core.Table, ndp core.NDP, req Request) (v uint64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("secndp: ndp failed: %v", r)
-		}
-	}()
-	return tab.QueryElem(ndp, req.Idx, req.Cols, req.Weights)
 }
 
 // QueryBatch runs many requests as one coalesced batch whenever the NDP
@@ -649,13 +668,14 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 	}
 
 	start := time.Now()
+	qctx, cflag := t.clusterCtx(ctx)
 	creqs := make([]core.BatchRequest, len(reqs))
 	for i := range reqs {
 		creqs[i] = core.BatchRequest{Idx: reqs[i].Idx, Weights: reqs[i].Weights}
 	}
 	var stats core.BatchStats
 	opts := core.QueryOptions{Workers: t.eng.cfg.workers, Cache: t.cache, Verify: verify, Stats: &stats}
-	bres := t.tab.QueryBatchCtx(ctx, t.ndp, creqs, opts)
+	bres := t.tab.QueryBatchCtx(qctx, t.ndp, creqs, opts)
 
 	out := make([]Result, len(reqs))
 	errs := make([]error, len(reqs))
@@ -695,6 +715,29 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 	}
 	if verify && !sawVerifyReject {
 		t.verifyFails.Store(0)
+	}
+	// On a cluster backend, mirror fills for failed shards leave the batch
+	// answers correct (and verified) but partially TEE-computed: mark every
+	// successful request that touches a filled shard Degraded.
+	if filled := cflag.Filled(); len(filled) > 0 {
+		fset := make(map[int]struct{}, len(filled))
+		for _, s := range filled {
+			fset[s] = struct{}{}
+		}
+		smap := t.cnd.Map()
+		for i := range out {
+			if errs[i] != nil || out[i].Degraded {
+				continue
+			}
+			for _, row := range reqs[i].Idx {
+				if _, hit := fset[smap.Shard(row)]; hit {
+					out[i].Degraded = true
+					t.degraded.Add(1)
+					nDegraded++
+					break
+				}
+			}
+		}
 	}
 	// Every coalesced result shares the batch's wall-clock total; the
 	// phase anatomy is batch-level and lives in the registry, not on

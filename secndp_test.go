@@ -38,7 +38,7 @@ func TestFacadeQueryVerified(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(1))
 	rows := testRows(rng, 64, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Name: "emb", Rows: 64, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "emb", Rows: 64, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestFacadeRejectsTamper(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(2))
 	rows := testRows(rng, 8, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 8, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 8, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestFacadeBatchMatchesPlaintext(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(3))
 	rows := testRows(rng, 32, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 32, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 32, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestFacadeElementQuery(t *testing.T) {
 	mem := NewMemory()
 	rng := rand.New(rand.NewSource(4))
 	rows := testRows(rng, 16, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 16, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 16, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestFacadeVerificationModes(t *testing.T) {
 
 	// Auto mode on a tag-less table: quietly unverified.
 	auto, _ := New(testKey)
-	tab, err := auto.Encrypt(mem, TableSpec{Name: "a", Rows: 8, Cols: 32, Tags: TagsNone}, rows)
+	tab, err := auto.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "a", Rows: 8, Cols: 32, Tags: TagsNone}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestFacadeVerificationModes(t *testing.T) {
 
 	// Strict mode rejects tag-less tables with ErrNoTags.
 	strict, _ := New(testKey, WithVerification(true))
-	stab, err := strict.Encrypt(mem, TableSpec{Name: "b", Rows: 8, Cols: 32, Tags: TagsNone, Base: 0x100000}, rows)
+	stab, err := strict.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "b", Rows: 8, Cols: 32, Tags: TagsNone, Base: 0x100000}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestFacadeVerificationModes(t *testing.T) {
 
 	// Off mode never verifies, even with tags present.
 	off, _ := New(testKey, WithVerification(false))
-	otab, err := off.Encrypt(mem, TableSpec{Name: "c", Rows: 8, Cols: 32, Base: 0x200000}, rows)
+	otab, err := off.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "c", Rows: 8, Cols: 32, Base: 0x200000}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestFacadeVerificationModes(t *testing.T) {
 	}
 
 	// Per-request opt-out on a tagged table.
-	vtab, err := auto.Encrypt(mem, TableSpec{Name: "d", Rows: 8, Cols: 32, Base: 0x300000}, rows)
+	vtab, err := auto.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "d", Rows: 8, Cols: 32, Base: 0x300000}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,11 +235,11 @@ func TestFacadeErrors(t *testing.T) {
 		t.Error("short key accepted")
 	}
 	// Bad geometry: row not a multiple of the cipher block.
-	if _, err := eng.Encrypt(mem, TableSpec{Rows: 4, Cols: 3}, rows); !errors.Is(err, ErrBadGeometry) {
+	if _, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 4, Cols: 3}, rows); !errors.Is(err, ErrBadGeometry) {
 		t.Errorf("bad spec: got %v, want ErrBadGeometry", err)
 	}
 	// Out-of-range row index.
-	tab, err := eng.Encrypt(mem, TableSpec{Rows: 4, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Rows: 4, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,10 +248,10 @@ func TestFacadeErrors(t *testing.T) {
 	}
 	// Duplicate table name: the version manager enforces one live version
 	// per region.
-	if _, err := eng.Encrypt(mem, TableSpec{Name: "dup", Rows: 4, Cols: 32, Base: 0x400000}, rows); err != nil {
+	if _, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "dup", Rows: 4, Cols: 32, Base: 0x400000}, rows); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Encrypt(mem, TableSpec{Name: "dup", Rows: 4, Cols: 32, Base: 0x500000}, rows); err == nil {
+	if _, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "dup", Rows: 4, Cols: 32, Base: 0x500000}, rows); err == nil {
 		t.Error("duplicate live table name accepted")
 	}
 }
@@ -273,7 +273,7 @@ func TestFacadeRemote(t *testing.T) {
 	eng, _ := New(testKey, WithParallelism(4))
 	rng := rand.New(rand.NewSource(7))
 	rows := testRows(rng, 16, 32, 1<<20)
-	tab, err := eng.Provision(context.Background(), client, TableSpec{Rows: 16, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), RemoteBackend(client), TableSpec{Rows: 16, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,12 +302,12 @@ func TestFacadeCloseReleasesName(t *testing.T) {
 	eng, _ := New(testKey)
 	mem := NewMemory()
 	rows := testRows(rand.New(rand.NewSource(8)), 4, 32, 1<<20)
-	tab, err := eng.Encrypt(mem, TableSpec{Name: "tmp", Rows: 4, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "tmp", Rows: 4, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tab.Close()
-	if _, err := eng.Encrypt(mem, TableSpec{Name: "tmp", Rows: 4, Cols: 32, Base: 0x600000}, rows); err != nil {
+	if _, err := eng.CreateTable(context.Background(), LocalBackend(mem), TableSpec{Name: "tmp", Rows: 4, Cols: 32, Base: 0x600000}, rows); err != nil {
 		t.Errorf("name not reusable after Close: %v", err)
 	}
 }

@@ -37,7 +37,7 @@ func TestTelemetryLocalQueries(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(5))
 	rows := testRows(rng, 64, 32, 1<<20)
-	tab, err := eng.Encrypt(NewMemory(), TableSpec{Name: "tele", Rows: 64, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(NewMemory()), TableSpec{Name: "tele", Rows: 64, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTelemetryDisabledIsInert(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(6))
 	rows := testRows(rng, 16, 32, 1<<20)
-	tab, err := eng.Encrypt(NewMemory(), TableSpec{Name: "inert", Rows: 16, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(NewMemory()), TableSpec{Name: "inert", Rows: 16, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestTelemetryBatchSharedRegistry(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(8))
 	rows := testRows(rng, 32, 32, 1<<20)
-	tab, err := eng.Encrypt(NewMemory(), TableSpec{Name: "batch", Rows: 32, Cols: 32}, rows)
+	tab, err := eng.CreateTable(context.Background(), LocalBackend(NewMemory()), TableSpec{Name: "batch", Rows: 32, Cols: 32}, rows)
 	if err != nil {
 		t.Fatal(err)
 	}
