@@ -12,6 +12,7 @@ import (
 	"secndp/internal/core"
 	"secndp/internal/memory"
 	"secndp/internal/remote"
+	"secndp/internal/telemetry"
 )
 
 // This file is the provisioning redesign: one Engine.CreateTable entry
@@ -137,6 +138,7 @@ const (
 type Cluster struct {
 	shards   []ShardSpec
 	strategy ShardingStrategy
+	replicas int // 0 or 1: unreplicated
 }
 
 // ClusterBackend shards a table's rows across several NDP servers and
@@ -145,9 +147,12 @@ type Cluster struct {
 // concurrently, and the gather re-adds them — by the scheme's linearity
 // the result, its decryption, and its verification are byte-identical
 // to a single NDP holding every row, with one aggregated tag check
-// covering the whole gather. With WithFallback, a failed shard's
-// partial is recomputed from the TEE mirror and the result is marked
-// Degraded instead of failing.
+// covering the whole gather. With Replicas, each shard is served by a
+// failover group of servers holding identical ciphertext+tags, so
+// losing a replica costs one retry, not a Degraded result. With
+// WithFallback, a shard whose every replica failed has its partial
+// recomputed from the TEE mirror and the result is marked Degraded
+// instead of failing.
 func ClusterBackend(shards ...ShardSpec) *Cluster {
 	return &Cluster{shards: shards}
 }
@@ -161,6 +166,53 @@ func (c *Cluster) Sharding(s ShardingStrategy) *Cluster {
 	return c
 }
 
+// Replicas declares that every shard is served by r servers provisioned
+// with identical ciphertext+tags. The spec list is read shard-major:
+// with shards s0r0, s0r1, s1r0, s1r1 and Replicas(2), the first two
+// specs form shard 0's replica group and the next two shard 1's —
+// matching the port order of `secndp-server -shards N -replicas R`.
+// len(specs) must be a multiple of r. Queries try each shard's
+// preferred replica first and fail over to a sibling on transport
+// failure; because every replica holds the same ciphertext bytes, the
+// failed-over partial is byte-identical and the result stays fully
+// Verified and un-Degraded. r <= 1 means unreplicated. Returns the
+// receiver for chaining.
+func (c *Cluster) Replicas(r int) *Cluster {
+	c.replicas = r
+	return c
+}
+
+// replicaCount resolves the per-shard replica count (>= 1).
+func (c *Cluster) replicaCount() int {
+	if c.replicas <= 1 {
+		return 1
+	}
+	return c.replicas
+}
+
+// shardMap derives the row→shard map for this backend's spec list at
+// the given epoch.
+func (c *Cluster) shardMap(rows int, epoch uint64) (*cluster.Map, int, error) {
+	var strat cluster.Strategy
+	switch c.strategy {
+	case ShardByRange:
+		strat = cluster.RangeSharding
+	case ShardByHash:
+		strat = cluster.HashSharding
+	default:
+		return nil, 0, fmt.Errorf("secndp: unknown sharding strategy %d", int(c.strategy))
+	}
+	r := c.replicaCount()
+	if len(c.shards) == 0 {
+		return nil, 0, errors.New("secndp: ClusterBackend requires at least one shard")
+	}
+	if len(c.shards)%r != 0 {
+		return nil, 0, fmt.Errorf("secndp: %d shard specs do not divide into replica groups of %d", len(c.shards), r)
+	}
+	smap, err := cluster.NewMap(rows, len(c.shards)/r, strat, epoch)
+	return smap, r, err
+}
+
 func (c *Cluster) createTable(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
 	start := time.Now()
 	tbl, err := c.provision(ctx, e, spec, rows)
@@ -169,53 +221,24 @@ func (c *Cluster) createTable(ctx context.Context, e *Engine, spec TableSpec, ro
 }
 
 func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows [][]uint64) (*Table, error) {
-	if len(c.shards) == 0 {
-		return nil, errors.New("secndp: ClusterBackend requires at least one shard")
-	}
 	geo, err := spec.geometry()
 	if err != nil {
 		return nil, err
 	}
-	var strat cluster.Strategy
-	switch c.strategy {
-	case ShardByRange:
-		strat = cluster.RangeSharding
-	case ShardByHash:
-		strat = cluster.HashSharding
-	default:
-		return nil, fmt.Errorf("secndp: unknown sharding strategy %d", int(c.strategy))
-	}
-	smap, err := cluster.NewMap(spec.Rows, len(c.shards), strat, 1)
+	smap, nReplicas, err := c.shardMap(spec.Rows, 1)
 	if err != nil {
 		return nil, err
 	}
 
-	// Connect every shard before touching the version manager: a
+	// Connect every shard replica before touching the version manager: a
 	// misconfigured ShardSpec should fail fast and leak nothing.
-	transports := make([]NDPTransport, len(c.shards))
-	var owned []io.Closer
+	transports, owned, err := e.dialShardSpecs(ctx, c.shards)
+	if err != nil {
+		return nil, err
+	}
 	closeOwned := func() {
 		for _, cl := range owned {
 			cl.Close()
-		}
-	}
-	for i, ss := range c.shards {
-		if ss.Transport != nil {
-			transports[i] = ss.Transport
-		} else if ss.Addr != "" {
-			rc, derr := remote.DialReliable(ctx, ss.Addr, e.transportConfig())
-			if derr != nil {
-				closeOwned()
-				return nil, fmt.Errorf("secndp: shard %d (%s): %w", i, ss.Addr, derr)
-			}
-			transports[i] = rc
-			owned = append(owned, rc)
-		} else {
-			closeOwned()
-			return nil, fmt.Errorf("secndp: shard %d: ShardSpec needs an Addr or a Transport", i)
-		}
-		if rc, ok := transports[i].(*remote.ReliableClient); ok && e.tel != nil {
-			rc.Instrument(e.tel.reg)
 		}
 	}
 
@@ -232,14 +255,16 @@ func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows
 
 	// Encrypt once into TEE staging under the global geometry, then ship
 	// each shard only its rows' ciphertext (and tags) at their global
-	// addresses. Shards hold disjoint row subsets of one table image, so
-	// per-shard partial sums add back to the single-NDP answer exactly.
+	// addresses — to every replica of the shard, so any replica's partial
+	// sums are byte-identical. Shards hold disjoint row subsets of one
+	// table image; per-shard partials add back to the single-NDP answer
+	// exactly.
 	staging := NewMemory()
 	tab, err := e.scheme.EncryptTable(staging, geo, v, rows)
 	if err != nil {
 		return fail(err)
 	}
-	if err := provisionShards(ctx, geo, staging, smap, transports); err != nil {
+	if err := provisionShards(ctx, geo, staging, smap, transports, nReplicas); err != nil {
 		return fail(err)
 	}
 
@@ -247,16 +272,20 @@ func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows
 	if e.cfg.fallbackVerifyN > 0 {
 		mirror = staging
 	}
-	clients := make([]core.NDP, len(transports))
-	for i, tr := range transports {
-		clients[i] = tr
+	groups, err := buildReplicaGroups(transports, nReplicas)
+	if err != nil {
+		return fail(err)
 	}
-	cnd, err := cluster.New(smap, clients, cluster.Options{Mirror: mirror})
+	// The staging image is always retained as the reshard source — a
+	// cluster table must be able to stream moved rows without keeping the
+	// plaintext around. With WithFallback it doubles as the mirror.
+	cnd, err := cluster.NewReplicated(smap, groups, cluster.Options{Mirror: mirror, Source: staging})
 	if err != nil {
 		return fail(err)
 	}
 	if e.tel != nil {
 		cnd.Instrument(e.tel.reg)
+		instrumentReplicaTransports(e.tel.reg, transports, nReplicas)
 	}
 	tbl := e.newTable(tab, cnd, region, mirror)
 	tbl.cnd = cnd
@@ -264,54 +293,189 @@ func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows
 	return tbl, nil
 }
 
+// dialShardSpecs resolves a spec list into live transports: caller
+// transports pass through (never owned), addresses are dialed with the
+// engine's transport config (owned — the table closes them). Reliable
+// transports join the engine's registry.
+func (e *Engine) dialShardSpecs(ctx context.Context, specs []ShardSpec) ([]NDPTransport, []io.Closer, error) {
+	transports := make([]NDPTransport, len(specs))
+	var owned []io.Closer
+	closeOwned := func() {
+		for _, cl := range owned {
+			cl.Close()
+		}
+	}
+	for i, ss := range specs {
+		if ss.Transport != nil {
+			transports[i] = ss.Transport
+		} else if ss.Addr != "" {
+			rc, derr := remote.DialReliable(ctx, ss.Addr, e.transportConfig())
+			if derr != nil {
+				closeOwned()
+				return nil, nil, fmt.Errorf("secndp: shard %d (%s): %w", i, ss.Addr, derr)
+			}
+			transports[i] = rc
+			owned = append(owned, rc)
+		} else {
+			closeOwned()
+			return nil, nil, fmt.Errorf("secndp: shard %d: ShardSpec needs an Addr or a Transport", i)
+		}
+		if rc, ok := transports[i].(*remote.ReliableClient); ok && e.tel != nil {
+			rc.Instrument(e.tel.reg)
+		}
+	}
+	return transports, owned, nil
+}
+
+// buildReplicaGroups folds a shard-major transport list (R consecutive
+// specs per shard) into one failover group per shard.
+func buildReplicaGroups(transports []NDPTransport, nReplicas int) ([]*cluster.ReplicaGroup, error) {
+	groups := make([]*cluster.ReplicaGroup, len(transports)/nReplicas)
+	for s := range groups {
+		reps := make([]core.NDP, nReplicas)
+		for r := 0; r < nReplicas; r++ {
+			reps[r] = transports[s*nReplicas+r]
+		}
+		g, err := cluster.NewGroup(s, reps, cluster.GroupConfig{})
+		if err != nil {
+			return nil, err
+		}
+		groups[s] = g
+	}
+	return groups, nil
+}
+
+// instrumentReplicaTransports exports each (shard, replica) reliable
+// transport's fault-tolerance counters as callback gauges
+// (secndp_cluster_shard<s>_replica<r>_transport_*), evaluated at
+// snapshot time from the client's own atomics — a flapping replica is
+// visible in /metrics without any hot-path bookkeeping. Re-registering
+// after a reshard re-binds the series to the replacement transports.
+func instrumentReplicaTransports(reg *telemetry.Registry, transports []NDPTransport, nReplicas int) {
+	for i, tr := range transports {
+		rc, ok := tr.(*remote.ReliableClient)
+		if !ok {
+			continue
+		}
+		s, r := i/nReplicas, i%nReplicas
+		p := fmt.Sprintf("secndp_cluster_shard%d_replica%d_transport_", s, r)
+		reg.GaugeFunc(p+"attempts", fmt.Sprintf("Wire attempts by shard %d replica %d's transport.", s, r),
+			func() int64 { return int64(rc.Stats().Attempts) })
+		reg.GaugeFunc(p+"retries", fmt.Sprintf("Retried attempts by shard %d replica %d's transport.", s, r),
+			func() int64 { return int64(rc.Stats().Retries) })
+		reg.GaugeFunc(p+"dials", fmt.Sprintf("Pool (re)dials by shard %d replica %d's transport.", s, r),
+			func() int64 { return int64(rc.Stats().Dials) })
+		reg.GaugeFunc(p+"breaker_opens", fmt.Sprintf("Circuit-open transitions on shard %d replica %d's transport.", s, r),
+			func() int64 { return int64(rc.Stats().BreakerOpens) })
+		reg.GaugeFunc(p+"breaker_state", fmt.Sprintf("Breaker state of shard %d replica %d's transport: 0 closed, 1 half-open, 2 open.", s, r),
+			func() int64 {
+				switch rc.Stats().BreakerState {
+				case "open":
+					return 2
+				case "half-open":
+					return 1
+				}
+				return 0
+			})
+	}
+}
+
 // provisionShards ships each shard its owned rows, concurrently across
-// shards: per run of contiguous rows, one blob write of the data span
-// (which includes co-located tags), plus the tag span for Ver-sep or
-// per-row ECC writes for Ver-ECC. Everything lands at its global
-// address, so shard memories are sparse windows of the one table image.
-func provisionShards(ctx context.Context, geo core.Geometry, staging *memory.Space, smap *cluster.Map, transports []NDPTransport) error {
+// shard replicas: per run of contiguous rows, one blob write of the
+// data span (which includes co-located tags), plus the tag span for
+// Ver-sep or per-row ECC writes for Ver-ECC (cluster.ShipRun).
+// Everything lands at its global address, so shard memories are sparse
+// windows of the one table image; every replica of a shard receives the
+// identical bytes.
+func provisionShards(ctx context.Context, geo core.Geometry, staging *memory.Space, smap *cluster.Map, transports []NDPTransport, nReplicas int) error {
 	errs := make([]error, len(transports))
 	var wg sync.WaitGroup
-	for s := range transports {
+	for i := range transports {
 		wg.Add(1)
-		go func(s int) {
+		go func(i int) {
 			defer wg.Done()
-			errs[s] = provisionShard(ctx, geo, staging, smap.Runs(s), transports[s])
-		}(s)
+			for _, run := range smap.Runs(i / nReplicas) {
+				if err := cluster.ShipRun(ctx, geo, staging, run[0], run[1], transports[i]); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
 	}
 	wg.Wait()
-	for s, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("secndp: provisioning shard %d: %w", s, err)
+			return fmt.Errorf("secndp: provisioning shard %d replica %d: %w", i/nReplicas, i%nReplicas, err)
 		}
 	}
 	return nil
 }
 
-func provisionShard(ctx context.Context, geo core.Geometry, staging *memory.Space, runs [][2]int, tr NDPTransport) error {
-	lay := geo.Layout
-	for _, run := range runs {
-		lo, hi := run[0], run[1]
-		base := lay.RowAddr(lo)
-		span := lay.RowAddr(hi-1) + lay.RowStride() - base
-		if err := tr.WriteBlobContext(ctx, base, staging.Snapshot(base, int(span))); err != nil {
-			return err
-		}
-		switch lay.Placement {
-		case memory.TagSep:
-			tbase := lay.TagAddr(lo)
-			tspan := (hi - lo) * memory.TagBytes
-			if err := tr.WriteBlobContext(ctx, tbase, staging.Snapshot(tbase, tspan)); err != nil {
-				return err
-			}
-		case memory.TagECC:
-			for i := lo; i < hi; i++ {
-				if err := tr.WriteECCContext(ctx, lay.RowAddr(i), staging.ReadECC(lay.RowAddr(i), memory.TagBytes)); err != nil {
-					return err
-				}
-			}
+// Reshard migrates a cluster-backed table to a new shard layout live:
+// the moved rows' ciphertext+tags stream from the table's TEE staging
+// image to their new owner shards (all replicas) in rate-limited
+// chunks while queries keep serving from the old layout, then the new
+// topology is published atomically and the old epoch is drained —
+// queries issued concurrently with Reshard return answers byte-identical
+// to the pre-reshard table, and none is ever blocked for longer than
+// one epoch drain. backend describes the new layout exactly as
+// ClusterBackend does for CreateTable: shard-major specs, optional
+// .Replicas(R) and .Sharding(...); the row count is the table's and the
+// epoch bumps by one.
+//
+// Shards whose index is retained across the layouts must keep their
+// servers (only moved rows are shipped); pointing a retained shard at a
+// fresh empty server cannot corrupt results — missing rows fail the
+// aggregated MAC check — but fails queries until re-provisioned. On
+// success the old layout's engine-dialed transports are closed;
+// caller-owned transports are never closed.
+func (t *Table) Reshard(ctx context.Context, backend *Cluster) error {
+	if t.cnd == nil {
+		return errors.New("secndp: Reshard requires a cluster-backed table")
+	}
+	if backend == nil {
+		return errors.New("secndp: Reshard requires a cluster backend")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	old := t.cnd.Map()
+	newMap, nReplicas, err := backend.shardMap(old.NumRows(), old.Epoch()+1)
+	if err != nil {
+		return err
+	}
+	transports, owned, err := t.eng.dialShardSpecs(ctx, backend.shards)
+	if err != nil {
+		return err
+	}
+	closeAll := func(cs []io.Closer) {
+		for _, c := range cs {
+			c.Close()
 		}
 	}
+	groups, err := buildReplicaGroups(transports, nReplicas)
+	if err != nil {
+		closeAll(owned)
+		return err
+	}
+	if err := t.cnd.Reshard(ctx, t.tab.Geometry(), newMap, groups, cluster.ReshardOptions{}); err != nil {
+		if t.cnd.Epoch() == newMap.Epoch() {
+			// The flip happened but the drain was interrupted: the new
+			// topology is live, so its transports must stay; the old ones
+			// may still carry stale gathers and are retired at Close.
+			t.owned = append(t.owned, owned...)
+			return err
+		}
+		closeAll(owned)
+		return err
+	}
+	if t.eng.tel != nil {
+		instrumentReplicaTransports(t.eng.tel.reg, transports, nReplicas)
+	}
+	// The old epoch drained inside Reshard: no gather still references
+	// the old groups, so their engine-dialed transports can be retired.
+	closeAll(t.owned)
+	t.owned = owned
 	return nil
 }
 

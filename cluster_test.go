@@ -266,21 +266,46 @@ func TestClusterShardFailureWithoutMirrorFails(t *testing.T) {
 	}
 }
 
-// TestClusterElementQuery: element-indexed requests have no wire op; the
-// cluster serves them from the TEE mirror when one is armed.
+// TestClusterElementQuery: element-indexed requests have no wire op, but
+// the cluster serves them over the wire anyway — whole-row fetches
+// assembled on the trusted side — so a healthy cluster answers exactly
+// and un-Degraded, with or without a mirror armed.
 func TestClusterElementQuery(t *testing.T) {
-	h := newClusterHarness(t, 2, 160, nil, WithFallback(3))
+	for _, opts := range [][]Option{nil, {WithFallback(3)}} {
+		h := newClusterHarness(t, 2, 160, nil, opts...)
+		res, err := h.tab.Query(context.Background(),
+			Request{Idx: []int{2, 40}, Cols: []int{3, 15}, Weights: []uint64{5, 1}})
+		if err != nil {
+			t.Fatalf("element query over cluster: %v", err)
+		}
+		want := (5*h.rows[2][3] + h.rows[40][15]) & 0xFFFFFFFF
+		if res.Values[0] != want {
+			t.Fatalf("element value %d != %d", res.Values[0], want)
+		}
+		if res.Degraded {
+			t.Error("wire-served element query on a healthy cluster marked degraded")
+		}
+	}
+}
+
+// TestClusterElementQueryFailover: an element query whose preferred
+// replica is dead retries the sibling replica — not the mirror — so the
+// result stays un-Degraded even with fallback armed.
+func TestClusterElementQueryFailover(t *testing.T) {
+	h := newReplicatedHarness(t, 2, 2, 165, []int{replicaSlot(0, 0, 2)}, WithFallback(1))
+	h.proxies[replicaSlot(0, 0, 2)].SetSchedule(deadShard{})
+	h.proxies[replicaSlot(0, 0, 2)].BreakConns()
 	res, err := h.tab.Query(context.Background(),
 		Request{Idx: []int{2, 40}, Cols: []int{3, 15}, Weights: []uint64{5, 1}})
 	if err != nil {
-		t.Fatalf("element query over cluster: %v", err)
+		t.Fatalf("element query with dead replica: %v", err)
 	}
 	want := (5*h.rows[2][3] + h.rows[40][15]) & 0xFFFFFFFF
 	if res.Values[0] != want {
 		t.Fatalf("element value %d != %d", res.Values[0], want)
 	}
-	if !res.Degraded {
-		t.Error("mirror-served element query not marked degraded")
+	if res.Degraded {
+		t.Error("element query failed over to the mirror instead of the sibling replica")
 	}
 }
 

@@ -8,11 +8,16 @@
 //	secndp-server -addr :7070
 //	secndp-server -addr :7070 -telemetry :9091   # /metrics, /debug/traces, pprof
 //	secndp-server -addr :7070 -shards 4          # shard servers on :7070..:7073
+//	secndp-server -addr :7070 -shards 2 -replicas 2  # s0r0 s0r1 s1r0 s1r1 on :7070..:7073
 //
 // With -shards N, N independent servers listen on consecutive ports
 // starting at -addr's port, each with its own memory space — a one-host
-// stand-in for an N-node NDP cluster. A single -telemetry endpoint
-// aggregates every shard's counters (each shard instruments the shared
+// stand-in for an N-node NDP cluster. -replicas R multiplies that into
+// N*R servers in shard-major order (shard 0's replicas first), matching
+// the spec order ClusterBackend(...).Replicas(R) expects — hand the
+// addresses over in port order and the facade provisions each shard's
+// replicas with identical ciphertext. A single -telemetry endpoint
+// aggregates every listener's counters (each instruments the shared
 // registry, so per-opcode series accumulate across shards).
 package main
 
@@ -31,13 +36,18 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "address to serve the NDP wire protocol on")
-		shards  = flag.Int("shards", 1, "number of shard servers on consecutive ports starting at -addr")
-		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9091)")
+		addr     = flag.String("addr", "127.0.0.1:7070", "address to serve the NDP wire protocol on")
+		shards   = flag.Int("shards", 1, "number of shard servers on consecutive ports starting at -addr")
+		replicas = flag.Int("replicas", 1, "replica servers per shard (shard-major port order, for ClusterBackend(...).Replicas)")
+		teleAdr  = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9091)")
 	)
 	flag.Parse()
 	if *shards < 1 {
 		fmt.Fprintln(os.Stderr, "secndp-server: -shards must be >= 1")
+		os.Exit(1)
+	}
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "secndp-server: -replicas must be >= 1")
 		os.Exit(1)
 	}
 
@@ -54,7 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "secndp-server: telemetry on http://%s/metrics\n", bound)
 	}
 
-	addrs, err := shardAddrs(*addr, *shards)
+	addrs, err := shardAddrs(*addr, *shards**replicas)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secndp-server:", err)
 		os.Exit(1)
@@ -67,14 +77,18 @@ func main() {
 		}
 		bound, err := srv.Listen(a)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "secndp-server: shard %d: %v\n", i, err)
+			fmt.Fprintf(os.Stderr, "secndp-server: listener %d: %v\n", i, err)
 			os.Exit(1)
 		}
 		srvs[i] = srv
-		if *shards == 1 {
+		switch {
+		case *shards == 1 && *replicas == 1:
 			fmt.Fprintf(os.Stderr, "secndp-server: serving NDP on %s\n", bound)
-		} else {
+		case *replicas == 1:
 			fmt.Fprintf(os.Stderr, "secndp-server: shard %d serving NDP on %s\n", i, bound)
+		default:
+			fmt.Fprintf(os.Stderr, "secndp-server: shard %d replica %d serving NDP on %s\n",
+				i / *replicas, i%*replicas, bound)
 		}
 	}
 
@@ -85,7 +99,7 @@ func main() {
 	code := 0
 	for i, srv := range srvs {
 		if err := srv.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "secndp-server: shard %d: %v\n", i, err)
+			fmt.Fprintf(os.Stderr, "secndp-server: listener %d: %v\n", i, err)
 			code = 1
 		}
 	}

@@ -50,6 +50,18 @@
 // shard count. When that check rejects, the facade bisects over the shards
 // to name the culprit(s) in the error. DESIGN.md §9 develops the math.
 //
+// Replicas(R) backs every shard with R servers provisioned with identical
+// ciphertext+tags (spec list shard-major: shard 0's replicas first).
+// Deterministic encryption makes any replica's partials byte-identical,
+// so a replica failure costs one client-side failover — the result stays
+// Verified and is NOT Degraded; the TEE mirror is consulted only after a
+// shard's every replica refused. Table.Reshard migrates a serving cluster
+// table to a new layout live: moved rows stream from TEE staging to their
+// new owners in rate-limited chunks while queries serve from the old
+// epoch, then one atomic flip publishes the new topology and in-flight
+// gathers that straddled it re-issue transparently. DESIGN.md §10 covers
+// the failover ordering and the epoch state machine.
+//
 // Transport precedence for each ShardSpec: a non-nil ShardSpec.Transport
 // is used as-is and stays caller-owned (Table.Close does not close it);
 // otherwise ShardSpec.Addr is dialed with the engine-level TransportConfig

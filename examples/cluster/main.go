@@ -1,5 +1,6 @@
 // Cluster: one encrypted table sharded across four NDP servers, queried
-// by scatter-gather with a single cross-shard verification.
+// by scatter-gather with a single cross-shard verification — then healed
+// by a live reshard, and made fault-tolerant with replica groups.
 //
 // The trusted engine encrypts once into TEE staging, then ships each
 // shard only its rows' ciphertext and tags — plaintext never leaves the
@@ -9,7 +10,11 @@
 // verifies exactly as if one NDP held every row: one aggregated MAC
 // check covers the whole gather. When a shard dies mid-flight, the TEE
 // ciphertext mirror (WithFallback) recomputes just that shard's partial
-// and the result is marked Degraded instead of failing.
+// and the result is marked Degraded instead of failing. Table.Reshard
+// then evacuates the dead shard's rows onto the survivors with no
+// downtime, and Replicas(R) prevents the degradation entirely: each
+// shard's R replicas hold identical ciphertext, so losing one costs a
+// client-side failover, not a mirror fill.
 //
 //	go run ./examples/cluster
 package main
@@ -127,12 +132,60 @@ func main() {
 	fmt.Printf("after killing shard 2: verified=%v degraded=%v — correct answer from %d survivors + TEE mirror\n",
 		res.Verified, res.Degraded, numShards-1)
 
-	// The registry tells the story: per-shard sub-operations, the shard
-	// failure, and the mirror fill.
+	// Heal the cluster live: reshard 4 -> 2 onto the surviving shards 0
+	// and 1. The dead shard's rows stream from TEE staging to their new
+	// owners while queries keep serving from the old epoch; one atomic
+	// flip later, the mirror is out of the picture again.
+	if err := table.Reshard(ctx, secndp.ClusterBackend(specs[0], specs[1])); err != nil {
+		log.Fatal(err)
+	}
+	res, err = table.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(res, req.Idx, req.Weights)
+	fmt.Printf("after live reshard 4->2 onto the survivors: verified=%v degraded=%v\n",
+		res.Verified, res.Degraded)
+
+	// Replica groups remove even the transient degradation: two shards,
+	// each backed by two servers holding identical ciphertext (spec list
+	// shard-major — s0r0, s0r1, s1r0, s1r1). Any replica's partials are
+	// byte-identical, so a kill costs one failover, never the mirror.
+	rsrvs := make([]*secndp.Server, 4)
+	rspecs := make([]secndp.ShardSpec, 4)
+	for i := range rsrvs {
+		rsrvs[i] = secndp.NewServer(secndp.NewMemory())
+		addr, err := rsrvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rsrvs[i].Close()
+		rspecs[i] = secndp.ShardSpec{Addr: addr}
+	}
+	rtable, err := eng.CreateTable(ctx, secndp.ClusterBackend(rspecs...).Replicas(2),
+		secndp.TableSpec{Name: "cluster-demo-replicated", Rows: n, Cols: m}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rtable.Close()
+	rsrvs[0].Close() // kill shard 0's preferred replica
+	res, err = rtable.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check(res, req.Idx, req.Weights)
+	fmt.Printf("replicated table after killing shard 0 replica 0: verified=%v degraded=%v — sibling absorbed it\n",
+		res.Verified, res.Degraded)
+
+	// The registry tells the story: the shard failure and mirror fill from
+	// the unreplicated kill, the rows the reshard moved, and the replica
+	// failover that kept the replicated table undegraded.
 	for _, c := range reg.Snapshot().Counters {
 		switch c.Name {
 		case "secndp_cluster_gathers_total", "secndp_cluster_mirror_fills_total",
-			"secndp_cluster_shard_failures_total", "secndp_cluster_shard2_failures_total":
+			"secndp_cluster_shard_failures_total", "secndp_cluster_shard2_failures_total",
+			"secndp_cluster_reshards_total", "secndp_cluster_reshard_rows_moved_total",
+			"secndp_cluster_replica_failovers_total":
 			fmt.Printf("metric %s = %d\n", c.Name, c.Value)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"secndp/internal/core"
@@ -15,7 +16,7 @@ import (
 )
 
 // NDP is the scatter-gather near-data processor over a cluster of
-// shards: it implements core.NDP (plus the Context and Batch
+// shards: it implements core.NDP (plus the Context, Batch, and Elem
 // extensions), so the whole trusted-side machinery — the concurrent
 // query engine, the batched pipeline's pad dedup, the aggregated
 // verification — runs over a cluster exactly as it runs over one
@@ -23,25 +24,58 @@ import (
 // per-shard sub-queries concurrently, and re-adds the partials (ring
 // for data sums, field for tag sums).
 //
-// With a TEE ciphertext mirror attached, a failed shard's partial is
-// recomputed inside the trusted side from the mirror's copy of exactly
-// that shard's rows — the surviving shards' work is kept, and because
-// the mirror holds the same ciphertext bytes the shard does, the filled
-// gather still decrypts and verifies identically. Fills are reported
-// through the context flag (WithFlag) so the facade can mark the result
-// Degraded.
+// Each shard is fronted by a ReplicaGroup of one or more servers
+// provisioned with identical ciphertext+tags; a sub-query fails over
+// down the group's preference order before the shard counts as failed.
+// Only when every replica of a shard has refused does the gather fall
+// back to the TEE ciphertext mirror (when attached): the failed shard's
+// partial is recomputed inside the trusted side from the mirror's copy
+// of exactly that shard's rows — the surviving shards' work is kept,
+// and because the mirror holds the same ciphertext bytes the shard
+// does, the filled gather still decrypts and verifies identically.
+// Fills are reported through the context flag (WithFlag) so the facade
+// can mark the result Degraded; replica failovers are not fills and
+// never degrade a result.
+//
+// The row→shard assignment is an epoch-numbered topology swapped
+// atomically by Reshard. Every gather snapshots one topology, registers
+// with its epoch's drain gate, and — if the topology flipped while it
+// was in flight — discards its partials (and any mirror fills they
+// noted) and re-issues against the new topology, honoring the staleness
+// contract documented on Map.
 type NDP struct {
-	smap   *Map
-	shards []core.NDP
-	mirror *core.HonestNDP // nil: shard failures are fatal for the call
+	// cur is the live topology; immutable once published. Reshard is
+	// the only writer.
+	cur  atomic.Pointer[topology]
+	gate epochGate
+	// reshardMu serializes Reshard calls.
+	reshardMu sync.Mutex
+
+	mirror *core.HonestNDP // nil: exhausted shards are fatal for the call
+	// source is the TEE-held ciphertext image rows are re-shipped from
+	// during a reshard; nil disables Reshard.
+	source *memory.Space
 
 	// Telemetry handles; nil (registry never attached) makes every
 	// record site a no-op. Instrument must be called before the first
-	// query — the fields are not synchronized afterwards.
-	gathers  *telemetry.Counter
-	fills    *telemetry.Counter
-	failures *telemetry.Counter
-	perShard []shardTel
+	// query — reg is re-consulted only under reshardMu.
+	reg          *telemetry.Registry
+	gathers      *telemetry.Counter
+	fills        *telemetry.Counter
+	failures     *telemetry.Counter
+	failovers    *telemetry.Counter
+	staleRetries *telemetry.Counter
+	reshards     *telemetry.Counter
+	reshardRows  *telemetry.Counter
+}
+
+// topology bundles one epoch's shard map with the replica groups
+// serving it, so a gather never observes a map from one epoch paired
+// with groups from another. Immutable once published.
+type topology struct {
+	smap   *Map
+	groups []*ReplicaGroup
+	tel    []shardTel // nil when the registry was never attached
 }
 
 type shardTel struct {
@@ -53,13 +87,20 @@ type shardTel struct {
 // Options configures a cluster NDP.
 type Options struct {
 	// Mirror, when non-nil, is the TEE-held ciphertext image of the
-	// whole table: failed shards' partials are recomputed from it
-	// (degraded mode) instead of failing the gather.
+	// whole table: a shard whose every replica failed has its partial
+	// recomputed from it (degraded mode) instead of failing the gather.
 	Mirror *memory.Space
+	// Source, when non-nil, is the TEE-held ciphertext image Reshard
+	// streams moved rows from. It may be the same Space as Mirror; a
+	// cluster without a Source cannot reshard.
+	Source *memory.Space
+	// Group tunes every shard's replica failover (see GroupConfig).
+	Group GroupConfig
 }
 
 // New builds the scatter-gather NDP from a shard map and one client per
-// shard. len(shards) must equal smap.NumShards().
+// shard (replica groups of size one). len(shards) must equal
+// smap.NumShards().
 func New(smap *Map, shards []core.NDP, opts Options) (*NDP, error) {
 	if smap == nil {
 		return nil, fmt.Errorf("cluster: nil shard map")
@@ -67,59 +108,120 @@ func New(smap *Map, shards []core.NDP, opts Options) (*NDP, error) {
 	if len(shards) != smap.NumShards() {
 		return nil, fmt.Errorf("cluster: %d shard clients for a %d-shard map", len(shards), smap.NumShards())
 	}
+	groups := make([]*ReplicaGroup, len(shards))
 	for s, sh := range shards {
 		if sh == nil {
 			return nil, fmt.Errorf("cluster: nil client for shard %d", s)
 		}
+		g, err := NewGroup(s, []core.NDP{sh}, opts.Group)
+		if err != nil {
+			return nil, err
+		}
+		groups[s] = g
 	}
-	n := &NDP{smap: smap, shards: shards}
+	return NewReplicated(smap, groups, opts)
+}
+
+// NewReplicated builds the scatter-gather NDP from a shard map and one
+// replica group per shard. len(groups) must equal smap.NumShards().
+func NewReplicated(smap *Map, groups []*ReplicaGroup, opts Options) (*NDP, error) {
+	if smap == nil {
+		return nil, fmt.Errorf("cluster: nil shard map")
+	}
+	if len(groups) != smap.NumShards() {
+		return nil, fmt.Errorf("cluster: %d replica groups for a %d-shard map", len(groups), smap.NumShards())
+	}
+	for s, g := range groups {
+		if g == nil {
+			return nil, fmt.Errorf("cluster: nil replica group for shard %d", s)
+		}
+	}
+	n := &NDP{source: opts.Source}
 	if opts.Mirror != nil {
 		n.mirror = &core.HonestNDP{Mem: opts.Mirror}
 	}
+	n.cur.Store(&topology{smap: smap, groups: groups})
 	return n, nil
 }
 
-// Map returns the cluster's shard map.
-func (n *NDP) Map() *Map { return n.smap }
+// Map returns the cluster's current shard map (the live epoch's).
+func (n *NDP) Map() *Map { return n.cur.Load().smap }
 
-// Instrument attaches the cluster's metric series to reg: gather and
-// mirror-fill counters plus per-shard sub-operation counts, failure
-// counts, and latency histograms (secndp_cluster_shard<i>_*). Call once,
-// before the first query.
+// Epoch returns the live topology's assignment generation.
+func (n *NDP) Epoch() uint64 { return n.cur.Load().smap.Epoch() }
+
+// Group returns shard s's live replica group (for tests and tooling).
+func (n *NDP) Group(s int) *ReplicaGroup { return n.cur.Load().groups[s] }
+
+// Instrument attaches the cluster's metric series to reg: gather,
+// mirror-fill, failover, and reshard counters, the live epoch gauge,
+// plus per-shard sub-operation counts, failure counts, and latency
+// histograms (secndp_cluster_shard<i>_*) and per-replica series
+// (secndp_cluster_shard<i>_replica<r>_*). Call once, before the first
+// query; Reshard re-instruments replacement topologies itself.
 func (n *NDP) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	n.reg = reg
 	n.gathers = reg.Counter("secndp_cluster_gathers_total",
 		"Scatter-gather operations completed across the cluster (each sums per-shard partials).")
 	n.fills = reg.Counter("secndp_cluster_mirror_fills_total",
-		"Shard partials recomputed from the TEE ciphertext mirror after a shard failure.")
+		"Shard partials recomputed from the TEE ciphertext mirror after every replica of a shard failed.")
 	n.failures = reg.Counter("secndp_cluster_shard_failures_total",
-		"Per-shard sub-operations that failed after the shard transport gave up.")
-	n.perShard = make([]shardTel, len(n.shards))
-	for s := range n.shards {
+		"Per-shard sub-operations that failed after every replica gave up.")
+	n.failovers = reg.Counter("secndp_cluster_replica_failovers_total",
+		"Sub-operations retried on a sibling replica after the preferred replica failed.")
+	n.staleRetries = reg.Counter("secndp_cluster_stale_gathers_total",
+		"Gathers discarded and re-issued because the topology epoch flipped while they were in flight.")
+	n.reshards = reg.Counter("secndp_cluster_reshards_total",
+		"Completed live resharding operations (epoch flips).")
+	n.reshardRows = reg.Counter("secndp_cluster_reshard_rows_moved_total",
+		"Rows whose ciphertext+tags were streamed to a new owner shard during reshards.")
+	reg.GaugeFunc("secndp_cluster_epoch",
+		"Live topology epoch (bumps by one per completed reshard).",
+		func() int64 { return int64(n.Epoch()) })
+	reg.GaugeFunc("secndp_cluster_shards",
+		"Shard count of the live topology.",
+		func() int64 { return int64(n.Map().NumShards()) })
+	n.instrumentTopology(n.cur.Load())
+}
+
+// instrumentTopology attaches per-shard and per-replica series to top.
+// Metric constructors are idempotent, so topologies across reshards
+// share series per shard index — counters continue, gauges re-bind.
+func (n *NDP) instrumentTopology(top *topology) {
+	reg := n.reg
+	if reg == nil {
+		return
+	}
+	top.tel = make([]shardTel, len(top.groups))
+	for s, g := range top.groups {
 		p := fmt.Sprintf("secndp_cluster_shard%d_", s)
-		n.perShard[s] = shardTel{
+		top.tel[s] = shardTel{
 			subops: reg.Counter(p+"subops_total",
 				fmt.Sprintf("Sub-operations dispatched to shard %d.", s)),
 			failures: reg.Counter(p+"failures_total",
-				fmt.Sprintf("Sub-operations against shard %d that failed.", s)),
+				fmt.Sprintf("Sub-operations against shard %d that failed on every replica.", s)),
 			seconds: reg.Histogram(p+"seconds",
 				fmt.Sprintf("Per-sub-operation latency of shard %d.", s), nil),
 		}
+		g.instrument(reg, p, n.failovers)
 	}
 }
 
-func (n *NDP) observe(shard int, d time.Duration, err error) {
-	if n.perShard == nil {
+func (top *topology) observe(shard int, d time.Duration, err error, failures *telemetry.Counter) {
+	if top.tel == nil {
 		return
 	}
-	st := &n.perShard[shard]
+	st := &top.tel[shard]
 	st.subops.Inc()
 	st.seconds.Observe(d)
 	if err != nil {
 		st.failures.Inc()
-		n.failures.Inc()
+		if failures != nil {
+			failures.Inc()
+		}
 	}
 }
 
@@ -133,6 +235,8 @@ func (n *NDP) noteGather() {
 // shards whose partials were served from the TEE mirror. The facade
 // installs one with WithFlag before a query and reads it afterwards to
 // mark results Degraded; concurrent sub-gathers of one query share it.
+// Replica failovers are deliberately not collected — a failover result
+// is byte-identical NDP work, not a degradation.
 type Flag struct {
 	mu     sync.Mutex
 	filled map[int]struct{}
@@ -163,6 +267,19 @@ func (f *Flag) note(shard int) {
 	f.filled[shard] = struct{}{}
 }
 
+// merge folds src's fills into f. The gather machinery runs each
+// attempt under a private flag and merges only accepted (non-stale)
+// attempts, so a discarded gather's mirror fills never degrade the
+// re-issued result.
+func (f *Flag) merge(src *Flag) {
+	if f == nil || src == nil {
+		return
+	}
+	for _, s := range src.Filled() {
+		f.note(s)
+	}
+}
+
 // Filled returns the shards whose partials came from the mirror, in
 // increasing order; empty means every partial came from its shard.
 func (f *Flag) Filled() []int {
@@ -189,7 +306,88 @@ func (f *Flag) Any() bool {
 	return len(f.filled) > 0
 }
 
-// callShard invokes one shard's weighted sum, preferring the
+// epochGate counts in-flight gathers per epoch so a reshard can drain
+// the old epoch before its resources are retired. Gathers enter/exit on
+// the cold path of each scatter (one mutex op either side of a network
+// round-trip); drain polls because gathers vastly outnumber reshards —
+// a condvar would charge every gather for the reshard's convenience.
+type epochGate struct {
+	mu       sync.Mutex
+	inflight map[uint64]int
+}
+
+func (g *epochGate) enter(epoch uint64) {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[uint64]int)
+	}
+	g.inflight[epoch]++
+	g.mu.Unlock()
+}
+
+func (g *epochGate) exit(epoch uint64) {
+	g.mu.Lock()
+	g.inflight[epoch]--
+	if g.inflight[epoch] <= 0 {
+		delete(g.inflight, epoch)
+	}
+	g.mu.Unlock()
+}
+
+func (g *epochGate) count(epoch uint64) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight[epoch]
+}
+
+// drain blocks until no gather remains in the given epoch, or ctx ends.
+func (g *epochGate) drain(ctx context.Context, epoch uint64) error {
+	for g.count(epoch) > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// gather runs one scatter-gather attempt against a consistent topology
+// snapshot, re-issuing it if a reshard flipped the epoch while the
+// attempt was in flight. Each attempt runs under a private fill flag
+// merged into the caller's only on acceptance, so stale attempts leave
+// no trace — their partials, errors, and mirror fills are all
+// discarded. The epoch gate bounds how long Reshard waits: an accepted
+// attempt exits the gate before Reshard's drain can complete.
+func (n *NDP) gather(ctx context.Context, run func(ctx context.Context, top *topology) error) error {
+	for {
+		top := n.cur.Load()
+		epoch := top.smap.Epoch()
+		n.gate.enter(epoch)
+		if n.cur.Load() != top {
+			// Flipped between snapshot and gate entry; retry on the new
+			// topology rather than racing the drain.
+			n.gate.exit(epoch)
+			continue
+		}
+		ictx, flag := WithFlag(ctx)
+		err := run(ictx, top)
+		n.gate.exit(epoch)
+		if n.cur.Load() != top {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if n.staleRetries != nil {
+				n.staleRetries.Inc()
+			}
+			continue
+		}
+		flagFrom(ctx).merge(flag)
+		return err
+	}
+}
+
+// callSum invokes one replica's weighted sum, preferring the
 // context-aware transport and converting legacy panics into errors.
 func callSum(ctx context.Context, sh core.NDP, geo core.Geometry, idx []int, weights []uint64) (res []uint64, err error) {
 	defer func() {
@@ -216,10 +414,11 @@ func callTag(ctx context.Context, sh core.NDP, geo core.Geometry, idx []int, wei
 }
 
 // sumSubs scatters the sub-queries concurrently and gathers the ring sum
-// of the partials. A failed shard's partial is recomputed from the
-// mirror when one is attached (noting the fill on the context flag);
-// without a mirror the first shard failure fails the gather.
-func (n *NDP) sumSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) ([]uint64, error) {
+// of the partials. Each sub-query fails over across its shard's
+// replicas; only a shard whose every replica refused is recomputed from
+// the mirror when one is attached (noting the fill on the context
+// flag). Without a mirror an exhausted shard fails the gather.
+func (n *NDP) sumSubs(ctx context.Context, top *topology, geo core.Geometry, subs []SubQuery) ([]uint64, error) {
 	r, err := ring.New(geo.Params.We)
 	if err != nil {
 		return nil, err
@@ -237,8 +436,8 @@ func (n *NDP) sumSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) (
 			defer wg.Done()
 			sub := subs[si]
 			start := time.Now()
-			partials[si], errs[si] = callSum(ctx, n.shards[sub.Shard], geo, sub.Idx, sub.Weights)
-			n.observe(sub.Shard, time.Since(start), errs[si])
+			partials[si], errs[si] = top.groups[sub.Shard].Sum(ctx, geo, sub.Idx, sub.Weights)
+			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
 		}(si)
 	}
 	wg.Wait()
@@ -269,7 +468,7 @@ func (n *NDP) sumSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) (
 
 // tagSubs is sumSubs for the tag half: the per-shard tag partials add in
 // F_q to the unsharded tag sum.
-func (n *NDP) tagSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) (field.Elem, error) {
+func (n *NDP) tagSubs(ctx context.Context, top *topology, geo core.Geometry, subs []SubQuery) (field.Elem, error) {
 	acc := field.Zero
 	if len(subs) == 0 {
 		return acc, nil
@@ -283,8 +482,8 @@ func (n *NDP) tagSubs(ctx context.Context, geo core.Geometry, subs []SubQuery) (
 			defer wg.Done()
 			sub := subs[si]
 			start := time.Now()
-			partials[si], errs[si] = callTag(ctx, n.shards[sub.Shard], geo, sub.Idx, sub.Weights)
-			n.observe(sub.Shard, time.Since(start), errs[si])
+			partials[si], errs[si] = top.groups[sub.Shard].Tag(ctx, geo, sub.Idx, sub.Weights)
+			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
 		}(si)
 	}
 	wg.Wait()
@@ -339,15 +538,42 @@ func mirrorTag(mir *core.HonestNDP, geo core.Geometry, idx []int, weights []uint
 	return mir.TagSum(geo, idx, weights), nil
 }
 
+func mirrorElem(mir *core.HonestNDP, geo core.Geometry, idx, jdx []int, weights []uint64) (res uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: mirror fill failed: %v", r)
+		}
+	}()
+	return mir.WeightedSumElem(geo, idx, jdx, weights), nil
+}
+
 // WeightedSumContext implements core.ContextNDP by scatter-gathering the
 // query across the owning shards.
 func (n *NDP) WeightedSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
-	return n.sumSubs(ctx, geo, n.smap.Split(idx, weights))
+	var res []uint64
+	err := n.gather(ctx, func(ctx context.Context, top *topology) error {
+		var gerr error
+		res, gerr = n.sumSubs(ctx, top, geo, top.smap.Split(idx, weights))
+		return gerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // TagSumContext implements core.ContextNDP.
 func (n *NDP) TagSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
-	return n.tagSubs(ctx, geo, n.smap.Split(idx, weights))
+	var res field.Elem
+	err := n.gather(ctx, func(ctx context.Context, top *topology) error {
+		var gerr error
+		res, gerr = n.tagSubs(ctx, top, geo, top.smap.Split(idx, weights))
+		return gerr
+	})
+	if err != nil {
+		return field.Zero, err
+	}
+	return res, nil
 }
 
 // WeightedSum implements core.NDP; like other transport-backed NDPs its
@@ -369,19 +595,83 @@ func (n *NDP) TagSum(geo core.Geometry, idx []int, weights []uint64) field.Elem 
 	return res
 }
 
-// WeightedSumElem implements core.NDP. Element-granular sums have no
-// wire op (remote shards cannot serve them); the facade answers element
-// queries from the TEE mirror instead.
-func (n *NDP) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []uint64) uint64 {
-	panic("cluster: WeightedSumElem not supported across shards")
+// WeightedSumElemContext implements core.ElemNDP: the element-indexed
+// scalar Σ_k w_k·C[i_k][j_k] split by owning shard, each shard's
+// partial computed with replica failover (see ReplicaGroup.Elem for the
+// whole-row fetch it rides on), exhausted shards filled from the mirror
+// like any other partial. By linearity the reassembled scalar is
+// byte-identical to the single-NDP element sum.
+func (n *NDP) WeightedSumElemContext(ctx context.Context, geo core.Geometry, idx, jdx []int, weights []uint64) (uint64, error) {
+	if len(jdx) != len(idx) {
+		return 0, fmt.Errorf("cluster: %d columns for %d rows", len(jdx), len(idx))
+	}
+	r, err := ring.New(geo.Params.We)
+	if err != nil {
+		return 0, err
+	}
+	var res uint64
+	gerr := n.gather(ctx, func(ctx context.Context, top *topology) error {
+		subs := top.smap.splitElem(idx, jdx, weights)
+		partials := make([]uint64, len(subs))
+		errs := make([]error, len(subs))
+		var wg sync.WaitGroup
+		for si := range subs {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sub := subs[si]
+				start := time.Now()
+				partials[si], errs[si] = top.groups[sub.Shard].Elem(ctx, geo, sub.Idx, sub.Jdx, sub.Weights)
+				top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
+			}(si)
+		}
+		wg.Wait()
+		n.noteGather()
+		var acc uint64
+		for si := range subs {
+			sub := subs[si]
+			if errs[si] != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
+				if n.mirror == nil {
+					return fmt.Errorf("cluster: shard %d: %w", sub.Shard, errs[si])
+				}
+				p, ferr := mirrorElem(n.mirror, geo, sub.Idx, sub.Jdx, sub.Weights)
+				if ferr != nil {
+					return fmt.Errorf("cluster: shard %d: %w (mirror fill failed: %v)", sub.Shard, errs[si], ferr)
+				}
+				n.noteFill(ctx, sub.Shard)
+				partials[si] = p
+			}
+			acc += partials[si]
+		}
+		res = r.Reduce(acc)
+		return nil
+	})
+	if gerr != nil {
+		return 0, gerr
+	}
+	return res, nil
 }
 
-// SupportsBatch implements core.BatchNDP: true only when every shard
-// answers batches, so a sub-batch never needs a per-shard fallback path.
+// WeightedSumElem implements core.NDP via the context form; its legacy
+// failure mode is a panic (the query engine converts it).
+func (n *NDP) WeightedSumElem(geo core.Geometry, idx, jdx []int, weights []uint64) uint64 {
+	res, err := n.WeightedSumElemContext(context.Background(), geo, idx, jdx, weights)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SupportsBatch implements core.BatchNDP: true only when every replica
+// of every shard answers batches, so a sub-batch never needs a
+// per-shard fallback path regardless of which replica serves it.
 func (n *NDP) SupportsBatch(ctx context.Context) bool {
-	for _, sh := range n.shards {
-		bn, ok := sh.(core.BatchNDP)
-		if !ok || !bn.SupportsBatch(ctx) {
+	top := n.cur.Load()
+	for _, g := range top.groups {
+		if !g.SupportsBatch(ctx) {
 			return false
 		}
 	}
@@ -408,14 +698,28 @@ func mirrorBatch(ctx context.Context, mir *core.HonestNDP, geo core.Geometry, re
 
 // WeightedTagSumBatch implements core.BatchNDP: the batch splits into
 // per-shard sub-batches (each running the shard's own batch-plan dedup),
-// the sub-batches ride one concurrent exchange per touched shard, and
-// each original request's answer is the ring/field sum of its per-shard
-// partials. A request whose rows all live on failed shards is filled
-// from the mirror like any other partial; a request referencing no rows
-// answers the empty sum (zero). A returned error is batch-level — a
-// shard failed with no mirror to fill from — and the caller's fan-out
-// path re-runs the batch per request.
+// the sub-batches ride one concurrent exchange per touched shard — with
+// replica failover per sub-batch — and each original request's answer
+// is the ring/field sum of its per-shard partials. A request whose rows
+// all live on exhausted shards is filled from the mirror like any other
+// partial; a request referencing no rows answers the empty sum (zero).
+// A returned error is batch-level — a shard failed with no mirror to
+// fill from — and the caller's fan-out path re-runs the batch per
+// request.
 func (n *NDP) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	var out []core.NDPBatchResult
+	err := n.gather(ctx, func(ctx context.Context, top *topology) error {
+		var gerr error
+		out, gerr = n.batchSubs(ctx, top, geo, reqs, verify)
+		return gerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (n *NDP) batchSubs(ctx context.Context, top *topology, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
 	m := geo.Params.M
 	r, err := ring.New(geo.Params.We)
 	if err != nil {
@@ -426,7 +730,7 @@ func (n *NDP) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs [
 	for i := range out {
 		out[i].Sums = slab[i*m : (i+1)*m : (i+1)*m]
 	}
-	subs := n.smap.SplitBatch(reqs)
+	subs := top.smap.SplitBatch(reqs)
 	if len(subs) == 0 {
 		return out, nil
 	}
@@ -438,14 +742,9 @@ func (n *NDP) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, reqs [
 		go func(si int) {
 			defer wg.Done()
 			sub := subs[si]
-			bn, ok := n.shards[sub.Shard].(core.BatchNDP)
-			if !ok {
-				errs[si] = fmt.Errorf("cluster: shard %d has no batch support", sub.Shard)
-				return
-			}
 			start := time.Now()
-			results[si], errs[si] = callBatch(ctx, bn, geo, sub.Reqs, verify)
-			n.observe(sub.Shard, time.Since(start), errs[si])
+			results[si], errs[si] = top.groups[sub.Shard].Batch(ctx, geo, sub.Reqs, verify)
+			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
 		}(si)
 	}
 	wg.Wait()
@@ -496,4 +795,5 @@ var (
 	_ core.NDP        = (*NDP)(nil)
 	_ core.ContextNDP = (*NDP)(nil)
 	_ core.BatchNDP   = (*NDP)(nil)
+	_ core.ElemNDP    = (*NDP)(nil)
 )

@@ -99,3 +99,67 @@ func FuzzShardSplit(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReshardPlan drives the reshard planner with arbitrary old/new map
+// pairs and checks the migration invariants: the plan covers exactly the
+// rows whose owner changed (no retained row ships, no moved row is
+// missed), no row appears twice, every move's (From, To) matches the
+// maps, and runs are maximal — adjacent moves never share a (From, To)
+// pair they could have coalesced into.
+func FuzzReshardPlan(f *testing.F) {
+	f.Add(64, 2, 4, 0, 0)
+	f.Add(64, 4, 2, 0, 0)
+	f.Add(100, 3, 7, 0, 1)
+	f.Add(100, 7, 3, 1, 0)
+	f.Add(1, 1, 1, 1, 1)
+	f.Fuzz(func(t *testing.T, numRows, oldShards, newShards, oldStrat, newStrat int) {
+		if numRows <= 0 || numRows > 1<<14 ||
+			oldShards <= 0 || oldShards > 128 || newShards <= 0 || newShards > 128 {
+			t.Skip()
+		}
+		old, err := NewMap(numRows, oldShards, Strategy(oldStrat&1), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next, err := NewMap(numRows, newShards, Strategy(newStrat&1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moves, err := PlanReshard(old, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]bool, numRows)
+		prevHi := -1
+		for mi, mv := range moves {
+			if mv.Lo < 0 || mv.Hi > numRows || mv.Lo >= mv.Hi {
+				t.Fatalf("move %d: bad range [%d,%d)", mi, mv.Lo, mv.Hi)
+			}
+			if mv.Lo < prevHi {
+				t.Fatalf("move %d: [%d,%d) overlaps or precedes previous (hi %d)", mi, mv.Lo, mv.Hi, prevHi)
+			}
+			if mi > 0 {
+				p := moves[mi-1]
+				if p.Hi == mv.Lo && p.From == mv.From && p.To == mv.To {
+					t.Fatalf("moves %d and %d should have coalesced", mi-1, mi)
+				}
+			}
+			prevHi = mv.Hi
+			for i := mv.Lo; i < mv.Hi; i++ {
+				if covered[i] {
+					t.Fatalf("row %d planned twice", i)
+				}
+				covered[i] = true
+				if old.Shard(i) != mv.From || next.Shard(i) != mv.To {
+					t.Fatalf("row %d: move says %d->%d, maps say %d->%d",
+						i, mv.From, mv.To, old.Shard(i), next.Shard(i))
+				}
+			}
+		}
+		for i := 0; i < numRows; i++ {
+			if moved := old.Shard(i) != next.Shard(i); moved != covered[i] {
+				t.Fatalf("row %d: owner change %v but planned %v", i, moved, covered[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/field"
+	"secndp/internal/ring"
+	"secndp/internal/telemetry"
+)
+
+// ReplicaGroup fronts one shard's R replicas: independent NDP servers
+// provisioned with byte-identical ciphertext and tags for the shard's
+// rows. Because the scheme is deterministic given (addr, version), any
+// replica's partial sums are byte-identical to any other's, so failover
+// needs no re-verification protocol — the gather's one aggregated MAC
+// check covers a partial regardless of which replica produced it.
+//
+// Calls try the preferred replica first and fail over down the
+// preference order on transport failure; the shard only surfaces an
+// error (and the cluster only touches the TEE mirror) after every
+// replica has refused. Health state is cheap and local: a replica that
+// just failed is skipped for a cooldown window instead of paying its
+// full retry/backoff latency on every query, and the first replica to
+// answer becomes the new preferred one (stickiness keeps a healthy
+// cluster on one connection per shard). Safe for concurrent use.
+type ReplicaGroup struct {
+	shard    int
+	replicas []core.NDP
+	cooldown time.Duration
+
+	// preferred is the replica index tried first; the last replica to
+	// answer successfully.
+	preferred atomic.Int32
+	health    []replicaHealth
+
+	// Per-replica telemetry handles (nil until instrument).
+	tel       []replicaTel
+	failovers *telemetry.Counter
+}
+
+// replicaHealth is one replica's failure-local state.
+type replicaHealth struct {
+	// consecFails counts consecutive failed attempts (any op).
+	consecFails atomic.Uint32
+	// downUntil is the unix-nano instant until which the replica is
+	// skipped in the preference order. 0 = healthy.
+	downUntil atomic.Int64
+}
+
+type replicaTel struct {
+	subops    *telemetry.Counter
+	failures  *telemetry.Counter
+	healthyGa *telemetry.Gauge
+}
+
+// GroupConfig tunes a replica group's failover behavior.
+type GroupConfig struct {
+	// Cooldown is how long a replica that just failed is demoted to the
+	// tail of the preference order before being tried eagerly again.
+	// While cooling down the replica is still reachable as a last
+	// resort — the group always exhausts every replica before giving
+	// up. <= 0 selects 500ms.
+	Cooldown time.Duration
+}
+
+// DefaultReplicaCooldown is the failover cooldown used when GroupConfig
+// leaves it zero.
+const DefaultReplicaCooldown = 500 * time.Millisecond
+
+// NewGroup builds the failover group for one shard from its replica
+// clients. Every replica must be provisioned with identical ciphertext
+// and tags for the shard's rows.
+func NewGroup(shard int, replicas []core.NDP, cfg GroupConfig) (*ReplicaGroup, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("cluster: shard %d: replica group needs at least one replica", shard)
+	}
+	for r, rep := range replicas {
+		if rep == nil {
+			return nil, fmt.Errorf("cluster: shard %d: nil replica %d", shard, r)
+		}
+	}
+	cd := cfg.Cooldown
+	if cd <= 0 {
+		cd = DefaultReplicaCooldown
+	}
+	return &ReplicaGroup{
+		shard:    shard,
+		replicas: replicas,
+		cooldown: cd,
+		health:   make([]replicaHealth, len(replicas)),
+	}, nil
+}
+
+// Size returns the replica count.
+func (g *ReplicaGroup) Size() int { return len(g.replicas) }
+
+// Shard returns the shard index the group serves.
+func (g *ReplicaGroup) Shard() int { return g.shard }
+
+// Replica returns replica r's client (for instrumentation and tests).
+func (g *ReplicaGroup) Replica(r int) core.NDP { return g.replicas[r] }
+
+// Preferred returns the replica currently tried first.
+func (g *ReplicaGroup) Preferred() int { return int(g.preferred.Load()) }
+
+// instrument attaches per-replica series. Called by NDP.Instrument under
+// the same "before the first query" discipline.
+func (g *ReplicaGroup) instrument(reg *telemetry.Registry, prefix string, failovers *telemetry.Counter) {
+	g.failovers = failovers
+	g.tel = make([]replicaTel, len(g.replicas))
+	for r := range g.replicas {
+		p := fmt.Sprintf("%sreplica%d_", prefix, r)
+		g.tel[r] = replicaTel{
+			subops: reg.Counter(p+"subops_total",
+				fmt.Sprintf("Sub-operations attempted on shard %d replica %d.", g.shard, r)),
+			failures: reg.Counter(p+"failures_total",
+				fmt.Sprintf("Sub-operations on shard %d replica %d that failed at the transport.", g.shard, r)),
+			healthyGa: reg.Gauge(p+"healthy",
+				fmt.Sprintf("Shard %d replica %d health: 1 serving, 0 cooling down after a failure.", g.shard, r)),
+		}
+		g.tel[r].healthyGa.Set(1)
+	}
+}
+
+// order appends the replica indices to try, in preference order: the
+// preferred replica first, then the remaining healthy replicas in index
+// order, then the cooling-down ones (still tried — a replica mid-cooldown
+// beats the TEE mirror as a last resort).
+func (g *ReplicaGroup) order(dst []int) []int {
+	now := time.Now().UnixNano()
+	pref := int(g.preferred.Load())
+	up := func(r int) bool { return g.health[r].downUntil.Load() <= now }
+	if up(pref) {
+		dst = append(dst, pref)
+	}
+	for r := range g.replicas {
+		if r != pref && up(r) {
+			dst = append(dst, r)
+		}
+	}
+	// Cooling-down tail: preferred-first ordering matters little here.
+	for r := range g.replicas {
+		if !up(r) {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// success records replica r answering: health resets and r becomes
+// preferred.
+func (g *ReplicaGroup) success(r int) {
+	h := &g.health[r]
+	h.consecFails.Store(0)
+	h.downUntil.Store(0)
+	g.preferred.Store(int32(r))
+	if g.tel != nil {
+		g.tel[r].healthyGa.Set(1)
+	}
+}
+
+// failure records replica r refusing: the replica cools down for a
+// window that grows with its consecutive-failure run (capped at 8x), so
+// a flapping replica backs off harder than a one-off blip.
+func (g *ReplicaGroup) failure(r int) {
+	h := &g.health[r]
+	n := h.consecFails.Add(1)
+	if n > 8 {
+		n = 8
+	}
+	h.downUntil.Store(time.Now().UnixNano() + int64(g.cooldown)*int64(n))
+	if g.tel != nil {
+		g.tel[r].healthyGa.Set(0)
+	}
+}
+
+// do runs op against the replicas in preference order until one succeeds.
+// Failures beyond the first replica count as failovers; when every
+// replica refuses, the joined error carries each replica's failure. A
+// canceled context aborts between attempts — the caller's budget, not a
+// replica fault.
+func (g *ReplicaGroup) do(ctx context.Context, op func(rep core.NDP) error) error {
+	var errs []error
+	order := g.order(make([]int, 0, len(g.replicas)))
+	for k, r := range order {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if k > 0 && g.failovers != nil {
+			g.failovers.Inc()
+		}
+		if g.tel != nil {
+			g.tel[r].subops.Inc()
+		}
+		err := op(g.replicas[r])
+		if err == nil {
+			g.success(r)
+			return nil
+		}
+		if g.tel != nil {
+			g.tel[r].failures.Inc()
+		}
+		g.failure(r)
+		errs = append(errs, fmt.Errorf("replica %d: %w", r, err))
+	}
+	return fmt.Errorf("cluster: shard %d: every replica failed: %w", g.shard, errors.Join(errs...))
+}
+
+// Sum scatter-calls the shard's weighted sum with failover.
+func (g *ReplicaGroup) Sum(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
+	var res []uint64
+	err := g.do(ctx, func(rep core.NDP) error {
+		var err error
+		res, err = callSum(ctx, rep, geo, idx, weights)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Tag is Sum for the tag half.
+func (g *ReplicaGroup) Tag(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
+	var res field.Elem
+	err := g.do(ctx, func(rep core.NDP) error {
+		var err error
+		res, err = callTag(ctx, rep, geo, idx, weights)
+		return err
+	})
+	if err != nil {
+		return field.Zero, err
+	}
+	return res, nil
+}
+
+// Batch runs a sub-batch with failover. Batches are pure reads, so a
+// replay against the next replica returns byte-identical partials.
+func (g *ReplicaGroup) Batch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	var res []core.NDPBatchResult
+	err := g.do(ctx, func(rep core.NDP) error {
+		bn, ok := rep.(core.BatchNDP)
+		if !ok {
+			return fmt.Errorf("cluster: shard %d replica has no batch support", g.shard)
+		}
+		var err error
+		res, err = callBatch(ctx, bn, geo, reqs, verify)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Elem computes the shard's element-indexed partial Σ_k w_k·C[i_k][j_k]
+// with failover. The wire protocol has no element op, so the group
+// fetches each referenced row as a unit-weight whole-row sum — one
+// batched exchange when the replica supports batches, per-row sums
+// otherwise — and assembles the scalar on the trusted side; by
+// linearity the result is byte-identical to what an honest NDP's
+// element op would return. The fetch runs wholly against one replica
+// and fails over as a unit.
+func (g *ReplicaGroup) Elem(ctx context.Context, geo core.Geometry, idx, jdx []int, weights []uint64) (uint64, error) {
+	var res uint64
+	err := g.do(ctx, func(rep core.NDP) error {
+		var err error
+		res, err = elemViaRows(ctx, rep, geo, idx, jdx, weights)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res, nil
+}
+
+// elemViaRows fetches each referenced row (weight 1) from one replica and
+// reduces the element picks in the ring.
+func elemViaRows(ctx context.Context, rep core.NDP, geo core.Geometry, idx, jdx []int, weights []uint64) (uint64, error) {
+	r, err := ring.New(geo.Params.We)
+	if err != nil {
+		return 0, err
+	}
+	var acc uint64
+	if bn, ok := rep.(core.BatchNDP); ok && bn.SupportsBatch(ctx) {
+		reqs := make([]core.BatchRequest, len(idx))
+		rows := make([]int, len(idx))
+		ones := make([]uint64, len(idx))
+		for k := range idx {
+			rows[k] = idx[k]
+			ones[k] = 1
+			reqs[k] = core.BatchRequest{Idx: rows[k : k+1], Weights: ones[k : k+1]}
+		}
+		res, err := callBatch(ctx, bn, geo, reqs, false)
+		if err != nil {
+			return 0, err
+		}
+		if len(res) != len(idx) {
+			return 0, fmt.Errorf("cluster: row fetch answered %d of %d rows", len(res), len(idx))
+		}
+		for k := range res {
+			if res[k].Err != nil {
+				return 0, res[k].Err
+			}
+			if len(res[k].Sums) != geo.Params.M {
+				return 0, fmt.Errorf("cluster: row fetch returned %d columns, want %d", len(res[k].Sums), geo.Params.M)
+			}
+			acc += weights[k] * res[k].Sums[jdx[k]]
+		}
+		return r.Reduce(acc), nil
+	}
+	for k := range idx {
+		row, err := callSum(ctx, rep, geo, idx[k:k+1], []uint64{1})
+		if err != nil {
+			return 0, err
+		}
+		if len(row) != geo.Params.M {
+			return 0, fmt.Errorf("cluster: row fetch returned %d columns, want %d", len(row), geo.Params.M)
+		}
+		acc += weights[k] * row[jdx[k]]
+	}
+	return r.Reduce(acc), nil
+}
+
+// SupportsBatch reports whether every replica can serve batches — the
+// group must be able to fail a sub-batch over to any replica.
+func (g *ReplicaGroup) SupportsBatch(ctx context.Context) bool {
+	for _, rep := range g.replicas {
+		bn, ok := rep.(core.BatchNDP)
+		if !ok || !bn.SupportsBatch(ctx) {
+			return false
+		}
+	}
+	return true
+}

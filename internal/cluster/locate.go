@@ -23,7 +23,7 @@ import (
 // unverified escapes). Transport errors during localization abort it;
 // whatever was already isolated is returned alongside the error.
 func (n *NDP) LocateFault(ctx context.Context, tab *core.Table, idx []int, weights []uint64, opts core.QueryOptions) ([]int, error) {
-	subs := n.smap.Split(idx, weights)
+	subs := n.Map().Split(idx, weights)
 	if len(subs) == 0 {
 		return nil, nil
 	}

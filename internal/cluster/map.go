@@ -211,6 +211,56 @@ func (m *Map) Split(idx []int, weights []uint64) []SubQuery {
 	return subs
 }
 
+// elemSub is one shard's slice of an element-indexed query: the (row,
+// column, weight) triples it owns, in their original relative order.
+type elemSub struct {
+	Shard   int
+	Idx     []int
+	Jdx     []int
+	Weights []uint64
+}
+
+// splitElem partitions an element-indexed query's (idx, jdx, weights)
+// triples by owning shard, mirroring Split. Column picks ride along
+// with their rows; by linearity the per-shard element partials add back
+// to the unsharded scalar in the ring.
+func (m *Map) splitElem(idx, jdx []int, weights []uint64) []elemSub {
+	if len(idx) != len(weights) || len(idx) != len(jdx) {
+		panic(fmt.Sprintf("cluster: %d indices vs %d columns vs %d weights", len(idx), len(jdx), len(weights)))
+	}
+	if len(idx) == 0 {
+		return nil
+	}
+	counts := make([]int, m.numShards)
+	for _, i := range idx {
+		counts[m.Shard(i)]++
+	}
+	subs := make([]elemSub, 0, m.numShards)
+	slot := make([]int, m.numShards)
+	for s := range slot {
+		slot[s] = -1
+	}
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		slot[s] = len(subs)
+		subs = append(subs, elemSub{
+			Shard:   s,
+			Idx:     make([]int, 0, c),
+			Jdx:     make([]int, 0, c),
+			Weights: make([]uint64, 0, c),
+		})
+	}
+	for k, i := range idx {
+		sub := &subs[slot[m.Shard(i)]]
+		sub.Idx = append(sub.Idx, i)
+		sub.Jdx = append(sub.Jdx, jdx[k])
+		sub.Weights = append(sub.Weights, weights[k])
+	}
+	return subs
+}
+
 // SubBatch is one shard's slice of a query batch: the per-request
 // sub-queries that touch the shard, plus the mapping back to the
 // original request indices.

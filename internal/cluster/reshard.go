@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+// This file is the live-resharding half of the cluster layer: a planner
+// that diffs two shard maps into the exact set of moved rows, a chunked
+// rate-limited shipper that streams those rows' ciphertext+tags to
+// their new owners from the TEE-held source image, and the epoch flip —
+// queries serve from the old topology throughout the copy, the new
+// topology is published with one atomic store, and in-flight gathers
+// that straddled the flip discard their stale partials and re-issue
+// (the contract documented on Map). Rows are never deleted from their
+// old owners: shards hold only ciphertext and tags, a stale copy at an
+// unchanged (addr, version) is harmless surplus the new map simply
+// stops addressing, and the aggregated MAC check rejects any attempt to
+// serve rows a shard should no longer answer for.
+
+// Move is one contiguous run of rows [Lo, Hi) changing owner from shard
+// From (under the old map) to shard To (under the new map).
+type Move struct {
+	Lo, Hi   int
+	From, To int
+}
+
+// Rows returns the number of rows the move covers.
+func (mv Move) Rows() int { return mv.Hi - mv.Lo }
+
+// PlanReshard diffs two shard maps over the same row space into the
+// minimal move list: exactly the rows whose owner changed, coalesced
+// into maximal contiguous runs with a common (From, To) pair, in
+// increasing row order. Rows keeping their owner never appear; no row
+// appears twice. Runs are the shipping unit — under range sharding a
+// whole reshard collapses into a handful of long moves.
+func PlanReshard(old, next *Map) ([]Move, error) {
+	if old == nil || next == nil {
+		return nil, fmt.Errorf("cluster: reshard plan needs two maps")
+	}
+	if old.NumRows() != next.NumRows() {
+		return nil, fmt.Errorf("cluster: reshard cannot change the row count (%d -> %d)", old.NumRows(), next.NumRows())
+	}
+	var moves []Move
+	cur := Move{Lo: -1}
+	for i := 0; i < old.NumRows(); i++ {
+		from, to := old.Shard(i), next.Shard(i)
+		if from == to {
+			if cur.Lo >= 0 {
+				moves = append(moves, cur)
+				cur.Lo = -1
+			}
+			continue
+		}
+		if cur.Lo >= 0 && cur.From == from && cur.To == to && cur.Hi == i {
+			cur.Hi = i + 1
+			continue
+		}
+		if cur.Lo >= 0 {
+			moves = append(moves, cur)
+		}
+		cur = Move{Lo: i, Hi: i + 1, From: from, To: to}
+	}
+	if cur.Lo >= 0 {
+		moves = append(moves, cur)
+	}
+	return moves, nil
+}
+
+// BlobWriter is the provisioning half of a shard transport: the two
+// idempotent writes that place ciphertext and side-band tags at global
+// addresses. remote.Transport satisfies it; in-process test fixtures
+// implement it over a memory.Space.
+type BlobWriter interface {
+	WriteBlobContext(ctx context.Context, addr uint64, data []byte) error
+	WriteECCContext(ctx context.Context, dataAddr uint64, tag []byte) error
+}
+
+// ShipRun streams rows [lo, hi) of the table image in src to one
+// writer, at their global addresses: one blob write for the data span
+// (which includes co-located tags), plus the tag span for Ver-sep or
+// per-row ECC writes for Ver-ECC. It is the single shipping primitive
+// under both initial provisioning and live resharding — a shard's
+// memory is always a sparse window of the one staging image.
+func ShipRun(ctx context.Context, geo core.Geometry, src *memory.Space, lo, hi int, w BlobWriter) error {
+	if lo >= hi {
+		return nil
+	}
+	lay := geo.Layout
+	base := lay.RowAddr(lo)
+	span := lay.RowAddr(hi-1) + lay.RowStride() - base
+	if err := w.WriteBlobContext(ctx, base, src.Snapshot(base, int(span))); err != nil {
+		return err
+	}
+	switch lay.Placement {
+	case memory.TagSep:
+		tbase := lay.TagAddr(lo)
+		tspan := (hi - lo) * memory.TagBytes
+		if err := w.WriteBlobContext(ctx, tbase, src.Snapshot(tbase, tspan)); err != nil {
+			return err
+		}
+	case memory.TagECC:
+		for i := lo; i < hi; i++ {
+			if err := w.WriteECCContext(ctx, lay.RowAddr(i), src.ReadECC(lay.RowAddr(i), memory.TagBytes)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReshardOptions tunes the streaming copy phase of a reshard.
+type ReshardOptions struct {
+	// ChunkRows caps the rows shipped per write burst; long moves split
+	// into chunks this size so the copy never monopolizes a shard's
+	// ingest. <= 0 selects 4096.
+	ChunkRows int
+	// Pause is an optional sleep between chunks — the rate limiter for
+	// resharding under live traffic. 0 ships back-to-back.
+	Pause time.Duration
+}
+
+// DefaultReshardChunkRows is the chunk size used when ReshardOptions
+// leaves it zero.
+const DefaultReshardChunkRows = 4096
+
+// Reshard migrates the cluster to a new shard map live. The copy phase
+// streams every moved row's ciphertext+tags from the TEE source image
+// (Options.Source) to all replicas of its new owner, in rate-limited
+// chunks, while queries continue to serve from the old topology; then
+// the new topology — newMap paired with groups, one replica group per
+// new shard — is published atomically and the old epoch is drained:
+// Reshard returns only when no gather still runs against the old
+// topology, so the caller may retire the old groups' transports.
+// Gathers in flight across the flip discard their stale partials and
+// re-issue against the new topology; queries are therefore never
+// blocked for longer than one epoch drain and never mix partials from
+// two epochs.
+//
+// newMap must cover the same rows as the live map and carry a strictly
+// newer epoch. Shards whose index is retained across the maps are
+// assumed to keep their servers (their unmoved rows are not re-shipped);
+// a caller that points a retained shard at a fresh server must
+// re-provision instead. Violations cannot corrupt results — a shard
+// missing rows fails the aggregated MAC check — but they fail queries
+// until fixed.
+//
+// One Reshard runs at a time; concurrent calls serialize. On a copy
+// error the live topology is untouched and the reshard is abandoned —
+// partially shipped rows are harmless surplus on their target shards.
+func (n *NDP) Reshard(ctx context.Context, geo core.Geometry, newMap *Map, groups []*ReplicaGroup, opts ReshardOptions) error {
+	n.reshardMu.Lock()
+	defer n.reshardMu.Unlock()
+
+	old := n.cur.Load()
+	if newMap == nil {
+		return fmt.Errorf("cluster: reshard needs a new shard map")
+	}
+	if newMap.Epoch() <= old.smap.Epoch() {
+		return fmt.Errorf("cluster: reshard epoch %d must exceed live epoch %d", newMap.Epoch(), old.smap.Epoch())
+	}
+	if len(groups) != newMap.NumShards() {
+		return fmt.Errorf("cluster: %d replica groups for a %d-shard map", len(groups), newMap.NumShards())
+	}
+	for s, g := range groups {
+		if g == nil {
+			return fmt.Errorf("cluster: nil replica group for shard %d", s)
+		}
+	}
+	if n.source == nil {
+		return fmt.Errorf("cluster: reshard requires a TEE ciphertext source (Options.Source)")
+	}
+	moves, err := PlanReshard(old.smap, newMap)
+	if err != nil {
+		return err
+	}
+
+	// Copy phase: moved rows stream to every replica of their new owner
+	// while the old topology keeps serving. The chunking bounds each
+	// write burst; the pause rate-limits the whole migration.
+	chunk := opts.ChunkRows
+	if chunk <= 0 {
+		chunk = DefaultReshardChunkRows
+	}
+	moved := 0
+	for _, mv := range moves {
+		g := groups[mv.To]
+		for lo := mv.Lo; lo < mv.Hi; lo += chunk {
+			hi := lo + chunk
+			if hi > mv.Hi {
+				hi = mv.Hi
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			for r := 0; r < g.Size(); r++ {
+				w, ok := g.Replica(r).(BlobWriter)
+				if !ok {
+					return fmt.Errorf("cluster: reshard: shard %d replica %d cannot receive provisioning writes", mv.To, r)
+				}
+				if err := ShipRun(ctx, geo, n.source, lo, hi, w); err != nil {
+					return fmt.Errorf("cluster: reshard: shipping rows [%d,%d) to shard %d replica %d: %w", lo, hi, mv.To, r, err)
+				}
+			}
+			moved += hi - lo
+			if opts.Pause > 0 && hi < mv.Hi {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(opts.Pause):
+				}
+			}
+		}
+	}
+
+	// Flip: one atomic store publishes the new epoch. Gathers that
+	// snapshotted the old topology notice on completion and re-issue.
+	next := &topology{smap: newMap, groups: groups}
+	n.instrumentTopology(next)
+	n.cur.Store(next)
+	if n.reshards != nil {
+		n.reshards.Inc()
+		n.reshardRows.Add(uint64(moved))
+	}
+
+	// Drain: wait out every gather still registered with the old epoch
+	// so the caller can safely retire the old groups' transports.
+	return n.gate.drain(ctx, old.smap.Epoch())
+}

@@ -39,6 +39,17 @@ type ContextNDP interface {
 	TagSumContext(ctx context.Context, geo Geometry, idx []int, weights []uint64) (field.Elem, error)
 }
 
+// ElemNDP is an optional extension of NDP for implementations that can
+// serve the element-indexed sum with cancellation and error returns.
+// QueryElemCtx prefers it over the legacy panic-on-failure
+// WeightedSumElem; the cluster NDP implements it with per-shard replica
+// failover (the wire protocol has no element op, so remote shards serve
+// it via whole-row fetches assembled on the trusted side).
+type ElemNDP interface {
+	NDP
+	WeightedSumElemContext(ctx context.Context, geo Geometry, idx, jdx []int, weights []uint64) (uint64, error)
+}
+
 // HonestNDP is the faithful NDP implementation operating on an untrusted
 // memory space. Note the operations are *identical* to what an unprotected
 // NDP would run on plaintext — SecNDP requires no NDP hardware or protocol

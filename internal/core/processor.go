@@ -207,7 +207,18 @@ func (t *Table) QueryElemCtx(ctx context.Context, ndp NDP, idx, jdx []int, weigh
 			err = fmt.Errorf("core: ndp failed: %v", r)
 		}
 	}()
-	cres := ndp.WeightedSumElem(t.geo, idx, jdx, weights)
+	var cres uint64
+	if en, ok := ndp.(ElemNDP); ok {
+		// Context-aware element path: cancellable, error-returning, and —
+		// for the cluster NDP — carrying per-shard replica failover, so a
+		// dead replica retries a sibling instead of failing the query.
+		cres, err = en.WeightedSumElemContext(ctx, t.geo, idx, jdx, weights)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		cres = ndp.WeightedSumElem(t.geo, idx, jdx, weights)
+	}
 	eres, err := t.OTPWeightedSumElem(idx, jdx, weights)
 	if err != nil {
 		return 0, err

@@ -12,11 +12,16 @@ import (
 
 // clusterBenches measures the scatter-gather cluster end to end over
 // real loopback TCP servers: a batch-64 query load against 1, 2, and 4
-// shards. The single-shard number is the baseline; on a multi-core host
-// the 4-shard wall time should beat it, because the per-shard ciphertext
-// sums run concurrently while the TEE-side pad work is shared (the
-// bench-smoke CI gate asserts exactly that on >= 4 cores). Fixture setup
-// — servers, provisioning — happens outside the timed region.
+// shards, plus 2 shards x 2 replicas. The single-shard number is the
+// baseline; on a multi-core host the 4-shard wall time should beat it,
+// because the per-shard ciphertext sums run concurrently while the
+// TEE-side pad work is shared (the bench-smoke CI gate asserts exactly
+// that on >= 4 cores). The replicated run must track the unreplicated
+// 2-shard number closely — a healthy group only ever talks to its
+// preferred replica, so replication buys fault tolerance at provisioning
+// cost, not query cost (bench-smoke gates the regression at 10%).
+// Fixture setup — servers, provisioning — happens outside the timed
+// region.
 func clusterBenches(quick bool) []func() (string, testing.BenchmarkResult) {
 	numRows := 4096
 	if quick {
@@ -28,15 +33,19 @@ func clusterBenches(quick bool) []func() (string, testing.BenchmarkResult) {
 	const batchReqs, rowsPerReq = 64, 32
 
 	var out []func() (string, testing.BenchmarkResult)
-	for _, shards := range []int{1, 2, 4} {
-		shards := shards
-		name := fmt.Sprintf("cluster/query_batch_shards%d", shards)
+	for _, cfg := range []struct{ shards, replicas int }{{1, 1}, {2, 1}, {4, 1}, {2, 2}} {
+		cfg := cfg
+		name := fmt.Sprintf("cluster/query_batch_shards%d", cfg.shards)
+		if cfg.replicas > 1 {
+			name = fmt.Sprintf("%s_replicas%d", name, cfg.replicas)
+		}
 		out = append(out, func() (string, testing.BenchmarkResult) {
 			return name, testing.Benchmark(func(b *testing.B) {
 				b.SetBytes(int64(batchReqs * rowsPerReq * cols * 4))
 				ctx := context.Background()
-				srvs := make([]*secndp.Server, shards)
-				specs := make([]secndp.ShardSpec, shards)
+				n := cfg.shards * cfg.replicas
+				srvs := make([]*secndp.Server, n)
+				specs := make([]secndp.ShardSpec, n)
 				for i := range srvs {
 					srvs[i] = secndp.NewServer(secndp.NewMemory())
 					addr, err := srvs[i].Listen("127.0.0.1:0")
@@ -61,9 +70,9 @@ func clusterBenches(quick bool) []func() (string, testing.BenchmarkResult) {
 						rows[i][j] = rng.Uint64() % (1 << 20)
 					}
 				}
-				tab, err := eng.CreateTable(ctx, secndp.ClusterBackend(specs...), secndp.TableSpec{
-					Name: name, Rows: numRows, Cols: cols,
-				}, rows)
+				tab, err := eng.CreateTable(ctx,
+					secndp.ClusterBackend(specs...).Replicas(cfg.replicas),
+					secndp.TableSpec{Name: name, Rows: numRows, Cols: cols}, rows)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -36,8 +36,16 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]gaugeFn
 	hists    map[string]*Histogram
 	traces   traceBuffer
+}
+
+// gaugeFn is a callback-backed gauge: the function is evaluated at
+// snapshot/export time instead of being pushed at record time.
+type gaugeFn struct {
+	help string
+	fn   func() int64
 }
 
 // NewRegistry returns an empty registry with a trace buffer of
@@ -46,6 +54,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]gaugeFn),
 		hists:    make(map[string]*Histogram),
 		traces:   traceBuffer{cap: DefaultTraceCapacity},
 	}
@@ -81,6 +90,27 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{name: name, help: help}
 	r.gauges[name] = g
 	return g
+}
+
+// GaugeFunc registers a callback-backed gauge: fn is evaluated on every
+// Snapshot (and therefore on every export path — WriteProm, expvar,
+// /metrics), never on a hot path. It suits values that already live
+// elsewhere as cheap atomic state — a transport's cumulative attempt
+// count, a breaker's state — where pushing every update into a Gauge
+// would duplicate the bookkeeping. fn must be safe for concurrent use
+// and must not call back into the registry. Unlike the other
+// constructors, re-registering a name replaces its callback: a callback
+// gauge follows a live source, and when that source is swapped out (a
+// resharded cluster retiring one transport for another) the series must
+// re-bind to the replacement rather than export the retired one
+// forever. A nil registry or nil fn is a no-op.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = gaugeFn{help: help, fn: fn}
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -151,6 +181,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, g := range r.gauges {
 		gauges = append(gauges, g)
 	}
+	type namedFn struct {
+		name string
+		gaugeFn
+	}
+	fns := make([]namedFn, 0, len(r.gaugeFns))
+	for name, gf := range r.gaugeFns {
+		fns = append(fns, namedFn{name: name, gaugeFn: gf})
+	}
 	hists := make([]*Histogram, 0, len(r.hists))
 	for _, h := range r.hists {
 		hists = append(hists, h)
@@ -162,6 +200,11 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, g := range gauges {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Help: g.help, Value: g.Value()})
+	}
+	// Callback gauges evaluate outside the registry lock (the callbacks
+	// read foreign atomic state and must not re-enter the registry).
+	for _, gf := range fns {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: gf.name, Help: gf.help, Value: gf.fn()})
 	}
 	for _, h := range hists {
 		s.Histograms = append(s.Histograms, h.snap())

@@ -577,17 +577,26 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	start := time.Now()
-	// Remote transports have no element op on the wire; with a mirror the
-	// TEE serves element queries locally instead of failing them.
-	if t.mirror != nil {
+	// Plain remote transports have no element op on the wire; with a
+	// mirror the TEE serves element queries locally instead of failing
+	// them. Cluster backends are exempt: their NDP serves element sums
+	// over the wire (whole-row fetches with per-shard replica failover,
+	// core.ElemNDP), so a healthy cluster answers un-Degraded and a dead
+	// replica costs a failover, not a mirror trip.
+	if t.mirror != nil && t.cnd == nil {
 		if _, isRemote := t.ndp.(core.ContextNDP); isRemote {
 			return t.queryElemFallback(ctx, req, start, nil)
 		}
 	}
-	v, err := t.tab.QueryElemCtx(ctx, t.ndp, req.Idx, req.Cols, req.Weights)
+	qctx, cflag := t.clusterCtx(ctx)
+	v, err := t.tab.QueryElemCtx(qctx, t.ndp, req.Idx, req.Cols, req.Weights)
 	if err == nil {
-		res := Result{Values: []uint64{v}, Timing: timingFrom(core.PhaseTimes{}, 0, time.Since(start))}
-		t.eng.tel.recordQuery("query", start, res.Timing, false, false, nil)
+		degraded := cflag.Any()
+		if degraded {
+			t.degraded.Add(1)
+		}
+		res := Result{Values: []uint64{v}, Degraded: degraded, Timing: timingFrom(core.PhaseTimes{}, 0, time.Since(start))}
+		t.eng.tel.recordQuery("query", start, res.Timing, false, degraded, nil)
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
