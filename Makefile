@@ -35,10 +35,12 @@ endif
 bench-json:
 	$(GO) run ./cmd/secndp-bench -perf -o BENCH_$$(date +%F).json
 
-# Fuzz the wire-protocol parsers briefly (go fuzzing accepts exactly one
-# target per invocation).
+# Fuzz the wire-protocol parsers and the arithmetic kernels briefly (go
+# fuzzing accepts exactly one target per invocation).
 FUZZTIME ?= 5s
 fuzz:
+	$(GO) test -run xxx -fuzz '^FuzzDotUint64$$' -fuzztime $(FUZZTIME) ./internal/field
+	$(GO) test -run xxx -fuzz '^FuzzScaleAccum$$' -fuzztime $(FUZZTIME) ./internal/field
 	$(GO) test -run xxx -fuzz '^FuzzReadGeometry$$' -fuzztime $(FUZZTIME) ./internal/remote
 	$(GO) test -run xxx -fuzz '^FuzzReadQuery$$' -fuzztime $(FUZZTIME) ./internal/remote
 	$(GO) test -run xxx -fuzz '^FuzzClientResponse$$' -fuzztime $(FUZZTIME) ./internal/remote

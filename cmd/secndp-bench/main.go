@@ -9,6 +9,7 @@
 //	secndp-bench -list
 //	secndp-bench -perf -o BENCH_2026-01-01.json   # regression microbenchmarks
 //	secndp-bench -perf -quick -telemetry :9090 -hold 60s   # live /metrics while (and after) running
+//	secndp-bench -compare BENCH_old.json BENCH_new.json   # per-benchmark deltas
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		format  = flag.String("format", "text", "output format: text | csv")
 		perfRun = flag.Bool("perf", false, "run the benchmark-regression suite and emit JSON")
+		compare = flag.Bool("compare", false, "compare two -perf JSON reports (args: old.json new.json)")
 		outPath = flag.String("o", "", "output file for -perf JSON (default stdout)")
 		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9090) while running")
 		hold    = flag.Duration("hold", 0, "keep the telemetry server up this long after the run (with -telemetry)")
@@ -38,6 +40,28 @@ func main() {
 	if *format != "text" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "secndp-bench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "secndp-bench: -compare needs exactly two report paths (old.json new.json)")
+			os.Exit(2)
+		}
+		oldRep, err := perf.ReadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		newRep, err := perf.ReadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		if err := perf.WriteComparison(os.Stdout, oldRep, newRep); err != nil {
+			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// The registry outlives the run: the perf suite records into it and

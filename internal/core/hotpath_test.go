@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"secndp/internal/memory"
+)
+
+// These tests pin the fused verified-query fast path (one keystream walk
+// producing data pads and tag pads, pooled scratch, batched tag-pad
+// encryption) to the reference protocol: the composition of the serial
+// Query and Verify entry points, which exercise the original one-row-at-
+// a-time kernels.
+
+// hotpathTable builds an encrypted table plus honest NDP for one placement.
+func hotpathTable(t testing.TB, placement memory.TagPlacement, n, m int, we uint, seed int64) (*Table, *HonestNDP, [][]uint64) {
+	t.Helper()
+	s, err := NewScheme(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.NewSpace()
+	geo := mkGeometry(placement, n, m, we)
+	rng := rand.New(rand.NewSource(seed))
+	rows := boundedRows(rng, n, m, 1<<16)
+	tab, err := s.EncryptTable(mem, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab, &HonestNDP{Mem: mem}, rows
+}
+
+// TestQueryVerifiedMatchesQueryPlusVerify is the fast-path oracle: for
+// every tag placement the fused QueryVerified must return exactly what the
+// unfused composition (Query, then Verify with the NDP's tag sum) accepts.
+func TestQueryVerifiedMatchesQueryPlusVerify(t *testing.T) {
+	placements := map[string]memory.TagPlacement{
+		"coloc": memory.TagColoc,
+		"sep":   memory.TagSep,
+		"ecc":   memory.TagECC,
+	}
+	for name, pl := range placements {
+		t.Run(name, func(t *testing.T) {
+			tab, ndp, rows := hotpathTable(t, pl, 64, 32, 32, 50)
+			rng := rand.New(rand.NewSource(51))
+			for trial := 0; trial < 25; trial++ {
+				pf := 1 + rng.Intn(48)
+				idx := make([]int, pf)
+				w := make([]uint64, pf)
+				for k := range idx {
+					idx[k] = rng.Intn(64)
+					w[k] = 1 + rng.Uint64()%8
+				}
+				got, err := tab.QueryVerified(ndp, idx, w)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				want, err := tab.Query(ndp, idx, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("trial %d col %d: fused %d != reference %d", trial, j, got[j], want[j])
+					}
+				}
+				plain := plainWeightedSum(tab.Geometry(), rows, idx, w)
+				for j := range plain {
+					if got[j] != plain[j] {
+						t.Fatalf("trial %d col %d: %d != plaintext %d", trial, j, got[j], plain[j])
+					}
+				}
+				ok, err := tab.Verify(idx, w, want, ndp.TagSum(tab.Geometry(), idx, w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("trial %d: unfused Verify rejected honest result", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestQueryVerifiedConcurrentHammer runs many verified queries through the
+// pooled fast path at once and checks every result against a serial
+// reference computed up front. Under -race this proves the pooled scratch
+// buffers (byte, uint64, and field-element pools shared by all entry
+// points) are never aliased across concurrent queries.
+func TestQueryVerifiedConcurrentHammer(t *testing.T) {
+	tab, ndp, _ := hotpathTable(t, memory.TagSep, 128, 32, 32, 60)
+	rng := rand.New(rand.NewSource(61))
+	const queries = 32
+	type q struct {
+		idx []int
+		w   []uint64
+		ref []uint64
+	}
+	qs := make([]q, queries)
+	for i := range qs {
+		pf := 1 + rng.Intn(96)
+		qs[i].idx = make([]int, pf)
+		qs[i].w = make([]uint64, pf)
+		for k := range qs[i].idx {
+			qs[i].idx[k] = rng.Intn(128)
+			qs[i].w[k] = 1 + rng.Uint64()%8
+		}
+		ref, err := tab.QueryVerified(ndp, qs[i].idx, qs[i].w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i].ref = ref
+	}
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qq := &qs[(g*iters+it)%queries]
+				got, err := tab.QueryVerified(ndp, qq.idx, qq.w)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := range qq.ref {
+					if got[j] != qq.ref[j] {
+						t.Errorf("worker %d iter %d col %d: %d != %d", g, it, j, got[j], qq.ref[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryVerifiedSteadyStateAllocs is the pool leak check: once the
+// scratch pools are warm, a verified query must stay within the CI gate's
+// allocation budget (the result vector, its decrypted copy, and pool
+// bookkeeping — far under the 100-alloc gate).
+func TestQueryVerifiedSteadyStateAllocs(t *testing.T) {
+	tab, ndp, _ := hotpathTable(t, memory.TagSep, 256, 64, 32, 70)
+	rng := rand.New(rand.NewSource(71))
+	idx := make([]int, 128)
+	w := make([]uint64, 128)
+	for k := range idx {
+		idx[k] = rng.Intn(256)
+		w[k] = 1 + rng.Uint64()%8
+	}
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		if _, err := tab.QueryVerified(ndp, idx, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := tab.QueryVerified(ndp, idx, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("steady-state QueryVerified allocates %.1f/op, want <= 16 (pool leak?)", allocs)
+	}
+}

@@ -60,19 +60,21 @@ type HonestNDP struct {
 
 var _ NDP = (*HonestNDP)(nil)
 
-// WeightedSum implements NDP.
+// WeightedSum implements NDP. The whole gather runs under one read view
+// (one lock acquisition instead of one per row) and each row folds into
+// the accumulator straight from its ciphertext bytes — no unpack pass, no
+// element scratch.
 func (n *HonestNDP) WeightedSum(geo Geometry, idx []int, weights []uint64) []uint64 {
 	r := geo.ringOf()
 	acc := make([]uint64, geo.Params.M)
 	bp, rowBuf := getByteScratch(geo.Layout.RowBytes)
-	up, row := getU64Scratch(geo.Params.M)
-	for k, i := range idx {
-		geo.Layout.ReadRowInto(n.Mem, i, rowBuf)
-		r.UnpackElemsInto(row, rowBuf)
-		r.ScaleAccum(acc, weights[k], row)
-	}
+	n.Mem.View(func(v *memory.View) {
+		for k, i := range idx {
+			geo.Layout.ReadRowIntoView(v, i, rowBuf)
+			r.ScaleAccumBytes(acc, weights[k], rowBuf)
+		}
+	})
 	putByteScratch(bp)
-	putU64Scratch(up)
 	return acc
 }
 
@@ -93,16 +95,18 @@ func (n *HonestNDP) WeightedSumElem(geo Geometry, idx, jdx []int, weights []uint
 	return r.Reduce(acc)
 }
 
-// TagSum implements NDP.
+// TagSum implements NDP. Tags are gathered under one read view and
+// combined with the deferred-reduction accumulator.
 func (n *HonestNDP) TagSum(geo Geometry, idx []int, weights []uint64) field.Elem {
-	acc := field.Zero
+	var acc field.Acc
 	var tb [memory.TagBytes]byte
-	for k, i := range idx {
-		geo.Layout.ReadTagInto(n.Mem, i, tb[:])
-		ct := field.FromBytes(tb[:])
-		acc = field.Add(acc, field.MulUint64(ct, weights[k]))
-	}
-	return acc
+	n.Mem.View(func(v *memory.View) {
+		for k, i := range idx {
+			geo.Layout.ReadTagIntoView(v, i, tb[:])
+			acc.AddMulUint64(field.FromBytes(tb[:]), weights[k])
+		}
+	})
+	return acc.Sum()
 }
 
 // NDPBatchResult is one sub-request's answer from a batched NDP call.
@@ -184,26 +188,46 @@ func (n *HonestNDP) WeightedTagSumBatch(ctx context.Context, geo Geometry, reqs 
 		tagAccs = make([]field.Acc, len(reqs))
 	}
 	var tb [memory.TagBytes]byte
-	for pi := range plan.rows {
-		if pi%ctxCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	// The whole plan walk runs under one read view; the callback cannot
+	// return an error, so cancellation is captured in loopErr.
+	var loopErr error
+	n.Mem.View(func(v *memory.View) {
+		for pi := range plan.rows {
+			if pi%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					loopErr = err
+					return
+				}
 			}
-		}
-		pr := &plan.rows[pi]
-		geo.Layout.ReadRowInto(n.Mem, pr.row, rowBuf)
-		r.UnpackElemsInto(row, rowBuf)
-		var ct field.Elem
-		if verify {
-			geo.Layout.ReadTagInto(n.Mem, pr.row, tb[:])
-			ct = field.FromBytes(tb[:])
-		}
-		for _, u := range pr.uses {
-			r.ScaleAccum(out[u.req].Sums, u.weight, row)
+			pr := &plan.rows[pi]
+			geo.Layout.ReadRowIntoView(v, pr.row, rowBuf)
+			var ct field.Elem
 			if verify {
-				tagAccs[u.req].AddMulUint64(ct, u.weight)
+				geo.Layout.ReadTagIntoView(v, pr.row, tb[:])
+				ct = field.FromBytes(tb[:])
+			}
+			if len(pr.uses) == 1 {
+				// Single-use row: fold ciphertext bytes straight into the
+				// requester's accumulator, skipping the unpack pass.
+				u := pr.uses[0]
+				r.ScaleAccumBytes(out[u.req].Sums, u.weight, rowBuf)
+				if verify {
+					tagAccs[u.req].AddMulUint64(ct, u.weight)
+				}
+				continue
+			}
+			// Shared row: unpack once, scatter into every requester.
+			r.UnpackElemsInto(row, rowBuf)
+			for _, u := range pr.uses {
+				r.ScaleAccum(out[u.req].Sums, u.weight, row)
+				if verify {
+					tagAccs[u.req].AddMulUint64(ct, u.weight)
+				}
 			}
 		}
+	})
+	if loopErr != nil {
+		return nil, loopErr
 	}
 	if verify {
 		for i := range out {

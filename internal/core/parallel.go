@@ -174,17 +174,22 @@ func (t *Table) TagPadSumCtx(ctx context.Context, idx []int, weights []uint64, o
 	if len(idx) != len(weights) {
 		return field.Zero, fmt.Errorf("core: %d indices vs %d weights", len(idx), len(weights))
 	}
+	// Each worker walks its shard in ctxCheckStride-row chunks through the
+	// batched kernel (gathered multi-block tag-pad encryption + vectorized
+	// field accumulation), checking for cancellation between chunks.
 	sumRange := func(lo, hi int) (field.Elem, error) {
 		acc := field.Zero
-		for k := lo; k < hi; k++ {
-			if (k-lo)%ctxCheckStride == 0 && ctx != nil {
+		for k := lo; k < hi; k += ctxCheckStride {
+			if ctx != nil {
 				if err := ctx.Err(); err != nil {
 					return field.Zero, err
 				}
 			}
-			addr := t.geo.Layout.RowAddr(idx[k])
-			et := field.FromBytes(padBytes(t.scheme.gen.TagPad(addr, t.version)))
-			acc = field.Add(acc, field.MulUint64(et, weights[k]))
+			end := k + ctxCheckStride
+			if end > hi {
+				end = hi
+			}
+			acc = field.Add(acc, t.tagPadSumRange(idx, weights, k, end))
 		}
 		return acc, nil
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"secndp/internal/field"
 	"secndp/internal/memory"
@@ -39,7 +40,24 @@ type Table struct {
 	version uint64
 	r       ring.Ring
 	seeds   []field.Elem // checksum seed substrings s_0..s_{cnt-1}
-	ckPows  []field.Elem // precomputed checksum powers for length-M rows
+	// ckPows caches the checksum power table for length-M rows, built
+	// lazily on first use and shared by every consumer — the single-query
+	// verifier, the batch verifier's aggregated check and bisection
+	// leaves, and table encryption all hash against one table instead of
+	// recomputing (or eagerly paying for) the M power-update Muls.
+	ckPows atomic.Pointer[[]field.Elem]
+}
+
+// checksumPows returns the table's shared power table, building it on
+// first use. Safe for concurrent callers: every builder computes the same
+// deterministic table, first store wins.
+func (t *Table) checksumPows() []field.Elem {
+	if p := t.ckPows.Load(); p != nil {
+		return *p
+	}
+	pows := checksumPowers(t.seeds, t.geo.Params.M)
+	t.ckPows.CompareAndSwap(nil, &pows)
+	return *t.ckPows.Load()
 }
 
 // EncryptTable runs the initialization step T0 of Figure 4: Algorithm 1
@@ -130,18 +148,15 @@ func (s *Scheme) openTable(geo Geometry, version uint64) *Table {
 		blk := s.gen.Block(otp.DomainSeed, geo.Layout.Base+uint64(k*otp.BlockBytes), version)
 		t.seeds[k] = field.FromBytes(blk[:])
 	}
-	if geo.Layout.Placement != memory.TagNone {
-		t.ckPows = checksumPowers(t.seeds, geo.Params.M)
-	}
 	return t
 }
 
 // resultChecksum is checksumRow specialized to this table: length-M inputs
-// (every query result and every plaintext row) hash against the
-// precomputed power table; anything else falls back to the generic form.
+// (every query result and every plaintext row) hash against the shared
+// power table; anything else falls back to the generic form.
 func (t *Table) resultChecksum(elems []uint64) field.Elem {
-	if len(elems) == len(t.ckPows) {
-		return checksumRowPow(t.ckPows, elems)
+	if len(elems) == t.geo.Params.M {
+		return checksumRowPow(t.checksumPows(), elems)
 	}
 	return checksumRow(t.seeds, elems)
 }

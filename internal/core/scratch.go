@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"secndp/internal/field"
+)
 
 // Pooled scratch for the query hot paths. The verified query path used to
 // allocate two fresh buffers per row on the NDP side (the raw ciphertext
@@ -46,6 +50,21 @@ func getU64Zeroed(n int) (*[]uint64, []uint64) {
 }
 
 func putU64Scratch(p *[]uint64) { u64Scratch.Put(p) }
+
+var elemScratch = sync.Pool{New: func() any { s := make([]field.Elem, 0, 64); return &s }}
+
+// getElemScratch returns a pooled field-element slice of length n
+// (contents undefined) and the pool token to return via putElemScratch —
+// staging for gathered tag pads on the verified query path.
+func getElemScratch(n int) (*[]field.Elem, []field.Elem) {
+	p := elemScratch.Get().(*[]field.Elem)
+	if cap(*p) < n {
+		*p = make([]field.Elem, n)
+	}
+	return p, (*p)[:n]
+}
+
+func putElemScratch(p *[]field.Elem) { elemScratch.Put(p) }
 
 // slotScratch pools the batch planner's dense row→slot table. Invariant:
 // every pooled table is all −1 over its full length; planBatch resets the

@@ -1,0 +1,90 @@
+package field
+
+import "math/bits"
+
+// This file is the vectorized core shared by DotUint64 and Acc.ScaleAccum:
+// a deferred-reduction accumulation kernel that folds Elem·uint64 term
+// products into a 256-bit running sum. On amd64 with BMI2 the inner loop
+// is hand-written MULX assembly (dot_amd64.s), CPUID-gated the same way
+// otp's AES-NI keystream is; everywhere else a two-lane unrolled pure-Go
+// kernel keeps the multiplier pipeline busy. Both paths compute the exact
+// same 256-bit integer (addition mod 2^256 is order-independent), so the
+// differential fuzzers in dot_test.go can demand limb-exact equality.
+
+// useDotAsm is true when the assembly kernel is available and the CPU
+// supports it (amd64 + BMI2). Tests flip it to cross-check both paths.
+var useDotAsm = supportsDotAsm()
+
+// dotAccum adds Σ_i a[i]·k[i] (an exact 256-bit integer sum) into s.
+// Callers guarantee len(a) == len(k).
+func dotAccum(s *[4]uint64, a []Elem, k []uint64) {
+	if len(a) == 0 {
+		return
+	}
+	if useDotAsm {
+		dotAccumAsm(s, &a[0], &k[0], len(a))
+		return
+	}
+	dotAccumGeneric(s, a, k)
+}
+
+// dotAccumGeneric is the portable kernel: two independent 256-bit lanes
+// unrolled over element pairs, merged at the end. Splitting the carry
+// chain in two lets the compiler overlap the Mul64s of adjacent terms
+// instead of serializing every add behind the previous term's carries.
+func dotAccumGeneric(s *[4]uint64, a []Elem, k []uint64) {
+	s0, s1, s2, s3 := s[0], s[1], s[2], s[3]
+	var t0, t1, t2, t3 uint64
+	i := 0
+	for ; i+1 < len(a); i += 2 {
+		h0, l0 := bits.Mul64(a[i].Lo, k[i])
+		h1, l1 := bits.Mul64(a[i].Hi, k[i])
+		g0, m0 := bits.Mul64(a[i+1].Lo, k[i+1])
+		g1, m1 := bits.Mul64(a[i+1].Hi, k[i+1])
+
+		mid, c1 := bits.Add64(h0, l1, 0)
+		var c uint64
+		s0, c = bits.Add64(s0, l0, 0)
+		s1, c = bits.Add64(s1, mid, c)
+		s2, c = bits.Add64(s2, h1+c1, c) // h1 < 2^63 keeps h1+c1 from overflowing
+		s3 += c
+
+		nid, d1 := bits.Add64(g0, m1, 0)
+		var d uint64
+		t0, d = bits.Add64(t0, m0, 0)
+		t1, d = bits.Add64(t1, nid, d)
+		t2, d = bits.Add64(t2, g1+d1, d)
+		t3 += d
+	}
+	if i < len(a) {
+		h0, l0 := bits.Mul64(a[i].Lo, k[i])
+		h1, l1 := bits.Mul64(a[i].Hi, k[i])
+		mid, c1 := bits.Add64(h0, l1, 0)
+		var c uint64
+		s0, c = bits.Add64(s0, l0, 0)
+		s1, c = bits.Add64(s1, mid, c)
+		s2, c = bits.Add64(s2, h1+c1, c)
+		s3 += c
+	}
+	// Merge the second lane (plain 256-bit add; carries beyond s3 wrap
+	// mod 2^256, matching single-lane accumulation order-for-order).
+	var c uint64
+	s0, c = bits.Add64(s0, t0, 0)
+	s1, c = bits.Add64(s1, t1, c)
+	s2, c = bits.Add64(s2, t2, c)
+	s3 += t3 + c
+	s[0], s[1], s[2], s[3] = s0, s1, s2, s3
+}
+
+// ScaleAccum adds Σ_i elems[i]·k[i] to the accumulator through the same
+// vectorized kernel as DotUint64 — a multi-term AddMulUint64. It is the
+// tag-combination primitive: scaling a gathered run of tag pads by their
+// query weights is exactly this operation.
+func (a *Acc) ScaleAccum(elems []Elem, k []uint64) {
+	if len(elems) != len(k) {
+		panic("field: ScaleAccum length mismatch")
+	}
+	s := [4]uint64{a.s0, a.s1, a.s2, a.s3}
+	dotAccum(&s, elems, k)
+	a.s0, a.s1, a.s2, a.s3 = s[0], s[1], s[2], s[3]
+}

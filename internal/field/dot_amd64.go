@@ -1,0 +1,20 @@
+package field
+
+// supportsDotAsm gates the MULX kernel on BMI2 (CPUID leaf 7, EBX bit 8),
+// mirroring otp's AES-NI gate. MULX is the only extension the kernel
+// needs: it multiplies without touching FLAGS, so the 256-bit carry chain
+// survives across the two limb products of each term.
+func supportsDotAsm() bool {
+	const bmi2 = 1 << 8
+	return cpuidLeaf7EBX()&bmi2 != 0
+}
+
+// dotAccumAsm adds Σ_i a[i]·k[i] into the 256-bit accumulator s.
+// Implemented in dot_amd64.s; n must be >= 1.
+//
+//go:noescape
+func dotAccumAsm(s *[4]uint64, a *Elem, k *uint64, n int)
+
+// cpuidLeaf7EBX returns EBX of CPUID leaf 7 subleaf 0 (extended feature
+// flags), or 0 when the processor predates leaf 7.
+func cpuidLeaf7EBX() uint32

@@ -1,0 +1,93 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// GF(2^127-1) deferred-reduction dot-product kernel (BMI2 MULX).
+//
+// Accumulates Σ a[i]·k[i] into a 256-bit sum without any per-term
+// reduction — the Go side performs the single Mersenne fold. Each term is
+// two MULX limb products plus a seven-add carry chain; MULX leaves FLAGS
+// untouched, so the chain never has to be rematerialized between the
+// multiplies. The main loop retires four terms per iteration to amortize
+// loop control, with a one-term tail.
+//
+// Register use:
+//   DI  &s[0] (four-limb accumulator, in/out)
+//   SI  &a[0] (Elem array: Hi at +0, Lo at +8, stride 16)
+//   BX  &k[0]
+//   CX  remaining term count
+//   R8..R11  s0..s3
+//   DX  current k[i] (implicit MULX multiplicand)
+//   AX, R12, R13, R14  per-term products
+
+// One term at byte offsets off_a(SI)/off_k(BX):
+//   l0:h0 = a.Lo·k, l1:h1 = a.Hi·k
+//   mid = h0+l1 (carry c1), top = h1+c1 (a.Hi < 2^63: no overflow)
+//   s += top·2^128 + mid·2^64 + l0
+#define DOTTERM(off_a, off_k) \
+	MOVQ  off_k(BX), DX;            \
+	MULXQ (off_a+8)(SI), AX, R12;   \
+	MULXQ (off_a+0)(SI), R13, R14;  \
+	ADDQ  R13, R12;                 \
+	ADCQ  $0, R14;                  \
+	ADDQ  AX, R8;                   \
+	ADCQ  R12, R9;                  \
+	ADCQ  R14, R10;                 \
+	ADCQ  $0, R11
+
+// func dotAccumAsm(s *[4]uint64, a *Elem, k *uint64, n int)
+TEXT ·dotAccumAsm(SB), NOSPLIT, $0-32
+	MOVQ s+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ k+16(FP), BX
+	MOVQ n+24(FP), CX
+
+	MOVQ 0(DI), R8
+	MOVQ 8(DI), R9
+	MOVQ 16(DI), R10
+	MOVQ 24(DI), R11
+
+	CMPQ CX, $4
+	JB   tail
+
+loop4:
+	DOTTERM(0, 0)
+	DOTTERM(16, 8)
+	DOTTERM(32, 16)
+	DOTTERM(48, 24)
+	ADDQ $64, SI
+	ADDQ $32, BX
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JAE  loop4
+
+tail:
+	TESTQ CX, CX
+	JZ    done
+	DOTTERM(0, 0)
+	ADDQ  $16, SI
+	ADDQ  $8, BX
+	DECQ  CX
+	JMP   tail
+
+done:
+	MOVQ R8, 0(DI)
+	MOVQ R9, 8(DI)
+	MOVQ R10, 16(DI)
+	MOVQ R11, 24(DI)
+	RET
+
+// func cpuidLeaf7EBX() uint32
+TEXT ·cpuidLeaf7EBX(SB), NOSPLIT, $0-4
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7      // highest supported leaf must reach 7
+	JB   none
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	MOVL BX, ret+0(FP)
+	RET
+none:
+	MOVL $0, ret+0(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package field
+
+// supportsDotAsm reports false where no dot-product assembly exists; the
+// two-lane unrolled Go kernel in dot.go serves every caller instead.
+func supportsDotAsm() bool { return false }
+
+func dotAccumAsm(s *[4]uint64, a *Elem, k *uint64, n int) {
+	panic("field: assembly dot kernel is not available on this architecture")
+}

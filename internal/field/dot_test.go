@@ -1,0 +1,179 @@
+package field
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// dotRefUint64 is the scalar reference: one fully reduced MulUint64+Add
+// per term. Every vectorized path must agree with it exactly.
+func dotRefUint64(a []Elem, k []uint64) Elem {
+	acc := Zero
+	for i := range a {
+		acc = Add(acc, MulUint64(a[i], k[i]))
+	}
+	return acc
+}
+
+func randElems(rng *rand.Rand, n int) ([]Elem, []uint64) {
+	a := make([]Elem, n)
+	k := make([]uint64, n)
+	for i := range a {
+		a[i] = New(rng.Uint64(), rng.Uint64())
+		k[i] = rng.Uint64()
+	}
+	return a, k
+}
+
+func TestDotUint64MatchesScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 64, 257} {
+		a, k := randElems(rng, n)
+		got := DotUint64(a, k)
+		want := dotRefUint64(a, k)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: DotUint64 = %v, scalar reference = %v", n, got, want)
+		}
+	}
+}
+
+// TestDotAccumPathsLimbExact demands the assembly and generic kernels
+// produce identical 256-bit accumulator limbs, not just equal reduced
+// values: both compute the same integer sum mod 2^256.
+func TestDotAccumPathsLimbExact(t *testing.T) {
+	if !supportsDotAsm() {
+		t.Skip("assembly dot kernel not available on this CPU")
+	}
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 100} {
+		a, k := randElems(rng, n)
+		init := [4]uint64{rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()}
+		sAsm, sGen := init, init
+		dotAccumAsm(&sAsm, &a[0], &k[0], n)
+		dotAccumGeneric(&sGen, a, k)
+		if sAsm != sGen {
+			t.Fatalf("n=%d: asm limbs %x != generic limbs %x (init %x)", n, sAsm, sGen, init)
+		}
+	}
+}
+
+func TestScaleAccumMatchesAddMulUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 4, 5, 33} {
+		a, k := randElems(rng, n)
+		var vec, ref Acc
+		vec.AddMulUint64(New(rng.Uint64(), rng.Uint64()), rng.Uint64())
+		ref = vec // identical non-empty starting state
+		vec.ScaleAccum(a, k)
+		for i := range a {
+			ref.AddMulUint64(a[i], k[i])
+		}
+		if got, want := vec.Sum(), ref.Sum(); !got.Equal(want) {
+			t.Fatalf("n=%d: ScaleAccum sum %v != sequential AddMulUint64 sum %v", n, got, want)
+		}
+	}
+}
+
+func TestScaleAccumLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaleAccum with mismatched lengths did not panic")
+		}
+	}()
+	var acc Acc
+	acc.ScaleAccum(make([]Elem, 2), make([]uint64, 3))
+}
+
+// fuzzVectors decodes a fuzz payload into parallel Elem/uint64 vectors:
+// 24 bytes per term (16 little-endian bytes of element, canonicalized via
+// FromBytes, then 8 bytes of scalar).
+func fuzzVectors(data []byte) ([]Elem, []uint64) {
+	n := len(data) / 24
+	if n > 4096 {
+		n = 4096
+	}
+	a := make([]Elem, n)
+	k := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		off := i * 24
+		a[i] = FromBytes(data[off : off+16])
+		k[i] = binary.LittleEndian.Uint64(data[off+16 : off+24])
+	}
+	return a, k
+}
+
+// FuzzDotUint64 pins every vectorized dot kernel byte-for-byte against the
+// scalar reference, and (where assembly exists) the asm accumulator
+// limb-for-limb against the generic one.
+func FuzzDotUint64(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Add(make([]byte, 24*5))
+	seed := make([]byte, 24*9)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, k := fuzzVectors(data)
+		got := DotUint64(a, k)
+		want := dotRefUint64(a, k)
+		if !got.Equal(want) {
+			t.Fatalf("DotUint64 = %v, scalar reference = %v (n=%d)", got, want, len(a))
+		}
+		if supportsDotAsm() && len(a) > 0 {
+			var sAsm, sGen [4]uint64
+			dotAccumAsm(&sAsm, &a[0], &k[0], len(a))
+			dotAccumGeneric(&sGen, a, k)
+			if sAsm != sGen {
+				t.Fatalf("asm limbs %x != generic limbs %x (n=%d)", sAsm, sGen, len(a))
+			}
+		}
+	})
+}
+
+// FuzzScaleAccum pins Acc.ScaleAccum against a sequential AddMulUint64
+// loop from an arbitrary (fuzzer-chosen) starting accumulator state.
+func FuzzScaleAccum(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(make([]byte, 24*3), uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Fuzz(func(t *testing.T, data []byte, s0, s1, s2, s3 uint64) {
+		a, k := fuzzVectors(data)
+		vec := Acc{s0: s0, s1: s1, s2: s2, s3: s3}
+		ref := vec
+		vec.ScaleAccum(a, k)
+		for i := range a {
+			ref.AddMulUint64(a[i], k[i])
+		}
+		if vec != ref {
+			t.Fatalf("ScaleAccum limbs %+v != sequential limbs %+v (n=%d)", vec, ref, len(a))
+		}
+	})
+}
+
+func BenchmarkDotUint64(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a, k := randElems(rng, 512)
+	var sink Elem
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = DotUint64(a, k)
+	}
+	_ = sink
+}
+
+func BenchmarkDotUint64Generic(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a, k := randElems(rng, 512)
+	var sink Elem
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s [4]uint64
+		dotAccumGeneric(&s, a, k)
+		sink = fold256(s[0], s[1], s[2], s[3])
+	}
+	_ = sink
+}

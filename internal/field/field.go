@@ -162,22 +162,16 @@ func MulUint64(a Elem, k uint64) Elem {
 // the end, so the inner loop is two Mul64s and three carried adds — no
 // per-term reduction. This is the checksum kernel: hashing a row against
 // a precomputed power table is exactly this dot product.
+// The inner loop lives in dot.go (MULX assembly on amd64, two-lane
+// unrolled Go elsewhere); dotRefUint64 in the tests preserves the scalar
+// reference it is fuzzed against.
 func DotUint64(a []Elem, k []uint64) Elem {
 	if len(a) != len(k) {
 		panic("field: DotUint64 length mismatch")
 	}
-	var s0, s1, s2, s3 uint64
-	for i := range a {
-		h0, l0 := bits.Mul64(a[i].Lo, k[i])
-		h1, l1 := bits.Mul64(a[i].Hi, k[i])
-		m1, c1 := bits.Add64(h0, l1, 0)
-		var c uint64
-		s0, c = bits.Add64(s0, l0, 0)
-		s1, c = bits.Add64(s1, m1, c)
-		s2, c = bits.Add64(s2, h1+c1, c) // h1 < 2^63 keeps h1+c1 from overflowing
-		s3 += c
-	}
-	return fold256(s0, s1, s2, s3)
+	var s [4]uint64
+	dotAccum(&s, a, k)
+	return fold256(s[0], s[1], s[2], s[3])
 }
 
 // fold256 reduces a 256-bit sum s3:s2:s1:s0 to a canonical element via

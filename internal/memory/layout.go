@@ -201,3 +201,27 @@ func (l Layout) LinesPerRowFetch(i int) int {
 	}
 	return lines
 }
+
+// ReadRowIntoView is ReadRowInto through an open read view — the NDP row
+// loops gather hundreds of rows under one lock acquisition.
+func (l Layout) ReadRowIntoView(v *View, i int, dst []byte) {
+	if len(dst) != l.RowBytes {
+		panic("memory: ReadRowIntoView size mismatch")
+	}
+	v.ReadInto(dst, l.RowAddr(i))
+}
+
+// ReadTagIntoView is ReadTagInto through an open read view.
+func (l Layout) ReadTagIntoView(v *View, i int, dst []byte) {
+	if len(dst) != TagBytes {
+		panic("memory: ReadTagIntoView size mismatch")
+	}
+	switch l.Placement {
+	case TagColoc, TagSep:
+		v.ReadInto(dst, l.TagAddr(i))
+	case TagECC:
+		v.ReadECCInto(dst, l.RowAddr(i))
+	default:
+		panic("memory: ReadTagIntoView with no tag placement")
+	}
+}

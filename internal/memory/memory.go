@@ -85,7 +85,13 @@ func (s *Space) Read(addr uint64, n int) []byte {
 func (s *Space) ReadInto(dst []byte, addr uint64) {
 	s.bytesRead.Add(uint64(len(dst)))
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.readIntoLocked(dst, addr)
+	s.mu.RUnlock()
+}
+
+// readIntoLocked is ReadInto's body; callers hold at least a read lock and
+// account the traffic themselves.
+func (s *Space) readIntoLocked(dst []byte, addr uint64) {
 	for len(dst) > 0 {
 		p, off := s.page(addr, false)
 		var n int
@@ -100,6 +106,52 @@ func (s *Space) ReadInto(dst []byte, addr uint64) {
 		}
 		dst = dst[n:]
 		addr += uint64(n)
+	}
+}
+
+// View is a read-locked session over the space: one RLock/RUnlock pair and
+// one traffic-counter update cover an entire gather loop, instead of one
+// of each per row. The NDP row loops read hundreds of rows per query, and
+// the per-read lock acquisition (a contended atomic even when uncontended
+// by writers) was measurable at ~8% of a verified query.
+//
+// The callback must only read through the view — calling any locking
+// Space method from inside (Write, FlipBit, even ReadInto) would deadlock
+// against the held read lock.
+func (s *Space) View(f func(v *View)) {
+	v := View{s: s}
+	s.mu.RLock()
+	f(&v)
+	s.mu.RUnlock()
+	if v.bytesRead != 0 {
+		s.bytesRead.Add(v.bytesRead)
+	}
+	if v.eccReads != 0 {
+		s.eccReads.Add(v.eccReads)
+	}
+}
+
+// View is the handle passed to Space.View callbacks. Not safe for
+// concurrent use; each goroutine opens its own view.
+type View struct {
+	s         *Space
+	bytesRead uint64
+	eccReads  uint64
+}
+
+// ReadInto fills dst from memory starting at addr, like Space.ReadInto.
+func (v *View) ReadInto(dst []byte, addr uint64) {
+	v.bytesRead += uint64(len(dst))
+	v.s.readIntoLocked(dst, addr)
+}
+
+// ReadECCInto fetches the side-band tag for dataAddr (zeros if absent),
+// like Space.ReadECCInto.
+func (v *View) ReadECCInto(dst []byte, dataAddr uint64) {
+	v.eccReads += uint64(len(dst))
+	n := copy(dst, v.s.ecc[dataAddr])
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
 	}
 }
 

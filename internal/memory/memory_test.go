@@ -268,3 +268,68 @@ func TestLinesPerRowFetchColocMisalignment(t *testing.T) {
 		t.Errorf("dense quantized row 1: %d lines, want 1", got)
 	}
 }
+
+func TestViewMatchesLockedReads(t *testing.T) {
+	s := NewSpace()
+	s.Write(100, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	s.WriteECC(100, []byte{9, 10, 11})
+	s.ResetStats()
+
+	direct := s.Read(98, 12)
+	directECC := s.ReadECC(100, 4)
+	base := s.Stats()
+
+	var viaView, viaViewECC []byte
+	s.View(func(v *View) {
+		viaView = make([]byte, 12)
+		v.ReadInto(viaView, 98)
+		viaViewECC = make([]byte, 4)
+		v.ReadECCInto(viaViewECC, 100)
+	})
+	if !bytes.Equal(viaView, direct) {
+		t.Fatalf("View.ReadInto = %v, Space.Read = %v", viaView, direct)
+	}
+	if !bytes.Equal(viaViewECC, directECC) {
+		t.Fatalf("View.ReadECCInto = %v, Space.ReadECC = %v", viaViewECC, directECC)
+	}
+	// The view must account its traffic exactly like the per-read path.
+	st := s.Stats()
+	if st.BytesRead-base.BytesRead != 12 || st.ECCReads-base.ECCReads != 4 {
+		t.Fatalf("view accounting: got %+v over %+v", st, base)
+	}
+}
+
+func TestLayoutViewReadsMatch(t *testing.T) {
+	s := NewSpace()
+	l := Layout{Placement: TagSep, Base: 64, TagBase: 4096, NumRows: 4, RowBytes: 32}
+	row := make([]byte, 32)
+	tag := make([]byte, TagBytes)
+	for i := 0; i < 4; i++ {
+		for j := range row {
+			row[j] = byte(i*32 + j)
+		}
+		for j := range tag {
+			tag[j] = byte(0xA0 + i)
+		}
+		l.WriteRow(s, i, row)
+		l.WriteTag(s, i, tag)
+	}
+	gotRows := make([][]byte, 4)
+	gotTags := make([][]byte, 4)
+	s.View(func(v *View) {
+		for i := 0; i < 4; i++ {
+			gotRows[i] = make([]byte, 32)
+			l.ReadRowIntoView(v, i, gotRows[i])
+			gotTags[i] = make([]byte, TagBytes)
+			l.ReadTagIntoView(v, i, gotTags[i])
+		}
+	})
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(gotRows[i], l.ReadRow(s, i)) {
+			t.Fatalf("row %d: view read diverges from locked read", i)
+		}
+		if !bytes.Equal(gotTags[i], l.ReadTag(s, i)) {
+			t.Fatalf("tag %d: view read diverges from locked read", i)
+		}
+	}
+}

@@ -15,6 +15,14 @@ package otp
 //go:noescape
 func ctrKeystream(rk *byte, iv *byte, dst *byte, nblocks int)
 
+// encryptBlocks writes dst[16i:16i+16] = E(rk, src[16i:16i+16]) for
+// nblocks independent blocks — ECB over gathered counter blocks, with the
+// same eight-way interleaved AES-NI rounds as ctrKeystream. dst may alias
+// src exactly. Implemented in ctr_amd64.s.
+//
+//go:noescape
+func encryptBlocks(rk *byte, src *byte, dst *byte, nblocks int)
+
 // cpuidFeatECX returns ECX of CPUID leaf 1 (feature flags).
 func cpuidFeatECX() uint64
 

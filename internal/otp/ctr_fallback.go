@@ -10,3 +10,7 @@ func supportsNativeCTR() bool { return false }
 func ctrKeystream(rk *byte, iv *byte, dst *byte, nblocks int) {
 	panic("otp: native CTR keystream is not available on this architecture")
 }
+
+func encryptBlocks(rk *byte, src *byte, dst *byte, nblocks int) {
+	panic("otp: native block encryption is not available on this architecture")
+}

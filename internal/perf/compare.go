@@ -1,0 +1,106 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report comparison for `secndp-bench -compare old.json new.json`: the
+// regression-review companion to `make bench-json`. Results are matched by
+// benchmark name; unmatched names are listed so a silently dropped or
+// renamed benchmark cannot hide a regression.
+
+// Delta is one benchmark's change between two reports.
+type Delta struct {
+	Name         string
+	OldNs, NewNs float64
+	OldAllocs    int64
+	NewAllocs    int64
+	OldBytes     int64
+	NewBytes     int64
+}
+
+// PctNs returns the ns/op change in percent (negative = faster).
+func (d Delta) PctNs() float64 {
+	if d.OldNs == 0 {
+		return 0
+	}
+	return (d.NewNs - d.OldNs) / d.OldNs * 100
+}
+
+// ReadReport loads a JSON report written by WriteJSON.
+func ReadReport(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareReports matches results by name, preserving the new report's
+// order. It also returns names present in only one report.
+func CompareReports(oldRep, newRep Report) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldByName := make(map[string]Result, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		oldByName[r.Name] = r
+	}
+	matched := make(map[string]bool, len(newRep.Results))
+	for _, n := range newRep.Results {
+		o, ok := oldByName[n.Name]
+		if !ok {
+			onlyNew = append(onlyNew, n.Name)
+			continue
+		}
+		matched[n.Name] = true
+		deltas = append(deltas, Delta{
+			Name:      n.Name,
+			OldNs:     o.NsPerOp,
+			NewNs:     n.NsPerOp,
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: n.AllocsPerOp,
+			OldBytes:  o.BytesPerOp,
+			NewBytes:  n.BytesPerOp,
+		})
+	}
+	for _, o := range oldRep.Results {
+		if !matched[o.Name] {
+			onlyOld = append(onlyOld, o.Name)
+		}
+	}
+	return deltas, onlyOld, onlyNew
+}
+
+// WriteComparison renders the per-benchmark deltas between two reports as
+// an aligned text table. Environment differences that make the comparison
+// suspect (different GOMAXPROCS, CPU count, or quick flag) are called out
+// in the header.
+func WriteComparison(w io.Writer, oldRep, newRep Report) error {
+	if oldRep.GOMAXPROCS != newRep.GOMAXPROCS || oldRep.NumCPU != newRep.NumCPU {
+		fmt.Fprintf(w, "WARNING: environments differ: old %d cpus / GOMAXPROCS %d, new %d cpus / GOMAXPROCS %d\n",
+			oldRep.NumCPU, oldRep.GOMAXPROCS, newRep.NumCPU, newRep.GOMAXPROCS)
+	}
+	if oldRep.Quick != newRep.Quick {
+		fmt.Fprintf(w, "WARNING: quick flags differ (old %v, new %v); fixture sizes do not match\n",
+			oldRep.Quick, newRep.Quick)
+	}
+	deltas, onlyOld, onlyNew := CompareReports(oldRep, newRep)
+	fmt.Fprintf(w, "%-36s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old->new")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-36s %14.1f %14.1f %+7.1f%% %9d -> %d\n",
+			d.Name, d.OldNs, d.NewNs, d.PctNs(), d.OldAllocs, d.NewAllocs)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "%-36s only in old report\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-36s only in new report\n", name)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareReportsMatchesByName(t *testing.T) {
+	oldRep := Report{NumCPU: 4, GOMAXPROCS: 4, Results: []Result{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "gone", NsPerOp: 5},
+	}}
+	newRep := Report{NumCPU: 4, GOMAXPROCS: 4, Results: []Result{
+		{Name: "a", NsPerOp: 50, AllocsPerOp: 2},
+		{Name: "fresh", NsPerOp: 7},
+	}}
+	deltas, onlyOld, onlyNew := CompareReports(oldRep, newRep)
+	if len(deltas) != 1 || deltas[0].Name != "a" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if got := deltas[0].PctNs(); got != -50 {
+		t.Errorf("PctNs = %v, want -50", got)
+	}
+	if deltas[0].OldAllocs != 10 || deltas[0].NewAllocs != 2 {
+		t.Errorf("allocs delta = %d -> %d", deltas[0].OldAllocs, deltas[0].NewAllocs)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "gone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "fresh" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestWriteComparisonWarnsOnEnvMismatch(t *testing.T) {
+	oldRep := Report{NumCPU: 8, GOMAXPROCS: 8}
+	newRep := Report{NumCPU: 8, GOMAXPROCS: 2, Quick: true}
+	var sb strings.Builder
+	if err := WriteComparison(&sb, oldRep, newRep); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "environments differ") {
+		t.Errorf("missing GOMAXPROCS warning in:\n%s", out)
+	}
+	if !strings.Contains(out, "quick flags differ") {
+		t.Errorf("missing quick warning in:\n%s", out)
+	}
+}
+
+func TestPctNsZeroOld(t *testing.T) {
+	if got := (Delta{OldNs: 0, NewNs: 10}).PctNs(); got != 0 {
+		t.Errorf("PctNs with zero old = %v, want 0", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"secndp/internal/core"
+	"secndp/internal/field"
 	"secndp/internal/memenc"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
@@ -34,16 +35,21 @@ type Result struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// Report is a full suite run plus the environment it ran in.
+// Report is a full suite run plus the environment it ran in. NumCPU is
+// the machine's logical CPU count; GOMAXPROCS is the scheduler limit the
+// run actually executed under — the two differ in cgroup-capped CI
+// containers, and comparing reports across them is meaningless without
+// both recorded.
 type Report struct {
-	Date      string       `json:"date"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	NumCPU    int          `json:"num_cpu"`
-	Quick     bool         `json:"quick,omitempty"`
-	Results   []Result     `json:"results"`
-	Phases    *PhaseReport `json:"phases,omitempty"`
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick,omitempty"`
+	Results    []Result     `json:"results"`
+	Phases     *PhaseReport `json:"phases,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -168,7 +174,36 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 
 	pads := make([]byte, 1024)
 	acc := make([]uint64, m)
+
+	// Fused-kernel fixtures: the batch's row addresses, a tag-pad staging
+	// buffer, and a field-element vector for the vectorized dot product.
+	addrs := make([]uint64, batch)
+	for k, i := range idx {
+		addrs[k] = geo.Layout.RowAddr(i)
+	}
+	tagPads := make([]byte, batch*otp.BlockBytes)
+	dotElems := make([]field.Elem, batch)
+	for k := range dotElems {
+		dotElems[k] = field.New(rng.Uint64()&0x7FFFFFFFFFFFFFFF, rng.Uint64())
+	}
 	benches := []func() (string, testing.BenchmarkResult){
+		bench("field/dot_uint64", int64(batch*16), func(b *testing.B) {
+			var sink field.Elem
+			for i := 0; i < b.N; i++ {
+				sink = field.DotUint64(dotElems, weights)
+			}
+			_ = sink
+		}),
+		bench("otp/tag_pads", int64(batch*otp.BlockBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen.TagPads(tagPads, addrs, 1)
+			}
+		}),
+		bench("otp/fused_pad_tag_scale_accum", int64(batch*rowBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gen.PadTagScaleAccum(acc, we, weights, addrs, 1, tagPads)
+			}
+		}),
 		bench("otp/pads_into_256", 256, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				gen.PadsInto(pads[:256], otp.DomainData, uint64(i%1024)*256, 1)
@@ -277,12 +312,13 @@ func Run(quick bool, reg *telemetry.Registry) (Report, error) {
 		return Report{}, err
 	}
 	rep := Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     quick,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
 	}
 	phases, err := phaseStage(quick, reg)
 	if err != nil {

@@ -1,0 +1,240 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+
+	"secndp/internal/core"
+)
+
+// Zero-copy framing for the wire protocol's hot paths. Requests and
+// responses are marshaled into reusable byte frames with
+// binary.AppendUvarint and handed to the transport as one gather write,
+// instead of one bufio call (and its per-call bounds checks) per varint.
+// The wire format is unchanged — these are the same bytes the write*
+// helpers produce; those helpers now delegate here.
+//
+// Frames are owned by their connection: the client's lives under c.mu, the
+// server's under the per-connection serve loop, so neither needs a pool or
+// any synchronization, and a steady request stream marshals and parses
+// with no per-request allocation once the frames have grown to the
+// workload's high-water mark.
+
+// appendGeometry marshals a geometry in writeGeometry's format.
+func appendGeometry(b []byte, g core.Geometry) []byte {
+	for _, v := range []uint64{
+		uint64(g.Layout.Placement), g.Layout.Base, g.Layout.TagBase,
+		uint64(g.Layout.NumRows), uint64(g.Layout.RowBytes),
+		uint64(g.Params.We), uint64(g.Params.M), uint64(g.Params.ChecksumSubstrings),
+	} {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+// appendQuery marshals an (idx, weights) query in writeQuery's format.
+func appendQuery(b []byte, idx []int, weights []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(idx)))
+	for _, i := range idx {
+		b = binary.AppendUvarint(b, uint64(i))
+	}
+	for _, wt := range weights {
+		b = binary.AppendUvarint(b, wt)
+	}
+	return b
+}
+
+// appendBatchSub marshals one batch sub-request in writeBatchSub's format
+// (independent index and weight counts, so length mismatches survive
+// framing).
+func appendBatchSub(b []byte, idx []int, weights []uint64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(idx)))
+	for _, i := range idx {
+		b = binary.AppendUvarint(b, uint64(i))
+	}
+	b = binary.AppendUvarint(b, uint64(len(weights)))
+	for _, wt := range weights {
+		b = binary.AppendUvarint(b, wt)
+	}
+	return b
+}
+
+// appendBatchRequest marshals an opBatch request body in
+// writeBatchRequest's format.
+func appendBatchRequest(b []byte, geo core.Geometry, reqs []core.BatchRequest, verify bool) []byte {
+	b = appendGeometry(b, geo)
+	var flags uint64
+	if verify {
+		flags |= batchFlagVerify
+	}
+	b = binary.AppendUvarint(b, flags)
+	b = binary.AppendUvarint(b, uint64(len(reqs)))
+	for i := range reqs {
+		b = appendBatchSub(b, reqs[i].Idx, reqs[i].Weights)
+	}
+	return b
+}
+
+// appendBatchResponse marshals an opBatch reply payload in
+// writeBatchResponse's format.
+func appendBatchResponse(b []byte, res []core.NDPBatchResult, verify bool) []byte {
+	for i := range res {
+		if res[i].Err != nil {
+			b = append(b, statusErr)
+			msg := res[i].Err.Error()
+			b = binary.AppendUvarint(b, uint64(len(msg)))
+			b = append(b, msg...)
+			continue
+		}
+		b = append(b, statusOK)
+		b = binary.AppendUvarint(b, uint64(len(res[i].Sums)))
+		for _, v := range res[i].Sums {
+			b = binary.AppendUvarint(b, v)
+		}
+		if verify {
+			tb := res[i].Tag.Bytes()
+			b = append(b, tb[:]...)
+		}
+	}
+	return b
+}
+
+// growInts returns s resized to length n, reallocating only when the
+// capacity is short. Contents are undefined.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growU64s is growInts for uint64 slices.
+func growU64s(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// connFrames is one server connection's reusable parse and marshal state:
+// the request vectors and the response frame grow to the connection's
+// high-water mark once and are reused for every subsequent request. The
+// parsed slices are valid until the next read into the same frame; the
+// serve loop finishes each request before reading the next, so nothing
+// outlives its frame.
+type connFrames struct {
+	idx     []int
+	weights []uint64
+
+	// Batch sub-request backing. subs is resliced per batch; each
+	// sub-request's idx/weights reuse the parallel capacity arrays.
+	subs   []core.BatchRequest
+	subIdx [][]int
+	subW   [][]uint64
+
+	out []byte // response marshal frame
+}
+
+// readQuery parses a (count, idx..., weights...) query into the frame's
+// reusable vectors — the in-place form of the package-level readQuery.
+func (f *connFrames) readQuery(r *bufio.Reader) ([]int, []uint64, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: query of %d rows exceeds limit", n)
+	}
+	f.idx = growInts(f.idx, int(n))
+	for k := range f.idx {
+		v, err := readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		f.idx[k] = int(v)
+	}
+	f.weights = growU64s(f.weights, int(n))
+	for k := range f.weights {
+		if f.weights[k], err = readUvarint(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	return f.idx, f.weights, nil
+}
+
+// readBatchSub parses one sub-request into slot i's reusable vectors.
+func (f *connFrames) readBatchSub(r *bufio.Reader, i int) ([]int, []uint64, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: sub-request of %d rows exceeds limit", n)
+	}
+	f.subIdx[i] = growInts(f.subIdx[i], int(n))
+	idx := f.subIdx[i]
+	for k := range idx {
+		v, err := readUvarint(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx[k] = int(v)
+	}
+	m, err := readUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m > maxVectorLen {
+		return nil, nil, fmt.Errorf("remote: sub-request of %d weights exceeds limit", m)
+	}
+	f.subW[i] = growU64s(f.subW[i], int(m))
+	weights := f.subW[i]
+	for k := range weights {
+		if weights[k], err = readUvarint(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	return idx, weights, nil
+}
+
+// readBatchRequest parses an opBatch request body into the frame's
+// reusable sub-request vectors — the in-place form of the package-level
+// readBatchRequest.
+func (f *connFrames) readBatchRequest(r *bufio.Reader) (core.Geometry, []core.BatchRequest, bool, error) {
+	geo, err := readGeometry(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	flags, err := readUvarint(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	count, err := readUvarint(r)
+	if err != nil {
+		return core.Geometry{}, nil, false, err
+	}
+	if count > maxBatchSubs {
+		return core.Geometry{}, nil, false, fmt.Errorf("remote: batch of %d sub-requests exceeds limit", count)
+	}
+	n := int(count)
+	if cap(f.subs) < n {
+		f.subs = make([]core.BatchRequest, n)
+	}
+	f.subs = f.subs[:n]
+	// subIdx/subW keep their full length permanently; only ever grow.
+	for len(f.subIdx) < n {
+		f.subIdx = append(f.subIdx, nil)
+	}
+	for len(f.subW) < n {
+		f.subW = append(f.subW, nil)
+	}
+	for i := 0; i < n; i++ {
+		idx, weights, err := f.readBatchSub(r, i)
+		if err != nil {
+			return core.Geometry{}, nil, false, err
+		}
+		f.subs[i] = core.BatchRequest{Idx: idx, Weights: weights}
+	}
+	return geo, f.subs, flags&batchFlagVerify != 0, nil
+}

@@ -1,0 +1,126 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"secndp/internal/core"
+	"secndp/internal/memory"
+)
+
+// The zero-copy frames must produce byte-identical wire traffic to the
+// original per-varint writers, and the reusable server-side parser must
+// decode exactly what the allocating one does — including across reuse,
+// where a previous (larger) request's leftovers sit in the frame.
+
+func frameGeo(n int) core.Geometry {
+	return core.Geometry{
+		Layout: memory.Layout{Placement: memory.TagSep, Base: 0x10000,
+			TagBase: 0x800000, NumRows: n, RowBytes: 128},
+		Params: core.Params{We: 32, M: 32},
+	}
+}
+
+func randFrameQuery(rng *rand.Rand, rows int) ([]int, []uint64) {
+	n := 1 + rng.Intn(64)
+	idx := make([]int, n)
+	w := make([]uint64, n)
+	for k := range idx {
+		idx[k] = rng.Intn(rows)
+		w[k] = rng.Uint64()
+	}
+	return idx, w
+}
+
+// TestConnFramesReadQueryMatchesAllocating replays a stream of queries of
+// varying sizes through one reused connFrames and checks each decode
+// against the allocating parser on the same bytes.
+func TestConnFramesReadQueryMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	fr := &connFrames{}
+	for trial := 0; trial < 50; trial++ {
+		idx, w := randFrameQuery(rng, 1<<20)
+		wire := appendQuery(nil, idx, w)
+
+		gi, gw, err := fr.readQuery(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ri, rw, err := readQuery(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gi, ri) || !reflect.DeepEqual(gw, rw) {
+			t.Fatalf("trial %d: frame decode diverged from allocating decode", trial)
+		}
+	}
+}
+
+// TestConnFramesReadBatchMatchesAllocating does the same for whole batch
+// frames, with sub-request counts shrinking and growing across reuse.
+func TestConnFramesReadBatchMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	fr := &connFrames{}
+	geo := frameGeo(1 << 16)
+	for trial := 0; trial < 30; trial++ {
+		reqs := make([]core.BatchRequest, 1+rng.Intn(8))
+		for i := range reqs {
+			reqs[i].Idx, reqs[i].Weights = randFrameQuery(rng, 1<<16)
+		}
+		verify := rng.Intn(2) == 0
+		wire := appendBatchRequest(nil, geo, reqs, verify)
+
+		g1, r1, v1, err := fr.readBatchRequest(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g2, r2, v2, err := readBatchRequest(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1 != g2 || v1 != v2 || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("trial %d: frame decode diverged from allocating decode", trial)
+		}
+		if !reflect.DeepEqual(r1, reqs) {
+			t.Fatalf("trial %d: decode does not round-trip the input", trial)
+		}
+	}
+}
+
+// TestAppendWritersMatchBufioWriters pins the gather marshalers to the
+// bufio writers bit for bit (the writers now delegate, so this guards the
+// delegation as well as the formats).
+func TestAppendWritersMatchBufioWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	geo := frameGeo(512)
+	idx, w := randFrameQuery(rng, 512)
+
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeGeometry(bw, geo); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeQuery(bw, idx, w); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	got := appendQuery(appendGeometry(nil, geo), idx, w)
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Error("gathered query frame differs from bufio-written bytes")
+	}
+
+	reqs := []core.BatchRequest{{Idx: idx, Weights: w}, {Idx: []int{1}, Weights: []uint64{2, 3}}}
+	buf.Reset()
+	bw = bufio.NewWriter(&buf)
+	if err := writeBatchRequest(bw, geo, reqs, true); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	got = appendBatchRequest(nil, geo, reqs, true)
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Error("gathered batch frame differs from bufio-written bytes")
+	}
+}

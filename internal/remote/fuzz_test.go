@@ -139,8 +139,9 @@ func FuzzServeOne(f *testing.F) {
 		s := NewServer(memory.NewSpace())
 		r := bufio.NewReader(bytes.NewReader(data))
 		out := bufio.NewWriter(io.Discard)
+		fr := &connFrames{}
 		for i := 0; i < 64; i++ { // bound work per input
-			if err := s.serveOne(r, out); err != nil {
+			if err := s.serveOne(r, out, fr); err != nil {
 				break
 			}
 		}

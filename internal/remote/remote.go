@@ -79,16 +79,8 @@ func readUvarint(r *bufio.Reader) (uint64, error) {
 }
 
 func writeGeometry(w *bufio.Writer, g core.Geometry) error {
-	for _, v := range []uint64{
-		uint64(g.Layout.Placement), g.Layout.Base, g.Layout.TagBase,
-		uint64(g.Layout.NumRows), uint64(g.Layout.RowBytes),
-		uint64(g.Params.We), uint64(g.Params.M), uint64(g.Params.ChecksumSubstrings),
-	} {
-		if err := writeUvarint(w, v); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := w.Write(appendGeometry(nil, g))
+	return err
 }
 
 func readGeometry(r *bufio.Reader) (core.Geometry, error) {
@@ -119,20 +111,8 @@ func readGeometry(r *bufio.Reader) (core.Geometry, error) {
 }
 
 func writeQuery(w *bufio.Writer, idx []int, weights []uint64) error {
-	if err := writeUvarint(w, uint64(len(idx))); err != nil {
-		return err
-	}
-	for _, i := range idx {
-		if err := writeUvarint(w, uint64(i)); err != nil {
-			return err
-		}
-	}
-	for _, wt := range weights {
-		if err := writeUvarint(w, wt); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := w.Write(appendQuery(nil, idx, weights))
+	return err
 }
 
 func readQuery(r *bufio.Reader) ([]int, []uint64, error) {
@@ -166,23 +146,8 @@ func readQuery(r *bufio.Reader) ([]int, []uint64, error) {
 // sub-request (mismatched lengths) must survive framing so the server
 // can answer it with a per-sub error instead of desyncing the stream.
 func writeBatchSub(w *bufio.Writer, idx []int, weights []uint64) error {
-	if err := writeUvarint(w, uint64(len(idx))); err != nil {
-		return err
-	}
-	for _, i := range idx {
-		if err := writeUvarint(w, uint64(i)); err != nil {
-			return err
-		}
-	}
-	if err := writeUvarint(w, uint64(len(weights))); err != nil {
-		return err
-	}
-	for _, wt := range weights {
-		if err := writeUvarint(w, wt); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := w.Write(appendBatchSub(nil, idx, weights))
+	return err
 }
 
 func readBatchSub(r *bufio.Reader) ([]int, []uint64, error) {
@@ -222,25 +187,8 @@ func readBatchSub(r *bufio.Reader) ([]int, []uint64, error) {
 // op byte): geometry, a flags word, the sub-request count, then each
 // sub-request in writeBatchSub form.
 func writeBatchRequest(w *bufio.Writer, geo core.Geometry, reqs []core.BatchRequest, verify bool) error {
-	if err := writeGeometry(w, geo); err != nil {
-		return err
-	}
-	var flags uint64
-	if verify {
-		flags |= batchFlagVerify
-	}
-	if err := writeUvarint(w, flags); err != nil {
-		return err
-	}
-	if err := writeUvarint(w, uint64(len(reqs))); err != nil {
-		return err
-	}
-	for i := range reqs {
-		if err := writeBatchSub(w, reqs[i].Idx, reqs[i].Weights); err != nil {
-			return err
-		}
-	}
-	return nil
+	_, err := w.Write(appendBatchRequest(nil, geo, reqs, verify))
+	return err
 }
 
 // readBatchRequest parses an opBatch request body. Errors are framing
@@ -278,39 +226,8 @@ func readBatchRequest(r *bufio.Reader) (core.Geometry, []core.BatchRequest, bool
 // inside an overall-OK reply — only batch-level problems use the outer
 // statusErr, so one bad sub-request cannot mask the rest of the batch.
 func writeBatchResponse(w *bufio.Writer, res []core.NDPBatchResult, verify bool) error {
-	for i := range res {
-		if res[i].Err != nil {
-			if err := w.WriteByte(statusErr); err != nil {
-				return err
-			}
-			msg := res[i].Err.Error()
-			if err := writeUvarint(w, uint64(len(msg))); err != nil {
-				return err
-			}
-			if _, err := w.WriteString(msg); err != nil {
-				return err
-			}
-			continue
-		}
-		if err := w.WriteByte(statusOK); err != nil {
-			return err
-		}
-		if err := writeUvarint(w, uint64(len(res[i].Sums))); err != nil {
-			return err
-		}
-		for _, v := range res[i].Sums {
-			if err := writeUvarint(w, v); err != nil {
-				return err
-			}
-		}
-		if verify {
-			b := res[i].Tag.Bytes()
-			if _, err := w.Write(b[:]); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	_, err := w.Write(appendBatchResponse(nil, res, verify))
+	return err
 }
 
 // readBatchResponse parses an opBatch reply's payload for a batch of count
@@ -491,8 +408,12 @@ func (s *Server) serve(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// The connection's reusable request/response frames: parsed vectors and
+	// the response marshal buffer grow to the stream's high-water mark once
+	// and serve every subsequent request allocation-free.
+	fr := &connFrames{}
 	for {
-		if err := s.serveOne(r, w); err != nil {
+		if err := s.serveOne(r, w, fr); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -501,7 +422,7 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
+func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) error {
 	op, err := r.ReadByte()
 	if err != nil {
 		return err
@@ -530,7 +451,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil {
 			return err
 		}
-		idx, weights, err := readQuery(r)
+		idx, weights, err := fr.readQuery(r)
 		if err != nil {
 			return err
 		}
@@ -557,26 +478,20 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if op == opWeightedSum {
 			res := s.ndp.WeightedSum(geo, idx, weights)
 			s.mu.Unlock()
-			if err := w.WriteByte(statusOK); err != nil {
-				return err
-			}
-			if err := writeUvarint(w, uint64(len(res))); err != nil {
-				return err
-			}
+			out := append(fr.out[:0], statusOK)
+			out = binary.AppendUvarint(out, uint64(len(res)))
 			for _, v := range res {
-				if err := writeUvarint(w, v); err != nil {
-					return err
-				}
+				out = binary.AppendUvarint(out, v)
 			}
-			return nil
+			fr.out = out
+			_, err = w.Write(out)
+			return err
 		}
 		tag := s.ndp.TagSum(geo, idx, weights)
 		s.mu.Unlock()
-		if err := w.WriteByte(statusOK); err != nil {
-			return err
-		}
 		b := tag.Bytes()
-		_, err = w.Write(b[:])
+		fr.out = append(append(fr.out[:0], statusOK), b[:]...)
+		_, err = w.Write(fr.out)
 		return err
 
 	case opWriteBlob:
@@ -626,7 +541,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		// problems with the batch as a whole get one statusErr after the
 		// frame is fully drained; per-sub-request problems are answered
 		// inside a statusOK reply so they cannot poison their neighbors.
-		geo, reqs, verify, err := readBatchRequest(r)
+		geo, reqs, verify, err := fr.readBatchRequest(r)
 		if err != nil {
 			return err
 		}
@@ -645,10 +560,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer) error {
 		if err != nil {
 			return fail(fmt.Sprintf("batch failed: %v", err))
 		}
-		if err := w.WriteByte(statusOK); err != nil {
-			return err
-		}
-		return writeBatchResponse(w, res, verify)
+		fr.out = appendBatchResponse(append(fr.out[:0], statusOK), res, verify)
+		_, err = w.Write(fr.out)
+		return err
 
 	case opPing:
 		return w.WriteByte(statusOK)
@@ -689,6 +603,11 @@ type Client struct {
 	w       *bufio.Writer
 	timeout time.Duration
 	fatal   error
+
+	// frame is the reusable request marshal buffer: each call gathers its
+	// whole request here (one Write into the transport instead of one per
+	// varint). Guarded by mu like the rest of the connection state.
+	frame []byte
 
 	// Capability probe result, cached once a definitive answer arrives
 	// (the server either answered opCaps or rejected it as unknown).
@@ -881,6 +800,19 @@ func (c *Client) roundTrip(send func() error) error {
 	return readStatus(c.r)
 }
 
+// sendFrame writes the gathered request frame, flushes, and consumes the
+// response status — the zero-copy counterpart of roundTrip. Caller holds
+// c.mu and has marshaled the request into c.frame.
+func (c *Client) sendFrame() error {
+	if _, err := c.w.Write(c.frame); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	return readStatus(c.r)
+}
+
 // WeightedSumContext implements core.ContextNDP over the wire.
 func (c *Client) WeightedSumContext(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
 	c.mu.Lock()
@@ -895,16 +827,8 @@ func (c *Client) WeightedSumContext(ctx context.Context, geo core.Geometry, idx 
 }
 
 func (c *Client) weightedSumLocked(geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
-	err := c.roundTrip(func() error {
-		if err := c.w.WriteByte(opWeightedSum); err != nil {
-			return err
-		}
-		if err := writeGeometry(c.w, geo); err != nil {
-			return err
-		}
-		return writeQuery(c.w, idx, weights)
-	})
-	if err != nil {
+	c.frame = appendQuery(appendGeometry(append(c.frame[:0], opWeightedSum), geo), idx, weights)
+	if err := c.sendFrame(); err != nil {
 		return nil, err
 	}
 	return readSumResponse(c.r)
@@ -943,16 +867,8 @@ func (c *Client) TagSumContext(ctx context.Context, geo core.Geometry, idx []int
 }
 
 func (c *Client) tagSumLocked(geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
-	err := c.roundTrip(func() error {
-		if err := c.w.WriteByte(opTagSum); err != nil {
-			return err
-		}
-		if err := writeGeometry(c.w, geo); err != nil {
-			return err
-		}
-		return writeQuery(c.w, idx, weights)
-	})
-	if err != nil {
+	c.frame = appendQuery(appendGeometry(append(c.frame[:0], opTagSum), geo), idx, weights)
+	if err := c.sendFrame(); err != nil {
 		return field.Zero, err
 	}
 	return readTagResponse(c.r)
@@ -992,13 +908,8 @@ func (c *Client) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, req
 }
 
 func (c *Client) batchLocked(geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
-	err := c.roundTrip(func() error {
-		if err := c.w.WriteByte(opBatch); err != nil {
-			return err
-		}
-		return writeBatchRequest(c.w, geo, reqs, verify)
-	})
-	if err != nil {
+	c.frame = appendBatchRequest(append(c.frame[:0], opBatch), geo, reqs, verify)
+	if err := c.sendFrame(); err != nil {
 		return nil, err
 	}
 	return readBatchResponse(c.r, len(reqs), verify)
@@ -1074,14 +985,11 @@ func (c *Client) WriteBlobContext(ctx context.Context, addr uint64, data []byte)
 		return err
 	}
 	defer done()
+	// Gathered header, then the payload straight from the caller's buffer —
+	// bufio passes large writes through without copying.
 	return c.finish(ctx, c.roundTrip(func() error {
-		if err := c.w.WriteByte(opWriteBlob); err != nil {
-			return err
-		}
-		if err := writeUvarint(c.w, addr); err != nil {
-			return err
-		}
-		if err := writeUvarint(c.w, uint64(len(data))); err != nil {
+		c.frame = binary.AppendUvarint(binary.AppendUvarint(append(c.frame[:0], opWriteBlob), addr), uint64(len(data)))
+		if _, err := c.w.Write(c.frame); err != nil {
 			return err
 		}
 		_, err := c.w.Write(data)

@@ -147,6 +147,47 @@ func (r Ring) ScaleAccum(dst []uint64, w uint64, v []uint64) {
 	}
 }
 
+// ScaleAccumBytes computes dst[j] += w * lane_j(data) mod 2^we straight
+// from packed ciphertext bytes — ScaleAccum fused with UnpackElemsInto, so
+// the NDP's row loop needs neither an unpacked scratch vector nor a second
+// pass over the row. len(data) must equal len(dst) × element bytes, and
+// the width must be byte-aligned (the packed widths core.Params admits).
+func (r Ring) ScaleAccumBytes(dst []uint64, w uint64, data []byte) {
+	eb := r.Bytes()
+	if uint(eb)*8 != r.we {
+		panic("ring: ScaleAccumBytes requires byte-aligned width")
+	}
+	if len(data) != len(dst)*eb {
+		panic("ring: ScaleAccumBytes size mismatch")
+	}
+	mask := r.mask
+	switch eb {
+	case 1:
+		for j := range dst {
+			dst[j] = (dst[j] + w*uint64(data[j])) & mask
+		}
+	case 2:
+		for j := range dst {
+			dst[j] = (dst[j] + w*uint64(binary.LittleEndian.Uint16(data[j*2:]))) & mask
+		}
+	case 4:
+		// One 64-bit load feeds two lanes.
+		j := 0
+		for ; j+1 < len(dst); j += 2 {
+			e := binary.LittleEndian.Uint64(data[j*4:])
+			dst[j] = (dst[j] + w*(e&0xFFFFFFFF)) & mask
+			dst[j+1] = (dst[j+1] + w*(e>>32)) & mask
+		}
+		for ; j < len(dst); j++ {
+			dst[j] = (dst[j] + w*uint64(binary.LittleEndian.Uint32(data[j*4:]))) & mask
+		}
+	case 8:
+		for j := range dst {
+			dst[j] = (dst[j] + w*binary.LittleEndian.Uint64(data[j*8:])) & mask
+		}
+	}
+}
+
 // Dot returns the inner product of a and b mod 2^we.
 func (r Ring) Dot(a, b []uint64) uint64 {
 	if len(a) != len(b) {

@@ -396,3 +396,39 @@ func TestFixedAdditionHomomorphismProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestScaleAccumBytesMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, we := range []uint{8, 16, 32, 64} {
+		r := MustNew(we)
+		for _, m := range []int{1, 2, 3, 7, 64} {
+			data := make([]byte, m*r.Bytes())
+			rng.Read(data)
+			w := rng.Uint64()
+			got := make([]uint64, m)
+			want := make([]uint64, m)
+			for j := range got {
+				v := rng.Uint64() & r.Mask()
+				got[j], want[j] = v, v
+			}
+			r.ScaleAccumBytes(got, w, data)
+			row := make([]uint64, m)
+			r.UnpackElemsInto(row, data)
+			r.ScaleAccum(want, w, row)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("we=%d m=%d: ScaleAccumBytes[%d] = %#x, two-pass %#x", we, m, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestScaleAccumBytesRejectsUnalignedWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScaleAccumBytes with non-byte-aligned width did not panic")
+		}
+	}()
+	MustNew(12).ScaleAccumBytes(make([]uint64, 2), 1, make([]byte, 4))
+}
