@@ -286,6 +286,11 @@ func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows
 	if e.tel != nil {
 		cnd.Instrument(e.tel.reg)
 		instrumentReplicaTransports(e.tel.reg, transports, nReplicas)
+		// Live inspection surface: /debug/cluster snapshots the serving
+		// topology (epoch, replica health, breaker state, reshard
+		// progress). Last-registered cluster table wins the name, matching
+		// the gauge convention above.
+		e.tel.reg.RegisterDebug("cluster", func() any { return cnd.DebugState() })
 	}
 	tbl := e.newTable(tab, cnd, region, mirror)
 	tbl.cnd = cnd
@@ -458,7 +463,12 @@ func (t *Table) Reshard(ctx context.Context, backend *Cluster) error {
 		closeAll(owned)
 		return err
 	}
-	if err := t.cnd.Reshard(ctx, t.tab.Geometry(), newMap, groups, cluster.ReshardOptions{}); err != nil {
+	// Root span for the migration: each shipped chunk becomes a child
+	// span, so /debug/trace/{id} shows the whole copy phase.
+	rctx, span := t.eng.tel.startSpan(ctx, "reshard")
+	err = t.cnd.Reshard(rctx, t.tab.Geometry(), newMap, groups, cluster.ReshardOptions{})
+	span.EndErr(err, classifyErr(err))
+	if err != nil {
 		if t.cnd.Epoch() == newMap.Epoch() {
 			// The flip happened but the drain was interrupted: the new
 			// topology is live, so its transports must stay; the old ones

@@ -40,6 +40,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "number of shard servers on consecutive ports starting at -addr")
 		replicas = flag.Int("replicas", 1, "replica servers per shard (shard-major port order, for ClusterBackend(...).Replicas)")
 		teleAdr  = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9091)")
+		slowlog  = flag.Duration("slowlog", 0, "pin the full trace tree of any operation slower than this in the flight recorder (/debug/slow); 0 disables")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -55,6 +56,9 @@ func main() {
 	if *teleAdr != "" {
 		reg = telemetry.NewRegistry()
 		reg.PublishExpvar("secndp")
+		if *slowlog > 0 {
+			reg.SetSlowThreshold(*slowlog)
+		}
 		bound, closeFn, err := reg.Serve(*teleAdr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "secndp-server:", err)

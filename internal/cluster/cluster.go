@@ -50,6 +50,12 @@ type NDP struct {
 	gate epochGate
 	// reshardMu serializes Reshard calls.
 	reshardMu sync.Mutex
+	// Reshard progress, readable without reshardMu: total rows the
+	// in-flight reshard will move and rows shipped so far. Both are
+	// zero when no reshard has ever run; after completion they hold the
+	// last reshard's figures (done == total).
+	reshardTotal atomic.Int64
+	reshardDone  atomic.Int64
 
 	mirror *core.HonestNDP // nil: exhausted shards are fatal for the call
 	// source is the TEE-held ciphertext image rows are re-shipped from
@@ -231,6 +237,18 @@ func (n *NDP) noteGather() {
 	}
 }
 
+// subSpan starts one per-shard sub-operation's child span under ctx's
+// active trace span; when tracing is off it returns ctx unchanged and a
+// nil span (all methods no-ops). The returned ctx rides into the shard's
+// replica group, so replica attempts and server-side spans nest beneath.
+func subSpan(ctx context.Context, kind string, shard int) (context.Context, *telemetry.ActiveSpan) {
+	parent := telemetry.SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	return parent.StartChild(ctx, fmt.Sprintf("shard%d_%s", shard, kind))
+}
+
 // Flag collects what the cluster had to do behind a call's back: the
 // shards whose partials were served from the TEE mirror. The facade
 // installs one with WithFlag before a query and reads it afterwards to
@@ -380,6 +398,8 @@ func (n *NDP) gather(ctx context.Context, run func(ctx context.Context, top *top
 			if n.staleRetries != nil {
 				n.staleRetries.Inc()
 			}
+			telemetry.SpanFromContext(ctx).Eventf(telemetry.EventStaleGatherReissue,
+				"topology flipped past epoch %d mid-gather; partials discarded, re-issuing", epoch)
 			continue
 		}
 		flagFrom(ctx).merge(flag)
@@ -435,9 +455,11 @@ func (n *NDP) sumSubs(ctx context.Context, top *topology, geo core.Geometry, sub
 		go func(si int) {
 			defer wg.Done()
 			sub := subs[si]
+			sctx, sspan := subSpan(ctx, "sum", sub.Shard)
 			start := time.Now()
-			partials[si], errs[si] = top.groups[sub.Shard].Sum(ctx, geo, sub.Idx, sub.Weights)
+			partials[si], errs[si] = top.groups[sub.Shard].Sum(sctx, geo, sub.Idx, sub.Weights)
 			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
+			sspan.EndErr(errs[si], telemetry.ErrClassTransport)
 		}(si)
 	}
 	wg.Wait()
@@ -481,9 +503,11 @@ func (n *NDP) tagSubs(ctx context.Context, top *topology, geo core.Geometry, sub
 		go func(si int) {
 			defer wg.Done()
 			sub := subs[si]
+			sctx, sspan := subSpan(ctx, "tag", sub.Shard)
 			start := time.Now()
-			partials[si], errs[si] = top.groups[sub.Shard].Tag(ctx, geo, sub.Idx, sub.Weights)
+			partials[si], errs[si] = top.groups[sub.Shard].Tag(sctx, geo, sub.Idx, sub.Weights)
 			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
+			sspan.EndErr(errs[si], telemetry.ErrClassTransport)
 		}(si)
 	}
 	wg.Wait()
@@ -511,6 +535,8 @@ func (n *NDP) tagSubs(ctx context.Context, top *topology, geo core.Geometry, sub
 
 func (n *NDP) noteFill(ctx context.Context, shard int) {
 	flagFrom(ctx).note(shard)
+	telemetry.SpanFromContext(ctx).Eventf(telemetry.EventMirrorFill,
+		"shard %d partial recomputed from the TEE mirror", shard)
 	if n.fills != nil {
 		n.fills.Inc()
 	}
@@ -620,9 +646,11 @@ func (n *NDP) WeightedSumElemContext(ctx context.Context, geo core.Geometry, idx
 			go func(si int) {
 				defer wg.Done()
 				sub := subs[si]
+				sctx, sspan := subSpan(ctx, "elem", sub.Shard)
 				start := time.Now()
-				partials[si], errs[si] = top.groups[sub.Shard].Elem(ctx, geo, sub.Idx, sub.Jdx, sub.Weights)
+				partials[si], errs[si] = top.groups[sub.Shard].Elem(sctx, geo, sub.Idx, sub.Jdx, sub.Weights)
 				top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
+				sspan.EndErr(errs[si], telemetry.ErrClassTransport)
 			}(si)
 		}
 		wg.Wait()
@@ -742,9 +770,11 @@ func (n *NDP) batchSubs(ctx context.Context, top *topology, geo core.Geometry, r
 		go func(si int) {
 			defer wg.Done()
 			sub := subs[si]
+			sctx, sspan := subSpan(ctx, "batch", sub.Shard)
 			start := time.Now()
-			results[si], errs[si] = top.groups[sub.Shard].Batch(ctx, geo, sub.Reqs, verify)
+			results[si], errs[si] = top.groups[sub.Shard].Batch(sctx, geo, sub.Reqs, verify)
 			top.observe(sub.Shard, time.Since(start), errs[si], n.failures)
+			sspan.EndErr(errs[si], telemetry.ErrClassTransport)
 		}(si)
 	}
 	wg.Wait()

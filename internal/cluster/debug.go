@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"time"
+
+	"secndp/internal/remote"
+)
+
+// Live cluster inspection: DebugState snapshots the whole serving
+// topology — epoch, per-shard replica health, transport fault counters,
+// reshard progress — without taking any lock the query path contends
+// on. Everything read here is an atomic the hot path already maintains;
+// the snapshot is advisory and may straddle a concurrent epoch flip,
+// in which case it simply describes whichever topology it loaded.
+// The facade registers the result under /debug/cluster.
+
+// ReplicaState is one replica's health as seen by its group's failover
+// order at snapshot time.
+type ReplicaState struct {
+	// Healthy reports whether the replica is currently eligible: not
+	// inside a failure cooldown window.
+	Healthy bool `json:"healthy"`
+	// Preferred marks the replica tried first by the next call.
+	Preferred bool `json:"preferred"`
+	// ConsecFails is the count of consecutive failed attempts; one
+	// success resets it.
+	ConsecFails uint32 `json:"consec_fails"`
+	// CooldownRemaining is how long the replica stays out of the
+	// healthy head of the failover order, in nanoseconds; 0 when not
+	// cooling down.
+	CooldownRemaining int64 `json:"cooldown_remaining_ns,omitempty"`
+	// Transport carries the replica's wire fault counters and breaker
+	// state when the replica is a remote.ReliableClient (or anything
+	// exposing Stats); absent for in-process replicas.
+	Transport *remote.TransportStats `json:"transport,omitempty"`
+}
+
+// ShardState is one shard's replica group at snapshot time.
+type ShardState struct {
+	Shard    int            `json:"shard"`
+	Replicas []ReplicaState `json:"replicas"`
+}
+
+// ReshardState is the progress of the in-flight (or most recent)
+// reshard's copy phase.
+type ReshardState struct {
+	// Active reports a reshard copy still streaming (done < total).
+	Active bool `json:"active"`
+	// TotalRows is the number of rows the reshard moves; RowsDone how
+	// many have shipped. Both zero if no reshard ever ran.
+	TotalRows int64 `json:"total_rows"`
+	RowsDone  int64 `json:"rows_done"`
+}
+
+// State is the full cluster snapshot served at /debug/cluster.
+type State struct {
+	Epoch     uint64       `json:"epoch"`
+	NumShards int          `json:"num_shards"`
+	NumRows   int          `json:"num_rows"`
+	Strategy  string       `json:"strategy"`
+	Mirror    bool         `json:"tee_mirror"`
+	Shards    []ShardState `json:"shards"`
+	Reshard   ReshardState `json:"reshard"`
+}
+
+// statser is satisfied by remote.ReliableClient; in-process replicas
+// (HonestNDP, test fakes) are not, and report no transport block.
+type statser interface{ Stats() remote.TransportStats }
+
+// DebugState snapshots the live topology for the inspection surface.
+// Safe to call concurrently with queries and reshards.
+func (n *NDP) DebugState() State {
+	top := n.cur.Load()
+	now := time.Now().UnixNano()
+	st := State{
+		Epoch:     top.smap.Epoch(),
+		NumShards: top.smap.NumShards(),
+		NumRows:   top.smap.NumRows(),
+		Strategy:  top.smap.Strategy().String(),
+		Mirror:    n.mirror != nil,
+		Shards:    make([]ShardState, len(top.groups)),
+	}
+	total, done := n.reshardTotal.Load(), n.reshardDone.Load()
+	st.Reshard = ReshardState{Active: total > 0 && done < total, TotalRows: total, RowsDone: done}
+	for s, g := range top.groups {
+		ss := ShardState{Shard: g.Shard(), Replicas: make([]ReplicaState, g.Size())}
+		pref := g.Preferred()
+		for r := 0; r < g.Size(); r++ {
+			h := &g.health[r]
+			until := h.downUntil.Load()
+			rs := ReplicaState{
+				Healthy:     until <= now,
+				Preferred:   r == pref,
+				ConsecFails: h.consecFails.Load(),
+			}
+			if until > now {
+				rs.CooldownRemaining = until - now
+			}
+			if sc, ok := g.Replica(r).(statser); ok {
+				stats := sc.Stats()
+				rs.Transport = &stats
+			}
+			ss.Replicas[r] = rs
+		}
+		st.Shards[s] = ss
+	}
+	return st
+}

@@ -184,24 +184,41 @@ func (g *ReplicaGroup) failure(r int) {
 // replica refuses, the joined error carries each replica's failure. A
 // canceled context aborts between attempts — the caller's budget, not a
 // replica fault.
-func (g *ReplicaGroup) do(ctx context.Context, op func(rep core.NDP) error) error {
+//
+// When ctx carries an active trace span, each replica attempt runs under
+// its own child span (the ctx handed to op carries it, so a wire client
+// stitches the server's spans beneath the attempt), and a failover —
+// moving past the first replica in the order — lands a typed
+// replica_failover event on the enclosing span.
+func (g *ReplicaGroup) do(ctx context.Context, op func(ctx context.Context, rep core.NDP) error) error {
 	var errs []error
+	span := telemetry.SpanFromContext(ctx)
 	order := g.order(make([]int, 0, len(g.replicas)))
 	for k, r := range order {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if k > 0 && g.failovers != nil {
-			g.failovers.Inc()
+		if k > 0 {
+			if g.failovers != nil {
+				g.failovers.Inc()
+			}
+			span.Eventf(telemetry.EventReplicaFailover,
+				"shard %d: replica %d failed, failing over to replica %d", g.shard, order[k-1], r)
 		}
 		if g.tel != nil {
 			g.tel[r].subops.Inc()
 		}
-		err := op(g.replicas[r])
+		actx, aspan := ctx, (*telemetry.ActiveSpan)(nil)
+		if span != nil {
+			actx, aspan = span.StartChild(ctx, fmt.Sprintf("replica%d", r))
+		}
+		err := op(actx, g.replicas[r])
 		if err == nil {
+			aspan.End()
 			g.success(r)
 			return nil
 		}
+		aspan.EndErr(err, telemetry.ErrClassTransport)
 		if g.tel != nil {
 			g.tel[r].failures.Inc()
 		}
@@ -214,7 +231,7 @@ func (g *ReplicaGroup) do(ctx context.Context, op func(rep core.NDP) error) erro
 // Sum scatter-calls the shard's weighted sum with failover.
 func (g *ReplicaGroup) Sum(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
 	var res []uint64
-	err := g.do(ctx, func(rep core.NDP) error {
+	err := g.do(ctx, func(ctx context.Context, rep core.NDP) error {
 		var err error
 		res, err = callSum(ctx, rep, geo, idx, weights)
 		return err
@@ -228,7 +245,7 @@ func (g *ReplicaGroup) Sum(ctx context.Context, geo core.Geometry, idx []int, we
 // Tag is Sum for the tag half.
 func (g *ReplicaGroup) Tag(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
 	var res field.Elem
-	err := g.do(ctx, func(rep core.NDP) error {
+	err := g.do(ctx, func(ctx context.Context, rep core.NDP) error {
 		var err error
 		res, err = callTag(ctx, rep, geo, idx, weights)
 		return err
@@ -243,7 +260,7 @@ func (g *ReplicaGroup) Tag(ctx context.Context, geo core.Geometry, idx []int, we
 // replay against the next replica returns byte-identical partials.
 func (g *ReplicaGroup) Batch(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
 	var res []core.NDPBatchResult
-	err := g.do(ctx, func(rep core.NDP) error {
+	err := g.do(ctx, func(ctx context.Context, rep core.NDP) error {
 		bn, ok := rep.(core.BatchNDP)
 		if !ok {
 			return fmt.Errorf("cluster: shard %d replica has no batch support", g.shard)
@@ -268,7 +285,7 @@ func (g *ReplicaGroup) Batch(ctx context.Context, geo core.Geometry, reqs []core
 // and fails over as a unit.
 func (g *ReplicaGroup) Elem(ctx context.Context, geo core.Geometry, idx, jdx []int, weights []uint64) (uint64, error) {
 	var res uint64
-	err := g.do(ctx, func(rep core.NDP) error {
+	err := g.do(ctx, func(ctx context.Context, rep core.NDP) error {
 		var err error
 		res, err = elemViaRows(ctx, rep, geo, idx, jdx, weights)
 		return err

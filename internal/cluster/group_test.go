@@ -101,8 +101,8 @@ func TestGroupFailoverOrder(t *testing.T) {
 	ctx := context.Background()
 
 	var tried []int
-	record := func(failUpTo int) func(core.NDP) error {
-		return func(rep core.NDP) error {
+	record := func(failUpTo int) func(context.Context, core.NDP) error {
+		return func(_ context.Context, rep core.NDP) error {
 			id := repID(rep)
 			tried = append(tried, id)
 			if id < failUpTo {
@@ -151,7 +151,7 @@ func TestGroupCooldownRecovery(t *testing.T) {
 	ctx := context.Background()
 
 	// Kill 0 once: preference moves to 1, 0 cools down.
-	err := g.do(ctx, func(rep core.NDP) error {
+	err := g.do(ctx, func(_ context.Context, rep core.NDP) error {
 		if repID(rep) == 0 {
 			return fmt.Errorf("down")
 		}
@@ -195,7 +195,7 @@ func TestGroupCooldownGrowth(t *testing.T) {
 // and carries each replica's failure.
 func TestGroupAllFail(t *testing.T) {
 	g := newFakeGroup(t, 3, time.Hour)
-	err := g.do(context.Background(), func(rep core.NDP) error {
+	err := g.do(context.Background(), func(_ context.Context, rep core.NDP) error {
 		return fmt.Errorf("replica %d refused", repID(rep))
 	})
 	if err == nil {
@@ -218,7 +218,7 @@ func TestGroupContextCancel(t *testing.T) {
 	g := newFakeGroup(t, 2, time.Hour)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := g.do(ctx, func(core.NDP) error { t.Fatal("op ran under canceled context"); return nil })
+	err := g.do(ctx, func(context.Context, core.NDP) error { t.Fatal("op ran under canceled context"); return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"secndp/internal/core"
 	"secndp/internal/memory"
+	"secndp/internal/telemetry"
 )
 
 // This file is the live-resharding half of the cluster layer: a planner
@@ -178,6 +179,12 @@ func (n *NDP) Reshard(ctx context.Context, geo core.Geometry, newMap *Map, group
 	if err != nil {
 		return err
 	}
+	total := 0
+	for _, mv := range moves {
+		total += mv.Rows()
+	}
+	n.reshardTotal.Store(int64(total))
+	n.reshardDone.Store(0)
 
 	// Copy phase: moved rows stream to every replica of their new owner
 	// while the old topology keeps serving. The chunking bounds each
@@ -187,6 +194,7 @@ func (n *NDP) Reshard(ctx context.Context, geo core.Geometry, newMap *Map, group
 		chunk = DefaultReshardChunkRows
 	}
 	moved := 0
+	span := telemetry.SpanFromContext(ctx)
 	for _, mv := range moves {
 		g := groups[mv.To]
 		for lo := mv.Lo; lo < mv.Hi; lo += chunk {
@@ -197,16 +205,27 @@ func (n *NDP) Reshard(ctx context.Context, geo core.Geometry, newMap *Map, group
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			var cspan *telemetry.ActiveSpan
+			if span != nil {
+				cspan = span.Child(fmt.Sprintf("reshard_chunk_%d_%d", lo, hi))
+				cspan.Eventf("chunk", "rows [%d,%d) -> shard %d (%d replicas)", lo, hi, mv.To, g.Size())
+			}
 			for r := 0; r < g.Size(); r++ {
 				w, ok := g.Replica(r).(BlobWriter)
 				if !ok {
-					return fmt.Errorf("cluster: reshard: shard %d replica %d cannot receive provisioning writes", mv.To, r)
+					err := fmt.Errorf("cluster: reshard: shard %d replica %d cannot receive provisioning writes", mv.To, r)
+					cspan.EndErr(err, telemetry.ErrClassInvalid)
+					return err
 				}
 				if err := ShipRun(ctx, geo, n.source, lo, hi, w); err != nil {
-					return fmt.Errorf("cluster: reshard: shipping rows [%d,%d) to shard %d replica %d: %w", lo, hi, mv.To, r, err)
+					err = fmt.Errorf("cluster: reshard: shipping rows [%d,%d) to shard %d replica %d: %w", lo, hi, mv.To, r, err)
+					cspan.EndErr(err, telemetry.ErrClassTransport)
+					return err
 				}
 			}
+			cspan.End()
 			moved += hi - lo
+			n.reshardDone.Store(int64(moved))
 			if opts.Pause > 0 && hi < mv.Hi {
 				select {
 				case <-ctx.Done():

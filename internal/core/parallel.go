@@ -10,6 +10,7 @@ import (
 	"secndp/internal/field"
 	"secndp/internal/memory"
 	"secndp/internal/otp"
+	"secndp/internal/telemetry"
 )
 
 // This file is the concurrent query engine: the software counterpart of the
@@ -279,18 +280,28 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 	}
 
 	pt := opts.Phases
+	// Architectural-phase child spans when the context carries a trace;
+	// nil span (the common untraced path) makes every call below a
+	// nil-check no-op. The NDP half's child context threads down into
+	// the cluster and wire layers, so their spans nest under "ndp".
+	span := telemetry.SpanFromContext(ctx)
 
 	// Ciphertext side in the background.
 	ndpCh := make(chan ndpOutputs, 1)
 	go func() {
+		nctx, nspan := ctx, (*telemetry.ActiveSpan)(nil)
+		if span != nil {
+			nctx, nspan = span.StartChild(ctx, "ndp")
+		}
 		var t0 time.Time
 		if pt != nil {
 			t0 = time.Now()
 		}
-		out := runNDP(ctx, ndp, t.geo, idx, weights, opts.Verify)
+		out := runNDP(nctx, ndp, t.geo, idx, weights, opts.Verify)
 		if pt != nil {
 			out.dur = time.Since(t0)
 		}
+		nspan.EndErr(out.err, telemetry.ErrClassTransport)
 		ndpCh <- out
 	}()
 
@@ -306,6 +317,7 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 			// pt.Tag is written before close(tagDone) and read after
 			// <-tagDone; the channel orders the accesses.
 			defer close(tagDone)
+			tspan := span.Child("tag")
 			var t0 time.Time
 			if pt != nil {
 				t0 = time.Now()
@@ -314,8 +326,10 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 			if pt != nil {
 				pt.Tag = time.Since(t0)
 			}
+			tspan.EndErr(tagErr, telemetry.ErrClassCanceled)
 		}()
 	}
+	pspan := span.Child("pad")
 	var padT0 time.Time
 	if pt != nil {
 		padT0 = time.Now()
@@ -324,6 +338,7 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 	if pt != nil {
 		pt.Pad = time.Since(padT0)
 	}
+	pspan.EndErr(err, telemetry.ErrClassCanceled)
 	if opts.Verify {
 		<-tagDone
 	}
@@ -344,6 +359,7 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 		return nil, fmt.Errorf("core: ndp returned %d columns, want %d", len(nd.cres), t.geo.Params.M)
 	}
 
+	vspan := span.Child("verify")
 	var verT0 time.Time
 	if pt != nil {
 		verT0 = time.Now()
@@ -354,12 +370,14 @@ func (t *Table) QueryCtx(ctx context.Context, ndp NDP, idx []int, weights []uint
 			if pt != nil {
 				pt.Verify = time.Since(verT0)
 			}
+			vspan.EndErr(ErrVerification, telemetry.ErrClassVerify)
 			return nil, ErrVerification
 		}
 	}
 	if pt != nil {
 		pt.Verify = time.Since(verT0)
 	}
+	vspan.End()
 	return res, nil
 }
 

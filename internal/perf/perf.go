@@ -240,6 +240,37 @@ func suite(quick bool) ([]func() (string, testing.BenchmarkResult), error) {
 				}
 			}
 		}),
+		bench("core/query_verified_traced", int64(batch*rowBytes), func(b *testing.B) {
+			// The same verified query with hierarchical tracing live: a
+			// root span per operation, phase children recorded by QueryCtx,
+			// and the trace store absorbing every tree. The bench-smoke
+			// gate holds this within 5% of the untraced query_verified
+			// bound — tracing must stay cheap enough to leave always-on.
+			traceReg := telemetry.NewRegistry()
+			opts := core.QueryOptions{Verify: true}
+			for i := 0; i < b.N; i++ {
+				ctx, span := traceReg.StartSpan(context.Background(), "bench_query")
+				if _, err := tab.QueryCtx(ctx, ndp, idx, weights, opts); err != nil {
+					b.Fatal(err)
+				}
+				span.SetStatus(true, false)
+				span.End()
+			}
+		}),
+		bench("telemetry/disabled_record", 0, func(b *testing.B) {
+			// The disabled-telemetry contract, measured where CI can gate
+			// it: counter, histogram, and span recording through nil
+			// receivers must cost one predictable nil check each.
+			var c *telemetry.Counter
+			var h *telemetry.Histogram
+			var s *telemetry.ActiveSpan
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+				h.ObserveNs(uint64(i))
+				s.Event("kind", "detail")
+				s.End()
+			}
+		}),
 		bench("core/query_batch_verified", batchBytes, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				out := tab.QueryBatchCtx(context.Background(), ndp, batchShared, batchOpts)

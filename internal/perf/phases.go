@@ -153,6 +153,37 @@ func phaseStage(quick bool, reg *telemetry.Registry) (*PhaseReport, error) {
 		return nil, fmt.Errorf("perf: remote batch: %w", err)
 	}
 
+	// Cluster table: a 2-shard loopback cluster registers the live
+	// /debug/cluster inspection source on the registry and runs traced
+	// queries whose trees carry per-shard sub-op spans — so a scrape
+	// during the run can walk /debug/cluster and /debug/trace/{id}
+	// against real state. Single queries only: cluster batches split
+	// wire ops per shard, which would skew the batch coalescing counters
+	// reported above.
+	csrvs := make([]*secndp.Server, 2)
+	cspecs := make([]secndp.ShardSpec, len(csrvs))
+	for i := range csrvs {
+		csrvs[i] = secndp.NewServer(secndp.NewMemory())
+		caddr, err := csrvs[i].Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer csrvs[i].Close()
+		cspecs[i] = secndp.ShardSpec{Addr: caddr}
+	}
+	clusterTab, err := eng.CreateTable(ctx, secndp.ClusterBackend(cspecs...), secndp.TableSpec{
+		Name: "perf-phases-cluster", Rows: rows, Cols: cols,
+	}, data)
+	if err != nil {
+		return nil, err
+	}
+	defer clusterTab.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := clusterTab.Query(ctx, req); err != nil {
+			return nil, fmt.Errorf("perf: cluster query: %w", err)
+		}
+	}
+
 	// Kill the server and query once more: retries exhaust, the circuit
 	// settles, and the TEE mirror serves the degraded result.
 	srv.Close()

@@ -134,6 +134,12 @@ type connFrames struct {
 	subW   [][]uint64
 
 	out []byte // response marshal frame
+
+	// Pending trace context from an opTraceCtx prefix: consumed by the
+	// next operation on this connection (see Server.serveOne).
+	traceID      uint64
+	parentSpan   uint64
+	tracePending bool
 }
 
 // readQuery parses a (count, idx..., weights...) query into the frame's

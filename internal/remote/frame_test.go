@@ -3,12 +3,14 @@ package remote
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"secndp/internal/core"
 	"secndp/internal/memory"
+	"secndp/internal/telemetry"
 )
 
 // The zero-copy frames must produce byte-identical wire traffic to the
@@ -122,5 +124,26 @@ func TestAppendWritersMatchBufioWriters(t *testing.T) {
 	got = appendBatchRequest(nil, geo, reqs, true)
 	if !bytes.Equal(got, buf.Bytes()) {
 		t.Error("gathered batch frame differs from bufio-written bytes")
+	}
+
+	// The trace-context prefix must be the identity on these goldens
+	// whenever either side does not opt in: an untraced context on a
+	// trace-capable connection, and a traced context against a server
+	// that never advertised capTrace.
+	legacyFrame := appendQuery(appendGeometry([]byte{opWeightedSum}, geo), idx, w)
+	untraced := &Client{capsKnown: true, caps: serverCaps}
+	reg := telemetry.NewRegistry()
+	traced, _ := reg.StartSpan(context.Background(), "golden")
+	for name, tc := range map[string]struct {
+		c   *Client
+		ctx context.Context
+	}{
+		"untraced ctx":  {untraced, context.Background()},
+		"legacy server": {&Client{capsKnown: true, caps: capBatch}, traced},
+	} {
+		framed := appendQuery(appendGeometry(append(tc.c.traceFrameLocked(tc.ctx), opWeightedSum), geo), idx, w)
+		if !bytes.Equal(framed, legacyFrame) {
+			t.Errorf("%s: traced framing path altered the golden frame bytes", name)
+		}
 	}
 }

@@ -151,6 +151,8 @@ func (rc *ReliableClient) do(ctx context.Context, op string, fn func(context.Con
 			return err
 		}
 		if err := rc.breaker.Allow(); err != nil {
+			telemetry.SpanFromContext(ctx).Eventf(telemetry.EventBreakerOpen,
+				"%s rejected by open circuit on attempt %d", op, att)
 			if last != nil {
 				return fmt.Errorf("remote: %s: %w after %d attempts: %w", op, ErrCircuitOpen, att-1, last)
 			}

@@ -37,7 +37,31 @@ const (
 	opPing        byte = 5 // no-op round trip: pool health checks, breaker probes
 	opBatch       byte = 6 // whole []BatchRequest in one round trip
 	opCaps        byte = 7 // capability probe; MUST stay body-free (see below)
+	opTraceCtx    byte = 8 // 16-byte trace context prefix; reply-free (see below)
 )
+
+// opName returns an opcode's short series/span name.
+func opName(op byte) string {
+	switch op {
+	case opWeightedSum:
+		return "weighted_sum"
+	case opTagSum:
+		return "tag_sum"
+	case opWriteBlob:
+		return "write_blob"
+	case opWriteECC:
+		return "write_ecc"
+	case opPing:
+		return "ping"
+	case opBatch:
+		return "batch"
+	case opCaps:
+		return "caps"
+	case opTraceCtx:
+		return "trace_ctx"
+	}
+	return "unknown"
+}
 
 // status codes.
 const (
@@ -49,10 +73,22 @@ const (
 // alone — a legacy server reads exactly one byte before replying
 // statusErr "unknown op", so a body-free probe is the only shape that
 // leaves a legacy stream in sync.
-const capBatch uint64 = 1 << 0
+const (
+	capBatch uint64 = 1 << 0
+	// capTrace: the server accepts an opTraceCtx prefix (op byte + 16
+	// bytes: big-endian trace ID then parent span ID, no reply) ahead of
+	// a request and stitches its server-side spans under that parent. A
+	// client only ever sends the prefix after the probe showed this bit,
+	// so legacy servers see the byte-identical pre-trace framing.
+	capTrace uint64 = 1 << 1
+)
 
 // serverCaps is what this server implementation advertises.
-const serverCaps = capBatch
+const serverCaps = capBatch | capTrace
+
+// traceCtxLen is opTraceCtx's fixed body: 8-byte trace ID + 8-byte
+// parent span ID.
+const traceCtxLen = 16
 
 // batchFlagVerify asks the server to include per-sub-request tag sums.
 const batchFlagVerify uint64 = 1 << 0
@@ -289,42 +325,51 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	// Registry mirrors (nil-safe no-ops until Instrument runs): accepted
-	// connections, operations served by opcode, and rejected requests.
-	mConns   *telemetry.Counter
-	mOps     [opCaps + 1]*telemetry.Counter
-	mRejects *telemetry.Counter
+	// connections, operations served by opcode, per-op service-time
+	// histograms, and rejected requests. reg additionally receives the
+	// server-side trace spans for requests carrying an opTraceCtx prefix.
+	reg        *telemetry.Registry
+	mConns     *telemetry.Counter
+	mOps       [opTraceCtx + 1]*telemetry.Counter
+	mOpSeconds [opTraceCtx + 1]*telemetry.Histogram
+	mRejects   *telemetry.Counter
+
+	// caps is what opCaps advertises; NewServer sets serverCaps. Tests
+	// clear bits to impersonate older servers.
+	caps uint64
 }
 
 // Instrument mirrors the server's request counters onto a telemetry
-// registry: connections accepted, operations served per opcode, and
-// semantic rejections (statusErr replies). Call before Listen; a nil
-// registry is a no-op.
+// registry: connections accepted, operations served per opcode, per-op
+// service-time histograms (secndp_server_op_<name>_seconds, covering
+// request decode through response marshal), and semantic rejections
+// (statusErr replies). It also enables server-side tracing: requests
+// prefixed with a trace context record their decode/compute spans into
+// reg's trace store. Call before Listen; a nil registry is a no-op.
 func (s *Server) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	s.reg = reg
 	s.mConns = reg.Counter("secndp_server_conns_total",
 		"Connections accepted by the NDP server.")
 	s.mRejects = reg.Counter("secndp_server_rejects_total",
 		"Requests the NDP server rejected with a semantic error.")
-	names := map[byte]string{
-		opWeightedSum: "weighted_sum",
-		opTagSum:      "tag_sum",
-		opWriteBlob:   "write_blob",
-		opWriteECC:    "write_ecc",
-		opPing:        "ping",
-		opBatch:       "batch",
-		opCaps:        "caps",
-	}
-	for op, name := range names {
+	for op := opWeightedSum; op <= opTraceCtx; op++ {
+		name := opName(op)
 		s.mOps[op] = reg.Counter("secndp_server_ops_"+name+"_total",
 			"NDP server "+name+" operations served.")
+		if op == opTraceCtx {
+			continue // a reply-free prefix, not a served operation
+		}
+		s.mOpSeconds[op] = reg.Histogram("secndp_server_op_"+name+"_seconds",
+			"NDP server "+name+" service time, request decode through response marshal.", nil)
 	}
 }
 
 // NewServer wraps an untrusted memory space.
 func NewServer(mem *memory.Space) *Server {
-	return &Server{mem: mem, ndp: &core.HonestNDP{Mem: mem}, conns: make(map[net.Conn]struct{})}
+	return &Server{mem: mem, ndp: &core.HonestNDP{Mem: mem}, conns: make(map[net.Conn]struct{}), caps: serverCaps}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -427,8 +472,40 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 	if err != nil {
 		return err
 	}
+	if int(op) < len(s.mOps) {
+		s.mOps[op].Inc()
+	}
+	if op == opTraceCtx {
+		// Reply-free trace-context prefix: remember the caller's trace and
+		// parent span for the next operation on this connection. Only sent
+		// by clients that saw capTrace, so there is no desync risk.
+		var b [traceCtxLen]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return err
+		}
+		fr.traceID = binary.BigEndian.Uint64(b[0:8])
+		fr.parentSpan = binary.BigEndian.Uint64(b[8:16])
+		fr.tracePending = true
+		return nil
+	}
+	// Server-side span for the operation the prefix announced; nil (all
+	// methods no-op) without a prefix or without Instrument.
+	var span *telemetry.ActiveSpan
+	if fr.tracePending {
+		fr.tracePending = false
+		span = s.reg.StartRemoteSpan(telemetry.TraceID(fr.traceID),
+			telemetry.SpanID(fr.parentSpan), "server_"+opName(op))
+	}
+	start := time.Now()
+	defer func() {
+		if int(op) < len(s.mOpSeconds) {
+			s.mOpSeconds[op].Observe(time.Since(start))
+		}
+		span.End()
+	}()
 	fail := func(msg string) error {
 		s.mRejects.Inc()
+		span.Fail(errors.New(msg), telemetry.ErrClassInvalid)
 		if err := w.WriteByte(statusErr); err != nil {
 			return err
 		}
@@ -438,15 +515,13 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 		_, err := w.WriteString(msg)
 		return err
 	}
-	if int(op) < len(s.mOps) {
-		s.mOps[op].Inc()
-	}
 	switch op {
 	case opWeightedSum, opTagSum:
 		// Drain the full request first, then validate: statusErr replies to
 		// a half-read request would leave the stream out of sync. Transport
 		// and framing errors (including oversized queries, whose payload is
 		// not worth draining) drop the connection instead.
+		decode := span.Child("decode")
 		geo, err := readGeometry(r)
 		if err != nil {
 			return err
@@ -455,6 +530,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 		if err != nil {
 			return err
 		}
+		decode.End()
 		// The geometry is validated with core.Geometry.Validate before any
 		// memory is touched, rather than relied on to trip bounds checks
 		// (or panics) downstream.
@@ -476,8 +552,10 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 		}
 		s.mu.Lock()
 		if op == opWeightedSum {
+			sum := span.Child("gather_sum")
 			res := s.ndp.WeightedSum(geo, idx, weights)
 			s.mu.Unlock()
+			sum.End()
 			out := append(fr.out[:0], statusOK)
 			out = binary.AppendUvarint(out, uint64(len(res)))
 			for _, v := range res {
@@ -487,8 +565,10 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 			_, err = w.Write(out)
 			return err
 		}
+		sum := span.Child("gather_sum")
 		tag := s.ndp.TagSum(geo, idx, weights)
 		s.mu.Unlock()
+		sum.End()
 		b := tag.Bytes()
 		fr.out = append(append(fr.out[:0], statusOK), b[:]...)
 		_, err = w.Write(fr.out)
@@ -541,10 +621,12 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 		// problems with the batch as a whole get one statusErr after the
 		// frame is fully drained; per-sub-request problems are answered
 		// inside a statusOK reply so they cannot poison their neighbors.
+		decode := span.Child("decode")
 		geo, reqs, verify, err := fr.readBatchRequest(r)
 		if err != nil {
 			return err
 		}
+		decode.End()
 		if err := geo.Validate(); err != nil {
 			return fail(fmt.Sprintf("bad geometry: %v", err))
 		}
@@ -555,8 +637,10 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 			return fail("geometry has no tag placement")
 		}
 		s.mu.Lock()
+		sum := span.Child("gather_sum")
 		res, err := s.ndp.WeightedTagSumBatch(context.Background(), geo, reqs, verify)
 		s.mu.Unlock()
+		sum.End()
 		if err != nil {
 			return fail(fmt.Sprintf("batch failed: %v", err))
 		}
@@ -571,7 +655,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, fr *connFrames) erro
 		if err := w.WriteByte(statusOK); err != nil {
 			return err
 		}
-		return writeUvarint(w, serverCaps)
+		return writeUvarint(w, s.caps)
 
 	default:
 		return fail(fmt.Sprintf("unknown op %d", op))
@@ -800,6 +884,50 @@ func (c *Client) roundTrip(send func() error) error {
 	return readStatus(c.r)
 }
 
+// ensureCapsLocked runs the capability probe if no definitive answer is
+// cached yet, mirroring CapabilitiesContext's caching rules: a legacy
+// server's statusErr caches "no capabilities"; a transport failure
+// caches nothing (the operation about to be sent will surface it).
+// Caller holds c.mu with the connection armed.
+func (c *Client) ensureCapsLocked() {
+	if c.capsKnown {
+		return
+	}
+	caps, err := c.capsLocked()
+	if err != nil {
+		var se *serverError
+		if errors.As(err, &se) {
+			c.caps, c.capsKnown = 0, true
+		}
+		return
+	}
+	c.caps, c.capsKnown = caps, true
+}
+
+// traceFrameLocked resets the request marshal buffer and, when ctx
+// carries an active trace span AND the server has advertised capTrace,
+// seeds it with the opTraceCtx prefix (op byte + big-endian trace ID +
+// parent span ID). Untraced calls — and every call to a legacy server —
+// produce a frame starting at the operation byte, byte-identical to the
+// pre-trace protocol. The first traced call on a fresh connection runs
+// the capability probe inline (one extra round trip, then cached).
+// Caller holds c.mu with the connection armed.
+func (c *Client) traceFrameLocked(ctx context.Context) []byte {
+	f := c.frame[:0]
+	span := telemetry.SpanFromContext(ctx)
+	if span == nil {
+		return f
+	}
+	c.ensureCapsLocked()
+	if c.caps&capTrace == 0 {
+		return f
+	}
+	f = append(f, opTraceCtx)
+	f = binary.BigEndian.AppendUint64(f, uint64(span.Trace()))
+	f = binary.BigEndian.AppendUint64(f, uint64(span.ID()))
+	return f
+}
+
 // sendFrame writes the gathered request frame, flushes, and consumes the
 // response status — the zero-copy counterpart of roundTrip. Caller holds
 // c.mu and has marshaled the request into c.frame.
@@ -822,12 +950,12 @@ func (c *Client) WeightedSumContext(ctx context.Context, geo core.Geometry, idx 
 		return nil, err
 	}
 	defer done()
-	res, err := c.weightedSumLocked(geo, idx, weights)
+	res, err := c.weightedSumLocked(ctx, geo, idx, weights)
 	return res, c.finish(ctx, err)
 }
 
-func (c *Client) weightedSumLocked(geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
-	c.frame = appendQuery(appendGeometry(append(c.frame[:0], opWeightedSum), geo), idx, weights)
+func (c *Client) weightedSumLocked(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) ([]uint64, error) {
+	c.frame = appendQuery(appendGeometry(append(c.traceFrameLocked(ctx), opWeightedSum), geo), idx, weights)
 	if err := c.sendFrame(); err != nil {
 		return nil, err
 	}
@@ -862,12 +990,12 @@ func (c *Client) TagSumContext(ctx context.Context, geo core.Geometry, idx []int
 		return field.Zero, err
 	}
 	defer done()
-	tag, err := c.tagSumLocked(geo, idx, weights)
+	tag, err := c.tagSumLocked(ctx, geo, idx, weights)
 	return tag, c.finish(ctx, err)
 }
 
-func (c *Client) tagSumLocked(geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
-	c.frame = appendQuery(appendGeometry(append(c.frame[:0], opTagSum), geo), idx, weights)
+func (c *Client) tagSumLocked(ctx context.Context, geo core.Geometry, idx []int, weights []uint64) (field.Elem, error) {
+	c.frame = appendQuery(appendGeometry(append(c.traceFrameLocked(ctx), opTagSum), geo), idx, weights)
 	if err := c.sendFrame(); err != nil {
 		return field.Zero, err
 	}
@@ -903,12 +1031,12 @@ func (c *Client) WeightedTagSumBatch(ctx context.Context, geo core.Geometry, req
 		return nil, err
 	}
 	defer done()
-	res, err := c.batchLocked(geo, reqs, verify)
+	res, err := c.batchLocked(ctx, geo, reqs, verify)
 	return res, c.finish(ctx, err)
 }
 
-func (c *Client) batchLocked(geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
-	c.frame = appendBatchRequest(append(c.frame[:0], opBatch), geo, reqs, verify)
+func (c *Client) batchLocked(ctx context.Context, geo core.Geometry, reqs []core.BatchRequest, verify bool) ([]core.NDPBatchResult, error) {
+	c.frame = appendBatchRequest(append(c.traceFrameLocked(ctx), opBatch), geo, reqs, verify)
 	if err := c.sendFrame(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"secndp/internal/core"
+	"secndp/internal/telemetry"
+
+	"secndp/internal/memory"
+)
+
+// Wire-level trace propagation: the opTraceCtx prefix must appear
+// exactly when both sides opt in — an active span on the context AND a
+// server advertising capTrace — and every other combination must
+// produce frames byte-identical to the pre-trace protocol.
+
+// tracedCtx returns a context carrying a live root span.
+func tracedCtx(t *testing.T) (context.Context, *telemetry.ActiveSpan) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	ctx, span := reg.StartSpan(context.Background(), "test")
+	if span == nil {
+		t.Fatal("registry-backed StartSpan returned nil span")
+	}
+	return ctx, span
+}
+
+func TestTraceFrameUntracedEmpty(t *testing.T) {
+	// Trace-capable connection, no span on the context: the frame starts
+	// at the operation byte, exactly the legacy protocol.
+	c := &Client{capsKnown: true, caps: serverCaps}
+	if f := c.traceFrameLocked(context.Background()); len(f) != 0 {
+		t.Fatalf("untraced call produced a %d-byte prefix, want none", len(f))
+	}
+}
+
+func TestTraceFrameLegacyServerEmpty(t *testing.T) {
+	// Active span but a server that never advertised capTrace: the
+	// client must not send bytes a legacy server cannot parse.
+	ctx, _ := tracedCtx(t)
+	c := &Client{capsKnown: true, caps: capBatch}
+	if f := c.traceFrameLocked(ctx); len(f) != 0 {
+		t.Fatalf("traced call to legacy server produced a %d-byte prefix, want none", len(f))
+	}
+}
+
+func TestTraceFramePrefixLayout(t *testing.T) {
+	// Both sides opt in: opTraceCtx + 8-byte big-endian trace ID +
+	// 8-byte parent span ID, nothing else.
+	ctx, span := tracedCtx(t)
+	c := &Client{capsKnown: true, caps: serverCaps}
+	f := c.traceFrameLocked(ctx)
+	if len(f) != 1+traceCtxLen {
+		t.Fatalf("prefix is %d bytes, want %d", len(f), 1+traceCtxLen)
+	}
+	if f[0] != opTraceCtx {
+		t.Fatalf("prefix op = %d, want opTraceCtx (%d)", f[0], opTraceCtx)
+	}
+	if got := telemetry.TraceID(binary.BigEndian.Uint64(f[1:9])); got != span.Trace() {
+		t.Fatalf("prefix trace ID %s, want %s", got, span.Trace())
+	}
+	if got := telemetry.SpanID(binary.BigEndian.Uint64(f[9:17])); got != span.ID() {
+		t.Fatalf("prefix parent span %s, want %s", got, span.ID())
+	}
+	// The prefixed frame is the legacy frame with the prefix prepended:
+	// stripping it restores byte identity.
+	geo := testGeometry(memory.TagSep, 8, 4)
+	idx, w := []int{1, 2}, []uint64{3, 4}
+	c.frame = appendQuery(appendGeometry(append(c.traceFrameLocked(ctx), opWeightedSum), geo), idx, w)
+	legacy := appendQuery(appendGeometry([]byte{opWeightedSum}, geo), idx, w)
+	if !bytes.Equal(c.frame[1+traceCtxLen:], legacy) {
+		t.Fatal("traced frame body differs from the legacy frame")
+	}
+}
+
+func TestTraceMixedLegacyServerQueryVerifies(t *testing.T) {
+	// A tracing client against a legacy server: the capability probe
+	// comes back without capTrace, the frames stay legacy, and the
+	// verified query still round-trips.
+	// Impersonate a pre-trace server: caps must be set before Listen
+	// spawns the accept loop.
+	srv := NewServer(memory.NewSpace())
+	srv.caps = capBatch
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := dial(t, addr)
+
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := testGeometry(memory.TagSep, 16, 8)
+	rng := rand.New(rand.NewSource(7))
+	rows := randRows(rng, 16, 8, 1<<20)
+	tab, err := Provision(client, scheme, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, span := tracedCtx(t)
+	idx, w := []int{2, 7, 11}, []uint64{5, 6, 7}
+	got, err := tab.QueryCtx(ctx, client, idx, w, core.QueryOptions{Verify: true})
+	span.End()
+	if err != nil {
+		t.Fatalf("traced query against legacy server failed: %v", err)
+	}
+	for j := 0; j < 8; j++ {
+		want := (5*rows[2][j] + 6*rows[7][j] + 7*rows[11][j]) & 0xFFFFFFFF
+		if got[j] != want {
+			t.Fatalf("col %d: %d != %d", j, got[j], want)
+		}
+	}
+	if c := client.caps & capTrace; c != 0 {
+		t.Fatal("client cached capTrace from a server that never advertised it")
+	}
+}
+
+func TestTraceServerRecordsRemoteSpans(t *testing.T) {
+	// Full propagation: the server's registry receives child spans for
+	// the client's trace, stitched under the client's span IDs.
+	srv := NewServer(memory.NewSpace())
+	serverReg := telemetry.NewRegistry()
+	srv.Instrument(serverReg) // before Listen, per its contract
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client := dial(t, addr)
+
+	scheme, err := core.NewScheme(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := testGeometry(memory.TagSep, 16, 8)
+	rng := rand.New(rand.NewSource(8))
+	rows := randRows(rng, 16, 8, 1<<20)
+	tab, err := Provision(client, scheme, geo, 1, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, span := tracedCtx(t)
+	if _, err := tab.QueryCtx(ctx, client, []int{1, 3}, []uint64{2, 2}, core.QueryOptions{Verify: true}); err != nil {
+		t.Fatal(err)
+	}
+	span.End()
+
+	// The server finishes its spans after the reply is on the wire; poll
+	// briefly for the tree to land in its registry.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		tree, ok := serverReg.TraceTree(span.Trace())
+		if ok {
+			var ops []string
+			var haveSum, haveDecode bool
+			for _, s := range tree.Spans {
+				ops = append(ops, s.Op)
+				if !s.Remote && s.Op != "decode" && s.Op != "gather_sum" {
+					t.Fatalf("server-side span %q not marked remote", s.Op)
+				}
+				switch s.Op {
+				case "server_weighted_sum", "server_tag_sum":
+					// The wire parent is the client's "ndp" phase span (a
+					// child of our root), so it must be set but is not the
+					// root's own ID.
+					if s.Parent == 0 {
+						t.Fatalf("span %q has no parent link", s.Op)
+					}
+					haveSum = true
+				case "decode":
+					haveDecode = true
+				}
+			}
+			if haveSum && haveDecode {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server trace tree incomplete: ops %v", ops)
+			}
+		} else if time.Now().After(deadline) {
+			t.Fatal("server registry never saw the client's trace")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

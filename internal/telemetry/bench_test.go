@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -13,11 +14,39 @@ func BenchmarkDisabledRecord(b *testing.B) {
 	var c *Counter
 	var g *Gauge
 	var h *Histogram
+	var s *ActiveSpan
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
 		g.Set(int64(i))
 		h.ObserveNs(uint64(i))
+		s.Event("kind", "detail")
+		s.End()
+	}
+}
+
+// BenchmarkSpanStartEnd is one enabled root span: two ID mints, a
+// context allocation, and the trace-store handoff at End.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := r.StartSpan(context.Background(), "bench")
+		s.End()
+	}
+}
+
+// BenchmarkSpanChildEventEnd is the per-sub-op tracing cost the cluster
+// pays on every shard attempt: child mint, one typed event, end.
+func BenchmarkSpanChildEventEnd(b *testing.B) {
+	r := NewRegistry()
+	_, root := r.StartSpan(context.Background(), "bench")
+	defer root.End()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := root.Child("shard0_sum")
+		c.Event(EventReplicaFailover, "replica 0 -> 1")
+		c.End()
 	}
 }
 

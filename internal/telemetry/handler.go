@@ -7,18 +7,29 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 )
 
 // Handler returns the registry's serving surface:
 //
-//	/metrics        Prometheus text format (one Snapshot per scrape)
-//	/debug/traces   recent query spans as JSON (?n= bounds the count)
-//	/debug/vars     the process's expvar page (includes PublishExpvar output)
-//	/debug/pprof/*  the standard pprof endpoints
+//	/metrics           Prometheus text format (one Snapshot per scrape)
+//	/debug/traces      recent query spans as JSON (?n= bounds the count)
+//	/debug/trace/{id}  one hierarchical trace tree by hex trace ID
+//	/debug/slow        the flight recorder's pinned anomalous traces
+//	/debug/{name}      live debug sources registered via RegisterDebug
+//	                   (e.g. /debug/cluster)
+//	/debug/vars        the process's expvar page (includes PublishExpvar output)
+//	/debug/pprof/*     the standard pprof endpoints
 //
 // A nil registry serves empty metrics and traces; pprof still works.
 func (r *Registry) Handler() http.Handler {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -35,10 +46,46 @@ func (r *Registry) Handler() http.Handler {
 		if spans == nil {
 			spans = []Span{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(spans)
+		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, req *http.Request) {
+		idStr := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+		id, err := ParseTraceID(idStr)
+		if err != nil {
+			http.Error(w, "bad trace id: "+idStr, http.StatusBadRequest)
+			return
+		}
+		t, ok := r.TraceTree(id)
+		if !ok {
+			http.Error(w, "trace not found: "+idStr, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			Trace     string       `json:"trace"`
+			Complete  bool         `json:"complete"`
+			PinReason string       `json:"pin_reason,omitempty"`
+			Dropped   int          `json:"dropped,omitempty"`
+			Spans     int          `json:"spans"`
+			Tree      []*TraceNode `json:"tree"`
+		}{t.Trace.String(), t.Complete, t.PinReason, t.Dropped, len(t.Spans), t.Tree()})
+	})
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, req *http.Request) {
+		pinned := r.SlowTraces()
+		if pinned == nil {
+			pinned = []TraceSummary{}
+		}
+		writeJSON(w, struct {
+			SlowThresholdNs int64          `json:"slow_threshold_ns"`
+			Pinned          []TraceSummary `json:"pinned"`
+		}{int64(r.SlowThreshold()), pinned})
+	})
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, req *http.Request) {
+		name := strings.TrimPrefix(req.URL.Path, "/debug/")
+		if fn := r.debugSource(name); fn != nil {
+			writeJSON(w, fn())
+			return
+		}
+		http.NotFound(w, req)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

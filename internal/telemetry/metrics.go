@@ -121,6 +121,11 @@ type Histogram struct {
 	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum        atomic.Uint64   // nanoseconds
 	count      atomic.Uint64
+	// exemplars holds one trace ID per bucket (last write wins, zero =
+	// none): the bridge from "this bucket has tail observations" to "here
+	// is a full trace tree of one". Written only by ObserveTrace, so the
+	// plain Observe path is untouched.
+	exemplars []atomic.Uint64
 }
 
 func newHistogram(name, help string, boundsNs []uint64) *Histogram {
@@ -135,10 +140,11 @@ func newHistogram(name, help string, boundsNs []uint64) *Histogram {
 		}
 	}
 	return &Histogram{
-		name:   name,
-		help:   help,
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		name:      name,
+		help:      help,
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
 	}
 }
 
@@ -169,6 +175,38 @@ func (h *Histogram) ObserveNs(ns uint64) {
 	h.count.Add(1)
 }
 
+// ObserveTrace records a duration and stamps the landing bucket's
+// exemplar with the given trace ID (last write wins; a zero trace
+// records nothing extra). No-op on a nil histogram.
+func (h *Histogram) ObserveTrace(d time.Duration, trace TraceID) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	i := 0
+	for i < len(h.bounds) && ns > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+	if trace != 0 {
+		h.exemplars[i].Store(uint64(trace))
+	}
+}
+
+// Exemplar returns the trace ID stamped on bucket i (the +Inf bucket is
+// index len(bounds)), or zero if none.
+func (h *Histogram) Exemplar(i int) TraceID {
+	if h == nil || i < 0 || i >= len(h.exemplars) {
+		return 0
+	}
+	return TraceID(h.exemplars[i].Load())
+}
+
 // Count reports the total number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -196,6 +234,14 @@ func (h *Histogram) snap() HistSnap {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if t := h.exemplars[i].Load(); t != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]string, len(h.exemplars))
+			}
+			s.Exemplars[i] = TraceID(t).String()
+		}
 	}
 	return s
 }

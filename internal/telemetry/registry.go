@@ -39,6 +39,9 @@ type Registry struct {
 	gaugeFns map[string]gaugeFn
 	hists    map[string]*Histogram
 	traces   traceBuffer
+	store    traceStore
+	debugMu  sync.Mutex
+	debug    map[string]func() any
 }
 
 // gaugeFn is a callback-backed gauge: the function is evaluated at
@@ -131,6 +134,34 @@ func (r *Registry) Histogram(name, help string, boundsNs []uint64) *Histogram {
 	return h
 }
 
+// RegisterDebug registers a live debug source: fn is evaluated on each
+// GET of /debug/{name} and its result rendered as JSON. Like GaugeFunc,
+// re-registering a name replaces its callback — a debug source follows
+// a live subsystem (e.g. the current cluster topology), and the
+// freshest registration is the one that matters. fn must be safe for
+// concurrent use. A nil registry or nil fn is a no-op.
+func (r *Registry) RegisterDebug(name string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.debugMu.Lock()
+	defer r.debugMu.Unlock()
+	if r.debug == nil {
+		r.debug = make(map[string]func() any)
+	}
+	r.debug[name] = fn
+}
+
+// debugSource looks up a registered debug callback by name.
+func (r *Registry) debugSource(name string) func() any {
+	if r == nil {
+		return nil
+	}
+	r.debugMu.Lock()
+	defer r.debugMu.Unlock()
+	return r.debug[name]
+}
+
 // CounterSnap is one counter's exported state.
 type CounterSnap struct {
 	Name  string `json:"name"`
@@ -155,6 +186,9 @@ type HistSnap struct {
 	Counts   []uint64 `json:"counts"`
 	SumNs    uint64   `json:"sum_ns"`
 	Count    uint64   `json:"count"`
+	// Exemplars, when present, is aligned with Counts: the hex trace ID
+	// last observed into each bucket ("" = none). See Histogram.ObserveTrace.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time export of every registered metric, sorted

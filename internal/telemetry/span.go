@@ -46,6 +46,12 @@ func (p Phase) String() string {
 
 // Span is one recorded operation: its kind, wall-clock placement, total
 // latency, and per-phase breakdown. Phases that did not run are zero.
+// Err is the flattened error string; ErrClass is its typed grouping
+// label (ErrClassVerify, ErrClassTransport, ErrClassDegraded,
+// ErrClassCanceled, ...) so exporters can aggregate failures without
+// string-matching. Trace, when non-empty, is the hex TraceID of the
+// hierarchical trace tree this span is the root of — the join key into
+// /debug/trace/{id}.
 type Span struct {
 	Op       string
 	Start    time.Time
@@ -54,6 +60,8 @@ type Span struct {
 	Verified bool
 	Degraded bool
 	Err      string
+	ErrClass string
+	Trace    string
 }
 
 // MarshalJSON renders the phase array as a name→nanoseconds object so
@@ -73,7 +81,9 @@ func (s Span) MarshalJSON() ([]byte, error) {
 		Verified bool             `json:"verified"`
 		Degraded bool             `json:"degraded,omitempty"`
 		Err      string           `json:"err,omitempty"`
-	}{s.Op, s.Start, int64(s.Total), phases, s.Verified, s.Degraded, s.Err})
+		ErrClass string           `json:"err_class,omitempty"`
+		Trace    string           `json:"trace,omitempty"`
+	}{s.Op, s.Start, int64(s.Total), phases, s.Verified, s.Degraded, s.Err, s.ErrClass, s.Trace})
 }
 
 // DefaultTraceCapacity is the number of recent spans a registry retains.

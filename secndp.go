@@ -444,6 +444,12 @@ type Result struct {
 	// telemetry registry required). The concurrent phases overlap, so they
 	// do not sum to Timing.Total.
 	Timing Timing
+	// Trace is the query's trace ID in hex, when the engine runs with
+	// WithTelemetry: feed it to the registry's /debug/trace/{id} endpoint
+	// (or Registry.TraceTree) for the full hierarchical span tree —
+	// per-phase children, per-shard sub-ops, replica failovers, server-side
+	// decode/compute spans. Empty with telemetry disabled.
+	Trace string
 }
 
 // Query runs one request through the concurrent engine: the NDP computes
@@ -491,7 +497,9 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 		return Result{}, err
 	}
 	start := time.Now()
-	qctx, cflag := t.clusterCtx(ctx)
+	rctx, span := t.eng.tel.startSpan(ctx, "query")
+	trace := span.Trace()
+	qctx, cflag := t.clusterCtx(rctx)
 	var pt core.PhaseTimes
 	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify, Phases: &pt}
 	values, err := t.tab.QueryCtx(qctx, t.ndp, req.Idx, req.Weights, opts)
@@ -503,27 +511,45 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 		if degraded {
 			t.degraded.Add(1)
 		}
-		res := Result{Values: values, Verified: verify, Degraded: degraded, Timing: timingFrom(pt, 0, time.Since(start))}
-		t.eng.tel.recordQuery("query", start, res.Timing, verify, degraded, nil)
+		res := Result{Values: values, Verified: verify, Degraded: degraded, Timing: timingFrom(pt, 0, time.Since(start)), Trace: traceHex(trace)}
+		span.SetStatus(verify, degraded)
+		span.End()
+		t.eng.tel.recordQuery("query", start, res.Timing, verify, degraded, trace, nil)
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
 		err = t.annotateShardFault(ctx, err, req, opts)
-		t.eng.tel.recordQuery("query", start, timingFrom(pt, 0, time.Since(start)), false, false, err)
+		span.EndErr(err, classifyErr(err))
+		t.eng.tel.recordQuery("query", start, timingFrom(pt, 0, time.Since(start)), false, false, trace, err)
 		return Result{}, err
 	}
+	fspan := span.Child("fallback")
 	fb := time.Now()
 	values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, req.Idx, req.Weights)
 	fbDur := time.Since(fb)
 	if ferr != nil {
 		ferr = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, err)
-		t.eng.tel.recordQuery("query", start, timingFrom(pt, fbDur, time.Since(start)), false, false, ferr)
+		fspan.EndErr(ferr, classifyErr(ferr))
+		span.EndErr(ferr, classifyErr(ferr))
+		t.eng.tel.recordQuery("query", start, timingFrom(pt, fbDur, time.Since(start)), false, false, trace, ferr)
 		return Result{}, ferr
 	}
+	fspan.End()
 	t.degraded.Add(1)
-	res := Result{Values: values, Degraded: true, Timing: timingFrom(pt, fbDur, time.Since(start))}
-	t.eng.tel.recordQuery("query", start, res.Timing, false, true, nil)
+	res := Result{Values: values, Degraded: true, Timing: timingFrom(pt, fbDur, time.Since(start)), Trace: traceHex(trace)}
+	span.SetStatus(false, true)
+	span.End()
+	t.eng.tel.recordQuery("query", start, res.Timing, false, true, trace, nil)
 	return res, nil
+}
+
+// traceHex renders a trace ID for Result.Trace: empty when tracing is
+// off (zero ID), so callers can branch on the field directly.
+func traceHex(trace telemetry.TraceID) string {
+	if trace == 0 {
+		return ""
+	}
+	return trace.String()
 }
 
 // shouldFallback classifies a failed NDP query: semantic rejections and
@@ -577,6 +603,7 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	start := time.Now()
+	rctx, span := t.eng.tel.startSpan(ctx, "query_elem")
 	// Plain remote transports have no element op on the wire; with a
 	// mirror the TEE serves element queries locally instead of failing
 	// them. Cluster backends are exempt: their NDP serves element sums
@@ -585,28 +612,32 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 	// replica costs a failover, not a mirror trip.
 	if t.mirror != nil && t.cnd == nil {
 		if _, isRemote := t.ndp.(core.ContextNDP); isRemote {
-			return t.queryElemFallback(ctx, req, start, nil)
+			return t.queryElemFallback(ctx, req, start, span, nil)
 		}
 	}
-	qctx, cflag := t.clusterCtx(ctx)
+	qctx, cflag := t.clusterCtx(rctx)
 	v, err := t.tab.QueryElemCtx(qctx, t.ndp, req.Idx, req.Cols, req.Weights)
 	if err == nil {
 		degraded := cflag.Any()
 		if degraded {
 			t.degraded.Add(1)
 		}
-		res := Result{Values: []uint64{v}, Degraded: degraded, Timing: timingFrom(core.PhaseTimes{}, 0, time.Since(start))}
-		t.eng.tel.recordQuery("query", start, res.Timing, false, degraded, nil)
+		res := Result{Values: []uint64{v}, Degraded: degraded, Timing: timingFrom(core.PhaseTimes{}, 0, time.Since(start)), Trace: traceHex(span.Trace())}
+		span.SetStatus(false, degraded)
+		span.End()
+		t.eng.tel.recordQuery("query", start, res.Timing, false, degraded, span.Trace(), nil)
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
-		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, 0, time.Since(start)), false, false, err)
+		span.EndErr(err, classifyErr(err))
+		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, 0, time.Since(start)), false, false, span.Trace(), err)
 		return Result{}, err
 	}
-	return t.queryElemFallback(ctx, req, start, err)
+	return t.queryElemFallback(ctx, req, start, span, err)
 }
 
-func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.Time, cause error) (Result, error) {
+func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.Time, span *telemetry.ActiveSpan, cause error) (Result, error) {
+	fspan := span.Child("fallback")
 	fb := time.Now()
 	v, err := t.tab.LocalWeightedSumElem(ctx, t.mirror, req.Idx, req.Cols, req.Weights)
 	fbDur := time.Since(fb)
@@ -614,12 +645,17 @@ func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.T
 		if cause != nil {
 			err = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", err, cause)
 		}
-		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, fbDur, time.Since(start)), false, false, err)
+		fspan.EndErr(err, classifyErr(err))
+		span.EndErr(err, classifyErr(err))
+		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, fbDur, time.Since(start)), false, false, span.Trace(), err)
 		return Result{}, err
 	}
+	fspan.End()
 	t.degraded.Add(1)
-	res := Result{Values: []uint64{v}, Degraded: true, Timing: timingFrom(core.PhaseTimes{}, fbDur, time.Since(start))}
-	t.eng.tel.recordQuery("query", start, res.Timing, false, true, nil)
+	res := Result{Values: []uint64{v}, Degraded: true, Timing: timingFrom(core.PhaseTimes{}, fbDur, time.Since(start)), Trace: traceHex(span.Trace())}
+	span.SetStatus(false, true)
+	span.End()
+	t.eng.tel.recordQuery("query", start, res.Timing, false, true, span.Trace(), nil)
 	return res, nil
 }
 
@@ -677,7 +713,8 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 	}
 
 	start := time.Now()
-	qctx, cflag := t.clusterCtx(ctx)
+	rctx, span := t.eng.tel.startSpan(ctx, "query_batch")
+	qctx, cflag := t.clusterCtx(rctx)
 	creqs := make([]core.BatchRequest, len(reqs))
 	for i := range reqs {
 		creqs[i] = core.BatchRequest{Idx: reqs[i].Idx, Weights: reqs[i].Weights}
@@ -748,16 +785,23 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 			}
 		}
 	}
-	// Every coalesced result shares the batch's wall-clock total; the
-	// phase anatomy is batch-level and lives in the registry, not on
-	// individual results.
+	// Every coalesced result shares the batch's wall-clock total (and its
+	// trace — the whole batch is one trace tree); the phase anatomy is
+	// batch-level and lives in the registry, not on individual results.
 	total := time.Since(start)
 	for i := range out {
 		if errs[i] == nil {
 			out[i].Timing.Total = total
+			out[i].Trace = traceHex(span.Trace())
 		}
 	}
-	t.eng.tel.recordBatch(start, stats, nOK, nErr, nVerified, nDegraded, firstErr)
+	span.SetStatus(nVerified > 0, nDegraded > 0)
+	if firstErr != nil {
+		span.EndErr(firstErr, classifyErr(firstErr))
+	} else {
+		span.End()
+	}
+	t.eng.tel.recordBatch(start, stats, nOK, nErr, nVerified, nDegraded, span.Trace(), firstErr)
 	return out, errors.Join(errs...), true
 }
 

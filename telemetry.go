@@ -1,6 +1,8 @@
 package secndp
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"secndp/internal/core"
@@ -82,6 +84,9 @@ type engineTelemetry struct {
 
 	queries     *telemetry.Counter
 	queryErrors *telemetry.Counter
+	// errsByClass splits queryErrors by failure class (verify, transport,
+	// canceled, invalid, other), keyed by the class string.
+	errsByClass map[string]*telemetry.Counter
 	verified    *telemetry.Counter
 	degraded    *telemetry.Counter
 	batches     *telemetry.Counter
@@ -154,7 +159,45 @@ func newEngineTelemetry(reg *telemetry.Registry) *engineTelemetry {
 		et.phaseHist[p] = reg.Histogram("secndp_phase_"+name+"_seconds",
 			"Per-query elapsed time of the "+name+" phase.", nil)
 	}
+	et.errsByClass = make(map[string]*telemetry.Counter)
+	for _, class := range []string{
+		telemetry.ErrClassVerify, telemetry.ErrClassTransport,
+		telemetry.ErrClassCanceled, telemetry.ErrClassInvalid,
+		telemetry.ErrClassOther,
+	} {
+		et.errsByClass[class] = reg.Counter("secndp_query_errors_"+class+"_total",
+			"Query failures of class "+class+" (see DESIGN.md §12 for the taxonomy).")
+	}
 	return et
+}
+
+// classifyErr folds a failed query's error into its telemetry class:
+// the caller's own cancellation, a verification rejection, a semantic
+// rejection of the request, or (the remaining bulk) transport trouble.
+func classifyErr(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return telemetry.ErrClassCanceled
+	case errors.Is(err, ErrVerification):
+		return telemetry.ErrClassVerify
+	case errors.Is(err, ErrIndexRange) || errors.Is(err, ErrNoTags) || errors.Is(err, ErrBadGeometry):
+		return telemetry.ErrClassInvalid
+	case errors.Is(err, ErrRetriesExhausted) || errors.Is(err, ErrCircuitOpen):
+		return telemetry.ErrClassTransport
+	default:
+		return telemetry.ErrClassTransport
+	}
+}
+
+// startSpan opens a root trace span for one facade operation; with
+// telemetry disabled (nil et) it is free and returns the context as-is.
+func (et *engineTelemetry) startSpan(ctx context.Context, op string) (context.Context, *telemetry.ActiveSpan) {
+	if et == nil {
+		return ctx, nil
+	}
+	return et.reg.StartSpan(ctx, op)
 }
 
 // instrumentGenerator attaches the OTP engine-selection counters.
@@ -172,15 +215,19 @@ func (et *engineTelemetry) instrumentGenerator(scheme *core.Scheme) {
 	)
 }
 
-// recordQuery folds one completed query into the registry: counters, the
-// end-to-end and per-phase histograms, and a span in the trace ring.
-func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, verified, degraded bool, err error) {
+// recordQuery folds one completed query into the registry: counters
+// (split by error class), the end-to-end and per-phase histograms (with
+// the trace ID as the latency exemplar), and a span in the trace ring.
+func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, verified, degraded bool, trace telemetry.TraceID, err error) {
 	if et == nil {
 		return
 	}
 	et.queries.Inc()
 	if err != nil {
 		et.queryErrors.Inc()
+		if c := et.errsByClass[classifyErr(err)]; c != nil {
+			c.Inc()
+		}
 	}
 	if verified {
 		et.verified.Inc()
@@ -188,7 +235,7 @@ func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, ve
 	if degraded {
 		et.degraded.Inc()
 	}
-	et.queryHist.Observe(tm.Total)
+	et.queryHist.ObserveTrace(tm.Total, trace)
 	span := telemetry.Span{
 		Op:       op,
 		Start:    start,
@@ -196,8 +243,12 @@ func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, ve
 		Verified: verified,
 		Degraded: degraded,
 	}
+	if trace != 0 {
+		span.Trace = trace.String()
+	}
 	if err != nil {
 		span.Err = err.Error()
+		span.ErrClass = classifyErr(err)
 	}
 	phases := [telemetry.NumPhases]time.Duration{
 		telemetry.PhasePad:      tm.Pad,
@@ -220,7 +271,7 @@ func (et *engineTelemetry) recordQuery(op string, start time.Time, tm Timing, ve
 // series stay comparable with the fan-out path), the batch latency
 // histogram, the coalescing counters, and one batch-level span (per-sub
 // spans would flood the trace ring at serving batch sizes).
-func (et *engineTelemetry) recordBatch(start time.Time, stats core.BatchStats, nOK, nErr, nVerified, nDegraded int, firstErr error) {
+func (et *engineTelemetry) recordBatch(start time.Time, stats core.BatchStats, nOK, nErr, nVerified, nDegraded int, trace telemetry.TraceID, firstErr error) {
 	if et == nil {
 		return
 	}
@@ -235,7 +286,7 @@ func (et *engineTelemetry) recordBatch(start time.Time, stats core.BatchStats, n
 	et.queryErrors.Add(uint64(nErr))
 	et.verified.Add(uint64(nVerified))
 	et.degraded.Add(uint64(nDegraded))
-	et.batchHist.Observe(total)
+	et.batchHist.ObserveTrace(total, trace)
 	span := telemetry.Span{
 		Op:       "query_batch",
 		Start:    start,
@@ -243,8 +294,12 @@ func (et *engineTelemetry) recordBatch(start time.Time, stats core.BatchStats, n
 		Verified: nVerified > 0,
 		Degraded: nDegraded > 0,
 	}
+	if trace != 0 {
+		span.Trace = trace.String()
+	}
 	if firstErr != nil {
 		span.Err = firstErr.Error()
+		span.ErrClass = classifyErr(firstErr)
 	}
 	et.reg.RecordSpan(span)
 }

@@ -1,0 +1,172 @@
+package secndp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The distributed-tracing acceptance test: kill a replica under a batch
+// query on a 4-shard x 2-replica cluster and demand one retrievable
+// trace tree — root query span, per-shard sub-op spans, the
+// replica_failover event on the killed replica's shard, and histogram
+// exemplars resolving to the same trace — all through the public
+// /debug/trace/{id} HTTP surface.
+
+// traceNode mirrors the /debug/trace/{id} tree JSON.
+type traceNode struct {
+	Op     string `json:"op"`
+	Parent string `json:"parent"`
+	Events []struct {
+		Kind   string `json:"kind"`
+		Detail string `json:"detail"`
+	} `json:"events"`
+	Children []*traceNode `json:"children"`
+}
+
+func walkTrace(ns []*traceNode, f func(*traceNode)) {
+	for _, n := range ns {
+		f(n)
+		walkTrace(n.Children, f)
+	}
+}
+
+func TestReplicaKillTraceTree(t *testing.T) {
+	reg := NewTelemetry()
+	killSlot := replicaSlot(1, 0, 2) // shard 1's preferred replica
+	h := newReplicatedHarness(t, 4, 2, 510, []int{killSlot},
+		WithTelemetry(reg), WithFallback(1))
+
+	// Warm every replica's capability cache while healthy, so the traced
+	// batch coalesces instead of fanning out when the probe would fail.
+	if _, err := h.tab.QueryBatch(context.Background(), []Request{
+		{Idx: []int{0, 20, 40, 60}, Weights: []uint64{1, 1, 1, 1}},
+	}); err != nil {
+		t.Fatalf("warmup batch failed: %v", err)
+	}
+
+	// Take the replica down after provisioning (CreateTable needs every
+	// dial to succeed) and before the batch, so the failover happens
+	// inside the traced query.
+	h.proxies[killSlot].SetSchedule(deadShard{})
+	h.proxies[killSlot].BreakConns()
+
+	// One batch touching every shard: rows 0..63 span all 4 range shards.
+	rng := rand.New(rand.NewSource(511))
+	reqs := make([]Request, 4)
+	for i := range reqs {
+		n := 8 + rng.Intn(8)
+		idx := make([]int, n)
+		w := make([]uint64, n)
+		for k := range idx {
+			idx[k] = rng.Intn(64)
+			w[k] = 1 + rng.Uint64()%8
+		}
+		// Guarantee coverage of all shards regardless of the draw.
+		idx[0] = (i * 16) % 64
+		reqs[i] = Request{Idx: idx, Weights: w}
+	}
+	out, err := h.tab.QueryBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("batch under replica kill failed: %v", err)
+	}
+	for i := range out {
+		h.checkValues(t, out[i], reqs[i].Idx, reqs[i].Weights)
+		if !out[i].Verified {
+			t.Fatalf("request %d lost verification to a single replica kill", i)
+		}
+		if out[i].Degraded {
+			t.Fatalf("request %d Degraded: failover must not reach the mirror", i)
+		}
+	}
+	traceID := out[0].Trace
+	if traceID == "" {
+		t.Fatal("batch result carries no trace ID")
+	}
+	for i := range out {
+		if out[i].Trace != traceID {
+			t.Fatalf("request %d has trace %s, want the batch's %s", i, out[i].Trace, traceID)
+		}
+	}
+
+	// Retrieve the tree over HTTP, exactly as an operator would.
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace/%s = %d: %s", traceID, resp.StatusCode, body)
+	}
+	var tree struct {
+		Trace    string       `json:"trace"`
+		Complete bool         `json:"complete"`
+		Spans    int          `json:"spans"`
+		Tree     []*traceNode `json:"tree"`
+	}
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatalf("bad trace JSON: %v\n%s", err, body)
+	}
+	if tree.Trace != traceID || !tree.Complete {
+		t.Fatalf("tree header = %+v", tree)
+	}
+	if len(tree.Tree) == 0 || tree.Tree[0].Op != "query_batch" {
+		t.Fatalf("no query_batch root in tree: %s", body)
+	}
+
+	shardRe := regexp.MustCompile(`^shard(\d+)_`)
+	shardOps := map[string]bool{}
+	var failoverShardSpans []string
+	var failoverDetail string
+	walkTrace(tree.Tree, func(n *traceNode) {
+		if m := shardRe.FindStringSubmatch(n.Op); m != nil {
+			shardOps[n.Op] = true
+			for _, ev := range n.Events {
+				if ev.Kind == "replica_failover" {
+					failoverShardSpans = append(failoverShardSpans, n.Op)
+					failoverDetail = ev.Detail
+				}
+			}
+		}
+	})
+	if len(shardOps) < 4 {
+		t.Fatalf("trace shows %d shard sub-op spans (%v), want >= 4", len(shardOps), shardOps)
+	}
+	if len(failoverShardSpans) == 0 {
+		t.Fatalf("no replica_failover event anywhere in the tree: %s", body)
+	}
+	for _, op := range failoverShardSpans {
+		if !strings.HasPrefix(op, "shard1_") {
+			t.Fatalf("replica_failover landed on %q, want the killed replica's shard1_* span", op)
+		}
+	}
+	if !strings.Contains(failoverDetail, "shard 1") {
+		t.Fatalf("failover detail %q does not name shard 1", failoverDetail)
+	}
+
+	// The latency histogram's exemplar resolves back to this trace.
+	snap := reg.Snapshot()
+	var exemplarHit bool
+	for _, hs := range snap.Histograms {
+		if hs.Name != "secndp_batch_seconds" {
+			continue
+		}
+		for _, ex := range hs.Exemplars {
+			if ex == traceID {
+				exemplarHit = true
+			}
+		}
+	}
+	if !exemplarHit {
+		t.Fatalf("secndp_batch_seconds exemplars do not resolve to trace %s", traceID)
+	}
+}
