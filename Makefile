@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json vet fuzz examples experiments quick clean
+.PHONY: all build test test-race bench bench-json loadtest vet fuzz examples experiments quick clean
 
 all: build vet test
 
@@ -34,6 +34,21 @@ endif
 # document each optimization PR's before/after).
 bench-json:
 	$(GO) run ./cmd/secndp-bench -perf -o BENCH_$$(date +%F).json
+
+# Closed-loop serving load test: start secndp-dlrm on an in-process
+# 2-shard cluster, drive it with secndp-loadgen, and tear down.
+# Override with LOADUSERS / LOADDUR / LOADQPS (0 = saturation).
+LOADUSERS ?= 32
+LOADDUR ?= 10s
+LOADQPS ?= 0
+loadtest:
+	$(GO) build -o /tmp/secndp-dlrm ./cmd/secndp-dlrm
+	$(GO) build -o /tmp/secndp-loadgen ./cmd/secndp-loadgen
+	/tmp/secndp-dlrm -addr 127.0.0.1:18080 -tables 4 -rows 4096 -shards 2 & \
+	DLRM_PID=$$!; sleep 1; \
+	/tmp/secndp-loadgen -target http://127.0.0.1:18080 -users $(LOADUSERS) \
+		-rows 4096 -qps $(LOADQPS) -duration $(LOADDUR); \
+	STATUS=$$?; kill $$DLRM_PID; exit $$STATUS
 
 # Fuzz the wire-protocol parsers and the arithmetic kernels briefly (go
 # fuzzing accepts exactly one target per invocation).

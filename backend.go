@@ -134,11 +134,28 @@ const (
 	ShardByHash
 )
 
+// ReplicaBalance selects how a replicated cluster spreads read load
+// across each shard's healthy replicas (see Cluster.ReadBalance).
+type ReplicaBalance int
+
+const (
+	// ReplicaSticky keeps a healthy shard on its preferred replica —
+	// one warm connection per shard, the default.
+	ReplicaSticky ReplicaBalance = iota
+	// ReplicaRoundRobin rotates reads across healthy replicas, spreading
+	// load (and connection-pool pressure) evenly.
+	ReplicaRoundRobin
+	// ReplicaLeastInflight routes each read to the healthy replica with
+	// the fewest sub-operations in flight.
+	ReplicaLeastInflight
+)
+
 // Cluster is the sharded multi-NDP backend, built by ClusterBackend.
 type Cluster struct {
 	shards   []ShardSpec
 	strategy ShardingStrategy
 	replicas int // 0 or 1: unreplicated
+	balance  ReplicaBalance
 }
 
 // ClusterBackend shards a table's rows across several NDP servers and
@@ -180,6 +197,36 @@ func (c *Cluster) Sharding(s ShardingStrategy) *Cluster {
 func (c *Cluster) Replicas(r int) *Cluster {
 	c.replicas = r
 	return c
+}
+
+// ReadBalance selects the read load-balancing policy across each shard's
+// healthy replicas (default ReplicaSticky). Every replica holds identical
+// ciphertext+tags, so any policy's partials are byte-identical; balancing
+// changes only which connections carry the load — round-robin or
+// least-inflight spreads a hot shard's reads over R servers instead of
+// hammering one. Failover semantics are unchanged. Returns the receiver
+// for chaining:
+//
+//	secndp.ClusterBackend(specs...).Replicas(2).ReadBalance(secndp.ReplicaRoundRobin)
+func (c *Cluster) ReadBalance(p ReplicaBalance) *Cluster {
+	c.balance = p
+	return c
+}
+
+// groupConfig resolves this backend's per-shard replica-group tuning.
+func (c *Cluster) groupConfig() (cluster.GroupConfig, error) {
+	var b cluster.Balance
+	switch c.balance {
+	case ReplicaSticky:
+		b = cluster.BalanceSticky
+	case ReplicaRoundRobin:
+		b = cluster.BalanceRoundRobin
+	case ReplicaLeastInflight:
+		b = cluster.BalanceLeastInflight
+	default:
+		return cluster.GroupConfig{}, fmt.Errorf("secndp: unknown replica balance policy %d", int(c.balance))
+	}
+	return cluster.GroupConfig{Balance: b}, nil
 }
 
 // replicaCount resolves the per-shard replica count (>= 1).
@@ -272,7 +319,11 @@ func (c *Cluster) provision(ctx context.Context, e *Engine, spec TableSpec, rows
 	if e.cfg.fallbackVerifyN > 0 {
 		mirror = staging
 	}
-	groups, err := buildReplicaGroups(transports, nReplicas)
+	gcfg, err := c.groupConfig()
+	if err != nil {
+		return fail(err)
+	}
+	groups, err := buildReplicaGroups(transports, nReplicas, gcfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -333,15 +384,15 @@ func (e *Engine) dialShardSpecs(ctx context.Context, specs []ShardSpec) ([]NDPTr
 }
 
 // buildReplicaGroups folds a shard-major transport list (R consecutive
-// specs per shard) into one failover group per shard.
-func buildReplicaGroups(transports []NDPTransport, nReplicas int) ([]*cluster.ReplicaGroup, error) {
+// specs per shard) into one failover group per shard, each tuned by cfg.
+func buildReplicaGroups(transports []NDPTransport, nReplicas int, cfg cluster.GroupConfig) ([]*cluster.ReplicaGroup, error) {
 	groups := make([]*cluster.ReplicaGroup, len(transports)/nReplicas)
 	for s := range groups {
 		reps := make([]core.NDP, nReplicas)
 		for r := 0; r < nReplicas; r++ {
 			reps[r] = transports[s*nReplicas+r]
 		}
-		g, err := cluster.NewGroup(s, reps, cluster.GroupConfig{})
+		g, err := cluster.NewGroup(s, reps, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -458,7 +509,12 @@ func (t *Table) Reshard(ctx context.Context, backend *Cluster) error {
 			c.Close()
 		}
 	}
-	groups, err := buildReplicaGroups(transports, nReplicas)
+	gcfg, err := backend.groupConfig()
+	if err != nil {
+		closeAll(owned)
+		return err
+	}
+	groups, err := buildReplicaGroups(transports, nReplicas, gcfg)
 	if err != nil {
 		closeAll(owned)
 		return err
@@ -466,7 +522,7 @@ func (t *Table) Reshard(ctx context.Context, backend *Cluster) error {
 	// Root span for the migration: each shipped chunk becomes a child
 	// span, so /debug/trace/{id} shows the whole copy phase.
 	rctx, span := t.eng.tel.startSpan(ctx, "reshard")
-	err = t.cnd.Reshard(rctx, t.tab.Geometry(), newMap, groups, cluster.ReshardOptions{})
+	err = t.cnd.Reshard(rctx, t.state.Load().tab.Geometry(), newMap, groups, cluster.ReshardOptions{})
 	span.EndErr(err, classifyErr(err))
 	if err != nil {
 		if t.cnd.Epoch() == newMap.Epoch() {

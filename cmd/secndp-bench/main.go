@@ -10,6 +10,7 @@
 //	secndp-bench -perf -o BENCH_2026-01-01.json   # regression microbenchmarks
 //	secndp-bench -perf -quick -telemetry :9090 -hold 60s   # live /metrics while (and after) running
 //	secndp-bench -compare BENCH_old.json BENCH_new.json   # per-benchmark deltas
+//	secndp-bench -compare -fail-on 20 old.json new.json   # gate serve-layer ratio regressions
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | csv")
 		perfRun = flag.Bool("perf", false, "run the benchmark-regression suite and emit JSON")
 		compare = flag.Bool("compare", false, "compare two -perf JSON reports (args: old.json new.json)")
+		failOn  = flag.Float64("fail-on", 0, "with -compare: exit non-zero if a machine-independent serve ratio regressed more than this percent")
 		outPath = flag.String("o", "", "output file for -perf JSON (default stdout)")
 		teleAdr = flag.String("telemetry", "", "serve /metrics, /debug/traces, and pprof on this address (e.g. :9090) while running")
 		hold    = flag.Duration("hold", 0, "keep the telemetry server up this long after the run (with -telemetry)")
@@ -60,6 +62,14 @@ func main() {
 		if err := perf.WriteComparison(os.Stdout, oldRep, newRep); err != nil {
 			fmt.Fprintln(os.Stderr, "secndp-bench:", err)
 			os.Exit(1)
+		}
+		if *failOn > 0 {
+			if viols := perf.ServeRegressions(oldRep, newRep, *failOn); len(viols) > 0 {
+				for _, v := range viols {
+					fmt.Fprintln(os.Stderr, "secndp-bench: FAIL:", v)
+				}
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -1,0 +1,239 @@
+// Command secndp-loadgen is the closed-loop load generator for
+// secndp-dlrm: N concurrent simulated users, each replaying a Zipfian
+// DLRM embedding-lookup stream (one bag per table per request) against
+// the serving API and recording per-request latency. At the end it
+// prints — and optionally writes as JSON — achieved vs offered QPS,
+// p50/p99/p999 latency, error and shed counts, and the server's own
+// coalescing-factor and cache-hit-rate counters.
+//
+//	secndp-loadgen -target http://127.0.0.1:8080 -users 64 -duration 10s
+//	secndp-loadgen -target ... -qps 5000          # fixed offered load (0 = saturation)
+//	secndp-loadgen -target ... -o LOAD_run.json   # machine-readable report
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secndp/internal/dlrm"
+)
+
+type report struct {
+	Target      string  `json:"target"`
+	Users       int     `json:"users"`
+	Tables      int     `json:"tables"`
+	BagSize     int     `json:"bag_size"`
+	ZipfS       float64 `json:"zipf_s"`
+	DurationSec float64 `json:"duration_sec"`
+	OfferedQPS  float64 `json:"offered_qps,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	Shed        uint64  `json:"shed"`
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+
+	// Server-side counters scraped from /v1/stats after the run.
+	ServerCoalescingFactor float64 `json:"server_coalescing_factor,omitempty"`
+	ServerCacheHitRate     float64 `json:"server_cache_hit_rate,omitempty"`
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8080", "secndp-dlrm base URL")
+		users    = flag.Int("users", 64, "concurrent closed-loop users")
+		tables   = flag.Int("tables", 4, "tables per request (bags emb0..embN-1)")
+		rows     = flag.Int("rows", 4096, "row index space per table (must match the server)")
+		bagSize  = flag.Int("bag", 8, "rows per bag (pooling factor)")
+		zipfS    = flag.Float64("zipf", 1.07, "Zipf exponent for row popularity (> 1)")
+		maxW     = flag.Uint64("max-weight", 8, "per-row weights drawn from [1,max-weight]; 0 = unweighted")
+		qps      = flag.Float64("qps", 0, "offered load in requests/sec across all users (0 = closed-loop saturation)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement duration")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		outPath  = flag.String("o", "", "also write the report as JSON to this file")
+	)
+	flag.Parse()
+
+	spec := dlrm.TrafficSpec{
+		Tables:       *tables,
+		RowsPerTable: *rows,
+		BagSize:      *bagSize,
+		ZipfS:        *zipfS,
+		MaxWeight:    *maxW,
+	}
+	if _, err := dlrm.NewTraffic(spec, 0); err != nil {
+		fatal(err)
+	}
+
+	var interval time.Duration
+	if *qps > 0 {
+		interval = time.Duration(float64(*users) / *qps * float64(time.Second))
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		requests atomic.Uint64
+		errs     atomic.Uint64
+		shed     atomic.Uint64
+		done     atomic.Bool
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	lookupURL := *target + "/v1/lookup"
+	time.AfterFunc(*duration, func() { done.Store(true) })
+	start := time.Now()
+	for u := 0; u < *users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			traffic, err := dlrm.NewTraffic(spec, *seed*1000+int64(u))
+			if err != nil {
+				fatal(err)
+			}
+			// Jitter pacing start so fixed-QPS users do not phase-lock.
+			next := time.Now().Add(time.Duration(rand.New(rand.NewSource(int64(u))).Int63n(int64(interval + 1))))
+			var mine []time.Duration
+			for !done.Load() {
+				if interval > 0 {
+					if wait := time.Until(next); wait > 0 {
+						time.Sleep(wait)
+					}
+					next = next.Add(interval)
+				}
+				body, err := json.Marshal(toRequest(traffic.Next()))
+				if err != nil {
+					fatal(err)
+				}
+				t0 := time.Now()
+				resp, err := client.Post(lookupURL, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					requests.Add(1)
+					mine = append(mine, time.Since(t0))
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep := report{
+		Target:      *target,
+		Users:       *users,
+		Tables:      *tables,
+		BagSize:     *bagSize,
+		ZipfS:       *zipfS,
+		DurationSec: elapsed.Seconds(),
+		OfferedQPS:  *qps,
+		AchievedQPS: float64(requests.Load()) / elapsed.Seconds(),
+		Requests:    requests.Load(),
+		Errors:      errs.Load(),
+		Shed:        shed.Load(),
+		P50Ns:       pct(lats, 0.50),
+		P99Ns:       pct(lats, 0.99),
+		P999Ns:      pct(lats, 0.999),
+	}
+	scrapeStats(client, *target, &rep)
+
+	fmt.Printf("requests %d (%.0f qps achieved", rep.Requests, rep.AchievedQPS)
+	if rep.OfferedQPS > 0 {
+		fmt.Printf(", %.0f offered", rep.OfferedQPS)
+	}
+	fmt.Printf("), shed %d, errors %d\n", rep.Shed, rep.Errors)
+	fmt.Printf("latency p50 %s  p99 %s  p999 %s\n",
+		time.Duration(rep.P50Ns), time.Duration(rep.P99Ns), time.Duration(rep.P999Ns))
+	if rep.ServerCoalescingFactor > 0 {
+		fmt.Printf("server: coalescing factor %.2f, cache hit rate %.2f\n",
+			rep.ServerCoalescingFactor, rep.ServerCacheHitRate)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if rep.Requests == 0 {
+		fatal(fmt.Errorf("no requests completed"))
+	}
+}
+
+type wireBag struct {
+	Table   string   `json:"table"`
+	Idx     []int    `json:"idx"`
+	Weights []uint64 `json:"weights,omitempty"`
+}
+
+func toRequest(bags []dlrm.LookupBag) map[string][]wireBag {
+	out := make([]wireBag, len(bags))
+	for i, b := range bags {
+		out[i] = wireBag{Table: fmt.Sprintf("emb%d", b.Table), Idx: b.Idx, Weights: b.Weights}
+	}
+	return map[string][]wireBag{"bags": out}
+}
+
+func pct(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i])
+}
+
+func scrapeStats(client *http.Client, target string, rep *report) {
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		CoalescingFactor float64 `json:"coalescing_factor"`
+		CacheHitRate     float64 `json:"cache_hit_rate"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) == nil {
+		rep.ServerCoalescingFactor = body.CoalescingFactor
+		rep.ServerCacheHitRate = body.CacheHitRate
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "secndp-loadgen:", err)
+	os.Exit(1)
+}

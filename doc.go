@@ -68,6 +68,25 @@
 // set by WithTransport (table-owned — Table.Close closes it); with no
 // WithTransport option, dialing uses the zero-value transport defaults.
 //
+// ReplicaGroups normally pin reads to a preferred replica;
+// ClusterBackend(...).Replicas(R).ReadBalance(p) selects a different read
+// policy — ReplicaRoundRobin rotates across healthy replicas,
+// ReplicaLeastInflight picks the one with the fewest outstanding sub-ops.
+//
+// # Multi-tenant serving
+//
+// A Table is safe for concurrent use, but each Query is still one
+// caller's request. For serving many users against shared tables —
+// the DLRM embedding-serving shape — internal/serve layers cross-user
+// batch coalescing (concurrent lookups merge into one QueryBatch per
+// ~200µs window, so a hot row is fetched and verified once per window,
+// not once per user), a bounded epoch-keyed cache of verified rows that
+// Reencrypt and Reshard invalidate by construction, and admission
+// control that sheds overload with a typed error instead of queueing
+// without bound. cmd/secndp-dlrm exposes it over HTTP and
+// cmd/secndp-loadgen is the paired closed-loop load generator; the
+// serving path returns the same verified results the facade would.
+//
 // # Failure model
 //
 // A remote NDP is reached through a fault-tolerant transport: DialReliableNDP

@@ -32,11 +32,17 @@ type ReplicaGroup struct {
 	shard    int
 	replicas []core.NDP
 	cooldown time.Duration
+	balance  Balance
 
 	// preferred is the replica index tried first; the last replica to
 	// answer successfully.
 	preferred atomic.Int32
 	health    []replicaHealth
+	// rr is the round-robin cursor (BalanceRoundRobin).
+	rr atomic.Uint64
+	// inflight counts the sub-operations currently running against each
+	// replica (BalanceLeastInflight reads it; every policy maintains it).
+	inflight []atomic.Int64
 
 	// Per-replica telemetry handles (nil until instrument).
 	tel       []replicaTel
@@ -58,6 +64,25 @@ type replicaTel struct {
 	healthyGa *telemetry.Gauge
 }
 
+// Balance selects how a replica group spreads reads across its healthy
+// replicas. Replicas hold byte-identical ciphertext+tags, so any policy
+// returns byte-identical partials; the policies differ only in which
+// connections carry the load.
+type Balance int
+
+const (
+	// BalanceSticky pins a healthy group to its preferred replica (the
+	// last one to answer) — one warm connection per shard, the default.
+	BalanceSticky Balance = iota
+	// BalanceRoundRobin rotates the first attempt across the healthy
+	// replicas, spreading read load (and connection pressure) evenly.
+	BalanceRoundRobin
+	// BalanceLeastInflight sends each read to the healthy replica with
+	// the fewest sub-operations currently in flight, adapting to
+	// replicas of uneven speed.
+	BalanceLeastInflight
+)
+
 // GroupConfig tunes a replica group's failover behavior.
 type GroupConfig struct {
 	// Cooldown is how long a replica that just failed is demoted to the
@@ -66,6 +91,11 @@ type GroupConfig struct {
 	// resort — the group always exhausts every replica before giving
 	// up. <= 0 selects 500ms.
 	Cooldown time.Duration
+	// Balance selects the read load-balancing policy across healthy
+	// replicas (default BalanceSticky). Failover semantics are
+	// unchanged: every policy walks the full preference order, healthy
+	// replicas before cooling-down ones.
+	Balance Balance
 }
 
 // DefaultReplicaCooldown is the failover cooldown used when GroupConfig
@@ -92,7 +122,9 @@ func NewGroup(shard int, replicas []core.NDP, cfg GroupConfig) (*ReplicaGroup, e
 		shard:    shard,
 		replicas: replicas,
 		cooldown: cd,
+		balance:  cfg.Balance,
 		health:   make([]replicaHealth, len(replicas)),
+		inflight: make([]atomic.Int64, len(replicas)),
 	}, nil
 }
 
@@ -127,23 +159,50 @@ func (g *ReplicaGroup) instrument(reg *telemetry.Registry, prefix string, failov
 	}
 }
 
-// order appends the replica indices to try, in preference order: the
-// preferred replica first, then the remaining healthy replicas in index
-// order, then the cooling-down ones (still tried — a replica mid-cooldown
-// beats the TEE mirror as a last resort).
+// order appends the replica indices to try, in preference order per the
+// group's Balance policy: the healthy replicas first (sticky-preferred,
+// round-robin rotated, or least-inflight sorted), then the cooling-down
+// ones (still tried — a replica mid-cooldown beats the TEE mirror as a
+// last resort).
 func (g *ReplicaGroup) order(dst []int) []int {
 	now := time.Now().UnixNano()
-	pref := int(g.preferred.Load())
 	up := func(r int) bool { return g.health[r].downUntil.Load() <= now }
-	if up(pref) {
-		dst = append(dst, pref)
-	}
-	for r := range g.replicas {
-		if r != pref && up(r) {
-			dst = append(dst, r)
+	head := len(dst)
+	switch g.balance {
+	case BalanceRoundRobin:
+		n := len(g.replicas)
+		start := int(g.rr.Add(1) % uint64(n))
+		for i := 0; i < n; i++ {
+			if r := (start + i) % n; up(r) {
+				dst = append(dst, r)
+			}
+		}
+	case BalanceLeastInflight:
+		for r := range g.replicas {
+			if up(r) {
+				dst = append(dst, r)
+			}
+		}
+		// Stable insertion sort by in-flight count: replica counts are
+		// tiny (R is single digits), and stability keeps index order as
+		// the tie-break.
+		for i := head + 1; i < len(dst); i++ {
+			for j := i; j > head && g.inflight[dst[j]].Load() < g.inflight[dst[j-1]].Load(); j-- {
+				dst[j], dst[j-1] = dst[j-1], dst[j]
+			}
+		}
+	default: // BalanceSticky
+		pref := int(g.preferred.Load())
+		if up(pref) {
+			dst = append(dst, pref)
+		}
+		for r := range g.replicas {
+			if r != pref && up(r) {
+				dst = append(dst, r)
+			}
 		}
 	}
-	// Cooling-down tail: preferred-first ordering matters little here.
+	// Cooling-down tail: preference ordering matters little here.
 	for r := range g.replicas {
 		if !up(r) {
 			dst = append(dst, r)
@@ -151,6 +210,10 @@ func (g *ReplicaGroup) order(dst []int) []int {
 	}
 	return dst
 }
+
+// Inflight reports the sub-operations currently running against replica r
+// (for tests and inspection).
+func (g *ReplicaGroup) Inflight(r int) int64 { return g.inflight[r].Load() }
 
 // success records replica r answering: health resets and r becomes
 // preferred.
@@ -212,7 +275,9 @@ func (g *ReplicaGroup) do(ctx context.Context, op func(ctx context.Context, rep 
 		if span != nil {
 			actx, aspan = span.StartChild(ctx, fmt.Sprintf("replica%d", r))
 		}
+		g.inflight[r].Add(1)
 		err := op(actx, g.replicas[r])
+		g.inflight[r].Add(-1)
 		if err == nil {
 			aspan.End()
 			g.success(r)

@@ -65,9 +65,9 @@ func (f *flakyNDP) TagSum(geo core.Geometry, idx []int, w []uint64) field.Elem {
 // its ops are never reached (tests drive do() with a recording op).
 type fakeNDP struct{ id int }
 
-func (f *fakeNDP) WeightedSum(core.Geometry, []int, []uint64) []uint64      { return nil }
+func (f *fakeNDP) WeightedSum(core.Geometry, []int, []uint64) []uint64          { return nil }
 func (f *fakeNDP) WeightedSumElem(core.Geometry, []int, []int, []uint64) uint64 { return 0 }
-func (f *fakeNDP) TagSum(core.Geometry, []int, []uint64) field.Elem        { return field.Zero }
+func (f *fakeNDP) TagSum(core.Geometry, []int, []uint64) field.Elem             { return field.Zero }
 
 func newFakeGroup(t *testing.T, n int, cooldown time.Duration) *ReplicaGroup {
 	t.Helper()
@@ -423,4 +423,105 @@ func TestEpochGate(t *testing.T) {
 		t.Fatalf("drain under canceled ctx = %v, want context.Canceled", err)
 	}
 	g.exit(2)
+}
+
+// newBalancedGroup is newFakeGroup with a balance policy.
+func newBalancedGroup(t *testing.T, n int, b Balance) *ReplicaGroup {
+	t.Helper()
+	reps := make([]core.NDP, n)
+	for i := range reps {
+		reps[i] = &fakeNDP{id: i}
+	}
+	g, err := NewGroup(0, reps, GroupConfig{Cooldown: time.Hour, Balance: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGroupRoundRobinSpreads: under BalanceRoundRobin every healthy
+// replica takes the same share of first attempts instead of the
+// preferred replica taking all of them.
+func TestGroupRoundRobinSpreads(t *testing.T) {
+	g := newBalancedGroup(t, 3, BalanceRoundRobin)
+	first := map[int]int{}
+	for i := 0; i < 9; i++ {
+		if err := g.do(context.Background(), func(_ context.Context, rep core.NDP) error {
+			first[repID(rep)]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if first[r] != 3 {
+			t.Fatalf("round-robin firsts %v, want 3 each", first)
+		}
+	}
+}
+
+// TestGroupRoundRobinSkipsCoolingDown: a failed replica cools down and
+// the rotation continues over the survivors only; every op still
+// succeeds (balancing must not weaken failover).
+func TestGroupRoundRobinSkipsCoolingDown(t *testing.T) {
+	g := newBalancedGroup(t, 3, BalanceRoundRobin)
+	dead := 1
+	hits := map[int]int{}
+	for i := 0; i < 12; i++ {
+		if err := g.do(context.Background(), func(_ context.Context, rep core.NDP) error {
+			id := repID(rep)
+			if id == dead {
+				return fmt.Errorf("down")
+			}
+			hits[id]++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits[dead] != 0 {
+		t.Fatalf("dead replica served %d ops", hits[dead])
+	}
+	// After the first failure puts it in cooldown, the survivors split the
+	// rotation; each must have served several ops.
+	if hits[0] < 4 || hits[2] < 4 {
+		t.Fatalf("survivors underused: %v", hits)
+	}
+}
+
+// TestGroupLeastInflightOrder: the least-loaded healthy replica is tried
+// first; ties and the rest follow in load order, stably.
+func TestGroupLeastInflightOrder(t *testing.T) {
+	g := newBalancedGroup(t, 3, BalanceLeastInflight)
+	g.inflight[0].Store(5)
+	g.inflight[1].Store(0)
+	g.inflight[2].Store(2)
+	order := g.order(nil)
+	want := []int{1, 2, 0}
+	for i, r := range want {
+		if order[i] != r {
+			t.Fatalf("least-inflight order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestGroupInflightTracking: do() maintains the per-replica in-flight
+// gauge — up while the op runs, back to zero after.
+func TestGroupInflightTracking(t *testing.T) {
+	g := newBalancedGroup(t, 2, BalanceLeastInflight)
+	var seen int64
+	if err := g.do(context.Background(), func(_ context.Context, rep core.NDP) error {
+		seen = g.Inflight(repID(rep))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("in-flight during op = %d, want 1", seen)
+	}
+	for r := 0; r < 2; r++ {
+		if v := g.Inflight(r); v != 0 {
+			t.Fatalf("in-flight after op = %d on replica %d, want 0", v, r)
+		}
+	}
 }

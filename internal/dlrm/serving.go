@@ -1,0 +1,122 @@
+package dlrm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Serving-shaped traffic. Production DLRM inference is dominated by
+// embedding-bag lookups whose row popularity is heavily skewed — a small
+// hot set of categorical values (popular items, frequent users) absorbs
+// most references, with a long Zipfian tail. The serving layer's result
+// cache and cross-user coalescing both live off that skew, so the load
+// harness must generate it faithfully rather than sampling rows
+// uniformly.
+
+// LookupBag is one sparse feature's embedding-bag lookup: pool the rows
+// at Idx of table Table with the given weights (nil = all ones).
+type LookupBag struct {
+	Table   int
+	Idx     []int
+	Weights []uint64
+}
+
+// TrafficSpec shapes a synthetic multi-table serving workload.
+type TrafficSpec struct {
+	// Tables is the number of embedding tables (one bag per table per
+	// request, like one bag per sparse feature).
+	Tables int
+	// RowsPerTable bounds the row index space of each table.
+	RowsPerTable int
+	// BagSize is the pooling factor: rows referenced per bag.
+	BagSize int
+	// ZipfS is the Zipf exponent (must be > 1; production embedding
+	// access traces are commonly fit near 1). 0 selects 1.07.
+	ZipfS float64
+	// ZipfV offsets the Zipf distribution (v >= 1). 0 selects 1.
+	ZipfV float64
+	// MaxWeight, when > 0, draws per-row weights uniformly from
+	// [1, MaxWeight]; 0 leaves bags unweighted (plain SparseLengthsSum).
+	MaxWeight uint64
+}
+
+func (s TrafficSpec) withDefaults() TrafficSpec {
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.07
+	}
+	if s.ZipfV == 0 {
+		s.ZipfV = 1
+	}
+	return s
+}
+
+func (s TrafficSpec) validate() error {
+	if s.Tables <= 0 || s.RowsPerTable <= 0 || s.BagSize <= 0 {
+		return fmt.Errorf("dlrm: traffic spec needs positive Tables/RowsPerTable/BagSize, got %d/%d/%d",
+			s.Tables, s.RowsPerTable, s.BagSize)
+	}
+	if s.ZipfS <= 1 {
+		return fmt.Errorf("dlrm: Zipf exponent %v must be > 1", s.ZipfS)
+	}
+	if s.ZipfV < 1 {
+		return fmt.Errorf("dlrm: Zipf offset %v must be >= 1", s.ZipfV)
+	}
+	return nil
+}
+
+// Traffic generates serving requests under a TrafficSpec. Not safe for
+// concurrent use: give each simulated user its own Traffic (seeded
+// differently) so load generators scale without locking.
+type Traffic struct {
+	spec TrafficSpec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// perm decorrelates rank from row index: Zipf rank r maps to row
+	// perm[r], so the hot set is scattered across the table the way real
+	// categorical IDs are, instead of clustered at low indices.
+	perm []int
+}
+
+// NewTraffic builds a generator. Generators with the same spec and seed
+// produce identical request streams (reproducible benchmarks); the hot
+// set permutation depends only on the spec's dimensions, not the seed,
+// so differently-seeded users share the same hot rows — that overlap is
+// exactly what cross-user coalescing and the hot-row cache exploit.
+func NewTraffic(spec TrafficSpec, seed int64) (*Traffic, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, spec.ZipfS, spec.ZipfV, uint64(spec.RowsPerTable-1))
+	if zipf == nil {
+		return nil, fmt.Errorf("dlrm: invalid Zipf parameters s=%v v=%v", spec.ZipfS, spec.ZipfV)
+	}
+	permRng := rand.New(rand.NewSource(int64(spec.RowsPerTable)*7919 + int64(spec.Tables)))
+	return &Traffic{
+		spec: spec,
+		rng:  rng,
+		zipf: zipf,
+		perm: permRng.Perm(spec.RowsPerTable),
+	}, nil
+}
+
+// Next produces one serving request: one bag per table.
+func (tr *Traffic) Next() []LookupBag {
+	bags := make([]LookupBag, tr.spec.Tables)
+	for t := range bags {
+		idx := make([]int, tr.spec.BagSize)
+		for k := range idx {
+			idx[k] = tr.perm[tr.zipf.Uint64()]
+		}
+		bags[t] = LookupBag{Table: t, Idx: idx}
+		if tr.spec.MaxWeight > 0 {
+			w := make([]uint64, len(idx))
+			for k := range w {
+				w[k] = 1 + tr.rng.Uint64()%tr.spec.MaxWeight
+			}
+			bags[t].Weights = w
+		}
+	}
+	return bags
+}

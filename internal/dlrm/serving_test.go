@@ -1,0 +1,110 @@
+package dlrm
+
+import (
+	"testing"
+)
+
+func TestTrafficValidation(t *testing.T) {
+	if _, err := NewTraffic(TrafficSpec{Tables: 0, RowsPerTable: 8, BagSize: 2}, 1); err == nil {
+		t.Fatal("zero tables accepted")
+	}
+	if _, err := NewTraffic(TrafficSpec{Tables: 1, RowsPerTable: 8, BagSize: 2, ZipfS: 0.5}, 1); err == nil {
+		t.Fatal("Zipf s <= 1 accepted")
+	}
+}
+
+func TestTrafficShapeAndDeterminism(t *testing.T) {
+	spec := TrafficSpec{Tables: 4, RowsPerTable: 128, BagSize: 8, MaxWeight: 6}
+	a, err := NewTraffic(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewTraffic(spec, 42)
+	for r := 0; r < 10; r++ {
+		ba, bb := a.Next(), b.Next()
+		if len(ba) != 4 {
+			t.Fatalf("request has %d bags, want 4", len(ba))
+		}
+		for ti := range ba {
+			if ba[ti].Table != ti {
+				t.Fatalf("bag %d targets table %d", ti, ba[ti].Table)
+			}
+			if len(ba[ti].Idx) != 8 || len(ba[ti].Weights) != 8 {
+				t.Fatalf("bag shape %d/%d, want 8/8", len(ba[ti].Idx), len(ba[ti].Weights))
+			}
+			for k, row := range ba[ti].Idx {
+				if row < 0 || row >= 128 {
+					t.Fatalf("row %d out of range", row)
+				}
+				if row != bb[ti].Idx[k] || ba[ti].Weights[k] != bb[ti].Weights[k] {
+					t.Fatal("same-seed generators diverged")
+				}
+				if w := ba[ti].Weights[k]; w < 1 || w > 6 {
+					t.Fatalf("weight %d outside [1,6]", w)
+				}
+			}
+		}
+	}
+}
+
+// TestTrafficIsSkewed: the workload must concentrate references on a hot
+// set (that is the property the serving layer exploits) and the hot set
+// must be shared across differently seeded users.
+func TestTrafficIsSkewed(t *testing.T) {
+	spec := TrafficSpec{Tables: 1, RowsPerTable: 1024, BagSize: 4}
+	counts := map[int]int{}
+	total := 0
+	hot := map[int]bool{}
+	for user := 0; user < 8; user++ {
+		tr, err := NewTraffic(spec, int64(100+user))
+		if err != nil {
+			t.Fatal(err)
+		}
+		userCounts := map[int]int{}
+		for r := 0; r < 200; r++ {
+			for _, bag := range tr.Next() {
+				for _, row := range bag.Idx {
+					counts[row]++
+					userCounts[row]++
+					total++
+				}
+			}
+		}
+		// Each user's single most-referenced row belongs to the shared hot
+		// set.
+		best, bestN := -1, 0
+		for row, n := range userCounts {
+			if n > bestN {
+				best, bestN = row, n
+			}
+		}
+		hot[best] = true
+	}
+	// Zipf s≈1.07 over 1024 rows: the top handful of rows absorb a large
+	// share of references. Assert loosely: the 8 most popular rows carry
+	// over a quarter of all references, far above the uniform 8/1024.
+	top := make([]int, 0, len(counts))
+	for _, n := range counts {
+		top = append(top, n)
+	}
+	// selection of 8 largest
+	sum8 := 0
+	for i := 0; i < 8; i++ {
+		bi := -1
+		for j, n := range top {
+			if bi < 0 || n > top[bi] {
+				bi = j
+			}
+			_ = j
+		}
+		sum8 += top[bi]
+		top[bi] = -1
+	}
+	if 4*sum8 < total {
+		t.Fatalf("top-8 rows carry %d/%d references; workload not skewed", sum8, total)
+	}
+	// Users share hot rows: 8 users should not produce 8 disjoint argmaxes.
+	if len(hot) > 4 {
+		t.Fatalf("%d distinct per-user hottest rows across 8 users; hot set not shared", len(hot))
+	}
+}

@@ -96,5 +96,93 @@ func clusterBenches(quick bool) []func() (string, testing.BenchmarkResult) {
 			})
 		})
 	}
+	return append(out, replicaBalanceBenches(quick)...)
+}
+
+// replicaBalanceBenches pits sticky replica routing against round-robin
+// read balancing on a 1-shard x 2-replica loopback cluster under a
+// parallel batch load. The pool keeps a single warm connection per
+// server (MaxIdle 1), so sticky routing funnels every concurrent worker
+// through one replica's connection while balancing spreads them over
+// both servers' sockets and CPUs. On a multi-core host the balanced run
+// should win; bench-smoke gates that relation only when the machine has
+// the cores to show it.
+func replicaBalanceBenches(quick bool) []func() (string, testing.BenchmarkResult) {
+	numRows := 4096
+	if quick {
+		numRows = 256
+	}
+	const cols = 64
+	const batchReqs, rowsPerReq = 16, 32
+
+	var out []func() (string, testing.BenchmarkResult)
+	for _, cfg := range []struct {
+		name    string
+		balance secndp.ReplicaBalance
+	}{
+		{"cluster/query_batch_shards1_replicas2_sticky", secndp.ReplicaSticky},
+		{"cluster/query_batch_shards1_replicas2_balanced", secndp.ReplicaRoundRobin},
+	} {
+		cfg := cfg
+		out = append(out, func() (string, testing.BenchmarkResult) {
+			return cfg.name, testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(int64(batchReqs * rowsPerReq * cols * 4))
+				ctx := context.Background()
+				srvs := make([]*secndp.Server, 2)
+				specs := make([]secndp.ShardSpec, 2)
+				for i := range srvs {
+					srvs[i] = secndp.NewServer(secndp.NewMemory())
+					addr, err := srvs[i].Listen("127.0.0.1:0")
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srvs[i].Close()
+					specs[i] = secndp.ShardSpec{Addr: addr}
+				}
+				eng, err := secndp.New([]byte(benchKey), secndp.WithTransport(secndp.TransportConfig{
+					Retry: secndp.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+						MaxDelay: 5 * time.Millisecond},
+					Pool: secndp.PoolConfig{MaxIdle: 1},
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(5))
+				rows := make([][]uint64, numRows)
+				for i := range rows {
+					rows[i] = make([]uint64, cols)
+					for j := range rows[i] {
+						rows[i][j] = rng.Uint64() % (1 << 20)
+					}
+				}
+				tab, err := eng.CreateTable(ctx,
+					secndp.ClusterBackend(specs...).Replicas(2).ReadBalance(cfg.balance),
+					secndp.TableSpec{Name: cfg.name, Rows: numRows, Cols: cols}, rows)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer tab.Close()
+				reqs := make([]secndp.Request, batchReqs)
+				for i := range reqs {
+					idx := make([]int, rowsPerReq)
+					w := make([]uint64, rowsPerReq)
+					for k := range idx {
+						idx[k] = rng.Intn(numRows)
+						w[k] = 1 + rng.Uint64()%16
+					}
+					reqs[i] = secndp.Request{Idx: idx, Weights: w}
+				}
+				b.SetParallelism(4)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := tab.QueryBatch(ctx, reqs); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		})
+	}
 	return out
 }

@@ -102,5 +102,82 @@ func WriteComparison(w io.Writer, oldRep, newRep Report) error {
 	for _, name := range onlyNew {
 		fmt.Fprintf(w, "%-36s only in new report\n", name)
 	}
+	writeServeComparison(w, oldRep, newRep)
 	return nil
+}
+
+// serveRatios extracts the machine-independent serving ratios a report
+// carries — the quantities worth diffing across hosts. Absolute QPS and
+// latency depend on the machine and are reported but never gated.
+func serveRatios(s *ServeReport) []struct {
+	name   string
+	value  float64
+	higher bool // higher is better
+} {
+	return []struct {
+		name   string
+		value  float64
+		higher bool
+	}{
+		{"serve/speedup_x", s.SpeedupX, true},
+		{"serve/coalescing_factor", s.CoalescingFactor, true},
+		{"serve/cache_hit_rate", s.CacheHitRate, true},
+	}
+}
+
+func writeServeComparison(w io.Writer, oldRep, newRep Report) {
+	switch {
+	case oldRep.Serve == nil && newRep.Serve == nil:
+		return
+	case oldRep.Serve == nil:
+		fmt.Fprintf(w, "%-36s only in new report\n", "serve (load harness)")
+		return
+	case newRep.Serve == nil:
+		fmt.Fprintf(w, "%-36s only in old report\n", "serve (load harness)")
+		return
+	}
+	o, n := oldRep.Serve, newRep.Serve
+	fmt.Fprintf(w, "\nload harness (%d users x %d tables; ratios are machine-independent)\n", n.Users, n.Tables)
+	oldRatios, newRatios := serveRatios(o), serveRatios(n)
+	for i, nr := range newRatios {
+		or := oldRatios[i]
+		pct := 0.0
+		if or.value != 0 {
+			pct = (nr.value - or.value) / or.value * 100
+		}
+		fmt.Fprintf(w, "%-36s %14.3f %14.3f %+7.1f%%\n", nr.name, or.value, nr.value, pct)
+	}
+	fmt.Fprintf(w, "%-36s %14.1f %14.1f   (machine-dependent, not gated)\n", "serve/coalesced_qps", o.CoalescedQPS, n.CoalescedQPS)
+	fmt.Fprintf(w, "%-36s %14.1f %14.1f   (machine-dependent, not gated)\n", "serve/p99_ns", o.P99Ns, n.P99Ns)
+}
+
+// ServeRegressions compares the machine-independent serving ratios and
+// returns a violation message per ratio that degraded by more than
+// tolerancePct percent. Used by `secndp-bench -compare -fail-on <pct>`
+// to gate the load-harness numbers against a committed baseline without
+// tripping on cross-machine ns/op noise.
+func ServeRegressions(oldRep, newRep Report, tolerancePct float64) []string {
+	if oldRep.Serve == nil || newRep.Serve == nil {
+		return nil
+	}
+	var out []string
+	oldRatios, newRatios := serveRatios(oldRep.Serve), serveRatios(newRep.Serve)
+	for i, nr := range newRatios {
+		or := oldRatios[i]
+		if or.value <= 0 {
+			continue
+		}
+		dropPct := (or.value - nr.value) / or.value * 100
+		if !nr.higher {
+			dropPct = -dropPct
+		}
+		if dropPct > tolerancePct {
+			out = append(out, fmt.Sprintf("%s regressed %.1f%% (%.3f -> %.3f, tolerance %.1f%%)",
+				nr.name, dropPct, or.value, nr.value, tolerancePct))
+		}
+	}
+	if oldRep.Serve.ShedTyped && !newRep.Serve.ShedTyped {
+		out = append(out, "serve/shed_typed regressed: overload no longer sheds with the typed error")
+	}
+	return out
 }

@@ -50,6 +50,7 @@ type Report struct {
 	Quick      bool         `json:"quick,omitempty"`
 	Results    []Result     `json:"results"`
 	Phases     *PhaseReport `json:"phases,omitempty"`
+	Serve      *ServeReport `json:"serve,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -356,6 +357,11 @@ func Run(quick bool, reg *telemetry.Registry) (Report, error) {
 		return Report{}, err
 	}
 	rep.Phases = phases
+	srv, err := serveStage(quick, reg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Serve = srv
 	for _, b := range benches {
 		name, r := b()
 		if r.N == 0 {

@@ -1,0 +1,60 @@
+package perf
+
+import (
+	"testing"
+
+	"secndp/internal/telemetry"
+)
+
+// TestServeStageQuick runs the load harness end to end in quick mode and
+// pins the structural invariants; the hard performance ratios (speedup,
+// saturation multiples) are gated in CI's bench-smoke job where the run
+// isn't sharing the machine with the race detector and sibling tests.
+func TestServeStageQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness stage is seconds-long")
+	}
+	reg := telemetry.NewRegistry()
+	rep, err := serveStage(true, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline %.0f qps, coalesced %.0f qps (%.2fx); coalescing factor %.2f, cache hit rate %.2f; p50/p99/p999 %.0f/%.0f/%.0f ns; offered %.0f achieved %.0f; shed %d",
+		rep.BaselineQPS, rep.CoalescedQPS, rep.SpeedupX, rep.CoalescingFactor, rep.CacheHitRate,
+		rep.P50Ns, rep.P99Ns, rep.P999Ns, rep.OfferedQPS, rep.AchievedQPS, rep.Shed)
+	if rep.Users != 64 || rep.Tables != 4 {
+		t.Fatalf("fixture shape %d users x %d tables, want 64x4", rep.Users, rep.Tables)
+	}
+	if rep.BaselineQPS <= 0 || rep.CoalescedQPS <= 0 {
+		t.Fatalf("degenerate QPS: baseline %.1f, coalesced %.1f", rep.BaselineQPS, rep.CoalescedQPS)
+	}
+	if rep.SpeedupX <= 1 {
+		t.Fatalf("coalesced serving no faster than per-request fan-out: %.2fx", rep.SpeedupX)
+	}
+	if rep.CoalescingFactor <= 1 {
+		t.Fatalf("coalescing factor %.2f, want > 1", rep.CoalescingFactor)
+	}
+	if rep.CacheHitRate <= 0 {
+		t.Fatal("Zipfian workload produced zero cache hits")
+	}
+	if rep.P99Ns < rep.P50Ns || rep.P999Ns < rep.P99Ns {
+		t.Fatalf("percentiles not monotone: p50 %.0f p99 %.0f p999 %.0f", rep.P50Ns, rep.P99Ns, rep.P999Ns)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatal("offered-load stage completed nothing")
+	}
+	if rep.Shed == 0 || !rep.ShedTyped {
+		t.Fatalf("overload stage: shed=%d typed=%v, want typed sheds", rep.Shed, rep.ShedTyped)
+	}
+	// The gated ratios surfaced as gauges on the registry.
+	snap := reg.Snapshot()
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Name == "secndp_perf_serve_speedup_x_milli" && g.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("speedup gauge missing from registry")
+	}
+}

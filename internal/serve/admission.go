@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the load-shedding front door: a semaphore of MaxInflight
+// slots plus a bounded count of waiters. A lookup that finds every slot
+// busy AND the wait queue full is shed immediately with ErrOverloaded —
+// the queue never grows without bound, so overload degrades into fast
+// typed rejections instead of latency collapse.
+type admission struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	met      *metrics
+}
+
+func newAdmission(maxInflight, maxQueue int, met *metrics) *admission {
+	return &admission{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+		met:      met,
+	}
+}
+
+// acquire takes an admission slot, waiting in the bounded queue if all
+// slots are busy. Returns ErrOverloaded when the queue is full, or
+// ctx.Err() if the caller gives up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+func (a *admission) inflightCount() int64 { return int64(len(a.sem)) }
+func (a *admission) queueDepth() int64    { return a.queued.Load() }

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"secndp"
+)
+
+// coalescer merges concurrent users' cache-missing row fetches for one
+// table into facade QueryBatch calls. Two triggers flush the forming
+// batch: the batch window elapsing (bounding the latency a lone row
+// waits for company) and the batch size cap (bounding batch latency
+// under load — a full batch flushes immediately, and the next arrival
+// starts a new one).
+//
+// A row requested while an identical (row, epoch) fetch is pending —
+// queued or already on the wire — joins it instead of fetching again:
+// this is the cross-user coalescing the per-request path cannot do. The
+// coalescing factor (row references entering the coalescer per row
+// actually fetched) is the layer's headline metric.
+type coalescer struct {
+	svc *Service
+	ts  *tableServe
+
+	mu      sync.Mutex
+	pending map[int]*rowFetch
+	queued  []*rowFetch
+	timer   *time.Timer // window timer for the forming batch, if armed
+	// gen guards the window timer: each flush bumps it, so a timer that
+	// fires after its batch already flushed is a no-op.
+	gen uint64
+}
+
+// rowFetch is one distinct (row, epoch) fetch in a batch. Waiters select
+// on done; the flush goroutine fills the result fields before closing it
+// (the channel close publishes them).
+type rowFetch struct {
+	row   int
+	epoch uint64
+	done  chan struct{}
+
+	vals     []uint64
+	verified bool
+	degraded bool
+	err      error
+}
+
+func newCoalescer(svc *Service, ts *tableServe) *coalescer {
+	return &coalescer{
+		svc:     svc,
+		ts:      ts,
+		pending: make(map[int]*rowFetch),
+	}
+}
+
+// enqueue registers fetches for the given rows under one epoch,
+// returning one rowFetch per input row (duplicates within rows share a
+// fetch). It never blocks on the NDP — batches run on their own
+// goroutines — so a multi-bag request can enqueue against every table
+// before awaiting any.
+func (co *coalescer) enqueue(rows []int, epoch uint64) []*rowFetch {
+	out := make([]*rowFetch, len(rows))
+	co.mu.Lock()
+	for i, row := range rows {
+		if rf := co.pending[row]; rf != nil && rf.epoch == epoch {
+			// Join the pending fetch — queued or already in flight; same
+			// epoch means its result is exactly this request's row.
+			co.svc.met.joins.inc()
+			out[i] = rf
+			continue
+		}
+		rf := &rowFetch{row: row, epoch: epoch, done: make(chan struct{})}
+		co.pending[row] = rf
+		co.queued = append(co.queued, rf)
+		out[i] = rf
+		if len(co.queued) >= co.svc.cfg.MaxBatch {
+			co.svc.met.sizeFlushes.inc()
+			co.flushLocked()
+		} else if len(co.queued) == 1 {
+			co.armLocked()
+		}
+	}
+	co.mu.Unlock()
+	return out
+}
+
+// armLocked starts the window timer for a freshly started batch. The
+// captured generation makes the timer batch-specific: if a size trigger
+// (or Close) flushed the batch first, the timer finds gen advanced and
+// does nothing.
+func (co *coalescer) armLocked() {
+	gen := co.gen
+	co.svc.wg.Add(1)
+	co.timer = time.AfterFunc(co.svc.cfg.Window, func() {
+		defer co.svc.wg.Done()
+		co.mu.Lock()
+		if co.gen == gen && len(co.queued) > 0 {
+			co.svc.met.windowFlushes.inc()
+			co.flushLocked()
+		}
+		co.mu.Unlock()
+	})
+}
+
+// flushLocked hands the queued batch to a flush goroutine and resets the
+// forming state. Flushed fetches stay in pending until their results
+// land, so late arrivals still join in-flight work.
+func (co *coalescer) flushLocked() {
+	batch := co.queued
+	co.queued = nil
+	co.gen++
+	if co.timer != nil {
+		// A stopped timer never runs its callback, so its wg hold is ours
+		// to release; if Stop loses the race the fired callback sees the
+		// bumped gen, does nothing, and releases the hold itself.
+		if co.timer.Stop() {
+			co.svc.wg.Done()
+		}
+		co.timer = nil
+	}
+	co.svc.met.batches.inc()
+	co.svc.met.rowsFetched.add(uint64(len(batch)))
+	co.svc.wg.Add(1)
+	go co.run(batch)
+}
+
+// flushNow force-flushes the forming batch (Close path).
+func (co *coalescer) flushNow() {
+	co.mu.Lock()
+	if len(co.queued) > 0 {
+		co.flushLocked()
+	}
+	co.mu.Unlock()
+}
+
+// run executes one batch: every distinct row fetched as a unit-weight
+// single-row request, so the facade's batched pipeline generates each
+// row's pads once and verifies the whole batch with one aggregated MAC
+// check. Runs under the service context — one waiter's cancellation
+// never aborts a batch other users share.
+func (co *coalescer) run(batch []*rowFetch) {
+	defer co.svc.wg.Done()
+	start := time.Now()
+	reqs := make([]secndp.Request, len(batch))
+	rows := make([]int, len(batch))
+	one := []uint64{1}
+	for i, rf := range batch {
+		rows[i] = rf.row
+		reqs[i] = secndp.Request{Idx: rows[i : i+1], Weights: one}
+	}
+	res, err := co.ts.tab.QueryBatch(co.svc.baseCtx, reqs)
+	for i, rf := range batch {
+		if i < len(res) && res[i].Values != nil {
+			rf.vals = res[i].Values
+			rf.verified = res[i].Verified
+			rf.degraded = res[i].Degraded
+			// Populate the cache before waking waiters so a hot row is
+			// servable the instant its fetch lands. The entry is keyed
+			// under the epoch the fetch was *enqueued* at: if the table
+			// rotated mid-fetch these values are pre-rotation and must
+			// not be visible to post-rotation epochs.
+			co.ts.cache.put(rf.row, rf.epoch, rowEntry{
+				vals: res[i].Values, verified: res[i].Verified, degraded: res[i].Degraded,
+			})
+		} else {
+			cause := err
+			if cause == nil {
+				cause = errors.New("serve: batch result missing")
+			}
+			rf.err = fmt.Errorf("serve: fetch row %d: %w", rf.row, cause)
+		}
+		close(rf.done)
+	}
+	co.svc.met.observeBatch(time.Since(start))
+	// Retire the completed fetches from pending — unless a newer fetch
+	// for the same row (different epoch) already replaced them.
+	co.mu.Lock()
+	for _, rf := range batch {
+		if co.pending[rf.row] == rf {
+			delete(co.pending, rf.row)
+		}
+	}
+	co.mu.Unlock()
+}

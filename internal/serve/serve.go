@@ -1,0 +1,400 @@
+// Package serve is the multi-tenant embedding-serving layer over the
+// secndp facade: many concurrent users issue multi-table embedding-bag
+// lookups, and the service turns them into far fewer verified NDP
+// operations than per-request fan-out would.
+//
+// Three mechanisms stack, in the order a lookup meets them:
+//
+//   - Admission control: a semaphore bounds the lookups in flight and a
+//     bounded queue absorbs bursts; beyond both, the lookup is shed
+//     immediately with ErrOverloaded (typed — callers branch with
+//     errors.Is) instead of growing an unbounded queue until collapse.
+//   - A sharded hot-row result cache: decrypted, verified row vectors
+//     keyed by (row, table epoch). DLRM traffic is Zipfian, so a small
+//     cache absorbs most row references; entries are invalidated by
+//     epoch comparison, so a Reencrypt or Reshard (which bump
+//     Table.Epoch) can never serve pre-rotation plaintext.
+//   - A per-table coalescer: cache-missing rows from concurrent lookups
+//     merge into one facade QueryBatch on a batch-window or batch-size
+//     trigger, so the batched pipeline's cross-request dedup and
+//     aggregated verification (DESIGN.md §8) amortize pads and MACs
+//     across users, not just within one caller.
+//
+// The quantitative story: per-request fan-out pays one NDP exchange and
+// one MAC verification per bag; the serving layer pays ~hit-rate nothing
+// for cached rows and one exchange + one aggregated MAC per coalesced
+// batch for the rest. The perf harness (internal/perf, serve stage)
+// measures the resulting saturation-QPS multiple.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secndp"
+	"secndp/internal/ring"
+	"secndp/internal/telemetry"
+)
+
+// Typed serving errors; branch with errors.Is.
+var (
+	// ErrOverloaded: admission control shed the lookup — the in-flight
+	// semaphore and the bounded wait queue were both full. Clients
+	// should back off (HTTP servers map it to 503).
+	ErrOverloaded = errors.New("serve: overloaded: admission queue full")
+	// ErrUnknownTable: the bag names a table the service does not hold.
+	ErrUnknownTable = errors.New("serve: unknown table")
+	// ErrClosed: the service has been closed.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Config tunes a Service. The zero value selects the documented
+// defaults.
+type Config struct {
+	// Window is the coalescing window: the longest a cache-missing row
+	// waits for co-batched company before the batch flushes. <= 0
+	// selects 200µs.
+	Window time.Duration
+	// MaxBatch flushes a table's batch as soon as it holds this many
+	// distinct rows, without waiting out the window. <= 0 selects 256.
+	MaxBatch int
+	// MaxInflight bounds the lookups admitted concurrently. <= 0
+	// selects 256.
+	MaxInflight int
+	// MaxQueue bounds the lookups waiting for an admission slot beyond
+	// MaxInflight; an arrival finding the queue full is shed with
+	// ErrOverloaded. <= 0 selects 4*MaxInflight.
+	MaxQueue int
+	// CacheRows bounds each table's hot-row result cache (decrypted row
+	// vectors). 0 selects 4096; negative disables the cache.
+	CacheRows int
+	// Registry receives serve-layer telemetry (secndp_serve_* series
+	// and the /debug/serve source). nil disables.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 200 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.CacheRows == 0 {
+		c.CacheRows = 4096
+	}
+	return c
+}
+
+// Bag is one embedding-bag lookup: result[j] = Σ_k Weights[k] ·
+// T[Idx[k]][j] over the named table, reduced in the table's ring — the
+// same weighted sum Table.Query computes, assembled here from cached and
+// coalesced row fetches by the scheme's linearity. Weights nil means all
+// ones (plain SparseLengthsSum pooling).
+type Bag struct {
+	Table   string
+	Idx     []int
+	Weights []uint64
+}
+
+// BagResult is one bag's pooled output.
+type BagResult struct {
+	// Values holds one element per table column.
+	Values []uint64
+	// Verified reports that every row contribution came from a verified
+	// NDP fetch (directly or via the cache, which stores only the
+	// verification status the fetch carried).
+	Verified bool
+	// Degraded reports that at least one row contribution was served
+	// from the TEE mirror fallback rather than the NDP.
+	Degraded bool
+	// CacheHits counts the bag's row references served from the hot-row
+	// cache.
+	CacheHits int
+}
+
+// Service is the multi-tenant serving layer. Build with New, register
+// tables with AddTable, then serve Lookup/LookupBags from any number of
+// goroutines. Safe for concurrent use.
+type Service struct {
+	cfg Config
+	adm *admission
+	met *metrics
+
+	// baseCtx outlives any single lookup: coalesced batches run under it
+	// so one user's cancellation cannot abort a batch other users are
+	// waiting on. Close cancels it.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	mu     sync.RWMutex
+	tables map[string]*tableServe
+}
+
+// tableServe is one table's serving state: the facade handle, its ring
+// for TEE-side bag assembly, the hot-row cache, and the coalescer.
+type tableServe struct {
+	name string
+	tab  *secndp.Table
+	ring ring.Ring
+	cols int
+	rows int
+
+	cache *rowCache
+	co    *coalescer
+}
+
+// New builds a Service. Call Close when done: it flushes pending
+// batches, cancels in-flight NDP work, and waits for the flush
+// goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		met:     newMetrics(cfg.Registry),
+		baseCtx: ctx,
+		cancel:  cancel,
+		tables:  make(map[string]*tableServe),
+	}
+	s.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, s.met)
+	if cfg.Registry != nil {
+		cfg.Registry.GaugeFunc("secndp_serve_inflight", "lookups holding an admission slot", s.adm.inflightCount)
+		cfg.Registry.GaugeFunc("secndp_serve_queue_depth", "lookups waiting for an admission slot", s.adm.queueDepth)
+		cfg.Registry.RegisterDebug("serve", func() any { return s.debugState() })
+	}
+	return s
+}
+
+// AddTable registers a table under a serving name. Tables must be
+// registered before traffic; re-registering a name is an error.
+func (s *Service) AddTable(name string, tab *secndp.Table) error {
+	if tab == nil {
+		return fmt.Errorf("serve: AddTable(%q): nil table", name)
+	}
+	geo := tab.Geometry()
+	rg, err := ring.New(geo.Params.We)
+	if err != nil {
+		return fmt.Errorf("serve: AddTable(%q): %w", name, err)
+	}
+	ts := &tableServe{
+		name:  name,
+		tab:   tab,
+		ring:  rg,
+		cols:  geo.Params.M,
+		rows:  geo.Layout.NumRows,
+		cache: newRowCache(s.cfg.CacheRows, s.met),
+	}
+	ts.co = newCoalescer(s, ts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return fmt.Errorf("serve: table %q already registered", name)
+	}
+	s.tables[name] = ts
+	return nil
+}
+
+// Tables lists the registered serving names.
+func (s *Service) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (s *Service) table(name string) (*tableServe, error) {
+	s.mu.RLock()
+	ts := s.tables[name]
+	s.mu.RUnlock()
+	if ts == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, name)
+	}
+	return ts, nil
+}
+
+// Lookup serves one bag. Admission control applies; see LookupBags for
+// the multi-bag form (one admission slot either way).
+func (s *Service) Lookup(ctx context.Context, bag Bag) (BagResult, error) {
+	res, err := s.LookupBags(ctx, []Bag{bag})
+	if err != nil {
+		return BagResult{}, err
+	}
+	return res[0], nil
+}
+
+// LookupBags serves one user request of several bags (typically one per
+// sparse feature/table) under a single admission slot. All bags' row
+// misses are enqueued into their tables' coalescers before any result is
+// awaited, so a multi-table request overlaps its batch windows instead
+// of paying them serially. Results align with bags; the first failure
+// aborts the request (a canceled ctx abandons only this caller's wait —
+// batches other users share complete regardless).
+func (s *Service) LookupBags(ctx context.Context, bags []Bag) ([]BagResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(bags) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	s.met.lookups.inc()
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.met.shed.inc()
+		} else {
+			s.met.lookupErrors.inc()
+		}
+		return nil, err
+	}
+	defer s.adm.release()
+
+	// Phase 1: per bag, fold cache hits into the accumulator and enqueue
+	// the misses. No waiting yet — enqueue everything first so all
+	// tables' batch windows run concurrently.
+	pend := make([]*pendingBag, len(bags))
+	for i, bag := range bags {
+		pb, err := s.startBag(bag)
+		if err != nil {
+			s.met.lookupErrors.inc()
+			return nil, fmt.Errorf("bag %d: %w", i, err)
+		}
+		pend[i] = pb
+	}
+	// Phase 2: await the fetches and assemble.
+	out := make([]BagResult, len(bags))
+	for i, pb := range pend {
+		res, err := pb.wait(ctx)
+		if err != nil {
+			s.met.lookupErrors.inc()
+			return nil, fmt.Errorf("bag %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	s.met.observeLookup(time.Since(start))
+	return out, nil
+}
+
+// pendingBag is a bag mid-assembly: cache hits already folded into acc,
+// misses enqueued as rowFetches awaiting their batch.
+type pendingBag struct {
+	ts      *tableServe
+	acc     []uint64
+	fetches []*rowFetch
+	missW   []uint64
+	res     BagResult
+}
+
+// startBag validates the bag, folds cache hits, and enqueues misses into
+// the table's coalescer.
+func (s *Service) startBag(bag Bag) (*pendingBag, error) {
+	ts, err := s.table(bag.Table)
+	if err != nil {
+		return nil, err
+	}
+	if bag.Weights != nil && len(bag.Weights) != len(bag.Idx) {
+		return nil, fmt.Errorf("serve: table %q: %d weights for %d indices", bag.Table, len(bag.Weights), len(bag.Idx))
+	}
+	for _, row := range bag.Idx {
+		if row < 0 || row >= ts.rows {
+			return nil, fmt.Errorf("serve: table %q: row %d out of range [0,%d)", bag.Table, row, ts.rows)
+		}
+	}
+	s.met.rowRefs.add(uint64(len(bag.Idx)))
+	// The epoch is sampled before any cache read or fetch enqueue: a
+	// rotation between sampling and fetch completion keys the fetched
+	// rows under the old epoch, so post-rotation lookups (which sample
+	// the new epoch) can never hit them.
+	epoch := ts.tab.Epoch()
+	pb := &pendingBag{
+		ts:  ts,
+		acc: make([]uint64, ts.cols),
+		res: BagResult{Verified: true},
+	}
+	var missRows []int
+	for k, row := range bag.Idx {
+		w := uint64(1)
+		if bag.Weights != nil {
+			w = bag.Weights[k]
+		}
+		if e, ok := ts.cache.get(row, epoch); ok {
+			pb.res.CacheHits++
+			pb.res.Verified = pb.res.Verified && e.verified
+			pb.res.Degraded = pb.res.Degraded || e.degraded
+			for j, v := range e.vals {
+				pb.acc[j] += w * v
+			}
+			continue
+		}
+		missRows = append(missRows, row)
+		pb.missW = append(pb.missW, w)
+	}
+	if len(missRows) > 0 {
+		pb.fetches = ts.co.enqueue(missRows, epoch)
+	}
+	return pb, nil
+}
+
+// wait blocks until every enqueued fetch lands (or ctx is done), folds
+// the fetched rows into the accumulator, and reduces in the ring.
+func (pb *pendingBag) wait(ctx context.Context) (BagResult, error) {
+	for i, rf := range pb.fetches {
+		select {
+		case <-rf.done:
+		case <-ctx.Done():
+			return BagResult{}, ctx.Err()
+		}
+		if rf.err != nil {
+			return BagResult{}, fmt.Errorf("table %q row %d: %w", pb.ts.name, rf.row, rf.err)
+		}
+		pb.res.Verified = pb.res.Verified && rf.verified
+		pb.res.Degraded = pb.res.Degraded || rf.degraded
+		w := pb.missW[i]
+		for j, v := range rf.vals {
+			pb.acc[j] += w * v
+		}
+	}
+	// Wrapping uint64 accumulation then one mask per column is exactly
+	// reduction mod 2^we (2^we divides 2^64), matching the core engine's
+	// ring arithmetic — the equivalence tests pin this byte-for-byte
+	// against Table.Query.
+	for j := range pb.acc {
+		pb.acc[j] = pb.ts.ring.Reduce(pb.acc[j])
+	}
+	pb.res.Values = pb.acc
+	return pb.res, nil
+}
+
+// Close shuts the service down: new lookups fail with ErrClosed, pending
+// batches flush immediately (their waiters complete or observe the
+// cancellation), and Close blocks until every flush goroutine exits.
+func (s *Service) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Cancel first so flushed batches fail fast instead of running whole
+	// NDP exchanges during shutdown, then flush so no waiter hangs on a
+	// batch that would otherwise wait out its window.
+	s.cancel()
+	s.mu.RLock()
+	for _, ts := range s.tables {
+		ts.co.flushNow()
+	}
+	s.mu.RUnlock()
+	s.wg.Wait()
+}

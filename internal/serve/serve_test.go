@@ -1,0 +1,460 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"secndp"
+	"secndp/internal/serve"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func testRows(rng *rand.Rand, n, m int, bound uint64) [][]uint64 {
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = make([]uint64, m)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint64() % bound
+		}
+	}
+	return rows
+}
+
+func plainSum(rows [][]uint64, idx []int, w []uint64, m int, mask uint64) []uint64 {
+	acc := make([]uint64, m)
+	for k, i := range idx {
+		wk := uint64(1)
+		if w != nil {
+			wk = w[k]
+		}
+		for j := 0; j < m; j++ {
+			acc[j] = (acc[j] + wk*rows[i][j]) & mask
+		}
+	}
+	return acc
+}
+
+// harness is a Service over nTables local tables with known plaintext.
+type harness struct {
+	svc    *serve.Service
+	tabs   []*secndp.Table
+	plains [][][]uint64
+	names  []string
+}
+
+func newHarness(t *testing.T, nTables, rows, cols int, seed int64, cfg serve.Config) *harness {
+	t.Helper()
+	eng, err := secndp.New(testKey, secndp.WithPadCache(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{svc: serve.New(cfg)}
+	t.Cleanup(h.svc.Close)
+	rng := rand.New(rand.NewSource(seed))
+	for ti := 0; ti < nTables; ti++ {
+		plain := testRows(rng, rows, cols, 1<<20)
+		name := "emb" + string(rune('0'+ti))
+		tab, err := eng.CreateTable(context.Background(), secndp.LocalBackend(secndp.NewMemory()),
+			secndp.TableSpec{Name: name, Rows: rows, Cols: cols}, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tab.Close)
+		if err := h.svc.AddTable(name, tab); err != nil {
+			t.Fatal(err)
+		}
+		h.tabs = append(h.tabs, tab)
+		h.plains = append(h.plains, plain)
+		h.names = append(h.names, name)
+	}
+	return h
+}
+
+func (h *harness) check(t *testing.T, ti int, bag serve.Bag, res serve.BagResult) {
+	t.Helper()
+	want := plainSum(h.plains[ti], bag.Idx, bag.Weights, len(h.plains[ti][0]), 0xFFFFFFFF)
+	for j := range want {
+		if res.Values[j] != want[j] {
+			t.Fatalf("table %d col %d: %d != %d", ti, j, res.Values[j], want[j])
+		}
+	}
+}
+
+// TestServeEquivalence: serving-layer bag lookups — assembled from
+// cached and coalesced unit-weight fetches — are byte-identical to the
+// plaintext oracle and to direct Table.Query, across random bags,
+// weights, and repeat traffic that exercises the cache.
+func TestServeEquivalence(t *testing.T) {
+	h := newHarness(t, 2, 64, 16, 1, serve.Config{Window: 50 * time.Microsecond})
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		ti := rng.Intn(2)
+		n := 1 + rng.Intn(10)
+		idx := make([]int, n)
+		w := make([]uint64, n)
+		for k := range idx {
+			idx[k] = rng.Intn(64)
+			w[k] = 1 + rng.Uint64()%8
+		}
+		bag := serve.Bag{Table: h.names[ti], Idx: idx, Weights: w}
+		res, err := h.svc.Lookup(context.Background(), bag)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Verified {
+			t.Fatalf("trial %d: unverified", trial)
+		}
+		h.check(t, ti, bag, res)
+		// Cross-check against the facade directly.
+		direct, err := h.tabs[ti].Query(context.Background(), secndp.Request{Idx: idx, Weights: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range direct.Values {
+			if direct.Values[j] != res.Values[j] {
+				t.Fatalf("trial %d col %d: serve %d != direct %d", trial, j, res.Values[j], direct.Values[j])
+			}
+		}
+	}
+	st := h.svc.Stats()
+	if st.CacheHits == 0 {
+		t.Error("repeat traffic produced no cache hits")
+	}
+}
+
+// TestServeNilWeightsAndMultiTable: nil weights mean all-ones pooling,
+// and one LookupBags call spanning every table returns per-bag results
+// in order under a single admission slot.
+func TestServeNilWeightsAndMultiTable(t *testing.T) {
+	h := newHarness(t, 4, 32, 8, 3, serve.Config{Window: 50 * time.Microsecond})
+	bags := make([]serve.Bag, 4)
+	for ti := range bags {
+		bags[ti] = serve.Bag{Table: h.names[ti], Idx: []int{1, 5, 5, 17}}
+	}
+	out, err := h.svc.LookupBags(context.Background(), bags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d results for 4 bags", len(out))
+	}
+	for ti := range bags {
+		h.check(t, ti, bags[ti], out[ti])
+	}
+}
+
+// TestServeCoalescing: concurrent users hammering a small hot set (with
+// the result cache disabled so every reference reaches the coalescer)
+// must share fetches — the coalescing factor strictly exceeds 1 and
+// every result still matches the oracle.
+func TestServeCoalescing(t *testing.T) {
+	h := newHarness(t, 1, 64, 16, 4, serve.Config{
+		Window:    2 * time.Millisecond,
+		CacheRows: -1, // isolate coalescing from caching
+	})
+	const users = 32
+	var wg sync.WaitGroup
+	errc := make(chan error, users)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + u)))
+			for i := 0; i < 8; i++ {
+				idx := []int{rng.Intn(4), 4 + rng.Intn(4)} // tiny hot set
+				bag := serve.Bag{Table: h.names[0], Idx: idx}
+				res, err := h.svc.Lookup(context.Background(), bag)
+				if err != nil {
+					errc <- err
+					return
+				}
+				want := plainSum(h.plains[0], idx, nil, 16, 0xFFFFFFFF)
+				for j := range want {
+					if res.Values[j] != want[j] {
+						errc <- errors.New("value mismatch under coalescing")
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := h.svc.Stats()
+	if st.CoalesceJoins == 0 {
+		t.Fatal("32 users on an 8-row hot set produced zero coalesce joins")
+	}
+	if f := st.CoalescingFactor(); f <= 1 {
+		t.Fatalf("coalescing factor %.2f, want > 1", f)
+	}
+}
+
+// TestServeWindowVsSizeTrigger races the two flush triggers under -race:
+// a tiny MaxBatch forces size flushes while lone stragglers flush by
+// window, concurrently, and every lookup still completes correctly.
+func TestServeWindowVsSizeTrigger(t *testing.T) {
+	h := newHarness(t, 1, 64, 16, 5, serve.Config{
+		Window:    100 * time.Microsecond,
+		MaxBatch:  2, // size trigger fires constantly
+		CacheRows: -1,
+	})
+	const users = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, users)
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + u)))
+			for i := 0; i < 10; i++ {
+				idx := []int{rng.Intn(64)}
+				res, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: idx})
+				if err != nil {
+					errc <- err
+					return
+				}
+				want := plainSum(h.plains[0], idx, nil, 16, 0xFFFFFFFF)
+				for j := range want {
+					if res.Values[j] != want[j] {
+						errc <- errors.New("mismatch under trigger race")
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	st := h.svc.Stats()
+	if st.SizeFlushes == 0 {
+		t.Error("MaxBatch=2 under 16 users never size-flushed")
+	}
+	// A lone trailing lookup must flush by window, not hang.
+	res, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: []int{63}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainSum(h.plains[0], []int{63}, nil, 16, 0xFFFFFFFF)
+	if res.Values[0] != want[0] {
+		t.Fatal("window-flushed straggler mismatch")
+	}
+	if h.svc.Stats().WindowFlushes == 0 {
+		t.Error("lone lookup never window-flushed")
+	}
+}
+
+// TestServeCancelMidCoalesce: a user canceling mid-window abandons only
+// its own wait — the batch it joined still runs under the service
+// context and the other user in the same batch gets a correct result.
+func TestServeCancelMidCoalesce(t *testing.T) {
+	h := newHarness(t, 1, 64, 16, 6, serve.Config{
+		Window:    30 * time.Millisecond, // long window: both users land in one batch
+		CacheRows: -1,
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var cancelErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, cancelErr = h.svc.Lookup(cctx, serve.Bag{Table: h.names[0], Idx: []int{1}})
+	}()
+	// Second user joins the same forming batch, then the first cancels.
+	time.Sleep(2 * time.Millisecond)
+	type out struct {
+		res serve.BagResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: []int{2}})
+		done <- out{res, err}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if !errors.Is(cancelErr, context.Canceled) {
+		t.Fatalf("canceled lookup returned %v, want context.Canceled", cancelErr)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("surviving user in the canceled user's batch failed: %v", o.err)
+	}
+	want := plainSum(h.plains[0], []int{2}, nil, 16, 0xFFFFFFFF)
+	for j := range want {
+		if o.res.Values[j] != want[j] {
+			t.Fatal("surviving user got wrong values")
+		}
+	}
+	if !o.res.Verified {
+		t.Fatal("surviving user lost verification")
+	}
+}
+
+// TestServeShedsTyped: with one admission slot and a one-deep queue,
+// a burst beyond capacity sheds immediately with ErrOverloaded —
+// errors.Is-matchable, no unbounded queueing — while admitted lookups
+// complete correctly.
+func TestServeShedsTyped(t *testing.T) {
+	h := newHarness(t, 1, 64, 16, 7, serve.Config{
+		Window:      50 * time.Millisecond, // holds the admitted lookup in its window
+		MaxInflight: 1,
+		MaxQueue:    1,
+		CacheRows:   -1,
+	})
+	const burst = 6
+	errs := make(chan error, burst)
+	var wg sync.WaitGroup
+	for u := 0; u < burst; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			_, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: []int{u % 64}})
+			errs <- err
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	var ok, shed, other int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, serve.ErrOverloaded):
+			shed++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("%d lookups failed with non-shed errors", other)
+	}
+	if shed == 0 {
+		t.Fatalf("burst of %d over capacity 2 shed nothing (ok=%d)", burst, ok)
+	}
+	if ok == 0 {
+		t.Fatal("every lookup shed; admitted ones should have completed")
+	}
+	if st := h.svc.Stats(); st.Shed != uint64(shed) {
+		t.Fatalf("Stats.Shed = %d, want %d", st.Shed, shed)
+	}
+}
+
+// TestServeCacheNeverServesPreRotationRows is the staleness regression:
+// a hot row cached before Reencrypt must never be served after it — the
+// epoch bump invalidates the entry and the next lookup returns the
+// post-rotation plaintext.
+func TestServeCacheNeverServesPreRotationRows(t *testing.T) {
+	h := newHarness(t, 1, 16, 8, 8, serve.Config{Window: 50 * time.Microsecond})
+	ctx := context.Background()
+	bag := serve.Bag{Table: h.names[0], Idx: []int{3, 7}}
+
+	// Warm the cache and confirm it hits.
+	if _, err := h.svc.Lookup(ctx, bag); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.svc.Lookup(ctx, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 2 {
+		t.Fatalf("warm lookup hit %d of 2 rows", res.CacheHits)
+	}
+	h.check(t, 0, bag, res)
+
+	// Rotate to entirely new plaintext.
+	rng := rand.New(rand.NewSource(88))
+	fresh := testRows(rng, 16, 8, 1<<20)
+	oldEpoch := h.tabs[0].Epoch()
+	if err := h.tabs[0].Reencrypt(ctx, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if e := h.tabs[0].Epoch(); e != oldEpoch+1 {
+		t.Fatalf("epoch %d after Reencrypt, want %d", e, oldEpoch+1)
+	}
+	h.plains[0] = fresh
+
+	res, err = h.svc.Lookup(ctx, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 {
+		t.Fatalf("post-rotation lookup served %d rows from the pre-rotation cache", res.CacheHits)
+	}
+	if !res.Verified {
+		t.Fatal("post-rotation lookup unverified")
+	}
+	h.check(t, 0, bag, res) // fresh plaintext, not the old rows
+	if st := h.svc.Stats(); st.CacheStale == 0 {
+		t.Error("epoch flip evicted no stale entries")
+	}
+
+	// And the rotated rows re-cache under the new epoch.
+	res, err = h.svc.Lookup(ctx, bag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 2 {
+		t.Fatalf("re-warmed lookup hit %d of 2 rows", res.CacheHits)
+	}
+	h.check(t, 0, bag, res)
+}
+
+// TestServeValidation: unknown tables, bad rows, and mismatched weights
+// are rejected up front with typed/diagnosable errors.
+func TestServeValidation(t *testing.T) {
+	h := newHarness(t, 1, 16, 8, 9, serve.Config{})
+	ctx := context.Background()
+	if _, err := h.svc.Lookup(ctx, serve.Bag{Table: "nope", Idx: []int{0}}); !errors.Is(err, serve.ErrUnknownTable) {
+		t.Fatalf("unknown table: %v", err)
+	}
+	if _, err := h.svc.Lookup(ctx, serve.Bag{Table: h.names[0], Idx: []int{16}}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := h.svc.Lookup(ctx, serve.Bag{Table: h.names[0], Idx: []int{1, 2}, Weights: []uint64{1}}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if err := h.svc.AddTable(h.names[0], h.tabs[0]); err == nil {
+		t.Fatal("duplicate AddTable accepted")
+	}
+}
+
+// TestServeClose: Close flushes pending windows (no waiter hangs),
+// subsequent lookups fail ErrClosed, and Close is idempotent.
+func TestServeClose(t *testing.T) {
+	h := newHarness(t, 1, 16, 8, 10, serve.Config{
+		Window:    200 * time.Millisecond, // would hang a waiter if Close didn't flush
+		CacheRows: -1,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: []int{1}})
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	h.svc.Close()
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("Close took %v; should flush, not wait out the window", d)
+	}
+	select {
+	case <-done: // completed or canceled — either way, not hung
+	case <-time.After(time.Second):
+		t.Fatal("waiter hung across Close")
+	}
+	if _, err := h.svc.Lookup(context.Background(), serve.Bag{Table: h.names[0], Idx: []int{1}}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-Close lookup: %v, want ErrClosed", err)
+	}
+	h.svc.Close() // idempotent
+}

@@ -457,3 +457,53 @@ func utoa(v uint64) string {
 	}
 	return string(b[i:])
 }
+
+// TestReplicaReadBalanceEquivalence: the read load-balancing policies
+// are pure routing — a balanced replicated cluster answers byte-identical
+// to a sticky one, verified and undegraded, on both query paths.
+func TestReplicaReadBalanceEquivalence(t *testing.T) {
+	for _, policy := range []ReplicaBalance{ReplicaRoundRobin, ReplicaLeastInflight} {
+		specs, _ := reshardTestServers(t, 4)
+		eng, err := New(testKey, WithTransport(fastTransport()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(400 + int64(policy)))
+		rows := testRows(rng, 64, 16, 1<<20)
+		h := &clusterHarness{eng: eng, rows: rows}
+		h.tab, err = eng.CreateTable(context.Background(),
+			ClusterBackend(specs...).Replicas(2).ReadBalance(policy),
+			TableSpec{Rows: 64, Cols: 16}, rows)
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		tab := h.tab
+		for q := 0; q < 6; q++ {
+			n := 1 + rng.Intn(10)
+			idx := make([]int, n)
+			w := make([]uint64, n)
+			for k := range idx {
+				idx[k] = rng.Intn(64)
+				w[k] = 1 + rng.Uint64()%8
+			}
+			res, err := tab.Query(context.Background(), Request{Idx: idx, Weights: w})
+			if err != nil {
+				t.Fatalf("policy %d query %d: %v", policy, q, err)
+			}
+			h.checkValues(t, res, idx, w)
+			if !res.Verified || res.Degraded {
+				t.Fatalf("policy %d: Verified=%v Degraded=%v", policy, res.Verified, res.Degraded)
+			}
+		}
+		out, err := tab.QueryBatch(context.Background(), []Request{
+			{Idx: []int{1, 40}, Weights: []uint64{2, 3}},
+			{Idx: []int{63}, Weights: []uint64{5}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.checkValues(t, out[0], []int{1, 40}, []uint64{2, 3})
+		h.checkValues(t, out[1], []int{63}, []uint64{5})
+		tab.Close()
+	}
+}

@@ -305,14 +305,31 @@ func (spec TableSpec) geometry() (core.Geometry, error) {
 	return geo, geo.Validate()
 }
 
+// tableState bundles everything a query derives results from that
+// re-encryption rotates as a unit: the core table handle (key+version
+// binding), the NDP serving it, the pad cache (valid for exactly one
+// version), and the serving epoch. Queries load one state pointer and
+// work against a consistent snapshot; Reencrypt swaps the pointer
+// atomically, so in-flight queries finish under the state they started
+// with and new queries see the rotated table.
+type tableState struct {
+	tab   *core.Table
+	ndp   core.NDP
+	cache *core.PadCache
+	// epoch counts state rotations (starts at 1, bumped by Reencrypt).
+	// Table.Epoch folds in cluster reshard flips on top.
+	epoch uint64
+}
+
 // Table is a handle to one encrypted table bound to the NDP that serves
 // it. It carries no plaintext and is safe for concurrent queries.
 type Table struct {
 	eng    *Engine
-	tab    *core.Table
-	ndp    core.NDP
-	cache  *core.PadCache
+	state  atomic.Pointer[tableState]
 	region string
+
+	// reencMu serializes Reencrypt; queries stay lock-free.
+	reencMu sync.Mutex
 
 	// mirror, when non-nil, is the TEE-held ciphertext image enabling
 	// local fallback recomputation (WithFallback + a remote or cluster
@@ -337,14 +354,13 @@ func (e *Engine) newTable(tab *core.Table, ndp core.NDP, region string, mirror *
 	if e.tel != nil {
 		cache.Instrument(e.tel.cacheHits, e.tel.cacheMisses)
 	}
-	return &Table{
+	t := &Table{
 		eng:    e,
-		tab:    tab,
-		ndp:    ndp,
-		cache:  cache,
 		region: region,
 		mirror: mirror,
 	}
+	t.state.Store(&tableState{tab: tab, ndp: ndp, cache: cache, epoch: 1})
+	return t
 }
 
 func (e *Engine) allocRegion(spec TableSpec) (string, uint64, error) {
@@ -391,10 +407,83 @@ func (t *Table) Close() {
 }
 
 // Geometry returns the table's public geometry.
-func (t *Table) Geometry() core.Geometry { return t.tab.Geometry() }
+func (t *Table) Geometry() core.Geometry { return t.state.Load().tab.Geometry() }
 
-// Version returns the version the table was encrypted under.
-func (t *Table) Version() uint64 { return t.tab.Version() }
+// Version returns the version the table is currently encrypted under
+// (bumped by Reencrypt).
+func (t *Table) Version() uint64 { return t.state.Load().tab.Version() }
+
+// Epoch returns the table's serving epoch: an opaque generation counter
+// (starting at 1) that changes whenever results derived from the table
+// must be re-derived — a Reencrypt (version rotation, possibly with new
+// contents) or a cluster Reshard (topology flip). Serving layers key
+// derived caches by it: a cached result tagged with an older epoch must
+// be discarded, never served. Monotone non-decreasing.
+func (t *Table) Epoch() uint64 {
+	e := t.state.Load().epoch
+	if t.cnd != nil {
+		// Cluster topology epochs start at 1; fold flips in additively so
+		// both rotation sources bump the one counter queries key on.
+		e += t.cnd.Epoch() - 1
+	}
+	return e
+}
+
+// Reencrypt rotates the table to a freshly allocated version — and, with
+// newRows non-nil, to new contents — in place: the untrusted memory is
+// rewritten with ciphertext and tags drawn from the new version's pads,
+// the pad cache is discarded (its pads are version-bound), and the
+// serving epoch bumps so result caches keyed on Epoch invalidate. nil
+// newRows re-encrypts the existing contents, first decrypting and
+// (for tagged tables) verifying every row, so tampering cannot be
+// laundered into a freshly authenticated table; non-nil newRows must
+// match the table's Rows×Cols shape and replaces the contents.
+//
+// Only local-backend tables support in-place rotation today; remote and
+// cluster tables return an error (online cluster re-encryption is a
+// ROADMAP item). The rewrite happens in place in untrusted memory before
+// the new state is published, so queries racing the rewrite window may
+// transiently fail verification (tagged tables reject mixed-version
+// bytes; ErrVerification) — quiesce or retry around rotation. Queries
+// never see a stale-pad decrypt that passes verification.
+func (t *Table) Reencrypt(ctx context.Context, newRows [][]uint64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t.reencMu.Lock()
+	defer t.reencMu.Unlock()
+	st := t.state.Load()
+	hndp, local := st.ndp.(*core.HonestNDP)
+	if !local || t.cnd != nil {
+		return errors.New("secndp: Reencrypt requires a local-backend table (online remote/cluster rotation is not yet supported)")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	newV, err := t.eng.versions.Bump(t.region)
+	if err != nil {
+		t.eng.tel.recordOp("reencrypt", start, err)
+		return err
+	}
+	var newTab *core.Table
+	if newRows == nil {
+		newTab, err = st.tab.Reencrypt(hndp.Mem, newV)
+	} else {
+		newTab, err = t.eng.scheme.EncryptTable(hndp.Mem, st.tab.Geometry(), newV, newRows)
+	}
+	if err != nil {
+		t.eng.tel.recordOp("reencrypt", start, err)
+		return err
+	}
+	cache := core.NewPadCache(t.eng.cfg.cacheRows)
+	if t.eng.tel != nil {
+		cache.Instrument(t.eng.tel.cacheHits, t.eng.tel.cacheMisses)
+	}
+	t.state.Store(&tableState{tab: newTab, ndp: st.ndp, cache: cache, epoch: st.epoch + 1})
+	t.eng.tel.recordOp("reencrypt", start, nil)
+	return nil
+}
 
 // CacheStats reports cumulative pad-cache hits and misses (both zero when
 // the engine was built without WithPadCache). The two values are loaded
@@ -404,7 +493,7 @@ func (t *Table) Version() uint64 { return t.tab.Version() }
 // across every subsystem, attach a registry (WithTelemetry) and read
 // Telemetry().Snapshot(), whose secndp_padcache_{hits,misses}_total
 // series carry the same documented guarantee.
-func (t *Table) CacheStats() (hits, misses uint64) { return t.cache.Stats() }
+func (t *Table) CacheStats() (hits, misses uint64) { return t.state.Load().cache.Stats() }
 
 // Request is one weighted-summation query: result[j] = Σ_k Weights[k] ·
 // P[Idx[k]][j]. With Cols set, the query is element-indexed instead —
@@ -477,11 +566,11 @@ func (t *Table) clusterCtx(ctx context.Context) (context.Context, *cluster.Flag)
 // gather, so the facade bisects over the shards to localize the fault.
 // Best-effort — localization failures leave the original error as-is,
 // which still matches errors.Is(err, ErrVerification).
-func (t *Table) annotateShardFault(ctx context.Context, err error, req Request, opts core.QueryOptions) error {
+func (t *Table) annotateShardFault(ctx context.Context, st *tableState, err error, req Request, opts core.QueryOptions) error {
 	if t.cnd == nil || !errors.Is(err, ErrVerification) {
 		return err
 	}
-	bad, lerr := t.cnd.LocateFault(ctx, t.tab, req.Idx, req.Weights, opts)
+	bad, lerr := t.cnd.LocateFault(ctx, st.tab, req.Idx, req.Weights, opts)
 	if lerr != nil || len(bad) == 0 {
 		return err
 	}
@@ -492,7 +581,11 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 	if req.Cols != nil {
 		return t.queryElem(ctx, req)
 	}
-	verify, err := t.resolveVerify(req.Unverified)
+	// One state load per query: the whole operation — pads, NDP exchange,
+	// verification — runs against a consistent (table, cache) snapshot
+	// even if Reencrypt swaps the state mid-flight.
+	st := t.state.Load()
+	verify, err := t.resolveVerify(st, req.Unverified)
 	if err != nil {
 		return Result{}, err
 	}
@@ -501,8 +594,8 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 	trace := span.Trace()
 	qctx, cflag := t.clusterCtx(rctx)
 	var pt core.PhaseTimes
-	opts := core.QueryOptions{Workers: workers, Cache: t.cache, Verify: verify, Phases: &pt}
-	values, err := t.tab.QueryCtx(qctx, t.ndp, req.Idx, req.Weights, opts)
+	opts := core.QueryOptions{Workers: workers, Cache: st.cache, Verify: verify, Phases: &pt}
+	values, err := st.tab.QueryCtx(qctx, st.ndp, req.Idx, req.Weights, opts)
 	if err == nil {
 		if verify {
 			t.verifyFails.Store(0)
@@ -518,14 +611,14 @@ func (t *Table) query(ctx context.Context, req Request, workers int) (Result, er
 		return res, nil
 	}
 	if !t.shouldFallback(err) {
-		err = t.annotateShardFault(ctx, err, req, opts)
+		err = t.annotateShardFault(ctx, st, err, req, opts)
 		span.EndErr(err, classifyErr(err))
 		t.eng.tel.recordQuery("query", start, timingFrom(pt, 0, time.Since(start)), false, false, trace, err)
 		return Result{}, err
 	}
 	fspan := span.Child("fallback")
 	fb := time.Now()
-	values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, req.Idx, req.Weights)
+	values, ferr := st.tab.LocalWeightedSum(ctx, t.mirror, req.Idx, req.Weights)
 	fbDur := time.Since(fb)
 	if ferr != nil {
 		ferr = fmt.Errorf("secndp: fallback failed: %w (ndp: %w)", ferr, err)
@@ -580,8 +673,8 @@ func (t *Table) DegradedCount() uint64 { return t.degraded.Load() }
 
 // resolveVerify merges the engine policy, the table's tag placement, and
 // the per-request opt-out.
-func (t *Table) resolveVerify(unverified bool) (bool, error) {
-	hasTags := t.tab.Geometry().Layout.Placement != memory.TagNone
+func (t *Table) resolveVerify(st *tableState, unverified bool) (bool, error) {
+	hasTags := st.tab.Geometry().Layout.Placement != memory.TagNone
 	switch t.eng.cfg.verify {
 	case verifyOff:
 		return false, nil
@@ -602,6 +695,7 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	st := t.state.Load()
 	start := time.Now()
 	rctx, span := t.eng.tel.startSpan(ctx, "query_elem")
 	// Plain remote transports have no element op on the wire; with a
@@ -611,12 +705,12 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 	// core.ElemNDP), so a healthy cluster answers un-Degraded and a dead
 	// replica costs a failover, not a mirror trip.
 	if t.mirror != nil && t.cnd == nil {
-		if _, isRemote := t.ndp.(core.ContextNDP); isRemote {
-			return t.queryElemFallback(ctx, req, start, span, nil)
+		if _, isRemote := st.ndp.(core.ContextNDP); isRemote {
+			return t.queryElemFallback(ctx, st, req, start, span, nil)
 		}
 	}
 	qctx, cflag := t.clusterCtx(rctx)
-	v, err := t.tab.QueryElemCtx(qctx, t.ndp, req.Idx, req.Cols, req.Weights)
+	v, err := st.tab.QueryElemCtx(qctx, st.ndp, req.Idx, req.Cols, req.Weights)
 	if err == nil {
 		degraded := cflag.Any()
 		if degraded {
@@ -633,13 +727,13 @@ func (t *Table) queryElem(ctx context.Context, req Request) (Result, error) {
 		t.eng.tel.recordQuery("query", start, timingFrom(core.PhaseTimes{}, 0, time.Since(start)), false, false, span.Trace(), err)
 		return Result{}, err
 	}
-	return t.queryElemFallback(ctx, req, start, span, err)
+	return t.queryElemFallback(ctx, st, req, start, span, err)
 }
 
-func (t *Table) queryElemFallback(ctx context.Context, req Request, start time.Time, span *telemetry.ActiveSpan, cause error) (Result, error) {
+func (t *Table) queryElemFallback(ctx context.Context, st *tableState, req Request, start time.Time, span *telemetry.ActiveSpan, cause error) (Result, error) {
 	fspan := span.Child("fallback")
 	fb := time.Now()
-	v, err := t.tab.LocalWeightedSumElem(ctx, t.mirror, req.Idx, req.Cols, req.Weights)
+	v, err := st.tab.LocalWeightedSumElem(ctx, t.mirror, req.Idx, req.Cols, req.Weights)
 	fbDur := time.Since(fb)
 	if err != nil {
 		if cause != nil {
@@ -694,7 +788,8 @@ func (t *Table) QueryBatch(ctx context.Context, reqs []Request) ([]Result, error
 // ok = false means the batch cannot coalesce (shape or capability) and the
 // caller should fan out.
 func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Result, error, bool) {
-	bn, isBatch := t.ndp.(core.BatchNDP)
+	st := t.state.Load()
+	bn, isBatch := st.ndp.(core.BatchNDP)
 	if !isBatch {
 		return nil, nil, false
 	}
@@ -704,7 +799,7 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 			return nil, nil, false
 		}
 	}
-	verify, err := t.resolveVerify(unverified)
+	verify, err := t.resolveVerify(st, unverified)
 	if err != nil {
 		return nil, nil, false // fan-out reports the policy error per request
 	}
@@ -720,8 +815,8 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 		creqs[i] = core.BatchRequest{Idx: reqs[i].Idx, Weights: reqs[i].Weights}
 	}
 	var stats core.BatchStats
-	opts := core.QueryOptions{Workers: t.eng.cfg.workers, Cache: t.cache, Verify: verify, Stats: &stats}
-	bres := t.tab.QueryBatchCtx(qctx, t.ndp, creqs, opts)
+	opts := core.QueryOptions{Workers: t.eng.cfg.workers, Cache: st.cache, Verify: verify, Stats: &stats}
+	bres := st.tab.QueryBatchCtx(qctx, st.ndp, creqs, opts)
 
 	out := make([]Result, len(reqs))
 	errs := make([]error, len(reqs))
@@ -743,7 +838,7 @@ func (t *Table) queryBatchCoalesced(ctx context.Context, reqs []Request) ([]Resu
 		}
 		if t.shouldFallback(qerr) {
 			fb := time.Now()
-			values, ferr := t.tab.LocalWeightedSum(ctx, t.mirror, reqs[i].Idx, reqs[i].Weights)
+			values, ferr := st.tab.LocalWeightedSum(ctx, t.mirror, reqs[i].Idx, reqs[i].Weights)
 			if ferr == nil {
 				t.degraded.Add(1)
 				out[i] = Result{Values: values, Degraded: true, Timing: Timing{Fallback: time.Since(fb)}}
